@@ -1,0 +1,64 @@
+//! Ablation: superblock trace formation in the BT layer (Transmeta-style
+//! speculative traces through biased branches, §II-A). Longer traces mean
+//! fewer dispatches and longer effective execution windows; mis-speculated
+//! directions side-exit at run time.
+
+use powerchop::ManagerKind;
+use powerchop_bench::{banner, mean, run, run_with, write_csv};
+
+fn main() {
+    banner(
+        "Ablation — basic-block vs superblock translations",
+        "speculative traces through biased branches (BT design choice)",
+    );
+    let subset: Vec<_> = ["perlbench", "sjeng", "msn", "h264ref", "gobmk"]
+        .iter()
+        .map(|n| powerchop_workloads::by_name(n).expect("subset exists"))
+        .collect();
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "bench", "ipc-bb", "ipc-sb", "disp-bb", "disp-sb", "sideex-sb"
+    );
+    let mut rows = Vec::new();
+    let (mut slow_bb, mut slow_sb) = (Vec::new(), Vec::new());
+    for b in &subset {
+        let full = run(b, ManagerKind::FullPower);
+        let bb = run(b, ManagerKind::PowerChop);
+        let sb = run_with(b, ManagerKind::PowerChop, |c| c.bt.superblocks = true);
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>10} {:>10} {:>9}",
+            b.name(),
+            bb.ipc(),
+            sb.ipc(),
+            bb.bt.translation_executions,
+            sb.bt.translation_executions,
+            sb.bt.side_exits,
+        );
+        rows.push(format!(
+            "{},{:.4},{:.4},{},{},{}",
+            b.name(),
+            bb.ipc(),
+            sb.ipc(),
+            bb.bt.translation_executions,
+            sb.bt.translation_executions,
+            sb.bt.side_exits
+        ));
+        slow_bb.push(100.0 * bb.slowdown_vs(&full));
+        slow_sb.push(100.0 * sb.slowdown_vs(&full));
+        assert!(
+            sb.bt.translation_executions <= bb.bt.translation_executions,
+            "superblocks cannot increase dispatch counts"
+        );
+    }
+    write_csv(
+        "abl_superblocks",
+        "bench,ipc_bb,ipc_sb,dispatches_bb,dispatches_sb,side_exits_sb",
+        &rows,
+    );
+    println!(
+        "\naverage PowerChop slowdown: basic-block {:.1}% vs superblock {:.1}%",
+        mean(&slow_bb),
+        mean(&slow_sb)
+    );
+}

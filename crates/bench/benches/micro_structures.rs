@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of PowerChop's core structures and the
+//! simulation substrate: HTB updates, PVT lookups, branch predictors,
+//! cache accesses, and interpreted vs translated execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use powerchop::htb::HotTranslationBuffer;
+use powerchop::phase::PhaseSignature;
+use powerchop::policy::GatingPolicy;
+use powerchop::pvt::PolicyVectorTable;
+use powerchop_bt::{BtConfig, Machine, TranslationId};
+use powerchop_gisa::{ProgramBuilder, Reg};
+use powerchop_uarch::bpu::Bpu;
+use powerchop_uarch::cache::Cache;
+use powerchop_uarch::config::CoreConfig;
+use powerchop_uarch::core::CoreModel;
+
+fn bench_htb(c: &mut Criterion) {
+    c.bench_function("htb_record_and_signature_window", |bench| {
+        bench.iter(|| {
+            let mut htb = HotTranslationBuffer::paper_default();
+            for i in 0..1000u32 {
+                htb.record(TranslationId(i % 40), 10);
+            }
+            let sig = htb.signature();
+            htb.flush();
+            black_box(sig)
+        });
+    });
+}
+
+fn bench_pvt(c: &mut Criterion) {
+    let mut pvt = PolicyVectorTable::paper_default();
+    let sigs: Vec<PhaseSignature> = (0..16u32)
+        .map(|i| PhaseSignature::new(&[TranslationId(i), TranslationId(i + 100)]))
+        .collect();
+    for sig in &sigs {
+        pvt.register(*sig, GatingPolicy::FULL);
+    }
+    c.bench_function("pvt_lookup_hit", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            i = (i + 1) % sigs.len();
+            black_box(pvt.lookup(sigs[i]))
+        });
+    });
+}
+
+fn bench_bpu(c: &mut Criterion) {
+    let cfg = CoreConfig::server();
+    let mut bpu = Bpu::new(&cfg.bpu);
+    c.bench_function("bpu_predict_and_update", |bench| {
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(bpu.predict_and_update(i % 512, i.is_multiple_of(3), i % 64))
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = CoreConfig::server();
+    let mut cache = Cache::new(&cfg.mlc);
+    c.bench_function("mlc_access", |bench| {
+        let mut addr = 0u64;
+        bench.iter(|| {
+            addr = addr.wrapping_add(64) & ((1 << 22) - 1);
+            black_box(cache.access(addr, false))
+        });
+    });
+}
+
+fn hot_loop_program() -> powerchop_gisa::Program {
+    let r0 = Reg::new(0).unwrap();
+    let r1 = Reg::new(1).unwrap();
+    let mut b = ProgramBuilder::new("bench-loop");
+    b.li(r0, 0).li(r1, i64::MAX / 2);
+    let top = b.bind_label();
+    b.addi(r0, r0, 1);
+    b.xor(r0, r0, r1);
+    b.xor(r0, r0, r1);
+    b.blt(r0, r1, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let program = hot_loop_program();
+    c.bench_function("hybrid_execution_10k_insts", |bench| {
+        bench.iter(|| {
+            let cfg = CoreConfig::server();
+            let mut core = CoreModel::new(&cfg);
+            let mut machine = Machine::new(&program, BtConfig::default());
+            machine.run(&mut core, 10_000).unwrap();
+            black_box(core.cycles())
+        });
+    });
+    c.bench_function("interpreter_10k_insts", |bench| {
+        bench.iter(|| {
+            let cfg = CoreConfig::server();
+            let mut core = CoreModel::new(&cfg);
+            let mut machine = Machine::new(
+                &program,
+                BtConfig { hot_threshold: u32::MAX, ..BtConfig::default() },
+            );
+            machine.run(&mut core, 10_000).unwrap();
+            black_box(core.cycles())
+        });
+    });
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let program = powerchop_workloads::by_name("hmmer")
+        .expect("known benchmark")
+        .program(powerchop_workloads::Scale(0.01));
+    let text = powerchop_gisa::asm::disassemble(&program);
+    c.bench_function("assemble_benchmark_text", |bench| {
+        bench.iter(|| black_box(powerchop_gisa::asm::assemble("bench", &text).unwrap()));
+    });
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    use powerchop_power::{EnergyLedger, PowerParams, UnitStates};
+    use powerchop_uarch::core::CoreStats;
+    c.bench_function("energy_ledger_account", |bench| {
+        let mut ledger = EnergyLedger::new(PowerParams::server());
+        let mut cycles = 0u64;
+        let mut stats = CoreStats::default();
+        bench.iter(|| {
+            cycles += 1000;
+            stats.instructions += 900;
+            stats.branches += 120;
+            stats.mlc_accesses += 10;
+            ledger.account(cycles, &stats, UnitStates::full(8));
+            black_box(())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_htb,
+    bench_pvt,
+    bench_bpu,
+    bench_cache,
+    bench_execution,
+    bench_assembler,
+    bench_ledger
+);
+criterion_main!(benches);

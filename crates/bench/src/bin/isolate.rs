@@ -1,0 +1,32 @@
+//! Per-unit isolation probe: which managed unit causes a benchmark's
+//! slowdown and how much each contributes to gating activity.
+
+use powerchop::managers::ManagedSet;
+use powerchop::ManagerKind;
+use powerchop_bench::{run, run_with};
+
+fn main() {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    for name in &names {
+        let b = powerchop_workloads::by_name(name).unwrap_or_else(|| panic!("unknown {name}"));
+        let full = run(b, ManagerKind::FullPower);
+        println!("{name}: full IPC {:.3}", full.ipc());
+        for (label, set) in [
+            ("vpu-only", ManagedSet::VPU_ONLY),
+            ("bpu-only", ManagedSet::BPU_ONLY),
+            ("mlc-only", ManagedSet::MLC_ONLY),
+            ("all", ManagedSet::ALL),
+        ] {
+            let r = run_with(b, ManagerKind::PowerChop, |c| c.chop.managed = set);
+            println!(
+                "  {label:>8}: slow {:>5.1}%  vpuOff {:.2} bpuOff {:.2} mlcGate {:.2} mlcOne {:.2} sw/Mc {:.1}",
+                100.0 * r.slowdown_vs(&full),
+                r.gated.vpu_off_frac(),
+                r.gated.bpu_off_frac(),
+                r.gated.mlc_gated_frac(),
+                r.gated.mlc_one_frac(),
+                r.switches_per_mcycle(r.switches.total()),
+            );
+        }
+    }
+}

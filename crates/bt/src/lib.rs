@@ -1,0 +1,60 @@
+//! The binary-translation (BT) subsystem of the hybrid processor.
+//!
+//! Hybrid architectures (Transmeta Crusoe/Efficeon, NVIDIA Project Denver)
+//! place a software BT layer below the ISA interface (paper §II-A). This
+//! crate implements that layer, modelled after the Transmeta design the
+//! paper describes, with its three principal components:
+//!
+//! - the **interpreter** ([`Machine`] slow path) — decodes and executes
+//!   guest instructions sequentially while collecting hotness statistics,
+//! - the **translator** ([`translator`]) — when a region reaches the
+//!   hotness threshold, produces an optimized *translation* (a short trace
+//!   of the dynamic code sequence) and installs it in the **region cache**
+//!   ([`region_cache::RegionCache`]),
+//! - the **nucleus** ([`nucleus::Nucleus`]) — handles interrupts raised to
+//!   the software layer (PowerChop's CDE is invoked through it).
+//!
+//! Translations are the primitive PowerChop builds on: the HTB counts
+//! translation executions, and phase signatures are sets of translation
+//! IDs (the low 32 bits of each translation's head PC).
+//!
+//! # Examples
+//!
+//! ```
+//! use powerchop_bt::{BtConfig, Machine, MachineEvent};
+//! use powerchop_gisa::{ProgramBuilder, Reg};
+//! use powerchop_uarch::{config::CoreConfig, core::CoreModel};
+//!
+//! # fn main() -> Result<(), powerchop_gisa::GisaError> {
+//! let r0 = Reg::new(0)?;
+//! let r1 = Reg::new(1)?;
+//! let mut b = ProgramBuilder::new("hot-loop");
+//! b.li(r0, 0).li(r1, 100_000);
+//! let top = b.bind_label();
+//! b.addi(r0, r0, 1);
+//! b.blt(r0, r1, top);
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let cfg = CoreConfig::server();
+//! let mut core = CoreModel::new(&cfg);
+//! let mut machine = Machine::new(&program, BtConfig::default());
+//! while !matches!(machine.step(&mut core)?, MachineEvent::Halted) {}
+//! // The hot loop ran from the region cache, not the interpreter.
+//! let stats = machine.stats();
+//! assert!(stats.translated_instructions > stats.interpreted_instructions);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+pub mod nucleus;
+pub mod region_cache;
+pub mod translator;
+
+pub use machine::{BtConfig, BtStats, Machine, MachineEvent};
+pub use region_cache::TranslationId;
+pub use translator::Translation;

@@ -1,0 +1,77 @@
+//! The nucleus: the BT component that handles interrupts and exceptions.
+//!
+//! In a hybrid processor the nucleus services host-ISA and
+//! microarchitectural interrupts (paper §II-A) — for PowerChop, the
+//! interrupt of interest is the PVT miss that invokes the Criticality
+//! Decision Engine (paper §IV-C3: "the most significant additional source
+//! of overhead over the conventional BT are additional interrupts
+//! triggered by PVT misses"). The nucleus accounts for the time spent in
+//! such software handlers by stalling the core.
+
+use powerchop_uarch::core::CoreModel;
+
+/// Cumulative nucleus activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NucleusStats {
+    /// Interrupts serviced.
+    pub interrupts: u64,
+    /// Total handler cycles charged to the core.
+    pub handler_cycles: u64,
+}
+
+/// The interrupt/exception handler of the BT layer.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop_bt::nucleus::Nucleus;
+/// use powerchop_uarch::{config::CoreConfig, core::CoreModel};
+///
+/// let mut core = CoreModel::new(&CoreConfig::server());
+/// let mut nucleus = Nucleus::new();
+/// nucleus.raise(&mut core, 250); // e.g. a PVT-miss handler
+/// assert_eq!(nucleus.stats().interrupts, 1);
+/// assert_eq!(core.cycles(), 250);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Nucleus {
+    stats: NucleusStats,
+}
+
+impl Nucleus {
+    /// Creates a nucleus with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Nucleus::default()
+    }
+
+    /// Services one interrupt whose software handler runs for
+    /// `handler_cycles`, stalling application execution for that long.
+    pub fn raise(&mut self, core: &mut CoreModel, handler_cycles: u64) {
+        self.stats.interrupts += 1;
+        self.stats.handler_cycles += handler_cycles;
+        core.add_stall(handler_cycles);
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> NucleusStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerchop_uarch::config::CoreConfig;
+
+    #[test]
+    fn raise_accumulates_and_stalls() {
+        let mut core = CoreModel::new(&CoreConfig::mobile());
+        let mut n = Nucleus::new();
+        n.raise(&mut core, 100);
+        n.raise(&mut core, 50);
+        assert_eq!(n.stats(), NucleusStats { interrupts: 2, handler_cycles: 150 });
+        assert_eq!(core.cycles(), 150);
+    }
+}

@@ -1,0 +1,154 @@
+//! The region cache: the software structure holding translations.
+//!
+//! Subsequent executions of a hot code region run from its translation in
+//! the region cache without paying interpretation costs (paper §II-A). The
+//! cache is keyed by translation ID — the low 32 bits of the head PC,
+//! which the paper notes is unique because the region cache is far smaller
+//! than 2³² (paper §IV-B2).
+
+use std::collections::HashMap;
+
+use crate::translator::Translation;
+
+/// A translation's unique identifier: the low 32 bits of its head PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TranslationId(pub u32);
+
+impl std::fmt::Display for TranslationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The region cache.
+///
+/// Capacity-bounded; when full, the least-recently-*installed* translation
+/// is evicted (the real system garbage-collects cold translations; our
+/// workloads rarely exercise eviction, but the bound keeps behaviour
+/// defined).
+#[derive(Debug, Clone)]
+pub struct RegionCache {
+    translations: HashMap<TranslationId, Translation>,
+    install_order: Vec<TranslationId>,
+    capacity: usize,
+}
+
+impl RegionCache {
+    /// Creates an empty region cache holding at most `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "region cache capacity must be positive");
+        RegionCache {
+            translations: HashMap::new(),
+            install_order: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Number of resident translations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.translations.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.translations.is_empty()
+    }
+
+    /// Looks up the translation with head PC `id`.
+    #[must_use]
+    pub fn get(&self, id: TranslationId) -> Option<&Translation> {
+        self.translations.get(&id)
+    }
+
+    /// Installs a translation, evicting the oldest if at capacity.
+    /// Returns the evicted translation's ID, if any.
+    pub fn install(&mut self, translation: Translation) -> Option<TranslationId> {
+        let id = translation.id();
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.translations.entry(id) {
+            e.insert(translation);
+            return None;
+        }
+        let mut evicted = None;
+        if self.translations.len() == self.capacity {
+            let victim = self.install_order.remove(0);
+            self.translations.remove(&victim);
+            evicted = Some(victim);
+        }
+        self.install_order.push(id);
+        self.translations.insert(id, translation);
+        evicted
+    }
+
+    /// Iterates over resident translations in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Translation> {
+        self.translations.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translator::translate;
+    use powerchop_gisa::{Pc, ProgramBuilder};
+
+    fn program_with_nops(n: usize) -> powerchop_gisa::Program {
+        let mut b = ProgramBuilder::new("nops");
+        for _ in 0..n {
+            b.nop();
+        }
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn install_then_get() {
+        let p = program_with_nops(4);
+        let mut rc = RegionCache::new(8);
+        let t = translate(&p, Pc(0), 16).unwrap();
+        assert!(rc.install(t).is_none());
+        assert_eq!(rc.len(), 1);
+        assert!(rc.get(TranslationId(0)).is_some());
+        assert!(rc.get(TranslationId(1)).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let p = program_with_nops(10);
+        let mut rc = RegionCache::new(2);
+        rc.install(translate(&p, Pc(0), 1).unwrap());
+        rc.install(translate(&p, Pc(1), 1).unwrap());
+        let evicted = rc.install(translate(&p, Pc(2), 1).unwrap());
+        assert_eq!(evicted, Some(TranslationId(0)));
+        assert!(rc.get(TranslationId(0)).is_none());
+        assert!(rc.get(TranslationId(1)).is_some());
+        assert!(rc.get(TranslationId(2)).is_some());
+    }
+
+    #[test]
+    fn reinstall_replaces_without_eviction() {
+        let p = program_with_nops(4);
+        let mut rc = RegionCache::new(1);
+        rc.install(translate(&p, Pc(0), 2).unwrap());
+        let evicted = rc.install(translate(&p, Pc(0), 3).unwrap());
+        assert!(evicted.is_none());
+        assert_eq!(rc.get(TranslationId(0)).unwrap().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = RegionCache::new(0);
+    }
+
+    #[test]
+    fn display_of_translation_id() {
+        assert_eq!(TranslationId(7).to_string(), "t7");
+    }
+}

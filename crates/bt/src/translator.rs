@@ -1,0 +1,260 @@
+//! The translator/optimizer: builds translations from hot guest code.
+//!
+//! A *translation* is a short trace of guest code beginning at a hot head
+//! PC (paper §II-A). The trace extends through straight-line code and
+//! follows unconditional jumps, and terminates at a conditional branch,
+//! indirect jump, call, return, halt, or the trace-length limit. The
+//! translator also notes whether the region contains vector operations; for
+//! such regions it emits *dual code paths* — a native SIMD body and a
+//! scalar-emulation body — so the VPU can be power gated without consulting
+//! the translator again (paper §IV-C2: "emulated using scalar operations
+//! emitted along alternate code paths in the region cache's translations").
+
+use powerchop_gisa::{Inst, Pc, Program};
+
+use crate::region_cache::TranslationId;
+
+/// An optimized host-ISA trace of a guest code region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Translation {
+    id: TranslationId,
+    head: Pc,
+    trace: Vec<Pc>,
+    has_vector: bool,
+}
+
+impl Translation {
+    /// The translation's unique ID (low 32 bits of the head PC, §IV-B2).
+    #[must_use]
+    pub fn id(&self) -> TranslationId {
+        self.id
+    }
+
+    /// The guest PC of the translation head.
+    #[must_use]
+    pub fn head(&self) -> Pc {
+        self.head
+    }
+
+    /// The guest PCs covered by the trace, in execution order.
+    #[must_use]
+    pub fn trace(&self) -> &[Pc] {
+        &self.trace
+    }
+
+    /// Number of guest instructions in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the trace is empty (never true for built translations).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Whether the region contains vector operations, i.e. whether the
+    /// translator emitted dual (SIMD + scalar-emulation) code paths.
+    #[must_use]
+    pub fn has_vector(&self) -> bool {
+        self.has_vector
+    }
+}
+
+/// Builds a translation starting at `head`.
+///
+/// Returns `None` if `head` is outside the program (a wild indirect jump
+/// target never reaches the translator in practice, but the region cache
+/// must not be polluted if it does).
+#[must_use]
+pub fn translate(program: &Program, head: Pc, max_len: usize) -> Option<Translation> {
+    translate_with_bias(program, head, max_len, |_| None)
+}
+
+/// Builds a *superblock* translation: like [`translate`], but the trace
+/// speculatively continues through conditional branches whose direction
+/// the interpreter found strongly biased (`bias(pc)` returns the likely
+/// direction). This mirrors the speculative trace formation of the
+/// Transmeta translator the paper's BT is modelled on (§II-A: the
+/// interpreter collects "statistics about execution and branch
+/// behavior"); mis-speculation is handled at run time by the region
+/// cache's side-exit mechanism.
+///
+/// Returns `None` if `head` is outside the program.
+#[must_use]
+pub fn translate_with_bias(
+    program: &Program,
+    head: Pc,
+    max_len: usize,
+    bias: impl Fn(Pc) -> Option<bool>,
+) -> Option<Translation> {
+    program.inst(head)?;
+    let mut trace = Vec::new();
+    let mut has_vector = false;
+    let mut pc = head;
+    while trace.len() < max_len {
+        let Some(inst) = program.inst(pc) else { break };
+        trace.push(pc);
+        has_vector |= inst.class().uses_vpu();
+        match inst {
+            // Follow unconditional direct jumps through, fusing blocks.
+            Inst::Jmp { target } => {
+                // A self-loop or backward jump ends the trace to keep
+                // translations finite and loop bodies as single traces.
+                if target.0 <= pc.0 {
+                    break;
+                }
+                pc = *target;
+            }
+            // Continue through strongly-biased conditional branches
+            // (forward only — backward taken branches end the trace so
+            // loop bodies remain single translations).
+            Inst::Branch { target, .. } => match bias(pc) {
+                Some(true) if target.0 > pc.0 => pc = *target,
+                Some(false) => pc = pc.next(),
+                _ => break,
+            },
+            i if i.ends_block() => break,
+            _ => pc = pc.next(),
+        }
+    }
+    Some(Translation {
+        id: TranslationId(head.0),
+        head,
+        trace,
+        has_vector,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerchop_gisa::{ProgramBuilder, Reg, VReg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn biased_branches_extend_the_trace() {
+        // not-taken-biased branch: trace falls through it.
+        let mut b = ProgramBuilder::new("bias");
+        let over = b.label();
+        b.li(r(0), 1);
+        b.beq(r(0), r(1), over); // rarely taken
+        b.li(r(2), 2);
+        b.bind(over).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let plain = translate(&p, Pc(0), 64).unwrap();
+        assert_eq!(plain.len(), 2, "plain traces end at the branch");
+        let biased = translate_with_bias(&p, Pc(0), 64, |_| Some(false)).unwrap();
+        assert_eq!(
+            biased.trace(),
+            &[Pc(0), Pc(1), Pc(2), Pc(3)],
+            "superblock falls through to the halt"
+        );
+        let taken = translate_with_bias(&p, Pc(0), 64, |_| Some(true)).unwrap();
+        assert_eq!(taken.trace(), &[Pc(0), Pc(1), Pc(3)], "superblock follows taken bias");
+    }
+
+    #[test]
+    fn backward_taken_bias_ends_trace() {
+        let mut b = ProgramBuilder::new("backbias");
+        let top = b.bind_label();
+        b.addi(r(0), r(0), 1);
+        b.blt(r(0), r(1), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let t = translate_with_bias(&p, Pc(0), 64, |_| Some(true)).unwrap();
+        assert_eq!(t.len(), 2, "backward branches end traces even when biased taken");
+    }
+
+    #[test]
+    fn trace_stops_at_conditional_branch() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(r(0), 1);
+        b.addi(r(0), r(0), 1);
+        let top = b.bind_label();
+        b.nop();
+        b.blt(r(0), r(1), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let t = translate(&p, Pc(0), 64).unwrap();
+        // li, addi, nop, blt — branch included, halt not.
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.trace().last(), Some(&Pc(3)));
+    }
+
+    #[test]
+    fn forward_jumps_are_fused() {
+        let mut b = ProgramBuilder::new("fuse");
+        let over = b.label();
+        b.li(r(0), 1);
+        b.jmp(over);
+        b.nop(); // dead code, not in trace
+        b.bind(over).unwrap();
+        b.li(r(1), 2);
+        b.halt();
+        let p = b.build().unwrap();
+        let t = translate(&p, Pc(0), 64).unwrap();
+        assert_eq!(t.trace(), &[Pc(0), Pc(1), Pc(3), Pc(4)]);
+    }
+
+    #[test]
+    fn backward_jump_ends_trace() {
+        let mut b = ProgramBuilder::new("back");
+        let top = b.bind_label();
+        b.nop();
+        b.jmp(top);
+        let p = b.build().unwrap();
+        let t = translate(&p, Pc(0), 64).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn vector_regions_are_flagged_for_dual_paths() {
+        let v = VReg::new(0).unwrap();
+        let mut b = ProgramBuilder::new("vec");
+        b.vadd(v, v, v);
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(translate(&p, Pc(0), 64).unwrap().has_vector());
+
+        let mut b = ProgramBuilder::new("scalar");
+        b.nop();
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(!translate(&p, Pc(0), 64).unwrap().has_vector());
+    }
+
+    #[test]
+    fn max_len_bounds_trace() {
+        let mut b = ProgramBuilder::new("long");
+        for _ in 0..100 {
+            b.nop();
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(translate(&p, Pc(0), 16).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn out_of_range_head_is_rejected() {
+        let mut b = ProgramBuilder::new("small");
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(translate(&p, Pc(5), 16).is_none());
+    }
+
+    #[test]
+    fn id_is_low_bits_of_head_pc() {
+        let mut b = ProgramBuilder::new("id");
+        b.nop();
+        b.halt();
+        let p = b.build().unwrap();
+        let t = translate(&p, Pc(1), 16).unwrap();
+        assert_eq!(t.id(), TranslationId(1));
+    }
+}

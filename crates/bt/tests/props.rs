@@ -1,0 +1,125 @@
+//! Property-based tests of the binary-translation layer's core
+//! guarantee: translation is architecturally transparent. Random guest
+//! programs must produce identical results under pure interpretation and
+//! under every hot-threshold/trace-length configuration.
+
+use proptest::prelude::*;
+
+use powerchop_bt::{BtConfig, Machine};
+use powerchop_gisa::{Cond, Program, ProgramBuilder, Reg};
+use powerchop_uarch::config::CoreConfig;
+use powerchop_uarch::core::CoreModel;
+
+/// Generates a random but always-terminating guest program: a counted
+/// outer loop whose body is straight-line arithmetic with optional
+/// data-dependent inner branching.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        1i64..200,                                        // outer iterations
+        prop::collection::vec((0u8..5, 1u8..8, 1u8..8, 1u8..8), 1..12), // body ops
+        any::<bool>(),                                    // include a diamond
+        0i64..64,                                         // diamond modulus basis
+    )
+        .prop_map(|(iters, ops, diamond, modulus)| {
+            let r = |i: u8| Reg::new(i).unwrap();
+            let mut b = ProgramBuilder::new("prop-program");
+            b.li(r(0), 0).li(r(9), iters);
+            let top = b.bind_label();
+            for (kind, rd, rs, rt) in &ops {
+                let (rd, rs, rt) = (r(*rd), r(*rs), r(*rt));
+                match kind {
+                    0 => b.add(rd, rs, rt),
+                    1 => b.xor(rd, rs, rt),
+                    2 => b.mul(rd, rs, rt),
+                    3 => b.sub(rd, rs, rt),
+                    _ => b.shr(rd, rs, rt),
+                };
+            }
+            if diamond {
+                let other = b.label();
+                let join = b.label();
+                b.li(r(10), modulus.max(2));
+                b.rem(r(11), r(0), r(10));
+                b.li(r(12), modulus.max(2) / 2);
+                b.branch(Cond::Lt, r(11), r(12), other);
+                b.addi(r(13), r(13), 1);
+                b.jmp(join);
+                b.bind(other).unwrap();
+                b.addi(r(14), r(14), 1);
+                b.bind(join).unwrap();
+            }
+            b.addi(r(0), r(0), 1);
+            b.blt(r(0), r(9), top);
+            b.halt();
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The BT layer never changes architectural results, whatever its
+    /// translation policy.
+    #[test]
+    fn translation_transparency(program in arb_program(),
+                                threshold in prop::sample::select(vec![1u32, 3, 50, u32::MAX]),
+                                max_trace in 2usize..64) {
+        let cfg = CoreConfig::server();
+
+        // Reference: pure interpretation.
+        let mut ref_core = CoreModel::new(&cfg);
+        let mut reference = Machine::new(
+            &program,
+            BtConfig { hot_threshold: u32::MAX, ..BtConfig::default() },
+        );
+        reference.run(&mut ref_core, u64::MAX).unwrap();
+
+        // Hybrid execution with the sampled policy.
+        let mut core = CoreModel::new(&cfg);
+        let mut machine = Machine::new(
+            &program,
+            BtConfig { hot_threshold: threshold, max_trace_len: max_trace, ..BtConfig::default() },
+        );
+        machine.run(&mut core, u64::MAX).unwrap();
+
+        prop_assert!(machine.halted() && reference.halted());
+        prop_assert_eq!(machine.cpu(), reference.cpu(), "architectural state must match");
+        prop_assert_eq!(machine.retired(), reference.retired());
+    }
+
+    /// BT statistics are internally consistent for any program/policy.
+    #[test]
+    fn bt_stats_consistent(program in arb_program(),
+                           threshold in prop::sample::select(vec![1u32, 8, 128])) {
+        let cfg = CoreConfig::server();
+        let mut core = CoreModel::new(&cfg);
+        let mut machine = Machine::new(
+            &program,
+            BtConfig { hot_threshold: threshold, ..BtConfig::default() },
+        );
+        machine.run(&mut core, u64::MAX).unwrap();
+        let s = machine.stats();
+        prop_assert_eq!(
+            s.interpreted_instructions + s.translated_instructions,
+            machine.retired()
+        );
+        prop_assert!(s.side_exits <= s.translation_executions);
+        prop_assert!(s.translations_built as usize >= machine.region_cache().len());
+        prop_assert_eq!(core.stats().instructions, machine.retired());
+    }
+
+    /// Lower hot thresholds never produce *fewer* translated instructions.
+    #[test]
+    fn hotter_translation_translates_more(program in arb_program()) {
+        let cfg = CoreConfig::server();
+        let mut eager_core = CoreModel::new(&cfg);
+        let mut eager = Machine::new(&program, BtConfig { hot_threshold: 1, ..BtConfig::default() });
+        eager.run(&mut eager_core, u64::MAX).unwrap();
+        let mut lazy_core = CoreModel::new(&cfg);
+        let mut lazy = Machine::new(&program, BtConfig { hot_threshold: 64, ..BtConfig::default() });
+        lazy.run(&mut lazy_core, u64::MAX).unwrap();
+        prop_assert!(
+            eager.stats().translated_instructions >= lazy.stats().translated_instructions
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use powerchop::managers::{DrowsyMlcManager, TimeoutVpuManager};
+use powerchop::ManagerKind;
+
+use crate::CliError;
+
+/// Which power manager a run should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagerArg {
+    /// PowerChop (default).
+    PowerChop,
+    /// Fully powered baseline.
+    Full,
+    /// Minimal-power baseline.
+    Minimal,
+    /// VPU idleness timeout baseline.
+    Timeout,
+    /// Drowsy-MLC baseline.
+    Drowsy,
+}
+
+impl ManagerArg {
+    /// Converts to the runtime manager kind.
+    #[must_use]
+    pub fn kind(self) -> ManagerKind {
+        match self {
+            ManagerArg::PowerChop => ManagerKind::PowerChop,
+            ManagerArg::Full => ManagerKind::FullPower,
+            ManagerArg::Minimal => ManagerKind::MinimalPower,
+            ManagerArg::Timeout => ManagerKind::TimeoutVpu {
+                timeout_cycles: TimeoutVpuManager::PAPER_TIMEOUT_CYCLES,
+            },
+            ManagerArg::Drowsy => ManagerKind::DrowsyMlc {
+                period_cycles: DrowsyMlcManager::DEFAULT_PERIOD_CYCLES,
+            },
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "powerchop" | "chop" => Ok(ManagerArg::PowerChop),
+            "full" | "full-power" => Ok(ManagerArg::Full),
+            "minimal" | "min" => Ok(ManagerArg::Minimal),
+            "timeout" => Ok(ManagerArg::Timeout),
+            "drowsy" => Ok(ManagerArg::Drowsy),
+            other => Err(CliError(format!(
+                "unknown manager `{other}` (expected powerchop|full|minimal|timeout|drowsy)"
+            ))),
+        }
+    }
+}
+
+/// Options shared by run-like commands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOpts {
+    /// Manager to use.
+    pub manager: ManagerArg,
+    /// Instruction budget.
+    pub budget: u64,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Emit machine-readable JSON instead of the human summary.
+    pub json: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts { manager: ManagerArg::PowerChop, budget: 8_000_000, scale: 1.0, json: false }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `help`
+    Help,
+    /// `info` — print the design points.
+    Info,
+    /// `list [suite]` — list benchmarks.
+    List {
+        /// Optional suite filter (`spec-int`, `spec-fp`, `parsec`, `mobile`).
+        suite: Option<String>,
+    },
+    /// `run <bench>` — run one benchmark and print its report.
+    Run {
+        /// Benchmark name.
+        bench: String,
+        /// Run options.
+        opts: RunOpts,
+    },
+    /// `compare <bench>` — full-power vs PowerChop.
+    Compare {
+        /// Benchmark name.
+        bench: String,
+        /// Run options (manager ignored).
+        opts: RunOpts,
+    },
+    /// `timeline <bench>` — per-window phase/policy timeline.
+    Timeline {
+        /// Benchmark name.
+        bench: String,
+        /// Run options (manager ignored).
+        opts: RunOpts,
+    },
+    /// `asm <file>` — assemble a guest-ISA text file and run it.
+    Asm {
+        /// Path to the assembly source.
+        path: String,
+        /// Run options.
+        opts: RunOpts,
+    },
+    /// `profile <bench>` — architectural instruction-mix profile.
+    Profile {
+        /// Benchmark name.
+        bench: String,
+        /// Run options (manager ignored).
+        opts: RunOpts,
+    },
+}
+
+/// Usage text printed by `help` and on parse errors.
+pub const USAGE: &str = "\
+powerchop-cli — run the PowerChop reproduction from the command line
+
+USAGE:
+    powerchop-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list [suite]           list benchmarks (suites: spec-int spec-fp parsec mobile)
+    info                   print the server/mobile design points (Table I)
+    run <bench>            run one benchmark and print the full report
+    compare <bench>        run full-power and PowerChop, print the comparison
+    timeline <bench>       print the per-window phase/policy timeline
+    asm <file.s>           assemble a guest-ISA text file and run it
+    profile <bench>        architectural instruction-mix profile (no timing)
+    help                   show this message
+
+OPTIONS (run/compare/timeline/asm):
+    --manager <m>          powerchop|full|minimal|timeout|drowsy [default: powerchop]
+    --budget <N>           instruction budget                    [default: 8000000]
+    --scale <F>            workload scale factor                 [default: 1.0]
+    --json                 (run/asm) print the report as JSON
+";
+
+fn parse_opts(rest: &[String]) -> Result<RunOpts, CliError> {
+    let mut opts = RunOpts::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--manager" => opts.manager = ManagerArg::parse(&value("--manager")?)?,
+            "--budget" => {
+                opts.budget = value("--budget")?
+                    .parse()
+                    .map_err(|_| CliError("--budget must be an integer".into()))?;
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|_| CliError("--scale must be a number".into()))?;
+            }
+            "--json" => opts.json = true,
+            other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses `argv` (without the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// Returns usage errors for unknown commands/flags and missing operands.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some(command) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    let operand = || -> Result<String, CliError> {
+        argv.get(1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .ok_or_else(|| CliError(format!("`{command}` needs an operand\n\n{USAGE}")))
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => Ok(Command::Info),
+        "list" => Ok(Command::List {
+            suite: argv.get(1).cloned(),
+        }),
+        "run" => Ok(Command::Run { bench: operand()?, opts: parse_opts(&argv[2..])? }),
+        "compare" => Ok(Command::Compare { bench: operand()?, opts: parse_opts(&argv[2..])? }),
+        "timeline" => Ok(Command::Timeline { bench: operand()?, opts: parse_opts(&argv[2..])? }),
+        "asm" => Ok(Command::Asm { path: operand()?, opts: parse_opts(&argv[2..])? }),
+        "profile" => Ok(Command::Profile { bench: operand()?, opts: parse_opts(&argv[2..])? }),
+        other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        let c = parse(&argv("run gobmk")).unwrap();
+        assert_eq!(
+            c,
+            Command::Run { bench: "gobmk".into(), opts: RunOpts::default() }
+        );
+    }
+
+    #[test]
+    fn run_with_options() {
+        let c = parse(&argv("run namd --manager timeout --budget 1000 --scale 0.5")).unwrap();
+        match c {
+            Command::Run { bench, opts } => {
+                assert_eq!(bench, "namd");
+                assert_eq!(opts.manager, ManagerArg::Timeout);
+                assert_eq!(opts.budget, 1000);
+                assert!((opts.scale - 0.5).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn manager_aliases() {
+        assert_eq!(ManagerArg::parse("drowsy").unwrap(), ManagerArg::Drowsy);
+        assert_eq!(ManagerArg::parse("chop").unwrap(), ManagerArg::PowerChop);
+        assert_eq!(ManagerArg::parse("full-power").unwrap(), ManagerArg::Full);
+        assert_eq!(ManagerArg::parse("min").unwrap(), ManagerArg::Minimal);
+        assert!(ManagerArg::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn errors_on_missing_operand_and_bad_flags() {
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("run gobmk --bogus 1")).is_err());
+        assert!(parse(&argv("run gobmk --budget abc")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        match parse(&argv("run gcc --json")).unwrap() {
+            Command::Run { opts, .. } => assert!(opts.json),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_accepts_optional_suite() {
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List { suite: None });
+        assert_eq!(
+            parse(&argv("list mobile")).unwrap(),
+            Command::List { suite: Some("mobile".into()) }
+        );
+    }
+
+    #[test]
+    fn timeout_manager_uses_paper_cycles() {
+        match ManagerArg::Timeout.kind() {
+            powerchop::ManagerKind::TimeoutVpu { timeout_cycles } => {
+                assert_eq!(timeout_cycles, 20_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Command implementations.
+
+use std::collections::HashMap;
+
+use powerchop::{run_program, ManagerKind, RunConfig, RunReport};
+use powerchop_gisa::Program;
+use powerchop_uarch::cache::MlcWayState;
+use powerchop_uarch::config::{CoreConfig, CoreKind};
+use powerchop_workloads::{Benchmark, Scale, Suite};
+
+use crate::args::{Command, RunOpts, USAGE};
+use crate::CliError;
+
+/// Executes a parsed command.
+///
+/// # Errors
+///
+/// Propagates [`CliError`]s from lookups, I/O and guest execution.
+pub fn dispatch(command: Command) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Info => info(),
+        Command::List { suite } => list(suite.as_deref()),
+        Command::Run { bench, opts } => run_one(&bench, opts),
+        Command::Compare { bench, opts } => compare(&bench, opts),
+        Command::Timeline { bench, opts } => timeline(&bench, opts),
+        Command::Asm { path, opts } => run_asm(&path, opts),
+        Command::Profile { bench, opts } => profile_bench(&bench, opts),
+    }
+}
+
+fn suite_by_name(name: &str) -> Result<Suite, CliError> {
+    match name {
+        "spec-int" | "specint" => Ok(Suite::SpecInt),
+        "spec-fp" | "specfp" => Ok(Suite::SpecFp),
+        "parsec" => Ok(Suite::Parsec),
+        "mobile" | "mobilebench" => Ok(Suite::MobileBench),
+        other => Err(CliError(format!(
+            "unknown suite `{other}` (expected spec-int|spec-fp|parsec|mobile)"
+        ))),
+    }
+}
+
+fn benchmark(name: &str) -> Result<&'static Benchmark, CliError> {
+    powerchop_workloads::by_name(name).ok_or_else(|| {
+        CliError(format!("unknown benchmark `{name}` — try `powerchop-cli list`"))
+    })
+}
+
+fn config(kind: CoreKind, opts: RunOpts) -> RunConfig {
+    let mut cfg = RunConfig::for_kind(kind);
+    cfg.max_instructions = opts.budget;
+    cfg
+}
+
+fn list(suite: Option<&str>) -> Result<(), CliError> {
+    let filter = suite.map(suite_by_name).transpose()?;
+    println!("{:<14} {:<12} {:<7}", "benchmark", "suite", "core");
+    for b in powerchop_workloads::all() {
+        if filter.is_some_and(|s| s != b.suite()) {
+            continue;
+        }
+        println!("{:<14} {:<12} {:<7}", b.name(), b.suite().to_string(), b.core_kind());
+    }
+    Ok(())
+}
+
+fn info() -> Result<(), CliError> {
+    for cfg in [CoreConfig::server(), CoreConfig::mobile()] {
+        println!(
+            "{}: {}-wide issue, {}-lane VPU ({:.0}% area), {} KiB {}-way MLC ({:.0}% area), \
+             tournament BPU {}-entry BTB ({:.0}% area)",
+            cfg.kind,
+            cfg.issue_width,
+            cfg.simd_lanes,
+            100.0 * cfg.area.vpu,
+            cfg.mlc.size_kib,
+            cfg.mlc.ways,
+            100.0 * cfg.area.mlc,
+            cfg.bpu.large_btb_entries,
+            100.0 * cfg.area.bpu,
+        );
+    }
+    Ok(())
+}
+
+fn print_report(r: &RunReport) {
+    println!("program        {}", r.name);
+    println!("manager        {}", r.manager);
+    println!("core           {}", r.core_kind);
+    println!("instructions   {}", r.instructions);
+    println!("cycles         {}", r.cycles);
+    println!("IPC            {:.3}", r.ipc());
+    println!("avg power      {:.3} W", r.energy.avg_power_w);
+    println!("  leakage      {:.3} W", r.energy.leakage_power_w);
+    println!("  dynamic      {:.3} W", r.energy.dynamic_power_w);
+    println!("energy         {:.3} mJ", r.energy.total_j * 1e3);
+    println!("VPU gated      {:.1} %", 100.0 * r.gated.vpu_off_frac());
+    println!("BPU gated      {:.1} %", 100.0 * r.gated.bpu_off_frac());
+    println!("MLC way-gated  {:.1} %", 100.0 * r.gated.mlc_gated_frac());
+    println!(
+        "switches       {} (VPU {}, BPU {}, MLC {})",
+        r.switches.total(),
+        r.switches.vpu,
+        r.switches.bpu,
+        r.switches.mlc
+    );
+    if let (Some(pvt), Some(cde)) = (r.pvt, r.cde) {
+        println!(
+            "phases         {} decided ({} PVT lookups, {} misses, {} re-registered)",
+            cde.decided,
+            pvt.lookups,
+            pvt.misses(),
+            cde.reregistered
+        );
+    }
+}
+
+fn run_one(bench: &str, opts: RunOpts) -> Result<(), CliError> {
+    let b = benchmark(bench)?;
+    let cfg = config(b.core_kind(), opts);
+    let program = b.program(Scale(opts.scale));
+    let report = run_program(&program, opts.manager.kind(), &cfg)?;
+    if opts.json {
+        println!("{}", report_to_json(&report));
+    } else {
+        print_report(&report);
+    }
+    Ok(())
+}
+
+/// Serializes a run report to a flat JSON object (hand-rolled so the core
+/// crates stay dependency-free).
+#[must_use]
+pub fn report_to_json(r: &RunReport) -> String {
+    let mut out = String::from("{");
+    let mut field = |key: &str, value: String| {
+        if out.len() > 1 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{key}\":{value}"));
+    };
+    field("program", format!("\"{}\"", r.name));
+    field("manager", format!("\"{}\"", r.manager));
+    field("core", format!("\"{}\"", r.core_kind));
+    field("instructions", r.instructions.to_string());
+    field("cycles", r.cycles.to_string());
+    field("ipc", format!("{:.6}", r.ipc()));
+    field("avg_power_w", format!("{:.6}", r.energy.avg_power_w));
+    field("leakage_power_w", format!("{:.6}", r.energy.leakage_power_w));
+    field("dynamic_power_w", format!("{:.6}", r.energy.dynamic_power_w));
+    field("total_energy_j", format!("{:.9}", r.energy.total_j));
+    field("vpu_off_frac", format!("{:.6}", r.gated.vpu_off_frac()));
+    field("bpu_off_frac", format!("{:.6}", r.gated.bpu_off_frac()));
+    field("mlc_gated_frac", format!("{:.6}", r.gated.mlc_gated_frac()));
+    field("switches_vpu", r.switches.vpu.to_string());
+    field("switches_bpu", r.switches.bpu.to_string());
+    field("switches_mlc", r.switches.mlc.to_string());
+    field("branches", r.stats.branches.to_string());
+    field("mispredicts", r.stats.mispredicts.to_string());
+    field("mlc_accesses", r.stats.mlc_accesses.to_string());
+    field("mlc_hits", r.stats.mlc_hits.to_string());
+    field("vec_ops", r.stats.vec_ops.to_string());
+    field("vec_emulated", r.stats.vec_emulated.to_string());
+    if let Some(pvt) = r.pvt {
+        field("pvt_lookups", pvt.lookups.to_string());
+        field("pvt_misses", pvt.misses().to_string());
+    }
+    if let Some(cde) = r.cde {
+        field("phases_decided", cde.decided.to_string());
+    }
+    out.push('}');
+    out
+}
+
+fn compare(bench: &str, opts: RunOpts) -> Result<(), CliError> {
+    let b = benchmark(bench)?;
+    let cfg = config(b.core_kind(), opts);
+    let program = b.program(Scale(opts.scale));
+    let full = run_program(&program, ManagerKind::FullPower, &cfg)?;
+    let chop = run_program(&program, ManagerKind::PowerChop, &cfg)?;
+    println!("{bench} on the {} core:", b.core_kind());
+    println!("  IPC            {:.3} -> {:.3}", full.ipc(), chop.ipc());
+    println!(
+        "  power          {:.2} W -> {:.2} W ({:+.1} %)",
+        full.energy.avg_power_w,
+        chop.energy.avg_power_w,
+        -100.0 * chop.power_reduction_vs(&full)
+    );
+    println!(
+        "  leakage        {:.2} W -> {:.2} W ({:+.1} %)",
+        full.energy.leakage_power_w,
+        chop.energy.leakage_power_w,
+        -100.0 * chop.leakage_reduction_vs(&full)
+    );
+    println!("  slowdown       {:.2} %", 100.0 * chop.slowdown_vs(&full));
+    println!(
+        "  energy/instr   {:+.1} %",
+        -100.0 * chop.energy_reduction_vs(&full)
+    );
+    Ok(())
+}
+
+fn timeline(bench: &str, opts: RunOpts) -> Result<(), CliError> {
+    let b = benchmark(bench)?;
+    let mut cfg = config(b.core_kind(), opts);
+    cfg.record_windows = true;
+    let program = b.program(Scale(opts.scale));
+    let report = run_program(&program, ManagerKind::PowerChop, &cfg)?;
+    print_timeline(&report);
+    Ok(())
+}
+
+fn print_timeline(report: &RunReport) {
+    let mut names: HashMap<_, char> = HashMap::new();
+    let mut next = b'A';
+    let line = |f: &dyn Fn(&powerchop::managers::WindowRecord) -> char, tag: &str| {
+        print!("{tag:<10}");
+        for w in &report.windows {
+            print!("{}", f(w));
+        }
+        println!();
+    };
+    print!("{:<10}", "phase");
+    for w in &report.windows {
+        let c = *names.entry(w.signature).or_insert_with(|| {
+            let c = next as char;
+            next = (next + 1).min(b'z');
+            c
+        });
+        print!("{c}");
+    }
+    println!();
+    line(&|w| if w.policy.vpu_on { '#' } else { '.' }, "VPU");
+    line(&|w| if w.policy.bpu_on { '#' } else { '.' }, "BPU");
+    line(
+        &|w| match w.policy.mlc {
+            MlcWayState::Full => '8',
+            MlcWayState::Half => '4',
+            MlcWayState::Quarter => '2',
+            MlcWayState::One => '1',
+        },
+        "MLC",
+    );
+    println!(
+        "\n{} windows, {} phases, {} policy switches ('#' on, '.' gated, MLC digit = ways)",
+        report.windows.len(),
+        names.len(),
+        report.switches.total()
+    );
+}
+
+fn run_asm(path: &str, opts: RunOpts) -> Result<(), CliError> {
+    let source = std::fs::read_to_string(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program");
+    let program: Program = powerchop_gisa::asm::assemble(name, &source)?;
+    let cfg = config(CoreKind::Server, opts);
+    let report = run_program(&program, opts.manager.kind(), &cfg)?;
+    if opts.json {
+        println!("{}", report_to_json(&report));
+    } else {
+        print_report(&report);
+    }
+    Ok(())
+}
+
+fn profile_bench(bench: &str, opts: RunOpts) -> Result<(), CliError> {
+    use powerchop_gisa::InstClass;
+    let b = benchmark(bench)?;
+    let program = b.program(Scale(opts.scale));
+    let prof = powerchop_workloads::stats::profile(&program, opts.budget)?;
+    println!("{bench} ({} suite, {} core):", b.suite(), b.core_kind());
+    println!("  instructions   {}", prof.instructions);
+    println!("  completed      {}", prof.completed);
+    println!("  vector share   {:.2} %", 100.0 * prof.vector_share());
+    println!("  branch share   {:.2} %", 100.0 * prof.branch_share());
+    println!("  memory share   {:.2} %", 100.0 * prof.memory_share());
+    println!("  data span      {} KiB", prof.touched_span_bytes / 1024);
+    println!(
+        "  sparse-V shards {:.1} % (0 < V <= 4 per 1000 insts)",
+        100.0 * prof.sparse_vector_shard_fraction()
+    );
+    let mut classes: Vec<_> = prof.class_counts.iter().collect();
+    classes.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+    println!("  instruction mix:");
+    for (class, n) in classes {
+        println!(
+            "    {:<10} {:>6.2} % ({n})",
+            format!("{class:?}"),
+            100.0 * *n as f64 / prof.instructions as f64
+        );
+    }
+    let _ = InstClass::IntAlu; // anchor the import
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_parse() {
+        assert_eq!(suite_by_name("spec-int").unwrap(), Suite::SpecInt);
+        assert_eq!(suite_by_name("mobilebench").unwrap(), Suite::MobileBench);
+        assert!(suite_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn benchmark_lookup_errors_are_helpful() {
+        let err = benchmark("doom").unwrap_err();
+        assert!(err.to_string().contains("powerchop-cli list"));
+        assert!(benchmark("gobmk").is_ok());
+    }
+
+    #[test]
+    fn list_and_info_do_not_error() {
+        list(None).unwrap();
+        list(Some("parsec")).unwrap();
+        info().unwrap();
+    }
+
+    #[test]
+    fn run_compare_timeline_work_end_to_end() {
+        let opts = RunOpts { budget: 300_000, scale: 0.05, ..RunOpts::default() };
+        run_one("hmmer", opts).unwrap();
+        compare("hmmer", opts).unwrap();
+        timeline("hmmer", opts).unwrap();
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let b = benchmark("hmmer").unwrap();
+        let opts = RunOpts { budget: 200_000, scale: 0.05, ..RunOpts::default() };
+        let cfg = config(b.core_kind(), opts);
+        let program = b.program(Scale(opts.scale));
+        let report = run_program(&program, opts.manager.kind(), &cfg).unwrap();
+        let json = report_to_json(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in ["\"ipc\"", "\"pvt_misses\"", "\"phases_decided\"", "\"vpu_off_frac\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // No trailing commas and keys are comma-separated.
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn profile_command_prints_mix() {
+        let opts = RunOpts { budget: 200_000, scale: 0.05, ..RunOpts::default() };
+        profile_bench("namd", opts).unwrap();
+        assert!(profile_bench("doom", opts).is_err());
+    }
+
+    #[test]
+    fn asm_command_assembles_and_runs() {
+        let dir = std::env::temp_dir().join("powerchop-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("loop.s");
+        std::fs::write(
+            &path,
+            "li r0, 0\nli r1, 50000\ntop:\naddi r0, r0, 1\nblt r0, r1, top\nhalt\n",
+        )
+        .unwrap();
+        run_asm(path.to_str().unwrap(), RunOpts::default()).unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+//! `powerchop-cli`: command-line front end for the PowerChop reproduction.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = powerchop_cli::run(&argv) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

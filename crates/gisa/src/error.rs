@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or executing guest-ISA programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GisaError {
+    /// A register index was outside the architectural register file.
+    InvalidRegister {
+        /// The register file that was indexed (`"int"`, `"fp"` or `"vec"`).
+        kind: &'static str,
+        /// The out-of-range index.
+        index: u8,
+    },
+    /// A label was referenced by a branch but never bound to a location.
+    UnboundLabel(usize),
+    /// A label was bound more than once.
+    RebindLabel(usize),
+    /// The program counter left the program's instruction range.
+    PcOutOfRange {
+        /// The offending program counter.
+        pc: u64,
+        /// The number of instructions in the program.
+        len: usize,
+    },
+    /// A `ret` executed with an empty call stack.
+    ReturnWithoutCall,
+    /// The program contains no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for GisaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GisaError::InvalidRegister { kind, index } => {
+                write!(f, "invalid {kind} register index {index}")
+            }
+            GisaError::UnboundLabel(id) => write!(f, "label {id} referenced but never bound"),
+            GisaError::RebindLabel(id) => write!(f, "label {id} bound more than once"),
+            GisaError::PcOutOfRange { pc, len } => {
+                write!(f, "program counter {pc} outside program of {len} instructions")
+            }
+            GisaError::ReturnWithoutCall => write!(f, "ret executed with an empty call stack"),
+            GisaError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for GisaError {}

@@ -1,0 +1,332 @@
+use std::fmt;
+
+use crate::program::Pc;
+use crate::reg::{FReg, Reg, VReg};
+
+/// Number of 64-bit lanes in an architectural vector register.
+///
+/// The microarchitecture may execute fewer lanes per cycle (the mobile core
+/// in Table I has a 2-wide SIMD unit); that is a timing property modelled in
+/// `powerchop-uarch`, not an architectural one.
+pub const VLEN: usize = 4;
+
+/// Branch comparison condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if the operands are equal.
+    Eq,
+    /// Branch if the operands differ.
+    Ne,
+    /// Branch if the first operand is (signed) less than the second.
+    Lt,
+    /// Branch if the first operand is (signed) greater than or equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two integer operands.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A guest-ISA instruction.
+///
+/// The ISA is a load/store register machine. All integer arithmetic is
+/// two's-complement wrapping on 64 bits; floating point is IEEE `f64`;
+/// vector operations act lane-wise on [`VLEN`] 64-bit integer lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // field meanings are given by each variant's doc line
+pub enum Inst {
+    // ---- integer ----
+    /// `rd <- imm`
+    Li { rd: Reg, imm: i64 },
+    /// `rd <- rs + imm`
+    Addi { rd: Reg, rs: Reg, imm: i64 },
+    /// `rd <- rs + rt`
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs - rt`
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs * rt` (wrapping)
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs & rt`
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs | rt`
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs ^ rt`
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs << (rt & 63)`
+    Shl { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs >> (rt & 63)` (arithmetic)
+    Shr { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- (rs < rt) ? 1 : 0`
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs % rt` (0 when `rt == 0`)
+    Rem { rd: Reg, rs: Reg, rt: Reg },
+
+    // ---- floating point ----
+    /// `fd <- imm`
+    Fli { fd: FReg, imm: f64 },
+    /// `fd <- fs + ft`
+    Fadd { fd: FReg, fs: FReg, ft: FReg },
+    /// `fd <- fs * ft`
+    Fmul { fd: FReg, fs: FReg, ft: FReg },
+    /// `fd <- fs * ft + fa` (fused multiply-add)
+    Fmadd { fd: FReg, fs: FReg, ft: FReg, fa: FReg },
+    /// `fd <- (f64) rs`
+    Fcvt { fd: FReg, rs: Reg },
+
+    // ---- vector (SIMD) ----
+    /// Lane-wise `vd <- vs + vt`.
+    Vadd { vd: VReg, vs: VReg, vt: VReg },
+    /// Lane-wise `vd <- vs * vt` (wrapping).
+    Vmul { vd: VReg, vs: VReg, vt: VReg },
+    /// Lane-wise `vd <- vs * vt + va` (wrapping multiply-add).
+    Vmadd { vd: VReg, vs: VReg, vt: VReg, va: VReg },
+    /// Broadcast `rs` into every lane of `vd`.
+    Vsplat { vd: VReg, rs: Reg },
+    /// Horizontal sum of `vs` into `rd` (wrapping).
+    Vredsum { rd: Reg, vs: VReg },
+    /// Vector load of [`VLEN`] contiguous 64-bit lanes from `rs + imm`.
+    Vload { vd: VReg, rs: Reg, imm: i64 },
+    /// Vector store of [`VLEN`] contiguous 64-bit lanes to `rs + imm`.
+    Vstore { vs: VReg, rs: Reg, imm: i64 },
+
+    // ---- memory ----
+    /// `rd <- mem[rs + imm]` (64-bit).
+    Load { rd: Reg, rs: Reg, imm: i64 },
+    /// `mem[rbase + imm] <- rs` (64-bit).
+    Store { rs: Reg, rbase: Reg, imm: i64 },
+
+    // ---- control flow ----
+    /// Conditional branch to `target` when `cond(rs, rt)` holds.
+    Branch { cond: Cond, rs: Reg, rt: Reg, target: Pc },
+    /// Unconditional jump to `target`.
+    Jmp { target: Pc },
+    /// Indirect jump to the address held in `rs` (interpreted as a `Pc`).
+    Jr { rs: Reg },
+    /// Direct call: pushes the return address and jumps to `target`.
+    Call { target: Pc },
+    /// Return to the most recent call site.
+    Ret,
+    /// Stop execution.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Coarse instruction classes used by the timing and power models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InstClass {
+    /// Simple integer ALU operation.
+    IntAlu,
+    /// Integer multiply/remainder.
+    IntMul,
+    /// Floating-point add/convert.
+    FpAlu,
+    /// Floating-point multiply / fused multiply-add.
+    FpMul,
+    /// Vector arithmetic executed on the VPU.
+    VecAlu,
+    /// Vector memory access executed on the VPU + cache hierarchy.
+    VecMem,
+    /// Scalar load.
+    Load,
+    /// Scalar store.
+    Store,
+    /// Conditional branch (consults the BPU).
+    Branch,
+    /// Unconditional control transfer (jump/call/ret; uses the BTB only).
+    Jump,
+    /// Everything else (`nop`, `halt`).
+    Other,
+}
+
+impl InstClass {
+    /// Whether this class executes on the vector processing unit.
+    #[must_use]
+    pub fn uses_vpu(self) -> bool {
+        matches!(self, InstClass::VecAlu | InstClass::VecMem)
+    }
+
+    /// Whether this class accesses data memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            InstClass::Load | InstClass::Store | InstClass::VecMem
+        )
+    }
+}
+
+impl Inst {
+    /// Returns the coarse class of this instruction.
+    #[must_use]
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Li { .. }
+            | Inst::Addi { .. }
+            | Inst::Add { .. }
+            | Inst::Sub { .. }
+            | Inst::And { .. }
+            | Inst::Or { .. }
+            | Inst::Xor { .. }
+            | Inst::Shl { .. }
+            | Inst::Shr { .. }
+            | Inst::Slt { .. } => InstClass::IntAlu,
+            Inst::Mul { .. } | Inst::Rem { .. } => InstClass::IntMul,
+            Inst::Fli { .. } | Inst::Fadd { .. } | Inst::Fcvt { .. } => InstClass::FpAlu,
+            Inst::Fmul { .. } | Inst::Fmadd { .. } => InstClass::FpMul,
+            Inst::Vadd { .. }
+            | Inst::Vmul { .. }
+            | Inst::Vmadd { .. }
+            | Inst::Vsplat { .. }
+            | Inst::Vredsum { .. } => InstClass::VecAlu,
+            Inst::Vload { .. } | Inst::Vstore { .. } => InstClass::VecMem,
+            Inst::Load { .. } => InstClass::Load,
+            Inst::Store { .. } => InstClass::Store,
+            Inst::Branch { .. } => InstClass::Branch,
+            Inst::Jmp { .. } | Inst::Jr { .. } | Inst::Call { .. } | Inst::Ret => InstClass::Jump,
+            Inst::Halt | Inst::Nop => InstClass::Other,
+        }
+    }
+
+    /// Whether this instruction ends a basic block (any control transfer
+    /// or `halt`).
+    #[must_use]
+    pub fn ends_block(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. }
+                | Inst::Jmp { .. }
+                | Inst::Jr { .. }
+                | Inst::Call { .. }
+                | Inst::Ret
+                | Inst::Halt
+        )
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Inst::Addi { rd, rs, imm } => write!(f, "addi {rd}, {rs}, {imm}"),
+            Inst::Add { rd, rs, rt } => write!(f, "add {rd}, {rs}, {rt}"),
+            Inst::Sub { rd, rs, rt } => write!(f, "sub {rd}, {rs}, {rt}"),
+            Inst::Mul { rd, rs, rt } => write!(f, "mul {rd}, {rs}, {rt}"),
+            Inst::And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Inst::Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Inst::Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Inst::Shl { rd, rs, rt } => write!(f, "shl {rd}, {rs}, {rt}"),
+            Inst::Shr { rd, rs, rt } => write!(f, "shr {rd}, {rs}, {rt}"),
+            Inst::Slt { rd, rs, rt } => write!(f, "slt {rd}, {rs}, {rt}"),
+            Inst::Rem { rd, rs, rt } => write!(f, "rem {rd}, {rs}, {rt}"),
+            Inst::Fli { fd, imm } => write!(f, "fli {fd}, {imm}"),
+            Inst::Fadd { fd, fs, ft } => write!(f, "fadd {fd}, {fs}, {ft}"),
+            Inst::Fmul { fd, fs, ft } => write!(f, "fmul {fd}, {fs}, {ft}"),
+            Inst::Fmadd { fd, fs, ft, fa } => write!(f, "fmadd {fd}, {fs}, {ft}, {fa}"),
+            Inst::Fcvt { fd, rs } => write!(f, "fcvt {fd}, {rs}"),
+            Inst::Vadd { vd, vs, vt } => write!(f, "vadd {vd}, {vs}, {vt}"),
+            Inst::Vmul { vd, vs, vt } => write!(f, "vmul {vd}, {vs}, {vt}"),
+            Inst::Vmadd { vd, vs, vt, va } => write!(f, "vmadd {vd}, {vs}, {vt}, {va}"),
+            Inst::Vsplat { vd, rs } => write!(f, "vsplat {vd}, {rs}"),
+            Inst::Vredsum { rd, vs } => write!(f, "vredsum {rd}, {vs}"),
+            Inst::Vload { vd, rs, imm } => write!(f, "vload {vd}, [{rs}+{imm}]"),
+            Inst::Vstore { vs, rs, imm } => write!(f, "vstore {vs}, [{rs}+{imm}]"),
+            Inst::Load { rd, rs, imm } => write!(f, "load {rd}, [{rs}+{imm}]"),
+            Inst::Store { rs, rbase, imm } => write!(f, "store {rs}, [{rbase}+{imm}]"),
+            Inst::Branch { cond, rs, rt, target } => {
+                write!(f, "b{cond} {rs}, {rt}, {target}")
+            }
+            Inst::Jmp { target } => write!(f, "jmp {target}"),
+            Inst::Jr { rs } => write!(f, "jr {rs}"),
+            Inst::Call { target } => write!(f, "call {target}"),
+            Inst::Ret => f.write_str("ret"),
+            Inst::Halt => f.write_str("halt"),
+            Inst::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn cond_eval_covers_all_conditions() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(!Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(!Cond::Ne.eval(3, 3));
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(!Cond::Lt.eval(0, 0));
+        assert!(Cond::Ge.eval(0, 0));
+        assert!(!Cond::Ge.eval(-5, 0));
+    }
+
+    #[test]
+    fn class_assigns_vector_ops_to_vpu() {
+        let v = VReg::new(0).unwrap();
+        assert_eq!(Inst::Vadd { vd: v, vs: v, vt: v }.class(), InstClass::VecAlu);
+        assert_eq!(
+            Inst::Vload { vd: v, rs: r(0), imm: 0 }.class(),
+            InstClass::VecMem
+        );
+        assert!(Inst::Vadd { vd: v, vs: v, vt: v }.class().uses_vpu());
+        assert!(!Inst::Add { rd: r(0), rs: r(1), rt: r(2) }.class().uses_vpu());
+    }
+
+    #[test]
+    fn mem_classes_are_memory_ops() {
+        assert!(InstClass::Load.is_mem());
+        assert!(InstClass::Store.is_mem());
+        assert!(InstClass::VecMem.is_mem());
+        assert!(!InstClass::Branch.is_mem());
+    }
+
+    #[test]
+    fn control_flow_ends_blocks() {
+        assert!(Inst::Halt.ends_block());
+        assert!(Inst::Ret.ends_block());
+        assert!(Inst::Jmp { target: Pc(0) }.ends_block());
+        assert!(!Inst::Nop.ends_block());
+        assert!(!Inst::Li { rd: r(0), imm: 1 }.ends_block());
+    }
+
+    #[test]
+    fn display_is_assembler_like() {
+        let i = Inst::Branch {
+            cond: Cond::Lt,
+            rs: r(1),
+            rt: r(2),
+            target: Pc(42),
+        };
+        assert_eq!(i.to_string(), "blt r1, r2, @42");
+        assert_eq!(Inst::Nop.to_string(), "nop");
+    }
+}

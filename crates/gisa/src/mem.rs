@@ -1,0 +1,175 @@
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse, paged, byte-addressable 64-bit memory.
+///
+/// Pages are allocated on first touch (reads of untouched memory return
+/// zero), so workloads may use widely separated address regions without
+/// cost. This models guest physical memory; cache behaviour is layered on
+/// top by `powerchop-uarch`.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop_gisa::Memory;
+///
+/// let mut mem = Memory::new();
+/// assert_eq!(mem.read_u64(0xdead_beef), 0);
+/// mem.write_u64(0xdead_beef, 42);
+/// assert_eq!(mem.read_u64(0xdead_beef), 42);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of pages that have been touched by a write.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & OFFSET_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & OFFSET_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian 64-bit word (any alignment).
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        // Fast path: the word lies within one page.
+        let offset = (addr & OFFSET_MASK) as usize;
+        if offset + 8 <= PAGE_SIZE {
+            return match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(page) => {
+                    u64::from_le_bytes(page[offset..offset + 8].try_into().expect("8 bytes"))
+                }
+                None => 0,
+            };
+        }
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian 64-bit word (any alignment).
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        let offset = (addr & OFFSET_MASK) as usize;
+        let bytes = value.to_le_bytes();
+        if offset + 8 <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[offset..offset + 8].copy_from_slice(&bytes);
+            return;
+        }
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads a 64-bit word and reinterprets it as an `i64`.
+    #[must_use]
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Writes an `i64` as a 64-bit word.
+    pub fn write_i64(&mut self, addr: u64, value: i64) {
+        self.write_u64(addr, value as u64);
+    }
+
+    /// Writes a byte slice starting at `base`.
+    pub fn write_bytes(&mut self, base: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(base.wrapping_add(i as u64), *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u64(u64::MAX - 16), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x40, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(0x40), 0x0102_0304_0506_0708);
+        // little-endian byte order
+        assert_eq!(mem.read_u8(0x40), 0x08);
+        assert_eq!(mem.read_u8(0x47), 0x01);
+    }
+
+    #[test]
+    fn cross_page_word_round_trip() {
+        let mut mem = Memory::new();
+        let addr = (1 << 12) - 3; // straddles the first page boundary
+        mem.write_u64(addr, 0xdead_beef_cafe_f00d);
+        assert_eq!(mem.read_u64(addr), 0xdead_beef_cafe_f00d);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn i64_round_trip_preserves_sign() {
+        let mut mem = Memory::new();
+        mem.write_i64(0x100, -12345);
+        assert_eq!(mem.read_i64(0x100), -12345);
+    }
+
+    #[test]
+    fn write_bytes_places_each_byte() {
+        let mut mem = Memory::new();
+        mem.write_bytes(10, &[1, 2, 3]);
+        assert_eq!(mem.read_u8(10), 1);
+        assert_eq!(mem.read_u8(11), 2);
+        assert_eq!(mem.read_u8(12), 3);
+        assert_eq!(mem.read_u8(13), 0);
+    }
+
+    #[test]
+    fn distinct_pages_do_not_alias() {
+        let mut mem = Memory::new();
+        mem.write_u64(0, 1);
+        mem.write_u64(1 << 12, 2);
+        mem.write_u64(1 << 20, 3);
+        assert_eq!(mem.read_u64(0), 1);
+        assert_eq!(mem.read_u64(1 << 12), 2);
+        assert_eq!(mem.read_u64(1 << 20), 3);
+        assert_eq!(mem.resident_pages(), 3);
+    }
+}

@@ -1,0 +1,429 @@
+use std::fmt;
+
+use crate::inst::{Cond, Inst};
+use crate::reg::{FReg, Reg, VReg};
+use crate::GisaError;
+
+/// A guest program counter: an index into a [`Program`]'s instructions.
+///
+/// The binary-translation layer identifies translations by the lower 32 bits
+/// of their head PC (paper §IV-B2), so the PC is 32 bits wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub u32);
+
+impl Pc {
+    /// The PC of the instruction following this one (fall-through).
+    #[must_use]
+    pub fn next(self) -> Pc {
+        Pc(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<Pc> for u32 {
+    fn from(pc: Pc) -> u32 {
+        pc.0
+    }
+}
+
+/// A forward-referencable code location handed out by [`ProgramBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An executable guest program: instructions, an entry point, and an
+/// initial data image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    entry: Pc,
+    data: Vec<(u64, Vec<u8>)>,
+}
+
+impl Program {
+    /// The program's human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions (never true for built
+    /// programs; see [`ProgramBuilder::build`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The entry program counter.
+    #[must_use]
+    pub fn entry(&self) -> Pc {
+        self.entry
+    }
+
+    /// The instruction at `pc`, or `None` when `pc` is out of range.
+    #[must_use]
+    pub fn inst(&self, pc: Pc) -> Option<&Inst> {
+        self.insts.get(pc.0 as usize)
+    }
+
+    /// All instructions, indexed by PC.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The initial data image as `(base address, bytes)` chunks.
+    #[must_use]
+    pub fn data(&self) -> &[(u64, Vec<u8>)] {
+        &self.data
+    }
+
+    /// Writes the initial data image into `mem`.
+    pub fn init_memory(&self, mem: &mut crate::Memory) {
+        for (base, bytes) in &self.data {
+            mem.write_bytes(*base, bytes);
+        }
+    }
+}
+
+/// Assembler-style builder for [`Program`]s.
+///
+/// Instruction-emitting methods return `&mut Self` so straight-line code can
+/// be chained; control flow uses [`Label`]s, which may be referenced before
+/// they are bound.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop_gisa::{ProgramBuilder, Reg};
+///
+/// # fn main() -> Result<(), powerchop_gisa::GisaError> {
+/// let r0 = Reg::new(0)?;
+/// let mut b = ProgramBuilder::new("demo");
+/// let skip = b.label();
+/// b.li(r0, 1);
+/// b.jmp(skip);
+/// b.li(r0, 2); // skipped
+/// b.bind(skip)?;
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: Vec<Option<Pc>>,
+    patches: Vec<(usize, Label)>,
+    data: Vec<(u64, Vec<u8>)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// The PC the next emitted instruction will occupy.
+    #[must_use]
+    pub fn here(&self) -> Pc {
+        Pc(self.insts.len() as u32)
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GisaError::RebindLabel`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), GisaError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(GisaError::RebindLabel(label.0));
+        }
+        *slot = Some(Pc(self.insts.len() as u32));
+        Ok(())
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn bind_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l).expect("freshly created label cannot be bound");
+        l
+    }
+
+    /// Emits a raw instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Adds `bytes` at `base` to the initial data image.
+    pub fn data(&mut self, base: u64, bytes: impl Into<Vec<u8>>) -> &mut Self {
+        self.data.push((base, bytes.into()));
+        self
+    }
+
+    /// Adds little-endian 64-bit `words` at `base` to the initial data image.
+    pub fn data_u64s(&mut self, base: u64, words: &[u64]) -> &mut Self {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data(base, bytes)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GisaError::EmptyProgram`] for an instruction-less program
+    /// and [`GisaError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn build(mut self) -> Result<Program, GisaError> {
+        if self.insts.is_empty() {
+            return Err(GisaError::EmptyProgram);
+        }
+        for (index, label) in &self.patches {
+            let target = self.labels[label.0].ok_or(GisaError::UnboundLabel(label.0))?;
+            match &mut self.insts[*index] {
+                Inst::Branch { target: t, .. }
+                | Inst::Jmp { target: t }
+                | Inst::Call { target: t } => *t = target,
+                other => unreachable!("patch recorded for non-control instruction {other}"),
+            }
+        }
+        Ok(Program {
+            name: self.name,
+            insts: self.insts,
+            entry: Pc(0),
+            data: self.data,
+        })
+    }
+
+    fn patch_here(&mut self, label: Label) {
+        self.patches.push((self.insts.len(), label));
+    }
+}
+
+/// Generates a builder method that emits one instruction variant.
+macro_rules! emit {
+    ($(#[$doc:meta])* $method:ident ( $($arg:ident : $ty:ty),* ) => $variant:ident { $($field:ident : $value:expr),* }) => {
+        $(#[$doc])*
+        pub fn $method(&mut self, $($arg: $ty),*) -> &mut Self {
+            self.inst(Inst::$variant { $($field: $value),* })
+        }
+    };
+}
+
+impl ProgramBuilder {
+    emit!(/// Emits `li rd, imm`.
+        li(rd: Reg, imm: i64) => Li { rd: rd, imm: imm });
+    emit!(/// Emits `addi rd, rs, imm`.
+        addi(rd: Reg, rs: Reg, imm: i64) => Addi { rd: rd, rs: rs, imm: imm });
+    emit!(/// Emits `add rd, rs, rt`.
+        add(rd: Reg, rs: Reg, rt: Reg) => Add { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `sub rd, rs, rt`.
+        sub(rd: Reg, rs: Reg, rt: Reg) => Sub { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `mul rd, rs, rt`.
+        mul(rd: Reg, rs: Reg, rt: Reg) => Mul { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `and rd, rs, rt`.
+        and(rd: Reg, rs: Reg, rt: Reg) => And { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `or rd, rs, rt`.
+        or(rd: Reg, rs: Reg, rt: Reg) => Or { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `xor rd, rs, rt`.
+        xor(rd: Reg, rs: Reg, rt: Reg) => Xor { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `shl rd, rs, rt`.
+        shl(rd: Reg, rs: Reg, rt: Reg) => Shl { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `shr rd, rs, rt`.
+        shr(rd: Reg, rs: Reg, rt: Reg) => Shr { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `slt rd, rs, rt`.
+        slt(rd: Reg, rs: Reg, rt: Reg) => Slt { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `rem rd, rs, rt`.
+        rem(rd: Reg, rs: Reg, rt: Reg) => Rem { rd: rd, rs: rs, rt: rt });
+    emit!(/// Emits `fli fd, imm`.
+        fli(fd: FReg, imm: f64) => Fli { fd: fd, imm: imm });
+    emit!(/// Emits `fadd fd, fs, ft`.
+        fadd(fd: FReg, fs: FReg, ft: FReg) => Fadd { fd: fd, fs: fs, ft: ft });
+    emit!(/// Emits `fmul fd, fs, ft`.
+        fmul(fd: FReg, fs: FReg, ft: FReg) => Fmul { fd: fd, fs: fs, ft: ft });
+    emit!(/// Emits `fmadd fd, fs, ft, fa`.
+        fmadd(fd: FReg, fs: FReg, ft: FReg, fa: FReg) => Fmadd { fd: fd, fs: fs, ft: ft, fa: fa });
+    emit!(/// Emits `fcvt fd, rs`.
+        fcvt(fd: FReg, rs: Reg) => Fcvt { fd: fd, rs: rs });
+    emit!(/// Emits `vadd vd, vs, vt`.
+        vadd(vd: VReg, vs: VReg, vt: VReg) => Vadd { vd: vd, vs: vs, vt: vt });
+    emit!(/// Emits `vmul vd, vs, vt`.
+        vmul(vd: VReg, vs: VReg, vt: VReg) => Vmul { vd: vd, vs: vs, vt: vt });
+    emit!(/// Emits `vmadd vd, vs, vt, va`.
+        vmadd(vd: VReg, vs: VReg, vt: VReg, va: VReg) => Vmadd { vd: vd, vs: vs, vt: vt, va: va });
+    emit!(/// Emits `vsplat vd, rs`.
+        vsplat(vd: VReg, rs: Reg) => Vsplat { vd: vd, rs: rs });
+    emit!(/// Emits `vredsum rd, vs`.
+        vredsum(rd: Reg, vs: VReg) => Vredsum { rd: rd, vs: vs });
+    emit!(/// Emits `vload vd, [rs+imm]`.
+        vload(vd: VReg, rs: Reg, imm: i64) => Vload { vd: vd, rs: rs, imm: imm });
+    emit!(/// Emits `vstore vs, [rs+imm]`.
+        vstore(vs: VReg, rs: Reg, imm: i64) => Vstore { vs: vs, rs: rs, imm: imm });
+    emit!(/// Emits `load rd, [rs+imm]`.
+        load(rd: Reg, rs: Reg, imm: i64) => Load { rd: rd, rs: rs, imm: imm });
+    emit!(/// Emits `store rs, [rbase+imm]`.
+        store(rs: Reg, rbase: Reg, imm: i64) => Store { rs: rs, rbase: rbase, imm: imm });
+    emit!(/// Emits `jr rs`.
+        jr(rs: Reg) => Jr { rs: rs });
+
+    /// Emits a conditional branch to `target`.
+    pub fn branch(&mut self, cond: Cond, rs: Reg, rt: Reg, target: Label) -> &mut Self {
+        self.patch_here(target);
+        self.inst(Inst::Branch { cond, rs, rt, target: Pc(u32::MAX) })
+    }
+
+    /// Emits `beq rs, rt, target`.
+    pub fn beq(&mut self, rs: Reg, rt: Reg, target: Label) -> &mut Self {
+        self.branch(Cond::Eq, rs, rt, target)
+    }
+
+    /// Emits `bne rs, rt, target`.
+    pub fn bne(&mut self, rs: Reg, rt: Reg, target: Label) -> &mut Self {
+        self.branch(Cond::Ne, rs, rt, target)
+    }
+
+    /// Emits `blt rs, rt, target`.
+    pub fn blt(&mut self, rs: Reg, rt: Reg, target: Label) -> &mut Self {
+        self.branch(Cond::Lt, rs, rt, target)
+    }
+
+    /// Emits `bge rs, rt, target`.
+    pub fn bge(&mut self, rs: Reg, rt: Reg, target: Label) -> &mut Self {
+        self.branch(Cond::Ge, rs, rt, target)
+    }
+
+    /// Emits `jmp target`.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.patch_here(target);
+        self.inst(Inst::Jmp { target: Pc(u32::MAX) })
+    }
+
+    /// Emits `call target`.
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.patch_here(target);
+        self.inst(Inst::Call { target: Pc(u32::MAX) })
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.inst(Inst::Ret)
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.inst(Inst::Halt)
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.inst(Inst::Nop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert_eq!(
+            ProgramBuilder::new("x").build().unwrap_err(),
+            GisaError::EmptyProgram
+        );
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut b = ProgramBuilder::new("fwd");
+        let end = b.label();
+        b.jmp(end);
+        b.nop();
+        b.bind(end).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(Pc(0)), Some(&Inst::Jmp { target: Pc(2) }));
+    }
+
+    #[test]
+    fn backward_labels_resolve() {
+        let mut b = ProgramBuilder::new("bwd");
+        let top = b.bind_label();
+        b.addi(r(0), r(0), 1);
+        b.blt(r(0), r(1), top);
+        b.halt();
+        let p = b.build().unwrap();
+        match p.inst(Pc(1)) {
+            Some(Inst::Branch { target, .. }) => assert_eq!(*target, Pc(0)),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new("unbound");
+        let nowhere = b.label();
+        b.jmp(nowhere);
+        assert_eq!(b.build().unwrap_err(), GisaError::UnboundLabel(0));
+    }
+
+    #[test]
+    fn rebinding_label_is_an_error() {
+        let mut b = ProgramBuilder::new("rebind");
+        let l = b.bind_label();
+        b.nop();
+        assert_eq!(b.bind(l).unwrap_err(), GisaError::RebindLabel(0));
+    }
+
+    #[test]
+    fn data_image_round_trips_through_memory() {
+        let mut b = ProgramBuilder::new("data");
+        b.data_u64s(0x1000, &[1, 2, 3]);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = crate::Memory::new();
+        p.init_memory(&mut mem);
+        assert_eq!(mem.read_u64(0x1000), 1);
+        assert_eq!(mem.read_u64(0x1008), 2);
+        assert_eq!(mem.read_u64(0x1010), 3);
+    }
+
+    #[test]
+    fn here_tracks_emission() {
+        let mut b = ProgramBuilder::new("here");
+        assert_eq!(b.here(), Pc(0));
+        b.nop().nop();
+        assert_eq!(b.here(), Pc(2));
+    }
+}

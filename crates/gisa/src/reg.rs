@@ -1,0 +1,125 @@
+use std::fmt;
+
+use crate::GisaError;
+
+/// Number of architectural integer registers.
+pub(crate) const NUM_INT_REGS: u8 = 32;
+/// Number of architectural floating-point registers.
+pub(crate) const NUM_FP_REGS: u8 = 16;
+/// Number of architectural vector registers.
+pub(crate) const NUM_VEC_REGS: u8 = 16;
+
+macro_rules! register_newtype {
+    ($(#[$doc:meta])* $name:ident, $kind:literal, $max:expr, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Creates a register from an architectural index.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`GisaError::InvalidRegister`] if `index` is outside
+            /// the register file.
+            pub fn new(index: u8) -> Result<Self, GisaError> {
+                if index < $max {
+                    Ok(Self(index))
+                } else {
+                    Err(GisaError::InvalidRegister { kind: $kind, index })
+                }
+            }
+
+            /// Returns the architectural index of this register.
+            #[must_use]
+            pub fn index(self) -> usize {
+                usize::from(self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl TryFrom<u8> for $name {
+            type Error = GisaError;
+
+            fn try_from(index: u8) -> Result<Self, GisaError> {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+register_newtype!(
+    /// An integer register (`r0`–`r31`).
+    Reg,
+    "int",
+    NUM_INT_REGS,
+    "r"
+);
+
+register_newtype!(
+    /// A floating-point register (`f0`–`f15`).
+    FReg,
+    "fp",
+    NUM_FP_REGS,
+    "f"
+);
+
+register_newtype!(
+    /// A vector register (`v0`–`v15`), [`crate::VLEN`] 64-bit lanes wide.
+    VReg,
+    "vec",
+    NUM_VEC_REGS,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_indices_round_trip() {
+        for i in 0..NUM_INT_REGS {
+            assert_eq!(Reg::new(i).unwrap().index(), usize::from(i));
+        }
+        for i in 0..NUM_FP_REGS {
+            assert_eq!(FReg::new(i).unwrap().index(), usize::from(i));
+        }
+        for i in 0..NUM_VEC_REGS {
+            assert_eq!(VReg::new(i).unwrap().index(), usize::from(i));
+        }
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected() {
+        assert_eq!(
+            Reg::new(32),
+            Err(GisaError::InvalidRegister { kind: "int", index: 32 })
+        );
+        assert_eq!(
+            FReg::new(16),
+            Err(GisaError::InvalidRegister { kind: "fp", index: 16 })
+        );
+        assert_eq!(
+            VReg::new(200),
+            Err(GisaError::InvalidRegister { kind: "vec", index: 200 })
+        );
+    }
+
+    #[test]
+    fn display_uses_assembler_names() {
+        assert_eq!(Reg::new(7).unwrap().to_string(), "r7");
+        assert_eq!(FReg::new(3).unwrap().to_string(), "f3");
+        assert_eq!(VReg::new(15).unwrap().to_string(), "v15");
+    }
+
+    #[test]
+    fn try_from_matches_new() {
+        assert_eq!(Reg::try_from(5), Reg::new(5));
+        assert!(Reg::try_from(40).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! The power-gating energy-overhead model (paper §IV-D, Eq. 1).
+//!
+//! Asserting and de-asserting the sleep signal to a unit's header/footer
+//! transistor costs energy. The paper adopts the model of Hu et al.:
+//!
+//! ```text
+//! E_overhead = 2 · (W/H) · α · E_cyc^S                      (Eq. 1)
+//! ```
+//!
+//! where `E_cyc^S` is the unit's average switching energy for one cycle
+//! (derived from a McPAT estimate of its peak dynamic power), `W/H` is the
+//! sleep-transistor-to-unit area ratio, and `α` is the unit's average
+//! switching factor. The paper picks `W/H = 0.20` — the top of the
+//! 0.05–0.20 range in the literature, i.e. the most pessimistic — and a
+//! switching factor of `0.5`.
+
+/// Sleep-transistor area ratio `W/H` (paper: 0.20, worst case in the
+/// 0.05–0.20 literature range).
+pub const W_H_RATIO: f64 = 0.20;
+
+/// Average switching factor `α` (paper §IV-D).
+pub const SWITCHING_FACTOR: f64 = 0.5;
+
+/// Energy overhead (joules) of one complete gate-off/gate-on pair for a
+/// unit with the given peak dynamic power.
+///
+/// `E_cyc^S = peak_dynamic_w / freq_hz` is the per-cycle switching energy.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop_power::gating_overhead_joules;
+///
+/// // A 3 W unit at 2.667 GHz: E_cyc ≈ 1.125 nJ, overhead ≈ 0.225 nJ.
+/// let e = gating_overhead_joules(3.0, 2.667e9);
+/// assert!(e > 0.2e-9 && e < 0.25e-9);
+/// ```
+#[must_use]
+pub fn gating_overhead_joules(peak_dynamic_w: f64, freq_hz: f64) -> f64 {
+    let e_cyc = peak_dynamic_w / freq_hz;
+    2.0 * W_H_RATIO * SWITCHING_FACTOR * e_cyc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_closed_form() {
+        let e = gating_overhead_joules(1.0, 1e9);
+        // 2 * 0.2 * 0.5 * (1/1e9) = 0.2 nJ
+        assert!((e - 0.2e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn scales_linearly_with_power_and_inverse_frequency() {
+        let base = gating_overhead_joules(1.0, 1e9);
+        assert!((gating_overhead_joules(2.0, 1e9) - 2.0 * base).abs() < 1e-18);
+        assert!((gating_overhead_joules(1.0, 2e9) - base / 2.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn constants_match_paper() {
+        assert!((W_H_RATIO - 0.20).abs() < 1e-12);
+        assert!((SWITCHING_FACTOR - 0.5).abs() < 1e-12);
+    }
+}

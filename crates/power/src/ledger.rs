@@ -1,0 +1,392 @@
+//! Energy accounting over a simulated run.
+//!
+//! The [`EnergyLedger`] integrates leakage power over time — respecting
+//! each managed unit's gating state, with gated blocks leaking 5 % of
+//! nominal (paper §IV-D) — and accumulates dynamic energy per core event.
+//! PowerChop's runtime calls [`EnergyLedger::account`] at every gating
+//! state change (window boundaries), and
+//! [`EnergyLedger::charge_transition`] for each sleep-signal switch.
+
+use powerchop_uarch::cache::MlcWayState;
+use powerchop_uarch::core::CoreStats;
+
+use crate::gating::gating_overhead_joules;
+use crate::params::{ManagedUnit, PowerParams};
+
+/// The power states of the three managed units during an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitStates {
+    /// Whether the VPU is powered.
+    pub vpu_active: bool,
+    /// Whether the large BPU is powered.
+    pub bpu_large_active: bool,
+    /// MLC way-gating state.
+    pub mlc_state: MlcWayState,
+    /// Total MLC ways in this design (needed to interpret `mlc_state`).
+    pub mlc_total_ways: u32,
+    /// When the MLC is run as a *drowsy* cache instead of way-gated, the
+    /// fraction of the array at full voltage; drowsy lines leak at
+    /// [`PowerParams::drowsy_leak_residual`]. `None` for way-gated
+    /// operation.
+    pub mlc_awake_fraction: Option<f64>,
+}
+
+impl UnitStates {
+    /// All units fully powered.
+    #[must_use]
+    pub fn full(mlc_total_ways: u32) -> Self {
+        UnitStates {
+            vpu_active: true,
+            bpu_large_active: true,
+            mlc_state: MlcWayState::Full,
+            mlc_total_ways,
+            mlc_awake_fraction: None,
+        }
+    }
+
+    /// All units in their lowest-power state.
+    #[must_use]
+    pub fn minimal(mlc_total_ways: u32) -> Self {
+        UnitStates {
+            vpu_active: false,
+            bpu_large_active: false,
+            mlc_state: MlcWayState::One,
+            mlc_total_ways,
+            mlc_awake_fraction: None,
+        }
+    }
+}
+
+/// Per-category dynamic energy breakdown, joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DynamicBreakdown {
+    /// Baseline pipeline energy (fetch/decode/execute/L1) per instruction.
+    pub pipeline: f64,
+    /// Branch-prediction lookups (large or small predictor).
+    pub bpu: f64,
+    /// Native SIMD operations plus scalar-emulation overhead.
+    pub vpu: f64,
+    /// MLC accesses and writebacks.
+    pub mlc: f64,
+    /// LLC and main-memory accesses.
+    pub memory: f64,
+}
+
+impl DynamicBreakdown {
+    /// Total dynamic energy.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.pipeline + self.bpu + self.vpu + self.mlc + self.memory
+    }
+}
+
+/// Per-unit leakage energy breakdown, joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LeakageBreakdown {
+    /// VPU leakage energy.
+    pub vpu: f64,
+    /// BPU leakage energy.
+    pub bpu: f64,
+    /// MLC leakage energy.
+    pub mlc: f64,
+    /// Leakage of the unmanaged remainder of the core.
+    pub other: f64,
+}
+
+impl LeakageBreakdown {
+    /// Total leakage energy.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.vpu + self.bpu + self.mlc + self.other
+    }
+}
+
+/// Summary of a run's energy and average power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Cycles accounted.
+    pub cycles: u64,
+    /// Wall-clock seconds at the design frequency.
+    pub seconds: f64,
+    /// Leakage energy, joules (per-unit breakdown in `leakage`).
+    pub leakage_j: f64,
+    /// Per-unit leakage breakdown.
+    pub leakage: LeakageBreakdown,
+    /// Dynamic energy, joules.
+    pub dynamic_j: f64,
+    /// Per-category dynamic breakdown.
+    pub dynamic: DynamicBreakdown,
+    /// Gating-transition overhead energy (Eq. 1), joules.
+    pub overhead_j: f64,
+    /// Gating transitions charged.
+    pub transitions: u64,
+    /// Total energy, joules.
+    pub total_j: f64,
+    /// Average total power, watts.
+    pub avg_power_w: f64,
+    /// Average leakage power, watts.
+    pub leakage_power_w: f64,
+    /// Average dynamic power, watts.
+    pub dynamic_power_w: f64,
+}
+
+/// Integrates leakage and dynamic energy over a simulated run.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop_power::{EnergyLedger, PowerParams, UnitStates};
+/// use powerchop_uarch::core::CoreStats;
+///
+/// let params = PowerParams::server();
+/// let mut ledger = EnergyLedger::new(params.clone());
+/// let mut stats = CoreStats::default();
+/// stats.instructions = 1_000_000;
+/// ledger.account(500_000, &stats, UnitStates::full(8));
+/// let report = ledger.report();
+/// assert!(report.leakage_j > 0.0 && report.dynamic_j > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyLedger {
+    params: PowerParams,
+    last_cycles: u64,
+    last_stats: CoreStats,
+    leak: LeakageBreakdown,
+    dynamic: DynamicBreakdown,
+    overhead_j: f64,
+    transitions: u64,
+}
+
+impl EnergyLedger {
+    /// Creates a ledger with nothing accounted yet.
+    #[must_use]
+    pub fn new(params: PowerParams) -> Self {
+        EnergyLedger {
+            params,
+            last_cycles: 0,
+            last_stats: CoreStats::default(),
+            leak: LeakageBreakdown::default(),
+            dynamic: DynamicBreakdown::default(),
+            overhead_j: 0.0,
+            transitions: 0,
+        }
+    }
+
+    /// The parameters this ledger uses.
+    #[must_use]
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Accounts the interval from the previous call (or construction) up
+    /// to the current core state, under the unit states that were in
+    /// effect *during* that interval.
+    ///
+    /// `cycles` and `stats` are cumulative (as returned by the core
+    /// model); the ledger works on deltas and is insensitive to call
+    /// frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if `cycles` or any counter went
+    /// backwards, which would indicate the caller mixed up core models.
+    pub fn account(&mut self, cycles: u64, stats: &CoreStats, states: UnitStates) {
+        debug_assert!(cycles >= self.last_cycles, "cycle counter went backwards");
+        let dt = (cycles - self.last_cycles) as f64 / self.params.freq_hz;
+        let p = &self.params;
+        let residual = p.gated_leak_residual;
+
+        // ---- leakage ----
+        let vpu_factor = if states.vpu_active { 1.0 } else { residual };
+        let bpu_factor = if states.bpu_large_active { 1.0 } else { residual };
+        let mlc_factor = match states.mlc_awake_fraction {
+            // Drowsy operation: awake lines leak fully; drowsy lines
+            // retain state at a reduced (but non-gated) voltage.
+            Some(awake) => awake + (1.0 - awake) * p.drowsy_leak_residual,
+            None => {
+                let mlc_on = states.mlc_state.active_fraction(states.mlc_total_ways);
+                mlc_on + (1.0 - mlc_on) * residual
+            }
+        };
+        self.leak.vpu += p.unit_leakage_w(ManagedUnit::Vpu) * vpu_factor * dt;
+        self.leak.bpu += p.unit_leakage_w(ManagedUnit::Bpu) * bpu_factor * dt;
+        self.leak.mlc += p.unit_leakage_w(ManagedUnit::Mlc) * mlc_factor * dt;
+        self.leak.other += p.other_leakage_w() * dt;
+
+        // ---- dynamic ----
+        let d = |cur: u64, prev: u64| {
+            debug_assert!(cur >= prev, "event counter went backwards");
+            (cur - prev) as f64
+        };
+        let s = stats;
+        let l = &self.last_stats;
+        let e_branch = if states.bpu_large_active { p.e_bpu_large } else { p.e_bpu_small };
+        let e_mlc = p.e_mlc_access(states.mlc_state, states.mlc_total_ways);
+        self.dynamic.pipeline += d(s.instructions, l.instructions) * p.e_inst;
+        self.dynamic.bpu += d(s.branches, l.branches) * e_branch;
+        self.dynamic.vpu += d(s.simd_committed, l.simd_committed) * p.e_vpu_op
+            + d(s.vec_emulated, l.vec_emulated) * p.e_vpu_emulated;
+        self.dynamic.mlc += d(s.mlc_accesses, l.mlc_accesses) * e_mlc
+            + d(s.mlc_writebacks, l.mlc_writebacks) * p.e_writeback;
+        self.dynamic.memory += d(s.llc_accesses, l.llc_accesses) * p.e_llc
+            + d(s.mem_accesses, l.mem_accesses) * p.e_mem;
+
+        self.last_cycles = cycles;
+        self.last_stats = *stats;
+    }
+
+    /// Charges the Eq. 1 energy overhead for one sleep-signal switch of
+    /// `unit`. Eq. 1 gives the energy of an assert+deassert pair, so each
+    /// individual switch is charged half of it.
+    pub fn charge_transition(&mut self, unit: ManagedUnit) {
+        let pair = gating_overhead_joules(self.params.unit_peak_dynamic_w(unit), self.params.freq_hz);
+        self.overhead_j += pair / 2.0;
+        self.transitions += 1;
+    }
+
+    /// Produces the energy/power report for everything accounted so far.
+    #[must_use]
+    pub fn report(&self) -> EnergyReport {
+        let seconds = self.last_cycles as f64 / self.params.freq_hz;
+        let leakage_j = self.leak.total();
+        let dynamic_j = self.dynamic.total();
+        let total_j = leakage_j + dynamic_j + self.overhead_j;
+        let div = if seconds > 0.0 { seconds } else { f64::INFINITY };
+        EnergyReport {
+            cycles: self.last_cycles,
+            seconds,
+            leakage_j,
+            leakage: self.leak,
+            dynamic_j,
+            dynamic: self.dynamic,
+            overhead_j: self.overhead_j,
+            transitions: self.transitions,
+            total_j,
+            avg_power_w: total_j / div,
+            leakage_power_w: leakage_j / div,
+            dynamic_power_w: dynamic_j / div,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(instructions: u64, branches: u64, mlc: u64) -> CoreStats {
+        CoreStats { instructions, branches, mlc_accesses: mlc, ..CoreStats::default() }
+    }
+
+    #[test]
+    fn leakage_scales_with_time() {
+        let p = PowerParams::server();
+        let mut a = EnergyLedger::new(p.clone());
+        let mut b = EnergyLedger::new(p.clone());
+        let s = CoreStats::default();
+        a.account(1_000_000, &s, UnitStates::full(8));
+        b.account(2_000_000, &s, UnitStates::full(8));
+        let (ra, rb) = (a.report(), b.report());
+        assert!((rb.leakage_j - 2.0 * ra.leakage_j).abs() < 1e-12);
+        // Full power leakage power equals the configured core leakage.
+        assert!((ra.leakage_power_w - p.core_leakage_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gating_reduces_leakage_to_residual() {
+        let p = PowerParams::server();
+        let mut full = EnergyLedger::new(p.clone());
+        let mut min = EnergyLedger::new(p.clone());
+        let s = CoreStats::default();
+        full.account(1_000_000, &s, UnitStates::full(8));
+        min.account(1_000_000, &s, UnitStates::minimal(8));
+        let (rf, rm) = (full.report(), min.report());
+        assert!(rm.leakage.vpu < 0.06 * rf.leakage.vpu);
+        assert!(rm.leakage.bpu < 0.06 * rf.leakage.bpu);
+        // One of eight MLC ways stays on: 1/8 + 7/8 * 5%.
+        let expect = 0.125 + 0.875 * 0.05;
+        assert!((rm.leakage.mlc / rf.leakage.mlc - expect).abs() < 1e-9);
+        // The unmanaged core is unaffected.
+        assert!((rm.leakage.other - rf.leakage.other).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_energy_tracks_event_deltas() {
+        let p = PowerParams::server();
+        let mut ledger = EnergyLedger::new(p.clone());
+        ledger.account(1000, &stats_with(100, 0, 0), UnitStates::full(8));
+        let after_insts = ledger.report().dynamic_j;
+        assert!((after_insts - 100.0 * p.e_inst).abs() < 1e-15);
+        ledger.account(2000, &stats_with(100, 50, 0), UnitStates::full(8));
+        let after_branches = ledger.report().dynamic_j;
+        assert!((after_branches - after_insts - 50.0 * p.e_bpu_large).abs() < 1e-15);
+    }
+
+    #[test]
+    fn small_bpu_branches_cost_less() {
+        let p = PowerParams::server();
+        let mut large = EnergyLedger::new(p.clone());
+        let mut small = EnergyLedger::new(p.clone());
+        let states_small = UnitStates { bpu_large_active: false, ..UnitStates::full(8) };
+        large.account(1000, &stats_with(0, 1000, 0), UnitStates::full(8));
+        small.account(1000, &stats_with(0, 1000, 0), states_small);
+        assert!(large.report().dynamic_j > 4.0 * small.report().dynamic_j);
+    }
+
+    #[test]
+    fn dynamic_breakdown_sums_to_total() {
+        let p = PowerParams::server();
+        let mut ledger = EnergyLedger::new(p.clone());
+        let stats = CoreStats {
+            instructions: 10_000,
+            branches: 1_000,
+            simd_committed: 200,
+            vec_emulated: 50,
+            mlc_accesses: 300,
+            mlc_writebacks: 10,
+            llc_accesses: 100,
+            mem_accesses: 40,
+            ..CoreStats::default()
+        };
+        ledger.account(100_000, &stats, UnitStates::full(8));
+        let r = ledger.report();
+        assert!((r.dynamic.total() - r.dynamic_j).abs() < 1e-18);
+        assert!(r.dynamic.pipeline > 0.0);
+        assert!(r.dynamic.bpu > 0.0);
+        assert!(r.dynamic.vpu > 0.0);
+        assert!(r.dynamic.mlc > 0.0);
+        assert!(r.dynamic.memory > 0.0);
+    }
+
+    #[test]
+    fn transition_overhead_is_half_a_pair_per_switch() {
+        let p = PowerParams::server();
+        let mut ledger = EnergyLedger::new(p.clone());
+        ledger.charge_transition(ManagedUnit::Vpu);
+        ledger.charge_transition(ManagedUnit::Vpu);
+        let pair = gating_overhead_joules(p.peak_dyn_vpu_w, p.freq_hz);
+        let r = ledger.report();
+        assert!((r.overhead_j - pair).abs() < 1e-18);
+        assert_eq!(r.transitions, 2);
+    }
+
+    #[test]
+    fn empty_report_has_no_nan_power() {
+        let r = EnergyLedger::new(PowerParams::mobile()).report();
+        assert_eq!(r.avg_power_w, 0.0);
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn account_is_delta_insensitive_to_call_frequency() {
+        let p = PowerParams::mobile();
+        let mut once = EnergyLedger::new(p.clone());
+        let mut twice = EnergyLedger::new(p.clone());
+        let end = stats_with(500, 100, 20);
+        once.account(10_000, &end, UnitStates::full(8));
+        let mid = stats_with(200, 40, 5);
+        twice.account(4_000, &mid, UnitStates::full(8));
+        twice.account(10_000, &end, UnitStates::full(8));
+        let (a, b) = (once.report(), twice.report());
+        assert!((a.total_j - b.total_j).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,30 @@
+//! Power and energy modelling for the PowerChop reproduction.
+//!
+//! The paper models power with McPAT at a 32 nm node and sizes the HTB with
+//! CACTI (paper §IV-B4, §V-A). Neither tool is available here, so this
+//! crate provides analytic substitutes (see `DESIGN.md`):
+//!
+//! - [`params::PowerParams`] — per-design-point leakage and per-event
+//!   dynamic energies, with unit leakage shares pinned by the area
+//!   fractions of Table I,
+//! - [`gating`] — the Hu et al. power-gating energy-overhead model the
+//!   paper uses verbatim (Eq. 1): `E_overhead = 2 · (W/H) · α · E_cyc^S`
+//!   with `W/H = 0.20` and switching factor `α = 0.5`,
+//! - [`ledger::EnergyLedger`] — integrates leakage over time (5 % residual
+//!   leakage in gated units) and dynamic energy over core events, producing
+//!   the power/energy numbers Figures 13–14 report,
+//! - [`cost`] — an SRAM cost model (CACTI substitute) reproducing the
+//!   paper's HTB/PVT hardware-cost estimates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod gating;
+pub mod ledger;
+pub mod params;
+
+pub use cost::SramCost;
+pub use gating::gating_overhead_joules;
+pub use ledger::{DynamicBreakdown, EnergyLedger, EnergyReport, LeakageBreakdown, UnitStates};
+pub use params::{ManagedUnit, PowerParams};

@@ -1,0 +1,248 @@
+//! Per-design-point power parameters (McPAT substitute).
+//!
+//! The paper consumes McPAT as (a) per-unit leakage shares — which Table I
+//! pins via area fractions, taken verbatim — and (b) per-unit peak dynamic
+//! power, used for per-event energies and the gating-overhead model. The
+//! absolute numbers below are representative published figures for 32 nm
+//! Nehalem-class and Cortex-A9-class cores; the reproduced results are
+//! ratios, which depend on the *shares*, not the absolute watts.
+
+use powerchop_uarch::cache::MlcWayState;
+use powerchop_uarch::config::{CoreConfig, CoreKind};
+
+/// The three units PowerChop manages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManagedUnit {
+    /// Vector processing unit.
+    Vpu,
+    /// Branch prediction unit (the large tournament predictor).
+    Bpu,
+    /// Middle-level cache (L2).
+    Mlc,
+}
+
+impl ManagedUnit {
+    /// All managed units, in the paper's usual order.
+    pub const ALL: [ManagedUnit; 3] = [ManagedUnit::Vpu, ManagedUnit::Bpu, ManagedUnit::Mlc];
+}
+
+impl std::fmt::Display for ManagedUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManagedUnit::Vpu => f.write_str("VPU"),
+            ManagedUnit::Bpu => f.write_str("BPU"),
+            ManagedUnit::Mlc => f.write_str("MLC"),
+        }
+    }
+}
+
+/// Leakage and dynamic-energy parameters for one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerParams {
+    /// Design point these parameters describe.
+    pub kind: CoreKind,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Total core leakage power in watts (all units powered).
+    pub core_leakage_w: f64,
+    /// Leakage share of the MLC / VPU / BPU (Table I area fractions).
+    pub leak_frac_mlc: f64,
+    /// VPU leakage share.
+    pub leak_frac_vpu: f64,
+    /// BPU leakage share.
+    pub leak_frac_bpu: f64,
+    /// Residual leakage of a gated block as a fraction of its nominal
+    /// leakage (paper §IV-D: 5 %).
+    pub gated_leak_residual: f64,
+    /// Residual leakage of a *drowsy* (state-retentive, low-voltage) line
+    /// as a fraction of nominal — Flautner et al. report roughly a 4-10x
+    /// leakage reduction with retention; 25 % is the conservative end.
+    pub drowsy_leak_residual: f64,
+    /// Baseline dynamic energy per retired instruction (fetch, decode,
+    /// rename, scalar execute, L1), joules.
+    pub e_inst: f64,
+    /// Dynamic energy per branch looked up in the large tournament
+    /// predictor, joules.
+    pub e_bpu_large: f64,
+    /// Dynamic energy per branch in the small local predictor, joules.
+    pub e_bpu_small: f64,
+    /// Dynamic energy per native SIMD operation on the VPU, joules.
+    pub e_vpu_op: f64,
+    /// Extra dynamic energy per vector op emulated with scalar code
+    /// (beyond the per-instruction baseline), joules.
+    pub e_vpu_emulated: f64,
+    /// Dynamic energy per MLC access with all ways active, joules.
+    /// Way-gated accesses probe fewer ways; see
+    /// [`PowerParams::e_mlc_access`].
+    pub e_mlc_full: f64,
+    /// The fraction of MLC access energy that does not scale with active
+    /// ways (decoders, wordlines for one way, tag match on one way).
+    pub e_mlc_fixed_frac: f64,
+    /// Dynamic energy per LLC access, joules.
+    pub e_llc: f64,
+    /// Dynamic energy per main-memory access (on-chip share), joules.
+    pub e_mem: f64,
+    /// Dynamic energy per dirty-line writeback out of the MLC, joules.
+    pub e_writeback: f64,
+    /// Peak dynamic power of each managed unit in watts (McPAT-style
+    /// estimate), used for the Eq. 1 gating-overhead energy.
+    pub peak_dyn_vpu_w: f64,
+    /// Peak dynamic power of the BPU, watts.
+    pub peak_dyn_bpu_w: f64,
+    /// Peak dynamic power of the MLC, watts.
+    pub peak_dyn_mlc_w: f64,
+}
+
+impl PowerParams {
+    /// Parameters for the Nehalem-like server core.
+    #[must_use]
+    pub fn server() -> Self {
+        let cfg = CoreConfig::server();
+        PowerParams {
+            kind: CoreKind::Server,
+            freq_hz: f64::from(cfg.freq_mhz) * 1e6,
+            core_leakage_w: 4.0,
+            leak_frac_mlc: cfg.area.mlc,
+            leak_frac_vpu: cfg.area.vpu,
+            leak_frac_bpu: cfg.area.bpu,
+            gated_leak_residual: 0.05,
+            drowsy_leak_residual: 0.25,
+            e_inst: 1.1e-9,
+            e_bpu_large: 0.15e-9,
+            e_bpu_small: 0.03e-9,
+            e_vpu_op: 1.0e-9,
+            e_vpu_emulated: 2.8e-9,
+            e_mlc_full: 1.2e-9,
+            e_mlc_fixed_frac: 0.25,
+            e_llc: 3.5e-9,
+            e_mem: 20.0e-9,
+            e_writeback: 1.5e-9,
+            peak_dyn_vpu_w: 3.0,
+            peak_dyn_bpu_w: 0.6,
+            peak_dyn_mlc_w: 2.5,
+        }
+    }
+
+    /// Parameters for the Cortex-A9-like mobile core.
+    #[must_use]
+    pub fn mobile() -> Self {
+        let cfg = CoreConfig::mobile();
+        PowerParams {
+            kind: CoreKind::Mobile,
+            freq_hz: f64::from(cfg.freq_mhz) * 1e6,
+            core_leakage_w: 0.35,
+            leak_frac_mlc: cfg.area.mlc,
+            leak_frac_vpu: cfg.area.vpu,
+            leak_frac_bpu: cfg.area.bpu,
+            gated_leak_residual: 0.05,
+            drowsy_leak_residual: 0.25,
+            e_inst: 0.20e-9,
+            e_bpu_large: 0.04e-9,
+            e_bpu_small: 0.008e-9,
+            e_vpu_op: 0.30e-9,
+            e_vpu_emulated: 0.70e-9,
+            e_mlc_full: 0.50e-9,
+            e_mlc_fixed_frac: 0.25,
+            e_llc: 1.4e-9,
+            e_mem: 8.0e-9,
+            e_writeback: 0.6e-9,
+            peak_dyn_vpu_w: 0.25,
+            peak_dyn_bpu_w: 0.05,
+            peak_dyn_mlc_w: 0.30,
+        }
+    }
+
+    /// Parameters for a [`CoreKind`].
+    #[must_use]
+    pub fn for_kind(kind: CoreKind) -> Self {
+        match kind {
+            CoreKind::Server => PowerParams::server(),
+            CoreKind::Mobile => PowerParams::mobile(),
+        }
+    }
+
+    /// Leakage power (watts) of one managed unit when fully powered.
+    #[must_use]
+    pub fn unit_leakage_w(&self, unit: ManagedUnit) -> f64 {
+        let frac = match unit {
+            ManagedUnit::Vpu => self.leak_frac_vpu,
+            ManagedUnit::Bpu => self.leak_frac_bpu,
+            ManagedUnit::Mlc => self.leak_frac_mlc,
+        };
+        self.core_leakage_w * frac
+    }
+
+    /// Leakage power (watts) of the unmanaged remainder of the core.
+    #[must_use]
+    pub fn other_leakage_w(&self) -> f64 {
+        self.core_leakage_w * (1.0 - self.leak_frac_mlc - self.leak_frac_vpu - self.leak_frac_bpu)
+    }
+
+    /// Per-access MLC energy under a way-gating state: a fixed component
+    /// plus a component proportional to the ways probed.
+    #[must_use]
+    pub fn e_mlc_access(&self, state: MlcWayState, total_ways: u32) -> f64 {
+        let frac = state.active_fraction(total_ways);
+        self.e_mlc_full * (self.e_mlc_fixed_frac + (1.0 - self.e_mlc_fixed_frac) * frac)
+    }
+
+    /// Peak dynamic power (watts) of one managed unit — the McPAT estimate
+    /// feeding the Eq. 1 gating-overhead energy.
+    #[must_use]
+    pub fn unit_peak_dynamic_w(&self, unit: ManagedUnit) -> f64 {
+        match unit {
+            ManagedUnit::Vpu => self.peak_dyn_vpu_w,
+            ManagedUnit::Bpu => self.peak_dyn_bpu_w,
+            ManagedUnit::Mlc => self.peak_dyn_mlc_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_shares_sum_below_one() {
+        for p in [PowerParams::server(), PowerParams::mobile()] {
+            let managed: f64 = ManagedUnit::ALL.iter().map(|u| p.unit_leakage_w(*u)).sum();
+            let total = managed + p.other_leakage_w();
+            assert!((total - p.core_leakage_w).abs() < 1e-9);
+            assert!(p.other_leakage_w() > 0.0);
+        }
+    }
+
+    #[test]
+    fn unit_leakage_follows_table1_areas() {
+        let p = PowerParams::server();
+        assert!((p.unit_leakage_w(ManagedUnit::Mlc) - 4.0 * 0.35).abs() < 1e-9);
+        assert!((p.unit_leakage_w(ManagedUnit::Vpu) - 4.0 * 0.20).abs() < 1e-9);
+        assert!((p.unit_leakage_w(ManagedUnit::Bpu) - 4.0 * 0.04).abs() < 1e-9);
+        let m = PowerParams::mobile();
+        assert!((m.unit_leakage_w(ManagedUnit::Mlc) / m.core_leakage_w - 0.60).abs() < 1e-9);
+    }
+
+    #[test]
+    fn way_gated_mlc_access_is_cheaper() {
+        let p = PowerParams::server();
+        let full = p.e_mlc_access(MlcWayState::Full, 8);
+        let half = p.e_mlc_access(MlcWayState::Half, 8);
+        let one = p.e_mlc_access(MlcWayState::One, 8);
+        assert!(full > half && half > one);
+        assert!(one > 0.0, "fixed component keeps energy positive");
+        assert!((full - p.e_mlc_full).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gated_residual_is_five_percent() {
+        assert!((PowerParams::server().gated_leak_residual - 0.05).abs() < 1e-12);
+        assert!((PowerParams::mobile().gated_leak_residual - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ManagedUnit::Vpu.to_string(), "VPU");
+        assert_eq!(ManagedUnit::Bpu.to_string(), "BPU");
+        assert_eq!(ManagedUnit::Mlc.to_string(), "MLC");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the energy model.
+
+use proptest::prelude::*;
+
+use powerchop_power::{gating_overhead_joules, EnergyLedger, PowerParams, UnitStates};
+use powerchop_uarch::cache::MlcWayState;
+use powerchop_uarch::core::CoreStats;
+
+fn arb_states() -> impl Strategy<Value = UnitStates> {
+    (any::<bool>(), any::<bool>(), 0u8..4).prop_map(|(v, b, m)| UnitStates {
+        vpu_active: v,
+        bpu_large_active: b,
+        mlc_state: match m {
+            0 => MlcWayState::One,
+            1 => MlcWayState::Quarter,
+            2 => MlcWayState::Half,
+            _ => MlcWayState::Full,
+        },
+        mlc_total_ways: 8,
+        mlc_awake_fraction: None,
+    })
+}
+
+fn arb_stats(max: u64) -> impl Strategy<Value = CoreStats> {
+    (1..max, 0..max, 0..max, 0..max).prop_map(|(insts, br, mlc, mem)| CoreStats {
+        instructions: insts,
+        branches: br,
+        mlc_accesses: mlc + mem,
+        mlc_hits: mlc,
+        llc_accesses: mem,
+        mem_accesses: mem / 2,
+        ..CoreStats::default()
+    })
+}
+
+proptest! {
+    /// Gated configurations never consume more leakage than full power,
+    /// and always at least the 5% residual floor.
+    #[test]
+    fn gated_leakage_bounded(states in arb_states(), cycles in 1u64..1 << 32) {
+        let params = PowerParams::server();
+        let mut full = EnergyLedger::new(params.clone());
+        let mut gated = EnergyLedger::new(params.clone());
+        let stats = CoreStats::default();
+        full.account(cycles, &stats, UnitStates::full(8));
+        gated.account(cycles, &stats, states);
+        let (f, g) = (full.report(), gated.report());
+        prop_assert!(g.leakage_j <= f.leakage_j + 1e-15);
+        // Lower bound: unmanaged core + 5% residual of everything else.
+        let floor = f.leakage_j * (0.41 + 0.59 * 0.05) - 1e-12;
+        prop_assert!(g.leakage_j >= floor, "leakage {} below floor {}", g.leakage_j, floor);
+    }
+
+    /// Energy is additive over intervals: accounting in any number of
+    /// chunks gives the same total as accounting once.
+    #[test]
+    fn energy_is_interval_additive(
+        states in arb_states(),
+        cuts in prop::collection::vec(1u64..1000, 1..10),
+        end_stats in arb_stats(1 << 20),
+    ) {
+        let params = PowerParams::mobile();
+        let total_cycles: u64 = cuts.iter().sum::<u64>() * 100;
+        let mut once = EnergyLedger::new(params.clone());
+        once.account(total_cycles, &end_stats, states);
+
+        let mut chunked = EnergyLedger::new(params.clone());
+        let mut acc = 0u64;
+        for (i, c) in cuts.iter().enumerate() {
+            acc += c * 100;
+            // Interpolate stats linearly per chunk (integer floors are
+            // fine: the final call lands exactly on end_stats).
+            let frac = |v: u64| v * (i as u64 + 1) / cuts.len() as u64;
+            let mid = CoreStats {
+                instructions: frac(end_stats.instructions),
+                branches: frac(end_stats.branches),
+                mlc_accesses: frac(end_stats.mlc_accesses),
+                mlc_hits: frac(end_stats.mlc_hits),
+                llc_accesses: frac(end_stats.llc_accesses),
+                mem_accesses: frac(end_stats.mem_accesses),
+                ..CoreStats::default()
+            };
+            chunked.account(acc, &mid, states);
+        }
+        chunked.account(total_cycles, &end_stats, states);
+        let (a, b) = (once.report(), chunked.report());
+        prop_assert!((a.total_j - b.total_j).abs() < 1e-12 * a.total_j.max(1e-12));
+    }
+
+    /// More events never decrease dynamic energy.
+    #[test]
+    fn dynamic_energy_monotone_in_events(base in arb_stats(1 << 16), extra in 1u64..1000) {
+        let params = PowerParams::server();
+        let mut small = EnergyLedger::new(params.clone());
+        small.account(1_000_000, &base, UnitStates::full(8));
+        let more = CoreStats { instructions: base.instructions + extra, ..base };
+        let mut big = EnergyLedger::new(params.clone());
+        big.account(1_000_000, &more, UnitStates::full(8));
+        prop_assert!(big.report().dynamic_j > small.report().dynamic_j);
+    }
+
+    /// The Eq. 1 overhead is linear in peak power and positive.
+    #[test]
+    fn overhead_linear(p in 0.01f64..100.0, f in 1e8f64..1e10, k in 1.0f64..10.0) {
+        let one = gating_overhead_joules(p, f);
+        let scaled = gating_overhead_joules(p * k, f);
+        prop_assert!(one > 0.0);
+        prop_assert!((scaled - one * k).abs() < 1e-9 * scaled.max(1e-30));
+    }
+
+    /// MLC access energy is monotone in the way state.
+    #[test]
+    fn mlc_energy_monotone(ways in 2u32..=16) {
+        let p = PowerParams::mobile();
+        let one = p.e_mlc_access(MlcWayState::One, ways);
+        let half = p.e_mlc_access(MlcWayState::Half, ways);
+        let full = p.e_mlc_access(MlcWayState::Full, ways);
+        prop_assert!(one <= half && half <= full);
+        prop_assert!(one > 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The gating controller: applies policies to the core with full cost
+//! accounting (paper §IV-D).
+//!
+//! Every policy transition charges:
+//!
+//! - the sleep-signal distribution stall (50/30/20 cycles for
+//!   MLC/VPU/BPU),
+//! - the VPU register-file save/restore (500 cycles per switch),
+//! - MLC dirty-line writebacks when ways are deactivated,
+//! - the Eq. 1 transition energy via the [`EnergyLedger`].
+//!
+//! It also integrates how long each unit spent in each power state, which
+//! Figures 9, 10 and 16 report.
+
+use powerchop_power::{EnergyLedger, ManagedUnit, UnitStates};
+use powerchop_uarch::cache::MlcWayState;
+use powerchop_uarch::config::{CoreConfig, GatingPenalties};
+use powerchop_uarch::core::CoreModel;
+
+use crate::policy::GatingPolicy;
+
+/// Per-unit counts of power-gating state switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwitchCounts {
+    /// VPU gate switches.
+    pub vpu: u64,
+    /// BPU gate switches.
+    pub bpu: u64,
+    /// MLC way-state switches.
+    pub mlc: u64,
+}
+
+impl SwitchCounts {
+    /// Total switches across units.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.vpu + self.bpu + self.mlc
+    }
+}
+
+/// Cycles each unit spent in each power state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GatedCycles {
+    /// Cycles with the VPU gated off.
+    pub vpu_off: u64,
+    /// Cycles with the large BPU gated off.
+    pub bpu_off: u64,
+    /// Cycles with half the MLC ways active.
+    pub mlc_half: u64,
+    /// Cycles with a quarter of the MLC ways active (extended states).
+    pub mlc_quarter: u64,
+    /// Cycles with one MLC way active.
+    pub mlc_one: u64,
+    /// Total cycles accounted.
+    pub total: u64,
+}
+
+impl GatedCycles {
+    fn frac(n: u64, d: u64) -> f64 {
+        if d == 0 {
+            0.0
+        } else {
+            n as f64 / d as f64
+        }
+    }
+
+    /// Fraction of cycles with the VPU gated off.
+    #[must_use]
+    pub fn vpu_off_frac(&self) -> f64 {
+        Self::frac(self.vpu_off, self.total)
+    }
+
+    /// Fraction of cycles with the large BPU gated off.
+    #[must_use]
+    pub fn bpu_off_frac(&self) -> f64 {
+        Self::frac(self.bpu_off, self.total)
+    }
+
+    /// Fraction of cycles with the MLC way-gated (any non-full state).
+    #[must_use]
+    pub fn mlc_gated_frac(&self) -> f64 {
+        Self::frac(self.mlc_half + self.mlc_quarter + self.mlc_one, self.total)
+    }
+
+    /// Fraction of cycles with exactly one MLC way active.
+    #[must_use]
+    pub fn mlc_one_frac(&self) -> f64 {
+        Self::frac(self.mlc_one, self.total)
+    }
+}
+
+/// Applies gating policies to a core model with full cost accounting.
+///
+/// `semantic` controls whether state changes are pushed into the core's
+/// unit models. PowerChop runs semantically (a gated VPU really is off and
+/// vector code is BT-emulated). The timeout baseline gates the *power*
+/// state only — a vector op arriving while gated wakes the unit, so
+/// execution is always native — and therefore uses a non-semantic
+/// controller (paper §V-E).
+#[derive(Debug, Clone)]
+pub struct GatingController {
+    penalties: GatingPenalties,
+    current: GatingPolicy,
+    semantic: bool,
+    switches: SwitchCounts,
+    gated: GatedCycles,
+    last_cycles: u64,
+}
+
+impl GatingController {
+    /// Creates a controller starting from the fully-powered policy.
+    #[must_use]
+    pub fn new(cfg: &CoreConfig, semantic: bool) -> Self {
+        GatingController {
+            penalties: cfg.gating,
+            current: GatingPolicy::FULL,
+            semantic,
+            switches: SwitchCounts::default(),
+            gated: GatedCycles::default(),
+            last_cycles: 0,
+        }
+    }
+
+    /// The policy currently in force.
+    #[must_use]
+    pub fn current(&self) -> GatingPolicy {
+        self.current
+    }
+
+    /// Whether this controller drives the core's unit models.
+    #[must_use]
+    pub fn is_semantic(&self) -> bool {
+        self.semantic
+    }
+
+    /// The unit power states implied by the current policy (for energy
+    /// accounting).
+    #[must_use]
+    pub fn states(&self, mlc_total_ways: u32) -> UnitStates {
+        UnitStates {
+            vpu_active: self.current.vpu_on,
+            bpu_large_active: self.current.bpu_on,
+            mlc_state: self.current.mlc,
+            mlc_total_ways,
+            mlc_awake_fraction: None,
+        }
+    }
+
+    /// Per-unit switch counts so far.
+    #[must_use]
+    pub fn switches(&self) -> SwitchCounts {
+        self.switches
+    }
+
+    /// Per-state cycle integrals so far (call [`GatingController::sync`]
+    /// first for up-to-date totals).
+    #[must_use]
+    pub fn gated_cycles(&self) -> GatedCycles {
+        self.gated
+    }
+
+    /// Brings time-in-state and energy accounting up to the present. Must
+    /// be called (and is called by [`GatingController::apply`]) before any
+    /// state change, and once at the end of a run.
+    pub fn sync(&mut self, core: &CoreModel, ledger: &mut EnergyLedger) {
+        let now = core.cycles();
+        let dt = now.saturating_sub(self.last_cycles);
+        if !self.current.vpu_on {
+            self.gated.vpu_off += dt;
+        }
+        if !self.current.bpu_on {
+            self.gated.bpu_off += dt;
+        }
+        match self.current.mlc {
+            MlcWayState::Half => self.gated.mlc_half += dt,
+            MlcWayState::Quarter => self.gated.mlc_quarter += dt,
+            MlcWayState::One => self.gated.mlc_one += dt,
+            MlcWayState::Full => {}
+        }
+        self.gated.total += dt;
+        ledger.account(now, &core.stats(), self.states(core_mlc_ways(core)));
+        self.last_cycles = now;
+    }
+
+    /// Transitions to `policy`, charging all switch costs. A no-op when
+    /// the policy already matches.
+    pub fn apply(&mut self, policy: GatingPolicy, core: &mut CoreModel, ledger: &mut EnergyLedger) {
+        if policy == self.current {
+            return;
+        }
+        self.sync(core, ledger);
+
+        if policy.vpu_on != self.current.vpu_on {
+            self.switches.vpu += 1;
+            ledger.charge_transition(ManagedUnit::Vpu);
+            core.add_stall(u64::from(self.penalties.vpu_switch));
+            // The VPU register file is explicitly saved (gate-off) or
+            // restored (gate-on) to memory (paper §IV-D: 500 cycles).
+            core.add_stall(u64::from(self.penalties.vpu_save_restore));
+            if self.semantic {
+                core.set_vpu_active(policy.vpu_on);
+            }
+        }
+        if policy.bpu_on != self.current.bpu_on {
+            self.switches.bpu += 1;
+            ledger.charge_transition(ManagedUnit::Bpu);
+            core.add_stall(u64::from(self.penalties.bpu_switch));
+            if self.semantic {
+                core.set_bpu_large_active(policy.bpu_on);
+            }
+        }
+        if policy.mlc != self.current.mlc {
+            self.switches.mlc += 1;
+            ledger.charge_transition(ManagedUnit::Mlc);
+            core.add_stall(u64::from(self.penalties.mlc_switch));
+            if self.semantic {
+                let flushed = core.set_mlc_way_state(policy.mlc);
+                core.add_stall(flushed * u64::from(self.penalties.mlc_writeback_per_line));
+            }
+        }
+        self.current = policy;
+    }
+}
+
+fn core_mlc_ways(_core: &CoreModel) -> u32 {
+    // All design points in Table I use 8-way MLCs; the ledger only needs
+    // the ratio implied by the way state.
+    8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerchop_power::PowerParams;
+    use powerchop_uarch::config::CoreConfig;
+
+    fn setup() -> (CoreModel, EnergyLedger, GatingController) {
+        let cfg = CoreConfig::server();
+        (
+            CoreModel::new(&cfg),
+            EnergyLedger::new(PowerParams::server()),
+            GatingController::new(&cfg, true),
+        )
+    }
+
+    #[test]
+    fn applying_same_policy_is_free() {
+        let (mut core, mut ledger, mut ctl) = setup();
+        ctl.apply(GatingPolicy::FULL, &mut core, &mut ledger);
+        assert_eq!(core.cycles(), 0);
+        assert_eq!(ctl.switches().total(), 0);
+    }
+
+    #[test]
+    fn vpu_switch_costs_switch_plus_save_restore() {
+        let (mut core, mut ledger, mut ctl) = setup();
+        let policy = GatingPolicy { vpu_on: false, ..GatingPolicy::FULL };
+        ctl.apply(policy, &mut core, &mut ledger);
+        assert_eq!(core.cycles(), 30 + 500);
+        assert_eq!(ctl.switches().vpu, 1);
+        assert!(!core.vpu_active(), "semantic controller drives the core");
+        assert_eq!(ledger.report().transitions, 1);
+    }
+
+    #[test]
+    fn bpu_and_mlc_switch_costs() {
+        let (mut core, mut ledger, mut ctl) = setup();
+        let policy = GatingPolicy { bpu_on: false, ..GatingPolicy::FULL };
+        ctl.apply(policy, &mut core, &mut ledger);
+        assert_eq!(core.cycles(), 20);
+        let policy = GatingPolicy { bpu_on: false, mlc: MlcWayState::One, ..policy };
+        ctl.apply(policy, &mut core, &mut ledger);
+        assert_eq!(core.cycles(), 20 + 50); // empty MLC: no writebacks
+        assert_eq!(ctl.switches(), SwitchCounts { vpu: 0, bpu: 1, mlc: 1 });
+    }
+
+    #[test]
+    fn non_semantic_controller_leaves_core_alone() {
+        let cfg = CoreConfig::server();
+        let mut core = CoreModel::new(&cfg);
+        let mut ledger = EnergyLedger::new(PowerParams::server());
+        let mut ctl = GatingController::new(&cfg, false);
+        ctl.apply(GatingPolicy::MINIMAL, &mut core, &mut ledger);
+        assert!(core.vpu_active());
+        assert!(core.bpu_large_active());
+        assert_eq!(core.mlc_way_state(), MlcWayState::Full);
+        // But costs and accounting still apply.
+        assert!(core.cycles() > 0);
+        assert_eq!(ctl.switches().total(), 3);
+    }
+
+    #[test]
+    fn gated_time_integrates_between_syncs() {
+        let (mut core, mut ledger, mut ctl) = setup();
+        ctl.apply(GatingPolicy { vpu_on: false, ..GatingPolicy::FULL }, &mut core, &mut ledger);
+        let start = core.cycles(); // transition stall cycles (530)
+        core.add_stall(1000);
+        ctl.sync(&core, &mut ledger);
+        let g = ctl.gated_cycles();
+        // Transition cycles are attributed to the new (gated) state.
+        assert_eq!(g.vpu_off, start + 1000);
+        assert_eq!(g.bpu_off, 0);
+        assert_eq!(g.total, start + 1000);
+        assert!((g.vpu_off_frac() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlc_states_integrate_separately() {
+        let (mut core, mut ledger, mut ctl) = setup();
+        ctl.apply(GatingPolicy { mlc: MlcWayState::Half, ..GatingPolicy::FULL }, &mut core, &mut ledger);
+        core.add_stall(100);
+        ctl.apply(GatingPolicy { mlc: MlcWayState::One, ..GatingPolicy::FULL }, &mut core, &mut ledger);
+        core.add_stall(200);
+        ctl.sync(&core, &mut ledger);
+        let g = ctl.gated_cycles();
+        // Each interval includes its leading 50-cycle switch stall.
+        assert_eq!(g.mlc_half, 150);
+        assert_eq!(g.mlc_one, 250);
+        assert!((g.mlc_gated_frac() - 1.0).abs() < 1e-12);
+    }
+}

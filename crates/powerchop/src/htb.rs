@@ -1,0 +1,217 @@
+//! The Hot Translation Buffer (HTB), paper §IV-B2.
+//!
+//! A small fully-associative hardware buffer that tracks translations as
+//! they execute, together with the dynamic instruction count each one
+//! contributed during the current execution window. At the end of each
+//! window the HTB yields the phase signature (the N hottest translations)
+//! and is flushed. If a window touches more unique translations than the
+//! buffer holds, the excess is simply ignored (paper: "it is simply
+//! ignored").
+//!
+//! The paper's configuration — 128 entries of 32-bit translation ID plus
+//! 32-bit execution counter = 1 KiB — is the default.
+
+use std::collections::HashMap;
+
+use powerchop_bt::TranslationId;
+
+use crate::phase::PhaseSignature;
+
+/// Paper-default HTB capacity.
+pub const HTB_ENTRIES: usize = 128;
+
+/// The Hot Translation Buffer.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop::htb::HotTranslationBuffer;
+/// use powerchop_bt::TranslationId;
+///
+/// let mut htb = HotTranslationBuffer::new(128, 4);
+/// htb.record(TranslationId(10), 500);
+/// htb.record(TranslationId(20), 100);
+/// htb.record(TranslationId(10), 500);
+/// let sig = htb.signature();
+/// assert_eq!(sig.ids().next(), Some(TranslationId(10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HotTranslationBuffer {
+    /// Per-translation (executions, dynamic instructions) this window.
+    counts: HashMap<TranslationId, (u64, u64)>,
+    capacity: usize,
+    signature_len: usize,
+    overflowed: u64,
+}
+
+impl HotTranslationBuffer {
+    /// Creates an HTB with `capacity` entries producing signatures of
+    /// `signature_len` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    #[must_use]
+    pub fn new(capacity: usize, signature_len: usize) -> Self {
+        assert!(capacity > 0 && signature_len > 0, "degenerate HTB configuration");
+        HotTranslationBuffer {
+            counts: HashMap::with_capacity(capacity),
+            capacity,
+            signature_len,
+            overflowed: 0,
+        }
+    }
+
+    /// An HTB with the paper's configuration (128 entries, N = 4).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        HotTranslationBuffer::new(HTB_ENTRIES, crate::phase::SIGNATURE_LEN)
+    }
+
+    /// Records one execution of `id` contributing `instructions` dynamic
+    /// instructions. Updates happen off the critical path in hardware; in
+    /// the model they are O(1).
+    pub fn record(&mut self, id: TranslationId, instructions: u64) {
+        if let Some((execs, insts)) = self.counts.get_mut(&id) {
+            *execs += 1;
+            *insts += instructions;
+        } else if self.counts.len() < self.capacity {
+            self.counts.insert(id, (1, instructions));
+        } else {
+            self.overflowed += 1;
+        }
+    }
+
+    /// Unique translations tracked this window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no translations have been recorded this window.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Translation executions dropped because the buffer was full
+    /// (cumulative across windows).
+    #[must_use]
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed
+    }
+
+    /// The phase signature of the current window: the `signature_len`
+    /// hottest translations by dynamic instruction count (ties broken by
+    /// ID for determinism).
+    #[must_use]
+    pub fn signature(&self) -> PhaseSignature {
+        let mut entries: Vec<(TranslationId, u64)> =
+            self.counts.iter().map(|(id, (_, insts))| (*id, *insts)).collect();
+        entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries.truncate(self.signature_len);
+        let ids: Vec<TranslationId> = entries.into_iter().map(|(id, _)| id).collect();
+        PhaseSignature::new(&ids)
+    }
+
+    /// The full per-translation *execution*-count vector of the current
+    /// window — the "translation vector" compared across same-signature
+    /// windows by the Fig. 8 phase-quality analysis (entries sum to the
+    /// window size, minus any HTB overflow).
+    #[must_use]
+    pub fn count_vector(&self) -> Vec<(TranslationId, u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(id, (execs, _))| (*id, *execs)).collect();
+        v.sort_unstable_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Clears the buffer for the next execution window.
+    pub fn flush(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Storage in bytes (ID + counter per entry), for the hardware-cost
+    /// table.
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        (self.capacity * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TranslationId {
+        TranslationId(i)
+    }
+
+    #[test]
+    fn hottest_by_instructions_not_executions() {
+        let mut htb = HotTranslationBuffer::new(16, 2);
+        // t1: many short executions; t2: few long ones.
+        for _ in 0..10 {
+            htb.record(t(1), 5);
+        }
+        htb.record(t(2), 1000);
+        htb.record(t(3), 1);
+        let sig = htb.signature();
+        let ids: Vec<_> = sig.ids().collect();
+        assert!(ids.contains(&t(1)) && ids.contains(&t(2)));
+        assert!(!ids.contains(&t(3)));
+    }
+
+    #[test]
+    fn overflow_is_ignored_not_evicted() {
+        let mut htb = HotTranslationBuffer::new(2, 2);
+        htb.record(t(1), 10);
+        htb.record(t(2), 10);
+        htb.record(t(3), 10_000); // buffer full: ignored
+        assert_eq!(htb.len(), 2);
+        assert_eq!(htb.overflowed(), 1);
+        let ids: Vec<_> = htb.signature().ids().collect();
+        assert!(!ids.contains(&t(3)));
+    }
+
+    #[test]
+    fn flush_resets_window() {
+        let mut htb = HotTranslationBuffer::paper_default();
+        htb.record(t(1), 10);
+        htb.flush();
+        assert!(htb.is_empty());
+        assert!(htb.signature().is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut a = HotTranslationBuffer::new(8, 2);
+        let mut b = HotTranslationBuffer::new(8, 2);
+        for id in [5u32, 9, 1] {
+            a.record(t(id), 7);
+        }
+        for id in [1u32, 5, 9] {
+            b.record(t(id), 7);
+        }
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn paper_storage_is_one_kib() {
+        assert_eq!(HotTranslationBuffer::paper_default().storage_bytes(), 1024);
+    }
+
+    #[test]
+    fn count_vector_is_sorted_and_counts_executions() {
+        let mut htb = HotTranslationBuffer::paper_default();
+        htb.record(t(9), 3);
+        htb.record(t(2), 5);
+        htb.record(t(9), 1);
+        assert_eq!(htb.count_vector(), vec![(t(2), 1), (t(9), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_capacity_rejected() {
+        let _ = HotTranslationBuffer::new(0, 4);
+    }
+}

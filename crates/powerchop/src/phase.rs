@@ -1,0 +1,120 @@
+//! Phase signatures (paper §IV-B1).
+//!
+//! PowerChop identifies application phases by the set of the **N hottest
+//! translations** executed during a fixed-size *execution window* (a run
+//! of consecutively executed translations). The paper's sensitivity
+//! analysis picked `N = 4` and a window of 1000 translations.
+
+use powerchop_bt::TranslationId;
+
+/// Paper-default signature length (hottest translations per window).
+pub const SIGNATURE_LEN: usize = 4;
+
+/// Paper-default execution-window size, in executed translations.
+pub const WINDOW_TRANSLATIONS: u32 = 1000;
+
+/// A phase signature: up to [`SIGNATURE_LEN`] translation IDs, stored
+/// sorted so that signatures compare structurally (the hardware compares
+/// the 128-bit concatenation; order is canonicalized at construction).
+///
+/// Windows containing fewer unique translations than the signature length
+/// produce shorter signatures; unused slots hold `u32::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhaseSignature {
+    ids: [u32; SIGNATURE_LEN],
+}
+
+impl PhaseSignature {
+    /// Builds a signature from the window's hottest translation IDs
+    /// (order-insensitive; duplicates are an error in the HTB, not here).
+    #[must_use]
+    pub fn new(hottest: &[TranslationId]) -> Self {
+        let mut ids = [u32::MAX; SIGNATURE_LEN];
+        for (slot, id) in ids.iter_mut().zip(hottest.iter()) {
+            *slot = id.0;
+        }
+        ids.sort_unstable();
+        PhaseSignature { ids }
+    }
+
+    /// The translation IDs in the signature (ascending; excludes empty
+    /// slots).
+    pub fn ids(&self) -> impl Iterator<Item = TranslationId> + '_ {
+        self.ids.iter().filter(|id| **id != u32::MAX).map(|id| TranslationId(*id))
+    }
+
+    /// Number of translation IDs present.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.iter().filter(|id| **id != u32::MAX).count()
+    }
+
+    /// Whether the signature is empty (a window with no translations).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids[0] == u32::MAX
+    }
+
+    /// Storage bits of one PVT signature field (4 × 32-bit PCs = 128 b,
+    /// paper Fig. 6b).
+    #[must_use]
+    pub fn storage_bits() -> u32 {
+        (SIGNATURE_LEN * 32) as u32
+    }
+}
+
+impl std::fmt::Display for PhaseSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<")?;
+        let mut first = true;
+        for id in self.ids() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+            first = false;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(ids: &[u32]) -> PhaseSignature {
+        let v: Vec<TranslationId> = ids.iter().map(|i| TranslationId(*i)).collect();
+        PhaseSignature::new(&v)
+    }
+
+    #[test]
+    fn order_is_canonicalized() {
+        assert_eq!(sig(&[3, 1, 2, 9]), sig(&[9, 2, 1, 3]));
+    }
+
+    #[test]
+    fn distinct_sets_differ() {
+        assert_ne!(sig(&[1, 2, 3, 4]), sig(&[1, 2, 3, 5]));
+    }
+
+    #[test]
+    fn short_windows_make_short_signatures() {
+        let s = sig(&[7]);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.ids().collect::<Vec<_>>(), vec![TranslationId(7)]);
+        assert!(sig(&[]).is_empty());
+    }
+
+    #[test]
+    fn display_lists_ids() {
+        assert_eq!(sig(&[4, 2]).to_string(), "<t2,t4>");
+    }
+
+    #[test]
+    fn paper_storage_size() {
+        assert_eq!(PhaseSignature::storage_bits(), 128);
+        assert_eq!(WINDOW_TRANSLATIONS, 1000);
+        assert_eq!(SIGNATURE_LEN, 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! Power-gating policies (paper §IV-B3, Fig. 6b).
+//!
+//! A gating policy is a 4-bit vector: 1 bit for the VPU (gated on/off),
+//! 1 bit for the BPU (large predictor on/off), and 2 bits for the MLC
+//! (all / half / one way active).
+
+use powerchop_uarch::cache::MlcWayState;
+
+/// The power-gating states of the three managed units for one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GatingPolicy {
+    /// Whether the VPU is powered (`V` bit).
+    pub vpu_on: bool,
+    /// Whether the large BPU is powered (`B` bit).
+    pub bpu_on: bool,
+    /// MLC way-gating state (`M` bits).
+    pub mlc: MlcWayState,
+}
+
+impl GatingPolicy {
+    /// Everything fully powered (performance baseline).
+    pub const FULL: GatingPolicy =
+        GatingPolicy { vpu_on: true, bpu_on: true, mlc: MlcWayState::Full };
+
+    /// Everything in its lowest-power state (power floor).
+    pub const MINIMAL: GatingPolicy =
+        GatingPolicy { vpu_on: false, bpu_on: false, mlc: MlcWayState::One };
+
+    /// The 4-bit PVT encoding: `V | B << 1 | M << 2`.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        u8::from(self.vpu_on) | (u8::from(self.bpu_on) << 1) | (self.mlc.policy_bits() << 2)
+    }
+
+    /// Storage bits of one PVT policy field (paper Fig. 6b: 4 bits).
+    #[must_use]
+    pub fn storage_bits() -> u32 {
+        4
+    }
+}
+
+impl std::fmt::Display for GatingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "V={} B={} M={}",
+            u8::from(self.vpu_on),
+            u8::from(self.bpu_on),
+            self.mlc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_encoding_is_unique_per_policy() {
+        let mut seen = std::collections::HashSet::new();
+        for vpu_on in [false, true] {
+            for bpu_on in [false, true] {
+                for mlc in [MlcWayState::One, MlcWayState::Half, MlcWayState::Full] {
+                    let p = GatingPolicy { vpu_on, bpu_on, mlc };
+                    assert!(seen.insert(p.bits()), "duplicate encoding for {p}");
+                    assert!(p.bits() < 16, "must fit the 4-bit PVT field");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn named_policies() {
+        assert_eq!(GatingPolicy::FULL.to_string(), "V=1 B=1 M=all-ways");
+        assert_eq!(GatingPolicy::MINIMAL.to_string(), "V=0 B=0 M=1-way");
+        assert_eq!(GatingPolicy::storage_bits(), 4);
+    }
+}

@@ -1,0 +1,381 @@
+//! The integrated PowerChop system: guest program + BT layer + core
+//! model + power manager + energy ledger, with a single entry point
+//! ([`run_program`]) producing the [`RunReport`] that every experiment
+//! in the paper's evaluation is derived from.
+
+use powerchop_bt::nucleus::{Nucleus, NucleusStats};
+use powerchop_bt::{BtConfig, BtStats, Machine, MachineEvent};
+use powerchop_gisa::{GisaError, Program};
+use powerchop_power::{EnergyLedger, EnergyReport, PowerParams};
+use powerchop_uarch::config::{CoreConfig, CoreKind};
+use powerchop_uarch::core::{CoreModel, CoreStats};
+
+use crate::cde::CdeStats;
+use crate::gating::{GatedCycles, GatingController, SwitchCounts};
+use crate::managers::{
+    ChopConfig, DrowsyMlcManager, FullPowerManager, ManagerCtx, MinimalPowerManager,
+    PowerChopManager, PowerManager, TimeoutVpuManager, WindowRecord,
+};
+use crate::pvt::PvtStats;
+
+/// Which power-management policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagerKind {
+    /// PowerChop (the paper's contribution).
+    PowerChop,
+    /// Fully-powered baseline.
+    FullPower,
+    /// Lowest-power baseline.
+    MinimalPower,
+    /// Hardware-only idleness timeout on the VPU (paper §V-E).
+    TimeoutVpu {
+        /// Idle cycles before gating off.
+        timeout_cycles: u64,
+    },
+    /// Drowsy-cache baseline on the MLC (paper §VI related work):
+    /// periodic low-retention-voltage mode instead of way-gating.
+    DrowsyMlc {
+        /// Cycles between global drowse events.
+        period_cycles: u64,
+    },
+}
+
+/// Everything needed to run one experiment.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Core design point.
+    pub core: CoreConfig,
+    /// BT-layer tuning.
+    pub bt: BtConfig,
+    /// Power-model parameters.
+    pub power: PowerParams,
+    /// PowerChop tuning (ignored by baselines).
+    pub chop: ChopConfig,
+    /// Stop after this many retired guest instructions (the SimPoint
+    /// substitute — see `DESIGN.md`).
+    pub max_instructions: u64,
+    /// Record per-window phase-identification data (Fig. 8). Off by
+    /// default; costs memory proportional to windows executed.
+    pub record_windows: bool,
+}
+
+impl RunConfig {
+    /// A default configuration for the given design point. The
+    /// instruction budget defaults to 12 M and can be overridden with the
+    /// `POWERCHOP_BUDGET` environment variable.
+    #[must_use]
+    pub fn for_kind(kind: CoreKind) -> Self {
+        RunConfig {
+            core: CoreConfig::for_kind(kind),
+            bt: BtConfig::default(),
+            power: PowerParams::for_kind(kind),
+            chop: ChopConfig::default(),
+            max_instructions: default_budget(),
+            record_windows: false,
+        }
+    }
+}
+
+/// The default per-run instruction budget, honouring `POWERCHOP_BUDGET`.
+#[must_use]
+pub fn default_budget() -> u64 {
+    std::env::var("POWERCHOP_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12_000_000)
+}
+
+/// The complete result of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Program name.
+    pub name: String,
+    /// Manager name (`"powerchop"`, `"full-power"`, ...).
+    pub manager: &'static str,
+    /// Design point the run used.
+    pub core_kind: CoreKind,
+    /// Guest instructions retired.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Core event counters.
+    pub stats: CoreStats,
+    /// BT-layer counters.
+    pub bt: BtStats,
+    /// Energy and average power.
+    pub energy: EnergyReport,
+    /// Time each unit spent gated.
+    pub gated: GatedCycles,
+    /// Gating switches per unit.
+    pub switches: SwitchCounts,
+    /// Nucleus (CDE-interrupt) activity.
+    pub nucleus: NucleusStats,
+    /// PVT statistics (PowerChop runs only).
+    pub pvt: Option<PvtStats>,
+    /// CDE statistics (PowerChop runs only).
+    pub cde: Option<CdeStats>,
+    /// Per-window phase records, when requested.
+    pub windows: Vec<WindowRecord>,
+}
+
+impl RunReport {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Gating switches per million cycles for one unit (Fig. 11's metric).
+    #[must_use]
+    pub fn switches_per_mcycle(&self, switches: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            switches as f64 * 1e6 / self.cycles as f64
+        }
+    }
+
+    /// Relative slowdown versus a baseline run of the same program
+    /// (positive = slower than baseline).
+    #[must_use]
+    pub fn slowdown_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.ipc() == 0.0 {
+            0.0
+        } else {
+            1.0 - self.ipc() / baseline.ipc()
+        }
+    }
+
+    /// Fractional reduction in average total power versus a baseline run.
+    #[must_use]
+    pub fn power_reduction_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.energy.avg_power_w == 0.0 {
+            0.0
+        } else {
+            1.0 - self.energy.avg_power_w / baseline.energy.avg_power_w
+        }
+    }
+
+    /// Fractional reduction in average leakage power versus a baseline.
+    #[must_use]
+    pub fn leakage_reduction_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.energy.leakage_power_w == 0.0 {
+            0.0
+        } else {
+            1.0 - self.energy.leakage_power_w / baseline.energy.leakage_power_w
+        }
+    }
+
+    /// Fractional reduction in energy *for the same amount of work*
+    /// versus a baseline run of the same program. Runs may retire
+    /// different instruction counts under a shared budget, so energies
+    /// are compared per instruction.
+    #[must_use]
+    pub fn energy_reduction_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.instructions == 0 || self.instructions == 0 || baseline.energy.total_j == 0.0 {
+            return 0.0;
+        }
+        let epi = self.energy.total_j / self.instructions as f64;
+        let epi_base = baseline.energy.total_j / baseline.instructions as f64;
+        1.0 - epi / epi_base
+    }
+}
+
+fn build_manager(kind: ManagerKind, cfg: &RunConfig) -> Box<dyn PowerManager> {
+    match kind {
+        ManagerKind::PowerChop => {
+            Box::new(PowerChopManager::new(cfg.chop.clone(), cfg.record_windows))
+        }
+        ManagerKind::FullPower => Box::new(FullPowerManager),
+        ManagerKind::MinimalPower => Box::new(MinimalPowerManager),
+        ManagerKind::TimeoutVpu { timeout_cycles } => {
+            Box::new(TimeoutVpuManager::new(timeout_cycles))
+        }
+        ManagerKind::DrowsyMlc { period_cycles } => {
+            Box::new(DrowsyMlcManager::new(period_cycles))
+        }
+    }
+}
+
+/// Runs `program` under the chosen power manager.
+///
+/// # Errors
+///
+/// Propagates guest-execution faults, which indicate a bug in the guest
+/// program.
+pub fn run_program(
+    program: &Program,
+    kind: ManagerKind,
+    cfg: &RunConfig,
+) -> Result<RunReport, GisaError> {
+    let mut core = CoreModel::new(&cfg.core);
+    let mut ledger = EnergyLedger::new(cfg.power.clone());
+    // The timeout baseline gates the power state only (vector ops wake
+    // the unit on demand), so its controller must not drive the core's
+    // unit models.
+    let semantic = !matches!(kind, ManagerKind::TimeoutVpu { .. });
+    let mut controller = GatingController::new(&cfg.core, semantic);
+    let mut nucleus = Nucleus::new();
+    let mut machine = Machine::new(program, cfg.bt);
+    let mut manager = build_manager(kind, cfg);
+
+    {
+        let mut ctx = ManagerCtx {
+            core: &mut core,
+            ledger: &mut ledger,
+            controller: &mut controller,
+            nucleus: &mut nucleus,
+        };
+        manager.init(&mut ctx);
+    }
+
+    loop {
+        if machine.retired() >= cfg.max_instructions {
+            break;
+        }
+        match machine.step(&mut core)? {
+            MachineEvent::Halted => break,
+            MachineEvent::Translation { id, instructions } => {
+                let mut ctx = ManagerCtx {
+                    core: &mut core,
+                    ledger: &mut ledger,
+                    controller: &mut controller,
+                    nucleus: &mut nucleus,
+                };
+                manager.on_translation(id, instructions, &mut ctx);
+            }
+            _ => {}
+        }
+    }
+    controller.sync(&core, &mut ledger);
+
+    Ok(RunReport {
+        name: program.name().to_owned(),
+        manager: manager.name(),
+        core_kind: cfg.core.kind,
+        instructions: machine.retired(),
+        cycles: core.cycles(),
+        stats: core.stats(),
+        bt: machine.stats(),
+        energy: ledger.report(),
+        gated: controller.gated_cycles(),
+        switches: controller.switches(),
+        nucleus: nucleus.stats(),
+        pvt: manager.pvt_stats(),
+        cde: manager.cde_stats(),
+        windows: manager.take_window_records(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerchop_gisa::{ProgramBuilder, Reg};
+
+    /// A long predictable scalar loop: every managed unit is non-critical.
+    fn idle_units_program(iters: i64) -> Program {
+        let r0 = Reg::new(0).unwrap();
+        let r1 = Reg::new(1).unwrap();
+        let r2 = Reg::new(2).unwrap();
+        let mut b = ProgramBuilder::new("idle-units");
+        b.li(r0, 0).li(r1, iters);
+        let top = b.bind_label();
+        b.addi(r2, r2, 3);
+        b.xor(r2, r2, r0);
+        b.addi(r0, r0, 1);
+        b.blt(r0, r1, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn cfg() -> RunConfig {
+        let mut c = RunConfig::for_kind(CoreKind::Server);
+        c.max_instructions = 2_000_000;
+        c
+    }
+
+    #[test]
+    fn powerchop_gates_noncritical_units_with_small_slowdown() {
+        let p = idle_units_program(1_000_000);
+        let cfg = cfg();
+        let full = run_program(&p, ManagerKind::FullPower, &cfg).unwrap();
+        let chop = run_program(&p, ManagerKind::PowerChop, &cfg).unwrap();
+
+        // Units gated for the bulk of execution.
+        assert!(chop.gated.vpu_off_frac() > 0.8, "vpu: {}", chop.gated.vpu_off_frac());
+        assert!(chop.gated.bpu_off_frac() > 0.8, "bpu: {}", chop.gated.bpu_off_frac());
+        assert!(chop.gated.mlc_one_frac() > 0.8, "mlc: {}", chop.gated.mlc_one_frac());
+
+        // Big leakage reduction, tiny slowdown.
+        assert!(chop.leakage_reduction_vs(&full) > 0.3);
+        let slowdown = chop.slowdown_vs(&full);
+        assert!(slowdown < 0.05, "slowdown {slowdown}");
+        assert!(chop.power_reduction_vs(&full) > 0.0);
+    }
+
+    #[test]
+    fn minimal_power_is_cheapest_but_can_be_slow() {
+        let p = idle_units_program(500_000);
+        let cfg = cfg();
+        let full = run_program(&p, ManagerKind::FullPower, &cfg).unwrap();
+        let min = run_program(&p, ManagerKind::MinimalPower, &cfg).unwrap();
+        assert!(min.energy.leakage_power_w < full.energy.leakage_power_w * 0.7);
+        assert_eq!(min.switches.total(), 3, "one switch per unit at init");
+    }
+
+    #[test]
+    fn reports_are_internally_consistent() {
+        let p = idle_units_program(200_000);
+        let cfg = cfg();
+        let r = run_program(&p, ManagerKind::PowerChop, &cfg).unwrap();
+        assert_eq!(r.manager, "powerchop");
+        assert_eq!(r.core_kind, CoreKind::Server);
+        assert!(r.ipc() > 0.0);
+        assert_eq!(r.gated.total, r.cycles);
+        assert!(r.pvt.is_some() && r.cde.is_some());
+        let pvt = r.pvt.unwrap();
+        assert_eq!(pvt.lookups, pvt.hits + pvt.misses());
+        assert_eq!(r.nucleus.interrupts, pvt.misses());
+    }
+
+    #[test]
+    fn window_recording_captures_every_window() {
+        let p = idle_units_program(500_000);
+        let mut cfg = cfg();
+        cfg.record_windows = true;
+        let r = run_program(&p, ManagerKind::PowerChop, &cfg).unwrap();
+        let pvt = r.pvt.unwrap();
+        assert_eq!(r.windows.len() as u64, pvt.lookups);
+        assert!(r.windows.len() > 10);
+    }
+
+    #[test]
+    fn budget_limits_run_length() {
+        let p = idle_units_program(100_000_000);
+        let mut c = cfg();
+        c.max_instructions = 100_000;
+        let r = run_program(&p, ManagerKind::FullPower, &c).unwrap();
+        assert!(r.instructions >= 100_000);
+        assert!(r.instructions < 110_000);
+    }
+
+    #[test]
+    fn timeout_manager_runs_non_semantically() {
+        let p = idle_units_program(300_000);
+        let cfg = cfg();
+        let r = run_program(
+            &p,
+            ManagerKind::TimeoutVpu { timeout_cycles: 10_000 },
+            &cfg,
+        )
+        .unwrap();
+        // No vector ops at all: the VPU gates off once and stays off.
+        assert_eq!(r.switches.vpu, 1);
+        assert!(r.gated.vpu_off_frac() > 0.9);
+        assert!(r.pvt.is_none());
+    }
+}

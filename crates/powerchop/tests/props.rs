@@ -1,0 +1,145 @@
+//! Property-based tests for PowerChop's hardware structures and policies.
+
+use proptest::prelude::*;
+
+use powerchop::cde::{Cde, Thresholds, WindowProfile};
+use powerchop::htb::HotTranslationBuffer;
+use powerchop::managers::ManagedSet;
+use powerchop::phase::PhaseSignature;
+use powerchop::policy::GatingPolicy;
+use powerchop::pvt::PolicyVectorTable;
+use powerchop_bt::TranslationId;
+use powerchop_uarch::cache::MlcWayState;
+
+fn arb_policy() -> impl Strategy<Value = GatingPolicy> {
+    (any::<bool>(), any::<bool>(), 0u8..3).prop_map(|(vpu_on, bpu_on, m)| GatingPolicy {
+        vpu_on,
+        bpu_on,
+        mlc: match m {
+            0 => MlcWayState::One,
+            1 => MlcWayState::Half,
+            _ => MlcWayState::Full,
+        },
+    })
+}
+
+proptest! {
+    /// The phase signature is a pure function of the *set* of recorded
+    /// (id, weight) events — recording order never matters.
+    #[test]
+    fn htb_signature_is_order_independent(
+        mut events in prop::collection::vec((0u32..64, 1u64..100), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut a = HotTranslationBuffer::paper_default();
+        for (id, n) in &events {
+            a.record(TranslationId(*id), *n);
+        }
+        // Deterministic shuffle from the seed.
+        let mut s = seed;
+        for i in (1..events.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            events.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let mut b = HotTranslationBuffer::paper_default();
+        for (id, n) in &events {
+            b.record(TranslationId(*id), *n);
+        }
+        prop_assert_eq!(a.signature(), b.signature());
+        prop_assert_eq!(a.count_vector(), b.count_vector());
+    }
+
+    /// The signature always contains the single hottest translation.
+    #[test]
+    fn htb_signature_contains_the_hottest(
+        ids in prop::collection::vec(0u32..32, 1..100),
+    ) {
+        let mut htb = HotTranslationBuffer::paper_default();
+        for id in &ids {
+            htb.record(TranslationId(*id), 10);
+        }
+        htb.record(TranslationId(999), 1_000_000);
+        let sig_ids: Vec<_> = htb.signature().ids().collect();
+        prop_assert!(sig_ids.contains(&TranslationId(999)));
+    }
+
+    /// PVT: after any interleaving of registers and lookups, a lookup of
+    /// the most recently registered signature always hits with the
+    /// registered policy (the clock sweep cannot evict the entry that was
+    /// just referenced).
+    #[test]
+    fn pvt_most_recent_registration_hits(
+        ops in prop::collection::vec((0u32..40, arb_policy()), 1..200),
+    ) {
+        let mut pvt = PolicyVectorTable::paper_default();
+        for (id, policy) in ops {
+            let sig = PhaseSignature::new(&[TranslationId(id)]);
+            pvt.register(sig, policy);
+            prop_assert_eq!(pvt.lookup(sig), Some(policy));
+            prop_assert!(pvt.len() <= 16);
+        }
+    }
+
+    /// PVT stats: lookups = hits + misses, and evictions only happen at
+    /// capacity.
+    #[test]
+    fn pvt_stats_consistent(ids in prop::collection::vec(0u32..64, 1..300)) {
+        let mut pvt = PolicyVectorTable::new(8);
+        for id in ids {
+            let sig = PhaseSignature::new(&[TranslationId(id)]);
+            if pvt.lookup(sig).is_none() {
+                pvt.register(sig, GatingPolicy::FULL);
+            }
+            let s = pvt.stats();
+            prop_assert_eq!(s.lookups, s.hits + s.misses());
+        }
+    }
+
+    /// The CDE decision is monotone in the VPU threshold: raising the
+    /// threshold can only gate the VPU off, never turn it on.
+    #[test]
+    fn cde_vpu_decision_monotone_in_threshold(
+        vec_ops in 0u64..2000,
+        insts in 2000u64..20000,
+        lo in 0.0f64..0.05,
+        hi_delta in 0.0f64..0.3,
+    ) {
+        let make = |thr: f64| {
+            let cde = Cde::new(Thresholds { vpu: thr, ..Thresholds::default() });
+            let w = WindowProfile { instructions: insts, vec_ops, ..WindowProfile::default() };
+            cde.decide(&w, &w).vpu_on
+        };
+        let low = make(lo);
+        let high = make(lo + hi_delta);
+        prop_assert!(low || !high, "raising the threshold cannot enable the VPU");
+    }
+
+    /// Masking is idempotent and only ever powers units *on*.
+    #[test]
+    fn managed_set_mask_is_idempotent_and_monotone(
+        policy in arb_policy(),
+        vpu in any::<bool>(), bpu in any::<bool>(), mlc in any::<bool>(),
+    ) {
+        let set = ManagedSet { vpu, bpu, mlc };
+        let masked = set.mask(policy);
+        prop_assert_eq!(set.mask(masked), masked, "mask must be idempotent");
+        prop_assert!(masked.vpu_on || !policy.vpu_on);
+        prop_assert!(masked.bpu_on || !policy.bpu_on);
+        prop_assert!(masked.mlc >= policy.mlc);
+        // Unmanaged units are forced fully on.
+        if !vpu { prop_assert!(masked.vpu_on); }
+        if !bpu { prop_assert!(masked.bpu_on); }
+        if !mlc { prop_assert_eq!(masked.mlc, MlcWayState::Full); }
+    }
+
+    /// Policy bit encodings are stable and unique across all 12 states.
+    #[test]
+    fn policy_bits_roundtrip(policy in arb_policy()) {
+        let bits = policy.bits();
+        prop_assert!(bits < 16);
+        // Re-derive fields from the encoding.
+        prop_assert_eq!(bits & 1 != 0, policy.vpu_on);
+        prop_assert_eq!(bits & 2 != 0, policy.bpu_on);
+        prop_assert_eq!(bits >> 2, policy.mlc.policy_bits());
+    }
+}

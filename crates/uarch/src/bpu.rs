@@ -1,0 +1,365 @@
+//! Branch prediction unit: small always-on local predictor and large
+//! gateable tournament predictor (paper Table I, §IV-C2).
+//!
+//! The large predictor is a local/global tournament in the style of the
+//! Alpha 21264: a per-PC local table, a gshare-style global table, and a
+//! chooser that learns which component to trust per branch, plus a large
+//! BTB. The small predictor is a bimodal (2-bit saturating counter) local
+//! table with a small BTB. When PowerChop gates the BPU off, prediction
+//! falls back to the small predictor and the large predictor's state
+//! (global history, chooser, BTB) is lost and must re-warm after gating
+//! back on.
+
+use crate::config::BpuConfig;
+
+/// Saturating 2-bit counter operations on a `u8` in `0..=3`.
+fn bump(counter: &mut u8, up: bool) {
+    if up {
+        *counter = (*counter + 1).min(3);
+    } else {
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+fn predicts_taken(counter: u8) -> bool {
+    counter >= 2
+}
+
+/// A direct-mapped branch target buffer.
+#[derive(Debug, Clone)]
+struct Btb {
+    entries: Vec<Option<(u32, u32)>>, // (branch pc, target pc)
+    mask: usize,
+}
+
+impl Btb {
+    fn new(entries: u32) -> Self {
+        let n = entries.next_power_of_two() as usize;
+        Btb { entries: vec![None; n], mask: n - 1 }
+    }
+
+    fn lookup(&self, pc: u32) -> Option<u32> {
+        match self.entries[pc as usize & self.mask] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, pc: u32, target: u32) {
+        self.entries[pc as usize & self.mask] = Some((pc, target));
+    }
+
+    fn clear(&mut self) {
+        self.entries.fill(None);
+    }
+}
+
+/// The small always-on local (bimodal) predictor.
+#[derive(Debug, Clone)]
+struct Bimodal {
+    table: Vec<u8>,
+    mask: usize,
+    btb: Btb,
+}
+
+impl Bimodal {
+    fn new(entries: u32) -> Self {
+        let n = entries.next_power_of_two() as usize;
+        Bimodal {
+            table: vec![1; n], // weakly not-taken
+            mask: n - 1,
+            btb: Btb::new(entries),
+        }
+    }
+
+    fn predict(&self, pc: u32) -> bool {
+        predicts_taken(self.table[pc as usize & self.mask])
+    }
+
+    fn update(&mut self, pc: u32, taken: bool, target: u32) {
+        bump(&mut self.table[pc as usize & self.mask], taken);
+        if taken {
+            self.btb.insert(pc, target);
+        }
+    }
+}
+
+/// The large local/global tournament predictor with chooser and BTB.
+#[derive(Debug, Clone)]
+struct Tournament {
+    local: Vec<u8>,
+    global: Vec<u8>,
+    chooser: Vec<u8>,
+    local_mask: usize,
+    global_mask: usize,
+    chooser_mask: usize,
+    history: u32,
+    btb: Btb,
+}
+
+impl Tournament {
+    fn new(cfg: &BpuConfig) -> Self {
+        let t = cfg.table_entries.next_power_of_two() as usize;
+        let c = cfg.chooser_entries.next_power_of_two() as usize;
+        Tournament {
+            local: vec![1; t],
+            global: vec![1; t],
+            chooser: vec![1; c], // weakly favour local
+            local_mask: t - 1,
+            global_mask: t - 1,
+            chooser_mask: c - 1,
+            history: 0,
+            btb: Btb::new(cfg.large_btb_entries),
+        }
+    }
+
+    fn global_index(&self, pc: u32) -> usize {
+        (pc as usize ^ (self.history as usize)) & self.global_mask
+    }
+
+    fn predict(&self, pc: u32) -> bool {
+        let local = predicts_taken(self.local[pc as usize & self.local_mask]);
+        let global = predicts_taken(self.global[self.global_index(pc)]);
+        let use_global = predicts_taken(self.chooser[pc as usize & self.chooser_mask]);
+        if use_global {
+            global
+        } else {
+            local
+        }
+    }
+
+    fn update(&mut self, pc: u32, taken: bool, target: u32) {
+        let li = pc as usize & self.local_mask;
+        let gi = self.global_index(pc);
+        let local_correct = predicts_taken(self.local[li]) == taken;
+        let global_correct = predicts_taken(self.global[gi]) == taken;
+        // Train the chooser only when the components disagree.
+        if local_correct != global_correct {
+            bump(&mut self.chooser[pc as usize & self.chooser_mask], global_correct);
+        }
+        bump(&mut self.local[li], taken);
+        bump(&mut self.global[gi], taken);
+        self.history = (self.history << 1) | u32::from(taken);
+        if taken {
+            self.btb.insert(pc, target);
+        }
+    }
+
+    /// Models the state loss of power gating: everything is cleared.
+    fn reset(&mut self) {
+        self.local.fill(1);
+        self.global.fill(1);
+        self.chooser.fill(1);
+        self.history = 0;
+        self.btb.clear();
+    }
+}
+
+/// Which predictor is currently driving predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BpuKind {
+    /// The small always-on bimodal predictor (large BPU gated off).
+    Small,
+    /// The large tournament predictor (gated on).
+    Large,
+}
+
+/// Cumulative BPU event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BpuStats {
+    /// Conditional branches predicted.
+    pub branches: u64,
+    /// Mispredictions (direction wrong, or taken with a BTB miss).
+    pub mispredicts: u64,
+}
+
+/// The branch prediction unit: small + large predictors with gating.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop_uarch::bpu::{Bpu, BpuKind};
+/// use powerchop_uarch::config::CoreConfig;
+///
+/// let cfg = CoreConfig::server();
+/// let mut bpu = Bpu::new(&cfg.bpu);
+/// assert_eq!(bpu.active(), BpuKind::Large);
+/// // A tight loop branch becomes predictable after warm-up.
+/// for _ in 0..100 {
+///     bpu.predict_and_update(0x40, true, 0x10);
+/// }
+/// assert!(!bpu.predict_and_update(0x40, true, 0x10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bpu {
+    small: Bimodal,
+    large: Tournament,
+    large_active: bool,
+    stats: BpuStats,
+}
+
+impl Bpu {
+    /// Creates a BPU sized per `cfg`, with the large predictor active.
+    #[must_use]
+    pub fn new(cfg: &BpuConfig) -> Self {
+        Bpu {
+            small: Bimodal::new(cfg.small_entries),
+            large: Tournament::new(cfg),
+            large_active: true,
+            stats: BpuStats::default(),
+        }
+    }
+
+    /// Which predictor currently drives predictions.
+    #[must_use]
+    pub fn active(&self) -> BpuKind {
+        if self.large_active {
+            BpuKind::Large
+        } else {
+            BpuKind::Small
+        }
+    }
+
+    /// Gates the large predictor on or off.
+    ///
+    /// Gating off loses all large-predictor state (paper Table I: "lose
+    /// global, chooser and BTB state, rewarm"); this model also drops the
+    /// large local table, which re-warms after gating back on.
+    pub fn set_large_active(&mut self, active: bool) {
+        if self.large_active && !active {
+            self.large.reset();
+        }
+        self.large_active = active;
+    }
+
+    /// Predicts the branch at `pc`, updates predictor state with the true
+    /// outcome, and returns whether the branch was mispredicted.
+    ///
+    /// A branch counts as mispredicted when the predicted direction is
+    /// wrong, or when it is taken and the active BTB does not hold the
+    /// correct target.
+    pub fn predict_and_update(&mut self, pc: u32, taken: bool, target: u32) -> bool {
+        self.stats.branches += 1;
+        let (predicted_taken, btb_target) = if self.large_active {
+            (self.large.predict(pc), self.large.btb.lookup(pc))
+        } else {
+            (self.small.predict(pc), self.small.btb.lookup(pc))
+        };
+        let mispredict =
+            predicted_taken != taken || (taken && btb_target != Some(target));
+        if mispredict {
+            self.stats.mispredicts += 1;
+        }
+        // The small predictor is tiny and always powered, so it always
+        // trains; the large predictor only trains while powered on.
+        self.small.update(pc, taken, target);
+        if self.large_active {
+            self.large.update(pc, taken, target);
+        }
+        mispredict
+    }
+
+    /// Cumulative statistics since construction.
+    #[must_use]
+    pub fn stats(&self) -> BpuStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+
+    fn bpu() -> Bpu {
+        Bpu::new(&CoreConfig::server().bpu)
+    }
+
+    #[test]
+    fn loop_branch_becomes_predictable() {
+        let mut b = bpu();
+        for _ in 0..10 {
+            b.predict_and_update(100, true, 50);
+        }
+        assert!(!b.predict_and_update(100, true, 50));
+        let s = b.stats();
+        assert_eq!(s.branches, 11);
+        assert!(s.mispredicts <= 3, "warm-up only: {}", s.mispredicts);
+    }
+
+    #[test]
+    fn alternating_pattern_favours_global_history() {
+        // A strictly alternating branch defeats a bimodal predictor but is
+        // learnable from global history.
+        let mut large = bpu();
+        let mut small = bpu();
+        small.set_large_active(false);
+        let mut large_wrong = 0;
+        let mut small_wrong = 0;
+        for i in 0..2000u32 {
+            let taken = i % 2 == 0;
+            if large.predict_and_update(7, taken, 3) {
+                large_wrong += 1;
+            }
+            if small.predict_and_update(7, taken, 3) {
+                small_wrong += 1;
+            }
+        }
+        assert!(
+            large_wrong * 4 < small_wrong,
+            "tournament ({large_wrong}) should beat bimodal ({small_wrong}) on alternation"
+        );
+    }
+
+    #[test]
+    fn gating_off_loses_state() {
+        let mut b = bpu();
+        for _ in 0..100 {
+            b.predict_and_update(8, true, 2);
+        }
+        assert!(!b.predict_and_update(8, true, 2));
+        b.set_large_active(false);
+        b.set_large_active(true);
+        // State was lost: the first prediction after re-warm is cold.
+        assert!(b.predict_and_update(8, true, 2));
+    }
+
+    #[test]
+    fn small_predictor_keeps_training_while_large_is_active() {
+        let mut b = bpu();
+        for _ in 0..100 {
+            b.predict_and_update(8, true, 2);
+        }
+        // Switch to the small predictor: it trained in the shadow, so the
+        // loop branch stays predictable.
+        b.set_large_active(false);
+        assert!(!b.predict_and_update(8, true, 2));
+    }
+
+    #[test]
+    fn btb_miss_counts_as_mispredict() {
+        let mut b = bpu();
+        for _ in 0..10 {
+            b.predict_and_update(16, true, 4);
+        }
+        // Same direction, different target: BTB holds the old target.
+        assert!(b.predict_and_update(16, true, 9));
+    }
+
+    #[test]
+    fn not_taken_branches_do_not_need_btb() {
+        let mut b = bpu();
+        for _ in 0..10 {
+            b.predict_and_update(24, false, 99);
+        }
+        assert!(!b.predict_and_update(24, false, 99));
+    }
+
+    #[test]
+    fn active_kind_reflects_gating() {
+        let mut b = bpu();
+        assert_eq!(b.active(), BpuKind::Large);
+        b.set_large_active(false);
+        assert_eq!(b.active(), BpuKind::Small);
+    }
+}

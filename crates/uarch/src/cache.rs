@@ -1,0 +1,518 @@
+//! Set-associative write-back caches with way-gating support.
+//!
+//! The middle-level cache (MLC) is the paper's L2: PowerChop keeps either
+//! one way, half the ways, or all ways powered (paper §IV-C2), so the cache
+//! model supports deactivating ways at run time. Deactivating a way writes
+//! its dirty lines back (modelled by the caller using the returned count)
+//! and loses its clean lines (paper Table I: "WB dirty lines, lose clean
+//! lines, rewarm").
+
+use crate::config::CacheConfig;
+
+/// The MLC way-gating states (2-bit policy in the PVT, paper Fig. 6b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MlcWayState {
+    /// A single way active (lowest power).
+    One,
+    /// A quarter of the ways active — the 4th state the paper's 2-bit
+    /// policy field leaves room for (§IV-B3: "the number of states...
+    /// can be increased"). Used when `ChopConfig::extended_mlc_states`
+    /// is enabled.
+    Quarter,
+    /// Half the ways active.
+    Half,
+    /// All ways active (full performance).
+    Full,
+}
+
+impl MlcWayState {
+    /// Number of active ways this state leaves in a cache of `total` ways.
+    #[must_use]
+    pub fn active_ways(self, total: u32) -> u32 {
+        match self {
+            MlcWayState::One => 1,
+            MlcWayState::Quarter => (total / 4).max(1),
+            MlcWayState::Half => (total / 2).max(1),
+            MlcWayState::Full => total,
+        }
+    }
+
+    /// Fraction of the cache's capacity (and thus leaky area) powered on.
+    #[must_use]
+    pub fn active_fraction(self, total: u32) -> f64 {
+        f64::from(self.active_ways(total)) / f64::from(total)
+    }
+
+    /// The 2-bit PVT policy encoding used in the paper's Figure 6(b).
+    #[must_use]
+    pub fn policy_bits(self) -> u8 {
+        match self {
+            MlcWayState::Quarter => 0b00,
+            MlcWayState::One => 0b01,
+            MlcWayState::Half => 0b10,
+            MlcWayState::Full => 0b11,
+        }
+    }
+}
+
+impl std::fmt::Display for MlcWayState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlcWayState::One => f.write_str("1-way"),
+            MlcWayState::Quarter => f.write_str("quarter-ways"),
+            MlcWayState::Half => f.write_str("half-ways"),
+            MlcWayState::Full => f.write_str("all-ways"),
+        }
+    }
+}
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether the miss evicted a dirty line (requiring a writeback to the
+    /// next level).
+    pub writeback: bool,
+    /// Whether the access hit a *drowsy* line that had to be woken first
+    /// (costs a wake-up cycle; see [`Cache::set_all_drowsy`]).
+    pub woke_drowsy: bool,
+}
+
+/// Cumulative cache event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Dirty evictions (capacity/conflict plus way-gating flushes).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Misses (`accesses - hits`).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Low-retention-voltage state (drowsy caches, Flautner et al.): data
+    /// is retained but the line must be woken before it can be read.
+    drowsy: bool,
+    lru: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement
+/// and run-time way deactivation.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop_uarch::cache::Cache;
+/// use powerchop_uarch::config::CacheConfig;
+///
+/// let cfg = CacheConfig { size_kib: 64, ways: 4, line_bytes: 64, hit_latency: 12 };
+/// let mut cache = Cache::new(&cfg);
+/// assert!(!cache.access(0x1000, false).hit); // cold miss
+/// assert!(cache.access(0x1000, false).hit);  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    lines: Vec<Line>,
+    num_sets: usize,
+    ways: usize,
+    active_ways: usize,
+    line_shift: u32,
+    tick: u64,
+    awake_valid: usize,
+    valid: usize,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the geometry of `cfg`, all ways active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets or ways), which
+    /// would indicate a config bug.
+    #[must_use]
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let num_sets = cfg.sets() as usize;
+        let ways = cfg.ways as usize;
+        assert!(num_sets > 0 && ways > 0, "degenerate cache geometry {cfg:?}");
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            lines: vec![Line::default(); num_sets * ways],
+            num_sets,
+            ways,
+            active_ways: ways,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            tick: 0,
+            awake_valid: 0,
+            valid: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Total associativity.
+    #[must_use]
+    pub fn ways(&self) -> u32 {
+        self.ways as u32
+    }
+
+    /// Currently active ways.
+    #[must_use]
+    pub fn active_ways(&self) -> u32 {
+        self.active_ways as u32
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
+        let set = ((addr >> self.line_shift) as usize) & (self.num_sets - 1);
+        let base = set * self.ways;
+        base..base + self.active_ways
+    }
+
+    /// Accesses `addr`, allocating on miss. Returns hit/writeback status.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> AccessOutcome {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let tag = addr >> self.line_shift;
+        let range = self.set_range(addr);
+
+        // Hit path.
+        if let Some(line) = self.lines[range.clone()]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.lru = self.tick;
+            line.dirty |= is_store;
+            let woke_drowsy = line.drowsy;
+            if woke_drowsy {
+                line.drowsy = false;
+                self.awake_valid += 1;
+            }
+            self.stats.hits += 1;
+            return AccessOutcome { hit: true, writeback: false, woke_drowsy };
+        }
+
+        // Miss: allocate into the LRU (or first invalid) active way.
+        let victim = self.lines[range.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| range.start + i)
+            .expect("active ways cannot be empty");
+        let line = &mut self.lines[victim];
+        let writeback = line.valid && line.dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        if !line.valid {
+            self.valid += 1;
+            self.awake_valid += 1;
+        } else if line.drowsy {
+            self.awake_valid += 1; // replaced by a freshly-awake line
+        }
+        *line = Line { tag, valid: true, dirty: is_store, drowsy: false, lru: self.tick };
+        AccessOutcome { hit: false, writeback, woke_drowsy: false }
+    }
+
+    /// Whether `addr` is resident without touching LRU or statistics.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let tag = addr >> self.line_shift;
+        self.lines[self.set_range(addr)]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Changes the number of active ways.
+    ///
+    /// Lines in deactivated ways are invalidated; the number of *dirty*
+    /// lines flushed (each requiring a writeback to the next level) is
+    /// returned so the caller can charge writeback time and energy.
+    /// Re-activated ways come back empty (state was lost while gated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds the cache's associativity.
+    pub fn set_active_ways(&mut self, ways: u32) -> u64 {
+        let ways = ways as usize;
+        assert!(
+            ways >= 1 && ways <= self.ways,
+            "active ways {ways} outside 1..={}",
+            self.ways
+        );
+        let mut flushed_dirty = 0;
+        if ways < self.active_ways {
+            for set in 0..self.num_sets {
+                let base = set * self.ways;
+                for line in &mut self.lines[base + ways..base + self.active_ways] {
+                    if line.valid {
+                        self.valid -= 1;
+                        if !line.drowsy {
+                            self.awake_valid -= 1;
+                        }
+                        if line.dirty {
+                            flushed_dirty += 1;
+                        }
+                    }
+                    *line = Line::default();
+                }
+            }
+            self.stats.writebacks += flushed_dirty;
+        }
+        self.active_ways = ways;
+        flushed_dirty
+    }
+
+    /// Number of currently valid lines (used by tests and warm-up checks).
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Puts every valid line into the drowsy (low-retention-voltage)
+    /// state. Data is retained; the next access to each line pays a
+    /// wake-up cycle (reported via [`AccessOutcome::woke_drowsy`]). This
+    /// is the periodic "simple policy" of drowsy caches (Flautner et
+    /// al.), implemented as a comparison baseline to PowerChop's
+    /// way-gating.
+    ///
+    /// Returns the number of lines put drowsy.
+    pub fn set_all_drowsy(&mut self) -> usize {
+        let mut count = 0;
+        for line in &mut self.lines {
+            if line.valid && !line.drowsy {
+                line.drowsy = true;
+                count += 1;
+            }
+        }
+        self.awake_valid = 0;
+        count
+    }
+
+    /// Fraction of the cache's *capacity* currently awake (valid,
+    /// non-drowsy lines over total lines): the share of the array leaking
+    /// at full voltage. Invalid lines still leak at full voltage unless
+    /// their ways are gated, so they count as awake.
+    #[must_use]
+    pub fn awake_fraction(&self) -> f64 {
+        let total = self.num_sets * self.ways;
+        let drowsy_lines = self.valid - self.awake_valid;
+        (total - drowsy_lines) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(ways: u32) -> Cache {
+        // 4 sets x `ways` ways x 64 B lines.
+        let size_kib = (4 * ways * 64) / 1024;
+        let cfg = CacheConfig {
+            size_kib: size_kib.max(1),
+            ways,
+            line_bytes: 64,
+            hit_latency: 10,
+        };
+        // For tiny sizes compute sets directly to keep 4 sets.
+        let mut c = Cache::new(&CacheConfig {
+            size_kib: (4 * ways * 64).div_ceil(1024).max(1),
+            ..cfg
+        });
+        // Ensure the geometry is what the tests assume.
+        if c.num_sets != 4 {
+            c = Cache {
+                lines: vec![Line::default(); 4 * ways as usize],
+                num_sets: 4,
+                ways: ways as usize,
+                active_ways: ways as usize,
+                line_shift: 6,
+                tick: 0,
+                awake_valid: 0,
+                valid: 0,
+                stats: CacheStats::default(),
+            };
+        }
+        c
+    }
+
+    /// Address helper: set index `set`, tag `tag` (4 sets, 64 B lines).
+    fn addr(tag: u64, set: u64) -> u64 {
+        (tag << 8) | (set << 6)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small_cache(4);
+        assert!(!c.access(addr(1, 0), false).hit);
+        assert!(c.access(addr(1, 0), false).hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache(2);
+        c.access(addr(1, 0), false);
+        c.access(addr(2, 0), false);
+        c.access(addr(1, 0), false); // touch tag 1: tag 2 is now LRU
+        c.access(addr(3, 0), false); // evicts tag 2
+        assert!(c.probe(addr(1, 0)));
+        assert!(!c.probe(addr(2, 0)));
+        assert!(c.probe(addr(3, 0)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small_cache(1);
+        c.access(addr(1, 0), true); // dirty
+        let out = c.access(addr(2, 0), false); // evicts dirty line
+        assert!(!out.hit);
+        assert!(out.writeback);
+        assert!(!out.woke_drowsy);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small_cache(1);
+        c.access(addr(1, 0), false);
+        let out = c.access(addr(2, 0), false);
+        assert!(!out.writeback);
+    }
+
+    #[test]
+    fn way_gating_flushes_dirty_and_loses_clean() {
+        let mut c = small_cache(4);
+        c.access(addr(1, 0), true); // will land in way 0
+        c.access(addr(2, 0), false);
+        c.access(addr(3, 0), true);
+        c.access(addr(4, 0), false);
+        assert_eq!(c.resident_lines(), 4);
+        let flushed = c.set_active_ways(1);
+        // Fill order is way 0..3, so way 0 (dirty tag 1) survives and the
+        // only dirty line in a gated way is tag 3.
+        assert_eq!(flushed, 1);
+        assert!(c.probe(addr(1, 0)));
+        assert_eq!(c.resident_lines(), 1);
+        assert_eq!(c.active_ways(), 1);
+    }
+
+    #[test]
+    fn reduced_ways_shrink_effective_capacity() {
+        let mut c = small_cache(4);
+        c.set_active_ways(1);
+        // Two conflicting tags in the same set now thrash.
+        c.access(addr(1, 0), false);
+        c.access(addr(2, 0), false);
+        assert!(!c.access(addr(1, 0), false).hit);
+    }
+
+    #[test]
+    fn regrowing_ways_starts_cold() {
+        let mut c = small_cache(4);
+        for t in 1..=4 {
+            c.access(addr(t, 0), false);
+        }
+        c.set_active_ways(1);
+        c.set_active_ways(4);
+        // Whatever survived is only what way 0 held.
+        assert!(c.resident_lines() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "active ways")]
+    fn zero_ways_is_rejected() {
+        let mut c = small_cache(4);
+        c.set_active_ways(0);
+    }
+
+    #[test]
+    fn way_state_mapping_matches_paper() {
+        assert_eq!(MlcWayState::Full.active_ways(8), 8);
+        assert_eq!(MlcWayState::Half.active_ways(8), 4);
+        assert_eq!(MlcWayState::One.active_ways(8), 1);
+        // Server MLC: 1024 KiB 8-way -> 512 KiB 4-way or 128 KiB 1-way.
+        assert!((MlcWayState::Half.active_fraction(8) - 0.5).abs() < 1e-12);
+        assert!((MlcWayState::One.active_fraction(8) - 0.125).abs() < 1e-12);
+        assert_eq!(MlcWayState::Full.policy_bits(), 0b11);
+        assert_eq!(MlcWayState::Half.policy_bits(), 0b10);
+        assert_eq!(MlcWayState::One.policy_bits(), 0b01);
+        assert_eq!(MlcWayState::Quarter.policy_bits(), 0b00);
+        assert_eq!(MlcWayState::Quarter.active_ways(8), 2);
+        assert!(MlcWayState::One < MlcWayState::Quarter);
+        assert!(MlcWayState::Quarter < MlcWayState::Half);
+    }
+
+    #[test]
+    fn drowsy_lines_retain_data_and_wake_on_access() {
+        let mut c = small_cache(4);
+        c.access(addr(1, 0), true);
+        c.access(addr(2, 1), false);
+        assert_eq!(c.set_all_drowsy(), 2);
+        assert!((c.awake_fraction() - (16.0 - 2.0) / 16.0).abs() < 1e-12);
+        // Access wakes the line: still a hit, one wake event.
+        let out = c.access(addr(1, 0), false);
+        assert!(out.hit && out.woke_drowsy);
+        // Second access: already awake.
+        let out = c.access(addr(1, 0), false);
+        assert!(out.hit && !out.woke_drowsy);
+        assert!((c.awake_fraction() - (16.0 - 1.0) / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drowsy_accounting_survives_eviction_and_way_gating() {
+        let mut c = small_cache(2);
+        c.access(addr(1, 0), true);
+        c.access(addr(2, 0), false);
+        c.set_all_drowsy();
+        // Evicting a drowsy line with a new allocation keeps counts sane.
+        c.access(addr(3, 0), false); // evicts LRU (tag 1, drowsy)
+        assert!(c.awake_fraction() > 0.0 && c.awake_fraction() <= 1.0);
+        // Way gating drowsy lines keeps counts sane too.
+        c.set_all_drowsy();
+        c.set_active_ways(1);
+        assert!((c.awake_fraction() - 1.0).abs() < 1e-12 || c.awake_fraction() < 1.0);
+        c.set_active_ways(2);
+        c.access(addr(9, 0), false);
+        assert!(c.awake_fraction() > 0.0);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = small_cache(2);
+        c.access(addr(1, 0), false);
+        let before = c.stats();
+        assert!(c.probe(addr(1, 0)));
+        assert!(!c.probe(addr(9, 0)));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn sets_do_not_interfere() {
+        let mut c = small_cache(1);
+        c.access(addr(1, 0), false);
+        c.access(addr(1, 1), false);
+        c.access(addr(1, 2), false);
+        assert!(c.probe(addr(1, 0)));
+        assert!(c.probe(addr(1, 1)));
+        assert!(c.probe(addr(1, 2)));
+    }
+}

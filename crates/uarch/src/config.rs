@@ -1,0 +1,259 @@
+//! Architectural design points (paper Table I).
+//!
+//! Two configurations are evaluated in the paper: a server core modelled on
+//! Intel Nehalem and a mobile core modelled on ARM Cortex-A9. The numbers
+//! here are taken from Table I where the paper gives them (cache geometry,
+//! SIMD width, predictor sizes, area fractions, gating penalties); latencies
+//! and power figures the paper leaves to gem5/McPAT are filled in with
+//! standard values for those cores and documented per field.
+
+/// Which design point a [`CoreConfig`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// Intel Nehalem-like server core (runs SPEC CPU2006 and PARSEC).
+    Server,
+    /// ARM Cortex-A9-like mobile core (runs MobileBench R-GWB).
+    Mobile,
+}
+
+impl std::fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreKind::Server => f.write_str("server"),
+            CoreKind::Mobile => f.write_str("mobile"),
+        }
+    }
+}
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in KiB (with all ways active).
+    pub size_kib: u32,
+    /// Associativity (number of ways).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Load-to-use latency in cycles charged when this level hits after a
+    /// miss in the levels above it.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        (self.size_kib * 1024) / (self.ways * self.line_bytes)
+    }
+}
+
+/// Branch-predictor sizing for one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpuConfig {
+    /// Entries in the large tournament predictor's BTB (4 K server, 2 K
+    /// mobile per Table I).
+    pub large_btb_entries: u32,
+    /// Entries in the tournament chooser (16 K server, 8 K mobile).
+    pub chooser_entries: u32,
+    /// Entries in each of the tournament's local and global tables.
+    pub table_entries: u32,
+    /// Entries in the small always-on local predictor's table and BTB
+    /// (1 K server, 512 mobile).
+    pub small_entries: u32,
+    /// Pipeline refill penalty on a mispredicted branch, in cycles.
+    pub mispredict_penalty: u32,
+}
+
+/// Per-unit core-area fractions (paper Table I, "% of core").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaFractions {
+    /// MLC share of core area (0.35 server, 0.60 mobile).
+    pub mlc: f64,
+    /// VPU share of core area (0.20 server, 0.18 mobile).
+    pub vpu: f64,
+    /// BPU share of core area (0.04 server, 0.03 mobile).
+    pub bpu: f64,
+}
+
+/// Cycle penalties for power-gating transitions (paper §IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatingPenalties {
+    /// Stall cycles per MLC way-state switch (50).
+    pub mlc_switch: u32,
+    /// Stall cycles per VPU gate switch (30).
+    pub vpu_switch: u32,
+    /// Stall cycles per BPU gate switch (20).
+    pub bpu_switch: u32,
+    /// Extra cycles to save or restore the VPU register file (500).
+    pub vpu_save_restore: u32,
+    /// Cycles to write one dirty MLC line back to the LLC when its way is
+    /// gated off.
+    pub mlc_writeback_per_line: u32,
+}
+
+/// A complete core design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Which design point this is.
+    pub kind: CoreKind,
+    /// Superscalar issue width (instructions per cycle at peak).
+    pub issue_width: u32,
+    /// SIMD lanes executed per cycle by the VPU (4 server, 2 mobile).
+    pub simd_lanes: u32,
+    /// Clock frequency in MHz (used to convert cycles to seconds for power).
+    pub freq_mhz: u32,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Middle-level cache (the gateable L2; 1024 KiB/8-way server,
+    /// 2048 KiB/8-way mobile).
+    pub mlc: CacheConfig,
+    /// Last-level cache behind the MLC.
+    pub llc: CacheConfig,
+    /// Main-memory latency in cycles beyond an LLC miss.
+    pub mem_latency: u32,
+    /// Branch-prediction sizing.
+    pub bpu: BpuConfig,
+    /// Unit area fractions.
+    pub area: AreaFractions,
+    /// Gating transition penalties.
+    pub gating: GatingPenalties,
+    /// Extra issue slots charged per guest instruction when executing in
+    /// the BT interpreter rather than from a translation.
+    pub interp_slots_per_inst: u32,
+    /// One-time translation cost, in cycles per translated instruction.
+    pub translate_cycles_per_inst: u32,
+    /// Extra issue slots charged per vector operation emulated with scalar
+    /// code when the VPU is gated off (on top of the per-lane scalar ops).
+    pub vpu_emulation_overhead_slots: u32,
+}
+
+impl CoreConfig {
+    /// The Nehalem-like server design point of Table I.
+    #[must_use]
+    pub fn server() -> Self {
+        CoreConfig {
+            kind: CoreKind::Server,
+            issue_width: 4,
+            simd_lanes: 4,
+            freq_mhz: 2667,
+            l1d: CacheConfig { size_kib: 32, ways: 8, line_bytes: 64, hit_latency: 0 },
+            mlc: CacheConfig { size_kib: 1024, ways: 8, line_bytes: 64, hit_latency: 12 },
+            llc: CacheConfig { size_kib: 8192, ways: 16, line_bytes: 64, hit_latency: 38 },
+            mem_latency: 180,
+            bpu: BpuConfig {
+                large_btb_entries: 4096,
+                chooser_entries: 16384,
+                table_entries: 16384,
+                small_entries: 1024,
+                mispredict_penalty: 14,
+            },
+            area: AreaFractions { mlc: 0.35, vpu: 0.20, bpu: 0.04 },
+            gating: GatingPenalties {
+                mlc_switch: 50,
+                vpu_switch: 30,
+                bpu_switch: 20,
+                vpu_save_restore: 500,
+                mlc_writeback_per_line: 4,
+            },
+            interp_slots_per_inst: 8,
+            translate_cycles_per_inst: 1500,
+            vpu_emulation_overhead_slots: 2,
+        }
+    }
+
+    /// The Cortex-A9-like mobile design point of Table I.
+    #[must_use]
+    pub fn mobile() -> Self {
+        CoreConfig {
+            kind: CoreKind::Mobile,
+            issue_width: 2,
+            simd_lanes: 2,
+            freq_mhz: 1000,
+            l1d: CacheConfig { size_kib: 32, ways: 4, line_bytes: 32, hit_latency: 0 },
+            mlc: CacheConfig { size_kib: 2048, ways: 8, line_bytes: 32, hit_latency: 10 },
+            llc: CacheConfig { size_kib: 4096, ways: 16, line_bytes: 32, hit_latency: 30 },
+            mem_latency: 120,
+            bpu: BpuConfig {
+                large_btb_entries: 2048,
+                chooser_entries: 8192,
+                table_entries: 8192,
+                small_entries: 512,
+                mispredict_penalty: 8,
+            },
+            area: AreaFractions { mlc: 0.60, vpu: 0.18, bpu: 0.03 },
+            gating: GatingPenalties {
+                mlc_switch: 50,
+                vpu_switch: 30,
+                bpu_switch: 20,
+                vpu_save_restore: 500,
+                mlc_writeback_per_line: 4,
+            },
+            interp_slots_per_inst: 8,
+            translate_cycles_per_inst: 1500,
+            vpu_emulation_overhead_slots: 2,
+        }
+    }
+
+    /// The design point for a [`CoreKind`].
+    #[must_use]
+    pub fn for_kind(kind: CoreKind) -> Self {
+        match kind {
+            CoreKind::Server => CoreConfig::server(),
+            CoreKind::Mobile => CoreConfig::mobile(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_server_geometry() {
+        let c = CoreConfig::server();
+        assert_eq!(c.mlc.size_kib, 1024);
+        assert_eq!(c.mlc.ways, 8);
+        assert_eq!(c.simd_lanes, 4);
+        assert_eq!(c.bpu.large_btb_entries, 4096);
+        assert_eq!(c.bpu.chooser_entries, 16384);
+        assert_eq!(c.bpu.small_entries, 1024);
+        assert!((c.area.mlc - 0.35).abs() < 1e-12);
+        assert!((c.area.vpu - 0.20).abs() < 1e-12);
+        assert!((c.area.bpu - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_mobile_geometry() {
+        let c = CoreConfig::mobile();
+        assert_eq!(c.mlc.size_kib, 2048);
+        assert_eq!(c.simd_lanes, 2);
+        assert_eq!(c.bpu.large_btb_entries, 2048);
+        assert_eq!(c.bpu.small_entries, 512);
+        assert!((c.area.mlc - 0.60).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gating_penalties_match_paper() {
+        for c in [CoreConfig::server(), CoreConfig::mobile()] {
+            assert_eq!(c.gating.mlc_switch, 50);
+            assert_eq!(c.gating.vpu_switch, 30);
+            assert_eq!(c.gating.bpu_switch, 20);
+            assert_eq!(c.gating.vpu_save_restore, 500);
+        }
+    }
+
+    #[test]
+    fn cache_sets_are_consistent() {
+        let c = CoreConfig::server();
+        // 1024 KiB / (8 ways * 64 B) = 2048 sets
+        assert_eq!(c.mlc.sets(), 2048);
+        assert_eq!(c.l1d.sets(), 64);
+    }
+
+    #[test]
+    fn for_kind_round_trips() {
+        assert_eq!(CoreConfig::for_kind(CoreKind::Server).kind, CoreKind::Server);
+        assert_eq!(CoreConfig::for_kind(CoreKind::Mobile).kind, CoreKind::Mobile);
+        assert_eq!(CoreKind::Server.to_string(), "server");
+    }
+}

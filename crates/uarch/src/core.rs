@@ -1,0 +1,474 @@
+//! The core timing model: consumes executed instructions, produces cycles.
+//!
+//! This is the reproduction's substitute for gem5 (see `DESIGN.md`): an
+//! instruction-level model with a superscalar issue-slot budget plus
+//! explicit stalls for branch mispredictions, memory-hierarchy misses, BT
+//! interpretation/translation overheads, and power-gating transitions. The
+//! paper's results are driven by *relative* unit criticality, which this
+//! fidelity captures.
+
+use powerchop_gisa::{InstClass, StepInfo, VLEN};
+
+use crate::bpu::Bpu;
+use crate::cache::{Cache, MlcWayState};
+use crate::config::CoreConfig;
+use crate::vpu::Vpu;
+
+/// Whether an instruction executed from the BT interpreter or from an
+/// optimized translation in the region cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Decoded and executed sequentially by the BT interpreter (slow path).
+    Interpreted,
+    /// Executed from an optimized translation (fast path).
+    Translated,
+}
+
+/// Cumulative core event counts.
+///
+/// All counters are monotonically non-decreasing; phase profiling reads
+/// deltas between two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Vector operations by architectural intent (native + emulated).
+    pub vec_ops: u64,
+    /// SIMD instructions committed natively on the VPU.
+    pub simd_committed: u64,
+    /// Vector operations emulated with scalar code (VPU gated off).
+    pub vec_emulated: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Branch mispredictions (whichever predictor was active).
+    pub mispredicts: u64,
+    /// Scalar + vector loads.
+    pub loads: u64,
+    /// Scalar + vector stores.
+    pub stores: u64,
+    /// L1D hits.
+    pub l1_hits: u64,
+    /// Demand accesses reaching the MLC (L2).
+    pub mlc_accesses: u64,
+    /// MLC hits.
+    pub mlc_hits: u64,
+    /// Demand accesses reaching the LLC.
+    pub llc_accesses: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// Accesses that went to main memory.
+    pub mem_accesses: u64,
+    /// Dirty-line writebacks out of the MLC (evictions + way-gating
+    /// flushes).
+    pub mlc_writebacks: u64,
+    /// MLC hits that woke a drowsy line (drowsy-cache baseline).
+    pub mlc_drowsy_wakes: u64,
+}
+
+/// The core model: units + cycle accounting.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop_uarch::config::CoreConfig;
+/// use powerchop_uarch::core::CoreModel;
+///
+/// let cfg = CoreConfig::mobile();
+/// let core = CoreModel::new(&cfg);
+/// assert!(core.vpu_active());
+/// assert!(core.bpu_large_active());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    issue_width: u64,
+    interp_slots: u64,
+    mispredict_penalty: u64,
+    mlc_hit_latency: u64,
+    llc_hit_latency: u64,
+    mem_latency: u64,
+    line_bytes: u64,
+    bpu: Bpu,
+    l1d: Cache,
+    mlc: Cache,
+    llc: Cache,
+    vpu: Vpu,
+    mlc_state: MlcWayState,
+    slots: u64,
+    stall_cycles: u64,
+    stats: CoreStats,
+}
+
+impl CoreModel {
+    /// Creates a fully-powered core model for the design point `cfg`.
+    #[must_use]
+    pub fn new(cfg: &CoreConfig) -> Self {
+        CoreModel {
+            issue_width: u64::from(cfg.issue_width),
+            interp_slots: u64::from(cfg.interp_slots_per_inst),
+            mispredict_penalty: u64::from(cfg.bpu.mispredict_penalty),
+            mlc_hit_latency: u64::from(cfg.mlc.hit_latency),
+            llc_hit_latency: u64::from(cfg.llc.hit_latency),
+            mem_latency: u64::from(cfg.mem_latency),
+            line_bytes: u64::from(cfg.l1d.line_bytes),
+            bpu: Bpu::new(&cfg.bpu),
+            l1d: Cache::new(&cfg.l1d),
+            mlc: Cache::new(&cfg.mlc),
+            llc: Cache::new(&cfg.llc),
+            vpu: Vpu::with_emulation_overhead(cfg.simd_lanes, cfg.vpu_emulation_overhead_slots),
+            mlc_state: MlcWayState::Full,
+            slots: 0,
+            stall_cycles: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Total elapsed cycles: issue-limited cycles plus stalls.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.slots.div_ceil(self.issue_width) + self.stall_cycles
+    }
+
+    /// Snapshot of the cumulative event counters.
+    #[must_use]
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Adds explicit stall cycles (gating transitions, CDE handler time,
+    /// translation time).
+    pub fn add_stall(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
+    }
+
+    /// Whether the VPU is powered.
+    #[must_use]
+    pub fn vpu_active(&self) -> bool {
+        self.vpu.active()
+    }
+
+    /// Powers the VPU on or off (state save/restore penalties are charged
+    /// by the gating controller).
+    pub fn set_vpu_active(&mut self, active: bool) {
+        self.vpu.set_active(active);
+    }
+
+    /// Whether the large tournament predictor is powered.
+    #[must_use]
+    pub fn bpu_large_active(&self) -> bool {
+        self.bpu.active() == crate::bpu::BpuKind::Large
+    }
+
+    /// Powers the large predictor on or off (off loses its state).
+    pub fn set_bpu_large_active(&mut self, active: bool) {
+        self.bpu.set_large_active(active);
+    }
+
+    /// Current MLC way-gating state.
+    #[must_use]
+    pub fn mlc_way_state(&self) -> MlcWayState {
+        self.mlc_state
+    }
+
+    /// Applies an MLC way-gating state; returns the number of dirty lines
+    /// flushed to the LLC (the controller charges their writeback time).
+    pub fn set_mlc_way_state(&mut self, state: MlcWayState) -> u64 {
+        self.mlc_state = state;
+        self.mlc.set_active_ways(state.active_ways(self.mlc.ways()))
+    }
+
+    /// Puts every valid MLC line into the drowsy state (the drowsy-cache
+    /// baseline's periodic policy); returns the number of lines drowsed.
+    pub fn drowse_mlc(&mut self) -> usize {
+        self.mlc.set_all_drowsy()
+    }
+
+    /// Fraction of the MLC array currently leaking at full voltage.
+    #[must_use]
+    pub fn mlc_awake_fraction(&self) -> f64 {
+        self.mlc.awake_fraction()
+    }
+
+    /// Feeds one executed instruction into the timing model.
+    pub fn on_step(&mut self, step: &StepInfo, mode: ExecMode) {
+        self.stats.instructions += 1;
+        self.slots += match mode {
+            ExecMode::Interpreted => self.interp_slots,
+            ExecMode::Translated => 1,
+        };
+
+        match step.class {
+            InstClass::VecAlu => {
+                self.stats.vec_ops += 1;
+                self.charge_vector_op();
+            }
+            InstClass::VecMem => {
+                self.stats.vec_ops += 1;
+                self.charge_vector_op();
+                if let Some(mem) = step.mem {
+                    self.count_mem_dir(mem.is_store);
+                    if self.vpu.active() {
+                        self.access_lines(mem.addr, u64::from(mem.size), mem.is_store);
+                    } else {
+                        // Scalar emulation: one access per lane (the same
+                        // lines, so extra L1 traffic but similar MLC
+                        // behaviour).
+                        for lane in 0..VLEN as u64 {
+                            self.access_lines(mem.addr + 8 * lane, 8, mem.is_store);
+                        }
+                    }
+                }
+            }
+            InstClass::Load | InstClass::Store => {
+                if let Some(mem) = step.mem {
+                    self.count_mem_dir(mem.is_store);
+                    self.access_lines(mem.addr, u64::from(mem.size), mem.is_store);
+                }
+            }
+            InstClass::Branch => {
+                if let Some(branch) = step.branch {
+                    self.stats.branches += 1;
+                    let mispredict = self.bpu.predict_and_update(
+                        step.pc.0,
+                        branch.taken,
+                        branch.next_pc.0,
+                    );
+                    if mispredict {
+                        self.stats.mispredicts += 1;
+                        self.stall_cycles += self.mispredict_penalty;
+                    }
+                }
+            }
+            InstClass::IntMul => self.slots += 1,
+            _ => {}
+        }
+    }
+
+    fn charge_vector_op(&mut self) {
+        let slots = u64::from(self.vpu.issue_slots_for_vector_op(0));
+        // The base issue slot was already charged.
+        self.slots += slots.saturating_sub(1);
+        if self.vpu.active() {
+            self.stats.simd_committed += 1;
+        } else {
+            self.stats.vec_emulated += 1;
+        }
+    }
+
+    fn count_mem_dir(&mut self, is_store: bool) {
+        if is_store {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+    }
+
+    /// Accesses every cache line touched by `[addr, addr + size)`.
+    fn access_lines(&mut self, addr: u64, size: u64, is_store: bool) {
+        let first = addr / self.line_bytes;
+        let last = (addr + size.max(1) - 1) / self.line_bytes;
+        for line in first..=last {
+            self.access_hierarchy(line * self.line_bytes, is_store);
+        }
+    }
+
+    fn access_hierarchy(&mut self, addr: u64, is_store: bool) {
+        if self.l1d.access(addr, is_store).hit {
+            self.stats.l1_hits += 1;
+            return;
+        }
+        self.stats.mlc_accesses += 1;
+        let mlc_out = self.mlc.access(addr, is_store);
+        if mlc_out.writeback {
+            self.stats.mlc_writebacks += 1;
+        }
+        if mlc_out.woke_drowsy {
+            // Drowsy lines must be restored to full voltage before the
+            // read completes (Flautner et al.: ~1 cycle).
+            self.stats.mlc_drowsy_wakes += 1;
+            self.stall_cycles += 1;
+        }
+        if mlc_out.hit {
+            self.stats.mlc_hits += 1;
+            self.stall_cycles += self.mlc_hit_latency;
+            return;
+        }
+        self.stats.llc_accesses += 1;
+        if self.llc.access(addr, is_store).hit {
+            self.stats.llc_hits += 1;
+            self.stall_cycles += self.llc_hit_latency;
+        } else {
+            self.stats.mem_accesses += 1;
+            self.stall_cycles += self.llc_hit_latency + self.mem_latency;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerchop_gisa::{BranchOutcome, Cond, Inst, MemAccess, Pc, Reg};
+
+    fn cfg() -> CoreConfig {
+        CoreConfig::server()
+    }
+
+    fn alu_step(pc: u32) -> StepInfo {
+        let r = Reg::new(0).unwrap();
+        let inst = Inst::Add { rd: r, rs: r, rt: r };
+        StepInfo {
+            pc: Pc(pc),
+            inst,
+            class: inst.class(),
+            next_pc: Pc(pc + 1),
+            mem: None,
+            branch: None,
+        }
+    }
+
+    fn load_step(pc: u32, addr: u64) -> StepInfo {
+        let r = Reg::new(0).unwrap();
+        let inst = Inst::Load { rd: r, rs: r, imm: 0 };
+        StepInfo {
+            pc: Pc(pc),
+            inst,
+            class: inst.class(),
+            next_pc: Pc(pc + 1),
+            mem: Some(MemAccess { addr, size: 8, is_store: false }),
+            branch: None,
+        }
+    }
+
+    fn branch_step(pc: u32, taken: bool, target: u32) -> StepInfo {
+        let r = Reg::new(0).unwrap();
+        let inst = Inst::Branch { cond: Cond::Eq, rs: r, rt: r, target: Pc(target) };
+        let next = if taken { Pc(target) } else { Pc(pc + 1) };
+        StepInfo {
+            pc: Pc(pc),
+            inst,
+            class: inst.class(),
+            next_pc: next,
+            mem: None,
+            branch: Some(BranchOutcome { taken, next_pc: next }),
+        }
+    }
+
+    #[test]
+    fn issue_width_limits_throughput() {
+        let mut core = CoreModel::new(&cfg()); // width 4
+        for i in 0..100 {
+            core.on_step(&alu_step(i), ExecMode::Translated);
+        }
+        assert_eq!(core.cycles(), 25);
+        assert_eq!(core.stats().instructions, 100);
+    }
+
+    #[test]
+    fn interpretation_is_slower_than_translation() {
+        let mut interp = CoreModel::new(&cfg());
+        let mut trans = CoreModel::new(&cfg());
+        for i in 0..100 {
+            interp.on_step(&alu_step(i), ExecMode::Interpreted);
+            trans.on_step(&alu_step(i), ExecMode::Translated);
+        }
+        assert!(interp.cycles() >= 4 * trans.cycles());
+    }
+
+    #[test]
+    fn repeated_load_hits_l1_without_stall() {
+        let mut core = CoreModel::new(&cfg());
+        core.on_step(&load_step(0, 0x1000), ExecMode::Translated);
+        let cold = core.cycles();
+        for _ in 0..50 {
+            core.on_step(&load_step(0, 0x1000), ExecMode::Translated);
+        }
+        // 51 loads in total: only the first missed.
+        assert_eq!(core.stats().l1_hits, 50);
+        assert!(core.cycles() - cold <= 51 / 4 + 1);
+    }
+
+    #[test]
+    fn mispredicted_branch_stalls_pipeline() {
+        let mut core = CoreModel::new(&cfg());
+        // Cold branch: first encounter mispredicts (BTB empty, taken).
+        core.on_step(&branch_step(0, true, 100), ExecMode::Translated);
+        assert_eq!(core.stats().mispredicts, 1);
+        assert!(core.cycles() >= u64::from(cfg().bpu.mispredict_penalty));
+    }
+
+    #[test]
+    fn gated_vpu_costs_more_slots_and_counts_emulated() {
+        let r = powerchop_gisa::VReg::new(0).unwrap();
+        let inst = Inst::Vadd { vd: r, vs: r, vt: r };
+        let step = StepInfo {
+            pc: Pc(0),
+            inst,
+            class: inst.class(),
+            next_pc: Pc(1),
+            mem: None,
+            branch: None,
+        };
+        let mut on = CoreModel::new(&cfg());
+        let mut off = CoreModel::new(&cfg());
+        off.set_vpu_active(false);
+        for _ in 0..100 {
+            on.on_step(&step, ExecMode::Translated);
+            off.on_step(&step, ExecMode::Translated);
+        }
+        assert!(off.cycles() > 4 * on.cycles());
+        assert_eq!(on.stats().simd_committed, 100);
+        assert_eq!(on.stats().vec_emulated, 0);
+        assert_eq!(off.stats().simd_committed, 0);
+        assert_eq!(off.stats().vec_emulated, 100);
+        assert_eq!(off.stats().vec_ops, 100);
+    }
+
+    #[test]
+    fn mlc_way_gating_shrinks_capacity_and_flushes() {
+        let mut core = CoreModel::new(&cfg());
+        // Touch many distinct lines with stores so the MLC gets dirty data
+        // (L1 write-allocates; lines spill into the MLC as L1 evicts them).
+        for i in 0..20_000u64 {
+            let r = Reg::new(0).unwrap();
+            let inst = Inst::Store { rs: r, rbase: r, imm: 0 };
+            let step = StepInfo {
+                pc: Pc(0),
+                inst,
+                class: inst.class(),
+                next_pc: Pc(1),
+                mem: Some(MemAccess { addr: i * 64, size: 8, is_store: true }),
+                branch: None,
+            };
+            core.on_step(&step, ExecMode::Translated);
+        }
+        let flushed = core.set_mlc_way_state(MlcWayState::One);
+        assert!(flushed > 0, "dirty lines should flush on way gating");
+        assert_eq!(core.mlc_way_state(), MlcWayState::One);
+    }
+
+    #[test]
+    fn smaller_mlc_hurts_mlc_bound_workload() {
+        // Working set of 512 KiB: fits an 8-way 1 MiB MLC, thrashes 1 way.
+        let lines: u64 = 8192;
+        let run = |state: MlcWayState| {
+            let mut core = CoreModel::new(&cfg());
+            core.set_mlc_way_state(state);
+            for pass in 0..4 {
+                for i in 0..lines {
+                    let _ = pass;
+                    core.on_step(&load_step(0, i * 64), ExecMode::Translated);
+                }
+            }
+            core.cycles()
+        };
+        let full = run(MlcWayState::Full);
+        let one = run(MlcWayState::One);
+        assert!(one > full, "1-way MLC ({one}) should be slower than full ({full})");
+    }
+
+    #[test]
+    fn add_stall_adds_exactly() {
+        let mut core = CoreModel::new(&cfg());
+        core.add_stall(123);
+        assert_eq!(core.cycles(), 123);
+    }
+}

@@ -1,0 +1,45 @@
+//! Microarchitectural unit models for the PowerChop reproduction.
+//!
+//! This crate models the three large, stateful, performance-critical units
+//! PowerChop manages (paper §III–IV), plus the surrounding core needed to
+//! time their effects:
+//!
+//! - [`bpu`] — branch prediction: a small always-on local (bimodal)
+//!   predictor and a large gateable local/global **tournament** predictor
+//!   with a chooser and BTB (paper Table I),
+//! - [`cache`] — set-associative write-back caches with **way-gating** for
+//!   the middle-level cache (all / half / 1 way active),
+//! - [`vpu`] — the vector processing unit,
+//! - [`config`] — the server (Intel Nehalem-like) and mobile (ARM
+//!   Cortex-A9-like) design points of Table I,
+//! - [`core`] — [`core::CoreModel`], an instruction-level timing model that
+//!   consumes the executed instruction stream and produces cycles and
+//!   per-unit event statistics. This is the gem5 substitute described in
+//!   `DESIGN.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use powerchop_uarch::config::CoreConfig;
+//! use powerchop_uarch::core::CoreModel;
+//!
+//! let cfg = CoreConfig::server();
+//! let core = CoreModel::new(&cfg);
+//! assert_eq!(core.cycles(), 0);
+//! assert_eq!(cfg.mlc.ways, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpu;
+pub mod cache;
+pub mod config;
+pub mod core;
+pub mod vpu;
+
+pub use crate::bpu::{Bpu, BpuKind};
+pub use crate::cache::{AccessOutcome, Cache, MlcWayState};
+pub use crate::config::{CoreConfig, CoreKind};
+pub use crate::core::{CoreModel, CoreStats, ExecMode};
+pub use crate::vpu::Vpu;

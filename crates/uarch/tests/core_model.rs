@@ -1,0 +1,222 @@
+//! Behavioural tests of the core timing model's memory hierarchy, unit
+//! interactions and drowsy operation.
+
+use powerchop_gisa::{BranchOutcome, Cond, Inst, MemAccess, Pc, Reg, StepInfo, VReg, VLEN};
+use powerchop_uarch::cache::MlcWayState;
+use powerchop_uarch::config::CoreConfig;
+use powerchop_uarch::core::{CoreModel, ExecMode};
+
+fn load_step(addr: u64) -> StepInfo {
+    let r = Reg::new(0).unwrap();
+    let inst = Inst::Load { rd: r, rs: r, imm: 0 };
+    StepInfo {
+        pc: Pc(0),
+        inst,
+        class: inst.class(),
+        next_pc: Pc(1),
+        mem: Some(MemAccess { addr, size: 8, is_store: false }),
+        branch: None,
+    }
+}
+
+fn store_step(addr: u64) -> StepInfo {
+    let r = Reg::new(0).unwrap();
+    let inst = Inst::Store { rs: r, rbase: r, imm: 0 };
+    StepInfo {
+        pc: Pc(0),
+        inst,
+        class: inst.class(),
+        next_pc: Pc(1),
+        mem: Some(MemAccess { addr, size: 8, is_store: true }),
+        branch: None,
+    }
+}
+
+fn vload_step(addr: u64) -> StepInfo {
+    let v = VReg::new(0).unwrap();
+    let r = Reg::new(0).unwrap();
+    let inst = Inst::Vload { vd: v, rs: r, imm: 0 };
+    StepInfo {
+        pc: Pc(0),
+        inst,
+        class: inst.class(),
+        next_pc: Pc(1),
+        mem: Some(MemAccess { addr, size: 8 * VLEN as u32, is_store: false }),
+        branch: None,
+    }
+}
+
+#[test]
+fn memory_levels_cost_progressively_more() {
+    let cfg = CoreConfig::server();
+    // L1-resident stream.
+    let mut l1 = CoreModel::new(&cfg);
+    for _ in 0..1000 {
+        l1.on_step(&load_step(0x100), ExecMode::Translated);
+    }
+    // MLC-resident stream (64 KiB > 32 KiB L1).
+    let mut mlc = CoreModel::new(&cfg);
+    for i in 0..4000u64 {
+        mlc.on_step(&load_step((i % 1024) * 64), ExecMode::Translated);
+    }
+    for _ in 0..2 {
+        for i in 0..1000u64 {
+            mlc.on_step(&load_step(i * 64), ExecMode::Translated);
+        }
+    }
+    // Memory stream (never repeats).
+    let mut mem = CoreModel::new(&cfg);
+    for i in 0..1000u64 {
+        mem.on_step(&load_step(i * 4096 * 64), ExecMode::Translated);
+    }
+    let cpi = |core: &CoreModel| core.cycles() as f64 / core.stats().instructions as f64;
+    assert!(cpi(&l1) < cpi(&mlc), "L1 hits must beat MLC hits");
+    assert!(cpi(&mlc) < cpi(&mem), "MLC hits must beat memory");
+    assert!(mem.stats().mem_accesses > 900);
+}
+
+#[test]
+fn llc_sits_between_mlc_and_memory() {
+    let cfg = CoreConfig::server();
+    // 4 MiB working set: misses the 1 MiB MLC, fits the 8 MiB LLC.
+    let mut core = CoreModel::new(&cfg);
+    let lines = 4 * 1024 * 1024 / 64;
+    for pass in 0..3 {
+        for i in 0..lines {
+            let _ = pass;
+            core.on_step(&load_step(i * 64), ExecMode::Translated);
+        }
+    }
+    let s = core.stats();
+    assert!(s.llc_hits > s.mlc_hits, "the LLC should capture what the MLC cannot");
+    assert!(s.llc_hits > s.mem_accesses, "the set fits the LLC");
+}
+
+#[test]
+fn vector_memory_touches_the_same_lines_gated_or_not() {
+    let cfg = CoreConfig::server();
+    let mut native = CoreModel::new(&cfg);
+    let mut emulated = CoreModel::new(&cfg);
+    emulated.set_vpu_active(false);
+    for i in 0..500u64 {
+        native.on_step(&vload_step(i * 64), ExecMode::Translated);
+        emulated.on_step(&vload_step(i * 64), ExecMode::Translated);
+    }
+    // Same set of lines -> same MLC demand (the emulated path issues one
+    // scalar access per lane, hitting L1 for lanes 2..4).
+    assert_eq!(
+        native.stats().mlc_accesses,
+        emulated.stats().mlc_accesses,
+        "emulation must not change cache-line footprints"
+    );
+    assert!(emulated.stats().l1_hits > native.stats().l1_hits);
+    assert!(emulated.cycles() > native.cycles());
+}
+
+#[test]
+fn stores_dirty_lines_that_flush_on_way_gating() {
+    let cfg = CoreConfig::server();
+    let mut core = CoreModel::new(&cfg);
+    for i in 0..20_000u64 {
+        core.on_step(&store_step(i * 64), ExecMode::Translated);
+    }
+    let flushed = core.set_mlc_way_state(MlcWayState::One);
+    assert!(flushed > 1_000, "a dirtied MLC must flush on gating: {flushed}");
+    // Re-growing is free of writebacks.
+    let flushed = core.set_mlc_way_state(MlcWayState::Full);
+    assert_eq!(flushed, 0);
+}
+
+#[test]
+fn drowse_and_awake_fraction_via_core() {
+    let cfg = CoreConfig::server();
+    let mut core = CoreModel::new(&cfg);
+    for i in 0..2_000u64 {
+        core.on_step(&load_step(i * 64), ExecMode::Translated);
+    }
+    assert!((core.mlc_awake_fraction() - 1.0).abs() < 1e-12, "nothing drowsy yet");
+    let drowsed = core.drowse_mlc();
+    assert!(drowsed > 900, "most touched lines drowse: {drowsed}");
+    assert!(core.mlc_awake_fraction() < 1.0);
+    // Re-access wakes lines and counts wake stalls.
+    let before = core.cycles();
+    core.on_step(&load_step(0), ExecMode::Translated);
+    assert_eq!(core.stats().mlc_drowsy_wakes, 1);
+    assert!(core.cycles() > before);
+}
+
+#[test]
+fn quarter_way_state_applies_through_the_core() {
+    let cfg = CoreConfig::server();
+    let mut core = CoreModel::new(&cfg);
+    core.set_mlc_way_state(MlcWayState::Quarter);
+    assert_eq!(core.mlc_way_state(), MlcWayState::Quarter);
+    // Effective capacity 256 KiB: a 512 KiB cyclic stream now misses.
+    let lines = 512 * 1024 / 64;
+    for pass in 0..3 {
+        for i in 0..lines {
+            let _ = pass;
+            core.on_step(&load_step(i * 64), ExecMode::Translated);
+        }
+    }
+    let s = core.stats();
+    assert!(
+        s.mlc_hits * 2 < s.mlc_accesses,
+        "cyclic 512 KiB thrashes a quarter-size MLC: {} of {}",
+        s.mlc_hits,
+        s.mlc_accesses
+    );
+}
+
+#[test]
+fn branch_stream_with_jumps_only_touches_the_btb_path() {
+    let cfg = CoreConfig::server();
+    let mut core = CoreModel::new(&cfg);
+    // Unconditional jumps are not BPU events in this model.
+    let inst = Inst::Jmp { target: Pc(5) };
+    let step = StepInfo {
+        pc: Pc(0),
+        inst,
+        class: inst.class(),
+        next_pc: Pc(5),
+        mem: None,
+        branch: None,
+    };
+    for _ in 0..100 {
+        core.on_step(&step, ExecMode::Translated);
+    }
+    assert_eq!(core.stats().branches, 0);
+    assert_eq!(core.stats().mispredicts, 0);
+}
+
+#[test]
+fn conditional_branches_drive_the_active_predictor() {
+    let cfg = CoreConfig::server();
+    let mut large = CoreModel::new(&cfg);
+    let mut small = CoreModel::new(&cfg);
+    small.set_bpu_large_active(false);
+    // Alternating pattern: global history learns it, a bimodal cannot.
+    for i in 0..4000u32 {
+        let taken = i % 2 == 0;
+        let r = Reg::new(0).unwrap();
+        let inst = Inst::Branch { cond: Cond::Eq, rs: r, rt: r, target: Pc(40) };
+        let next = if taken { Pc(40) } else { Pc(8) };
+        let step = StepInfo {
+            pc: Pc(7),
+            inst,
+            class: inst.class(),
+            next_pc: next,
+            mem: None,
+            branch: Some(BranchOutcome { taken, next_pc: next }),
+        };
+        large.on_step(&step, ExecMode::Translated);
+        small.on_step(&step, ExecMode::Translated);
+    }
+    assert!(
+        large.stats().mispredicts * 4 < small.stats().mispredicts,
+        "the tournament must learn alternation: {} vs {}",
+        large.stats().mispredicts,
+        small.stats().mispredicts
+    );
+    assert!(large.cycles() < small.cycles());
+}

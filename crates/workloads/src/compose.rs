@@ -1,0 +1,156 @@
+//! Benchmark composition helpers: outer phase loops, iteration scaling and
+//! memory-region allocation.
+
+use powerchop_gisa::{GisaError, Program, ProgramBuilder, Reg};
+
+/// A guest-memory region with a dedicated, persistent stride-offset
+/// register.
+///
+/// The offset register is never reset, so a kernel revisiting the region
+/// continues where it left off: regions larger than the caches truly
+/// *stream* across phase recurrences instead of re-touching the same
+/// prefix, while cache-sized regions still cycle the same lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Base guest address.
+    pub base: u64,
+    /// Region size in bytes (a power of two).
+    pub bytes: u64,
+    /// The register holding this region's persistent stride offset.
+    pub offset_reg: Reg,
+}
+
+/// Scales every kernel's iteration count, letting tests and quick runs use
+/// shortened versions of each benchmark while keeping its phase structure.
+///
+/// `Scale(1.0)` is the reference length (roughly 4–10 M dynamic guest
+/// instructions per benchmark).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1.0)
+    }
+}
+
+impl Scale {
+    /// Applies the scale to a base iteration count (at least 1).
+    #[must_use]
+    pub fn apply(self, base: i64) -> i64 {
+        ((base as f64 * self.0) as i64).max(1)
+    }
+}
+
+/// Allocates disjoint guest-memory regions to kernels so their working
+/// sets never alias, assigning each region a dedicated offset register
+/// (`r18`–`r27`).
+#[derive(Debug, Clone)]
+pub struct RegionAlloc {
+    next: u64,
+    regions: u8,
+}
+
+/// First register reserved for region offsets.
+const OFFSET_REG_BASE: u8 = 18;
+/// Number of registers reserved for region offsets (`r18`–`r27`).
+const OFFSET_REG_COUNT: u8 = 10;
+
+impl RegionAlloc {
+    /// Starts allocating at 16 MiB (clear of any data segments).
+    #[must_use]
+    pub fn new() -> Self {
+        RegionAlloc { next: 16 << 20, regions: 0 }
+    }
+
+    /// Reserves a region of at least `bytes` (rounded to a power of two,
+    /// aligned to its size).
+    ///
+    /// # Panics
+    ///
+    /// Panics after 10 regions (the offset-register pool is exhausted —
+    /// benchmarks use at most a handful).
+    pub fn reserve(&mut self, bytes: u64) -> MemRegion {
+        assert!(self.regions < OFFSET_REG_COUNT, "out of region offset registers");
+        let size = bytes.next_power_of_two().max(4096);
+        let base = self.next.next_multiple_of(size);
+        self.next = base + size;
+        let offset_reg = Reg::new(OFFSET_REG_BASE + self.regions).expect("r18..r27 are valid");
+        self.regions += 1;
+        MemRegion { base, bytes: size, offset_reg }
+    }
+}
+
+impl Default for RegionAlloc {
+    fn default() -> Self {
+        RegionAlloc::new()
+    }
+}
+
+/// Builds a program whose body (one full pass over the benchmark's phases)
+/// repeats `reps` times. The outer loop uses `r28`/`r29`, which kernels
+/// must not touch.
+///
+/// # Errors
+///
+/// Propagates builder errors, which indicate a bug in a kernel emitter.
+pub fn with_outer_loop(
+    name: &str,
+    reps: i64,
+    body: impl FnOnce(&mut ProgramBuilder),
+) -> Result<Program, GisaError> {
+    let r28 = Reg::new(28)?;
+    let r29 = Reg::new(29)?;
+    let mut b = ProgramBuilder::new(name);
+    b.li(r28, 0).li(r29, reps.max(1));
+    let top = b.bind_label();
+    body(&mut b);
+    b.addi(r28, r28, 1);
+    b.blt(r28, r29, top);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerchop_gisa::{Cpu, Memory};
+
+    #[test]
+    fn scale_applies_with_floor_one() {
+        assert_eq!(Scale(1.0).apply(100), 100);
+        assert_eq!(Scale(0.5).apply(100), 50);
+        assert_eq!(Scale(0.0001).apply(100), 1);
+        assert_eq!(Scale::default().apply(7), 7);
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        let mut a = RegionAlloc::new();
+        let r1 = a.reserve(1 << 16);
+        let r2 = a.reserve(1 << 20);
+        let r3 = a.reserve(1 << 12);
+        assert!(r1.base.is_multiple_of(1 << 16));
+        assert!(r2.base.is_multiple_of(1 << 20));
+        assert!(r2.base >= r1.base + (1 << 16));
+        assert!(r3.base >= r2.base + (1 << 20));
+        // Each region gets its own offset register.
+        assert_ne!(r1.offset_reg, r2.offset_reg);
+        assert_ne!(r2.offset_reg, r3.offset_reg);
+    }
+
+    #[test]
+    fn outer_loop_repeats_body() {
+        let r0 = Reg::new(0).unwrap();
+        let p = with_outer_loop("rep", 5, |b| {
+            b.addi(r0, r0, 1);
+        })
+        .unwrap();
+        let mut cpu = Cpu::new(&p);
+        let mut mem = Memory::new();
+        while !cpu.halted() {
+            cpu.step(&p, &mut mem).unwrap();
+        }
+        assert_eq!(cpu.int_reg(r0), 5);
+    }
+}

@@ -1,0 +1,428 @@
+//! Phase kernels: reusable code generators with engineered unit criticality.
+//!
+//! Each kernel emits a loop into a [`ProgramBuilder`] with a known
+//! criticality profile for the VPU, BPU and MLC. Benchmarks in this crate
+//! are compositions of kernels chosen so the resulting phase behaviour
+//! mirrors the paper's applications (dense vs sparse vector use, BPU-hard
+//! vs BPU-easy branch patterns, working sets that fit L1 / fit the MLC /
+//! stream from memory).
+//!
+//! Register conventions: kernels use `r1`–`r17`, `f0`–`f3` and `v0`–`v3`
+//! as scratch and preserve nothing. `r28`/`r29` are reserved for the
+//! benchmark's outer phase loop.
+
+use powerchop_gisa::{FReg, ProgramBuilder, Reg, VReg};
+
+use crate::compose::MemRegion;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i).expect("kernel registers are in range")
+}
+fn f(i: u8) -> FReg {
+    FReg::new(i).expect("kernel fp registers are in range")
+}
+fn v(i: u8) -> VReg {
+    VReg::new(i).expect("kernel vec registers are in range")
+}
+
+/// Integer compute loop with fully predictable control flow.
+///
+/// Criticality: VPU none, BPU none (a bimodal predictor captures the loop
+/// branch), MLC none (no memory traffic). `ops` scales the loop body.
+pub fn int_compute(b: &mut ProgramBuilder, iters: i64, ops: u32) {
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    b.li(r(3), 3).li(r(4), 5);
+    let top = b.bind_label();
+    for i in 0..ops.max(1) {
+        match i % 4 {
+            0 => b.add(r(5), r(3), r(4)),
+            1 => b.xor(r(6), r(5), r(3)),
+            2 => b.mul(r(7), r(5), r(4)),
+            _ => b.sub(r(3), r(7), r(6)),
+        };
+    }
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+/// Floating-point compute loop (predictable, no memory, no vectors).
+pub fn fp_compute(b: &mut ProgramBuilder, iters: i64, ops: u32) {
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    b.fli(f(0), 1.000001).fli(f(1), 0.5).fli(f(2), 1.5);
+    let top = b.bind_label();
+    for i in 0..ops.max(1) {
+        match i % 3 {
+            0 => b.fmul(f(1), f(1), f(0)),
+            1 => b.fadd(f(2), f(2), f(1)),
+            _ => b.fmadd(f(3), f(1), f(0), f(2)),
+        };
+    }
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+/// Lines touched per [`vector_stream`] iteration.
+pub const VEC_UNROLL: u64 = 4;
+
+/// Dense SIMD streaming loop: vector loads, multiply-adds and stores over
+/// a memory region (wrapping).
+///
+/// Criticality: VPU **high** (more than a third of the body is vector
+/// ops), BPU none, MLC according to the region size. [`VEC_UNROLL`] lines
+/// are touched per iteration so MLC-sized regions warm within a profiling
+/// window.
+pub fn vector_stream(b: &mut ProgramBuilder, iters: i64, region: &MemRegion) {
+    let off = region.offset_reg;
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    // The region's offset register is deliberately NOT reset: it persists
+    // across phase recurrences, so regions larger than the cache truly
+    // stream instead of re-touching the same prefix every recurrence.
+    b.li(r(11), region.base as i64);
+    b.li(r(12), (region.bytes - 1) as i64);
+    b.li(r(13), 64); // stride: one line per unrolled block
+    let top = b.bind_label();
+    for _ in 0..VEC_UNROLL {
+        b.add(r(3), r(11), off);
+        b.vload(v(0), r(3), 0);
+        b.vload(v(1), r(3), 32);
+        b.vmadd(v(2), v(0), v(1), v(2));
+        b.vstore(v(2), r(3), 0);
+        b.add(off, off, r(13));
+        b.and(off, off, r(12));
+    }
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+/// Sparse, uniformly-distributed vector use: one vector op every `period`
+/// iterations of an otherwise scalar loop (the `namd` behaviour of
+/// Fig. 15/16 — small non-zero V per shard, uniformly spread, which
+/// defeats timeout gating but not PowerChop).
+pub fn sparse_vector(b: &mut ProgramBuilder, iters: i64, period: i64) {
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    b.li(r(3), period.max(2));
+    b.li(r(9), 0);
+    b.li(r(4), 1);
+    let top = b.bind_label();
+    let skip = b.label();
+    // scalar body
+    b.add(r(5), r(5), r(4));
+    b.xor(r(6), r(6), r(5));
+    b.mul(r(7), r(5), r(4));
+    // every `period` iterations: one vector op
+    b.rem(r(8), r(1), r(3));
+    b.bne(r(8), r(9), skip);
+    b.vadd(v(0), v(0), v(1));
+    b.bind(skip).expect("fresh label");
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+/// Body unroll factor for the strided memory kernels: eight lines are
+/// touched per loop iteration (and per translation), so one 1000-
+/// translation window sweeps ~8000 lines — enough to warm an MLC-sized
+/// working set within a single profiling window.
+pub const MEM_UNROLL: u64 = 8;
+
+/// Strided load loop over a working set of `ws_bytes` (rounded to a power
+/// of two) at `base`, [`MEM_UNROLL`] new cache lines per iteration.
+///
+/// Criticality: MLC **high** when L1 < ws ≤ MLC capacity, **none** when
+/// ws fits L1 or streams past the MLC. BPU none, VPU none.
+pub fn strided_loads(b: &mut ProgramBuilder, iters: i64, region: &MemRegion) {
+    let off = region.offset_reg;
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    // The offset register persists across recurrences (see
+    // [`vector_stream`]).
+    b.li(r(11), region.base as i64);
+    b.li(r(12), (region.bytes - 1) as i64);
+    b.li(r(13), 64);
+    let top = b.bind_label();
+    for _ in 0..MEM_UNROLL {
+        b.add(r(3), r(11), off);
+        b.load(r(4), r(3), 0);
+        b.add(r(5), r(5), r(4));
+        b.add(off, off, r(13));
+        b.and(off, off, r(12));
+    }
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+/// Strided store loop (dirties lines, producing writeback work when the
+/// MLC is way-gated); [`MEM_UNROLL`] lines per iteration.
+pub fn strided_stores(b: &mut ProgramBuilder, iters: i64, region: &MemRegion) {
+    let off = region.offset_reg;
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    // The offset register persists across recurrences (see
+    // [`vector_stream`]).
+    b.li(r(11), region.base as i64);
+    b.li(r(12), (region.bytes - 1) as i64);
+    b.li(r(13), 64);
+    let top = b.bind_label();
+    for _ in 0..MEM_UNROLL {
+        b.add(r(3), r(11), off);
+        b.store(r(1), r(3), 0);
+        b.add(off, off, r(13));
+        b.and(off, off, r(12));
+    }
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+/// Branches following a periodic pattern: taken iff `i mod modulus` falls
+/// in the first half of the period.
+///
+/// Criticality: BPU **high** — global history learns the pattern, a
+/// bimodal counter cannot (for small even `modulus` it hovers near 50 %).
+pub fn pattern_branches(b: &mut ProgramBuilder, iters: i64, modulus: i64) {
+    let modulus = modulus.max(2);
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    b.li(r(3), modulus);
+    b.li(r(4), modulus / 2);
+    let top = b.bind_label();
+    let not_taken = b.label();
+    let join = b.label();
+    b.rem(r(5), r(1), r(3));
+    b.bge(r(5), r(4), not_taken);
+    b.addi(r(6), r(6), 1);
+    b.jmp(join);
+    b.bind(not_taken).expect("fresh label");
+    b.addi(r(7), r(7), 1);
+    b.bind(join).expect("fresh label");
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+/// Branches on pseudo-random LCG bits: *neither* predictor can learn them,
+/// so the large BPU provides no benefit despite heavy branch activity —
+/// the paper's key observation that activity ≠ criticality (§III-B).
+pub fn random_branches(b: &mut ProgramBuilder, iters: i64, seed: i64) {
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    b.li(r(14), seed | 1);
+    b.li(r(15), 6_364_136_223_846_793_005);
+    b.li(r(16), 1_442_695_040_888_963_407);
+    b.li(r(17), 33);
+    b.li(r(9), 0);
+    b.li(r(8), 1);
+    let top = b.bind_label();
+    let not_taken = b.label();
+    let join = b.label();
+    b.mul(r(14), r(14), r(15));
+    b.add(r(14), r(14), r(16));
+    b.shr(r(5), r(14), r(17));
+    b.and(r(5), r(5), r(8));
+    b.beq(r(5), r(9), not_taken);
+    b.addi(r(6), r(6), 1);
+    b.jmp(join);
+    b.bind(not_taken).expect("fresh label");
+    b.addi(r(7), r(7), 1);
+    b.bind(join).expect("fresh label");
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+/// Line-touches per `browser_mix` iteration (see [`MEM_UNROLL`]).
+pub const BROWSER_UNROLL: u64 = 4;
+
+/// Mixed "browser-like" body: pattern branches plus [`BROWSER_UNROLL`]
+/// strided loads per iteration, approximating MobileBench's branch
+/// density and working-set behaviour.
+pub fn browser_mix(b: &mut ProgramBuilder, iters: i64, modulus: i64, region: &MemRegion) {
+    let off = region.offset_reg;
+    let modulus = modulus.max(2);
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    b.li(r(3), modulus);
+    b.li(r(4), modulus / 2);
+    // The offset register persists across recurrences (see
+    // [`vector_stream`]).
+    b.li(r(11), region.base as i64);
+    b.li(r(12), (region.bytes - 1) as i64);
+    b.li(r(13), 32);
+    let top = b.bind_label();
+    let other = b.label();
+    let join = b.label();
+    for _ in 0..BROWSER_UNROLL {
+        b.add(r(5), r(11), off);
+        b.load(r(6), r(5), 0);
+        b.add(off, off, r(13));
+        b.and(off, off, r(12));
+    }
+    b.rem(r(7), r(1), r(3));
+    b.bge(r(7), r(4), other);
+    b.addi(r(8), r(8), 1);
+    b.jmp(join);
+    b.bind(other).expect("fresh label");
+    b.xor(r(8), r(8), r(6));
+    b.bind(join).expect("fresh label");
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+/// Script-like browser phase: LCG-random branches (neither predictor
+/// learns them, so the large BPU is non-critical) plus [`BROWSER_UNROLL`]
+/// strided loads per iteration over page data (the MLC stays critical).
+/// This is the phase mix that lets PowerChop gate the mobile BPU while
+/// keeping the MLC powered (paper §V-C).
+pub fn script_mix(b: &mut ProgramBuilder, iters: i64, seed: i64, region: &MemRegion) {
+    let off = region.offset_reg;
+    b.li(r(1), 0).li(r(2), iters.max(1));
+    b.li(r(14), seed | 1);
+    b.li(r(15), 6_364_136_223_846_793_005);
+    b.li(r(16), 1_442_695_040_888_963_407);
+    b.li(r(17), 33);
+    b.li(r(9), 0);
+    b.li(r(8), 1);
+    b.li(r(11), region.base as i64);
+    b.li(r(12), (region.bytes - 1) as i64);
+    b.li(r(13), 32);
+    let top = b.bind_label();
+    let not_taken = b.label();
+    let join = b.label();
+    for _ in 0..BROWSER_UNROLL {
+        b.add(r(5), r(11), off);
+        b.load(r(6), r(5), 0);
+        b.add(off, off, r(13));
+        b.and(off, off, r(12));
+    }
+    b.mul(r(14), r(14), r(15));
+    b.add(r(14), r(14), r(16));
+    b.shr(r(7), r(14), r(17));
+    b.and(r(7), r(7), r(8));
+    b.beq(r(7), r(9), not_taken);
+    b.addi(r(6), r(6), 1);
+    b.jmp(join);
+    b.bind(not_taken).expect("fresh label");
+    b.xor(r(6), r(6), r(14));
+    b.bind(join).expect("fresh label");
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), top);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerchop_gisa::{Cpu, InstClass, Memory, Program};
+
+    fn region(bytes: u64, base: u64, reg: u8) -> MemRegion {
+        MemRegion {
+            base,
+            bytes: bytes.next_power_of_two(),
+            offset_reg: r(reg),
+        }
+    }
+
+    /// Runs a single-kernel program to completion, returning class counts.
+    fn run_kernel(build: impl FnOnce(&mut ProgramBuilder)) -> std::collections::HashMap<InstClass, u64> {
+        let mut b = ProgramBuilder::new("kernel-test");
+        build(&mut b);
+        b.halt();
+        let p: Program = b.build().unwrap();
+        let mut cpu = Cpu::new(&p);
+        let mut mem = Memory::new();
+        p.init_memory(&mut mem);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000_000u64 {
+            if cpu.halted() {
+                break;
+            }
+            let info = cpu.step(&p, &mut mem).unwrap();
+            *counts.entry(info.class).or_insert(0) += 1;
+        }
+        assert!(cpu.halted(), "kernel did not terminate");
+        counts
+    }
+
+    #[test]
+    fn int_compute_has_no_vector_or_memory() {
+        let c = run_kernel(|b| int_compute(b, 100, 4));
+        assert!(!c.contains_key(&InstClass::VecAlu));
+        assert!(!c.contains_key(&InstClass::Load));
+        assert!(c[&InstClass::IntAlu] > 400);
+    }
+
+    #[test]
+    fn vector_stream_is_vector_dense() {
+        let c = run_kernel(|b| vector_stream(b, 200, &region(1 << 16, 0x10_0000, 18)));
+        let total: u64 = c.values().sum();
+        let vec = c[&InstClass::VecAlu] + c[&InstClass::VecMem];
+        assert!(
+            vec * 4 > total,
+            "vector density too low: {vec}/{total}"
+        );
+    }
+
+    #[test]
+    fn sparse_vector_density_matches_period() {
+        let c = run_kernel(|b| sparse_vector(b, 10_000, 100));
+        let total: u64 = c.values().sum();
+        let vec = c.get(&InstClass::VecAlu).copied().unwrap_or(0);
+        assert_eq!(vec, 100, "one vector op per period");
+        assert!(vec * 50 < total, "sparse kernel must be mostly scalar");
+    }
+
+    #[test]
+    fn strided_loads_touch_expected_lines() {
+        let c = run_kernel(|b| strided_loads(b, 1000, &region(1 << 16, 0x20_0000, 19)));
+        assert_eq!(c[&InstClass::Load], 1000 * MEM_UNROLL);
+    }
+
+    #[test]
+    fn pattern_branches_alternate() {
+        let c = run_kernel(|b| pattern_branches(b, 1000, 4));
+        // 2 conditional branches per iteration (pattern + loop).
+        assert!(c[&InstClass::Branch] >= 2000);
+    }
+
+    #[test]
+    fn random_branches_split_roughly_evenly() {
+        let mut b = ProgramBuilder::new("rng");
+        random_branches(&mut b, 10_000, 12345);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut cpu = Cpu::new(&p);
+        let mut mem = Memory::new();
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        while !cpu.halted() {
+            let info = cpu.step(&p, &mut mem).unwrap();
+            if let (InstClass::Branch, Some(br)) = (info.class, info.branch) {
+                // Only the data-dependent branch (beq), not the loop branch.
+                if matches!(info.inst, powerchop_gisa::Inst::Branch { cond: powerchop_gisa::Cond::Eq, .. }) {
+                    total += 1;
+                    if br.taken {
+                        taken += 1;
+                    }
+                }
+            }
+        }
+        let ratio = taken as f64 / total as f64;
+        assert!((0.4..0.6).contains(&ratio), "LCG branch split {ratio}");
+    }
+
+    #[test]
+    fn browser_mix_has_high_branch_density() {
+        let c = run_kernel(|b| browser_mix(b, 2000, 6, &region(1 << 14, 0x40_0000, 20)));
+        let total: u64 = c.values().sum();
+        let branches = c[&InstClass::Branch];
+        // Dense branching (mobile workloads are branch-heavy, §III-B).
+        assert!(
+            branches * 12 > total,
+            "branch density too low: {branches}/{total}"
+        );
+        assert!(c[&InstClass::Load] >= 2000 * BROWSER_UNROLL);
+    }
+
+    #[test]
+    fn stores_kernel_writes_memory() {
+        let c = run_kernel(|b| strided_stores(b, 500, &region(1 << 15, 0x80_0000, 21)));
+        assert_eq!(c[&InstClass::Store], 500 * MEM_UNROLL);
+    }
+
+    #[test]
+    fn fp_compute_is_fp_dense() {
+        let c = run_kernel(|b| fp_compute(b, 100, 6));
+        let fp = c[&InstClass::FpAlu] + c[&InstClass::FpMul];
+        assert!(fp >= 600);
+    }
+}

@@ -1,0 +1,97 @@
+//! MobileBench R-GWB-like synthetic benchmarks (mobile core).
+//!
+//! The paper's mobile workloads are Realistic General Web Browsing runs of
+//! real sites inside the Android browser. The synthetic equivalents mix
+//! browser-like phases: layout/DOM traversal (`browser_mix` over
+//! page-sized working sets, sometimes with history-correlated branch
+//! patterns the large BPU captures), script execution (data-dependent
+//! branches neither predictor learns), text processing (predictable
+//! loops), and streaming resource loads. Mobile workloads carry dense
+//! branches and little vector work; the paper gates the mobile BPU ~40 %
+//! and the VPU >90 % of cycles on average, and way-gates the MLC ~20 % of
+//! the time (paper §V-C).
+
+use powerchop_gisa::Program;
+
+use crate::compose::{with_outer_loop, RegionAlloc, Scale};
+use crate::kernels;
+
+/// Page-sized working set: fits the mobile MLC (2 MiB), not L1 — one
+/// window's unrolled loads sweep it, so profiling sees its MLC hits.
+const WS_PAGE: u64 = 128 << 10;
+/// Resource-streaming working set (streams past the mobile MLC).
+const WS_STREAM: u64 = 4 << 20;
+
+/// `msn`: the paper's Figure 2 subject — alternating phases where the
+/// large BPU clearly wins (patterned layout branches) and phases where it
+/// adds nothing (script-like random branches, predictable text loops).
+pub fn msn(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let page = mem.reserve(WS_PAGE);
+    let stream = mem.reserve(WS_STREAM);
+    with_outer_loop("msn", 4, |b| {
+        kernels::browser_mix(b, s.apply(28_000), 4, &page);
+        kernels::script_mix(b, s.apply(24_000), 0x3141_0001, &page);
+        kernels::int_compute(b, s.apply(40_000), 3);
+        kernels::browser_mix(b, s.apply(6_000), 1000, &stream);
+    })
+    .expect("benchmark builds")
+}
+
+/// `amazon`: long gateable stretches — script-heavy random branches, tiny
+/// hot loops and streaming image data; the paper's largest mobile power
+/// reduction (up to ~40 %).
+pub fn amazon(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let tiny = mem.reserve(16 << 10);
+    let stream = mem.reserve(WS_STREAM);
+    with_outer_loop("amazon", 4, |b| {
+        kernels::script_mix(b, s.apply(28_000), 0xa11a_0001, &tiny);
+        kernels::random_branches(b, s.apply(40_000), 0xa11a_0002);
+        kernels::int_compute(b, s.apply(48_000), 4);
+        kernels::strided_loads(b, s.apply(6_000), &stream);
+    })
+    .expect("benchmark builds")
+}
+
+/// `google`: search/results pages — patterned layout branches the big BPU
+/// captures, page-sized working sets, plus script and streaming phases.
+pub fn google(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let page = mem.reserve(WS_PAGE);
+    let stream = mem.reserve(8 << 20);
+    with_outer_loop("google", 4, |b| {
+        kernels::browser_mix(b, s.apply(24_000), 4, &page);
+        kernels::pattern_branches(b, s.apply(32_000), 4);
+        kernels::script_mix(b, s.apply(20_000), 0x6006_0001, &page);
+        kernels::strided_loads(b, s.apply(6_000), &stream);
+    })
+    .expect("benchmark builds")
+}
+
+/// `bbc`: article pages — patterned layout over page-sized data plus long
+/// predictable text-processing loops and script bursts.
+pub fn bbc(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let page = mem.reserve(WS_PAGE);
+    with_outer_loop("bbc", 4, |b| {
+        kernels::browser_mix(b, s.apply(26_000), 4, &page);
+        kernels::int_compute(b, s.apply(52_000), 3);
+        kernels::script_mix(b, s.apply(18_000), 0xbbc_0001, &page);
+    })
+    .expect("benchmark builds")
+}
+
+/// `ebay`: listing pages — page-sized working set, script-heavy, with
+/// rare image-decode vector bursts.
+pub fn ebay(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let listing = mem.reserve(WS_PAGE);
+    with_outer_loop("ebay", 4, |b| {
+        kernels::browser_mix(b, s.apply(20_000), 4, &listing);
+        kernels::script_mix(b, s.apply(24_000), 0xeba_0001, &listing);
+        kernels::int_compute(b, s.apply(36_000), 5);
+        kernels::sparse_vector(b, s.apply(24_000), 400);
+    })
+    .expect("benchmark builds")
+}

@@ -1,0 +1,84 @@
+//! PARSEC-like synthetic benchmarks (server core).
+
+use powerchop_gisa::Program;
+
+use crate::compose::{with_outer_loop, RegionAlloc, Scale};
+use crate::kernels;
+
+const WS_MLC: u64 = 512 << 10;
+const WS_STREAM: u64 = 32 << 20;
+
+/// `blackscholes`: option pricing — FP compute with SIMD pricing loops
+/// over a small option array; the VPU stays busy, the MLC does not.
+pub fn blackscholes(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let options = mem.reserve(64 << 10);
+    with_outer_loop("blackscholes", 4, |b| {
+        kernels::fp_compute(b, s.apply(44_000), 10);
+        kernels::vector_stream(b, s.apply(36_000), &options);
+        kernels::sparse_vector(b, s.apply(30_000), 300);
+    })
+    .expect("benchmark builds")
+}
+
+/// `canneal`: simulated annealing over a huge netlist — random pointer
+/// traffic (MLC useless) and data-dependent branches (large BPU useless).
+pub fn canneal(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let netlist = mem.reserve(WS_STREAM);
+    with_outer_loop("canneal", 4, |b| {
+        kernels::strided_loads(b, s.apply(24_000), &netlist);
+        kernels::random_branches(b, s.apply(56_000), 0xca_0001);
+    })
+    .expect("benchmark builds")
+}
+
+/// `dedup`: pipelined deduplication — integer hashing with no vector work
+/// at all (the paper gates its VPU >90 % of cycles) over an MLC-resident
+/// chunk index.
+pub fn dedup(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let index = mem.reserve(WS_MLC);
+    with_outer_loop("dedup", 4, |b| {
+        kernels::int_compute(b, s.apply(76_000), 7);
+        kernels::strided_loads(b, s.apply(28_000), &index);
+        kernels::random_branches(b, s.apply(32_000), 0xded_0001);
+    })
+    .expect("benchmark builds")
+}
+
+/// `fluidanimate`: SPH fluid simulation — alternating dense-vector and
+/// scalar-FP phases over an MLC-resident particle grid.
+pub fn fluidanimate(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let grid = mem.reserve(WS_MLC);
+    with_outer_loop("fluidanimate", 4, |b| {
+        kernels::fp_compute(b, s.apply(48_000), 5);
+        kernels::vector_stream(b, s.apply(32_000), &grid);
+        kernels::strided_loads(b, s.apply(18_000), &grid);
+    })
+    .expect("benchmark builds")
+}
+
+/// `streamcluster`: online clustering — long streaming distance
+/// computations; the paper reports >40 % of cycles with a 1-way MLC.
+pub fn streamcluster(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let points = mem.reserve(WS_STREAM);
+    with_outer_loop("streamcluster", 4, |b| {
+        kernels::strided_loads(b, s.apply(20_000), &points);
+        kernels::vector_stream(b, s.apply(26_000), &points);
+    })
+    .expect("benchmark builds")
+}
+
+/// `swaptions`: Monte-Carlo pricing — predictable scalar FP over an
+/// L1-resident state; both the MLC and the large BPU are non-critical.
+pub fn swaptions(s: Scale) -> Program {
+    with_outer_loop("swaptions", 4, |b| {
+        kernels::fp_compute(b, s.apply(100_000), 8);
+        kernels::pattern_branches(b, s.apply(24_000), 8);
+        kernels::int_compute(b, s.apply(20_000), 4);
+    })
+    .expect("benchmark builds")
+}

@@ -1,0 +1,149 @@
+//! SPEC CPU2006 integer-like synthetic benchmarks (server core).
+//!
+//! Each program reproduces the phase-level unit-criticality profile the
+//! paper reports for its namesake — e.g. `gobmk`'s varying vector-operation
+//! intensity (Fig. 1), `hmmer`'s gateable BPU, `libquantum`'s streaming
+//! MLC behaviour — not its computation.
+
+use powerchop_gisa::Program;
+
+use crate::compose::{with_outer_loop, RegionAlloc, Scale};
+use crate::kernels;
+
+/// KiB working set that fits L1 (32 KiB).
+const WS_L1: u64 = 16 << 10;
+/// Working set that fits the server MLC (1 MiB) but not L1.
+const WS_MLC: u64 = 512 << 10;
+/// Working set that streams past the MLC and LLC.
+const WS_STREAM: u64 = 32 << 20;
+
+/// `perlbench`: interpreter-like pattern branches with occasional short
+/// vector bursts (paper Fig. 16 shows PowerChop gating the VPU that
+/// timeouts cannot).
+pub fn perlbench(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let ws = mem.reserve(WS_L1);
+    with_outer_loop("perlbench", 4, |b| {
+        kernels::pattern_branches(b, s.apply(90_000), 6);
+        kernels::int_compute(b, s.apply(60_000), 6);
+        kernels::vector_stream(b, s.apply(6_000), &ws);
+        kernels::pattern_branches(b, s.apply(60_000), 12);
+    })
+    .expect("benchmark builds")
+}
+
+/// `bzip2`: integer compression loops over a medium working set.
+pub fn bzip2(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let ws = mem.reserve(256 << 10);
+    with_outer_loop("bzip2", 4, |b| {
+        kernels::int_compute(b, s.apply(80_000), 8);
+        kernels::strided_loads(b, s.apply(36_000), &ws);
+        kernels::pattern_branches(b, s.apply(50_000), 8);
+    })
+    .expect("benchmark builds")
+}
+
+/// `gcc`: phases alternating between streaming (MLC way-gateable, the
+/// paper reports >40 % of cycles at 1 way) and small-footprint scalar code.
+pub fn gcc(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let big = mem.reserve(WS_STREAM);
+    let tiny = mem.reserve(WS_L1);
+    with_outer_loop("gcc", 4, |b| {
+        kernels::pattern_branches(b, s.apply(60_000), 6);
+        kernels::strided_loads(b, s.apply(20_000), &big);
+        kernels::int_compute(b, s.apply(50_000), 4);
+        kernels::strided_loads(b, s.apply(12_000), &tiny);
+    })
+    .expect("benchmark builds")
+}
+
+/// `mcf`: memory-bound streaming with data-dependent branches.
+pub fn mcf(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let big = mem.reserve(WS_STREAM);
+    with_outer_loop("mcf", 4, |b| {
+        kernels::strided_loads(b, s.apply(28_000), &big);
+        kernels::random_branches(b, s.apply(40_000), 0x5eed_0001);
+    })
+    .expect("benchmark builds")
+}
+
+/// `gobmk`: vector-operation intensity varies across execution (Fig. 1),
+/// interleaved with hard game-tree branches.
+pub fn gobmk(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let board = mem.reserve(128 << 10);
+    with_outer_loop("gobmk", 4, |b| {
+        kernels::int_compute(b, s.apply(50_000), 5);
+        kernels::vector_stream(b, s.apply(18_000), &board);
+        kernels::random_branches(b, s.apply(36_000), 0x60b_0001);
+        kernels::vector_stream(b, s.apply(8_000), &board);
+        kernels::int_compute(b, s.apply(50_000), 5);
+    })
+    .expect("benchmark builds")
+}
+
+/// `hmmer`: highly predictable inner loops — the large BPU adds nothing,
+/// so PowerChop gates it (paper §V-C).
+pub fn hmmer(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let ws = mem.reserve(64 << 10);
+    with_outer_loop("hmmer", 4, |b| {
+        kernels::int_compute(b, s.apply(130_000), 10);
+        kernels::strided_loads(b, s.apply(12_000), &ws);
+    })
+    .expect("benchmark builds")
+}
+
+/// `sjeng`: chess search with history-correlated branches — BPU-critical
+/// pattern phases mixed with unpredictable-move phases.
+pub fn sjeng(s: Scale) -> Program {
+    with_outer_loop("sjeng", 4, |b| {
+        kernels::pattern_branches(b, s.apply(80_000), 4);
+        kernels::random_branches(b, s.apply(50_000), 0x57e_0001);
+        kernels::int_compute(b, s.apply(24_000), 4);
+    })
+    .expect("benchmark builds")
+}
+
+/// `libquantum`: long streaming sweeps — the MLC provides no benefit and
+/// way-gates to 1 way for large fractions of execution (paper §V-C).
+pub fn libquantum(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let big = mem.reserve(WS_STREAM);
+    with_outer_loop("libquantum", 4, |b| {
+        kernels::strided_loads(b, s.apply(24_000), &big);
+        kernels::strided_stores(b, s.apply(12_000), &big);
+        kernels::int_compute(b, s.apply(24_000), 3);
+    })
+    .expect("benchmark builds")
+}
+
+/// `h264ref`: motion-estimation vector bursts between scalar phases with
+/// sparse residual vector work (a PowerChop-vs-timeout win in Fig. 16).
+pub fn h264ref(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let frame = mem.reserve(256 << 10);
+    with_outer_loop("h264ref", 4, |b| {
+        kernels::vector_stream(b, s.apply(28_000), &frame);
+        kernels::int_compute(b, s.apply(56_000), 6);
+        kernels::sparse_vector(b, s.apply(44_000), 150);
+        kernels::pattern_branches(b, s.apply(32_000), 6);
+    })
+    .expect("benchmark builds")
+}
+
+/// `astar`: path search over an MLC-resident map with mildly patterned
+/// branches — the MLC is criticial, so PowerChop keeps it powered.
+pub fn astar(s: Scale) -> Program {
+    let mut mem = RegionAlloc::new();
+    let map = mem.reserve(WS_MLC);
+    with_outer_loop("astar", 4, |b| {
+        kernels::strided_loads(b, s.apply(36_000), &map);
+        kernels::pattern_branches(b, s.apply(44_000), 10);
+        kernels::int_compute(b, s.apply(24_000), 4);
+    })
+    .expect("benchmark builds")
+}

@@ -1,0 +1,150 @@
+//! Workload characterization: architectural instruction-mix profiles.
+//!
+//! Used by the benchmark suite's own tests, the CLI's `profile` command
+//! and the Figure 1/15 harnesses to inspect what a guest program actually
+//! executes, independent of any timing or power model.
+
+use std::collections::HashMap;
+
+use powerchop_gisa::{Cpu, GisaError, InstClass, Memory, Program};
+
+/// An architectural execution profile of a guest program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Instructions executed (may be capped by the caller's budget).
+    pub instructions: u64,
+    /// Dynamic count per instruction class.
+    pub class_counts: HashMap<InstClass, u64>,
+    /// Vector operations per consecutive 1000-instruction shard.
+    pub vector_shards: Vec<u32>,
+    /// Bytes spanned by data accesses (max − min address touched).
+    pub touched_span_bytes: u64,
+    /// Whether the program ran to completion within the budget.
+    pub completed: bool,
+}
+
+impl WorkloadProfile {
+    /// Fraction of instructions in `class`.
+    #[must_use]
+    pub fn share(&self, class: InstClass) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        *self.class_counts.get(&class).unwrap_or(&0) as f64 / self.instructions as f64
+    }
+
+    /// Fraction of instructions that are vector operations (VPU-bound).
+    #[must_use]
+    pub fn vector_share(&self) -> f64 {
+        self.share(InstClass::VecAlu) + self.share(InstClass::VecMem)
+    }
+
+    /// Fraction of instructions that are conditional branches.
+    #[must_use]
+    pub fn branch_share(&self) -> f64 {
+        self.share(InstClass::Branch)
+    }
+
+    /// Fraction of instructions that access data memory.
+    #[must_use]
+    pub fn memory_share(&self) -> f64 {
+        self.share(InstClass::Load) + self.share(InstClass::Store) + self.share(InstClass::VecMem)
+    }
+
+    /// Fraction of 1000-instruction shards with a *sparse* vector count
+    /// (0 < V ≤ 4) — the Figure 15 metric that identifies timeout-defeating
+    /// workloads.
+    #[must_use]
+    pub fn sparse_vector_shard_fraction(&self) -> f64 {
+        if self.vector_shards.is_empty() {
+            return 0.0;
+        }
+        self.vector_shards.iter().filter(|v| (1..=4).contains(*v)).count() as f64
+            / self.vector_shards.len() as f64
+    }
+}
+
+/// Profiles `program` architecturally for at most `max_instructions`.
+///
+/// # Errors
+///
+/// Propagates guest faults ([`GisaError`]), which indicate a broken
+/// program.
+pub fn profile(program: &Program, max_instructions: u64) -> Result<WorkloadProfile, GisaError> {
+    let mut cpu = Cpu::new(program);
+    let mut mem = Memory::new();
+    program.init_memory(&mut mem);
+    let mut class_counts: HashMap<InstClass, u64> = HashMap::new();
+    let mut shards = Vec::new();
+    let (mut in_shard, mut vec_in_shard) = (0u64, 0u32);
+    let mut min_addr = u64::MAX;
+    let mut max_addr = 0u64;
+    while !cpu.halted() && cpu.retired() < max_instructions {
+        let info = cpu.step(program, &mut mem)?;
+        *class_counts.entry(info.class).or_insert(0) += 1;
+        if let Some(m) = info.mem {
+            min_addr = min_addr.min(m.addr);
+            max_addr = max_addr.max(m.addr + u64::from(m.size));
+        }
+        if info.class.uses_vpu() {
+            vec_in_shard += 1;
+        }
+        in_shard += 1;
+        if in_shard == 1000 {
+            shards.push(vec_in_shard);
+            in_shard = 0;
+            vec_in_shard = 0;
+        }
+    }
+    Ok(WorkloadProfile {
+        instructions: cpu.retired(),
+        class_counts,
+        vector_shards: shards,
+        touched_span_bytes: max_addr.saturating_sub(min_addr),
+        completed: cpu.halted(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{by_name, Scale};
+
+    #[test]
+    fn profile_of_namd_matches_its_design() {
+        let p = by_name("namd").unwrap().program(Scale(0.05));
+        let prof = profile(&p, 2_000_000).unwrap();
+        assert!(prof.vector_share() > 0.0 && prof.vector_share() < 0.01);
+        assert!(prof.sparse_vector_shard_fraction() > 0.3);
+        assert!(prof.instructions > 100_000);
+    }
+
+    #[test]
+    fn profile_respects_the_budget() {
+        let p = by_name("gcc").unwrap().program(Scale(1.0));
+        let prof = profile(&p, 50_000).unwrap();
+        assert!(prof.instructions >= 50_000 && prof.instructions < 51_000);
+        assert!(!prof.completed);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = by_name("msn").unwrap().program(Scale(0.05));
+        let prof = profile(&p, 1_000_000).unwrap();
+        let total: u64 = prof.class_counts.values().sum();
+        assert_eq!(total, prof.instructions);
+        let share_sum: f64 = prof
+            .class_counts
+            .keys()
+            .map(|c| prof.share(*c))
+            .sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_span_reflects_working_sets() {
+        let small = profile(&by_name("hmmer").unwrap().program(Scale(0.05)), 1_000_000).unwrap();
+        let large = profile(&by_name("mcf").unwrap().program(Scale(0.05)), 1_000_000).unwrap();
+        assert!(large.touched_span_bytes > 8 * small.touched_span_bytes);
+    }
+}

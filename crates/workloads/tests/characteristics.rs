@@ -1,0 +1,195 @@
+//! Characteristic tests: each synthetic benchmark must exhibit the
+//! instruction-mix and phase properties its paper namesake was chosen
+//! for. These pin the workload engineering that the whole evaluation
+//! rests on — if a benchmark drifts, the affected figures drift with it.
+
+use std::collections::HashMap;
+
+use powerchop_gisa::{Cpu, InstClass, Memory};
+use powerchop_workloads::{by_name, Scale};
+
+/// Executes a benchmark architecturally and returns instruction-class
+/// shares plus the vector-op distribution over 1000-inst shards.
+struct Profile {
+    shares: HashMap<InstClass, f64>,
+    shards_sparse_vec: f64,
+    shards_zero_vec: f64,
+    touched_bytes: u64,
+}
+
+fn profile(name: &str) -> Profile {
+    let b = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let program = b.program(Scale(0.08));
+    let mut cpu = Cpu::new(&program);
+    let mut mem = Memory::new();
+    program.init_memory(&mut mem);
+    let mut counts: HashMap<InstClass, u64> = HashMap::new();
+    let mut shards = Vec::new();
+    let (mut in_shard, mut vec_in_shard) = (0u64, 0u64);
+    let mut min_addr = u64::MAX;
+    let mut max_addr = 0u64;
+    while !cpu.halted() && cpu.retired() < 3_000_000 {
+        let info = cpu.step(&program, &mut mem).expect("benchmark must not fault");
+        *counts.entry(info.class).or_insert(0) += 1;
+        if let Some(m) = info.mem {
+            min_addr = min_addr.min(m.addr);
+            max_addr = max_addr.max(m.addr);
+        }
+        if info.class.uses_vpu() {
+            vec_in_shard += 1;
+        }
+        in_shard += 1;
+        if in_shard == 1000 {
+            shards.push(vec_in_shard);
+            in_shard = 0;
+            vec_in_shard = 0;
+        }
+    }
+    let total: u64 = counts.values().sum();
+    let shares = counts
+        .into_iter()
+        .map(|(k, v)| (k, v as f64 / total as f64))
+        .collect();
+    let n = shards.len().max(1) as f64;
+    Profile {
+        shares,
+        shards_sparse_vec: shards.iter().filter(|v| (1..=4).contains(*v)).count() as f64 / n,
+        shards_zero_vec: shards.iter().filter(|v| **v == 0).count() as f64 / n,
+        touched_bytes: max_addr.saturating_sub(min_addr),
+    }
+}
+
+fn share(p: &Profile, class: InstClass) -> f64 {
+    p.shares.get(&class).copied().unwrap_or(0.0)
+}
+
+fn vec_share(p: &Profile) -> f64 {
+    share(p, InstClass::VecAlu) + share(p, InstClass::VecMem)
+}
+
+fn branch_share(p: &Profile) -> f64 {
+    share(p, InstClass::Branch)
+}
+
+#[test]
+fn namd_has_sparse_uniform_vector_ops() {
+    let p = profile("namd");
+    let vec = vec_share(&p);
+    assert!(vec > 0.0 && vec < 0.01, "namd vector share {vec} must be tiny but nonzero");
+    assert!(
+        p.shards_sparse_vec > 0.3,
+        "namd needs many 0<V<=4 shards (Fig. 15): {}",
+        p.shards_sparse_vec
+    );
+}
+
+#[test]
+fn gobmk_alternates_vector_intensity() {
+    let p = profile("gobmk");
+    assert!(p.shards_zero_vec > 0.2, "gobmk needs vector-free stretches");
+    assert!(vec_share(&p) > 0.02, "gobmk needs dense vector bursts");
+}
+
+#[test]
+fn dedup_has_no_vector_work() {
+    let p = profile("dedup");
+    assert_eq!(vec_share(&p), 0.0, "the paper gates dedup's VPU >90%");
+}
+
+#[test]
+fn fp_suite_is_vector_heavy() {
+    // Paper §V-C: soplex/sphinx keep the VPU on ~80% of the time.
+    for name in ["soplex", "sphinx3", "calculix", "fluidanimate"] {
+        let p = profile(name);
+        assert!(
+            vec_share(&p) > 0.10,
+            "{name} must be vector-heavy, got {}",
+            vec_share(&p)
+        );
+    }
+}
+
+#[test]
+fn mobile_workloads_are_branch_dense_and_vector_free() {
+    for name in ["msn", "amazon", "google", "bbc", "ebay"] {
+        let p = profile(name);
+        assert!(
+            branch_share(&p) > 0.05,
+            "{name} must be branchy (paper §III-B), got {}",
+            branch_share(&p)
+        );
+        assert!(
+            vec_share(&p) < 0.01,
+            "{name} must have (almost) no vector work, got {}",
+            vec_share(&p)
+        );
+    }
+}
+
+#[test]
+fn streaming_workloads_touch_large_footprints() {
+    for name in ["libquantum", "mcf", "canneal", "streamcluster", "lbm", "milc"] {
+        let p = profile(name);
+        assert!(
+            p.touched_bytes > 2 << 20,
+            "{name} must stream a large region, touched {} bytes",
+            p.touched_bytes
+        );
+    }
+}
+
+#[test]
+fn cache_resident_workloads_stay_compact() {
+    for name in ["hmmer", "povray", "swaptions"] {
+        let p = profile(name);
+        assert!(
+            p.touched_bytes < 1 << 20,
+            "{name} must stay MLC/L1-resident, touched {} bytes",
+            p.touched_bytes
+        );
+    }
+}
+
+#[test]
+fn memory_intensity_classes() {
+    // Memory-bound apps have far more loads per instruction than compute
+    // apps.
+    let mcf = profile("mcf");
+    let povray = profile("povray");
+    let mcf_mem = share(&mcf, InstClass::Load) + share(&mcf, InstClass::Store);
+    let pov_mem = share(&povray, InstClass::Load) + share(&povray, InstClass::Store);
+    assert!(
+        mcf_mem > 4.0 * pov_mem,
+        "mcf ({mcf_mem:.3}) must be far more memory-intense than povray ({pov_mem:.3})"
+    );
+}
+
+#[test]
+fn fp_workloads_use_fp_units() {
+    for name in ["blackscholes", "povray", "swaptions", "lbm"] {
+        let p = profile(name);
+        let fp = share(&p, InstClass::FpAlu) + share(&p, InstClass::FpMul);
+        assert!(fp > 0.05, "{name} must execute FP work, got {fp}");
+    }
+}
+
+#[test]
+fn every_benchmark_exceeds_its_scaled_length() {
+    // Scale(0.08) must still give every benchmark enough instructions to
+    // cover several execution windows.
+    for b in powerchop_workloads::all() {
+        let program = b.program(Scale(0.08));
+        let mut cpu = Cpu::new(&program);
+        let mut mem = Memory::new();
+        program.init_memory(&mut mem);
+        while !cpu.halted() && cpu.retired() < 3_000_000 {
+            cpu.step(&program, &mut mem).unwrap();
+        }
+        assert!(
+            cpu.retired() > 100_000,
+            "{} too short at Scale(0.08): {}",
+            b.name(),
+            cpu.retired()
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Bring your own workload: write a guest program with the assembler-style
+//! builder, then let PowerChop manage it.
+//!
+//! The program below alternates between a SIMD-heavy phase and a
+//! branch-heavy phase; PowerChop discovers both and gates the units each
+//! phase does not need.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use powerchop_suite::gisa::{ProgramBuilder, Reg, VReg};
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::uarch::config::CoreKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = |i| Reg::new(i).expect("valid register");
+    let v = |i| VReg::new(i).expect("valid register");
+
+    let mut b = ProgramBuilder::new("custom");
+    // Outer loop: repeat both phases several times.
+    b.li(r(28), 0).li(r(29), 6);
+    let outer = b.bind_label();
+
+    // Phase 1: dense SIMD over a 64 KiB buffer.
+    b.li(r(1), 0).li(r(2), 60_000);
+    b.li(r(11), 0x100_0000).li(r(12), 0xFFFF).li(r(13), 64);
+    let vec_top = b.bind_label();
+    b.add(r(3), r(11), r(10));
+    b.vload(v(0), r(3), 0);
+    b.vmadd(v(1), v(0), v(0), v(1));
+    b.vstore(v(1), r(3), 0);
+    b.add(r(10), r(10), r(13));
+    b.and(r(10), r(10), r(12));
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), vec_top);
+
+    // Phase 2: data-dependent branches on LCG bits (unpredictable).
+    b.li(r(1), 0).li(r(2), 80_000);
+    b.li(r(14), 12345).li(r(15), 6_364_136_223_846_793_005);
+    b.li(r(16), 1_442_695_040_888_963_407).li(r(17), 33);
+    b.li(r(8), 1).li(r(9), 0);
+    let br_top = b.bind_label();
+    let other = b.label();
+    let join = b.label();
+    b.mul(r(14), r(14), r(15));
+    b.add(r(14), r(14), r(16));
+    b.shr(r(5), r(14), r(17));
+    b.and(r(5), r(5), r(8));
+    b.beq(r(5), r(9), other);
+    b.addi(r(6), r(6), 1);
+    b.jmp(join);
+    b.bind(other)?;
+    b.addi(r(7), r(7), 1);
+    b.bind(join)?;
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(2), br_top);
+
+    b.addi(r(28), r(28), 1);
+    b.blt(r(28), r(29), outer);
+    b.halt();
+    let program = b.build()?;
+
+    let cfg = RunConfig::for_kind(CoreKind::Server);
+    let full = run_program(&program, ManagerKind::FullPower, &cfg)?;
+    let chop = run_program(&program, ManagerKind::PowerChop, &cfg)?;
+
+    println!("custom workload: {} instructions", chop.instructions);
+    println!("  slowdown      {:>5.1} %", 100.0 * chop.slowdown_vs(&full));
+    println!("  power saved   {:>5.1} %", 100.0 * chop.power_reduction_vs(&full));
+    println!("  VPU gated     {:>5.1} % (branch phase)", 100.0 * chop.gated.vpu_off_frac());
+    println!("  BPU gated     {:>5.1} % (SIMD phase)", 100.0 * chop.gated.bpu_off_frac());
+    println!("  phases found  {:>5}", chop.cde.expect("powerchop run").decided);
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Phase timeline: watch PowerChop discover phases and enact policies,
+//! window by window — the runtime view of the paper's Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example phase_timeline [benchmark-name]
+//! ```
+
+use std::collections::HashMap;
+
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::workloads::{self, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gems".to_owned());
+    let benchmark = workloads::by_name(&name)
+        .ok_or_else(|| format!("unknown benchmark {name}"))?;
+
+    let mut cfg = RunConfig::for_kind(benchmark.core_kind());
+    cfg.max_instructions = 3_000_000;
+    cfg.record_windows = true;
+    let program = benchmark.program(Scale(0.5));
+    let report = run_program(&program, ManagerKind::PowerChop, &cfg)?;
+
+    // Assign each distinct signature a letter, in order of appearance.
+    let mut names: HashMap<_, char> = HashMap::new();
+    let mut next = b'A';
+    println!("phase timeline of {name} (one character per 1000-translation window):\n");
+    print!("phases:   ");
+    for w in &report.windows {
+        let c = *names.entry(w.signature).or_insert_with(|| {
+            let c = next as char;
+            next = (next + 1).min(b'z');
+            c
+        });
+        print!("{c}");
+    }
+    println!();
+    print!("VPU:      ");
+    for w in &report.windows {
+        print!("{}", if w.policy.vpu_on { '#' } else { '.' });
+    }
+    println!();
+    print!("BPU:      ");
+    for w in &report.windows {
+        print!("{}", if w.policy.bpu_on { '#' } else { '.' });
+    }
+    println!();
+    print!("MLC ways: ");
+    for w in &report.windows {
+        use powerchop_suite::uarch::cache::MlcWayState::*;
+        print!(
+            "{}",
+            match w.policy.mlc {
+                Full => '8',
+                Half => '4',
+                Quarter => '2',
+                One => '1',
+            }
+        );
+    }
+    println!("\n\nlegend: '#' powered, '.' gated; MLC digit = active ways");
+    println!(
+        "{} distinct phases; {} windows; policies changed {} times",
+        names.len(),
+        report.windows.len(),
+        report.switches.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run one benchmark under PowerChop and compare it with a
+//! fully-powered baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark-name]
+//! ```
+
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::workloads::{self, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gobmk".to_owned());
+    let benchmark = workloads::by_name(&name)
+        .ok_or_else(|| format!("unknown benchmark {name}; see powerchop_workloads::all()"))?;
+
+    let mut cfg = RunConfig::for_kind(benchmark.core_kind());
+    cfg.max_instructions = 4_000_000;
+    let program = benchmark.program(Scale(1.0));
+
+    println!("running {name} on the {} core...", benchmark.core_kind());
+    let full = run_program(&program, ManagerKind::FullPower, &cfg)?;
+    let chop = run_program(&program, ManagerKind::PowerChop, &cfg)?;
+
+    println!("\n              {:>12} {:>12}", "full-power", "powerchop");
+    println!("IPC           {:>12.3} {:>12.3}", full.ipc(), chop.ipc());
+    println!(
+        "core power    {:>10.2} W {:>10.2} W",
+        full.energy.avg_power_w, chop.energy.avg_power_w
+    );
+    println!(
+        "leakage power {:>10.2} W {:>10.2} W",
+        full.energy.leakage_power_w, chop.energy.leakage_power_w
+    );
+    println!("\nPowerChop results:");
+    println!("  slowdown            {:>6.1} %", 100.0 * chop.slowdown_vs(&full));
+    println!("  total power saved   {:>6.1} %", 100.0 * chop.power_reduction_vs(&full));
+    println!("  leakage saved       {:>6.1} %", 100.0 * chop.leakage_reduction_vs(&full));
+    println!("  VPU gated           {:>6.1} % of cycles", 100.0 * chop.gated.vpu_off_frac());
+    println!("  BPU gated           {:>6.1} % of cycles", 100.0 * chop.gated.bpu_off_frac());
+    println!("  MLC way-gated       {:>6.1} % of cycles", 100.0 * chop.gated.mlc_gated_frac());
+    let pvt = chop.pvt.expect("powerchop runs track the PVT");
+    println!(
+        "  phases decided      {:>6}   (PVT: {} lookups, {} misses)",
+        chop.cde.expect("powerchop runs track the CDE").decided,
+        pvt.lookups,
+        pvt.misses(),
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Server power study: PowerChop across the SPEC CPU2006 + PARSEC roster
+//! on the Nehalem-like server core — the paper's Figures 12–14 in one
+//! table.
+//!
+//! ```sh
+//! cargo run --release --example server_power_study
+//! ```
+
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::uarch::config::CoreKind;
+use powerchop_suite::workloads::{self, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = RunConfig::for_kind(CoreKind::Server);
+    cfg.max_instructions = 6_000_000;
+
+    println!(
+        "{:<14} {:>9} {:>10} {:>8} {:>8} {:>8}",
+        "bench", "full-IPC", "slowdown%", "power-%", "leak-%", "energy-%"
+    );
+    let mut slowdowns = Vec::new();
+    let mut powers = Vec::new();
+    for b in workloads::all().iter().filter(|b| b.core_kind() == CoreKind::Server) {
+        let program = b.program(Scale(0.6));
+        let full = run_program(&program, ManagerKind::FullPower, &cfg)?;
+        let chop = run_program(&program, ManagerKind::PowerChop, &cfg)?;
+        let slow = 100.0 * chop.slowdown_vs(&full);
+        let power = 100.0 * chop.power_reduction_vs(&full);
+        println!(
+            "{:<14} {:>9.3} {:>10.1} {:>8.1} {:>8.1} {:>8.1}",
+            b.name(),
+            full.ipc(),
+            slow,
+            power,
+            100.0 * chop.leakage_reduction_vs(&full),
+            100.0 * chop.energy_reduction_vs(&full),
+        );
+        slowdowns.push(slow);
+        powers.push(power);
+    }
+    let n = slowdowns.len() as f64;
+    println!(
+        "\naverages: slowdown {:.1}%, total power reduction {:.1}%",
+        slowdowns.iter().sum::<f64>() / n,
+        powers.iter().sum::<f64>() / n,
+    );
+    Ok(())
+}

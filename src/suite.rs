@@ -1,0 +1,19 @@
+//! Umbrella crate for the PowerChop reproduction workspace.
+//!
+//! Re-exports the public APIs of every crate so examples and integration
+//! tests can use a single dependency. See the individual crates for
+//! documentation:
+//!
+//! - [`powerchop`] — the paper's contribution (HTB, PVT, CDE, gating)
+//! - [`gisa`] — the guest ISA and program representation
+//! - [`bt`] — the binary-translation subsystem
+//! - [`uarch`] — microarchitectural unit models
+//! - [`power`] — the power/energy model
+//! - [`workloads`] — the synthetic benchmark suites
+
+pub use powerchop;
+pub use powerchop_bt as bt;
+pub use powerchop_gisa as gisa;
+pub use powerchop_power as power;
+pub use powerchop_uarch as uarch;
+pub use powerchop_workloads as workloads;

@@ -1,0 +1,91 @@
+//! Fidelity checks against the paper's fixed parameters and the key
+//! behavioural claims of its motivation sections.
+
+use powerchop_suite::bt::{BtConfig, Machine};
+use powerchop_suite::gisa::{ProgramBuilder, Reg};
+use powerchop_suite::powerchop::phase::{SIGNATURE_LEN, WINDOW_TRANSLATIONS};
+use powerchop_suite::powerchop::{HotTranslationBuffer, PolicyVectorTable};
+use powerchop_suite::uarch::cache::MlcWayState;
+use powerchop_suite::uarch::config::CoreConfig;
+use powerchop_suite::uarch::core::CoreModel;
+
+#[test]
+fn paper_constants() {
+    assert_eq!(WINDOW_TRANSLATIONS, 1000);
+    assert_eq!(SIGNATURE_LEN, 4);
+    assert_eq!(HotTranslationBuffer::paper_default().storage_bytes(), 1024);
+    assert_eq!(PolicyVectorTable::paper_default().storage_bytes(), 264);
+    let s = CoreConfig::server();
+    assert_eq!(s.gating.mlc_switch, 50);
+    assert_eq!(s.gating.vpu_switch, 30);
+    assert_eq!(s.gating.bpu_switch, 20);
+    assert_eq!(s.gating.vpu_save_restore, 500);
+}
+
+#[test]
+fn mlc_way_states_match_table1_capacities() {
+    // Server: 1024 KiB 8-way -> 512 KiB 4-way or 128 KiB 1-way.
+    let s = CoreConfig::server();
+    let per_way = s.mlc.size_kib / s.mlc.ways;
+    assert_eq!(per_way * MlcWayState::Half.active_ways(s.mlc.ways), 512);
+    assert_eq!(per_way * MlcWayState::One.active_ways(s.mlc.ways), 128);
+    // Mobile: 2048 KiB 8-way -> 1024 KiB or 256 KiB.
+    let m = CoreConfig::mobile();
+    let per_way = m.mlc.size_kib / m.mlc.ways;
+    assert_eq!(per_way * MlcWayState::Half.active_ways(m.mlc.ways), 1024);
+    assert_eq!(per_way * MlcWayState::One.active_ways(m.mlc.ways), 256);
+}
+
+/// The hybrid machine must produce identical architectural results no
+/// matter how the BT layer schedules interpretation vs translation.
+#[test]
+fn translation_is_architecturally_transparent() {
+    let r = |i| Reg::new(i).unwrap();
+    let mut b = ProgramBuilder::new("transparency");
+    b.li(r(0), 0).li(r(1), 40_000).li(r(2), 0);
+    let top = b.bind_label();
+    b.mul(r(3), r(0), r(0));
+    b.add(r(2), r(2), r(3));
+    b.addi(r(0), r(0), 1);
+    b.blt(r(0), r(1), top);
+    b.halt();
+    let program = b.build().unwrap();
+
+    let mut results = Vec::new();
+    for threshold in [1u32, 16, 1024, u32::MAX] {
+        let cfg = CoreConfig::server();
+        let mut core = CoreModel::new(&cfg);
+        let mut machine =
+            Machine::new(&program, BtConfig { hot_threshold: threshold, ..BtConfig::default() });
+        machine.run(&mut core, u64::MAX).unwrap();
+        results.push((machine.cpu().int_reg(r(2)), machine.retired()));
+    }
+    for pair in results.windows(2) {
+        assert_eq!(pair[0], pair[1], "BT scheduling must not change semantics");
+    }
+}
+
+/// Motivation §III-B: the BPU and MLC stay *active* even in phases where
+/// they are not *critical* — activity cannot drive gating decisions.
+#[test]
+fn high_activity_is_not_criticality() {
+    use powerchop_suite::workloads::{by_name, Scale};
+    let b = by_name("canneal").unwrap(); // random branches + streaming
+    let program = b.program(Scale(0.1));
+    let cfg = CoreConfig::server();
+    let mut core = CoreModel::new(&cfg);
+    let mut machine = Machine::new(&program, BtConfig::default());
+    machine.run(&mut core, 800_000).unwrap();
+    let stats = core.stats();
+    // Branches and MLC accesses are frequent...
+    assert!(stats.branches * 20 > stats.instructions, "branches are frequent");
+    assert!(stats.mlc_accesses * 200 > stats.instructions, "MLC is active");
+    // ...yet the large BPU mispredicts random branches as badly as the
+    // small one would, and the MLC misses its streaming accesses: both
+    // are active but non-critical, exactly the paper's point.
+    assert!(
+        stats.mispredicts * 6 > stats.branches,
+        "random branches defeat the predictor"
+    );
+    assert!(stats.mlc_hits * 2 < stats.mlc_accesses, "streaming defeats the MLC");
+}

@@ -1,0 +1,32 @@
+//! Assembler/disassembler round-trip over every synthetic benchmark: the
+//! text form of each of the 29 workload programs must re-assemble to the
+//! identical instruction sequence.
+
+use powerchop_suite::gisa::asm::{assemble, disassemble};
+use powerchop_suite::workloads::{all, Scale};
+
+#[test]
+fn every_benchmark_round_trips_through_text() {
+    for b in all() {
+        let program = b.program(Scale(0.01));
+        let text = disassemble(&program);
+        let reassembled = assemble(b.name(), &text)
+            .unwrap_or_else(|e| panic!("{} failed to re-assemble: {e}", b.name()));
+        assert_eq!(
+            program.insts(),
+            reassembled.insts(),
+            "{} changed across disassemble/assemble",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn disassembly_is_human_readable() {
+    let program = powerchop_suite::workloads::by_name("hmmer").unwrap().program(Scale(0.01));
+    let text = disassemble(&program);
+    // Spot checks: labels exist, mnemonics exist, no raw `@pc` targets.
+    assert!(text.contains("L2:"), "loop head should carry a label");
+    assert!(text.contains("blt"));
+    assert!(!text.contains('@'), "all targets must be symbolic");
+}

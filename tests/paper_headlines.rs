@@ -1,0 +1,114 @@
+//! Headline regression tests: the paper's central quantitative claims,
+//! checked at reduced scale so `cargo test` guards the reproduction's
+//! shape. The full-scale versions live in the bench harness
+//! (`cargo bench`); see `EXPERIMENTS.md`.
+
+use powerchop_suite::powerchop::managers::ManagedSet;
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig, RunReport};
+use powerchop_suite::workloads::{self, Scale, Suite};
+
+const SCALE: Scale = Scale(0.25);
+const BUDGET: u64 = 2_500_000;
+
+fn run(b: &workloads::Benchmark, kind: ManagerKind) -> RunReport {
+    run_with(b, kind, |_| {})
+}
+
+fn run_with(
+    b: &workloads::Benchmark,
+    kind: ManagerKind,
+    tweak: impl FnOnce(&mut RunConfig),
+) -> RunReport {
+    let mut cfg = RunConfig::for_kind(b.core_kind());
+    cfg.max_instructions = BUDGET;
+    tweak(&mut cfg);
+    let program = b.program(SCALE);
+    run_program(&program, kind, &cfg).expect("benchmark runs")
+}
+
+/// Abstract claim: "POWERCHOP significantly decreases power consumption
+/// ... while introducing just 2% slowdown" — checked across a
+/// representative cross-suite subset.
+#[test]
+fn headline_power_down_performance_held() {
+    let subset = ["gobmk", "hmmer", "namd", "gems", "lbm", "msn", "amazon"];
+    let (mut slowdowns, mut reductions) = (Vec::new(), Vec::new());
+    for name in subset {
+        let b = workloads::by_name(name).unwrap();
+        let full = run(b, ManagerKind::FullPower);
+        let chop = run(b, ManagerKind::PowerChop);
+        slowdowns.push(chop.slowdown_vs(&full));
+        reductions.push(chop.leakage_reduction_vs(&full));
+    }
+    let avg_slow = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+    let avg_leak = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    assert!(avg_slow < 0.06, "average slowdown {avg_slow:.3} out of band (paper: 0.022)");
+    assert!(avg_leak > 0.15, "average leakage reduction {avg_leak:.3} too small");
+}
+
+/// §V-E / Fig. 16 headline: namd's sparse uniform vector use defeats the
+/// timeout but not PowerChop.
+#[test]
+fn headline_namd_timeout_gap() {
+    let b = workloads::by_name("namd").unwrap();
+    let chop = run_with(b, ManagerKind::PowerChop, |c| {
+        c.chop.managed = ManagedSet::VPU_ONLY;
+    });
+    let timeout = run(b, ManagerKind::TimeoutVpu { timeout_cycles: 20_000 });
+    assert!(
+        chop.gated.vpu_off_frac() > 0.9,
+        "PowerChop must gate namd's VPU nearly always: {:.2}",
+        chop.gated.vpu_off_frac()
+    );
+    assert!(
+        timeout.gated.vpu_off_frac() < 0.5,
+        "the timeout must mostly fail on namd: {:.2}",
+        timeout.gated.vpu_off_frac()
+    );
+}
+
+/// Fig. 9/10 headline: the mobile VPU is gated >90% on every MobileBench
+/// app; dedup and namd gate >90% on the server.
+#[test]
+fn headline_vpu_gating_fractions() {
+    for b in workloads::suite(Suite::MobileBench) {
+        let r = run_with(b, ManagerKind::PowerChop, |c| {
+            c.chop.managed = ManagedSet::VPU_ONLY;
+        });
+        assert!(
+            r.gated.vpu_off_frac() > 0.75,
+            "{}: mobile VPU off only {:.2}",
+            b.name(),
+            r.gated.vpu_off_frac()
+        );
+    }
+    for name in ["dedup", "namd"] {
+        let b = workloads::by_name(name).unwrap();
+        let r = run_with(b, ManagerKind::PowerChop, |c| {
+            c.chop.managed = ManagedSet::VPU_ONLY;
+        });
+        assert!(r.gated.vpu_off_frac() > 0.85, "{name}: {:.2}", r.gated.vpu_off_frac());
+    }
+}
+
+/// Fig. 12 headline: a minimally-powered core is drastically slower than
+/// PowerChop; PowerChop is close to full power.
+#[test]
+fn headline_minimal_power_is_drastic() {
+    let b = workloads::by_name("soplex").unwrap();
+    let full = run(b, ManagerKind::FullPower);
+    let chop = run(b, ManagerKind::PowerChop);
+    let min = run(b, ManagerKind::MinimalPower);
+    assert!(min.slowdown_vs(&full) > 3.0 * chop.slowdown_vs(&full).max(0.01));
+}
+
+/// §IV-C3 headline: PVT misses are vanishingly rare once phases are
+/// learned.
+#[test]
+fn headline_pvt_misses_are_rare() {
+    let b = workloads::by_name("hmmer").unwrap();
+    let r = run(b, ManagerKind::PowerChop);
+    let pvt = r.pvt.unwrap();
+    let rate = pvt.misses() as f64 / r.bt.translation_executions.max(1) as f64;
+    assert!(rate < 0.001, "PVT miss rate {rate} out of band (paper: 0.00017)");
+}

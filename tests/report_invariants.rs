@@ -1,0 +1,107 @@
+//! Invariants every run report must satisfy, across benchmarks and
+//! managers — the cross-crate accounting must be self-consistent.
+
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::workloads::{self, Scale};
+
+fn check(report: &powerchop_suite::powerchop::RunReport, tag: &str) {
+    let r = report;
+    // Cycle accounting.
+    assert_eq!(r.gated.total, r.cycles, "{tag}: gated-time must cover the run");
+    assert!(r.gated.vpu_off <= r.gated.total, "{tag}");
+    assert!(r.gated.bpu_off <= r.gated.total, "{tag}");
+    assert!(r.gated.mlc_half + r.gated.mlc_one <= r.gated.total, "{tag}");
+    // Event accounting.
+    assert!(r.stats.mlc_hits <= r.stats.mlc_accesses, "{tag}");
+    assert!(r.stats.llc_hits <= r.stats.llc_accesses, "{tag}");
+    assert!(r.stats.mispredicts <= r.stats.branches, "{tag}");
+    assert_eq!(
+        r.stats.simd_committed + r.stats.vec_emulated,
+        r.stats.vec_ops,
+        "{tag}: every vector op is native or emulated"
+    );
+    assert_eq!(
+        r.bt.interpreted_instructions + r.bt.translated_instructions,
+        r.stats.instructions,
+        "{tag}: BT and core must agree on instruction counts"
+    );
+    // Energy accounting.
+    assert!(r.energy.leakage_j > 0.0, "{tag}");
+    assert!(r.energy.dynamic_j > 0.0, "{tag}");
+    assert!(
+        (r.energy.total_j - (r.energy.leakage_j + r.energy.dynamic_j + r.energy.overhead_j)).abs()
+            < 1e-12,
+        "{tag}: energy components must sum"
+    );
+    assert_eq!(r.energy.cycles, r.cycles, "{tag}: ledger covers the whole run");
+    // PowerChop-specific accounting.
+    if let Some(pvt) = r.pvt {
+        assert_eq!(pvt.lookups, pvt.hits + pvt.misses(), "{tag}");
+        assert_eq!(r.nucleus.interrupts, pvt.misses(), "{tag}: misses raise interrupts");
+        let cde = r.cde.expect("powerchop run has CDE stats");
+        assert!(cde.decided + cde.reregistered <= pvt.lookups, "{tag}");
+    }
+}
+
+#[test]
+fn invariants_hold_across_benchmarks_and_managers() {
+    for name in ["gems", "perlbench", "amazon", "streamcluster", "sjeng"] {
+        let b = workloads::by_name(name).unwrap();
+        let mut cfg = RunConfig::for_kind(b.core_kind());
+        cfg.max_instructions = 900_000;
+        let program = b.program(Scale(0.1));
+        for kind in [
+            ManagerKind::FullPower,
+            ManagerKind::PowerChop,
+            ManagerKind::MinimalPower,
+            ManagerKind::TimeoutVpu { timeout_cycles: 10_000 },
+        ] {
+            let r = run_program(&program, kind, &cfg).unwrap();
+            check(&r, &format!("{name}/{kind:?}"));
+        }
+    }
+}
+
+#[test]
+fn full_power_never_gates_or_interrupts() {
+    let b = workloads::by_name("gcc").unwrap();
+    let mut cfg = RunConfig::for_kind(b.core_kind());
+    cfg.max_instructions = 600_000;
+    let program = b.program(Scale(0.1));
+    let r = run_program(&program, ManagerKind::FullPower, &cfg).unwrap();
+    assert_eq!(r.switches.total(), 0);
+    assert_eq!(r.gated.vpu_off, 0);
+    assert_eq!(r.gated.bpu_off, 0);
+    assert_eq!(r.gated.mlc_half + r.gated.mlc_one, 0);
+    assert_eq!(r.nucleus.interrupts, 0);
+    assert!(r.pvt.is_none() && r.cde.is_none());
+}
+
+#[test]
+fn minimal_power_gates_everything_immediately() {
+    let b = workloads::by_name("gcc").unwrap();
+    let mut cfg = RunConfig::for_kind(b.core_kind());
+    cfg.max_instructions = 600_000;
+    let program = b.program(Scale(0.1));
+    let r = run_program(&program, ManagerKind::MinimalPower, &cfg).unwrap();
+    assert_eq!(r.switches.total(), 3, "exactly one switch per unit at init");
+    assert_eq!(r.gated.vpu_off, r.cycles);
+    assert_eq!(r.gated.bpu_off, r.cycles);
+    assert_eq!(r.gated.mlc_one, r.cycles);
+}
+
+#[test]
+fn window_records_match_pvt_lookups() {
+    let b = workloads::by_name("hmmer").unwrap();
+    let mut cfg = RunConfig::for_kind(b.core_kind());
+    cfg.max_instructions = 900_000;
+    cfg.record_windows = true;
+    let program = b.program(Scale(0.1));
+    let r = run_program(&program, ManagerKind::PowerChop, &cfg).unwrap();
+    assert_eq!(r.windows.len() as u64, r.pvt.unwrap().lookups);
+    for w in &r.windows {
+        let execs: u64 = w.counts.iter().map(|(_, n)| *n).sum();
+        assert_eq!(execs, 1000, "each window holds exactly 1000 translations");
+        assert!(!w.signature.is_empty());
+    }
+}
