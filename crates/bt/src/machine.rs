@@ -51,6 +51,10 @@ pub struct BtStats {
     /// Translation executions that left the trace early because control
     /// flow diverged from the recorded path.
     pub side_exits: u64,
+    /// Context switches observed (profiling state flushed each time).
+    pub context_switches: u64,
+    /// Translations dropped by region-cache invalidation events.
+    pub invalidated_translations: u64,
 }
 
 /// One scheduling unit of hybrid execution.
@@ -173,7 +177,12 @@ impl<'p> Machine<'p> {
 
         let head_id = TranslationId(self.cpu.pc().0);
         if let Some(translation) = self.region_cache.get(head_id) {
-            return self.execute_translation(head_id, translation.trace().len(), core);
+            // Copy the trace out so the region cache is not borrowed while
+            // the CPU mutates (translations are immutable; this is a small
+            // memcpy into a reused buffer).
+            self.trace_buf.clear();
+            self.trace_buf.extend_from_slice(translation.trace());
+            return self.execute_translation(head_id, core);
         }
 
         // Slow path: interpret, counting hotness at block heads.
@@ -230,19 +239,12 @@ impl<'p> Machine<'p> {
         Ok(MachineEvent::Interpreted)
     }
 
+    /// Executes the trace already staged in `trace_buf` by [`Machine::step`].
     fn execute_translation(
         &mut self,
         id: TranslationId,
-        trace_len: usize,
         core: &mut CoreModel,
     ) -> Result<MachineEvent, GisaError> {
-        // Copy the trace out so the region cache is not borrowed while the
-        // CPU mutates (translations are immutable; this is a small memcpy).
-        self.trace_buf.clear();
-        self.trace_buf
-            .extend_from_slice(self.region_cache.get(id).expect("checked by caller").trace());
-        debug_assert_eq!(self.trace_buf.len(), trace_len);
-
         let mut executed = 0u64;
         let mut side_exit = false;
         for i in 0..self.trace_buf.len() {
@@ -266,7 +268,33 @@ impl<'p> Machine<'p> {
         // A translation exit is a dispatch point: the next PC is a block
         // head for hotness purposes.
         self.at_block_head = true;
-        Ok(MachineEvent::Translation { id, instructions: executed })
+        Ok(MachineEvent::Translation {
+            id,
+            instructions: executed,
+        })
+    }
+
+    /// Fault hook: a context switch. The guest's architectural state is
+    /// saved and restored by the OS, but the BT layer's warm profiling
+    /// state — interpreter hotness counters and branch-bias history —
+    /// belongs to the time slice and is flushed, so hot regions must
+    /// re-prove themselves. Installed translations survive (the region
+    /// cache is per-process software state).
+    pub fn on_context_switch(&mut self) {
+        self.hotness.clear();
+        self.branch_bias.clear();
+        self.at_block_head = true;
+        self.stats.context_switches += 1;
+    }
+
+    /// Fault hook: a region-cache invalidation storm dropping roughly
+    /// `fraction` of resident translations (selected deterministically
+    /// from `selector`). Returns how many were dropped; execution falls
+    /// back to interpretation until the regions re-heat.
+    pub fn invalidate_regions(&mut self, fraction: f64, selector: u64) -> usize {
+        let dropped = self.region_cache.invalidate_fraction(fraction, selector);
+        self.stats.invalidated_translations += dropped.len() as u64;
+        dropped.len()
     }
 
     /// Runs until the guest halts or `max_instructions` have retired,
@@ -292,7 +320,7 @@ mod tests {
     use powerchop_uarch::config::CoreConfig;
 
     fn r(i: u8) -> Reg {
-        Reg::new(i).unwrap()
+        Reg::new(i).expect("register index in range")
     }
 
     /// A program that loops `n` times over a small body.
@@ -304,7 +332,7 @@ mod tests {
         b.addi(r(2), r(2), 3);
         b.blt(r(0), r(1), top);
         b.halt();
-        b.build().unwrap()
+        b.build().expect("test program is well-formed")
     }
 
     fn new_core() -> CoreModel {
@@ -340,7 +368,13 @@ mod tests {
         m.run(&mut core, u64::MAX).unwrap();
         // Pure interpreter run (threshold too high to ever translate).
         let mut core2 = new_core();
-        let mut m2 = Machine::new(&p, BtConfig { hot_threshold: u32::MAX, ..BtConfig::default() });
+        let mut m2 = Machine::new(
+            &p,
+            BtConfig {
+                hot_threshold: u32::MAX,
+                ..BtConfig::default()
+            },
+        );
         m2.run(&mut core2, u64::MAX).unwrap();
         assert_eq!(m.cpu(), m2.cpu());
         assert_eq!(m2.stats().translations_built, 0);
@@ -354,7 +388,7 @@ mod tests {
         let mut translated_insts = 0;
         let mut events = 0;
         loop {
-            match m.step(&mut core).unwrap() {
+            match m.step(&mut core).expect("test program executes cleanly") {
                 MachineEvent::Halted => break,
                 MachineEvent::Translation { instructions, .. } => {
                     translated_insts += instructions;
@@ -371,13 +405,22 @@ mod tests {
     #[test]
     fn translation_charges_one_time_cost() {
         let p = loop_program(1000);
-        let cfg = BtConfig { translate_cycles_per_inst: 10_000, ..BtConfig::default() };
+        let cfg = BtConfig {
+            translate_cycles_per_inst: 10_000,
+            ..BtConfig::default()
+        };
         let mut expensive = new_core();
         Machine::new(&p, cfg).run(&mut expensive, u64::MAX).unwrap();
         let mut cheap = new_core();
-        Machine::new(&p, BtConfig { translate_cycles_per_inst: 0, ..BtConfig::default() })
-            .run(&mut cheap, u64::MAX)
-            .unwrap();
+        Machine::new(
+            &p,
+            BtConfig {
+                translate_cycles_per_inst: 0,
+                ..BtConfig::default()
+            },
+        )
+        .run(&mut cheap, u64::MAX)
+        .unwrap();
         assert!(expensive.cycles() > cheap.cycles() + 9_000);
     }
 
@@ -385,11 +428,19 @@ mod tests {
     fn interpreting_forever_is_slower_than_translating() {
         let p = loop_program(20_000);
         let mut hybrid_core = new_core();
-        Machine::new(&p, BtConfig::default()).run(&mut hybrid_core, u64::MAX).unwrap();
-        let mut interp_core = new_core();
-        Machine::new(&p, BtConfig { hot_threshold: u32::MAX, ..BtConfig::default() })
-            .run(&mut interp_core, u64::MAX)
+        Machine::new(&p, BtConfig::default())
+            .run(&mut hybrid_core, u64::MAX)
             .unwrap();
+        let mut interp_core = new_core();
+        Machine::new(
+            &p,
+            BtConfig {
+                hot_threshold: u32::MAX,
+                ..BtConfig::default()
+            },
+        )
+        .run(&mut interp_core, u64::MAX)
+        .unwrap();
         assert!(interp_core.cycles() > 2 * hybrid_core.cycles());
     }
 
@@ -425,11 +476,17 @@ mod tests {
         b.addi(r(0), r(0), 1);
         b.blt(r(0), r(1), top);
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
 
         let run = |superblocks: bool| {
             let mut core = new_core();
-            let mut m = Machine::new(&p, BtConfig { superblocks, ..BtConfig::default() });
+            let mut m = Machine::new(
+                &p,
+                BtConfig {
+                    superblocks,
+                    ..BtConfig::default()
+                },
+            );
             m.run(&mut core, u64::MAX).unwrap();
             assert_eq!(m.cpu().int_reg(r(6)), 30_000 / 16, "semantics preserved");
             m.stats()
@@ -445,6 +502,51 @@ mod tests {
         assert!(superblock.side_exits > 0, "rare direction must side-exit");
         // Roughly 1 side exit per 16 iterations.
         assert!(superblock.side_exits as i64 >= 30_000 / 16 - 16);
+    }
+
+    #[test]
+    fn context_switch_flushes_profiling_but_preserves_semantics() {
+        let p = loop_program(10_000);
+        let mut core = new_core();
+        let mut m = Machine::new(&p, BtConfig::default());
+        let mut steps = 0u64;
+        while !m.halted() {
+            m.step(&mut core).expect("test program executes cleanly");
+            steps += 1;
+            if steps.is_multiple_of(500) {
+                m.on_context_switch();
+            }
+        }
+        assert_eq!(m.stats().context_switches, steps / 500);
+        // Architectural result identical to an undisturbed run.
+        assert_eq!(m.cpu().int_reg(r(0)), 10_000);
+        assert_eq!(m.cpu().int_reg(r(2)), 30_000);
+    }
+
+    #[test]
+    fn region_invalidation_forces_retranslation_without_changing_results() {
+        let p = loop_program(20_000);
+        let mut core = new_core();
+        let mut m = Machine::new(&p, BtConfig::default());
+        let mut invalidated = 0usize;
+        let mut steps = 0u64;
+        while !m.halted() {
+            m.step(&mut core).expect("test program executes cleanly");
+            steps += 1;
+            if steps.is_multiple_of(2_000) {
+                invalidated += m.invalidate_regions(1.0, steps);
+            }
+        }
+        assert!(
+            invalidated > 0,
+            "the hot loop should have been dropped at least once"
+        );
+        assert_eq!(m.stats().invalidated_translations, invalidated as u64);
+        assert!(
+            m.stats().translations_built > 1,
+            "dropped regions must re-heat and retranslate"
+        );
+        assert_eq!(m.cpu().int_reg(r(0)), 20_000);
     }
 
     #[test]
@@ -472,7 +574,7 @@ mod tests {
             b.blt(r(0), r(1), top_l);
             b.halt();
         }
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let mut core = new_core();
         let mut m = Machine::new(&p, BtConfig::default());
         m.run(&mut core, u64::MAX).unwrap();

@@ -71,7 +71,13 @@ mod tests {
         let mut n = Nucleus::new();
         n.raise(&mut core, 100);
         n.raise(&mut core, 50);
-        assert_eq!(n.stats(), NucleusStats { interrupts: 2, handler_cycles: 150 });
+        assert_eq!(
+            n.stats(),
+            NucleusStats {
+                interrupts: 2,
+                handler_cycles: 150
+            }
+        );
         assert_eq!(core.cycles(), 150);
     }
 }

@@ -34,14 +34,14 @@ pub struct RegionCache {
 }
 
 impl RegionCache {
-    /// Creates an empty region cache holding at most `capacity` translations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// Creates an empty region cache holding at most `capacity`
+    /// translations. A zero capacity is clamped to one: the translation
+    /// layer must stay panic-free under any configuration, and a
+    /// one-entry cache is the nearest well-defined neighbour of a
+    /// degenerate request.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "region cache capacity must be positive");
+        let capacity = capacity.max(1);
         RegionCache {
             translations: HashMap::new(),
             install_order: Vec::new(),
@@ -90,6 +90,40 @@ impl RegionCache {
     pub fn iter(&self) -> impl Iterator<Item = &Translation> {
         self.translations.values()
     }
+
+    /// Fault hook: drops roughly `fraction` of resident translations,
+    /// selected deterministically from `selector` (models an
+    /// invalidation storm — self-modifying code detection, a page
+    /// remapping, or a guest TLB shootdown wiping translated regions).
+    /// Returns the IDs dropped so callers can discount dependent state.
+    pub fn invalidate_fraction(&mut self, fraction: f64, selector: u64) -> Vec<TranslationId> {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let threshold = (fraction * 2f64.powi(32)) as u64;
+        let mut dropped = Vec::new();
+        self.install_order.retain(|id| {
+            // splitmix-style avalanche of (id, selector): a per-id coin
+            // flip that is reproducible for a given selector.
+            let mut z = u64::from(id.0) ^ selector.rotate_left(17);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            if (z >> 32) < threshold {
+                dropped.push(*id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in &dropped {
+            self.translations.remove(id);
+        }
+        dropped
+    }
+
+    /// Drops every resident translation.
+    pub fn clear(&mut self) {
+        self.translations.clear();
+        self.install_order.clear();
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +138,7 @@ mod tests {
             b.nop();
         }
         b.halt();
-        b.build().unwrap()
+        b.build().expect("test program is well-formed")
     }
 
     #[test]
@@ -142,9 +176,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity")]
-    fn zero_capacity_is_rejected() {
-        let _ = RegionCache::new(0);
+    fn zero_capacity_clamps_to_one_entry() {
+        let p = program_with_nops(10);
+        let mut rc = RegionCache::new(0);
+        rc.install(translate(&p, Pc(0), 1).unwrap());
+        assert_eq!(rc.len(), 1);
+        let evicted = rc.install(translate(&p, Pc(1), 1).unwrap());
+        assert_eq!(evicted, Some(TranslationId(0)));
+        assert_eq!(rc.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_fraction_is_deterministic_and_bounded() {
+        let p = program_with_nops(64);
+        let build = || {
+            let mut rc = RegionCache::new(128);
+            for pc in 0..60 {
+                rc.install(translate(&p, Pc(pc), 1).unwrap());
+            }
+            rc
+        };
+        let mut a = build();
+        let mut b = build();
+        assert!(a.invalidate_fraction(0.0, 1).is_empty());
+        assert_eq!(a.invalidate_fraction(0.5, 7), b.invalidate_fraction(0.5, 7));
+        let survivors = a.len();
+        assert!(
+            survivors > 0 && survivors < 60,
+            "~half should survive, got {survivors}"
+        );
+        let dropped_all = a.invalidate_fraction(1.0, 3);
+        assert_eq!(dropped_all.len(), survivors);
+        assert!(a.is_empty());
+        // Dropped translations are really gone.
+        let mut c = build();
+        for id in c.invalidate_fraction(0.5, 7) {
+            assert!(c.get(id).is_none());
+        }
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let p = program_with_nops(8);
+        let mut rc = RegionCache::new(8);
+        rc.install(translate(&p, Pc(0), 2).unwrap());
+        rc.clear();
+        assert!(rc.is_empty());
+        // Reinstall after clear works from a clean slate.
+        rc.install(translate(&p, Pc(0), 2).unwrap());
+        assert_eq!(rc.len(), 1);
     }
 
     #[test]

@@ -133,7 +133,7 @@ mod tests {
     use powerchop_gisa::{ProgramBuilder, Reg, VReg};
 
     fn r(i: u8) -> Reg {
-        Reg::new(i).unwrap()
+        Reg::new(i).expect("register index in range")
     }
 
     #[test]
@@ -146,7 +146,7 @@ mod tests {
         b.li(r(2), 2);
         b.bind(over).unwrap();
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let plain = translate(&p, Pc(0), 64).unwrap();
         assert_eq!(plain.len(), 2, "plain traces end at the branch");
         let biased = translate_with_bias(&p, Pc(0), 64, |_| Some(false)).unwrap();
@@ -156,7 +156,11 @@ mod tests {
             "superblock falls through to the halt"
         );
         let taken = translate_with_bias(&p, Pc(0), 64, |_| Some(true)).unwrap();
-        assert_eq!(taken.trace(), &[Pc(0), Pc(1), Pc(3)], "superblock follows taken bias");
+        assert_eq!(
+            taken.trace(),
+            &[Pc(0), Pc(1), Pc(3)],
+            "superblock follows taken bias"
+        );
     }
 
     #[test]
@@ -166,9 +170,13 @@ mod tests {
         b.addi(r(0), r(0), 1);
         b.blt(r(0), r(1), top);
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let t = translate_with_bias(&p, Pc(0), 64, |_| Some(true)).unwrap();
-        assert_eq!(t.len(), 2, "backward branches end traces even when biased taken");
+        assert_eq!(
+            t.len(),
+            2,
+            "backward branches end traces even when biased taken"
+        );
     }
 
     #[test]
@@ -180,7 +188,7 @@ mod tests {
         b.nop();
         b.blt(r(0), r(1), top);
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let t = translate(&p, Pc(0), 64).unwrap();
         // li, addi, nop, blt — branch included, halt not.
         assert_eq!(t.len(), 4);
@@ -197,7 +205,7 @@ mod tests {
         b.bind(over).unwrap();
         b.li(r(1), 2);
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let t = translate(&p, Pc(0), 64).unwrap();
         assert_eq!(t.trace(), &[Pc(0), Pc(1), Pc(3), Pc(4)]);
     }
@@ -208,24 +216,24 @@ mod tests {
         let top = b.bind_label();
         b.nop();
         b.jmp(top);
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let t = translate(&p, Pc(0), 64).unwrap();
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn vector_regions_are_flagged_for_dual_paths() {
-        let v = VReg::new(0).unwrap();
+        let v = VReg::new(0).expect("register index in range");
         let mut b = ProgramBuilder::new("vec");
         b.vadd(v, v, v);
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         assert!(translate(&p, Pc(0), 64).unwrap().has_vector());
 
         let mut b = ProgramBuilder::new("scalar");
         b.nop();
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         assert!(!translate(&p, Pc(0), 64).unwrap().has_vector());
     }
 
@@ -236,7 +244,7 @@ mod tests {
             b.nop();
         }
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         assert_eq!(translate(&p, Pc(0), 16).unwrap().len(), 16);
     }
 
@@ -244,7 +252,7 @@ mod tests {
     fn out_of_range_head_is_rejected() {
         let mut b = ProgramBuilder::new("small");
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         assert!(translate(&p, Pc(5), 16).is_none());
     }
 
@@ -253,7 +261,7 @@ mod tests {
         let mut b = ProgramBuilder::new("id");
         b.nop();
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let t = translate(&p, Pc(1), 16).unwrap();
         assert_eq!(t.id(), TranslationId(1));
     }

@@ -1,11 +1,12 @@
 //! Property-based tests of the binary-translation layer's core
 //! guarantee: translation is architecturally transparent. Random guest
-//! programs must produce identical results under pure interpretation and
-//! under every hot-threshold/trace-length configuration.
-
-use proptest::prelude::*;
+//! programs must produce identical results under pure interpretation,
+//! under every hot-threshold/trace-length configuration, and under
+//! injected context switches and region-cache invalidations.
 
 use powerchop_bt::{BtConfig, Machine};
+use powerchop_faults::check::cases;
+use powerchop_faults::SimRng;
 use powerchop_gisa::{Cond, Program, ProgramBuilder, Reg};
 use powerchop_uarch::config::CoreConfig;
 use powerchop_uarch::core::CoreModel;
@@ -13,113 +14,188 @@ use powerchop_uarch::core::CoreModel;
 /// Generates a random but always-terminating guest program: a counted
 /// outer loop whose body is straight-line arithmetic with optional
 /// data-dependent inner branching.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        1i64..200,                                        // outer iterations
-        prop::collection::vec((0u8..5, 1u8..8, 1u8..8, 1u8..8), 1..12), // body ops
-        any::<bool>(),                                    // include a diamond
-        0i64..64,                                         // diamond modulus basis
-    )
-        .prop_map(|(iters, ops, diamond, modulus)| {
-            let r = |i: u8| Reg::new(i).unwrap();
-            let mut b = ProgramBuilder::new("prop-program");
-            b.li(r(0), 0).li(r(9), iters);
-            let top = b.bind_label();
-            for (kind, rd, rs, rt) in &ops {
-                let (rd, rs, rt) = (r(*rd), r(*rs), r(*rt));
-                match kind {
-                    0 => b.add(rd, rs, rt),
-                    1 => b.xor(rd, rs, rt),
-                    2 => b.mul(rd, rs, rt),
-                    3 => b.sub(rd, rs, rt),
-                    _ => b.shr(rd, rs, rt),
-                };
-            }
-            if diamond {
-                let other = b.label();
-                let join = b.label();
-                b.li(r(10), modulus.max(2));
-                b.rem(r(11), r(0), r(10));
-                b.li(r(12), modulus.max(2) / 2);
-                b.branch(Cond::Lt, r(11), r(12), other);
-                b.addi(r(13), r(13), 1);
-                b.jmp(join);
-                b.bind(other).unwrap();
-                b.addi(r(14), r(14), 1);
-                b.bind(join).unwrap();
-            }
-            b.addi(r(0), r(0), 1);
-            b.blt(r(0), r(9), top);
-            b.halt();
-            b.build().unwrap()
-        })
+fn arb_program(rng: &mut SimRng) -> Program {
+    let r = |i: u8| Reg::new(i).expect("register index in range");
+    let iters = 1 + rng.gen_range(199) as i64;
+    let body_ops = 1 + rng.gen_range(11) as usize;
+    let diamond = rng.gen_bool(0.5);
+    let modulus = rng.gen_range(64) as i64;
+
+    let mut b = ProgramBuilder::new("prop-program");
+    b.li(r(0), 0).li(r(9), iters);
+    let top = b.bind_label();
+    for _ in 0..body_ops {
+        let kind = rng.gen_range(5);
+        let rd = r(1 + rng.gen_range(7) as u8);
+        let rs = r(1 + rng.gen_range(7) as u8);
+        let rt = r(1 + rng.gen_range(7) as u8);
+        match kind {
+            0 => b.add(rd, rs, rt),
+            1 => b.xor(rd, rs, rt),
+            2 => b.mul(rd, rs, rt),
+            3 => b.sub(rd, rs, rt),
+            _ => b.shr(rd, rs, rt),
+        };
+    }
+    if diamond {
+        let other = b.label();
+        let join = b.label();
+        b.li(r(10), modulus.max(2));
+        b.rem(r(11), r(0), r(10));
+        b.li(r(12), modulus.max(2) / 2);
+        b.branch(Cond::Lt, r(11), r(12), other);
+        b.addi(r(13), r(13), 1);
+        b.jmp(join);
+        b.bind(other).expect("label bound once");
+        b.addi(r(14), r(14), 1);
+        b.bind(join).expect("label bound once");
+    }
+    b.addi(r(0), r(0), 1);
+    b.blt(r(0), r(9), top);
+    b.halt();
+    b.build().expect("generated program is well-formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn interpret_reference(program: &Program) -> Machine<'_> {
+    let mut core = CoreModel::new(&CoreConfig::server());
+    let mut reference = Machine::new(
+        program,
+        BtConfig {
+            hot_threshold: u32::MAX,
+            ..BtConfig::default()
+        },
+    );
+    reference
+        .run(&mut core, u64::MAX)
+        .expect("generated programs execute cleanly");
+    reference
+}
 
-    /// The BT layer never changes architectural results, whatever its
-    /// translation policy.
-    #[test]
-    fn translation_transparency(program in arb_program(),
-                                threshold in prop::sample::select(vec![1u32, 3, 50, u32::MAX]),
-                                max_trace in 2usize..64) {
-        let cfg = CoreConfig::server();
+/// The BT layer never changes architectural results, whatever its
+/// translation policy.
+#[test]
+fn translation_transparency() {
+    cases("translation transparency", 64, |rng| {
+        let program = arb_program(rng);
+        let threshold = [1u32, 3, 50, u32::MAX][rng.gen_range(4) as usize];
+        let max_trace = 2 + rng.gen_range(62) as usize;
+        let reference = interpret_reference(&program);
 
-        // Reference: pure interpretation.
-        let mut ref_core = CoreModel::new(&cfg);
-        let mut reference = Machine::new(
-            &program,
-            BtConfig { hot_threshold: u32::MAX, ..BtConfig::default() },
-        );
-        reference.run(&mut ref_core, u64::MAX).unwrap();
-
-        // Hybrid execution with the sampled policy.
-        let mut core = CoreModel::new(&cfg);
+        let mut core = CoreModel::new(&CoreConfig::server());
         let mut machine = Machine::new(
             &program,
-            BtConfig { hot_threshold: threshold, max_trace_len: max_trace, ..BtConfig::default() },
+            BtConfig {
+                hot_threshold: threshold,
+                max_trace_len: max_trace,
+                ..BtConfig::default()
+            },
         );
-        machine.run(&mut core, u64::MAX).unwrap();
+        machine
+            .run(&mut core, u64::MAX)
+            .expect("generated programs execute cleanly");
 
-        prop_assert!(machine.halted() && reference.halted());
-        prop_assert_eq!(machine.cpu(), reference.cpu(), "architectural state must match");
-        prop_assert_eq!(machine.retired(), reference.retired());
-    }
+        assert!(machine.halted() && reference.halted());
+        assert_eq!(
+            machine.cpu(),
+            reference.cpu(),
+            "architectural state must match"
+        );
+        assert_eq!(machine.retired(), reference.retired());
+    });
+}
 
-    /// BT statistics are internally consistent for any program/policy.
-    #[test]
-    fn bt_stats_consistent(program in arb_program(),
-                           threshold in prop::sample::select(vec![1u32, 8, 128])) {
-        let cfg = CoreConfig::server();
-        let mut core = CoreModel::new(&cfg);
+/// Injected context switches and region-cache invalidations perturb
+/// timing and translation coverage but never architectural results.
+#[test]
+fn faults_preserve_transparency() {
+    cases("fault transparency", 48, |rng| {
+        let program = arb_program(rng);
+        let reference = interpret_reference(&program);
+
+        let mut core = CoreModel::new(&CoreConfig::server());
         let mut machine = Machine::new(
             &program,
-            BtConfig { hot_threshold: threshold, ..BtConfig::default() },
+            BtConfig {
+                hot_threshold: 2,
+                ..BtConfig::default()
+            },
         );
-        machine.run(&mut core, u64::MAX).unwrap();
+        let switch_every = 50 + rng.gen_range(400);
+        let invalidate_every = 100 + rng.gen_range(900);
+        let fraction = rng.gen_f64();
+        let mut steps = 0u64;
+        while !machine.halted() {
+            machine
+                .step(&mut core)
+                .expect("generated programs execute cleanly");
+            steps += 1;
+            if steps.is_multiple_of(switch_every) {
+                machine.on_context_switch();
+            }
+            if steps.is_multiple_of(invalidate_every) {
+                machine.invalidate_regions(fraction, rng.next_u64());
+            }
+        }
+        assert_eq!(machine.cpu(), reference.cpu(), "faults must be timing-only");
+        assert_eq!(machine.retired(), reference.retired());
+    });
+}
+
+/// BT statistics are internally consistent for any program/policy.
+#[test]
+fn bt_stats_consistent() {
+    cases("bt stats consistent", 64, |rng| {
+        let program = arb_program(rng);
+        let threshold = [1u32, 8, 128][rng.gen_range(3) as usize];
+        let mut core = CoreModel::new(&CoreConfig::server());
+        let mut machine = Machine::new(
+            &program,
+            BtConfig {
+                hot_threshold: threshold,
+                ..BtConfig::default()
+            },
+        );
+        machine
+            .run(&mut core, u64::MAX)
+            .expect("generated programs execute cleanly");
         let s = machine.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.interpreted_instructions + s.translated_instructions,
             machine.retired()
         );
-        prop_assert!(s.side_exits <= s.translation_executions);
-        prop_assert!(s.translations_built as usize >= machine.region_cache().len());
-        prop_assert_eq!(core.stats().instructions, machine.retired());
-    }
+        assert!(s.side_exits <= s.translation_executions);
+        assert!(s.translations_built as usize >= machine.region_cache().len());
+        assert_eq!(core.stats().instructions, machine.retired());
+    });
+}
 
-    /// Lower hot thresholds never produce *fewer* translated instructions.
-    #[test]
-    fn hotter_translation_translates_more(program in arb_program()) {
+/// Lower hot thresholds never produce *fewer* translated instructions.
+#[test]
+fn hotter_translation_translates_more() {
+    cases("hotter translates more", 64, |rng| {
+        let program = arb_program(rng);
         let cfg = CoreConfig::server();
         let mut eager_core = CoreModel::new(&cfg);
-        let mut eager = Machine::new(&program, BtConfig { hot_threshold: 1, ..BtConfig::default() });
-        eager.run(&mut eager_core, u64::MAX).unwrap();
-        let mut lazy_core = CoreModel::new(&cfg);
-        let mut lazy = Machine::new(&program, BtConfig { hot_threshold: 64, ..BtConfig::default() });
-        lazy.run(&mut lazy_core, u64::MAX).unwrap();
-        prop_assert!(
-            eager.stats().translated_instructions >= lazy.stats().translated_instructions
+        let mut eager = Machine::new(
+            &program,
+            BtConfig {
+                hot_threshold: 1,
+                ..BtConfig::default()
+            },
         );
-    }
+        eager
+            .run(&mut eager_core, u64::MAX)
+            .expect("generated programs execute cleanly");
+        let mut lazy_core = CoreModel::new(&cfg);
+        let mut lazy = Machine::new(
+            &program,
+            BtConfig {
+                hot_threshold: 64,
+                ..BtConfig::default()
+            },
+        );
+        lazy.run(&mut lazy_core, u64::MAX)
+            .expect("generated programs execute cleanly");
+        assert!(eager.stats().translated_instructions >= lazy.stats().translated_instructions);
+    });
 }

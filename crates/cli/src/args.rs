@@ -62,11 +62,22 @@ pub struct RunOpts {
     pub scale: f64,
     /// Emit machine-readable JSON instead of the human summary.
     pub json: bool,
+    /// Fault-schedule seed (`stress` only; `None` uses the default).
+    pub seed: Option<u64>,
+    /// Use the 10× pathological fault rates (`stress` only).
+    pub storm: bool,
 }
 
 impl Default for RunOpts {
     fn default() -> Self {
-        RunOpts { manager: ManagerArg::PowerChop, budget: 8_000_000, scale: 1.0, json: false }
+        RunOpts {
+            manager: ManagerArg::PowerChop,
+            budget: 8_000_000,
+            scale: 1.0,
+            json: false,
+            seed: None,
+            storm: false,
+        }
     }
 }
 
@@ -117,6 +128,14 @@ pub enum Command {
         /// Run options (manager ignored).
         opts: RunOpts,
     },
+    /// `stress [bench]` — run under deterministic fault injection and
+    /// report survival, degradation activity and bounded slowdown.
+    Stress {
+        /// Benchmark to stress; `None` stresses every benchmark.
+        bench: Option<String>,
+        /// Run options.
+        opts: RunOpts,
+    },
 }
 
 /// Usage text printed by `help` and on parse errors.
@@ -134,13 +153,17 @@ COMMANDS:
     timeline <bench>       print the per-window phase/policy timeline
     asm <file.s>           assemble a guest-ISA text file and run it
     profile <bench>        architectural instruction-mix profile (no timing)
+    stress [bench]         run under deterministic fault injection (all benchmarks
+                           when no operand) and report survival + degradation
     help                   show this message
 
-OPTIONS (run/compare/timeline/asm):
+OPTIONS (run/compare/timeline/asm/stress):
     --manager <m>          powerchop|full|minimal|timeout|drowsy [default: powerchop]
     --budget <N>           instruction budget                    [default: 8000000]
     --scale <F>            workload scale factor                 [default: 1.0]
-    --json                 (run/asm) print the report as JSON
+    --json                 (run/asm/stress) print the report as JSON
+    --seed <N>             (stress) fault-schedule seed          [default: 3405691582]
+    --storm                (stress) 10x pathological fault rates
 ";
 
 fn parse_opts(rest: &[String]) -> Result<RunOpts, CliError> {
@@ -165,6 +188,14 @@ fn parse_opts(rest: &[String]) -> Result<RunOpts, CliError> {
                     .map_err(|_| CliError("--scale must be a number".into()))?;
             }
             "--json" => opts.json = true,
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| CliError("--seed must be an integer".into()))?,
+                );
+            }
+            "--storm" => opts.storm = true,
             other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
         }
     }
@@ -192,11 +223,39 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "list" => Ok(Command::List {
             suite: argv.get(1).cloned(),
         }),
-        "run" => Ok(Command::Run { bench: operand()?, opts: parse_opts(&argv[2..])? }),
-        "compare" => Ok(Command::Compare { bench: operand()?, opts: parse_opts(&argv[2..])? }),
-        "timeline" => Ok(Command::Timeline { bench: operand()?, opts: parse_opts(&argv[2..])? }),
-        "asm" => Ok(Command::Asm { path: operand()?, opts: parse_opts(&argv[2..])? }),
-        "profile" => Ok(Command::Profile { bench: operand()?, opts: parse_opts(&argv[2..])? }),
+        "run" => Ok(Command::Run {
+            bench: operand()?,
+            opts: parse_opts(&argv[2..])?,
+        }),
+        "compare" => Ok(Command::Compare {
+            bench: operand()?,
+            opts: parse_opts(&argv[2..])?,
+        }),
+        "timeline" => Ok(Command::Timeline {
+            bench: operand()?,
+            opts: parse_opts(&argv[2..])?,
+        }),
+        "asm" => Ok(Command::Asm {
+            path: operand()?,
+            opts: parse_opts(&argv[2..])?,
+        }),
+        "profile" => Ok(Command::Profile {
+            bench: operand()?,
+            opts: parse_opts(&argv[2..])?,
+        }),
+        "stress" => {
+            // The operand is optional: `stress` alone stresses everything.
+            let bench = argv.get(1).filter(|a| !a.starts_with("--")).cloned();
+            let rest = if bench.is_some() {
+                &argv[2..]
+            } else {
+                &argv[1..]
+            };
+            Ok(Command::Stress {
+                bench,
+                opts: parse_opts(rest)?,
+            })
+        }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
@@ -220,13 +279,19 @@ mod tests {
         let c = parse(&argv("run gobmk")).unwrap();
         assert_eq!(
             c,
-            Command::Run { bench: "gobmk".into(), opts: RunOpts::default() }
+            Command::Run {
+                bench: "gobmk".into(),
+                opts: RunOpts::default()
+            }
         );
     }
 
     #[test]
     fn run_with_options() {
-        let c = parse(&argv("run namd --manager timeout --budget 1000 --scale 0.5")).unwrap();
+        let c = parse(&argv(
+            "run namd --manager timeout --budget 1000 --scale 0.5",
+        ))
+        .unwrap();
         match c {
             Command::Run { bench, opts } => {
                 assert_eq!(bench, "namd");
@@ -256,6 +321,28 @@ mod tests {
     }
 
     #[test]
+    fn stress_parses_with_and_without_operand() {
+        match parse(&argv("stress --seed 42 --storm --budget 1000")).unwrap() {
+            Command::Stress { bench, opts } => {
+                assert_eq!(bench, None);
+                assert_eq!(opts.seed, Some(42));
+                assert!(opts.storm);
+                assert_eq!(opts.budget, 1000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("stress hmmer --json")).unwrap() {
+            Command::Stress { bench, opts } => {
+                assert_eq!(bench.as_deref(), Some("hmmer"));
+                assert!(opts.json);
+                assert_eq!(opts.seed, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("stress --seed nope")).is_err());
+    }
+
+    #[test]
     fn json_flag_parses() {
         match parse(&argv("run gcc --json")).unwrap() {
             Command::Run { opts, .. } => assert!(opts.json),
@@ -268,7 +355,9 @@ mod tests {
         assert_eq!(parse(&argv("list")).unwrap(), Command::List { suite: None });
         assert_eq!(
             parse(&argv("list mobile")).unwrap(),
-            Command::List { suite: Some("mobile".into()) }
+            Command::List {
+                suite: Some("mobile".into())
+            }
         );
     }
 

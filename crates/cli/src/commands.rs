@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use powerchop::{run_program, ManagerKind, RunConfig, RunReport};
+use powerchop_faults::FaultConfig;
 use powerchop_gisa::Program;
 use powerchop_uarch::cache::MlcWayState;
 use powerchop_uarch::config::{CoreConfig, CoreKind};
@@ -29,6 +30,7 @@ pub fn dispatch(command: Command) -> Result<(), CliError> {
         Command::Timeline { bench, opts } => timeline(&bench, opts),
         Command::Asm { path, opts } => run_asm(&path, opts),
         Command::Profile { bench, opts } => profile_bench(&bench, opts),
+        Command::Stress { bench, opts } => stress(bench.as_deref(), opts),
     }
 }
 
@@ -46,7 +48,9 @@ fn suite_by_name(name: &str) -> Result<Suite, CliError> {
 
 fn benchmark(name: &str) -> Result<&'static Benchmark, CliError> {
     powerchop_workloads::by_name(name).ok_or_else(|| {
-        CliError(format!("unknown benchmark `{name}` — try `powerchop-cli list`"))
+        CliError(format!(
+            "unknown benchmark `{name}` — try `powerchop-cli list`"
+        ))
     })
 }
 
@@ -63,7 +67,12 @@ fn list(suite: Option<&str>) -> Result<(), CliError> {
         if filter.is_some_and(|s| s != b.suite()) {
             continue;
         }
-        println!("{:<14} {:<12} {:<7}", b.name(), b.suite().to_string(), b.core_kind());
+        println!(
+            "{:<14} {:<12} {:<7}",
+            b.name(),
+            b.suite().to_string(),
+            b.core_kind()
+        );
     }
     Ok(())
 }
@@ -150,8 +159,14 @@ pub fn report_to_json(r: &RunReport) -> String {
     field("cycles", r.cycles.to_string());
     field("ipc", format!("{:.6}", r.ipc()));
     field("avg_power_w", format!("{:.6}", r.energy.avg_power_w));
-    field("leakage_power_w", format!("{:.6}", r.energy.leakage_power_w));
-    field("dynamic_power_w", format!("{:.6}", r.energy.dynamic_power_w));
+    field(
+        "leakage_power_w",
+        format!("{:.6}", r.energy.leakage_power_w),
+    );
+    field(
+        "dynamic_power_w",
+        format!("{:.6}", r.energy.dynamic_power_w),
+    );
     field("total_energy_j", format!("{:.9}", r.energy.total_j));
     field("vpu_off_frac", format!("{:.6}", r.gated.vpu_off_frac()));
     field("bpu_off_frac", format!("{:.6}", r.gated.bpu_off_frac()));
@@ -270,6 +285,158 @@ fn run_asm(path: &str, opts: RunOpts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The `stress` fault-schedule seed when `--seed` is not given.
+pub const DEFAULT_STRESS_SEED: u64 = 0xCAFE_BABE;
+
+/// One benchmark's stress outcome.
+struct StressRow {
+    name: &'static str,
+    survived: bool,
+    instructions: u64,
+    slowdown: f64,
+    faults: u64,
+    anomalies: u64,
+    failsafes: u64,
+    pinned: u64,
+}
+
+fn stress_one(
+    b: &'static Benchmark,
+    fault_cfg: FaultConfig,
+    opts: RunOpts,
+) -> Result<StressRow, CliError> {
+    let program = b.program(Scale(opts.scale));
+    let clean_cfg = config(b.core_kind(), opts);
+    let mut faulted_cfg = clean_cfg.clone();
+    faulted_cfg.faults = Some(fault_cfg);
+
+    // The survival guarantee is the whole point of the stress command, so
+    // a panic in one benchmark is reported as a failed row rather than
+    // taking down the sweep.
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<_, CliError> {
+            let clean = run_program(&program, ManagerKind::FullPower, &clean_cfg)?;
+            let faulted = run_program(&program, opts.manager.kind(), &faulted_cfg)?;
+            Ok((clean, faulted))
+        }));
+    match outcome {
+        Ok(Ok((clean, faulted))) => {
+            let degrade = faulted.degrade.unwrap_or_default();
+            Ok(StressRow {
+                name: b.name(),
+                survived: true,
+                instructions: faulted.instructions,
+                slowdown: faulted.slowdown_vs(&clean),
+                faults: faulted.faults.map_or(0, |f| f.total()),
+                anomalies: degrade.anomalies,
+                failsafes: degrade.failsafe_transitions,
+                pinned: degrade.phases_pinned,
+            })
+        }
+        Ok(Err(e)) => Err(e),
+        Err(_) => Ok(StressRow {
+            name: b.name(),
+            survived: false,
+            instructions: 0,
+            slowdown: 0.0,
+            faults: 0,
+            anomalies: 0,
+            failsafes: 0,
+            pinned: 0,
+        }),
+    }
+}
+
+fn stress(bench: Option<&str>, opts: RunOpts) -> Result<(), CliError> {
+    let seed = opts.seed.unwrap_or(DEFAULT_STRESS_SEED);
+    let fault_cfg = if opts.storm {
+        FaultConfig::storm(seed)
+    } else {
+        FaultConfig::default_rates(seed)
+    };
+    let benches: Vec<&'static Benchmark> = match bench {
+        Some(name) => vec![benchmark(name)?],
+        None => powerchop_workloads::all().iter().collect(),
+    };
+
+    let mut rows = Vec::with_capacity(benches.len());
+    for b in benches {
+        rows.push(stress_one(b, fault_cfg, opts)?);
+    }
+
+    if opts.json {
+        let objects: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"benchmark\":\"{}\",\"survived\":{},\"instructions\":{},\
+                     \"slowdown\":{:.6},\"faults\":{},\"anomalies\":{},\
+                     \"failsafe_transitions\":{},\"phases_pinned\":{}}}",
+                    r.name,
+                    r.survived,
+                    r.instructions,
+                    r.slowdown,
+                    r.faults,
+                    r.anomalies,
+                    r.failsafes,
+                    r.pinned
+                )
+            })
+            .collect();
+        println!(
+            "{{\"seed\":{seed},\"storm\":{},\"runs\":[{}]}}",
+            opts.storm,
+            objects.join(",")
+        );
+    } else {
+        println!(
+            "fault injection: seed {seed}{} — slowdown is vs a clean full-power run",
+            if opts.storm {
+                ", storm rates (10x)"
+            } else {
+                ", default rates"
+            }
+        );
+        println!(
+            "{:<14} {:>8} {:>12} {:>9} {:>8} {:>9} {:>9} {:>7}",
+            "benchmark",
+            "status",
+            "insts",
+            "slowdown",
+            "faults",
+            "anomalies",
+            "failsafes",
+            "pinned"
+        );
+        for r in &rows {
+            println!(
+                "{:<14} {:>8} {:>12} {:>8.2}% {:>8} {:>9} {:>9} {:>7}",
+                r.name,
+                if r.survived { "ok" } else { "PANIC" },
+                r.instructions,
+                100.0 * r.slowdown,
+                r.faults,
+                r.anomalies,
+                r.failsafes,
+                r.pinned
+            );
+        }
+        let survivors = rows.iter().filter(|r| r.survived).count();
+        let worst = rows.iter().fold(0.0f64, |m, r| m.max(r.slowdown));
+        println!(
+            "\n{survivors}/{} survived; worst slowdown {:.2}%",
+            rows.len(),
+            100.0 * worst
+        );
+    }
+    if rows.iter().any(|r| !r.survived) {
+        return Err(CliError(
+            "at least one benchmark panicked under fault injection".into(),
+        ));
+    }
+    Ok(())
+}
+
 fn profile_bench(bench: &str, opts: RunOpts) -> Result<(), CliError> {
     use powerchop_gisa::InstClass;
     let b = benchmark(bench)?;
@@ -327,7 +494,11 @@ mod tests {
 
     #[test]
     fn run_compare_timeline_work_end_to_end() {
-        let opts = RunOpts { budget: 300_000, scale: 0.05, ..RunOpts::default() };
+        let opts = RunOpts {
+            budget: 300_000,
+            scale: 0.05,
+            ..RunOpts::default()
+        };
         run_one("hmmer", opts).unwrap();
         compare("hmmer", opts).unwrap();
         timeline("hmmer", opts).unwrap();
@@ -336,14 +507,23 @@ mod tests {
     #[test]
     fn json_report_is_well_formed() {
         let b = benchmark("hmmer").unwrap();
-        let opts = RunOpts { budget: 200_000, scale: 0.05, ..RunOpts::default() };
+        let opts = RunOpts {
+            budget: 200_000,
+            scale: 0.05,
+            ..RunOpts::default()
+        };
         let cfg = config(b.core_kind(), opts);
         let program = b.program(Scale(opts.scale));
         let report = run_program(&program, opts.manager.kind(), &cfg).unwrap();
         let json = report_to_json(&report);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        for key in ["\"ipc\"", "\"pvt_misses\"", "\"phases_decided\"", "\"vpu_off_frac\""] {
+        for key in [
+            "\"ipc\"",
+            "\"pvt_misses\"",
+            "\"phases_decided\"",
+            "\"vpu_off_frac\"",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         // No trailing commas and keys are comma-separated.
@@ -351,8 +531,29 @@ mod tests {
     }
 
     #[test]
+    fn stress_single_bench_survives_and_reports() {
+        let opts = RunOpts {
+            budget: 300_000,
+            scale: 0.05,
+            seed: Some(1234),
+            ..RunOpts::default()
+        };
+        stress(Some("hmmer"), opts).unwrap();
+        let storm = RunOpts {
+            storm: true,
+            ..opts
+        };
+        stress(Some("hmmer"), storm).unwrap();
+        assert!(stress(Some("doom"), opts).is_err());
+    }
+
+    #[test]
     fn profile_command_prints_mix() {
-        let opts = RunOpts { budget: 200_000, scale: 0.05, ..RunOpts::default() };
+        let opts = RunOpts {
+            budget: 200_000,
+            scale: 0.05,
+            ..RunOpts::default()
+        };
         profile_bench("namd", opts).unwrap();
         assert!(profile_bench("doom", opts).is_err());
     }

@@ -29,6 +29,12 @@ impl From<powerchop_gisa::GisaError> for CliError {
     }
 }
 
+impl From<powerchop::SimError> for CliError {
+    fn from(e: powerchop::SimError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 impl From<powerchop_gisa::asm::AsmError> for CliError {
     fn from(e: powerchop_gisa::asm::AsmError) -> Self {
         CliError(e.to_string())

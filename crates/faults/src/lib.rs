@@ -1,0 +1,30 @@
+//! Deterministic fault injection for the PowerChop reproduction.
+//!
+//! The paper's management layer worries about asynchronous interrupts,
+//! context switches and table corruption disturbing phase decisions
+//! (§II-A, §IV-C), but a clean simulation never exercises those paths.
+//! This crate provides the disturbance half of the robustness story:
+//!
+//! - [`rng::SimRng`] — a tiny, seedable, forkable PRNG (SplitMix64) so
+//!   every fault sequence is reproducible from a single `u64` seed,
+//! - [`schedule::FaultSchedule`] — a cycle-driven schedule of fault
+//!   events (interrupts, context switches, region-cache invalidation
+//!   storms, PVT corruption/eviction, workload perturbation) sampled
+//!   deterministically from per-kind mean intervals,
+//! - [`check`] — a minimal seeded property-test harness used by the
+//!   workspace's test suites (the environment has no registry access, so
+//!   external property-testing crates cannot be used).
+//!
+//! The crate is intentionally dependency-free and knows nothing about
+//! the simulator: consumers (the BT layer, the PowerChop manager, the
+//! system loop) interpret [`schedule::FaultEvent`]s themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod rng;
+pub mod schedule;
+
+pub use rng::SimRng;
+pub use schedule::{FaultConfig, FaultEvent, FaultKind, FaultSchedule, FaultStats};

@@ -1,0 +1,465 @@
+//! Seeded, reproducible fault schedules.
+//!
+//! A [`FaultSchedule`] is a cycle-driven event source: the simulation
+//! loop polls it with the current cycle count and receives the fault
+//! events that have come due. Arrival times are sampled per fault kind
+//! from independent forked RNG streams, so enabling or re-rating one
+//! kind never perturbs the arrival sequence of another — a property the
+//! determinism tests rely on.
+//!
+//! The kinds model the disturbances PowerChop's management layer must
+//! survive (paper §II-A, §IV-C): asynchronous interrupts whose handlers
+//! steal cycles, context switches that flush phase-tracking state,
+//! region-cache invalidation storms that force retranslation, corruption
+//! or forced eviction of Policy Vector Table entries, and mid-phase
+//! workload perturbations that stretch a phase's timing.
+
+use crate::rng::SimRng;
+
+/// The kinds of fault a schedule can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// An asynchronous interrupt: the nucleus runs a handler for a
+    /// sampled number of cycles, stalling the guest.
+    AsyncInterrupt,
+    /// A context switch: phase-tracking state (HTB window, armed
+    /// profiling, interpreter hotness) is flushed and a switch cost is
+    /// charged.
+    ContextSwitch,
+    /// A region-cache invalidation storm: a sampled fraction of resident
+    /// translations is dropped, forcing re-interpretation and
+    /// retranslation.
+    RegionCacheInvalidation,
+    /// Corruption of one PVT entry's stored policy (a soft-error model).
+    PvtCorruption,
+    /// Forced eviction of PVT entries (models table pressure from a
+    /// co-runner or a hypervisor snapshot).
+    PvtEviction,
+    /// A mid-phase workload perturbation: an out-of-band stall burst
+    /// (e.g. a DVFS transition or SMM excursion) that stretches the
+    /// current window.
+    WorkloadPerturbation,
+}
+
+impl FaultKind {
+    /// All kinds, in a fixed order (stream labels and stats indices).
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::AsyncInterrupt,
+        FaultKind::ContextSwitch,
+        FaultKind::RegionCacheInvalidation,
+        FaultKind::PvtCorruption,
+        FaultKind::PvtEviction,
+        FaultKind::WorkloadPerturbation,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::AsyncInterrupt => 0,
+            FaultKind::ContextSwitch => 1,
+            FaultKind::RegionCacheInvalidation => 2,
+            FaultKind::PvtCorruption => 3,
+            FaultKind::PvtEviction => 4,
+            FaultKind::WorkloadPerturbation => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FaultKind::AsyncInterrupt => "interrupt",
+            FaultKind::ContextSwitch => "context-switch",
+            FaultKind::RegionCacheInvalidation => "region-invalidation",
+            FaultKind::PvtCorruption => "pvt-corruption",
+            FaultKind::PvtEviction => "pvt-eviction",
+            FaultKind::WorkloadPerturbation => "perturbation",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One fault occurrence delivered to the simulation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// What kind of fault fired.
+    pub kind: FaultKind,
+    /// The cycle the fault was scheduled for (≤ the polled cycle).
+    pub at_cycle: u64,
+    /// Kind-specific random payload (handler length, victim selector,
+    /// corruption bits, …). Consumers carve fields out of this word so
+    /// the schedule stays simulator-agnostic.
+    pub payload: u64,
+}
+
+/// Mean inter-arrival intervals (in core cycles) per fault kind;
+/// `0` disables a kind. Actual arrivals are jittered uniformly in
+/// `[mean/2, 3*mean/2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Master seed; every stream in the schedule forks from it.
+    pub seed: u64,
+    /// Mean cycles between asynchronous interrupts.
+    pub interrupt_every: u64,
+    /// Maximum interrupt-handler length in cycles (sampled uniformly in
+    /// `[max/2, max]`).
+    pub interrupt_handler_cycles: u64,
+    /// Mean cycles between context switches.
+    pub context_switch_every: u64,
+    /// Cycles charged for one context switch (save/restore + refill).
+    pub context_switch_cycles: u64,
+    /// Mean cycles between region-cache invalidation storms.
+    pub region_invalidate_every: u64,
+    /// Fraction of resident translations dropped per storm (clamped to
+    /// `[0, 1]`).
+    pub region_invalidate_fraction: f64,
+    /// Mean cycles between PVT-entry corruptions.
+    pub pvt_corrupt_every: u64,
+    /// Mean cycles between forced PVT evictions.
+    pub pvt_evict_every: u64,
+    /// Mean cycles between workload perturbations.
+    pub perturb_every: u64,
+    /// Maximum stall burst per perturbation, in cycles.
+    pub perturb_stall_cycles: u64,
+}
+
+impl FaultConfig {
+    /// The default active schedule: every kind enabled at rates chosen
+    /// so a PowerChop run stays within a few percent of its clean
+    /// runtime (the graceful-degradation acceptance bound is < 10 %
+    /// end-to-end slowdown versus a clean full-power baseline).
+    #[must_use]
+    pub fn default_rates(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            interrupt_every: 100_000,
+            interrupt_handler_cycles: 1_000,
+            context_switch_every: 2_000_000,
+            context_switch_cycles: 5_000,
+            region_invalidate_every: 4_000_000,
+            region_invalidate_fraction: 0.25,
+            pvt_corrupt_every: 1_000_000,
+            pvt_evict_every: 2_000_000,
+            perturb_every: 2_000_000,
+            perturb_stall_cycles: 20_000,
+        }
+    }
+
+    /// Everything disabled: a schedule that never fires (useful as a
+    /// baseline with identical code paths).
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            interrupt_every: 0,
+            interrupt_handler_cycles: 0,
+            context_switch_every: 0,
+            context_switch_cycles: 0,
+            region_invalidate_every: 0,
+            region_invalidate_fraction: 0.0,
+            pvt_corrupt_every: 0,
+            pvt_evict_every: 0,
+            perturb_every: 0,
+            perturb_stall_cycles: 0,
+        }
+    }
+
+    /// A pathological storm: every kind at 10× the default rate. Runs
+    /// must still never panic and must converge to the fail-safe
+    /// full-power policy; the slowdown bound does not apply.
+    #[must_use]
+    pub fn storm(seed: u64) -> Self {
+        let d = FaultConfig::default_rates(seed);
+        FaultConfig {
+            interrupt_every: d.interrupt_every / 10,
+            context_switch_every: d.context_switch_every / 10,
+            region_invalidate_every: d.region_invalidate_every / 10,
+            region_invalidate_fraction: 0.75,
+            pvt_corrupt_every: d.pvt_corrupt_every / 10,
+            pvt_evict_every: d.pvt_evict_every / 10,
+            perturb_every: d.perturb_every / 10,
+            ..d
+        }
+    }
+
+    fn interval_of(&self, kind: FaultKind) -> u64 {
+        match kind {
+            FaultKind::AsyncInterrupt => self.interrupt_every,
+            FaultKind::ContextSwitch => self.context_switch_every,
+            FaultKind::RegionCacheInvalidation => self.region_invalidate_every,
+            FaultKind::PvtCorruption => self.pvt_corrupt_every,
+            FaultKind::PvtEviction => self.pvt_evict_every,
+            FaultKind::WorkloadPerturbation => self.perturb_every,
+        }
+    }
+}
+
+/// Cumulative injected-fault counts, by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Asynchronous interrupts injected.
+    pub interrupts: u64,
+    /// Context switches injected.
+    pub context_switches: u64,
+    /// Region-cache invalidation storms injected.
+    pub region_invalidations: u64,
+    /// PVT corruptions injected.
+    pub pvt_corruptions: u64,
+    /// Forced PVT evictions injected.
+    pub pvt_evictions: u64,
+    /// Workload perturbations injected.
+    pub perturbations: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.interrupts
+            + self.context_switches
+            + self.region_invalidations
+            + self.pvt_corruptions
+            + self.pvt_evictions
+            + self.perturbations
+    }
+
+    fn bump(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::AsyncInterrupt => self.interrupts += 1,
+            FaultKind::ContextSwitch => self.context_switches += 1,
+            FaultKind::RegionCacheInvalidation => self.region_invalidations += 1,
+            FaultKind::PvtCorruption => self.pvt_corruptions += 1,
+            FaultKind::PvtEviction => self.pvt_evictions += 1,
+            FaultKind::WorkloadPerturbation => self.perturbations += 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Stream {
+    kind: FaultKind,
+    rng: SimRng,
+    /// Next due cycle; `u64::MAX` when the kind is disabled.
+    due: u64,
+}
+
+/// A deterministic, cycle-driven source of [`FaultEvent`]s.
+///
+/// # Examples
+///
+/// ```
+/// use powerchop_faults::{FaultConfig, FaultSchedule};
+///
+/// let mut schedule = FaultSchedule::new(FaultConfig::default_rates(7));
+/// let mut injected = 0;
+/// for now in (0..2_000_000u64).step_by(10_000) {
+///     while schedule.next_due(now).is_some() {
+///         injected += 1;
+///     }
+/// }
+/// assert!(injected > 0);
+/// assert_eq!(schedule.stats().total(), injected);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    config: FaultConfig,
+    streams: Vec<Stream>,
+    /// Cached minimum of all `due` fields for a cheap not-due-yet check.
+    next_min: u64,
+    stats: FaultStats,
+}
+
+fn sample_interval(rng: &mut SimRng, mean: u64) -> u64 {
+    // Uniform in [mean/2, 3*mean/2), floor 1: bounded jitter keeps the
+    // long-run rate at `mean` without heavy tails that would make short
+    // runs wildly seed-sensitive.
+    (mean / 2 + rng.gen_range(mean)).max(1)
+}
+
+impl FaultSchedule {
+    /// Builds the schedule, sampling each kind's first arrival.
+    #[must_use]
+    pub fn new(config: FaultConfig) -> Self {
+        let streams: Vec<Stream> = FaultKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut rng = SimRng::new(config.seed).fork(kind.index() as u64 + 1);
+                let mean = config.interval_of(kind);
+                let due = if mean == 0 {
+                    u64::MAX
+                } else {
+                    sample_interval(&mut rng, mean)
+                };
+                Stream { kind, rng, due }
+            })
+            .collect();
+        let next_min = streams.iter().map(|s| s.due).min().unwrap_or(u64::MAX);
+        FaultSchedule {
+            config,
+            streams,
+            next_min,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configuration the schedule was built from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Whether any kind is enabled.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.streams.iter().any(|s| s.due != u64::MAX)
+    }
+
+    /// Returns the next event due at or before `now`, or `None` when no
+    /// fault is pending. Call in a loop to drain multiple kinds coming
+    /// due in the same poll. O(1) when nothing is due.
+    pub fn next_due(&mut self, now: u64) -> Option<FaultEvent> {
+        if now < self.next_min {
+            return None;
+        }
+        let mut fired = None;
+        for s in &mut self.streams {
+            if s.due <= now {
+                let at_cycle = s.due;
+                let payload = s.rng.next_u64();
+                let mean = self.config.interval_of(s.kind);
+                // Reschedule from `now`, not from the nominal due time:
+                // a long uninterruptible stretch (e.g. one giant stall)
+                // must not build up a burst of make-up events.
+                s.due = now + sample_interval(&mut s.rng, mean);
+                self.stats.bump(s.kind);
+                fired = Some(FaultEvent {
+                    kind: s.kind,
+                    at_cycle,
+                    payload,
+                });
+                break;
+            }
+        }
+        self.next_min = self.streams.iter().map(|s| s.due).min().unwrap_or(u64::MAX);
+        fired
+    }
+
+    /// Cumulative injected-fault counts.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(schedule: &mut FaultSchedule, now: u64) -> Vec<FaultEvent> {
+        let mut events = Vec::new();
+        while let Some(e) = schedule.next_due(now) {
+            events.push(e);
+        }
+        events
+    }
+
+    #[test]
+    fn quiet_schedule_never_fires() {
+        let mut s = FaultSchedule::new(FaultConfig::quiet(1));
+        assert!(!s.is_active());
+        assert!(drain(&mut s, u64::MAX / 2).is_empty());
+        assert_eq!(s.stats().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_event_sequence() {
+        let make = || {
+            let mut s = FaultSchedule::new(FaultConfig::default_rates(1234));
+            let mut all = Vec::new();
+            for now in (0..20_000_000u64).step_by(5_000) {
+                all.extend(drain(&mut s, now));
+            }
+            all
+        };
+        let a = make();
+        let b = make();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut s = FaultSchedule::new(FaultConfig::default_rates(seed));
+            (0..10_000_000u64)
+                .step_by(1_000)
+                .flat_map(|now| drain(&mut s, now))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let mut s = FaultSchedule::new(FaultConfig::default_rates(42));
+        let horizon = 50_000_000u64;
+        let mut interrupts = 0u64;
+        for now in (0..horizon).step_by(1_000) {
+            for e in drain(&mut s, now) {
+                if e.kind == FaultKind::AsyncInterrupt {
+                    interrupts += 1;
+                }
+            }
+        }
+        let expected = horizon / 100_000;
+        assert!(
+            interrupts > expected / 2 && interrupts < expected * 2,
+            "{interrupts} interrupts over {horizon} cycles, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn disabling_one_kind_does_not_shift_others() {
+        let collect = |cfg: FaultConfig| {
+            let mut s = FaultSchedule::new(cfg);
+            let mut v = Vec::new();
+            for now in (0..10_000_000u64).step_by(1_000) {
+                v.extend(
+                    drain(&mut s, now)
+                        .into_iter()
+                        .filter(|e| e.kind == FaultKind::AsyncInterrupt),
+                );
+            }
+            v
+        };
+        let full = collect(FaultConfig::default_rates(9));
+        let no_switches = collect(FaultConfig {
+            context_switch_every: 0,
+            ..FaultConfig::default_rates(9)
+        });
+        assert_eq!(full, no_switches, "independent streams per kind");
+    }
+
+    #[test]
+    fn storm_is_denser_than_default() {
+        let count = |cfg: FaultConfig| {
+            let mut s = FaultSchedule::new(cfg);
+            for now in (0..5_000_000u64).step_by(1_000) {
+                while s.next_due(now).is_some() {}
+            }
+            s.stats().total()
+        };
+        let d = count(FaultConfig::default_rates(3));
+        let storm = count(FaultConfig::storm(3));
+        assert!(storm > 5 * d, "storm {storm} vs default {d}");
+    }
+
+    #[test]
+    fn events_are_stamped_at_or_before_poll_time() {
+        let mut s = FaultSchedule::new(FaultConfig::default_rates(8));
+        for now in (0..5_000_000u64).step_by(50_000) {
+            for e in drain(&mut s, now) {
+                assert!(e.at_cycle <= now);
+            }
+        }
+    }
+}

@@ -51,7 +51,10 @@ pub struct AsmError {
 
 impl AsmError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        AsmError { line, message: message.into() }
+        AsmError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based source line the error occurred on (0 for program-level
@@ -106,18 +109,15 @@ fn parse_index(token: &str, prefix: char, line: usize) -> Result<u8, AsmError> {
 }
 
 fn reg(token: &str, line: usize) -> Result<Reg, AsmError> {
-    Reg::new(parse_index(token, 'r', line)?)
-        .map_err(|e| AsmError::new(line, e.to_string()))
+    Reg::new(parse_index(token, 'r', line)?).map_err(|e| AsmError::new(line, e.to_string()))
 }
 
 fn freg(token: &str, line: usize) -> Result<FReg, AsmError> {
-    FReg::new(parse_index(token, 'f', line)?)
-        .map_err(|e| AsmError::new(line, e.to_string()))
+    FReg::new(parse_index(token, 'f', line)?).map_err(|e| AsmError::new(line, e.to_string()))
 }
 
 fn vreg(token: &str, line: usize) -> Result<VReg, AsmError> {
-    VReg::new(parse_index(token, 'v', line)?)
-        .map_err(|e| AsmError::new(line, e.to_string()))
+    VReg::new(parse_index(token, 'v', line)?).map_err(|e| AsmError::new(line, e.to_string()))
 }
 
 fn imm(token: &str, line: usize) -> Result<i64, AsmError> {
@@ -149,7 +149,11 @@ fn mem_operand(token: &str, line: usize) -> Result<(Reg, i64), AsmError> {
     // Split on '+' or a '-' that is not the leading register character.
     if let Some(pos) = inner[1..].find(['+', '-']).map(|p| p + 1) {
         let (base, off) = inner.split_at(pos);
-        let off = if let Some(rest) = off.strip_prefix('+') { rest.to_owned() } else { off.to_owned() };
+        let off = if let Some(rest) = off.strip_prefix('+') {
+            rest.to_owned()
+        } else {
+            off.to_owned()
+        };
         Ok((reg(base, line)?, imm(&off, line)?))
     } else {
         Ok((reg(inner, line)?, 0))
@@ -194,7 +198,12 @@ pub fn disassemble(program: &Program) -> String {
             out.push_str(&format!("L{pc}:\n"));
         }
         let line = match inst {
-            Inst::Branch { cond, rs, rt, target } => {
+            Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
                 format!("b{cond} {rs}, {rt}, L{}", target.0)
             }
             Inst::Jmp { target } => format!("jmp L{}", target.0),
@@ -221,7 +230,10 @@ pub fn disassemble(program: &Program) -> String {
 /// unknown mnemonics, bad registers/immediates, or unbound/duplicate
 /// labels.
 pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
-    let mut asm = Assembler { builder: ProgramBuilder::new(name), labels: HashMap::new() };
+    let mut asm = Assembler {
+        builder: ProgramBuilder::new(name),
+        labels: HashMap::new(),
+    };
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -317,7 +329,11 @@ fn parse_instruction<'a>(
         }
         "fadd" | "fmul" => {
             want(3)?;
-            let (fd, fs, ft) = (freg(ops[0], line)?, freg(ops[1], line)?, freg(ops[2], line)?);
+            let (fd, fs, ft) = (
+                freg(ops[0], line)?,
+                freg(ops[1], line)?,
+                freg(ops[2], line)?,
+            );
             if mnemonic == "fadd" {
                 b.fadd(fd, fs, ft);
             } else {
@@ -339,7 +355,11 @@ fn parse_instruction<'a>(
         }
         "vadd" | "vmul" => {
             want(3)?;
-            let (vd, vs, vt) = (vreg(ops[0], line)?, vreg(ops[1], line)?, vreg(ops[2], line)?);
+            let (vd, vs, vt) = (
+                vreg(ops[0], line)?,
+                vreg(ops[1], line)?,
+                vreg(ops[2], line)?,
+            );
             if mnemonic == "vadd" {
                 b.vadd(vd, vs, vt);
             } else {
@@ -432,7 +452,7 @@ mod tests {
     use crate::{Cpu, Memory};
 
     fn run(source: &str) -> Cpu {
-        let p = assemble("test", source).unwrap();
+        let p = assemble("test", source).expect("test source assembles");
         let mut cpu = Cpu::new(&p);
         let mut mem = Memory::new();
         p.init_memory(&mut mem);
@@ -440,7 +460,8 @@ mod tests {
             if cpu.halted() {
                 break;
             }
-            cpu.step(&p, &mut mem).unwrap();
+            cpu.step(&p, &mut mem)
+                .expect("test program executes cleanly");
         }
         assert!(cpu.halted());
         cpu
@@ -456,7 +477,10 @@ mod tests {
             blt r0, r1, top
             halt
         ");
-        assert_eq!(cpu.int_reg(Reg::new(0).unwrap()), 25);
+        assert_eq!(
+            cpu.int_reg(Reg::new(0).expect("register index in range")),
+            25
+        );
     }
 
     #[test]
@@ -466,7 +490,10 @@ mod tests {
             li r2, 0x10   # trailing comment
             halt
         ");
-        assert_eq!(cpu.int_reg(Reg::new(2).unwrap()), 16);
+        assert_eq!(
+            cpu.int_reg(Reg::new(2).expect("register index in range")),
+            16
+        );
     }
 
     #[test]
@@ -479,8 +506,14 @@ mod tests {
             load r4, [r1]
             halt
         ");
-        assert_eq!(cpu.int_reg(Reg::new(3).unwrap()), 7);
-        assert_eq!(cpu.int_reg(Reg::new(4).unwrap()), 0);
+        assert_eq!(
+            cpu.int_reg(Reg::new(3).expect("register index in range")),
+            7
+        );
+        assert_eq!(
+            cpu.int_reg(Reg::new(4).expect("register index in range")),
+            0
+        );
     }
 
     #[test]
@@ -494,8 +527,14 @@ mod tests {
             fadd f1, f0, f0
             halt
         ");
-        assert_eq!(cpu.int_reg(Reg::new(2).unwrap()), 40);
-        assert_eq!(cpu.fp_reg(FReg::new(1).unwrap()), 3.0);
+        assert_eq!(
+            cpu.int_reg(Reg::new(2).expect("register index in range")),
+            40
+        );
+        assert_eq!(
+            cpu.fp_reg(FReg::new(1).expect("register index in range")),
+            3.0
+        );
     }
 
     #[test]
@@ -506,7 +545,10 @@ mod tests {
         fn: li r5, 99
             ret
         ");
-        assert_eq!(cpu.int_reg(Reg::new(5).unwrap()), 99);
+        assert_eq!(
+            cpu.int_reg(Reg::new(5).expect("register index in range")),
+            99
+        );
     }
 
     #[test]
@@ -556,18 +598,25 @@ mod tests {
             li r2, 1
             ret
         ";
-        let p = assemble("p", source).unwrap();
+        let p = assemble("p", source).expect("test source assembles");
         let text = disassemble(&p);
-        let q = assemble("q", &text).unwrap();
+        let q = assemble("q", &text).expect("test source assembles");
         assert_eq!(p.insts(), q.insts());
         // And the reassembled program behaves identically.
         let mut cpu = Cpu::new(&q);
         let mut mem = Memory::new();
         while !cpu.halted() {
-            cpu.step(&q, &mut mem).unwrap();
+            cpu.step(&q, &mut mem)
+                .expect("test program executes cleanly");
         }
-        assert_eq!(cpu.int_reg(Reg::new(0).unwrap()), 10);
-        assert_eq!(cpu.int_reg(Reg::new(2).unwrap()), 1);
+        assert_eq!(
+            cpu.int_reg(Reg::new(0).expect("register index in range")),
+            10
+        );
+        assert_eq!(
+            cpu.int_reg(Reg::new(2).expect("register index in range")),
+            1
+        );
     }
 
     #[test]
@@ -583,7 +632,7 @@ mod tests {
             load r5, [r4+16]
             halt
         ";
-        let p1 = assemble("p1", source).unwrap();
+        let p1 = assemble("p1", source).expect("test source assembles");
         let printed: String = p1
             .insts()
             .iter()
@@ -592,7 +641,7 @@ mod tests {
             // Branch targets print as `@N`, which the assembler does not
             // accept; this program has none.
             .replace("@", "at");
-        let p2 = assemble("p2", &printed).unwrap();
+        let p2 = assemble("p2", &printed).expect("test source assembles");
         assert_eq!(p1.insts(), p2.insts());
     }
 }

@@ -252,14 +252,27 @@ impl Cpu {
             Inst::Load { rd, rs, imm } => {
                 let addr = (self.int[rs.index()].wrapping_add(imm)) as u64;
                 self.int[rd.index()] = mem.read_i64(addr);
-                mem_access = Some(MemAccess { addr, size: 8, is_store: false });
+                mem_access = Some(MemAccess {
+                    addr,
+                    size: 8,
+                    is_store: false,
+                });
             }
             Inst::Store { rs, rbase, imm } => {
                 let addr = (self.int[rbase.index()].wrapping_add(imm)) as u64;
                 mem.write_i64(addr, self.int[rs.index()]);
-                mem_access = Some(MemAccess { addr, size: 8, is_store: true });
+                mem_access = Some(MemAccess {
+                    addr,
+                    size: 8,
+                    is_store: true,
+                });
             }
-            Inst::Branch { cond, rs, rt, target } => {
+            Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
                 let taken = cond.eval(self.int[rs.index()], self.int[rt.index()]);
                 if taken {
                     next_pc = target;
@@ -284,7 +297,14 @@ impl Cpu {
 
         self.pc = next_pc;
         self.retired += 1;
-        Ok(StepInfo { pc, inst, class, next_pc, mem: mem_access, branch })
+        Ok(StepInfo {
+            pc,
+            inst,
+            class,
+            next_pc,
+            mem: mem_access,
+            branch,
+        })
     }
 }
 
@@ -294,17 +314,17 @@ mod tests {
     use crate::program::ProgramBuilder;
 
     fn r(i: u8) -> Reg {
-        Reg::new(i).unwrap()
+        Reg::new(i).expect("register index in range")
     }
     fn f(i: u8) -> FReg {
-        FReg::new(i).unwrap()
+        FReg::new(i).expect("register index in range")
     }
     fn v(i: u8) -> VReg {
-        VReg::new(i).unwrap()
+        VReg::new(i).expect("register index in range")
     }
 
     fn run(b: ProgramBuilder) -> (Cpu, Memory) {
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let mut cpu = Cpu::new(&p);
         let mut mem = Memory::new();
         p.init_memory(&mut mem);
@@ -312,7 +332,8 @@ mod tests {
             if cpu.halted() {
                 break;
             }
-            cpu.step(&p, &mut mem).unwrap();
+            cpu.step(&p, &mut mem)
+                .expect("test program executes cleanly");
         }
         assert!(cpu.halted(), "program did not halt");
         (cpu, mem)
@@ -404,15 +425,33 @@ mod tests {
         b.bind(taken).unwrap();
         b.bge(r(1), r(2), taken); // not taken
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let mut cpu = Cpu::new(&p);
         let mut mem = Memory::new();
-        cpu.step(&p, &mut mem).unwrap();
-        cpu.step(&p, &mut mem).unwrap();
-        let s = cpu.step(&p, &mut mem).unwrap();
-        assert_eq!(s.branch, Some(BranchOutcome { taken: true, next_pc: Pc(4) }));
-        let s = cpu.step(&p, &mut mem).unwrap();
-        assert_eq!(s.branch, Some(BranchOutcome { taken: false, next_pc: Pc(5) }));
+        cpu.step(&p, &mut mem)
+            .expect("test program executes cleanly");
+        cpu.step(&p, &mut mem)
+            .expect("test program executes cleanly");
+        let s = cpu
+            .step(&p, &mut mem)
+            .expect("test program executes cleanly");
+        assert_eq!(
+            s.branch,
+            Some(BranchOutcome {
+                taken: true,
+                next_pc: Pc(4)
+            })
+        );
+        let s = cpu
+            .step(&p, &mut mem)
+            .expect("test program executes cleanly");
+        assert_eq!(
+            s.branch,
+            Some(BranchOutcome {
+                taken: false,
+                next_pc: Pc(5)
+            })
+        );
     }
 
     #[test]
@@ -432,7 +471,7 @@ mod tests {
     fn unbalanced_ret_is_an_error() {
         let mut b = ProgramBuilder::new("badret");
         b.ret();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let mut cpu = Cpu::new(&p);
         let mut mem = Memory::new();
         assert_eq!(
@@ -445,10 +484,11 @@ mod tests {
     fn falling_off_the_end_is_an_error() {
         let mut b = ProgramBuilder::new("falloff");
         b.nop();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let mut cpu = Cpu::new(&p);
         let mut mem = Memory::new();
-        cpu.step(&p, &mut mem).unwrap();
+        cpu.step(&p, &mut mem)
+            .expect("test program executes cleanly");
         assert!(matches!(
             cpu.step(&p, &mut mem).unwrap_err(),
             GisaError::PcOutOfRange { pc: 1, len: 1 }
@@ -459,13 +499,15 @@ mod tests {
     fn halt_is_sticky_and_counts_once() {
         let mut b = ProgramBuilder::new("halt");
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let mut cpu = Cpu::new(&p);
         let mut mem = Memory::new();
-        cpu.step(&p, &mut mem).unwrap();
+        cpu.step(&p, &mut mem)
+            .expect("test program executes cleanly");
         assert!(cpu.halted());
         assert_eq!(cpu.retired(), 1);
-        cpu.step(&p, &mut mem).unwrap();
+        cpu.step(&p, &mut mem)
+            .expect("test program executes cleanly");
         assert_eq!(cpu.retired(), 1);
         assert_eq!(cpu.pc(), Pc(0));
     }
@@ -477,15 +519,35 @@ mod tests {
         b.store(r(2), r(1), 8);
         b.load(r(3), r(1), 8);
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let mut cpu = Cpu::new(&p);
         let mut mem = Memory::new();
-        cpu.step(&p, &mut mem).unwrap();
-        cpu.step(&p, &mut mem).unwrap();
-        let st = cpu.step(&p, &mut mem).unwrap();
-        assert_eq!(st.mem, Some(MemAccess { addr: 0x208, size: 8, is_store: true }));
-        let ld = cpu.step(&p, &mut mem).unwrap();
-        assert_eq!(ld.mem, Some(MemAccess { addr: 0x208, size: 8, is_store: false }));
+        cpu.step(&p, &mut mem)
+            .expect("test program executes cleanly");
+        cpu.step(&p, &mut mem)
+            .expect("test program executes cleanly");
+        let st = cpu
+            .step(&p, &mut mem)
+            .expect("test program executes cleanly");
+        assert_eq!(
+            st.mem,
+            Some(MemAccess {
+                addr: 0x208,
+                size: 8,
+                is_store: true
+            })
+        );
+        let ld = cpu
+            .step(&p, &mut mem)
+            .expect("test program executes cleanly");
+        assert_eq!(
+            ld.mem,
+            Some(MemAccess {
+                addr: 0x208,
+                size: 8,
+                is_store: false
+            })
+        );
         assert_eq!(cpu.int_reg(r(3)), 5);
     }
 }

@@ -38,7 +38,10 @@ impl fmt::Display for GisaError {
             GisaError::UnboundLabel(id) => write!(f, "label {id} referenced but never bound"),
             GisaError::RebindLabel(id) => write!(f, "label {id} bound more than once"),
             GisaError::PcOutOfRange { pc, len } => {
-                write!(f, "program counter {pc} outside program of {len} instructions")
+                write!(
+                    f,
+                    "program counter {pc} outside program of {len} instructions"
+                )
             }
             GisaError::ReturnWithoutCall => write!(f, "ret executed with an empty call stack"),
             GisaError::EmptyProgram => write!(f, "program contains no instructions"),

@@ -91,7 +91,12 @@ pub enum Inst {
     /// `fd <- fs * ft`
     Fmul { fd: FReg, fs: FReg, ft: FReg },
     /// `fd <- fs * ft + fa` (fused multiply-add)
-    Fmadd { fd: FReg, fs: FReg, ft: FReg, fa: FReg },
+    Fmadd {
+        fd: FReg,
+        fs: FReg,
+        ft: FReg,
+        fa: FReg,
+    },
     /// `fd <- (f64) rs`
     Fcvt { fd: FReg, rs: Reg },
 
@@ -101,7 +106,12 @@ pub enum Inst {
     /// Lane-wise `vd <- vs * vt` (wrapping).
     Vmul { vd: VReg, vs: VReg, vt: VReg },
     /// Lane-wise `vd <- vs * vt + va` (wrapping multiply-add).
-    Vmadd { vd: VReg, vs: VReg, vt: VReg, va: VReg },
+    Vmadd {
+        vd: VReg,
+        vs: VReg,
+        vt: VReg,
+        va: VReg,
+    },
     /// Broadcast `rs` into every lane of `vd`.
     Vsplat { vd: VReg, rs: Reg },
     /// Horizontal sum of `vs` into `rd` (wrapping).
@@ -119,7 +129,12 @@ pub enum Inst {
 
     // ---- control flow ----
     /// Conditional branch to `target` when `cond(rs, rt)` holds.
-    Branch { cond: Cond, rs: Reg, rt: Reg, target: Pc },
+    Branch {
+        cond: Cond,
+        rs: Reg,
+        rt: Reg,
+        target: Pc,
+    },
     /// Unconditional jump to `target`.
     Jmp { target: Pc },
     /// Indirect jump to the address held in `rs` (interpreted as a `Pc`).
@@ -172,10 +187,7 @@ impl InstClass {
     /// Whether this class accesses data memory.
     #[must_use]
     pub fn is_mem(self) -> bool {
-        matches!(
-            self,
-            InstClass::Load | InstClass::Store | InstClass::VecMem
-        )
+        matches!(self, InstClass::Load | InstClass::Store | InstClass::VecMem)
     }
 }
 
@@ -256,7 +268,12 @@ impl fmt::Display for Inst {
             Inst::Vstore { vs, rs, imm } => write!(f, "vstore {vs}, [{rs}+{imm}]"),
             Inst::Load { rd, rs, imm } => write!(f, "load {rd}, [{rs}+{imm}]"),
             Inst::Store { rs, rbase, imm } => write!(f, "store {rs}, [{rbase}+{imm}]"),
-            Inst::Branch { cond, rs, rt, target } => {
+            Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
                 write!(f, "b{cond} {rs}, {rt}, {target}")
             }
             Inst::Jmp { target } => write!(f, "jmp {target}"),
@@ -274,7 +291,7 @@ mod tests {
     use super::*;
 
     fn r(i: u8) -> Reg {
-        Reg::new(i).unwrap()
+        Reg::new(i).expect("register index in range")
     }
 
     #[test]
@@ -291,14 +308,39 @@ mod tests {
 
     #[test]
     fn class_assigns_vector_ops_to_vpu() {
-        let v = VReg::new(0).unwrap();
-        assert_eq!(Inst::Vadd { vd: v, vs: v, vt: v }.class(), InstClass::VecAlu);
+        let v = VReg::new(0).expect("register index in range");
         assert_eq!(
-            Inst::Vload { vd: v, rs: r(0), imm: 0 }.class(),
+            Inst::Vadd {
+                vd: v,
+                vs: v,
+                vt: v
+            }
+            .class(),
+            InstClass::VecAlu
+        );
+        assert_eq!(
+            Inst::Vload {
+                vd: v,
+                rs: r(0),
+                imm: 0
+            }
+            .class(),
             InstClass::VecMem
         );
-        assert!(Inst::Vadd { vd: v, vs: v, vt: v }.class().uses_vpu());
-        assert!(!Inst::Add { rd: r(0), rs: r(1), rt: r(2) }.class().uses_vpu());
+        assert!(Inst::Vadd {
+            vd: v,
+            vs: v,
+            vt: v
+        }
+        .class()
+        .uses_vpu());
+        assert!(!Inst::Add {
+            rd: r(0),
+            rs: r(1),
+            rt: r(2)
+        }
+        .class()
+        .uses_vpu());
     }
 
     #[test]

@@ -297,7 +297,12 @@ impl ProgramBuilder {
     /// Emits a conditional branch to `target`.
     pub fn branch(&mut self, cond: Cond, rs: Reg, rt: Reg, target: Label) -> &mut Self {
         self.patch_here(target);
-        self.inst(Inst::Branch { cond, rs, rt, target: Pc(u32::MAX) })
+        self.inst(Inst::Branch {
+            cond,
+            rs,
+            rt,
+            target: Pc(u32::MAX),
+        })
     }
 
     /// Emits `beq rs, rt, target`.
@@ -323,13 +328,17 @@ impl ProgramBuilder {
     /// Emits `jmp target`.
     pub fn jmp(&mut self, target: Label) -> &mut Self {
         self.patch_here(target);
-        self.inst(Inst::Jmp { target: Pc(u32::MAX) })
+        self.inst(Inst::Jmp {
+            target: Pc(u32::MAX),
+        })
     }
 
     /// Emits `call target`.
     pub fn call(&mut self, target: Label) -> &mut Self {
         self.patch_here(target);
-        self.inst(Inst::Call { target: Pc(u32::MAX) })
+        self.inst(Inst::Call {
+            target: Pc(u32::MAX),
+        })
     }
 
     /// Emits `ret`.
@@ -353,7 +362,7 @@ mod tests {
     use super::*;
 
     fn r(i: u8) -> Reg {
-        Reg::new(i).unwrap()
+        Reg::new(i).expect("register index in range")
     }
 
     #[test]
@@ -372,7 +381,7 @@ mod tests {
         b.nop();
         b.bind(end).unwrap();
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         assert_eq!(p.inst(Pc(0)), Some(&Inst::Jmp { target: Pc(2) }));
     }
 
@@ -383,7 +392,7 @@ mod tests {
         b.addi(r(0), r(0), 1);
         b.blt(r(0), r(1), top);
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         match p.inst(Pc(1)) {
             Some(Inst::Branch { target, .. }) => assert_eq!(*target, Pc(0)),
             other => panic!("expected branch, got {other:?}"),
@@ -411,7 +420,7 @@ mod tests {
         let mut b = ProgramBuilder::new("data");
         b.data_u64s(0x1000, &[1, 2, 3]);
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("test program is well-formed");
         let mut mem = crate::Memory::new();
         p.init_memory(&mut mem);
         assert_eq!(mem.read_u64(0x1000), 1);

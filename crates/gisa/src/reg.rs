@@ -84,13 +84,22 @@ mod tests {
     #[test]
     fn valid_indices_round_trip() {
         for i in 0..NUM_INT_REGS {
-            assert_eq!(Reg::new(i).unwrap().index(), usize::from(i));
+            assert_eq!(
+                Reg::new(i).expect("register index in range").index(),
+                usize::from(i)
+            );
         }
         for i in 0..NUM_FP_REGS {
-            assert_eq!(FReg::new(i).unwrap().index(), usize::from(i));
+            assert_eq!(
+                FReg::new(i).expect("register index in range").index(),
+                usize::from(i)
+            );
         }
         for i in 0..NUM_VEC_REGS {
-            assert_eq!(VReg::new(i).unwrap().index(), usize::from(i));
+            assert_eq!(
+                VReg::new(i).expect("register index in range").index(),
+                usize::from(i)
+            );
         }
     }
 
@@ -98,23 +107,41 @@ mod tests {
     fn out_of_range_indices_are_rejected() {
         assert_eq!(
             Reg::new(32),
-            Err(GisaError::InvalidRegister { kind: "int", index: 32 })
+            Err(GisaError::InvalidRegister {
+                kind: "int",
+                index: 32
+            })
         );
         assert_eq!(
             FReg::new(16),
-            Err(GisaError::InvalidRegister { kind: "fp", index: 16 })
+            Err(GisaError::InvalidRegister {
+                kind: "fp",
+                index: 16
+            })
         );
         assert_eq!(
             VReg::new(200),
-            Err(GisaError::InvalidRegister { kind: "vec", index: 200 })
+            Err(GisaError::InvalidRegister {
+                kind: "vec",
+                index: 200
+            })
         );
     }
 
     #[test]
     fn display_uses_assembler_names() {
-        assert_eq!(Reg::new(7).unwrap().to_string(), "r7");
-        assert_eq!(FReg::new(3).unwrap().to_string(), "f3");
-        assert_eq!(VReg::new(15).unwrap().to_string(), "v15");
+        assert_eq!(
+            Reg::new(7).expect("register index in range").to_string(),
+            "r7"
+        );
+        assert_eq!(
+            FReg::new(3).expect("register index in range").to_string(),
+            "f3"
+        );
+        assert_eq!(
+            VReg::new(15).expect("register index in range").to_string(),
+            "v15"
+        );
     }
 
     #[test]

@@ -1,43 +1,50 @@
-//! Property-based tests for the guest ISA core data structures.
+//! Property-based tests for the guest ISA core data structures,
+//! driven by the workspace's seeded harness (`powerchop_faults::check`).
 
-use proptest::prelude::*;
-
+use powerchop_faults::check::cases;
 use powerchop_gisa::{Cond, Cpu, Memory, ProgramBuilder, Reg, VReg, VLEN};
 
-proptest! {
-    /// Any sequence of u64 writes then reads behaves like a flat array.
-    #[test]
-    fn memory_matches_model(ops in prop::collection::vec((0u64..1 << 20, any::<u64>()), 1..200)) {
+/// Any sequence of u64 writes then reads behaves like a flat array.
+#[test]
+fn memory_matches_model() {
+    cases("memory flat-array model", 256, |rng| {
         let mut mem = Memory::new();
         let mut model = std::collections::HashMap::new();
-        for (addr, value) in &ops {
-            let addr = addr & !7; // aligned writes so the model is exact
-            mem.write_u64(addr, *value);
-            model.insert(addr, *value);
+        for _ in 0..1 + rng.gen_range(200) {
+            let addr = rng.gen_range(1 << 20) & !7; // aligned so the model is exact
+            let value = rng.next_u64();
+            mem.write_u64(addr, value);
+            model.insert(addr, value);
         }
         for (addr, value) in &model {
-            prop_assert_eq!(mem.read_u64(*addr), *value);
+            assert_eq!(mem.read_u64(*addr), *value);
         }
-    }
+    });
+}
 
-    /// Unaligned single-word round trips always succeed, including across
-    /// page boundaries.
-    #[test]
-    fn memory_unaligned_round_trip(addr in any::<u64>(), value in any::<u64>()) {
-        let addr = addr.min(u64::MAX - 8);
+/// Unaligned single-word round trips always succeed, including across
+/// page boundaries.
+#[test]
+fn memory_unaligned_round_trip() {
+    cases("memory unaligned roundtrip", 256, |rng| {
+        let addr = rng.next_u64().min(u64::MAX - 8);
+        let value = rng.next_u64();
         let mut mem = Memory::new();
         mem.write_u64(addr, value);
-        prop_assert_eq!(mem.read_u64(addr), value);
-    }
+        assert_eq!(mem.read_u64(addr), value);
+    });
+}
 
-    /// Vector add equals lane-wise scalar add for arbitrary lane values.
-    #[test]
-    fn vadd_matches_scalar(a in prop::array::uniform4(any::<i64>()),
-                           b in prop::array::uniform4(any::<i64>())) {
-        let r1 = Reg::new(1).unwrap();
-        let v0 = VReg::new(0).unwrap();
-        let v1 = VReg::new(1).unwrap();
-        let v2 = VReg::new(2).unwrap();
+/// Vector add equals lane-wise scalar add for arbitrary lane values.
+#[test]
+fn vadd_matches_scalar() {
+    cases("vadd lane-wise", 128, |rng| {
+        let a: [i64; 4] = std::array::from_fn(|_| rng.next_u64() as i64);
+        let b: [i64; 4] = std::array::from_fn(|_| rng.next_u64() as i64);
+        let r1 = Reg::new(1).expect("register index in range");
+        let v0 = VReg::new(0).expect("vector register index in range");
+        let v1 = VReg::new(1).expect("vector register index in range");
+        let v2 = VReg::new(2).expect("vector register index in range");
         let mut builder = ProgramBuilder::new("prop-vadd");
         builder.data_u64s(0x1000, &a.map(|x| x as u64));
         builder.data_u64s(0x1000 + 8 * VLEN as u64, &b.map(|x| x as u64));
@@ -46,32 +53,44 @@ proptest! {
         builder.vload(v1, r1, 8 * VLEN as i64);
         builder.vadd(v2, v0, v1);
         builder.halt();
-        let p = builder.build().unwrap();
+        let p = builder.build().expect("generated program is well-formed");
         let mut cpu = Cpu::new(&p);
         let mut mem = Memory::new();
         p.init_memory(&mut mem);
         while !cpu.halted() {
-            cpu.step(&p, &mut mem).unwrap();
+            cpu.step(&p, &mut mem)
+                .expect("generated programs execute cleanly");
         }
         let expect: Vec<i64> = (0..VLEN).map(|i| a[i].wrapping_add(b[i])).collect();
-        prop_assert_eq!(cpu.vec_reg(v2).to_vec(), expect);
-    }
+        assert_eq!(cpu.vec_reg(v2).to_vec(), expect);
+    });
+}
 
-    /// `Cond::eval` is consistent with the primitive comparison operators.
-    #[test]
-    fn cond_eval_matches_operators(a in any::<i64>(), b in any::<i64>()) {
-        prop_assert_eq!(Cond::Eq.eval(a, b), a == b);
-        prop_assert_eq!(Cond::Ne.eval(a, b), a != b);
-        prop_assert_eq!(Cond::Lt.eval(a, b), a < b);
-        prop_assert_eq!(Cond::Ge.eval(a, b), a >= b);
-    }
+/// `Cond::eval` is consistent with the primitive comparison operators.
+#[test]
+fn cond_eval_matches_operators() {
+    cases("cond eval", 512, |rng| {
+        let a = rng.next_u64() as i64;
+        let b = if rng.gen_bool(0.1) {
+            a
+        } else {
+            rng.next_u64() as i64
+        };
+        assert_eq!(Cond::Eq.eval(a, b), a == b);
+        assert_eq!(Cond::Ne.eval(a, b), a != b);
+        assert_eq!(Cond::Lt.eval(a, b), a < b);
+        assert_eq!(Cond::Ge.eval(a, b), a >= b);
+    });
+}
 
-    /// A counted loop retires exactly `3n + 3` instructions regardless of
-    /// the trip count (li, li, n*(addi, addi-on-last? no: addi+blt), halt).
-    #[test]
-    fn counted_loop_retires_expected_instructions(n in 1i64..500) {
-        let r0 = Reg::new(0).unwrap();
-        let r1 = Reg::new(1).unwrap();
+/// A counted loop retires exactly `2n + 3` instructions regardless of
+/// the trip count (2 setup + 2 per iteration + halt).
+#[test]
+fn counted_loop_retires_expected_instructions() {
+    cases("counted loop retire count", 128, |rng| {
+        let n = 1 + rng.gen_range(499) as i64;
+        let r0 = Reg::new(0).expect("register index in range");
+        let r1 = Reg::new(1).expect("register index in range");
         let mut b = ProgramBuilder::new("prop-loop");
         b.li(r0, 0);
         b.li(r1, n);
@@ -79,14 +98,14 @@ proptest! {
         b.addi(r0, r0, 1);
         b.blt(r0, r1, top);
         b.halt();
-        let p = b.build().unwrap();
+        let p = b.build().expect("generated program is well-formed");
         let mut cpu = Cpu::new(&p);
         let mut mem = Memory::new();
         while !cpu.halted() {
-            cpu.step(&p, &mut mem).unwrap();
+            cpu.step(&p, &mut mem)
+                .expect("generated programs execute cleanly");
         }
-        prop_assert_eq!(cpu.int_reg(r0), n);
-        // 2 setup + 2 per iteration + 1 halt
-        prop_assert_eq!(cpu.retired(), 2 + 2 * n as u64 + 1);
-    }
+        assert_eq!(cpu.int_reg(r0), n);
+        assert_eq!(cpu.retired(), 2 + 2 * n as u64 + 1);
+    });
 }

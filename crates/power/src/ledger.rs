@@ -198,7 +198,11 @@ impl EnergyLedger {
 
         // ---- leakage ----
         let vpu_factor = if states.vpu_active { 1.0 } else { residual };
-        let bpu_factor = if states.bpu_large_active { 1.0 } else { residual };
+        let bpu_factor = if states.bpu_large_active {
+            1.0
+        } else {
+            residual
+        };
         let mlc_factor = match states.mlc_awake_fraction {
             // Drowsy operation: awake lines leak fully; drowsy lines
             // retain state at a reduced (but non-gated) voltage.
@@ -220,7 +224,11 @@ impl EnergyLedger {
         };
         let s = stats;
         let l = &self.last_stats;
-        let e_branch = if states.bpu_large_active { p.e_bpu_large } else { p.e_bpu_small };
+        let e_branch = if states.bpu_large_active {
+            p.e_bpu_large
+        } else {
+            p.e_bpu_small
+        };
         let e_mlc = p.e_mlc_access(states.mlc_state, states.mlc_total_ways);
         self.dynamic.pipeline += d(s.instructions, l.instructions) * p.e_inst;
         self.dynamic.bpu += d(s.branches, l.branches) * e_branch;
@@ -239,7 +247,8 @@ impl EnergyLedger {
     /// `unit`. Eq. 1 gives the energy of an assert+deassert pair, so each
     /// individual switch is charged half of it.
     pub fn charge_transition(&mut self, unit: ManagedUnit) {
-        let pair = gating_overhead_joules(self.params.unit_peak_dynamic_w(unit), self.params.freq_hz);
+        let pair =
+            gating_overhead_joules(self.params.unit_peak_dynamic_w(unit), self.params.freq_hz);
         self.overhead_j += pair / 2.0;
         self.transitions += 1;
     }
@@ -251,7 +260,11 @@ impl EnergyLedger {
         let leakage_j = self.leak.total();
         let dynamic_j = self.dynamic.total();
         let total_j = leakage_j + dynamic_j + self.overhead_j;
-        let div = if seconds > 0.0 { seconds } else { f64::INFINITY };
+        let div = if seconds > 0.0 {
+            seconds
+        } else {
+            f64::INFINITY
+        };
         EnergyReport {
             cycles: self.last_cycles,
             seconds,
@@ -274,7 +287,12 @@ mod tests {
     use super::*;
 
     fn stats_with(instructions: u64, branches: u64, mlc: u64) -> CoreStats {
-        CoreStats { instructions, branches, mlc_accesses: mlc, ..CoreStats::default() }
+        CoreStats {
+            instructions,
+            branches,
+            mlc_accesses: mlc,
+            ..CoreStats::default()
+        }
     }
 
     #[test]
@@ -326,7 +344,10 @@ mod tests {
         let p = PowerParams::server();
         let mut large = EnergyLedger::new(p.clone());
         let mut small = EnergyLedger::new(p.clone());
-        let states_small = UnitStates { bpu_large_active: false, ..UnitStates::full(8) };
+        let states_small = UnitStates {
+            bpu_large_active: false,
+            ..UnitStates::full(8)
+        };
         large.account(1000, &stats_with(0, 1000, 0), UnitStates::full(8));
         small.account(1000, &stats_with(0, 1000, 0), states_small);
         assert!(large.report().dynamic_j > 4.0 * small.report().dynamic_j);

@@ -1,16 +1,17 @@
-//! Property-based tests for the energy model.
+//! Property-based tests for the energy model, driven by the workspace's
+//! seeded harness (`powerchop_faults::check`).
 
-use proptest::prelude::*;
-
+use powerchop_faults::check::cases;
+use powerchop_faults::SimRng;
 use powerchop_power::{gating_overhead_joules, EnergyLedger, PowerParams, UnitStates};
 use powerchop_uarch::cache::MlcWayState;
 use powerchop_uarch::core::CoreStats;
 
-fn arb_states() -> impl Strategy<Value = UnitStates> {
-    (any::<bool>(), any::<bool>(), 0u8..4).prop_map(|(v, b, m)| UnitStates {
-        vpu_active: v,
-        bpu_large_active: b,
-        mlc_state: match m {
+fn arb_states(rng: &mut SimRng) -> UnitStates {
+    UnitStates {
+        vpu_active: rng.gen_bool(0.5),
+        bpu_large_active: rng.gen_bool(0.5),
+        mlc_state: match rng.gen_range(4) {
             0 => MlcWayState::One,
             1 => MlcWayState::Quarter,
             2 => MlcWayState::Half,
@@ -18,11 +19,15 @@ fn arb_states() -> impl Strategy<Value = UnitStates> {
         },
         mlc_total_ways: 8,
         mlc_awake_fraction: None,
-    })
+    }
 }
 
-fn arb_stats(max: u64) -> impl Strategy<Value = CoreStats> {
-    (1..max, 0..max, 0..max, 0..max).prop_map(|(insts, br, mlc, mem)| CoreStats {
+fn arb_stats(rng: &mut SimRng, max: u64) -> CoreStats {
+    let insts = 1 + rng.gen_range(max - 1);
+    let br = rng.gen_range(max);
+    let mlc = rng.gen_range(max);
+    let mem = rng.gen_range(max);
+    CoreStats {
         instructions: insts,
         branches: br,
         mlc_accesses: mlc + mem,
@@ -30,14 +35,16 @@ fn arb_stats(max: u64) -> impl Strategy<Value = CoreStats> {
         llc_accesses: mem,
         mem_accesses: mem / 2,
         ..CoreStats::default()
-    })
+    }
 }
 
-proptest! {
-    /// Gated configurations never consume more leakage than full power,
-    /// and always at least the 5% residual floor.
-    #[test]
-    fn gated_leakage_bounded(states in arb_states(), cycles in 1u64..1 << 32) {
+/// Gated configurations never consume more leakage than full power,
+/// and always at least the 5% residual floor.
+#[test]
+fn gated_leakage_bounded() {
+    cases("gated leakage bounds", 256, |rng| {
+        let states = arb_states(rng);
+        let cycles = 1 + rng.gen_range((1 << 32) - 1);
         let params = PowerParams::server();
         let mut full = EnergyLedger::new(params.clone());
         let mut gated = EnergyLedger::new(params.clone());
@@ -45,20 +52,28 @@ proptest! {
         full.account(cycles, &stats, UnitStates::full(8));
         gated.account(cycles, &stats, states);
         let (f, g) = (full.report(), gated.report());
-        prop_assert!(g.leakage_j <= f.leakage_j + 1e-15);
+        assert!(g.leakage_j <= f.leakage_j + 1e-15);
         // Lower bound: unmanaged core + 5% residual of everything else.
         let floor = f.leakage_j * (0.41 + 0.59 * 0.05) - 1e-12;
-        prop_assert!(g.leakage_j >= floor, "leakage {} below floor {}", g.leakage_j, floor);
-    }
+        assert!(
+            g.leakage_j >= floor,
+            "leakage {} below floor {}",
+            g.leakage_j,
+            floor
+        );
+    });
+}
 
-    /// Energy is additive over intervals: accounting in any number of
-    /// chunks gives the same total as accounting once.
-    #[test]
-    fn energy_is_interval_additive(
-        states in arb_states(),
-        cuts in prop::collection::vec(1u64..1000, 1..10),
-        end_stats in arb_stats(1 << 20),
-    ) {
+/// Energy is additive over intervals: accounting in any number of
+/// chunks gives the same total as accounting once.
+#[test]
+fn energy_is_interval_additive() {
+    cases("interval additivity", 256, |rng| {
+        let states = arb_states(rng);
+        let cuts: Vec<u64> = (0..1 + rng.gen_range(9))
+            .map(|_| 1 + rng.gen_range(999))
+            .collect();
+        let end_stats = arb_stats(rng, 1 << 20);
         let params = PowerParams::mobile();
         let total_cycles: u64 = cuts.iter().sum::<u64>() * 100;
         let mut once = EnergyLedger::new(params.clone());
@@ -84,38 +99,53 @@ proptest! {
         }
         chunked.account(total_cycles, &end_stats, states);
         let (a, b) = (once.report(), chunked.report());
-        prop_assert!((a.total_j - b.total_j).abs() < 1e-12 * a.total_j.max(1e-12));
-    }
+        assert!((a.total_j - b.total_j).abs() < 1e-12 * a.total_j.max(1e-12));
+    });
+}
 
-    /// More events never decrease dynamic energy.
-    #[test]
-    fn dynamic_energy_monotone_in_events(base in arb_stats(1 << 16), extra in 1u64..1000) {
+/// More events never decrease dynamic energy.
+#[test]
+fn dynamic_energy_monotone_in_events() {
+    cases("dynamic energy monotone", 256, |rng| {
+        let base = arb_stats(rng, 1 << 16);
+        let extra = 1 + rng.gen_range(999);
         let params = PowerParams::server();
         let mut small = EnergyLedger::new(params.clone());
         small.account(1_000_000, &base, UnitStates::full(8));
-        let more = CoreStats { instructions: base.instructions + extra, ..base };
+        let more = CoreStats {
+            instructions: base.instructions + extra,
+            ..base
+        };
         let mut big = EnergyLedger::new(params.clone());
         big.account(1_000_000, &more, UnitStates::full(8));
-        prop_assert!(big.report().dynamic_j > small.report().dynamic_j);
-    }
+        assert!(big.report().dynamic_j > small.report().dynamic_j);
+    });
+}
 
-    /// The Eq. 1 overhead is linear in peak power and positive.
-    #[test]
-    fn overhead_linear(p in 0.01f64..100.0, f in 1e8f64..1e10, k in 1.0f64..10.0) {
+/// The Eq. 1 overhead is linear in peak power and positive.
+#[test]
+fn overhead_linear() {
+    cases("overhead linearity", 256, |rng| {
+        let p = 0.01 + rng.gen_f64() * 99.99;
+        let f = 1e8 + rng.gen_f64() * (1e10 - 1e8);
+        let k = 1.0 + rng.gen_f64() * 9.0;
         let one = gating_overhead_joules(p, f);
         let scaled = gating_overhead_joules(p * k, f);
-        prop_assert!(one > 0.0);
-        prop_assert!((scaled - one * k).abs() < 1e-9 * scaled.max(1e-30));
-    }
+        assert!(one > 0.0);
+        assert!((scaled - one * k).abs() < 1e-9 * scaled.max(1e-30));
+    });
+}
 
-    /// MLC access energy is monotone in the way state.
-    #[test]
-    fn mlc_energy_monotone(ways in 2u32..=16) {
+/// MLC access energy is monotone in the way state.
+#[test]
+fn mlc_energy_monotone() {
+    cases("mlc energy monotone", 32, |rng| {
+        let ways = 2 + rng.gen_range(15) as u32;
         let p = PowerParams::mobile();
         let one = p.e_mlc_access(MlcWayState::One, ways);
         let half = p.e_mlc_access(MlcWayState::Half, ways);
         let full = p.e_mlc_access(MlcWayState::Full, ways);
-        prop_assert!(one <= half && half <= full);
-        prop_assert!(one > 0.0);
-    }
+        assert!(one <= half && half <= full);
+        assert!(one > 0.0);
+    });
 }

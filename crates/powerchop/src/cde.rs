@@ -46,7 +46,12 @@ pub struct Thresholds {
 
 impl Default for Thresholds {
     fn default() -> Self {
-        Thresholds { vpu: 0.01, bpu: 0.005, mlc_high: 0.01, mlc_low: 0.001 }
+        Thresholds {
+            vpu: 0.01,
+            bpu: 0.005,
+            mlc_high: 0.01,
+            mlc_low: 0.001,
+        }
     }
 }
 
@@ -57,7 +62,12 @@ impl Thresholds {
     /// stay powered.
     #[must_use]
     pub fn aggressive() -> Self {
-        Thresholds { vpu: 0.05, bpu: 0.02, mlc_high: 0.05, mlc_low: 0.005 }
+        Thresholds {
+            vpu: 0.05,
+            bpu: 0.02,
+            mlc_high: 0.05,
+            mlc_low: 0.005,
+        }
     }
 }
 
@@ -163,7 +173,11 @@ impl Cde {
     /// (they never persist long enough to measure) are conservatively
     /// decided fully-powered so they stop oscillating the units.
     #[must_use]
-    pub fn with_config(thresholds: Thresholds, warmup_windows: u32, max_profile_attempts: u32) -> Self {
+    pub fn with_config(
+        thresholds: Thresholds,
+        warmup_windows: u32,
+        max_profile_attempts: u32,
+    ) -> Self {
         Cde {
             thresholds,
             warmup_windows,
@@ -208,6 +222,14 @@ impl Cde {
         self.phases.get(&signature).copied()
     }
 
+    /// Degradation hook: erases everything known about `signature`, so
+    /// its next occurrence re-enters profiling from scratch (including a
+    /// fresh interrupted-attempt budget).
+    pub fn forget(&mut self, signature: PhaseSignature) {
+        self.phases.remove(&signature);
+        self.attempts.remove(&signature);
+    }
+
     /// Handles a PVT miss for `signature` (Algorithm 1): returns the
     /// decided policy if this is a capacity miss, or `None` if the phase
     /// needs (more) profiling — in which case the caller must arm a
@@ -230,7 +252,8 @@ impl Cde {
             Some(_) => None,
             None => {
                 self.stats.new_phases += 1;
-                self.phases.insert(signature, self.fresh_profiling_record(needs_warmup));
+                self.phases
+                    .insert(signature, self.fresh_profiling_record(needs_warmup));
                 None
             }
         }
@@ -238,7 +261,9 @@ impl Cde {
 
     fn fresh_profiling_record(&self, needs_warmup: bool) -> PhaseRecord {
         if needs_warmup && self.warmup_windows > 0 {
-            PhaseRecord::Warming { left: self.warmup_windows }
+            PhaseRecord::Warming {
+                left: self.warmup_windows,
+            }
         } else {
             PhaseRecord::ProfilingLarge
         }
@@ -254,7 +279,8 @@ impl Cde {
     ) -> Option<GatingPolicy> {
         match self.phases.get(&signature) {
             Some(PhaseRecord::Warming { left }) if *left > 1 => {
-                self.phases.insert(signature, PhaseRecord::Warming { left: left - 1 });
+                self.phases
+                    .insert(signature, PhaseRecord::Warming { left: left - 1 });
                 None
             }
             Some(PhaseRecord::Warming { .. }) => {
@@ -262,7 +288,8 @@ impl Cde {
                 None
             }
             Some(PhaseRecord::ProfilingLarge) => {
-                self.phases.insert(signature, PhaseRecord::ProfilingSmall(profile));
+                self.phases
+                    .insert(signature, PhaseRecord::ProfilingSmall(profile));
                 None
             }
             Some(PhaseRecord::ProfilingSmall(first)) => {
@@ -303,14 +330,18 @@ impl Cde {
             let policy = match self.phases.get(&signature) {
                 Some(PhaseRecord::ProfilingSmall(first)) => {
                     let partial = self.decide(first, first);
-                    GatingPolicy { bpu_on: fallback.bpu_on, ..partial }
+                    GatingPolicy {
+                        bpu_on: fallback.bpu_on,
+                        ..partial
+                    }
                 }
                 _ => fallback,
             };
             self.phases.insert(signature, PhaseRecord::Decided(policy));
             self.stats.decided += 1;
         } else {
-            self.phases.insert(signature, self.fresh_profiling_record(true));
+            self.phases
+                .insert(signature, self.fresh_profiling_record(true));
         }
     }
 
@@ -341,7 +372,11 @@ impl Cde {
             MlcWayState::Half
         };
 
-        GatingPolicy { vpu_on, bpu_on, mlc }
+        GatingPolicy {
+            vpu_on,
+            bpu_on,
+            mlc,
+        }
     }
 }
 
@@ -491,7 +526,10 @@ mod tests {
         let mut cde = Cde::with_config(Thresholds::default(), 0, 4);
         cde.on_pvt_miss(sig(3), true);
         cde.on_profile_window(sig(3), profile(10, 0, 0, 0, 0));
-        assert!(matches!(cde.record(sig(3)), Some(PhaseRecord::ProfilingSmall(_))));
+        assert!(matches!(
+            cde.record(sig(3)),
+            Some(PhaseRecord::ProfilingSmall(_))
+        ));
         cde.discard_profile(sig(3), GatingPolicy::FULL);
         assert_eq!(cde.record(sig(3)), Some(PhaseRecord::ProfilingLarge));
         assert_eq!(cde.stats().profiles_discarded, 1);
@@ -504,7 +542,10 @@ mod tests {
         for _ in 0..3 {
             cde.discard_profile(sig(4), GatingPolicy::MINIMAL);
         }
-        assert_eq!(cde.record(sig(4)), Some(PhaseRecord::Decided(GatingPolicy::MINIMAL)));
+        assert_eq!(
+            cde.record(sig(4)),
+            Some(PhaseRecord::Decided(GatingPolicy::MINIMAL))
+        );
         assert_eq!(cde.stats().profiles_discarded, 3);
         // Further misses re-register the fallback policy.
         assert_eq!(cde.on_pvt_miss(sig(4), true), Some(GatingPolicy::MINIMAL));

@@ -1,0 +1,351 @@
+//! Graceful degradation for the criticality layer.
+//!
+//! PowerChop's decisions are only as good as the profiling data and the
+//! PVT contents behind them, and both can go bad in a real deployment:
+//! PVT entries take soft errors, context switches truncate profiling
+//! windows, and workload perturbations make old decisions contradict new
+//! behaviour. The [`DegradationGuard`] is the manager's safety net. Its
+//! contract: **when the management layer cannot trust its data, it fails
+//! safe to the full-power policy** — PowerChop degrades to the baseline
+//! processor, never below it.
+//!
+//! Three mechanisms, layered:
+//!
+//! 1. **Anomaly detection.** Window profiles are sanity-checked before
+//!    they reach the CDE, and PVT hits are cross-checked against the
+//!    CDE's memory-backed store (the PVT is small exposed hardware; the
+//!    store lives in ECC-protected memory). A corrupt hit fails safe to
+//!    full power for the window and purges the entry.
+//! 2. **Bounded re-profiling with exponential backoff.** A phase whose
+//!    stored policy contradicts its observed behaviour is re-profiled —
+//!    but each anomaly doubles the wait before re-profiling may begin,
+//!    so a noisy phase cannot consume the CDE with profiling churn.
+//! 3. **An oscillation watchdog.** A phase whose decided policy keeps
+//!    flip-flopping (each flip pays gate-on/off overheads) is pinned to
+//!    full power: the fail-safe costs leakage, never correctness.
+
+use std::collections::HashMap;
+
+use crate::cde::WindowProfile;
+use crate::phase::PhaseSignature;
+use crate::policy::GatingPolicy;
+
+/// Cumulative degradation activity, surfaced in run reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradeStats {
+    /// Data-integrity anomalies detected (corrupt profiles, PVT entries
+    /// contradicting the CDE store, policies contradicting behaviour).
+    pub anomalies: u64,
+    /// Windows in which the guard forced the fail-safe full-power policy.
+    pub failsafe_transitions: u64,
+    /// Re-profiling rounds scheduled (with backoff) after anomalies.
+    pub reprofiles_scheduled: u64,
+    /// Phases permanently pinned to full power (backoff exhausted or
+    /// oscillation watchdog tripped).
+    pub phases_pinned: u64,
+}
+
+/// What to do about a phase after an anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailSafeAction {
+    /// Fail safe now; re-profile once `defer_until` windows have passed.
+    Reprofile {
+        /// Global window index before which the phase must not re-enter
+        /// profiling (it runs fail-safe full-power meanwhile).
+        defer_until: u64,
+    },
+    /// The phase has exhausted its re-profiling budget: it is pinned to
+    /// full power for the rest of the run.
+    Pin,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Backoff {
+    attempts: u32,
+    defer_until: u64,
+}
+
+/// The degradation guard: anomaly detection, backoff bookkeeping and the
+/// oscillation watchdog for one [`crate::managers::PowerChopManager`].
+#[derive(Debug, Clone)]
+pub struct DegradationGuard {
+    /// Re-profiling rounds allowed per phase before pinning.
+    max_reprofiles: u32,
+    /// Decided-policy changes tolerated per phase before pinning.
+    flip_limit: u32,
+    backoff: HashMap<PhaseSignature, Backoff>,
+    last_policy: HashMap<PhaseSignature, (GatingPolicy, u32)>,
+    pinned: HashMap<PhaseSignature, GatingPolicy>,
+    stats: DegradeStats,
+}
+
+impl Default for DegradationGuard {
+    fn default() -> Self {
+        DegradationGuard::new(3, 6)
+    }
+}
+
+impl DegradationGuard {
+    /// Creates a guard allowing `max_reprofiles` anomaly-triggered
+    /// re-profiling rounds and `flip_limit` decided-policy changes per
+    /// phase before pinning it to full power. Zero values are clamped to
+    /// one (a guard that pins on the first event is the strictest
+    /// meaningful configuration).
+    #[must_use]
+    pub fn new(max_reprofiles: u32, flip_limit: u32) -> Self {
+        DegradationGuard {
+            max_reprofiles: max_reprofiles.max(1),
+            flip_limit: flip_limit.max(1),
+            backoff: HashMap::new(),
+            last_policy: HashMap::new(),
+            pinned: HashMap::new(),
+            stats: DegradeStats::default(),
+        }
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> DegradeStats {
+        self.stats
+    }
+
+    /// Whether a window profile is internally consistent. Counter deltas
+    /// violating these invariants mean the measurement is garbage
+    /// (counter overflow, a flush mid-window) and must not reach the CDE.
+    #[must_use]
+    pub fn profile_is_sane(profile: &WindowProfile) -> bool {
+        profile.mlc_hits <= profile.mlc_accesses
+            && profile.mispredicts <= profile.branches
+            && profile.vec_ops <= profile.instructions
+            && profile.branches <= profile.instructions
+    }
+
+    /// Records a garbage profile: fail safe for this window and drop the
+    /// measurement.
+    pub fn on_bad_profile(&mut self) {
+        self.stats.anomalies += 1;
+        self.stats.failsafe_transitions += 1;
+    }
+
+    /// Whether a stored policy contradicts the behaviour just observed
+    /// under it: gating a unit the phase measurably leans on. Only
+    /// starvation directions are flagged (a policy that over-powers is
+    /// wasteful, not wrong), and only when the window is big enough for
+    /// its densities to mean anything.
+    #[must_use]
+    pub fn policy_contradicts(policy: GatingPolicy, observed: &WindowProfile) -> bool {
+        if observed.instructions < 1_000 {
+            return false;
+        }
+        let insts = observed.instructions as f64;
+        // Thresholds are deliberately far looser than the CDE's decision
+        // thresholds: re-profiling is for decisions that are *clearly*
+        // wrong, not marginally stale.
+        let vec_density = observed.vec_ops as f64 / insts;
+        if !policy.vpu_on && vec_density > 0.05 {
+            return true;
+        }
+        let miss_density = (observed.mlc_accesses - observed.mlc_hits) as f64 / insts;
+        policy.mlc == powerchop_uarch::cache::MlcWayState::One && miss_density > 0.05
+    }
+
+    /// The pinned fail-safe policy for `signature`, if the watchdog or
+    /// backoff exhaustion has pinned it.
+    #[must_use]
+    pub fn pinned(&self, signature: PhaseSignature) -> Option<GatingPolicy> {
+        self.pinned.get(&signature).copied()
+    }
+
+    /// Whether `signature` is still inside its post-anomaly backoff
+    /// window at global window index `window_idx` (runs fail-safe until
+    /// the backoff expires).
+    #[must_use]
+    pub fn deferred(&self, signature: PhaseSignature, window_idx: u64) -> bool {
+        self.backoff
+            .get(&signature)
+            .is_some_and(|b| window_idx < b.defer_until)
+    }
+
+    /// Registers an anomaly against `signature` at global window index
+    /// `window_idx` and decides its fate: re-profile after an
+    /// exponentially-backed-off wait, or pin to full power once the
+    /// budget is spent. The caller applies the fail-safe policy either
+    /// way.
+    pub fn on_anomaly(&mut self, signature: PhaseSignature, window_idx: u64) -> FailSafeAction {
+        self.stats.anomalies += 1;
+        self.stats.failsafe_transitions += 1;
+        let entry = self.backoff.entry(signature).or_insert(Backoff {
+            attempts: 0,
+            defer_until: 0,
+        });
+        entry.attempts += 1;
+        if entry.attempts > self.max_reprofiles {
+            self.pinned.insert(signature, GatingPolicy::FULL);
+            self.stats.phases_pinned += 1;
+            return FailSafeAction::Pin;
+        }
+        // Exponential backoff: 2, 4, 8, ... windows of fail-safe full
+        // power before the phase may be re-profiled.
+        let wait = 1u64 << entry.attempts.min(20);
+        entry.defer_until = window_idx.saturating_add(wait);
+        self.stats.reprofiles_scheduled += 1;
+        FailSafeAction::Reprofile {
+            defer_until: entry.defer_until,
+        }
+    }
+
+    /// Oscillation watchdog: records that `policy` was decided (or
+    /// re-decided) for `signature`. Returns the pinned fail-safe policy
+    /// if the phase has now changed decided policies too many times.
+    pub fn observe_decision(
+        &mut self,
+        signature: PhaseSignature,
+        policy: GatingPolicy,
+    ) -> Option<GatingPolicy> {
+        let (last, flips) = self.last_policy.entry(signature).or_insert((policy, 0));
+        if *last != policy {
+            *last = policy;
+            *flips += 1;
+            if *flips >= self.flip_limit && !self.pinned.contains_key(&signature) {
+                self.pinned.insert(signature, GatingPolicy::FULL);
+                self.stats.phases_pinned += 1;
+                return Some(GatingPolicy::FULL);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerchop_bt::TranslationId;
+    use powerchop_uarch::cache::MlcWayState;
+
+    fn sig(i: u32) -> PhaseSignature {
+        PhaseSignature::new(&[TranslationId(i)])
+    }
+
+    #[test]
+    fn sane_profiles_pass_garbage_fails() {
+        let good = WindowProfile {
+            instructions: 10_000,
+            vec_ops: 100,
+            branches: 1_000,
+            mispredicts: 10,
+            mlc_accesses: 500,
+            mlc_hits: 400,
+        };
+        assert!(DegradationGuard::profile_is_sane(&good));
+        let impossible_hits = WindowProfile {
+            mlc_hits: 600,
+            mlc_accesses: 500,
+            ..good
+        };
+        assert!(!DegradationGuard::profile_is_sane(&impossible_hits));
+        let impossible_misp = WindowProfile {
+            mispredicts: 2_000,
+            ..good
+        };
+        assert!(!DegradationGuard::profile_is_sane(&impossible_misp));
+        let impossible_vec = WindowProfile {
+            vec_ops: 20_000,
+            ..good
+        };
+        assert!(!DegradationGuard::profile_is_sane(&impossible_vec));
+    }
+
+    #[test]
+    fn starved_units_are_contradictions_overpowered_are_not() {
+        let vector_heavy = WindowProfile {
+            instructions: 10_000,
+            vec_ops: 2_000,
+            ..WindowProfile::default()
+        };
+        assert!(DegradationGuard::policy_contradicts(
+            GatingPolicy::MINIMAL,
+            &vector_heavy
+        ));
+        assert!(!DegradationGuard::policy_contradicts(
+            GatingPolicy::FULL,
+            &vector_heavy
+        ));
+        // Tiny windows are never judged.
+        let tiny = WindowProfile {
+            instructions: 100,
+            vec_ops: 90,
+            ..WindowProfile::default()
+        };
+        assert!(!DegradationGuard::policy_contradicts(
+            GatingPolicy::MINIMAL,
+            &tiny
+        ));
+        // Thrashing a one-way MLC is a contradiction.
+        let missy = WindowProfile {
+            instructions: 10_000,
+            mlc_accesses: 2_000,
+            mlc_hits: 100,
+            ..WindowProfile::default()
+        };
+        let one_way = GatingPolicy {
+            mlc: MlcWayState::One,
+            ..GatingPolicy::FULL
+        };
+        assert!(DegradationGuard::policy_contradicts(one_way, &missy));
+    }
+
+    #[test]
+    fn backoff_doubles_then_pins() {
+        let mut g = DegradationGuard::new(3, 10);
+        let s = sig(1);
+        let a1 = g.on_anomaly(s, 100);
+        assert_eq!(a1, FailSafeAction::Reprofile { defer_until: 102 });
+        assert!(g.deferred(s, 101));
+        assert!(!g.deferred(s, 102));
+        let a2 = g.on_anomaly(s, 200);
+        assert_eq!(a2, FailSafeAction::Reprofile { defer_until: 204 });
+        let a3 = g.on_anomaly(s, 300);
+        assert_eq!(a3, FailSafeAction::Reprofile { defer_until: 308 });
+        // Fourth anomaly exhausts the budget.
+        assert_eq!(g.on_anomaly(s, 400), FailSafeAction::Pin);
+        assert_eq!(g.pinned(s), Some(GatingPolicy::FULL));
+        let stats = g.stats();
+        assert_eq!(stats.anomalies, 4);
+        assert_eq!(stats.failsafe_transitions, 4);
+        assert_eq!(stats.reprofiles_scheduled, 3);
+        assert_eq!(stats.phases_pinned, 1);
+    }
+
+    #[test]
+    fn oscillating_decisions_get_pinned() {
+        let mut g = DegradationGuard::new(3, 3);
+        let s = sig(2);
+        assert!(g.observe_decision(s, GatingPolicy::FULL).is_none());
+        assert!(g.observe_decision(s, GatingPolicy::MINIMAL).is_none()); // flip 1
+        assert!(g.observe_decision(s, GatingPolicy::FULL).is_none()); // flip 2
+        let pinned = g.observe_decision(s, GatingPolicy::MINIMAL); // flip 3
+        assert_eq!(pinned, Some(GatingPolicy::FULL));
+        assert_eq!(g.pinned(s), Some(GatingPolicy::FULL));
+        // A stable phase never trips the watchdog.
+        let stable = sig(3);
+        for _ in 0..100 {
+            assert!(g.observe_decision(stable, GatingPolicy::MINIMAL).is_none());
+        }
+        assert_eq!(g.stats().phases_pinned, 1);
+    }
+
+    #[test]
+    fn distinct_phases_have_independent_budgets() {
+        let mut g = DegradationGuard::new(1, 10);
+        assert!(matches!(
+            g.on_anomaly(sig(10), 0),
+            FailSafeAction::Reprofile { .. }
+        ));
+        assert!(matches!(
+            g.on_anomaly(sig(11), 0),
+            FailSafeAction::Reprofile { .. }
+        ));
+        assert_eq!(g.on_anomaly(sig(10), 50), FailSafeAction::Pin);
+        assert!(g.pinned(sig(11)).is_none());
+    }
+}

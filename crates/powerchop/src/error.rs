@@ -1,0 +1,72 @@
+//! Typed errors for the integrated simulation.
+//!
+//! The library's contract is that it never panics on user input: bad
+//! guest programs, degenerate configurations and injected faults all
+//! surface as values of [`SimError`] from [`crate::system::run_program`].
+//! The enum is hand-rolled (no derive-macro dependencies are available
+//! offline) in the `thiserror` idiom: a variant per failure class, a
+//! `Display` message per variant, `source()` chaining where there is an
+//! underlying cause.
+
+use powerchop_gisa::GisaError;
+
+/// Why a simulation run could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The guest program faulted (a bug in the guest, not the simulator).
+    Guest(GisaError),
+    /// A run configuration field had a value the simulation cannot run
+    /// under (and that clamping would silently misrepresent).
+    InvalidConfig {
+        /// The offending field, e.g. `"max_instructions"`.
+        field: &'static str,
+        /// Why the value is unusable.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Guest(e) => write!(f, "guest program fault: {e}"),
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid run configuration: {field} {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Guest(e) => Some(e),
+            SimError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<GisaError> for SimError {
+    fn from(e: GisaError) -> Self {
+        SimError::Guest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let guest = SimError::from(GisaError::EmptyProgram);
+        assert!(guest.to_string().contains("guest program fault"));
+        assert!(std::error::Error::source(&guest).is_some());
+
+        let config = SimError::InvalidConfig {
+            field: "max_instructions",
+            reason: "must be > 0",
+        };
+        assert!(config.to_string().contains("max_instructions"));
+        assert!(std::error::Error::source(&config).is_none());
+    }
+}

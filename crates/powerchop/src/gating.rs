@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn vpu_switch_costs_switch_plus_save_restore() {
         let (mut core, mut ledger, mut ctl) = setup();
-        let policy = GatingPolicy { vpu_on: false, ..GatingPolicy::FULL };
+        let policy = GatingPolicy {
+            vpu_on: false,
+            ..GatingPolicy::FULL
+        };
         ctl.apply(policy, &mut core, &mut ledger);
         assert_eq!(core.cycles(), 30 + 500);
         assert_eq!(ctl.switches().vpu, 1);
@@ -265,13 +268,27 @@ mod tests {
     #[test]
     fn bpu_and_mlc_switch_costs() {
         let (mut core, mut ledger, mut ctl) = setup();
-        let policy = GatingPolicy { bpu_on: false, ..GatingPolicy::FULL };
+        let policy = GatingPolicy {
+            bpu_on: false,
+            ..GatingPolicy::FULL
+        };
         ctl.apply(policy, &mut core, &mut ledger);
         assert_eq!(core.cycles(), 20);
-        let policy = GatingPolicy { bpu_on: false, mlc: MlcWayState::One, ..policy };
+        let policy = GatingPolicy {
+            bpu_on: false,
+            mlc: MlcWayState::One,
+            ..policy
+        };
         ctl.apply(policy, &mut core, &mut ledger);
         assert_eq!(core.cycles(), 20 + 50); // empty MLC: no writebacks
-        assert_eq!(ctl.switches(), SwitchCounts { vpu: 0, bpu: 1, mlc: 1 });
+        assert_eq!(
+            ctl.switches(),
+            SwitchCounts {
+                vpu: 0,
+                bpu: 1,
+                mlc: 1
+            }
+        );
     }
 
     #[test]
@@ -292,7 +309,14 @@ mod tests {
     #[test]
     fn gated_time_integrates_between_syncs() {
         let (mut core, mut ledger, mut ctl) = setup();
-        ctl.apply(GatingPolicy { vpu_on: false, ..GatingPolicy::FULL }, &mut core, &mut ledger);
+        ctl.apply(
+            GatingPolicy {
+                vpu_on: false,
+                ..GatingPolicy::FULL
+            },
+            &mut core,
+            &mut ledger,
+        );
         let start = core.cycles(); // transition stall cycles (530)
         core.add_stall(1000);
         ctl.sync(&core, &mut ledger);
@@ -307,9 +331,23 @@ mod tests {
     #[test]
     fn mlc_states_integrate_separately() {
         let (mut core, mut ledger, mut ctl) = setup();
-        ctl.apply(GatingPolicy { mlc: MlcWayState::Half, ..GatingPolicy::FULL }, &mut core, &mut ledger);
+        ctl.apply(
+            GatingPolicy {
+                mlc: MlcWayState::Half,
+                ..GatingPolicy::FULL
+            },
+            &mut core,
+            &mut ledger,
+        );
         core.add_stall(100);
-        ctl.apply(GatingPolicy { mlc: MlcWayState::One, ..GatingPolicy::FULL }, &mut core, &mut ledger);
+        ctl.apply(
+            GatingPolicy {
+                mlc: MlcWayState::One,
+                ..GatingPolicy::FULL
+            },
+            &mut core,
+            &mut ledger,
+        );
         core.add_stall(200);
         ctl.sync(&core, &mut ledger);
         let g = ctl.gated_cycles();

@@ -46,14 +46,14 @@ pub struct HotTranslationBuffer {
 
 impl HotTranslationBuffer {
     /// Creates an HTB with `capacity` entries producing signatures of
-    /// `signature_len` translations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either parameter is zero.
+    /// `signature_len` translations. Zero values are clamped to one:
+    /// the management layer must stay panic-free under any
+    /// configuration, and a one-entry buffer is the nearest well-defined
+    /// neighbour of a degenerate request.
     #[must_use]
     pub fn new(capacity: usize, signature_len: usize) -> Self {
-        assert!(capacity > 0 && signature_len > 0, "degenerate HTB configuration");
+        let capacity = capacity.max(1);
+        let signature_len = signature_len.max(1);
         HotTranslationBuffer {
             counts: HashMap::with_capacity(capacity),
             capacity,
@@ -106,8 +106,11 @@ impl HotTranslationBuffer {
     /// ID for determinism).
     #[must_use]
     pub fn signature(&self) -> PhaseSignature {
-        let mut entries: Vec<(TranslationId, u64)> =
-            self.counts.iter().map(|(id, (_, insts))| (*id, *insts)).collect();
+        let mut entries: Vec<(TranslationId, u64)> = self
+            .counts
+            .iter()
+            .map(|(id, (_, insts))| (*id, *insts))
+            .collect();
         entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         entries.truncate(self.signature_len);
         let ids: Vec<TranslationId> = entries.into_iter().map(|(id, _)| id).collect();
@@ -120,7 +123,11 @@ impl HotTranslationBuffer {
     /// window size, minus any HTB overflow).
     #[must_use]
     pub fn count_vector(&self) -> Vec<(TranslationId, u64)> {
-        let mut v: Vec<_> = self.counts.iter().map(|(id, (execs, _))| (*id, *execs)).collect();
+        let mut v: Vec<_> = self
+            .counts
+            .iter()
+            .map(|(id, (execs, _))| (*id, *execs))
+            .collect();
         v.sort_unstable_by_key(|(id, _)| *id);
         v
     }
@@ -210,8 +217,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "degenerate")]
-    fn zero_capacity_rejected() {
-        let _ = HotTranslationBuffer::new(0, 4);
+    fn zero_capacity_clamps_to_one_entry() {
+        let mut htb = HotTranslationBuffer::new(0, 0);
+        htb.record(t(1), 10);
+        htb.record(t(2), 10);
+        assert_eq!(htb.len(), 1);
+        assert_eq!(htb.overflowed(), 1);
+        assert_eq!(htb.signature().ids().count(), 1);
     }
 }

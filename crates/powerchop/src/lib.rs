@@ -23,7 +23,11 @@
 //! - [`gating`] — the gating controller with the paper's transition costs,
 //! - [`managers`] — PowerChop plus the full-power, minimal-power and
 //!   VPU-timeout baselines,
-//! - [`system`] — [`system::run_program`], the integrated simulation loop.
+//! - [`degrade`] — graceful degradation (anomaly detection, bounded
+//!   re-profiling, oscillation watchdog): fail safe to full power,
+//! - [`error`] — the typed [`SimError`] every run returns on failure,
+//! - [`system`] — [`system::run_program`], the integrated simulation loop,
+//!   including deterministic fault injection via [`powerchop_faults`].
 //!
 //! # Quick start
 //!
@@ -32,7 +36,7 @@
 //! use powerchop_uarch::config::CoreKind;
 //! use powerchop_workloads as workloads;
 //!
-//! # fn main() -> Result<(), powerchop_gisa::GisaError> {
+//! # fn main() -> Result<(), powerchop::SimError> {
 //! let benchmark = workloads::by_name("hmmer").expect("known benchmark");
 //! let program = benchmark.program(workloads::Scale(0.02));
 //! let mut cfg = RunConfig::for_kind(CoreKind::Server);
@@ -55,6 +59,8 @@
 #![warn(missing_docs)]
 
 pub mod cde;
+pub mod degrade;
+pub mod error;
 pub mod gating;
 pub mod htb;
 pub mod managers;
@@ -64,6 +70,8 @@ pub mod pvt;
 pub mod system;
 
 pub use cde::{Cde, Thresholds};
+pub use degrade::{DegradationGuard, DegradeStats};
+pub use error::SimError;
 pub use gating::{GatedCycles, GatingController, SwitchCounts};
 pub use htb::HotTranslationBuffer;
 pub use managers::{ChopConfig, DrowsyMlcManager, PowerChopManager, PowerManager};

@@ -11,10 +11,12 @@
 
 use powerchop_bt::nucleus::Nucleus;
 use powerchop_bt::TranslationId;
+use powerchop_faults::FaultKind;
 use powerchop_power::EnergyLedger;
 use powerchop_uarch::core::{CoreModel, CoreStats};
 
 use crate::cde::{Cde, CdeStats, Thresholds, WindowProfile};
+use crate::degrade::{DegradationGuard, DegradeStats};
 use crate::gating::GatingController;
 use crate::htb::HotTranslationBuffer;
 use crate::phase::PhaseSignature;
@@ -72,6 +74,16 @@ pub trait PowerManager {
     fn take_window_records(&mut self) -> Vec<WindowRecord> {
         Vec::new()
     }
+
+    /// Called when the fault-injection layer delivers a fault aimed at
+    /// the manager's own structures (PVT soft errors, context switches).
+    /// Managers without such structures ignore it.
+    fn on_fault(&mut self, _kind: FaultKind, _payload: u64, _ctx: &mut ManagerCtx<'_>) {}
+
+    /// Degradation-guard statistics, when the manager has a guard.
+    fn degrade_stats(&self) -> Option<DegradeStats> {
+        None
+    }
 }
 
 /// Performance baseline: every unit stays fully powered.
@@ -96,7 +108,8 @@ impl PowerManager for MinimalPowerManager {
     }
 
     fn init(&mut self, ctx: &mut ManagerCtx<'_>) {
-        ctx.controller.apply(GatingPolicy::MINIMAL, ctx.core, ctx.ledger);
+        ctx.controller
+            .apply(GatingPolicy::MINIMAL, ctx.core, ctx.ledger);
     }
 
     fn on_translation(&mut self, _id: TranslationId, _n: u64, _ctx: &mut ManagerCtx<'_>) {}
@@ -121,7 +134,11 @@ impl TimeoutVpuManager {
     /// Creates a timeout manager with the given idle threshold.
     #[must_use]
     pub fn new(timeout_cycles: u64) -> Self {
-        TimeoutVpuManager { timeout_cycles, last_vec_ops: 0, last_vec_cycle: 0 }
+        TimeoutVpuManager {
+            timeout_cycles,
+            last_vec_ops: 0,
+            last_vec_cycle: 0,
+        }
     }
 }
 
@@ -131,7 +148,10 @@ impl PowerManager for TimeoutVpuManager {
     }
 
     fn on_translation(&mut self, _id: TranslationId, _n: u64, ctx: &mut ManagerCtx<'_>) {
-        debug_assert!(!ctx.controller.is_semantic(), "timeout needs a non-semantic controller");
+        debug_assert!(
+            !ctx.controller.is_semantic(),
+            "timeout needs a non-semantic controller"
+        );
         let vec_ops = ctx.core.stats().vec_ops;
         let now = ctx.core.cycles();
         let gated = !ctx.controller.current().vpu_on;
@@ -140,11 +160,15 @@ impl PowerManager for TimeoutVpuManager {
             self.last_vec_ops = vec_ops;
             self.last_vec_cycle = now;
             if gated {
-                ctx.controller.apply(GatingPolicy::FULL, ctx.core, ctx.ledger);
+                ctx.controller
+                    .apply(GatingPolicy::FULL, ctx.core, ctx.ledger);
             }
         } else if !gated && now.saturating_sub(self.last_vec_cycle) >= self.timeout_cycles {
             ctx.controller.apply(
-                GatingPolicy { vpu_on: false, ..GatingPolicy::FULL },
+                GatingPolicy {
+                    vpu_on: false,
+                    ..GatingPolicy::FULL
+                },
                 ctx.core,
                 ctx.ledger,
             );
@@ -168,13 +192,29 @@ pub struct ManagedSet {
 
 impl ManagedSet {
     /// All three units managed (the full PowerChop system).
-    pub const ALL: ManagedSet = ManagedSet { vpu: true, bpu: true, mlc: true };
+    pub const ALL: ManagedSet = ManagedSet {
+        vpu: true,
+        bpu: true,
+        mlc: true,
+    };
     /// Only the VPU managed.
-    pub const VPU_ONLY: ManagedSet = ManagedSet { vpu: true, bpu: false, mlc: false };
+    pub const VPU_ONLY: ManagedSet = ManagedSet {
+        vpu: true,
+        bpu: false,
+        mlc: false,
+    };
     /// Only the BPU managed.
-    pub const BPU_ONLY: ManagedSet = ManagedSet { vpu: false, bpu: true, mlc: false };
+    pub const BPU_ONLY: ManagedSet = ManagedSet {
+        vpu: false,
+        bpu: true,
+        mlc: false,
+    };
     /// Only the MLC managed.
-    pub const MLC_ONLY: ManagedSet = ManagedSet { vpu: false, bpu: false, mlc: true };
+    pub const MLC_ONLY: ManagedSet = ManagedSet {
+        vpu: false,
+        bpu: false,
+        mlc: true,
+    };
 
     /// Forces unmanaged units to their fully-powered state.
     #[must_use]
@@ -182,7 +222,11 @@ impl ManagedSet {
         GatingPolicy {
             vpu_on: policy.vpu_on || !self.vpu,
             bpu_on: policy.bpu_on || !self.bpu,
-            mlc: if self.mlc { policy.mlc } else { powerchop_uarch::cache::MlcWayState::Full },
+            mlc: if self.mlc {
+                policy.mlc
+            } else {
+                powerchop_uarch::cache::MlcWayState::Full
+            },
         }
     }
 }
@@ -213,7 +257,11 @@ impl DrowsyMlcManager {
     /// Creates a drowsy-MLC manager with the given drowse period.
     #[must_use]
     pub fn new(period_cycles: u64) -> Self {
-        DrowsyMlcManager { period_cycles: period_cycles.max(1), last_drowse: 0, drowse_events: 0 }
+        DrowsyMlcManager {
+            period_cycles: period_cycles.max(1),
+            last_drowse: 0,
+            drowse_events: 0,
+        }
     }
 
     /// Number of global drowse events so far.
@@ -303,7 +351,11 @@ pub struct PowerChopManager {
     htb: HotTranslationBuffer,
     pvt: PolicyVectorTable,
     cde: Cde,
+    guard: DegradationGuard,
     window_count: u32,
+    /// Global index of the last processed window (drives the guard's
+    /// backoff timers).
+    window_index: u64,
     window_start_stats: CoreStats,
     /// Signature whose profiling window is the one currently executing,
     /// plus the policy to fall back to if the phase proves transient.
@@ -326,7 +378,9 @@ impl PowerChopManager {
             )
             .with_extended_mlc_states(cfg.extended_mlc_states),
             cfg,
+            guard: DegradationGuard::default(),
             window_count: 0,
+            window_index: 0,
             window_start_stats: CoreStats::default(),
             armed: None,
             record_windows,
@@ -355,7 +409,20 @@ impl PowerChopManager {
         let now_stats = ctx.core.stats();
         let profile = WindowProfile::from_delta(&now_stats, &self.window_start_stats);
         self.window_start_stats = now_stats;
-        if !signature.is_empty() {
+        if !DegradationGuard::profile_is_sane(&profile) {
+            // The measurement is garbage (counter corruption, a flush
+            // mid-window): drop it before it reaches the CDE and fail
+            // safe for the window.
+            self.guard.on_bad_profile();
+            if let Some((armed_sig, resume)) = self.armed.take() {
+                self.cde.discard_profile(armed_sig, resume);
+            }
+            ctx.controller.apply(
+                self.cfg.managed.mask(GatingPolicy::FULL),
+                ctx.core,
+                ctx.ledger,
+            );
+        } else if !signature.is_empty() {
             self.process_window(signature, profile, ctx);
         }
         if let Some(counts) = counts {
@@ -375,11 +442,25 @@ impl PowerChopManager {
         profile: WindowProfile,
         ctx: &mut ManagerCtx<'_>,
     ) {
+        self.window_index += 1;
+
+        // A pinned phase bypasses Algorithm 1 entirely: the watchdog or
+        // the backoff budget decided it cannot be trusted with gating.
+        if let Some(pin) = self.guard.pinned(signature) {
+            if let Some((armed_sig, resume)) = self.armed.take() {
+                self.cde.discard_profile(armed_sig, resume);
+            }
+            ctx.controller
+                .apply(self.cfg.managed.mask(pin), ctx.core, ctx.ledger);
+            return;
+        }
+
         // The PVT is looked up by hardware at every window boundary; any
         // miss interrupts into the CDE software handler (Algorithm 1).
         let lookup = self.pvt.lookup(signature);
         if lookup.is_none() {
-            ctx.nucleus.raise(ctx.core, self.cfg.pvt_miss_handler_cycles);
+            ctx.nucleus
+                .raise(ctx.core, self.cfg.pvt_miss_handler_cycles);
         }
 
         // A profiling measurement was armed for the window that just
@@ -400,13 +481,23 @@ impl PowerChopManager {
                     decided = self.cde.on_profile_window(signature, profile);
                 }
                 if let Some(policy) = decided {
+                    // Oscillation watchdog: a phase that keeps re-deciding
+                    // different policies pays switch costs on every flip,
+                    // so it gets pinned to the fail-safe instead.
+                    if let Some(pin) = self.guard.observe_decision(signature, policy) {
+                        self.pvt.invalidate(signature);
+                        ctx.controller
+                            .apply(self.cfg.managed.mask(pin), ctx.core, ctx.ledger);
+                        return;
+                    }
                     // Profiling complete: register and enact.
                     if let Some((evicted_sig, _)) = self.pvt.register(signature, policy) {
                         // Evicted entries live on in the CDE's store; it
                         // already holds every decided phase.
                         debug_assert!(self.cde.record(evicted_sig).is_some());
                     }
-                    ctx.controller.apply(self.cfg.managed.mask(policy), ctx.core, ctx.ledger);
+                    ctx.controller
+                        .apply(self.cfg.managed.mask(policy), ctx.core, ctx.ledger);
                 } else {
                     // More profiling. The MLC runs fully powered so hit
                     // counters are meaningful and the BPU is set per
@@ -428,8 +519,50 @@ impl PowerChopManager {
         }
 
         if let Some(policy) = lookup {
+            // Scrubbing: the PVT is small exposed hardware, so a hit is
+            // cross-checked against the CDE's memory-backed store. A
+            // disagreement means the entry took a soft error — purge it
+            // and fail safe; the store re-registers it on the next miss.
+            if let Some(crate::cde::PhaseRecord::Decided(expected)) = self.cde.record(signature) {
+                if expected != policy {
+                    self.pvt.invalidate(signature);
+                    self.guard.on_anomaly(signature, self.window_index);
+                    ctx.controller.apply(
+                        self.cfg.managed.mask(GatingPolicy::FULL),
+                        ctx.core,
+                        ctx.ledger,
+                    );
+                    return;
+                }
+            }
+            // A policy that starves a unit the phase measurably leans on
+            // is clearly stale (the workload was perturbed): forget the
+            // phase so it re-profiles, after a backed-off fail-safe wait.
+            if DegradationGuard::policy_contradicts(policy, &profile) {
+                self.pvt.invalidate(signature);
+                self.cde.forget(signature);
+                self.guard.on_anomaly(signature, self.window_index);
+                ctx.controller.apply(
+                    self.cfg.managed.mask(GatingPolicy::FULL),
+                    ctx.core,
+                    ctx.ledger,
+                );
+                return;
+            }
             // PVT hit: hardware applies the stored policy directly.
-            ctx.controller.apply(self.cfg.managed.mask(policy), ctx.core, ctx.ledger);
+            ctx.controller
+                .apply(self.cfg.managed.mask(policy), ctx.core, ctx.ledger);
+            return;
+        }
+
+        // A phase inside its post-anomaly backoff runs fail-safe; it may
+        // not re-enter profiling until the backoff expires.
+        if self.guard.deferred(signature, self.window_index) {
+            ctx.controller.apply(
+                self.cfg.managed.mask(GatingPolicy::FULL),
+                ctx.core,
+                ctx.ledger,
+            );
             return;
         }
 
@@ -440,7 +573,8 @@ impl PowerChopManager {
         if let Some(policy) = self.cde.on_pvt_miss(signature, needs_warmup) {
             // Capacity miss: re-register the stored policy.
             self.pvt.register(signature, policy);
-            ctx.controller.apply(self.cfg.managed.mask(policy), ctx.core, ctx.ledger);
+            ctx.controller
+                .apply(self.cfg.managed.mask(policy), ctx.core, ctx.ledger);
         } else {
             // Compulsory miss: profile the next window.
             let resume = ctx.controller.current();
@@ -505,6 +639,35 @@ impl PowerManager for PowerChopManager {
     fn take_window_records(&mut self) -> Vec<WindowRecord> {
         std::mem::take(&mut self.records)
     }
+
+    fn on_fault(&mut self, kind: FaultKind, payload: u64, ctx: &mut ManagerCtx<'_>) {
+        match kind {
+            FaultKind::ContextSwitch => {
+                // The HTB tracks the departing process: its window dies
+                // with the switch, and an armed profiling measurement is
+                // polluted by whatever ran in between.
+                self.htb.flush();
+                self.window_count = 0;
+                self.window_start_stats = ctx.core.stats();
+                if let Some((sig, resume)) = self.armed.take() {
+                    self.cde.discard_profile(sig, resume);
+                    ctx.controller
+                        .apply(self.cfg.managed.mask(resume), ctx.core, ctx.ledger);
+                }
+            }
+            FaultKind::PvtCorruption => {
+                self.pvt.corrupt_entry(payload);
+            }
+            FaultKind::PvtEviction => {
+                self.pvt.evict_forced(payload);
+            }
+            _ => {}
+        }
+    }
+
+    fn degrade_stats(&self) -> Option<DegradeStats> {
+        Some(self.guard.stats())
+    }
 }
 
 #[cfg(test)]
@@ -537,13 +700,14 @@ mod tests {
                 // Advance time so windows are distinguishable.
                 parts.0.add_stall(1);
                 let id = ids[((w * per_window + i) as usize) % ids.len()];
-                let (core, ledger, controller, nucleus) = (
-                    &mut parts.0,
-                    &mut parts.1,
-                    &mut parts.2,
-                    &mut parts.3,
-                );
-                let mut ctx = ManagerCtx { core, ledger, controller, nucleus };
+                let (core, ledger, controller, nucleus) =
+                    (&mut parts.0, &mut parts.1, &mut parts.2, &mut parts.3);
+                let mut ctx = ManagerCtx {
+                    core,
+                    ledger,
+                    controller,
+                    nucleus,
+                };
                 mgr.on_translation(TranslationId(id), 10, &mut ctx);
             }
         }
@@ -621,8 +785,12 @@ mod tests {
 
         // A vector op arrives: wakes up.
         let vstep = {
-            let v = powerchop_gisa::VReg::new(0).unwrap();
-            let inst = powerchop_gisa::Inst::Vadd { vd: v, vs: v, vt: v };
+            let v = powerchop_gisa::VReg::new(0).expect("register index in range");
+            let inst = powerchop_gisa::Inst::Vadd {
+                vd: v,
+                vs: v,
+                vt: v,
+            };
             powerchop_gisa::StepInfo {
                 pc: powerchop_gisa::Pc(0),
                 inst,
@@ -654,15 +822,23 @@ mod tests {
         let mut mgr = DrowsyMlcManager::new(1_000);
 
         // Touch some MLC lines so there is state to drowse.
-        let r = powerchop_gisa::Reg::new(0).unwrap();
+        let r = powerchop_gisa::Reg::new(0).expect("register index in range");
         for i in 0..200u64 {
-            let inst = powerchop_gisa::Inst::Load { rd: r, rs: r, imm: 0 };
+            let inst = powerchop_gisa::Inst::Load {
+                rd: r,
+                rs: r,
+                imm: 0,
+            };
             let step = powerchop_gisa::StepInfo {
                 pc: powerchop_gisa::Pc(0),
                 inst,
                 class: inst.class(),
                 next_pc: powerchop_gisa::Pc(1),
-                mem: Some(powerchop_gisa::MemAccess { addr: i * 4096, size: 8, is_store: false }),
+                mem: Some(powerchop_gisa::MemAccess {
+                    addr: i * 4096,
+                    size: 8,
+                    is_store: false,
+                }),
                 branch: None,
             };
             core.on_step(&step, powerchop_uarch::core::ExecMode::Translated);
@@ -678,13 +854,21 @@ mod tests {
         mgr.on_translation(TranslationId(1), 10, &mut ctx);
         assert_eq!(mgr.drowse_events(), 1);
         // Re-touching a drowsed line costs a wake.
-        let inst = powerchop_gisa::Inst::Load { rd: r, rs: r, imm: 0 };
+        let inst = powerchop_gisa::Inst::Load {
+            rd: r,
+            rs: r,
+            imm: 0,
+        };
         let step = powerchop_gisa::StepInfo {
             pc: powerchop_gisa::Pc(0),
             inst,
             class: inst.class(),
             next_pc: powerchop_gisa::Pc(1),
-            mem: Some(powerchop_gisa::MemAccess { addr: 0, size: 8, is_store: false }),
+            mem: Some(powerchop_gisa::MemAccess {
+                addr: 0,
+                size: 8,
+                is_store: false,
+            }),
             branch: None,
         };
         core.on_step(&step, powerchop_uarch::core::ExecMode::Translated);
@@ -696,7 +880,12 @@ mod tests {
         let mut parts = ctx_parts();
         let (core, ledger, controller, nucleus) =
             (&mut parts.0, &mut parts.1, &mut parts.2, &mut parts.3);
-        let mut ctx = ManagerCtx { core, ledger, controller, nucleus };
+        let mut ctx = ManagerCtx {
+            core,
+            ledger,
+            controller,
+            nucleus,
+        };
         MinimalPowerManager.init(&mut ctx);
         assert_eq!(parts.2.current(), GatingPolicy::MINIMAL);
     }

@@ -40,7 +40,10 @@ impl PhaseSignature {
     /// The translation IDs in the signature (ascending; excludes empty
     /// slots).
     pub fn ids(&self) -> impl Iterator<Item = TranslationId> + '_ {
-        self.ids.iter().filter(|id| **id != u32::MAX).map(|id| TranslationId(*id))
+        self.ids
+            .iter()
+            .filter(|id| **id != u32::MAX)
+            .map(|id| TranslationId(*id))
     }
 
     /// Number of translation IDs present.

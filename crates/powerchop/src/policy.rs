@@ -19,17 +19,37 @@ pub struct GatingPolicy {
 
 impl GatingPolicy {
     /// Everything fully powered (performance baseline).
-    pub const FULL: GatingPolicy =
-        GatingPolicy { vpu_on: true, bpu_on: true, mlc: MlcWayState::Full };
+    pub const FULL: GatingPolicy = GatingPolicy {
+        vpu_on: true,
+        bpu_on: true,
+        mlc: MlcWayState::Full,
+    };
 
     /// Everything in its lowest-power state (power floor).
-    pub const MINIMAL: GatingPolicy =
-        GatingPolicy { vpu_on: false, bpu_on: false, mlc: MlcWayState::One };
+    pub const MINIMAL: GatingPolicy = GatingPolicy {
+        vpu_on: false,
+        bpu_on: false,
+        mlc: MlcWayState::One,
+    };
 
     /// The 4-bit PVT encoding: `V | B << 1 | M << 2`.
     #[must_use]
     pub fn bits(self) -> u8 {
         u8::from(self.vpu_on) | (u8::from(self.bpu_on) << 1) | (self.mlc.policy_bits() << 2)
+    }
+
+    /// Decodes a 4-bit PVT policy field (inverse of [`GatingPolicy::bits`];
+    /// only the low 4 bits are read). Every nibble decodes to *some*
+    /// policy, which is what makes bit-flip corruption of a PVT entry
+    /// silent at the hardware level — detection is the job of the
+    /// criticality layer's anomaly checks, not the decoder.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> GatingPolicy {
+        GatingPolicy {
+            vpu_on: bits & 0b1 != 0,
+            bpu_on: bits & 0b10 != 0,
+            mlc: MlcWayState::from_policy_bits(bits >> 2),
+        }
     }
 
     /// Storage bits of one PVT policy field (paper Fig. 6b: 4 bits).
@@ -61,11 +81,40 @@ mod tests {
         for vpu_on in [false, true] {
             for bpu_on in [false, true] {
                 for mlc in [MlcWayState::One, MlcWayState::Half, MlcWayState::Full] {
-                    let p = GatingPolicy { vpu_on, bpu_on, mlc };
+                    let p = GatingPolicy {
+                        vpu_on,
+                        bpu_on,
+                        mlc,
+                    };
                     assert!(seen.insert(p.bits()), "duplicate encoding for {p}");
                     assert!(p.bits() < 16, "must fit the 4-bit PVT field");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip_through_from_bits() {
+        for vpu_on in [false, true] {
+            for bpu_on in [false, true] {
+                for mlc in [
+                    MlcWayState::One,
+                    MlcWayState::Quarter,
+                    MlcWayState::Half,
+                    MlcWayState::Full,
+                ] {
+                    let p = GatingPolicy {
+                        vpu_on,
+                        bpu_on,
+                        mlc,
+                    };
+                    assert_eq!(GatingPolicy::from_bits(p.bits()), p);
+                }
+            }
+        }
+        // Every nibble decodes to something (corruption never traps).
+        for nibble in 0u8..16 {
+            let _ = GatingPolicy::from_bits(nibble);
         }
     }
 

@@ -68,14 +68,13 @@ pub struct PolicyVectorTable {
 }
 
 impl PolicyVectorTable {
-    /// Creates a PVT with `capacity` entries.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// Creates a PVT with `capacity` entries. A zero capacity is clamped
+    /// to one entry: the management layer must stay panic-free under any
+    /// configuration, and a one-entry table is the nearest well-defined
+    /// neighbour of a degenerate request.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "PVT capacity must be positive");
+        let capacity = capacity.max(1);
         PolicyVectorTable {
             entries: Vec::with_capacity(capacity),
             capacity,
@@ -137,8 +136,66 @@ impl PolicyVectorTable {
             self.stats.evictions += 1;
             evicted = Some((victim.signature, victim.policy));
         }
-        self.entries.push(Entry { signature, policy, referenced: true });
+        self.entries.push(Entry {
+            signature,
+            policy,
+            referenced: true,
+        });
         evicted
+    }
+
+    /// Removes the entry for `signature`, if present. Used by the
+    /// degradation layer to purge a policy that contradicted observed
+    /// behaviour, forcing the next occurrence of the phase back through
+    /// the CDE.
+    pub fn invalidate(&mut self, signature: PhaseSignature) -> bool {
+        let Some(pos) = self.entries.iter().position(|e| e.signature == signature) else {
+            return false;
+        };
+        self.entries.remove(pos);
+        if self.clock_hand >= self.entries.len() {
+            self.clock_hand = 0;
+        }
+        true
+    }
+
+    /// Fault hook: overwrites one resident entry's 4-bit policy field
+    /// with bits carved from `payload` (a soft-error model — signatures
+    /// are assumed parity-protected, the policy nibble is not). Returns
+    /// the affected signature with its old and new policies, or `None`
+    /// when the table is empty or the flip was a no-op.
+    pub fn corrupt_entry(
+        &mut self,
+        payload: u64,
+    ) -> Option<(PhaseSignature, GatingPolicy, GatingPolicy)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let slot = (payload as usize) % self.entries.len();
+        let e = &mut self.entries[slot];
+        let old = e.policy;
+        let new = GatingPolicy::from_bits(old.bits() ^ (((payload >> 32) as u8 & 0xF) | 1));
+        e.policy = new;
+        if new == old {
+            return None;
+        }
+        Some((e.signature, old, new))
+    }
+
+    /// Fault hook: force-evicts one resident entry selected by `payload`
+    /// (models table pressure from a co-runner or a hypervisor state
+    /// snapshot). Returns the victim, or `None` on an empty table.
+    pub fn evict_forced(&mut self, payload: u64) -> Option<(PhaseSignature, GatingPolicy)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let slot = (payload as usize) % self.entries.len();
+        let victim = self.entries.remove(slot);
+        if self.clock_hand >= self.entries.len() {
+            self.clock_hand = 0;
+        }
+        self.stats.evictions += 1;
+        Some((victim.signature, victim.policy))
     }
 
     /// Number of resident entries.
@@ -195,9 +252,8 @@ impl PolicyVectorTable {
         }
         // Policy nibbles, two per byte.
         for pair in (0..self.capacity).step_by(2) {
-            let nibble = |slot: usize| -> u8 {
-                self.entries.get(slot).map_or(0, |e| e.policy.bits())
-            };
+            let nibble =
+                |slot: usize| -> u8 { self.entries.get(slot).map_or(0, |e| e.policy.bits()) };
             image.push(nibble(pair) | (nibble(pair + 1) << 4));
         }
         image
@@ -288,8 +344,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity")]
-    fn zero_capacity_rejected() {
-        let _ = PolicyVectorTable::new(0);
+    fn zero_capacity_clamps_to_one_entry() {
+        let mut pvt = PolicyVectorTable::new(0);
+        pvt.register(sig(1), GatingPolicy::FULL);
+        assert_eq!(pvt.len(), 1);
+        let evicted = pvt.register(sig(2), GatingPolicy::MINIMAL);
+        assert!(evicted.is_some());
+        assert_eq!(pvt.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_entry_changes_stored_policy() {
+        let mut pvt = PolicyVectorTable::new(4);
+        assert!(
+            pvt.corrupt_entry(7).is_none(),
+            "empty table: nothing to corrupt"
+        );
+        pvt.register(sig(1), GatingPolicy::FULL);
+        let (signature, old, new) = pvt.corrupt_entry(0).expect("one entry resident");
+        assert_eq!(signature, sig(1));
+        assert_eq!(old, GatingPolicy::FULL);
+        assert_ne!(new, old);
+        assert_eq!(pvt.lookup(sig(1)), Some(new));
+    }
+
+    #[test]
+    fn evict_forced_removes_selected_entry() {
+        let mut pvt = PolicyVectorTable::new(4);
+        assert!(pvt.evict_forced(3).is_none());
+        pvt.register(sig(1), GatingPolicy::FULL);
+        pvt.register(sig(2), GatingPolicy::MINIMAL);
+        let (victim, _) = pvt.evict_forced(0).expect("two entries resident");
+        assert_eq!(pvt.len(), 1);
+        assert!(pvt.lookup(victim).is_none());
+        assert_eq!(pvt.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_purges_only_the_named_signature() {
+        let mut pvt = PolicyVectorTable::new(4);
+        pvt.register(sig(1), GatingPolicy::FULL);
+        pvt.register(sig(2), GatingPolicy::MINIMAL);
+        assert!(pvt.invalidate(sig(1)));
+        assert!(!pvt.invalidate(sig(1)), "already gone");
+        assert!(pvt.lookup(sig(1)).is_none());
+        assert_eq!(pvt.lookup(sig(2)), Some(GatingPolicy::MINIMAL));
     }
 }

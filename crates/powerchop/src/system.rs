@@ -5,12 +5,15 @@
 
 use powerchop_bt::nucleus::{Nucleus, NucleusStats};
 use powerchop_bt::{BtConfig, BtStats, Machine, MachineEvent};
-use powerchop_gisa::{GisaError, Program};
+use powerchop_faults::{FaultConfig, FaultKind, FaultSchedule, FaultStats};
+use powerchop_gisa::Program;
 use powerchop_power::{EnergyLedger, EnergyReport, PowerParams};
 use powerchop_uarch::config::{CoreConfig, CoreKind};
 use powerchop_uarch::core::{CoreModel, CoreStats};
 
 use crate::cde::CdeStats;
+use crate::degrade::DegradeStats;
+use crate::error::SimError;
 use crate::gating::{GatedCycles, GatingController, SwitchCounts};
 use crate::managers::{
     ChopConfig, DrowsyMlcManager, FullPowerManager, ManagerCtx, MinimalPowerManager,
@@ -57,6 +60,8 @@ pub struct RunConfig {
     /// Record per-window phase-identification data (Fig. 8). Off by
     /// default; costs memory proportional to windows executed.
     pub record_windows: bool,
+    /// Deterministic fault injection (stress testing). `None` runs clean.
+    pub faults: Option<FaultConfig>,
 }
 
 impl RunConfig {
@@ -72,7 +77,34 @@ impl RunConfig {
             chop: ChopConfig::default(),
             max_instructions: default_budget(),
             record_windows: false,
+            faults: None,
         }
+    }
+
+    /// Validates the configuration, naming the first unusable field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when a field has a value the
+    /// simulation cannot run under.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.max_instructions == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "max_instructions",
+                reason: "must be greater than zero",
+            });
+        }
+        if let Some(f) = &self.faults {
+            if !f.region_invalidate_fraction.is_finite()
+                || !(0.0..=1.0).contains(&f.region_invalidate_fraction)
+            {
+                return Err(SimError::InvalidConfig {
+                    field: "faults.region_invalidate_fraction",
+                    reason: "must be a finite fraction in [0, 1]",
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -116,6 +148,10 @@ pub struct RunReport {
     pub cde: Option<CdeStats>,
     /// Per-window phase records, when requested.
     pub windows: Vec<WindowRecord>,
+    /// Injected-fault counts (fault-injection runs only).
+    pub faults: Option<FaultStats>,
+    /// Graceful-degradation activity (managers with a guard only).
+    pub degrade: Option<DegradeStats>,
 }
 
 impl RunReport {
@@ -195,23 +231,26 @@ fn build_manager(kind: ManagerKind, cfg: &RunConfig) -> Box<dyn PowerManager> {
         ManagerKind::TimeoutVpu { timeout_cycles } => {
             Box::new(TimeoutVpuManager::new(timeout_cycles))
         }
-        ManagerKind::DrowsyMlc { period_cycles } => {
-            Box::new(DrowsyMlcManager::new(period_cycles))
-        }
+        ManagerKind::DrowsyMlc { period_cycles } => Box::new(DrowsyMlcManager::new(period_cycles)),
     }
 }
 
-/// Runs `program` under the chosen power manager.
+/// Runs `program` under the chosen power manager, optionally under a
+/// deterministic fault schedule (`cfg.faults`).
 ///
 /// # Errors
 ///
-/// Propagates guest-execution faults, which indicate a bug in the guest
-/// program.
+/// Returns [`SimError::Guest`] for guest-execution faults (a bug in the
+/// guest program) and [`SimError::InvalidConfig`] for configurations the
+/// simulation cannot run under. Injected faults never produce errors:
+/// absorbing them — at worst by failing safe to full power — is the
+/// degradation layer's contract.
 pub fn run_program(
     program: &Program,
     kind: ManagerKind,
     cfg: &RunConfig,
-) -> Result<RunReport, GisaError> {
+) -> Result<RunReport, SimError> {
+    cfg.validate()?;
     let mut core = CoreModel::new(&cfg.core);
     let mut ledger = EnergyLedger::new(cfg.power.clone());
     // The timeout baseline gates the power state only (vector ops wake
@@ -233,6 +272,8 @@ pub fn run_program(
         manager.init(&mut ctx);
     }
 
+    let mut schedule = cfg.faults.map(FaultSchedule::new);
+
     loop {
         if machine.retired() >= cfg.max_instructions {
             break;
@@ -249,6 +290,50 @@ pub fn run_program(
                 manager.on_translation(id, instructions, &mut ctx);
             }
             _ => {}
+        }
+        if let Some(sched) = schedule.as_mut() {
+            let fcfg = *sched.config();
+            while let Some(event) = sched.next_due(core.cycles()) {
+                match event.kind {
+                    FaultKind::AsyncInterrupt => {
+                        // A device interrupt runs its handler in the
+                        // nucleus, stealing cycles from the guest.
+                        let cycles = jittered(event.payload, fcfg.interrupt_handler_cycles);
+                        nucleus.raise(&mut core, cycles);
+                    }
+                    FaultKind::ContextSwitch => {
+                        // The OS scheduled another process: the machine's
+                        // per-process heat decays and the manager's
+                        // window state dies with it.
+                        machine.on_context_switch();
+                        core.add_stall(fcfg.context_switch_cycles.max(1));
+                        let mut ctx = ManagerCtx {
+                            core: &mut core,
+                            ledger: &mut ledger,
+                            controller: &mut controller,
+                            nucleus: &mut nucleus,
+                        };
+                        manager.on_fault(event.kind, event.payload, &mut ctx);
+                    }
+                    FaultKind::RegionCacheInvalidation => {
+                        machine.invalidate_regions(fcfg.region_invalidate_fraction, event.payload);
+                    }
+                    FaultKind::PvtCorruption | FaultKind::PvtEviction => {
+                        let mut ctx = ManagerCtx {
+                            core: &mut core,
+                            ledger: &mut ledger,
+                            controller: &mut controller,
+                            nucleus: &mut nucleus,
+                        };
+                        manager.on_fault(event.kind, event.payload, &mut ctx);
+                    }
+                    FaultKind::WorkloadPerturbation => {
+                        // A co-runner (or DVFS excursion) steals the core
+                        // for a while without touching any state.
+                        core.add_stall(jittered(event.payload, fcfg.perturb_stall_cycles));
+                    }
+                }
+            }
         }
     }
     controller.sync(&core, &mut ledger);
@@ -268,7 +353,16 @@ pub fn run_program(
         pvt: manager.pvt_stats(),
         cde: manager.cde_stats(),
         windows: manager.take_window_records(),
+        faults: schedule.as_ref().map(FaultSchedule::stats),
+        degrade: manager.degrade_stats(),
     })
+}
+
+/// A payload-jittered fault magnitude in `[mean/2, mean)`, never zero.
+fn jittered(payload: u64, mean: u64) -> u64 {
+    let mean = mean.max(1);
+    let half = mean / 2;
+    (half + payload % (mean - half).max(1)).max(1)
 }
 
 #[cfg(test)]
@@ -278,9 +372,9 @@ mod tests {
 
     /// A long predictable scalar loop: every managed unit is non-critical.
     fn idle_units_program(iters: i64) -> Program {
-        let r0 = Reg::new(0).unwrap();
-        let r1 = Reg::new(1).unwrap();
-        let r2 = Reg::new(2).unwrap();
+        let r0 = Reg::new(0).expect("register index in range");
+        let r1 = Reg::new(1).expect("register index in range");
+        let r2 = Reg::new(2).expect("register index in range");
         let mut b = ProgramBuilder::new("idle-units");
         b.li(r0, 0).li(r1, iters);
         let top = b.bind_label();
@@ -289,7 +383,7 @@ mod tests {
         b.addi(r0, r0, 1);
         b.blt(r0, r1, top);
         b.halt();
-        b.build().unwrap()
+        b.build().expect("test program is well-formed")
     }
 
     fn cfg() -> RunConfig {
@@ -302,13 +396,25 @@ mod tests {
     fn powerchop_gates_noncritical_units_with_small_slowdown() {
         let p = idle_units_program(1_000_000);
         let cfg = cfg();
-        let full = run_program(&p, ManagerKind::FullPower, &cfg).unwrap();
-        let chop = run_program(&p, ManagerKind::PowerChop, &cfg).unwrap();
+        let full = run_program(&p, ManagerKind::FullPower, &cfg).expect("test run succeeds");
+        let chop = run_program(&p, ManagerKind::PowerChop, &cfg).expect("test run succeeds");
 
         // Units gated for the bulk of execution.
-        assert!(chop.gated.vpu_off_frac() > 0.8, "vpu: {}", chop.gated.vpu_off_frac());
-        assert!(chop.gated.bpu_off_frac() > 0.8, "bpu: {}", chop.gated.bpu_off_frac());
-        assert!(chop.gated.mlc_one_frac() > 0.8, "mlc: {}", chop.gated.mlc_one_frac());
+        assert!(
+            chop.gated.vpu_off_frac() > 0.8,
+            "vpu: {}",
+            chop.gated.vpu_off_frac()
+        );
+        assert!(
+            chop.gated.bpu_off_frac() > 0.8,
+            "bpu: {}",
+            chop.gated.bpu_off_frac()
+        );
+        assert!(
+            chop.gated.mlc_one_frac() > 0.8,
+            "mlc: {}",
+            chop.gated.mlc_one_frac()
+        );
 
         // Big leakage reduction, tiny slowdown.
         assert!(chop.leakage_reduction_vs(&full) > 0.3);
@@ -321,8 +427,8 @@ mod tests {
     fn minimal_power_is_cheapest_but_can_be_slow() {
         let p = idle_units_program(500_000);
         let cfg = cfg();
-        let full = run_program(&p, ManagerKind::FullPower, &cfg).unwrap();
-        let min = run_program(&p, ManagerKind::MinimalPower, &cfg).unwrap();
+        let full = run_program(&p, ManagerKind::FullPower, &cfg).expect("test run succeeds");
+        let min = run_program(&p, ManagerKind::MinimalPower, &cfg).expect("test run succeeds");
         assert!(min.energy.leakage_power_w < full.energy.leakage_power_w * 0.7);
         assert_eq!(min.switches.total(), 3, "one switch per unit at init");
     }
@@ -331,7 +437,7 @@ mod tests {
     fn reports_are_internally_consistent() {
         let p = idle_units_program(200_000);
         let cfg = cfg();
-        let r = run_program(&p, ManagerKind::PowerChop, &cfg).unwrap();
+        let r = run_program(&p, ManagerKind::PowerChop, &cfg).expect("test run succeeds");
         assert_eq!(r.manager, "powerchop");
         assert_eq!(r.core_kind, CoreKind::Server);
         assert!(r.ipc() > 0.0);
@@ -347,7 +453,7 @@ mod tests {
         let p = idle_units_program(500_000);
         let mut cfg = cfg();
         cfg.record_windows = true;
-        let r = run_program(&p, ManagerKind::PowerChop, &cfg).unwrap();
+        let r = run_program(&p, ManagerKind::PowerChop, &cfg).expect("test run succeeds");
         let pvt = r.pvt.unwrap();
         assert_eq!(r.windows.len() as u64, pvt.lookups);
         assert!(r.windows.len() > 10);
@@ -358,9 +464,69 @@ mod tests {
         let p = idle_units_program(100_000_000);
         let mut c = cfg();
         c.max_instructions = 100_000;
-        let r = run_program(&p, ManagerKind::FullPower, &c).unwrap();
+        let r = run_program(&p, ManagerKind::FullPower, &c).expect("test run succeeds");
         assert!(r.instructions >= 100_000);
         assert!(r.instructions < 110_000);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_before_running() {
+        let p = idle_units_program(1_000);
+        let mut c = cfg();
+        c.max_instructions = 0;
+        let err = run_program(&p, ManagerKind::FullPower, &c).expect_err("zero budget");
+        assert!(matches!(
+            err,
+            crate::SimError::InvalidConfig {
+                field: "max_instructions",
+                ..
+            }
+        ));
+
+        let mut c = cfg();
+        c.faults = Some(powerchop_faults::FaultConfig {
+            region_invalidate_fraction: f64::NAN,
+            ..powerchop_faults::FaultConfig::default_rates(1)
+        });
+        let err = run_program(&p, ManagerKind::PowerChop, &c).expect_err("NaN fraction");
+        assert!(matches!(err, crate::SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_counted() {
+        let p = idle_units_program(400_000);
+        let mut c = cfg();
+        c.max_instructions = 800_000;
+        c.faults = Some(powerchop_faults::FaultConfig::storm(0xFA11));
+        let a = run_program(&p, ManagerKind::PowerChop, &c).expect("faulted run succeeds");
+        let b = run_program(&p, ManagerKind::PowerChop, &c).expect("faulted run succeeds");
+        let fa = a.faults.expect("fault stats present");
+        assert_eq!(
+            fa,
+            b.faults.expect("fault stats present"),
+            "same seed, same faults"
+        );
+        assert_eq!(a.cycles, b.cycles, "identical timing");
+        assert_eq!(
+            a.energy.total_j.to_bits(),
+            b.energy.total_j.to_bits(),
+            "identical energy"
+        );
+        assert!(fa.total() > 0, "storm rates must fire: {fa:?}");
+        assert!(a.degrade.is_some(), "powerchop reports degradation stats");
+    }
+
+    #[test]
+    fn faulted_runs_stay_close_to_clean_performance() {
+        let p = idle_units_program(600_000);
+        let mut c = cfg();
+        c.max_instructions = 1_200_000;
+        let clean = run_program(&p, ManagerKind::PowerChop, &c).expect("clean run succeeds");
+        c.faults = Some(powerchop_faults::FaultConfig::default_rates(7));
+        let faulted = run_program(&p, ManagerKind::PowerChop, &c).expect("faulted run succeeds");
+        assert!(faulted.faults.expect("stats").total() > 0);
+        let slowdown = faulted.slowdown_vs(&clean);
+        assert!(slowdown < 0.10, "default fault rates cost {slowdown} IPC");
     }
 
     #[test]
@@ -369,7 +535,9 @@ mod tests {
         let cfg = cfg();
         let r = run_program(
             &p,
-            ManagerKind::TimeoutVpu { timeout_cycles: 10_000 },
+            ManagerKind::TimeoutVpu {
+                timeout_cycles: 10_000,
+            },
             &cfg,
         )
         .unwrap();

@@ -1,6 +1,5 @@
-//! Property-based tests for PowerChop's hardware structures and policies.
-
-use proptest::prelude::*;
+//! Property-based tests for PowerChop's hardware structures and policies,
+//! driven by the workspace's seeded harness (`powerchop_faults::check`).
 
 use powerchop::cde::{Cde, Thresholds, WindowProfile};
 use powerchop::htb::HotTranslationBuffer;
@@ -9,137 +8,223 @@ use powerchop::phase::PhaseSignature;
 use powerchop::policy::GatingPolicy;
 use powerchop::pvt::PolicyVectorTable;
 use powerchop_bt::TranslationId;
+use powerchop_faults::check::cases;
+use powerchop_faults::SimRng;
 use powerchop_uarch::cache::MlcWayState;
 
-fn arb_policy() -> impl Strategy<Value = GatingPolicy> {
-    (any::<bool>(), any::<bool>(), 0u8..3).prop_map(|(vpu_on, bpu_on, m)| GatingPolicy {
-        vpu_on,
-        bpu_on,
-        mlc: match m {
+fn arb_policy(rng: &mut SimRng) -> GatingPolicy {
+    GatingPolicy {
+        vpu_on: rng.gen_bool(0.5),
+        bpu_on: rng.gen_bool(0.5),
+        mlc: match rng.gen_range(3) {
             0 => MlcWayState::One,
             1 => MlcWayState::Half,
             _ => MlcWayState::Full,
         },
-    })
+    }
 }
 
-proptest! {
-    /// The phase signature is a pure function of the *set* of recorded
-    /// (id, weight) events — recording order never matters.
-    #[test]
-    fn htb_signature_is_order_independent(
-        mut events in prop::collection::vec((0u32..64, 1u64..100), 1..300),
-        seed in any::<u64>(),
-    ) {
+/// The phase signature is a pure function of the *set* of recorded
+/// (id, weight) events — recording order never matters.
+#[test]
+fn htb_signature_is_order_independent() {
+    cases("htb order independence", 256, |rng| {
+        let n = 1 + rng.gen_range(300) as usize;
+        let mut events: Vec<(u32, u64)> = (0..n)
+            .map(|_| (rng.gen_range(64) as u32, 1 + rng.gen_range(99)))
+            .collect();
         let mut a = HotTranslationBuffer::paper_default();
-        for (id, n) in &events {
-            a.record(TranslationId(*id), *n);
+        for (id, w) in &events {
+            a.record(TranslationId(*id), *w);
         }
-        // Deterministic shuffle from the seed.
-        let mut s = seed;
+        // Deterministic shuffle.
         for i in (1..events.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            events.swap(i, (s % (i as u64 + 1)) as usize);
+            let j = rng.gen_range(i as u64 + 1) as usize;
+            events.swap(i, j);
         }
         let mut b = HotTranslationBuffer::paper_default();
-        for (id, n) in &events {
-            b.record(TranslationId(*id), *n);
+        for (id, w) in &events {
+            b.record(TranslationId(*id), *w);
         }
-        prop_assert_eq!(a.signature(), b.signature());
-        prop_assert_eq!(a.count_vector(), b.count_vector());
-    }
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.count_vector(), b.count_vector());
+    });
+}
 
-    /// The signature always contains the single hottest translation.
-    #[test]
-    fn htb_signature_contains_the_hottest(
-        ids in prop::collection::vec(0u32..32, 1..100),
-    ) {
+/// The signature always contains the single hottest translation.
+#[test]
+fn htb_signature_contains_the_hottest() {
+    cases("htb hottest present", 256, |rng| {
         let mut htb = HotTranslationBuffer::paper_default();
-        for id in &ids {
-            htb.record(TranslationId(*id), 10);
+        for _ in 0..1 + rng.gen_range(100) {
+            htb.record(TranslationId(rng.gen_range(32) as u32), 10);
         }
         htb.record(TranslationId(999), 1_000_000);
         let sig_ids: Vec<_> = htb.signature().ids().collect();
-        prop_assert!(sig_ids.contains(&TranslationId(999)));
-    }
+        assert!(sig_ids.contains(&TranslationId(999)));
+    });
+}
 
-    /// PVT: after any interleaving of registers and lookups, a lookup of
-    /// the most recently registered signature always hits with the
-    /// registered policy (the clock sweep cannot evict the entry that was
-    /// just referenced).
-    #[test]
-    fn pvt_most_recent_registration_hits(
-        ops in prop::collection::vec((0u32..40, arb_policy()), 1..200),
-    ) {
-        let mut pvt = PolicyVectorTable::paper_default();
-        for (id, policy) in ops {
-            let sig = PhaseSignature::new(&[TranslationId(id)]);
-            pvt.register(sig, policy);
-            prop_assert_eq!(pvt.lookup(sig), Some(policy));
-            prop_assert!(pvt.len() <= 16);
+/// HTB under an eviction/flush storm: arbitrary interleavings of records,
+/// flushes and degenerate weights never panic, never exceed capacity, and
+/// signatures never exceed the configured length.
+#[test]
+fn htb_survives_record_flush_storms() {
+    cases("htb storm", 200, |rng| {
+        let capacity = rng.gen_range(20) as usize; // includes 0: clamped
+        let sig_len = rng.gen_range(8) as usize; // includes 0: clamped
+        let mut htb = HotTranslationBuffer::new(capacity, sig_len);
+        for _ in 0..500 {
+            match rng.gen_range(10) {
+                0 => htb.flush(),
+                1 => {
+                    htb.record(TranslationId(rng.next_u64() as u32), u64::MAX);
+                }
+                _ => {
+                    htb.record(TranslationId(rng.gen_range(64) as u32), rng.gen_range(1000));
+                }
+            }
+            assert!(htb.len() <= capacity.max(1));
+            assert!(htb.signature().ids().count() <= sig_len.max(1));
         }
-    }
+    });
+}
 
-    /// PVT stats: lookups = hits + misses, and evictions only happen at
-    /// capacity.
-    #[test]
-    fn pvt_stats_consistent(ids in prop::collection::vec(0u32..64, 1..300)) {
+/// PVT: after any interleaving of registers and lookups, a lookup of the
+/// most recently registered signature always hits with the registered
+/// policy (the clock sweep cannot evict the entry that was just
+/// referenced), and occupancy never exceeds capacity.
+#[test]
+fn pvt_most_recent_registration_hits() {
+    cases("pvt recent registration hits", 256, |rng| {
+        let mut pvt = PolicyVectorTable::paper_default();
+        for _ in 0..1 + rng.gen_range(200) {
+            let sig = PhaseSignature::new(&[TranslationId(rng.gen_range(40) as u32)]);
+            let policy = arb_policy(rng);
+            pvt.register(sig, policy);
+            assert_eq!(pvt.lookup(sig), Some(policy));
+            assert!(pvt.len() <= 16);
+        }
+    });
+}
+
+/// PVT stats: lookups = hits + misses, and they stay consistent across
+/// any interleaving of lookups and registrations.
+#[test]
+fn pvt_stats_consistent() {
+    cases("pvt stats consistent", 256, |rng| {
         let mut pvt = PolicyVectorTable::new(8);
-        for id in ids {
-            let sig = PhaseSignature::new(&[TranslationId(id)]);
+        for _ in 0..1 + rng.gen_range(300) {
+            let sig = PhaseSignature::new(&[TranslationId(rng.gen_range(64) as u32)]);
             if pvt.lookup(sig).is_none() {
                 pvt.register(sig, GatingPolicy::FULL);
             }
             let s = pvt.stats();
-            prop_assert_eq!(s.lookups, s.hits + s.misses());
+            assert_eq!(s.lookups, s.hits + s.misses());
         }
-    }
+    });
+}
 
-    /// The CDE decision is monotone in the VPU threshold: raising the
-    /// threshold can only gate the VPU off, never turn it on.
-    #[test]
-    fn cde_vpu_decision_monotone_in_threshold(
-        vec_ops in 0u64..2000,
-        insts in 2000u64..20000,
-        lo in 0.0f64..0.05,
-        hi_delta in 0.0f64..0.3,
-    ) {
+/// PVT under an injected corruption/eviction storm: interleaving normal
+/// traffic with `corrupt_entry`, `evict_forced` and `invalidate` never
+/// panics, never exceeds capacity, and every surviving entry still
+/// decodes to a valid policy (lookups return *some* 4-bit-decodable
+/// policy, the fail-safe layer's precondition).
+#[test]
+fn pvt_survives_corruption_and_eviction_storms() {
+    cases("pvt corruption storm", 200, |rng| {
+        let capacity = rng.gen_range(20) as usize; // includes 0: clamped
+        let mut pvt = PolicyVectorTable::new(capacity);
+        for _ in 0..400 {
+            let sig = PhaseSignature::new(&[TranslationId(rng.gen_range(32) as u32)]);
+            match rng.gen_range(10) {
+                0 | 1 => {
+                    pvt.corrupt_entry(rng.next_u64());
+                }
+                2 => {
+                    pvt.evict_forced(rng.next_u64());
+                }
+                3 => {
+                    pvt.invalidate(sig);
+                }
+                4..=6 => {
+                    pvt.register(sig, arb_policy(rng));
+                }
+                _ => {
+                    if let Some(policy) = pvt.lookup(sig) {
+                        assert_eq!(GatingPolicy::from_bits(policy.bits()), policy);
+                    }
+                }
+            }
+            assert!(pvt.len() <= capacity.max(1));
+        }
+    });
+}
+
+/// The CDE decision is monotone in the VPU threshold: raising the
+/// threshold can only gate the VPU off, never turn it on.
+#[test]
+fn cde_vpu_decision_monotone_in_threshold() {
+    cases("cde monotone threshold", 256, |rng| {
+        let vec_ops = rng.gen_range(2000);
+        let insts = 2000 + rng.gen_range(18_000);
+        let lo = rng.gen_f64() * 0.05;
+        let hi = lo + rng.gen_f64() * 0.3;
         let make = |thr: f64| {
-            let cde = Cde::new(Thresholds { vpu: thr, ..Thresholds::default() });
-            let w = WindowProfile { instructions: insts, vec_ops, ..WindowProfile::default() };
+            let cde = Cde::new(Thresholds {
+                vpu: thr,
+                ..Thresholds::default()
+            });
+            let w = WindowProfile {
+                instructions: insts,
+                vec_ops,
+                ..WindowProfile::default()
+            };
             cde.decide(&w, &w).vpu_on
         };
-        let low = make(lo);
-        let high = make(lo + hi_delta);
-        prop_assert!(low || !high, "raising the threshold cannot enable the VPU");
-    }
+        assert!(
+            make(lo) || !make(hi),
+            "raising the threshold cannot enable the VPU"
+        );
+    });
+}
 
-    /// Masking is idempotent and only ever powers units *on*.
-    #[test]
-    fn managed_set_mask_is_idempotent_and_monotone(
-        policy in arb_policy(),
-        vpu in any::<bool>(), bpu in any::<bool>(), mlc in any::<bool>(),
-    ) {
+/// Masking is idempotent and only ever powers units *on*.
+#[test]
+fn managed_set_mask_is_idempotent_and_monotone() {
+    cases("managed set mask", 256, |rng| {
+        let policy = arb_policy(rng);
+        let (vpu, bpu, mlc) = (rng.gen_bool(0.5), rng.gen_bool(0.5), rng.gen_bool(0.5));
         let set = ManagedSet { vpu, bpu, mlc };
         let masked = set.mask(policy);
-        prop_assert_eq!(set.mask(masked), masked, "mask must be idempotent");
-        prop_assert!(masked.vpu_on || !policy.vpu_on);
-        prop_assert!(masked.bpu_on || !policy.bpu_on);
-        prop_assert!(masked.mlc >= policy.mlc);
+        assert_eq!(set.mask(masked), masked, "mask must be idempotent");
+        assert!(masked.vpu_on || !policy.vpu_on);
+        assert!(masked.bpu_on || !policy.bpu_on);
+        assert!(masked.mlc >= policy.mlc);
         // Unmanaged units are forced fully on.
-        if !vpu { prop_assert!(masked.vpu_on); }
-        if !bpu { prop_assert!(masked.bpu_on); }
-        if !mlc { prop_assert_eq!(masked.mlc, MlcWayState::Full); }
-    }
+        if !vpu {
+            assert!(masked.vpu_on);
+        }
+        if !bpu {
+            assert!(masked.bpu_on);
+        }
+        if !mlc {
+            assert_eq!(masked.mlc, MlcWayState::Full);
+        }
+    });
+}
 
-    /// Policy bit encodings are stable and unique across all 12 states.
-    #[test]
-    fn policy_bits_roundtrip(policy in arb_policy()) {
+/// Policy bit encodings are stable, unique, and roundtrip through
+/// `from_bits` for every reachable policy.
+#[test]
+fn policy_bits_roundtrip() {
+    cases("policy bits roundtrip", 256, |rng| {
+        let policy = arb_policy(rng);
         let bits = policy.bits();
-        prop_assert!(bits < 16);
-        // Re-derive fields from the encoding.
-        prop_assert_eq!(bits & 1 != 0, policy.vpu_on);
-        prop_assert_eq!(bits & 2 != 0, policy.bpu_on);
-        prop_assert_eq!(bits >> 2, policy.mlc.policy_bits());
-    }
+        assert!(bits < 16);
+        assert_eq!(bits & 1 != 0, policy.vpu_on);
+        assert_eq!(bits & 2 != 0, policy.bpu_on);
+        assert_eq!(bits >> 2, policy.mlc.policy_bits());
+        assert_eq!(GatingPolicy::from_bits(bits), policy);
+    });
 }

@@ -50,7 +50,10 @@ fn pvt_capacity_misses_reregister_from_the_cde_store() {
     let pvt = report.pvt.unwrap();
     let cde = report.cde.unwrap();
     assert!(pvt.evictions > 0, "24 phases must overflow a 16-entry PVT");
-    assert!(cde.reregistered > 0, "evicted phases must re-register on recurrence");
+    assert!(
+        cde.reregistered > 0,
+        "evicted phases must re-register on recurrence"
+    );
     assert!(
         cde.new_phases >= 24,
         "each distinct loop is (at least) one phase: {}",
@@ -71,8 +74,7 @@ fn extended_mlc_states_run_end_to_end() {
     let report = run_program(&program, ManagerKind::PowerChop, &c).unwrap();
     // The run completes and accounts quarter-state time separately.
     assert_eq!(
-        report.gated.total,
-        report.cycles,
+        report.gated.total, report.cycles,
         "quarter cycles must be part of the accounted total"
     );
 }
@@ -115,10 +117,22 @@ fn drowsy_period_sweep_is_monotone_in_wakes() {
     let program = b.program(powerchop_workloads::Scale(0.15));
     let mut c = cfg();
     c.max_instructions = 1_500_000;
-    let frequent = run_program(&program, ManagerKind::DrowsyMlc { period_cycles: 1_000 }, &c)
-        .unwrap();
-    let rare = run_program(&program, ManagerKind::DrowsyMlc { period_cycles: 100_000 }, &c)
-        .unwrap();
+    let frequent = run_program(
+        &program,
+        ManagerKind::DrowsyMlc {
+            period_cycles: 1_000,
+        },
+        &c,
+    )
+    .unwrap();
+    let rare = run_program(
+        &program,
+        ManagerKind::DrowsyMlc {
+            period_cycles: 100_000,
+        },
+        &c,
+    )
+    .unwrap();
     assert!(
         frequent.stats.mlc_drowsy_wakes > rare.stats.mlc_drowsy_wakes,
         "drowsing more often must wake more lines: {} vs {}",

@@ -35,7 +35,10 @@ struct Btb {
 impl Btb {
     fn new(entries: u32) -> Self {
         let n = entries.next_power_of_two() as usize;
-        Btb { entries: vec![None; n], mask: n - 1 }
+        Btb {
+            entries: vec![None; n],
+            mask: n - 1,
+        }
     }
 
     fn lookup(&self, pc: u32) -> Option<u32> {
@@ -135,7 +138,10 @@ impl Tournament {
         let global_correct = predicts_taken(self.global[gi]) == taken;
         // Train the chooser only when the components disagree.
         if local_correct != global_correct {
-            bump(&mut self.chooser[pc as usize & self.chooser_mask], global_correct);
+            bump(
+                &mut self.chooser[pc as usize & self.chooser_mask],
+                global_correct,
+            );
         }
         bump(&mut self.local[li], taken);
         bump(&mut self.global[gi], taken);
@@ -245,8 +251,7 @@ impl Bpu {
         } else {
             (self.small.predict(pc), self.small.btb.lookup(pc))
         };
-        let mispredict =
-            predicted_taken != taken || (taken && btb_target != Some(target));
+        let mispredict = predicted_taken != taken || (taken && btb_target != Some(target));
         if mispredict {
             self.stats.mispredicts += 1;
         }

@@ -53,6 +53,18 @@ impl MlcWayState {
             MlcWayState::Full => 0b11,
         }
     }
+
+    /// Decodes the 2-bit policy-field encoding (inverse of
+    /// [`MlcWayState::policy_bits`]; only the low 2 bits are read).
+    #[must_use]
+    pub fn from_policy_bits(bits: u8) -> MlcWayState {
+        match bits & 0b11 {
+            0b00 => MlcWayState::Quarter,
+            0b01 => MlcWayState::One,
+            0b10 => MlcWayState::Half,
+            _ => MlcWayState::Full,
+        }
+    }
 }
 
 impl std::fmt::Display for MlcWayState {
@@ -147,8 +159,14 @@ impl Cache {
     pub fn new(cfg: &CacheConfig) -> Self {
         let num_sets = cfg.sets() as usize;
         let ways = cfg.ways as usize;
-        assert!(num_sets > 0 && ways > 0, "degenerate cache geometry {cfg:?}");
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets > 0 && ways > 0,
+            "degenerate cache geometry {cfg:?}"
+        );
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Cache {
             lines: vec![Line::default(); num_sets * ways],
             num_sets,
@@ -206,7 +224,11 @@ impl Cache {
                 self.awake_valid += 1;
             }
             self.stats.hits += 1;
-            return AccessOutcome { hit: true, writeback: false, woke_drowsy };
+            return AccessOutcome {
+                hit: true,
+                writeback: false,
+                woke_drowsy,
+            };
         }
 
         // Miss: allocate into the LRU (or first invalid) active way.
@@ -227,8 +249,18 @@ impl Cache {
         } else if line.drowsy {
             self.awake_valid += 1; // replaced by a freshly-awake line
         }
-        *line = Line { tag, valid: true, dirty: is_store, drowsy: false, lru: self.tick };
-        AccessOutcome { hit: false, writeback, woke_drowsy: false }
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: is_store,
+            drowsy: false,
+            lru: self.tick,
+        };
+        AccessOutcome {
+            hit: false,
+            writeback,
+            woke_drowsy: false,
+        }
     }
 
     /// Whether `addr` is resident without touching LRU or statistics.

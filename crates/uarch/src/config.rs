@@ -136,9 +136,24 @@ impl CoreConfig {
             issue_width: 4,
             simd_lanes: 4,
             freq_mhz: 2667,
-            l1d: CacheConfig { size_kib: 32, ways: 8, line_bytes: 64, hit_latency: 0 },
-            mlc: CacheConfig { size_kib: 1024, ways: 8, line_bytes: 64, hit_latency: 12 },
-            llc: CacheConfig { size_kib: 8192, ways: 16, line_bytes: 64, hit_latency: 38 },
+            l1d: CacheConfig {
+                size_kib: 32,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 0,
+            },
+            mlc: CacheConfig {
+                size_kib: 1024,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 12,
+            },
+            llc: CacheConfig {
+                size_kib: 8192,
+                ways: 16,
+                line_bytes: 64,
+                hit_latency: 38,
+            },
             mem_latency: 180,
             bpu: BpuConfig {
                 large_btb_entries: 4096,
@@ -147,7 +162,11 @@ impl CoreConfig {
                 small_entries: 1024,
                 mispredict_penalty: 14,
             },
-            area: AreaFractions { mlc: 0.35, vpu: 0.20, bpu: 0.04 },
+            area: AreaFractions {
+                mlc: 0.35,
+                vpu: 0.20,
+                bpu: 0.04,
+            },
             gating: GatingPenalties {
                 mlc_switch: 50,
                 vpu_switch: 30,
@@ -169,9 +188,24 @@ impl CoreConfig {
             issue_width: 2,
             simd_lanes: 2,
             freq_mhz: 1000,
-            l1d: CacheConfig { size_kib: 32, ways: 4, line_bytes: 32, hit_latency: 0 },
-            mlc: CacheConfig { size_kib: 2048, ways: 8, line_bytes: 32, hit_latency: 10 },
-            llc: CacheConfig { size_kib: 4096, ways: 16, line_bytes: 32, hit_latency: 30 },
+            l1d: CacheConfig {
+                size_kib: 32,
+                ways: 4,
+                line_bytes: 32,
+                hit_latency: 0,
+            },
+            mlc: CacheConfig {
+                size_kib: 2048,
+                ways: 8,
+                line_bytes: 32,
+                hit_latency: 10,
+            },
+            llc: CacheConfig {
+                size_kib: 4096,
+                ways: 16,
+                line_bytes: 32,
+                hit_latency: 30,
+            },
             mem_latency: 120,
             bpu: BpuConfig {
                 large_btb_entries: 2048,
@@ -180,7 +214,11 @@ impl CoreConfig {
                 small_entries: 512,
                 mispredict_penalty: 8,
             },
-            area: AreaFractions { mlc: 0.60, vpu: 0.18, bpu: 0.03 },
+            area: AreaFractions {
+                mlc: 0.60,
+                vpu: 0.18,
+                bpu: 0.03,
+            },
             gating: GatingPenalties {
                 mlc_switch: 50,
                 vpu_switch: 30,
@@ -252,8 +290,14 @@ mod tests {
 
     #[test]
     fn for_kind_round_trips() {
-        assert_eq!(CoreConfig::for_kind(CoreKind::Server).kind, CoreKind::Server);
-        assert_eq!(CoreConfig::for_kind(CoreKind::Mobile).kind, CoreKind::Mobile);
+        assert_eq!(
+            CoreConfig::for_kind(CoreKind::Server).kind,
+            CoreKind::Server
+        );
+        assert_eq!(
+            CoreConfig::for_kind(CoreKind::Mobile).kind,
+            CoreKind::Mobile
+        );
         assert_eq!(CoreKind::Server.to_string(), "server");
     }
 }

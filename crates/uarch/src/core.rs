@@ -227,11 +227,9 @@ impl CoreModel {
             InstClass::Branch => {
                 if let Some(branch) = step.branch {
                     self.stats.branches += 1;
-                    let mispredict = self.bpu.predict_and_update(
-                        step.pc.0,
-                        branch.taken,
-                        branch.next_pc.0,
-                    );
+                    let mispredict =
+                        self.bpu
+                            .predict_and_update(step.pc.0, branch.taken, branch.next_pc.0);
                     if mispredict {
                         self.stats.mispredicts += 1;
                         self.stall_cycles += self.mispredict_penalty;
@@ -313,8 +311,12 @@ mod tests {
     }
 
     fn alu_step(pc: u32) -> StepInfo {
-        let r = Reg::new(0).unwrap();
-        let inst = Inst::Add { rd: r, rs: r, rt: r };
+        let r = Reg::new(0).expect("register index in range");
+        let inst = Inst::Add {
+            rd: r,
+            rs: r,
+            rt: r,
+        };
         StepInfo {
             pc: Pc(pc),
             inst,
@@ -326,21 +328,34 @@ mod tests {
     }
 
     fn load_step(pc: u32, addr: u64) -> StepInfo {
-        let r = Reg::new(0).unwrap();
-        let inst = Inst::Load { rd: r, rs: r, imm: 0 };
+        let r = Reg::new(0).expect("register index in range");
+        let inst = Inst::Load {
+            rd: r,
+            rs: r,
+            imm: 0,
+        };
         StepInfo {
             pc: Pc(pc),
             inst,
             class: inst.class(),
             next_pc: Pc(pc + 1),
-            mem: Some(MemAccess { addr, size: 8, is_store: false }),
+            mem: Some(MemAccess {
+                addr,
+                size: 8,
+                is_store: false,
+            }),
             branch: None,
         }
     }
 
     fn branch_step(pc: u32, taken: bool, target: u32) -> StepInfo {
-        let r = Reg::new(0).unwrap();
-        let inst = Inst::Branch { cond: Cond::Eq, rs: r, rt: r, target: Pc(target) };
+        let r = Reg::new(0).expect("register index in range");
+        let inst = Inst::Branch {
+            cond: Cond::Eq,
+            rs: r,
+            rt: r,
+            target: Pc(target),
+        };
         let next = if taken { Pc(target) } else { Pc(pc + 1) };
         StepInfo {
             pc: Pc(pc),
@@ -348,7 +363,10 @@ mod tests {
             class: inst.class(),
             next_pc: next,
             mem: None,
-            branch: Some(BranchOutcome { taken, next_pc: next }),
+            branch: Some(BranchOutcome {
+                taken,
+                next_pc: next,
+            }),
         }
     }
 
@@ -397,8 +415,12 @@ mod tests {
 
     #[test]
     fn gated_vpu_costs_more_slots_and_counts_emulated() {
-        let r = powerchop_gisa::VReg::new(0).unwrap();
-        let inst = Inst::Vadd { vd: r, vs: r, vt: r };
+        let r = powerchop_gisa::VReg::new(0).expect("register index in range");
+        let inst = Inst::Vadd {
+            vd: r,
+            vs: r,
+            vt: r,
+        };
         let step = StepInfo {
             pc: Pc(0),
             inst,
@@ -428,14 +450,22 @@ mod tests {
         // Touch many distinct lines with stores so the MLC gets dirty data
         // (L1 write-allocates; lines spill into the MLC as L1 evicts them).
         for i in 0..20_000u64 {
-            let r = Reg::new(0).unwrap();
-            let inst = Inst::Store { rs: r, rbase: r, imm: 0 };
+            let r = Reg::new(0).expect("register index in range");
+            let inst = Inst::Store {
+                rs: r,
+                rbase: r,
+                imm: 0,
+            };
             let step = StepInfo {
                 pc: Pc(0),
                 inst,
                 class: inst.class(),
                 next_pc: Pc(1),
-                mem: Some(MemAccess { addr: i * 64, size: 8, is_store: true }),
+                mem: Some(MemAccess {
+                    addr: i * 64,
+                    size: 8,
+                    is_store: true,
+                }),
                 branch: None,
             };
             core.on_step(&step, ExecMode::Translated);
@@ -462,7 +492,10 @@ mod tests {
         };
         let full = run(MlcWayState::Full);
         let one = run(MlcWayState::One);
-        assert!(one > full, "1-way MLC ({one}) should be slower than full ({full})");
+        assert!(
+            one > full,
+            "1-way MLC ({one}) should be slower than full ({full})"
+        );
     }
 
     #[test]

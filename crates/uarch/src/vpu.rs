@@ -60,7 +60,10 @@ impl Vpu {
     /// slots added per emulated vector op beyond the per-lane scalar ops).
     #[must_use]
     pub fn with_emulation_overhead(lanes: u32, overhead_slots: u32) -> Self {
-        Vpu { emulation_overhead_slots: overhead_slots, ..Vpu::new(lanes) }
+        Vpu {
+            emulation_overhead_slots: overhead_slots,
+            ..Vpu::new(lanes)
+        }
     }
 
     /// Whether the VPU is powered on.

@@ -8,26 +8,42 @@ use powerchop_uarch::core::{CoreModel, ExecMode};
 
 fn load_step(addr: u64) -> StepInfo {
     let r = Reg::new(0).unwrap();
-    let inst = Inst::Load { rd: r, rs: r, imm: 0 };
+    let inst = Inst::Load {
+        rd: r,
+        rs: r,
+        imm: 0,
+    };
     StepInfo {
         pc: Pc(0),
         inst,
         class: inst.class(),
         next_pc: Pc(1),
-        mem: Some(MemAccess { addr, size: 8, is_store: false }),
+        mem: Some(MemAccess {
+            addr,
+            size: 8,
+            is_store: false,
+        }),
         branch: None,
     }
 }
 
 fn store_step(addr: u64) -> StepInfo {
     let r = Reg::new(0).unwrap();
-    let inst = Inst::Store { rs: r, rbase: r, imm: 0 };
+    let inst = Inst::Store {
+        rs: r,
+        rbase: r,
+        imm: 0,
+    };
     StepInfo {
         pc: Pc(0),
         inst,
         class: inst.class(),
         next_pc: Pc(1),
-        mem: Some(MemAccess { addr, size: 8, is_store: true }),
+        mem: Some(MemAccess {
+            addr,
+            size: 8,
+            is_store: true,
+        }),
         branch: None,
     }
 }
@@ -35,13 +51,21 @@ fn store_step(addr: u64) -> StepInfo {
 fn vload_step(addr: u64) -> StepInfo {
     let v = VReg::new(0).unwrap();
     let r = Reg::new(0).unwrap();
-    let inst = Inst::Vload { vd: v, rs: r, imm: 0 };
+    let inst = Inst::Vload {
+        vd: v,
+        rs: r,
+        imm: 0,
+    };
     StepInfo {
         pc: Pc(0),
         inst,
         class: inst.class(),
         next_pc: Pc(1),
-        mem: Some(MemAccess { addr, size: 8 * VLEN as u32, is_store: false }),
+        mem: Some(MemAccess {
+            addr,
+            size: 8 * VLEN as u32,
+            is_store: false,
+        }),
         branch: None,
     }
 }
@@ -88,7 +112,10 @@ fn llc_sits_between_mlc_and_memory() {
         }
     }
     let s = core.stats();
-    assert!(s.llc_hits > s.mlc_hits, "the LLC should capture what the MLC cannot");
+    assert!(
+        s.llc_hits > s.mlc_hits,
+        "the LLC should capture what the MLC cannot"
+    );
     assert!(s.llc_hits > s.mem_accesses, "the set fits the LLC");
 }
 
@@ -121,7 +148,10 @@ fn stores_dirty_lines_that_flush_on_way_gating() {
         core.on_step(&store_step(i * 64), ExecMode::Translated);
     }
     let flushed = core.set_mlc_way_state(MlcWayState::One);
-    assert!(flushed > 1_000, "a dirtied MLC must flush on gating: {flushed}");
+    assert!(
+        flushed > 1_000,
+        "a dirtied MLC must flush on gating: {flushed}"
+    );
     // Re-growing is free of writebacks.
     let flushed = core.set_mlc_way_state(MlcWayState::Full);
     assert_eq!(flushed, 0);
@@ -134,7 +164,10 @@ fn drowse_and_awake_fraction_via_core() {
     for i in 0..2_000u64 {
         core.on_step(&load_step(i * 64), ExecMode::Translated);
     }
-    assert!((core.mlc_awake_fraction() - 1.0).abs() < 1e-12, "nothing drowsy yet");
+    assert!(
+        (core.mlc_awake_fraction() - 1.0).abs() < 1e-12,
+        "nothing drowsy yet"
+    );
     let drowsed = core.drowse_mlc();
     assert!(drowsed > 900, "most touched lines drowse: {drowsed}");
     assert!(core.mlc_awake_fraction() < 1.0);
@@ -199,7 +232,12 @@ fn conditional_branches_drive_the_active_predictor() {
     for i in 0..4000u32 {
         let taken = i % 2 == 0;
         let r = Reg::new(0).unwrap();
-        let inst = Inst::Branch { cond: Cond::Eq, rs: r, rt: r, target: Pc(40) };
+        let inst = Inst::Branch {
+            cond: Cond::Eq,
+            rs: r,
+            rt: r,
+            target: Pc(40),
+        };
         let next = if taken { Pc(40) } else { Pc(8) };
         let step = StepInfo {
             pc: Pc(7),
@@ -207,7 +245,10 @@ fn conditional_branches_drive_the_active_predictor() {
             class: inst.class(),
             next_pc: next,
             mem: None,
-            branch: Some(BranchOutcome { taken, next_pc: next }),
+            branch: Some(BranchOutcome {
+                taken,
+                next_pc: next,
+            }),
         };
         large.on_step(&step, ExecMode::Translated);
         small.on_step(&step, ExecMode::Translated);

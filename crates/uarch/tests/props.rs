@@ -1,121 +1,145 @@
-//! Property-based tests for the microarchitectural unit models.
+//! Property-based tests for the microarchitectural unit models,
+//! driven by the workspace's seeded harness (`powerchop_faults::check`).
 
-use proptest::prelude::*;
-
+use powerchop_faults::check::cases;
+use powerchop_uarch::bpu::Bpu;
 use powerchop_uarch::cache::{Cache, MlcWayState};
 use powerchop_uarch::config::{CacheConfig, CoreConfig};
-use powerchop_uarch::bpu::Bpu;
 
 fn small_cache_cfg(ways: u32) -> CacheConfig {
-    CacheConfig { size_kib: (ways * 16).max(1), ways, line_bytes: 64, hit_latency: 10 }
+    CacheConfig {
+        size_kib: (ways * 16).max(1),
+        ways,
+        line_bytes: 64,
+        hit_latency: 10,
+    }
 }
 
-proptest! {
-    /// A cache access is always a hit immediately after accessing the
-    /// same address (temporal locality invariant), for any access mix.
-    #[test]
-    fn repeat_access_always_hits(
-        ways in 1u32..=8,
-        addrs in prop::collection::vec((0u64..1 << 20, any::<bool>()), 1..200),
-    ) {
+/// A cache access is always a hit immediately after accessing the
+/// same address (temporal locality invariant), for any access mix.
+#[test]
+fn repeat_access_always_hits() {
+    cases("repeat access hits", 128, |rng| {
+        let ways = 1 + rng.gen_range(8) as u32;
         let mut cache = Cache::new(&small_cache_cfg(ways));
-        for (addr, is_store) in addrs {
-            cache.access(addr, is_store);
-            prop_assert!(cache.probe(addr), "line must be resident after access");
-            prop_assert!(cache.access(addr, false).hit);
+        for _ in 0..1 + rng.gen_range(200) {
+            let addr = rng.gen_range(1 << 20);
+            cache.access(addr, rng.gen_bool(0.5));
+            assert!(cache.probe(addr), "line must be resident after access");
+            assert!(cache.access(addr, false).hit);
         }
-    }
+    });
+}
 
-    /// Hits + misses always equals accesses, and hits never exceed
-    /// accesses, regardless of way-gating churn.
-    #[test]
-    fn cache_stats_are_consistent(
-        ops in prop::collection::vec((0u64..1 << 18, 0u8..3), 1..300),
-    ) {
+/// Hits + misses always equals accesses, and hits never exceed
+/// accesses, regardless of way-gating churn.
+#[test]
+fn cache_stats_are_consistent() {
+    cases("cache stats consistent", 128, |rng| {
         let mut cache = Cache::new(&small_cache_cfg(8));
-        for (addr, op) in ops {
-            match op {
-                0 => { cache.access(addr, false); }
-                1 => { cache.access(addr, true); }
-                _ => { cache.set_active_ways(1 + (addr % 8) as u32); }
+        for _ in 0..1 + rng.gen_range(300) {
+            let addr = rng.gen_range(1 << 18);
+            match rng.gen_range(3) {
+                0 => {
+                    cache.access(addr, false);
+                }
+                1 => {
+                    cache.access(addr, true);
+                }
+                _ => {
+                    cache.set_active_ways(1 + (addr % 8) as u32);
+                }
             }
             let s = cache.stats();
-            prop_assert!(s.hits <= s.accesses);
-            prop_assert_eq!(s.hits + s.misses(), s.accesses);
+            assert!(s.hits <= s.accesses);
+            assert_eq!(s.hits + s.misses(), s.accesses);
         }
-    }
+    });
+}
 
-    /// The number of resident lines never exceeds the active capacity.
-    #[test]
-    fn residency_respects_active_ways(
-        active in 1u32..=8,
-        addrs in prop::collection::vec(0u64..1 << 22, 1..500),
-    ) {
+/// The number of resident lines never exceeds the active capacity.
+#[test]
+fn residency_respects_active_ways() {
+    cases("residency bound", 128, |rng| {
+        let active = 1 + rng.gen_range(8) as u32;
         let mut cache = Cache::new(&small_cache_cfg(8));
         cache.set_active_ways(active);
-        for addr in addrs {
-            cache.access(addr, false);
+        for _ in 0..1 + rng.gen_range(500) {
+            cache.access(rng.gen_range(1 << 22), false);
         }
         let cfg = small_cache_cfg(8);
         let sets = cfg.sets() as usize;
-        prop_assert!(cache.resident_lines() <= sets * active as usize);
-    }
+        assert!(cache.resident_lines() <= sets * active as usize);
+    });
+}
 
-    /// Way-gating returns exactly the dirty lines that disappear, and
-    /// never loses the stats invariants.
-    #[test]
-    fn way_gating_flush_counts_dirty_lines(
-        stores in prop::collection::vec(0u64..1 << 18, 1..200),
-        target in 1u32..=4,
-    ) {
+/// Way-gating returns exactly the dirty lines that disappear, and
+/// never loses the stats invariants.
+#[test]
+fn way_gating_flush_counts_dirty_lines() {
+    cases("way-gating flush counts", 128, |rng| {
+        let target = 1 + rng.gen_range(4) as u32;
         let mut cache = Cache::new(&small_cache_cfg(8));
-        for addr in &stores {
-            cache.access(*addr, true);
+        for _ in 0..1 + rng.gen_range(200) {
+            cache.access(rng.gen_range(1 << 18), true);
         }
         let before_wb = cache.stats().writebacks;
         let resident_before = cache.resident_lines();
         let flushed = cache.set_active_ways(target);
-        prop_assert_eq!(cache.stats().writebacks, before_wb + flushed);
+        assert_eq!(cache.stats().writebacks, before_wb + flushed);
         // Lines lost = resident_before - resident_after; flushed dirty
         // lines are a subset of the lost lines.
         let lost = resident_before - cache.resident_lines();
-        prop_assert!(flushed as usize <= lost + 1);
-    }
+        assert!(flushed as usize <= lost + 1);
+    });
+}
 
-    /// MLC way-state fractions are monotone: One <= Half <= Full.
-    #[test]
-    fn way_state_fractions_monotone(total in 2u32..=16) {
+/// MLC way-state fractions are monotone: One <= Half <= Full.
+#[test]
+fn way_state_fractions_monotone() {
+    cases("way-state fractions monotone", 32, |rng| {
+        let total = 2 + rng.gen_range(15) as u32;
         let one = MlcWayState::One.active_fraction(total);
         let half = MlcWayState::Half.active_fraction(total);
         let full = MlcWayState::Full.active_fraction(total);
-        prop_assert!(one <= half && half <= full);
-        prop_assert!((full - 1.0).abs() < 1e-12);
-        prop_assert!(one > 0.0);
-    }
+        assert!(one <= half && half <= full);
+        assert!((full - 1.0).abs() < 1e-12);
+        assert!(one > 0.0);
+    });
+}
 
-    /// The predictor never "loses" branches: the stats always count every
-    /// prediction, and mispredicts never exceed branches.
-    #[test]
-    fn bpu_stats_consistent(
-        branches in prop::collection::vec((0u32..4096, any::<bool>()), 1..500),
-        gate_at in prop::option::of(0usize..400),
-    ) {
+/// The predictor never "loses" branches: the stats always count every
+/// prediction, and mispredicts never exceed branches.
+#[test]
+fn bpu_stats_consistent() {
+    cases("bpu stats consistent", 128, |rng| {
+        let n = 1 + rng.gen_range(500) as usize;
+        let gate_at = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(400) as usize)
+        } else {
+            None
+        };
         let mut bpu = Bpu::new(&CoreConfig::server().bpu);
-        for (i, (pc, taken)) in branches.iter().enumerate() {
+        for i in 0..n {
             if Some(i) == gate_at {
                 bpu.set_large_active(false);
             }
-            bpu.predict_and_update(*pc, *taken, pc.wrapping_add(7));
+            let pc = rng.gen_range(4096) as u32;
+            bpu.predict_and_update(pc, rng.gen_bool(0.5), pc.wrapping_add(7));
         }
         let s = bpu.stats();
-        prop_assert_eq!(s.branches, branches.len() as u64);
-        prop_assert!(s.mispredicts <= s.branches);
-    }
+        assert_eq!(s.branches, n as u64);
+        assert!(s.mispredicts <= s.branches);
+    });
+}
 
-    /// A perfectly biased branch becomes almost perfectly predicted by
-    /// either predictor after warm-up.
-    #[test]
-    fn biased_branches_are_learned(taken in any::<bool>(), large in any::<bool>()) {
+/// A perfectly biased branch becomes almost perfectly predicted by
+/// either predictor after warm-up.
+#[test]
+fn biased_branches_are_learned() {
+    cases("biased branch learning", 16, |rng| {
+        let taken = rng.gen_bool(0.5);
+        let large = rng.gen_bool(0.5);
         let mut bpu = Bpu::new(&CoreConfig::server().bpu);
         bpu.set_large_active(large);
         for _ in 0..64 {
@@ -126,6 +150,9 @@ proptest! {
             bpu.predict_and_update(100, taken, 7);
         }
         let s = bpu.stats();
-        prop_assert_eq!(s.mispredicts, warm.mispredicts, "steady state must be perfect");
-    }
+        assert_eq!(
+            s.mispredicts, warm.mispredicts,
+            "steady state must be perfect"
+        );
+    });
 }

@@ -60,7 +60,10 @@ impl RegionAlloc {
     /// Starts allocating at 16 MiB (clear of any data segments).
     #[must_use]
     pub fn new() -> Self {
-        RegionAlloc { next: 16 << 20, regions: 0 }
+        RegionAlloc {
+            next: 16 << 20,
+            regions: 0,
+        }
     }
 
     /// Reserves a region of at least `bytes` (rounded to a power of two,
@@ -71,13 +74,20 @@ impl RegionAlloc {
     /// Panics after 10 regions (the offset-register pool is exhausted —
     /// benchmarks use at most a handful).
     pub fn reserve(&mut self, bytes: u64) -> MemRegion {
-        assert!(self.regions < OFFSET_REG_COUNT, "out of region offset registers");
+        assert!(
+            self.regions < OFFSET_REG_COUNT,
+            "out of region offset registers"
+        );
         let size = bytes.next_power_of_two().max(4096);
         let base = self.next.next_multiple_of(size);
         self.next = base + size;
         let offset_reg = Reg::new(OFFSET_REG_BASE + self.regions).expect("r18..r27 are valid");
         self.regions += 1;
-        MemRegion { base, bytes: size, offset_reg }
+        MemRegion {
+            base,
+            bytes: size,
+            offset_reg,
+        }
     }
 }
 

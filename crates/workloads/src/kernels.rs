@@ -313,7 +313,9 @@ mod tests {
     }
 
     /// Runs a single-kernel program to completion, returning class counts.
-    fn run_kernel(build: impl FnOnce(&mut ProgramBuilder)) -> std::collections::HashMap<InstClass, u64> {
+    fn run_kernel(
+        build: impl FnOnce(&mut ProgramBuilder),
+    ) -> std::collections::HashMap<InstClass, u64> {
         let mut b = ProgramBuilder::new("kernel-test");
         build(&mut b);
         b.halt();
@@ -346,10 +348,7 @@ mod tests {
         let c = run_kernel(|b| vector_stream(b, 200, &region(1 << 16, 0x10_0000, 18)));
         let total: u64 = c.values().sum();
         let vec = c[&InstClass::VecAlu] + c[&InstClass::VecMem];
-        assert!(
-            vec * 4 > total,
-            "vector density too low: {vec}/{total}"
-        );
+        assert!(vec * 4 > total, "vector density too low: {vec}/{total}");
     }
 
     #[test]
@@ -388,7 +387,13 @@ mod tests {
             let info = cpu.step(&p, &mut mem).unwrap();
             if let (InstClass::Branch, Some(br)) = (info.class, info.branch) {
                 // Only the data-dependent branch (beq), not the loop branch.
-                if matches!(info.inst, powerchop_gisa::Inst::Branch { cond: powerchop_gisa::Cond::Eq, .. }) {
+                if matches!(
+                    info.inst,
+                    powerchop_gisa::Inst::Branch {
+                        cond: powerchop_gisa::Cond::Eq,
+                        ..
+                    }
+                ) {
                     total += 1;
                     if br.taken {
                         taken += 1;

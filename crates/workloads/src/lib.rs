@@ -51,7 +51,12 @@ pub enum Suite {
 
 impl Suite {
     /// All suites, in the paper's reporting order.
-    pub const ALL: [Suite; 4] = [Suite::SpecInt, Suite::SpecFp, Suite::Parsec, Suite::MobileBench];
+    pub const ALL: [Suite; 4] = [
+        Suite::SpecInt,
+        Suite::SpecFp,
+        Suite::Parsec,
+        Suite::MobileBench,
+    ];
 
     /// The core design point this suite is evaluated on (paper Table I).
     #[must_use]
@@ -110,35 +115,151 @@ impl Benchmark {
 
 /// The full 29-application roster of the paper's evaluation.
 static BENCHMARKS: [Benchmark; 29] = [
-    Benchmark { name: "perlbench", suite: Suite::SpecInt, build: spec_int::perlbench },
-    Benchmark { name: "bzip2", suite: Suite::SpecInt, build: spec_int::bzip2 },
-    Benchmark { name: "gcc", suite: Suite::SpecInt, build: spec_int::gcc },
-    Benchmark { name: "mcf", suite: Suite::SpecInt, build: spec_int::mcf },
-    Benchmark { name: "gobmk", suite: Suite::SpecInt, build: spec_int::gobmk },
-    Benchmark { name: "hmmer", suite: Suite::SpecInt, build: spec_int::hmmer },
-    Benchmark { name: "sjeng", suite: Suite::SpecInt, build: spec_int::sjeng },
-    Benchmark { name: "libquantum", suite: Suite::SpecInt, build: spec_int::libquantum },
-    Benchmark { name: "h264ref", suite: Suite::SpecInt, build: spec_int::h264ref },
-    Benchmark { name: "astar", suite: Suite::SpecInt, build: spec_int::astar },
-    Benchmark { name: "namd", suite: Suite::SpecFp, build: spec_fp::namd },
-    Benchmark { name: "soplex", suite: Suite::SpecFp, build: spec_fp::soplex },
-    Benchmark { name: "lbm", suite: Suite::SpecFp, build: spec_fp::lbm },
-    Benchmark { name: "milc", suite: Suite::SpecFp, build: spec_fp::milc },
-    Benchmark { name: "gems", suite: Suite::SpecFp, build: spec_fp::gems },
-    Benchmark { name: "sphinx3", suite: Suite::SpecFp, build: spec_fp::sphinx3 },
-    Benchmark { name: "povray", suite: Suite::SpecFp, build: spec_fp::povray },
-    Benchmark { name: "calculix", suite: Suite::SpecFp, build: spec_fp::calculix },
-    Benchmark { name: "blackscholes", suite: Suite::Parsec, build: parsec::blackscholes },
-    Benchmark { name: "canneal", suite: Suite::Parsec, build: parsec::canneal },
-    Benchmark { name: "dedup", suite: Suite::Parsec, build: parsec::dedup },
-    Benchmark { name: "fluidanimate", suite: Suite::Parsec, build: parsec::fluidanimate },
-    Benchmark { name: "streamcluster", suite: Suite::Parsec, build: parsec::streamcluster },
-    Benchmark { name: "swaptions", suite: Suite::Parsec, build: parsec::swaptions },
-    Benchmark { name: "msn", suite: Suite::MobileBench, build: mobile::msn },
-    Benchmark { name: "amazon", suite: Suite::MobileBench, build: mobile::amazon },
-    Benchmark { name: "google", suite: Suite::MobileBench, build: mobile::google },
-    Benchmark { name: "bbc", suite: Suite::MobileBench, build: mobile::bbc },
-    Benchmark { name: "ebay", suite: Suite::MobileBench, build: mobile::ebay },
+    Benchmark {
+        name: "perlbench",
+        suite: Suite::SpecInt,
+        build: spec_int::perlbench,
+    },
+    Benchmark {
+        name: "bzip2",
+        suite: Suite::SpecInt,
+        build: spec_int::bzip2,
+    },
+    Benchmark {
+        name: "gcc",
+        suite: Suite::SpecInt,
+        build: spec_int::gcc,
+    },
+    Benchmark {
+        name: "mcf",
+        suite: Suite::SpecInt,
+        build: spec_int::mcf,
+    },
+    Benchmark {
+        name: "gobmk",
+        suite: Suite::SpecInt,
+        build: spec_int::gobmk,
+    },
+    Benchmark {
+        name: "hmmer",
+        suite: Suite::SpecInt,
+        build: spec_int::hmmer,
+    },
+    Benchmark {
+        name: "sjeng",
+        suite: Suite::SpecInt,
+        build: spec_int::sjeng,
+    },
+    Benchmark {
+        name: "libquantum",
+        suite: Suite::SpecInt,
+        build: spec_int::libquantum,
+    },
+    Benchmark {
+        name: "h264ref",
+        suite: Suite::SpecInt,
+        build: spec_int::h264ref,
+    },
+    Benchmark {
+        name: "astar",
+        suite: Suite::SpecInt,
+        build: spec_int::astar,
+    },
+    Benchmark {
+        name: "namd",
+        suite: Suite::SpecFp,
+        build: spec_fp::namd,
+    },
+    Benchmark {
+        name: "soplex",
+        suite: Suite::SpecFp,
+        build: spec_fp::soplex,
+    },
+    Benchmark {
+        name: "lbm",
+        suite: Suite::SpecFp,
+        build: spec_fp::lbm,
+    },
+    Benchmark {
+        name: "milc",
+        suite: Suite::SpecFp,
+        build: spec_fp::milc,
+    },
+    Benchmark {
+        name: "gems",
+        suite: Suite::SpecFp,
+        build: spec_fp::gems,
+    },
+    Benchmark {
+        name: "sphinx3",
+        suite: Suite::SpecFp,
+        build: spec_fp::sphinx3,
+    },
+    Benchmark {
+        name: "povray",
+        suite: Suite::SpecFp,
+        build: spec_fp::povray,
+    },
+    Benchmark {
+        name: "calculix",
+        suite: Suite::SpecFp,
+        build: spec_fp::calculix,
+    },
+    Benchmark {
+        name: "blackscholes",
+        suite: Suite::Parsec,
+        build: parsec::blackscholes,
+    },
+    Benchmark {
+        name: "canneal",
+        suite: Suite::Parsec,
+        build: parsec::canneal,
+    },
+    Benchmark {
+        name: "dedup",
+        suite: Suite::Parsec,
+        build: parsec::dedup,
+    },
+    Benchmark {
+        name: "fluidanimate",
+        suite: Suite::Parsec,
+        build: parsec::fluidanimate,
+    },
+    Benchmark {
+        name: "streamcluster",
+        suite: Suite::Parsec,
+        build: parsec::streamcluster,
+    },
+    Benchmark {
+        name: "swaptions",
+        suite: Suite::Parsec,
+        build: parsec::swaptions,
+    },
+    Benchmark {
+        name: "msn",
+        suite: Suite::MobileBench,
+        build: mobile::msn,
+    },
+    Benchmark {
+        name: "amazon",
+        suite: Suite::MobileBench,
+        build: mobile::amazon,
+    },
+    Benchmark {
+        name: "google",
+        suite: Suite::MobileBench,
+        build: mobile::google,
+    },
+    Benchmark {
+        name: "bbc",
+        suite: Suite::MobileBench,
+        build: mobile::bbc,
+    },
+    Benchmark {
+        name: "ebay",
+        suite: Suite::MobileBench,
+        build: mobile::ebay,
+    },
 ];
 
 /// All 29 benchmarks in suite order.
@@ -160,12 +281,16 @@ pub fn suite(suite: Suite) -> impl Iterator<Item = &'static Benchmark> {
 
 /// The server-core roster (SPEC + PARSEC).
 pub fn server() -> impl Iterator<Item = &'static Benchmark> {
-    BENCHMARKS.iter().filter(|b| b.core_kind() == CoreKind::Server)
+    BENCHMARKS
+        .iter()
+        .filter(|b| b.core_kind() == CoreKind::Server)
 }
 
 /// The mobile-core roster (MobileBench).
 pub fn mobile_suite() -> impl Iterator<Item = &'static Benchmark> {
-    BENCHMARKS.iter().filter(|b| b.core_kind() == CoreKind::Mobile)
+    BENCHMARKS
+        .iter()
+        .filter(|b| b.core_kind() == CoreKind::Mobile)
 }
 
 #[cfg(test)]

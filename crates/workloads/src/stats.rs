@@ -59,7 +59,10 @@ impl WorkloadProfile {
         if self.vector_shards.is_empty() {
             return 0.0;
         }
-        self.vector_shards.iter().filter(|v| (1..=4).contains(*v)).count() as f64
+        self.vector_shards
+            .iter()
+            .filter(|v| (1..=4).contains(*v))
+            .count() as f64
             / self.vector_shards.len() as f64
     }
 }
@@ -133,11 +136,7 @@ mod tests {
         let prof = profile(&p, 1_000_000).unwrap();
         let total: u64 = prof.class_counts.values().sum();
         assert_eq!(total, prof.instructions);
-        let share_sum: f64 = prof
-            .class_counts
-            .keys()
-            .map(|c| prof.share(*c))
-            .sum();
+        let share_sum: f64 = prof.class_counts.keys().map(|c| prof.share(*c)).sum();
         assert!((share_sum - 1.0).abs() < 1e-9);
     }
 

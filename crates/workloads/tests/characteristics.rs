@@ -29,7 +29,9 @@ fn profile(name: &str) -> Profile {
     let mut min_addr = u64::MAX;
     let mut max_addr = 0u64;
     while !cpu.halted() && cpu.retired() < 3_000_000 {
-        let info = cpu.step(&program, &mut mem).expect("benchmark must not fault");
+        let info = cpu
+            .step(&program, &mut mem)
+            .expect("benchmark must not fault");
         *counts.entry(info.class).or_insert(0) += 1;
         if let Some(m) = info.mem {
             min_addr = min_addr.min(m.addr);
@@ -75,7 +77,10 @@ fn branch_share(p: &Profile) -> f64 {
 fn namd_has_sparse_uniform_vector_ops() {
     let p = profile("namd");
     let vec = vec_share(&p);
-    assert!(vec > 0.0 && vec < 0.01, "namd vector share {vec} must be tiny but nonzero");
+    assert!(
+        vec > 0.0 && vec < 0.01,
+        "namd vector share {vec} must be tiny but nonzero"
+    );
     assert!(
         p.shards_sparse_vec > 0.3,
         "namd needs many 0<V<=4 shards (Fig. 15): {}",
@@ -128,7 +133,14 @@ fn mobile_workloads_are_branch_dense_and_vector_free() {
 
 #[test]
 fn streaming_workloads_touch_large_footprints() {
-    for name in ["libquantum", "mcf", "canneal", "streamcluster", "lbm", "milc"] {
+    for name in [
+        "libquantum",
+        "mcf",
+        "canneal",
+        "streamcluster",
+        "lbm",
+        "milc",
+    ] {
         let p = profile(name);
         assert!(
             p.touched_bytes > 2 << 20,

@@ -67,9 +67,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("custom workload: {} instructions", chop.instructions);
     println!("  slowdown      {:>5.1} %", 100.0 * chop.slowdown_vs(&full));
-    println!("  power saved   {:>5.1} %", 100.0 * chop.power_reduction_vs(&full));
-    println!("  VPU gated     {:>5.1} % (branch phase)", 100.0 * chop.gated.vpu_off_frac());
-    println!("  BPU gated     {:>5.1} % (SIMD phase)", 100.0 * chop.gated.bpu_off_frac());
-    println!("  phases found  {:>5}", chop.cde.expect("powerchop run").decided);
+    println!(
+        "  power saved   {:>5.1} %",
+        100.0 * chop.power_reduction_vs(&full)
+    );
+    println!(
+        "  VPU gated     {:>5.1} % (branch phase)",
+        100.0 * chop.gated.vpu_off_frac()
+    );
+    println!(
+        "  BPU gated     {:>5.1} % (SIMD phase)",
+        100.0 * chop.gated.bpu_off_frac()
+    );
+    println!(
+        "  phases found  {:>5}",
+        chop.cde.expect("powerchop run").decided
+    );
     Ok(())
 }

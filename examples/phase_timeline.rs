@@ -12,8 +12,7 @@ use powerchop_suite::workloads::{self, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "gems".to_owned());
-    let benchmark = workloads::by_name(&name)
-        .ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let benchmark = workloads::by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
 
     let mut cfg = RunConfig::for_kind(benchmark.core_kind());
     cfg.max_instructions = 3_000_000;

@@ -9,7 +9,9 @@ use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
 use powerchop_suite::workloads::{self, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "gobmk".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gobmk".to_owned());
     let benchmark = workloads::by_name(&name)
         .ok_or_else(|| format!("unknown benchmark {name}; see powerchop_workloads::all()"))?;
 
@@ -32,12 +34,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         full.energy.leakage_power_w, chop.energy.leakage_power_w
     );
     println!("\nPowerChop results:");
-    println!("  slowdown            {:>6.1} %", 100.0 * chop.slowdown_vs(&full));
-    println!("  total power saved   {:>6.1} %", 100.0 * chop.power_reduction_vs(&full));
-    println!("  leakage saved       {:>6.1} %", 100.0 * chop.leakage_reduction_vs(&full));
-    println!("  VPU gated           {:>6.1} % of cycles", 100.0 * chop.gated.vpu_off_frac());
-    println!("  BPU gated           {:>6.1} % of cycles", 100.0 * chop.gated.bpu_off_frac());
-    println!("  MLC way-gated       {:>6.1} % of cycles", 100.0 * chop.gated.mlc_gated_frac());
+    println!(
+        "  slowdown            {:>6.1} %",
+        100.0 * chop.slowdown_vs(&full)
+    );
+    println!(
+        "  total power saved   {:>6.1} %",
+        100.0 * chop.power_reduction_vs(&full)
+    );
+    println!(
+        "  leakage saved       {:>6.1} %",
+        100.0 * chop.leakage_reduction_vs(&full)
+    );
+    println!(
+        "  VPU gated           {:>6.1} % of cycles",
+        100.0 * chop.gated.vpu_off_frac()
+    );
+    println!(
+        "  BPU gated           {:>6.1} % of cycles",
+        100.0 * chop.gated.bpu_off_frac()
+    );
+    println!(
+        "  MLC way-gated       {:>6.1} % of cycles",
+        100.0 * chop.gated.mlc_gated_frac()
+    );
     let pvt = chop.pvt.expect("powerchop runs track the PVT");
     println!(
         "  phases decided      {:>6}   (PVT: {} lookups, {} misses)",

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut slowdowns = Vec::new();
     let mut powers = Vec::new();
-    for b in workloads::all().iter().filter(|b| b.core_kind() == CoreKind::Server) {
+    for b in workloads::all()
+        .iter()
+        .filter(|b| b.core_kind() == CoreKind::Server)
+    {
         let program = b.program(Scale(0.6));
         let full = run_program(&program, ManagerKind::FullPower, &cfg)?;
         let chop = run_program(&program, ManagerKind::PowerChop, &cfg)?;

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.max_instructions = 6_000_000;
     cfg.chop.managed = ManagedSet::VPU_ONLY;
 
-    println!("{:<12} {:>14} {:>14} {:>10}", "bench", "powerchop-off%", "timeout-off%", "slowdown%");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "bench", "powerchop-off%", "timeout-off%", "slowdown%"
+    );
     for name in ["namd", "perlbench", "h264ref", "soplex", "gobmk"] {
         let b = workloads::by_name(name).expect("known benchmark");
         let program = b.program(Scale(0.6));

@@ -8,11 +8,13 @@
 //! - [`gisa`] — the guest ISA and program representation
 //! - [`bt`] — the binary-translation subsystem
 //! - [`uarch`] — microarchitectural unit models
+//! - [`faults`] — deterministic fault injection
 //! - [`power`] — the power/energy model
 //! - [`workloads`] — the synthetic benchmark suites
 
 pub use powerchop;
 pub use powerchop_bt as bt;
+pub use powerchop_faults as faults;
 pub use powerchop_gisa as gisa;
 pub use powerchop_power as power;
 pub use powerchop_uarch as uarch;

@@ -55,8 +55,13 @@ fn translation_is_architecturally_transparent() {
     for threshold in [1u32, 16, 1024, u32::MAX] {
         let cfg = CoreConfig::server();
         let mut core = CoreModel::new(&cfg);
-        let mut machine =
-            Machine::new(&program, BtConfig { hot_threshold: threshold, ..BtConfig::default() });
+        let mut machine = Machine::new(
+            &program,
+            BtConfig {
+                hot_threshold: threshold,
+                ..BtConfig::default()
+            },
+        );
         machine.run(&mut core, u64::MAX).unwrap();
         results.push((machine.cpu().int_reg(r(2)), machine.retired()));
     }
@@ -78,8 +83,14 @@ fn high_activity_is_not_criticality() {
     machine.run(&mut core, 800_000).unwrap();
     let stats = core.stats();
     // Branches and MLC accesses are frequent...
-    assert!(stats.branches * 20 > stats.instructions, "branches are frequent");
-    assert!(stats.mlc_accesses * 200 > stats.instructions, "MLC is active");
+    assert!(
+        stats.branches * 20 > stats.instructions,
+        "branches are frequent"
+    );
+    assert!(
+        stats.mlc_accesses * 200 > stats.instructions,
+        "MLC is active"
+    );
     // ...yet the large BPU mispredicts random branches as badly as the
     // small one would, and the MLC misses its streaming accesses: both
     // are active but non-critical, exactly the paper's point.
@@ -87,5 +98,8 @@ fn high_activity_is_not_criticality() {
         stats.mispredicts * 6 > stats.branches,
         "random branches defeat the predictor"
     );
-    assert!(stats.mlc_hits * 2 < stats.mlc_accesses, "streaming defeats the MLC");
+    assert!(
+        stats.mlc_hits * 2 < stats.mlc_accesses,
+        "streaming defeats the MLC"
+    );
 }

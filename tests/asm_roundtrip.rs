@@ -23,7 +23,9 @@ fn every_benchmark_round_trips_through_text() {
 
 #[test]
 fn disassembly_is_human_readable() {
-    let program = powerchop_suite::workloads::by_name("hmmer").unwrap().program(Scale(0.01));
+    let program = powerchop_suite::workloads::by_name("hmmer")
+        .unwrap()
+        .program(Scale(0.01));
     let text = disassemble(&program);
     // Spot checks: labels exist, mnemonics exist, no raw `@pc` targets.
     assert!(text.contains("L2:"), "loop head should carry a label");

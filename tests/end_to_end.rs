@@ -23,7 +23,9 @@ fn every_benchmark_runs_under_every_manager() {
             ManagerKind::FullPower,
             ManagerKind::PowerChop,
             ManagerKind::MinimalPower,
-            ManagerKind::TimeoutVpu { timeout_cycles: 20_000 },
+            ManagerKind::TimeoutVpu {
+                timeout_cycles: 20_000,
+            },
         ] {
             let r = run_program(&program, kind, &cfg)
                 .unwrap_or_else(|e| panic!("{} under {kind:?} faulted: {e}", b.name()));
@@ -105,7 +107,9 @@ fn timeout_baseline_gates_but_never_emulates() {
     let program = b.program(TEST_SCALE);
     let r = run_program(
         &program,
-        ManagerKind::TimeoutVpu { timeout_cycles: 20_000 },
+        ManagerKind::TimeoutVpu {
+            timeout_cycles: 20_000,
+        },
         &cfg,
     )
     .unwrap();
@@ -122,7 +126,9 @@ fn drowsy_baseline_saves_mlc_leakage_without_losing_state() {
     let full = run_program(&program, ManagerKind::FullPower, &cfg).unwrap();
     let drowsy = run_program(
         &program,
-        ManagerKind::DrowsyMlc { period_cycles: 4_000 },
+        ManagerKind::DrowsyMlc {
+            period_cycles: 4_000,
+        },
         &cfg,
     )
     .unwrap();
@@ -149,6 +155,12 @@ fn powerchop_emulates_vector_ops_while_gated() {
     let program = b.program(TEST_SCALE);
     let r = run_program(&program, ManagerKind::PowerChop, &cfg).unwrap();
     // namd's sparse vector ops execute via the BT's scalar code paths.
-    assert!(r.stats.vec_emulated > 0, "gated vector ops must be emulated");
-    assert_eq!(r.stats.vec_emulated + r.stats.simd_committed, r.stats.vec_ops);
+    assert!(
+        r.stats.vec_emulated > 0,
+        "gated vector ops must be emulated"
+    );
+    assert_eq!(
+        r.stats.vec_emulated + r.stats.simd_committed,
+        r.stats.vec_ops
+    );
 }

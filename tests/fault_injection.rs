@@ -1,0 +1,173 @@
+//! Fault-injection robustness tests (tier 1).
+//!
+//! The contracts under test, end to end:
+//!
+//! 1. **Determinism** — a fault schedule is a pure function of its seed,
+//!    so two runs with the same seed produce bit-identical reports.
+//! 2. **Survival** — no workload panics under pathological (storm) fault
+//!    rates; injected faults surface as degradation activity, never as
+//!    crashes or errors.
+//! 3. **Bounded degradation** — at the default fault rates, a PowerChop
+//!    run stays within 10 % of a clean full-power run of the same
+//!    program, and every detected anomaly triggers a fail-safe
+//!    transition.
+
+use powerchop::{run_program, ManagerKind, RunConfig, RunReport};
+use powerchop_faults::FaultConfig;
+use powerchop_uarch::config::CoreKind;
+use powerchop_workloads::Scale;
+
+fn small_cfg(kind: CoreKind, faults: Option<FaultConfig>) -> RunConfig {
+    let mut cfg = RunConfig::for_kind(kind);
+    cfg.max_instructions = 200_000;
+    cfg.faults = faults;
+    cfg
+}
+
+fn assert_reports_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.bt, b.bt);
+    assert_eq!(a.switches, b.switches);
+    assert_eq!(a.gated, b.gated);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.degrade, b.degrade);
+    assert_eq!(a.energy.total_j.to_bits(), b.energy.total_j.to_bits());
+    assert_eq!(a.energy.leakage_j.to_bits(), b.energy.leakage_j.to_bits());
+}
+
+#[test]
+fn same_seed_produces_identical_reports() {
+    for bench in ["hmmer", "namd", "streamcluster"] {
+        let b = powerchop_workloads::by_name(bench).expect("known benchmark");
+        let program = b.program(Scale(0.05));
+        let cfg = small_cfg(b.core_kind(), Some(FaultConfig::storm(0xDEAD_BEEF)));
+        let r1 = run_program(&program, ManagerKind::PowerChop, &cfg).expect("run succeeds");
+        let r2 = run_program(&program, ManagerKind::PowerChop, &cfg).expect("run succeeds");
+        assert_reports_identical(&r1, &r2);
+        assert!(
+            r1.faults.expect("fault stats").total() > 0,
+            "{bench}: storm must fire"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_schedules() {
+    let b = powerchop_workloads::by_name("hmmer").expect("known benchmark");
+    let program = b.program(Scale(0.05));
+    let r1 = run_program(
+        &program,
+        ManagerKind::PowerChop,
+        &small_cfg(b.core_kind(), Some(FaultConfig::storm(1))),
+    )
+    .expect("run succeeds");
+    let r2 = run_program(
+        &program,
+        ManagerKind::PowerChop,
+        &small_cfg(b.core_kind(), Some(FaultConfig::storm(2))),
+    )
+    .expect("run succeeds");
+    // Different seeds jitter every arrival, so the cycle counts diverge.
+    assert_ne!(r1.cycles, r2.cycles, "seeds must matter");
+}
+
+#[test]
+fn every_workload_survives_a_fault_storm() {
+    // The whole point of the degradation layer: no guest program, on any
+    // design point, panics or errors under 10x fault rates. A panic here
+    // fails the test harness directly.
+    for b in powerchop_workloads::all() {
+        let program = b.program(Scale(0.05));
+        let cfg = small_cfg(b.core_kind(), Some(FaultConfig::storm(0xFA11_5AFE)));
+        for kind in [
+            ManagerKind::PowerChop,
+            ManagerKind::FullPower,
+            ManagerKind::MinimalPower,
+        ] {
+            let report = run_program(&program, kind, &cfg)
+                .unwrap_or_else(|e| panic!("{} under {kind:?}: {e}", b.name()));
+            assert!(report.instructions > 0, "{}: no forward progress", b.name());
+        }
+    }
+}
+
+#[test]
+fn quiet_schedule_matches_a_clean_run() {
+    // A schedule with every kind disabled must be observationally
+    // identical to running with no schedule at all.
+    let b = powerchop_workloads::by_name("hmmer").expect("known benchmark");
+    let program = b.program(Scale(0.05));
+    let clean = run_program(
+        &program,
+        ManagerKind::PowerChop,
+        &small_cfg(b.core_kind(), None),
+    )
+    .expect("run succeeds");
+    let quiet = run_program(
+        &program,
+        ManagerKind::PowerChop,
+        &small_cfg(b.core_kind(), Some(FaultConfig::quiet(99))),
+    )
+    .expect("run succeeds");
+    assert_eq!(clean.cycles, quiet.cycles);
+    assert_eq!(clean.stats, quiet.stats);
+    assert_eq!(quiet.faults.expect("stats present").total(), 0);
+}
+
+#[test]
+fn default_fault_rates_keep_slowdown_bounded() {
+    // Acceptance bound: at the default fault rates the faults themselves
+    // cost < 10 % versus the same clean PowerChop run, on every tested
+    // workload class (scalar SPEC-INT, vector SPEC-FP, PARSEC, mobile).
+    // For scalar workloads — where clean PowerChop already tracks full
+    // power closely at this budget — the end-to-end bound versus a clean
+    // *full-power* run must also hold.
+    for bench in ["hmmer", "gobmk", "namd", "blackscholes", "msn"] {
+        let b = powerchop_workloads::by_name(bench).expect("known benchmark");
+        let program = b.program(Scale(0.05));
+        let mut cfg = small_cfg(b.core_kind(), None);
+        cfg.max_instructions = 500_000;
+        let clean_full = run_program(&program, ManagerKind::FullPower, &cfg).expect("run succeeds");
+        let clean_chop = run_program(&program, ManagerKind::PowerChop, &cfg).expect("run succeeds");
+        cfg.faults = Some(FaultConfig::default_rates(0xBEEF));
+        let faulted = run_program(&program, ManagerKind::PowerChop, &cfg).expect("run succeeds");
+        let fault_cost = faulted.slowdown_vs(&clean_chop);
+        assert!(
+            fault_cost < 0.10,
+            "{bench}: fault-induced slowdown {fault_cost} over bound"
+        );
+        if matches!(bench, "hmmer" | "gobmk") {
+            let end_to_end = faulted.slowdown_vs(&clean_full);
+            assert!(
+                end_to_end < 0.10,
+                "{bench}: end-to-end slowdown {end_to_end} over bound"
+            );
+        }
+    }
+}
+
+#[test]
+fn anomalies_always_fail_safe() {
+    // Hammer the PVT with corruption so the scrubbing cross-check fires,
+    // then check the accounting invariant: anomalies are never absorbed
+    // silently — each one forces at least one fail-safe window.
+    let b = powerchop_workloads::by_name("hmmer").expect("known benchmark");
+    let program = b.program(Scale(0.05));
+    let mut fc = FaultConfig::storm(0x0DD5);
+    fc.pvt_corrupt_every = 20_000;
+    let mut cfg = small_cfg(b.core_kind(), Some(fc));
+    cfg.max_instructions = 500_000;
+    let report = run_program(&program, ManagerKind::PowerChop, &cfg).expect("run succeeds");
+    let degrade = report.degrade.expect("powerchop reports degradation stats");
+    let faults = report.faults.expect("fault stats present");
+    assert!(
+        faults.pvt_corruptions > 0,
+        "corruption must be injected: {faults:?}"
+    );
+    assert_eq!(
+        degrade.anomalies, degrade.failsafe_transitions,
+        "every anomaly fails safe: {degrade:?}"
+    );
+}

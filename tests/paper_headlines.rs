@@ -42,8 +42,14 @@ fn headline_power_down_performance_held() {
     }
     let avg_slow = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
     let avg_leak = reductions.iter().sum::<f64>() / reductions.len() as f64;
-    assert!(avg_slow < 0.06, "average slowdown {avg_slow:.3} out of band (paper: 0.022)");
-    assert!(avg_leak > 0.15, "average leakage reduction {avg_leak:.3} too small");
+    assert!(
+        avg_slow < 0.06,
+        "average slowdown {avg_slow:.3} out of band (paper: 0.022)"
+    );
+    assert!(
+        avg_leak > 0.15,
+        "average leakage reduction {avg_leak:.3} too small"
+    );
 }
 
 /// §V-E / Fig. 16 headline: namd's sparse uniform vector use defeats the
@@ -54,7 +60,12 @@ fn headline_namd_timeout_gap() {
     let chop = run_with(b, ManagerKind::PowerChop, |c| {
         c.chop.managed = ManagedSet::VPU_ONLY;
     });
-    let timeout = run(b, ManagerKind::TimeoutVpu { timeout_cycles: 20_000 });
+    let timeout = run(
+        b,
+        ManagerKind::TimeoutVpu {
+            timeout_cycles: 20_000,
+        },
+    );
     assert!(
         chop.gated.vpu_off_frac() > 0.9,
         "PowerChop must gate namd's VPU nearly always: {:.2}",
@@ -87,7 +98,11 @@ fn headline_vpu_gating_fractions() {
         let r = run_with(b, ManagerKind::PowerChop, |c| {
             c.chop.managed = ManagedSet::VPU_ONLY;
         });
-        assert!(r.gated.vpu_off_frac() > 0.85, "{name}: {:.2}", r.gated.vpu_off_frac());
+        assert!(
+            r.gated.vpu_off_frac() > 0.85,
+            "{name}: {:.2}",
+            r.gated.vpu_off_frac()
+        );
     }
 }
 
@@ -110,5 +125,8 @@ fn headline_pvt_misses_are_rare() {
     let r = run(b, ManagerKind::PowerChop);
     let pvt = r.pvt.unwrap();
     let rate = pvt.misses() as f64 / r.bt.translation_executions.max(1) as f64;
-    assert!(rate < 0.001, "PVT miss rate {rate} out of band (paper: 0.00017)");
+    assert!(
+        rate < 0.001,
+        "PVT miss rate {rate} out of band (paper: 0.00017)"
+    );
 }

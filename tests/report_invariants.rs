@@ -7,7 +7,10 @@ use powerchop_suite::workloads::{self, Scale};
 fn check(report: &powerchop_suite::powerchop::RunReport, tag: &str) {
     let r = report;
     // Cycle accounting.
-    assert_eq!(r.gated.total, r.cycles, "{tag}: gated-time must cover the run");
+    assert_eq!(
+        r.gated.total, r.cycles,
+        "{tag}: gated-time must cover the run"
+    );
     assert!(r.gated.vpu_off <= r.gated.total, "{tag}");
     assert!(r.gated.bpu_off <= r.gated.total, "{tag}");
     assert!(r.gated.mlc_half + r.gated.mlc_one <= r.gated.total, "{tag}");
@@ -33,11 +36,18 @@ fn check(report: &powerchop_suite::powerchop::RunReport, tag: &str) {
             < 1e-12,
         "{tag}: energy components must sum"
     );
-    assert_eq!(r.energy.cycles, r.cycles, "{tag}: ledger covers the whole run");
+    assert_eq!(
+        r.energy.cycles, r.cycles,
+        "{tag}: ledger covers the whole run"
+    );
     // PowerChop-specific accounting.
     if let Some(pvt) = r.pvt {
         assert_eq!(pvt.lookups, pvt.hits + pvt.misses(), "{tag}");
-        assert_eq!(r.nucleus.interrupts, pvt.misses(), "{tag}: misses raise interrupts");
+        assert_eq!(
+            r.nucleus.interrupts,
+            pvt.misses(),
+            "{tag}: misses raise interrupts"
+        );
         let cde = r.cde.expect("powerchop run has CDE stats");
         assert!(cde.decided + cde.reregistered <= pvt.lookups, "{tag}");
     }
@@ -54,7 +64,9 @@ fn invariants_hold_across_benchmarks_and_managers() {
             ManagerKind::FullPower,
             ManagerKind::PowerChop,
             ManagerKind::MinimalPower,
-            ManagerKind::TimeoutVpu { timeout_cycles: 10_000 },
+            ManagerKind::TimeoutVpu {
+                timeout_cycles: 10_000,
+            },
         ] {
             let r = run_program(&program, kind, &cfg).unwrap();
             check(&r, &format!("{name}/{kind:?}"));
