@@ -274,6 +274,95 @@ impl<'p> Machine<'p> {
         })
     }
 
+    /// Serializes the complete machine state: guest CPU and memory, the
+    /// region cache, interpreter profiling state (hotness counters and
+    /// branch-bias history, sorted by PC for deterministic encodings), and
+    /// BT statistics. The program itself is not serialized — only its
+    /// fingerprint, which restore verifies. `trace_buf` is per-step
+    /// scratch and is not state.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        w.put_u64(self.program.fingerprint());
+        self.cpu.snapshot_to(w);
+        self.mem.snapshot_to(w);
+        self.region_cache.snapshot_to(w);
+        let mut hot: Vec<(u32, u32)> = self.hotness.iter().map(|(k, v)| (*k, *v)).collect();
+        hot.sort_unstable();
+        w.put_usize(hot.len());
+        for (pc, count) in hot {
+            w.put_u32(pc);
+            w.put_u32(count);
+        }
+        let mut bias: Vec<(u32, (u32, u32))> =
+            self.branch_bias.iter().map(|(k, v)| (*k, *v)).collect();
+        bias.sort_unstable();
+        w.put_usize(bias.len());
+        for (pc, (taken, total)) in bias {
+            w.put_u32(pc);
+            w.put_u32(taken);
+            w.put_u32(total);
+        }
+        w.put_bool(self.at_block_head);
+        for v in [
+            self.stats.interpreted_instructions,
+            self.stats.translated_instructions,
+            self.stats.translations_built,
+            self.stats.translation_executions,
+            self.stats.side_exits,
+            self.stats.context_switches,
+            self.stats.invalidated_translations,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores state written by [`Machine::snapshot_to`] into a machine
+    /// freshly built over the *same program* with the same [`BtConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated, malformed, or was captured from a different
+    /// program (fingerprint mismatch).
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        let fingerprint = r.take_u64()?;
+        if fingerprint != self.program.fingerprint() {
+            return Err(powerchop_checkpoint::CheckpointError::Malformed {
+                what: "snapshot was captured from a different guest program",
+            });
+        }
+        self.cpu.restore_from(r)?;
+        self.mem.restore_from(r)?;
+        self.region_cache.restore_from(r)?;
+        let hot_count = r.take_usize()?;
+        self.hotness.clear();
+        for _ in 0..hot_count {
+            let pc = r.take_u32()?;
+            let count = r.take_u32()?;
+            self.hotness.insert(pc, count);
+        }
+        let bias_count = r.take_usize()?;
+        self.branch_bias.clear();
+        for _ in 0..bias_count {
+            let pc = r.take_u32()?;
+            let taken = r.take_u32()?;
+            let total = r.take_u32()?;
+            self.branch_bias.insert(pc, (taken, total));
+        }
+        self.at_block_head = r.take_bool()?;
+        self.trace_buf.clear();
+        self.stats.interpreted_instructions = r.take_u64()?;
+        self.stats.translated_instructions = r.take_u64()?;
+        self.stats.translations_built = r.take_u64()?;
+        self.stats.translation_executions = r.take_u64()?;
+        self.stats.side_exits = r.take_u64()?;
+        self.stats.context_switches = r.take_u64()?;
+        self.stats.invalidated_translations = r.take_u64()?;
+        Ok(())
+    }
+
     /// Fault hook: a context switch. The guest's architectural state is
     /// saved and restored by the OS, but the BT layer's warm profiling
     /// state — interpreter hotness counters and branch-bias history —

@@ -58,6 +58,27 @@ impl Nucleus {
     pub fn stats(&self) -> NucleusStats {
         self.stats
     }
+
+    /// Serializes the nucleus counters.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        w.put_u64(self.stats.interrupts);
+        w.put_u64(self.stats.handler_cycles);
+    }
+
+    /// Restores counters written by [`Nucleus::snapshot_to`] in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        self.stats.interrupts = r.take_u64()?;
+        self.stats.handler_cycles = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -124,6 +124,49 @@ impl RegionCache {
         self.translations.clear();
         self.install_order.clear();
     }
+
+    /// Serializes the cache contents in install order (the order is
+    /// semantically meaningful — it determines future evictions — so it is
+    /// written verbatim rather than sorted). Capacity is config-derived
+    /// and not written.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        w.put_usize(self.install_order.len());
+        for id in &self.install_order {
+            match self.translations.get(id) {
+                Some(t) => t.snapshot_to(w),
+                // install_order and translations are kept in lock step;
+                // encode a missing body defensively as an empty trace.
+                None => Translation::empty_for(*id).snapshot_to(w),
+            }
+        }
+    }
+
+    /// Restores contents written by [`RegionCache::snapshot_to`] in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated or holds more translations than this cache's
+    /// configured capacity.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        let count = r.take_usize()?;
+        if count > self.capacity {
+            return Err(powerchop_checkpoint::CheckpointError::Malformed {
+                what: "region cache resident count exceeds capacity",
+            });
+        }
+        self.translations.clear();
+        self.install_order.clear();
+        for _ in 0..count {
+            let t = Translation::restore_from(r)?;
+            self.install_order.push(t.id());
+            self.translations.insert(t.id(), t);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,55 @@ impl Translation {
     pub fn has_vector(&self) -> bool {
         self.has_vector
     }
+
+    /// A placeholder translation with an empty trace, used by the region
+    /// cache to keep its serialized install order self-consistent.
+    pub(crate) fn empty_for(id: TranslationId) -> Self {
+        Translation {
+            id,
+            head: Pc(id.0),
+            trace: Vec::new(),
+            has_vector: false,
+        }
+    }
+
+    /// Serializes the translation body. Traces are written verbatim (not
+    /// re-translated on restore) because superblock formation depends on
+    /// branch-bias statistics at translation time.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        w.put_u32(self.id.0);
+        w.put_u32(self.head.0);
+        w.put_usize(self.trace.len());
+        for pc in &self.trace {
+            w.put_u32(pc.0);
+        }
+        w.put_bool(self.has_vector);
+    }
+
+    /// Reads a translation written by [`Translation::snapshot_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated or malformed.
+    pub fn restore_from(
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<Self, powerchop_checkpoint::CheckpointError> {
+        let id = TranslationId(r.take_u32()?);
+        let head = Pc(r.take_u32()?);
+        let len = r.take_usize()?;
+        let mut trace = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            trace.push(Pc(r.take_u32()?));
+        }
+        let has_vector = r.take_bool()?;
+        Ok(Translation {
+            id,
+            head,
+            trace,
+            has_vector,
+        })
+    }
 }
 
 /// Builds a translation starting at `head`.

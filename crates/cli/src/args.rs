@@ -37,7 +37,25 @@ impl ManagerArg {
         }
     }
 
-    fn parse(s: &str) -> Result<Self, CliError> {
+    /// The canonical spelling, accepted back by [`ManagerArg::parse`]
+    /// (used to make snapshots self-describing).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ManagerArg::PowerChop => "powerchop",
+            ManagerArg::Full => "full",
+            ManagerArg::Minimal => "minimal",
+            ManagerArg::Timeout => "timeout",
+            ManagerArg::Drowsy => "drowsy",
+        }
+    }
+
+    /// Parses a manager name (several aliases per manager).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] naming the expected spellings.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
         match s {
             "powerchop" | "chop" => Ok(ManagerArg::PowerChop),
             "full" | "full-power" => Ok(ManagerArg::Full),
@@ -136,6 +154,63 @@ pub enum Command {
         /// Run options.
         opts: RunOpts,
     },
+    /// `checkpoint <bench>` — run until an instruction mark and write a
+    /// crash-safe snapshot.
+    Checkpoint {
+        /// Benchmark name.
+        bench: String,
+        /// Instructions to retire before snapshotting.
+        at: u64,
+        /// Snapshot output path (`None` uses `<bench>.ckpt`).
+        out: Option<String>,
+        /// Run options.
+        opts: RunOpts,
+    },
+    /// `resume <file>` — restore a snapshot, run it to completion and
+    /// print the report.
+    Resume {
+        /// Snapshot path.
+        path: String,
+        /// Emit the report as JSON.
+        json: bool,
+    },
+    /// `supervise [bench...]` — crash-safe supervised batch sweep with
+    /// deadlines, retries, panic isolation and a resumable journal.
+    Supervise {
+        /// Benchmarks to sweep; empty sweeps every benchmark.
+        benches: Vec<String>,
+        /// Run options.
+        opts: RunOpts,
+        /// Supervisor tuning.
+        sup: SuperviseOpts,
+    },
+}
+
+/// Supervisor tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperviseOpts {
+    /// State directory holding the journal and checkpoints.
+    pub dir: String,
+    /// Per-run wall-clock deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Maximum attempts per benchmark (first try + retries).
+    pub max_attempts: u32,
+    /// Base retry backoff in milliseconds (doubles per attempt).
+    pub backoff_ms: u64,
+    /// Instructions between periodic checkpoints.
+    pub checkpoint_every: u64,
+}
+
+impl Default for SuperviseOpts {
+    fn default() -> Self {
+        SuperviseOpts {
+            dir: "powerchop-supervise".into(),
+            deadline_ms: 120_000,
+            max_attempts: 3,
+            backoff_ms: 100,
+            checkpoint_every: 2_000_000,
+        }
+    }
 }
 
 /// Usage text printed by `help` and on parse errors.
@@ -155,51 +230,85 @@ COMMANDS:
     profile <bench>        architectural instruction-mix profile (no timing)
     stress [bench]         run under deterministic fault injection (all benchmarks
                            when no operand) and report survival + degradation
+    checkpoint <bench>     run until --at instructions, write a crash-safe snapshot
+    resume <file.ckpt>     restore a snapshot, run to completion, print the report
+    supervise [bench...]   crash-safe supervised sweep (all benchmarks when no
+                           operand): deadlines, retries, panic isolation, and a
+                           journal that survives kill -9
     help                   show this message
 
-OPTIONS (run/compare/timeline/asm/stress):
+OPTIONS (run/compare/timeline/asm/stress/checkpoint/supervise):
     --manager <m>          powerchop|full|minimal|timeout|drowsy [default: powerchop]
     --budget <N>           instruction budget                    [default: 8000000]
     --scale <F>            workload scale factor                 [default: 1.0]
-    --json                 (run/asm/stress) print the report as JSON
-    --seed <N>             (stress) fault-schedule seed          [default: 3405691582]
-    --storm                (stress) 10x pathological fault rates
+    --json                 (run/asm/stress/resume) print the report as JSON
+    --seed <N>             (stress/checkpoint/supervise) fault-schedule seed
+    --storm                (stress/checkpoint/supervise) 10x pathological rates
+
+OPTIONS (checkpoint):
+    --at <N>               instructions before the snapshot      [default: budget/2]
+    --out <file>           snapshot path                         [default: <bench>.ckpt]
+
+OPTIONS (supervise):
+    --dir <path>           journal + checkpoint directory [default: powerchop-supervise]
+    --deadline-ms <N>      per-run wall-clock deadline    [default: 120000]
+    --max-attempts <N>     attempts per benchmark         [default: 3]
+    --backoff-ms <N>       base retry backoff (doubles)   [default: 100]
+    --checkpoint-every <N> instructions between snapshots [default: 2000000]
 ";
 
-fn parse_opts(rest: &[String]) -> Result<RunOpts, CliError> {
+/// Parses the shared run flags, handing unrecognized flags to `extra`
+/// (which returns whether it consumed the flag).
+fn parse_flags(
+    rest: &[String],
+    mut extra: impl FnMut(&str, &mut dyn FnMut() -> Result<String, CliError>) -> Result<bool, CliError>,
+) -> Result<RunOpts, CliError> {
     let mut opts = RunOpts::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
+        let mut value = || {
             it.next()
                 .cloned()
-                .ok_or_else(|| CliError(format!("{name} requires a value")))
+                .ok_or_else(|| CliError(format!("{flag} requires a value")))
         };
         match flag.as_str() {
-            "--manager" => opts.manager = ManagerArg::parse(&value("--manager")?)?,
+            "--manager" => opts.manager = ManagerArg::parse(&value()?)?,
             "--budget" => {
-                opts.budget = value("--budget")?
+                opts.budget = value()?
                     .parse()
                     .map_err(|_| CliError("--budget must be an integer".into()))?;
             }
             "--scale" => {
-                opts.scale = value("--scale")?
+                opts.scale = value()?
                     .parse()
                     .map_err(|_| CliError("--scale must be a number".into()))?;
             }
             "--json" => opts.json = true,
             "--seed" => {
                 opts.seed = Some(
-                    value("--seed")?
+                    value()?
                         .parse()
                         .map_err(|_| CliError("--seed must be an integer".into()))?,
                 );
             }
             "--storm" => opts.storm = true,
-            other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
+            other => {
+                if !extra(other, &mut value)? {
+                    return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}")));
+                }
+            }
         }
     }
     Ok(opts)
+}
+
+fn parse_opts(rest: &[String]) -> Result<RunOpts, CliError> {
+    parse_flags(rest, |_, _| Ok(false))
+}
+
+fn parse_int<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, CliError> {
+    raw.parse()
+        .map_err(|_| CliError(format!("{flag} must be an integer")))
 }
 
 /// Parses `argv` (without the program name) into a [`Command`].
@@ -255,6 +364,76 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 bench,
                 opts: parse_opts(rest)?,
             })
+        }
+        "checkpoint" => {
+            let bench = operand()?;
+            let mut at = None;
+            let mut out = None;
+            let opts = parse_flags(&argv[2..], |flag, value| match flag {
+                "--at" => {
+                    at = Some(parse_int(flag, &value()?)?);
+                    Ok(true)
+                }
+                "--out" => {
+                    out = Some(value()?);
+                    Ok(true)
+                }
+                _ => Ok(false),
+            })?;
+            Ok(Command::Checkpoint {
+                bench,
+                at: at.unwrap_or(opts.budget / 2),
+                out,
+                opts,
+            })
+        }
+        "resume" => {
+            let path = operand()?;
+            let mut json = false;
+            for flag in &argv[2..] {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Resume { path, json })
+        }
+        "supervise" => {
+            // Leading non-flag operands are benchmark names.
+            let mut benches = Vec::new();
+            let mut i = 1;
+            while let Some(a) = argv.get(i) {
+                if a.starts_with("--") {
+                    break;
+                }
+                benches.push(a.clone());
+                i += 1;
+            }
+            let mut sup = SuperviseOpts::default();
+            let opts = parse_flags(&argv[i..], |flag, value| match flag {
+                "--dir" => {
+                    sup.dir = value()?;
+                    Ok(true)
+                }
+                "--deadline-ms" => {
+                    sup.deadline_ms = parse_int(flag, &value()?)?;
+                    Ok(true)
+                }
+                "--max-attempts" => {
+                    sup.max_attempts = parse_int(flag, &value()?)?;
+                    Ok(true)
+                }
+                "--backoff-ms" => {
+                    sup.backoff_ms = parse_int(flag, &value()?)?;
+                    Ok(true)
+                }
+                "--checkpoint-every" => {
+                    sup.checkpoint_every = parse_int(flag, &value()?)?;
+                    Ok(true)
+                }
+                _ => Ok(false),
+            })?;
+            Ok(Command::Supervise { benches, opts, sup })
         }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -340,6 +519,77 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("stress --seed nope")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_resume_supervise_parse() {
+        match parse(&argv("checkpoint hmmer --at 1000 --out snap.ckpt --seed 7")).unwrap() {
+            Command::Checkpoint {
+                bench,
+                at,
+                out,
+                opts,
+            } => {
+                assert_eq!(bench, "hmmer");
+                assert_eq!(at, 1000);
+                assert_eq!(out.as_deref(), Some("snap.ckpt"));
+                assert_eq!(opts.seed, Some(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // `--at` defaults to half the budget.
+        match parse(&argv("checkpoint hmmer --budget 4000")).unwrap() {
+            Command::Checkpoint { at, out, .. } => {
+                assert_eq!(at, 2000);
+                assert_eq!(out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("resume snap.ckpt --json")).unwrap(),
+            Command::Resume {
+                path: "snap.ckpt".into(),
+                json: true
+            }
+        );
+        assert!(parse(&argv("resume snap.ckpt --bogus")).is_err());
+        match parse(&argv(
+            "supervise hmmer namd --dir state --deadline-ms 500 --max-attempts 2 \
+             --backoff-ms 10 --checkpoint-every 5000 --budget 9000",
+        ))
+        .unwrap()
+        {
+            Command::Supervise { benches, opts, sup } => {
+                assert_eq!(benches, vec!["hmmer".to_owned(), "namd".to_owned()]);
+                assert_eq!(opts.budget, 9000);
+                assert_eq!(sup.dir, "state");
+                assert_eq!(sup.deadline_ms, 500);
+                assert_eq!(sup.max_attempts, 2);
+                assert_eq!(sup.backoff_ms, 10);
+                assert_eq!(sup.checkpoint_every, 5000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("supervise")).unwrap() {
+            Command::Supervise { benches, sup, .. } => {
+                assert!(benches.is_empty());
+                assert_eq!(sup, SuperviseOpts::default());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn manager_canonical_names_round_trip() {
+        for m in [
+            ManagerArg::PowerChop,
+            ManagerArg::Full,
+            ManagerArg::Minimal,
+            ManagerArg::Timeout,
+            ManagerArg::Drowsy,
+        ] {
+            assert_eq!(ManagerArg::parse(m.as_str()).unwrap(), m);
+        }
     }
 
     #[test]

@@ -2,15 +2,21 @@
 
 use std::collections::HashMap;
 
-use powerchop::{run_program, ManagerKind, RunConfig, RunReport};
+use powerchop::{
+    read_meta, run_program, ManagerKind, RunConfig, RunReport, Simulation, SnapshotMeta,
+};
 use powerchop_faults::FaultConfig;
 use powerchop_gisa::Program;
 use powerchop_uarch::cache::MlcWayState;
 use powerchop_uarch::config::{CoreConfig, CoreKind};
 use powerchop_workloads::{Benchmark, Scale, Suite};
 
-use crate::args::{Command, RunOpts, USAGE};
+use crate::args::{Command, ManagerArg, RunOpts, USAGE};
 use crate::CliError;
+
+/// Dispatch-loop iterations per [`Simulation::step_chunk`] call when a
+/// command steps a run incrementally (checkpointing, supervision).
+pub(crate) const STEP_CHUNK: u64 = 65_536;
 
 /// Executes a parsed command.
 ///
@@ -31,6 +37,16 @@ pub fn dispatch(command: Command) -> Result<(), CliError> {
         Command::Asm { path, opts } => run_asm(&path, opts),
         Command::Profile { bench, opts } => profile_bench(&bench, opts),
         Command::Stress { bench, opts } => stress(bench.as_deref(), opts),
+        Command::Checkpoint {
+            bench,
+            at,
+            out,
+            opts,
+        } => checkpoint_cmd(&bench, at, out.as_deref(), opts),
+        Command::Resume { path, json } => resume_cmd(&path, json),
+        Command::Supervise { benches, opts, sup } => {
+            crate::supervise::supervise(&benches, opts, &sup)
+        }
     }
 }
 
@@ -287,6 +303,132 @@ fn run_asm(path: &str, opts: RunOpts) -> Result<(), CliError> {
 
 /// The `stress` fault-schedule seed when `--seed` is not given.
 pub const DEFAULT_STRESS_SEED: u64 = 0xCAFE_BABE;
+
+/// The fault schedule implied by `--seed`/`--storm` (`None` runs clean).
+fn fault_config(seed: Option<u64>, storm: bool) -> Option<FaultConfig> {
+    if seed.is_none() && !storm {
+        return None;
+    }
+    let seed = seed.unwrap_or(DEFAULT_STRESS_SEED);
+    Some(if storm {
+        FaultConfig::storm(seed)
+    } else {
+        FaultConfig::default_rates(seed)
+    })
+}
+
+/// Everything a checkpointable run needs, bundled so `checkpoint`,
+/// `resume` and `supervise` reconstruct runs identically.
+pub(crate) struct PreparedRun {
+    /// The guest program.
+    pub program: Program,
+    /// The manager kind.
+    pub kind: ManagerKind,
+    /// The full run configuration.
+    pub cfg: RunConfig,
+    /// Self-describing metadata embedded in snapshots.
+    pub meta: SnapshotMeta,
+}
+
+/// Builds a [`PreparedRun`] from its five run-shaping inputs; the
+/// resulting metadata round-trips through a snapshot back into the same
+/// prepared run.
+pub(crate) fn prepare_run(
+    bench: &str,
+    manager: ManagerArg,
+    budget: u64,
+    scale: f64,
+    seed: Option<u64>,
+    storm: bool,
+) -> Result<PreparedRun, CliError> {
+    let b = benchmark(bench)?;
+    let mut cfg = RunConfig::for_kind(b.core_kind());
+    cfg.max_instructions = budget;
+    let faults = fault_config(seed, storm);
+    let fault_seed = faults.as_ref().map(|_| seed.unwrap_or(DEFAULT_STRESS_SEED));
+    cfg.faults = faults;
+    Ok(PreparedRun {
+        program: b.program(Scale(scale)),
+        kind: manager.kind(),
+        cfg,
+        meta: SnapshotMeta {
+            benchmark: b.name().to_owned(),
+            scale,
+            manager: manager.as_str().to_owned(),
+            budget,
+            fault_seed,
+            storm,
+        },
+    })
+}
+
+/// Writes `bytes` to `path` atomically (temp file + rename), so a crash
+/// mid-write can never leave a half-written snapshot under the real name.
+pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), CliError> {
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn checkpoint_cmd(bench: &str, at: u64, out: Option<&str>, opts: RunOpts) -> Result<(), CliError> {
+    let pr = prepare_run(
+        bench,
+        opts.manager,
+        opts.budget,
+        opts.scale,
+        opts.seed,
+        opts.storm,
+    )?;
+    let mut sim = Simulation::new(&pr.program, pr.kind, &pr.cfg)?;
+    while !sim.is_done() && sim.retired() < at {
+        sim.step_chunk(STEP_CHUNK)?;
+    }
+    let bytes = sim.snapshot(&pr.meta);
+    let default_name = format!("{bench}.ckpt");
+    let path = std::path::Path::new(out.unwrap_or(&default_name));
+    write_atomic(path, &bytes)?;
+    println!(
+        "wrote {} ({} bytes) at {} retired instructions{}",
+        path.display(),
+        bytes.len(),
+        sim.retired(),
+        if sim.is_done() {
+            " (run already complete)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn resume_cmd(path: &str, json: bool) -> Result<(), CliError> {
+    let bytes = std::fs::read(path)?;
+    let meta = read_meta(&bytes).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let pr = prepare_run(
+        &meta.benchmark,
+        ManagerArg::parse(&meta.manager)?,
+        meta.budget,
+        meta.scale,
+        meta.fault_seed,
+        meta.storm,
+    )?;
+    let mut sim = Simulation::restore(&pr.program, pr.kind, &pr.cfg, &bytes)
+        .map_err(|e| CliError(format!("{path}: {e}")))?;
+    let resumed_at = sim.retired();
+    sim.run_to_completion()?;
+    let report = sim.into_report();
+    if json {
+        println!("{}", report_to_json(&report));
+    } else {
+        println!(
+            "resumed {} at {} retired instructions",
+            meta.benchmark, resumed_at
+        );
+        print_report(&report);
+    }
+    Ok(())
+}
 
 /// One benchmark's stress outcome.
 struct StressRow {

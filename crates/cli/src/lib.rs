@@ -8,6 +8,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod supervise;
 
 use std::fmt;
 

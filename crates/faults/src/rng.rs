@@ -60,6 +60,20 @@ impl SimRng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// The raw generator state, for checkpointing. Combined with
+    /// [`SimRng::from_state`] this resumes a stream mid-sequence.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at an exact stream position previously
+    /// captured with [`SimRng::state`].
+    #[must_use]
+    pub fn from_state(state: u64) -> Self {
+        SimRng { state }
+    }
+
     /// A statistically independent generator derived from this one and a
     /// stream label. Forking per subsystem keeps event streams stable:
     /// adding draws to one stream never shifts another.

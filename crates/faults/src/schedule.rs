@@ -348,6 +348,52 @@ impl FaultSchedule {
     pub fn stats(&self) -> FaultStats {
         self.stats
     }
+
+    /// Serializes the schedule's mutable state: each stream's RNG position
+    /// and next due cycle (in [`FaultKind::ALL`] order) plus the injected
+    /// counters. The [`FaultConfig`] is config-derived and not written.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        for s in &self.streams {
+            w.put_u64(s.rng.state());
+            w.put_u64(s.due);
+        }
+        for v in [
+            self.stats.interrupts,
+            self.stats.context_switches,
+            self.stats.region_invalidations,
+            self.stats.pvt_corruptions,
+            self.stats.pvt_evictions,
+            self.stats.perturbations,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores state written by [`FaultSchedule::snapshot_to`] into a
+    /// schedule built from the same [`FaultConfig`], resuming every fault
+    /// stream at its exact position.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        for s in &mut self.streams {
+            s.rng = SimRng::from_state(r.take_u64()?);
+            s.due = r.take_u64()?;
+        }
+        self.next_min = self.streams.iter().map(|s| s.due).min().unwrap_or(u64::MAX);
+        self.stats.interrupts = r.take_u64()?;
+        self.stats.context_switches = r.take_u64()?;
+        self.stats.region_invalidations = r.take_u64()?;
+        self.stats.pvt_corruptions = r.take_u64()?;
+        self.stats.pvt_evictions = r.take_u64()?;
+        self.stats.perturbations = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,62 @@ impl Cpu {
         self.vec[v.index()]
     }
 
+    /// Serializes the complete architectural state (registers, PC, call
+    /// stack, halt flag, retired count) for a run checkpoint.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        for v in self.int {
+            w.put_i64(v);
+        }
+        for v in self.fp {
+            w.put_f64(v);
+        }
+        for lanes in self.vec {
+            for v in lanes {
+                w.put_i64(v);
+            }
+        }
+        w.put_u32(self.pc.0);
+        w.put_usize(self.call_stack.len());
+        for pc in &self.call_stack {
+            w.put_u32(pc.0);
+        }
+        w.put_bool(self.halted);
+        w.put_u64(self.retired);
+    }
+
+    /// Restores the architectural state written by [`Cpu::snapshot_to`],
+    /// replacing this CPU's state in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated or malformed.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        for v in &mut self.int {
+            *v = r.take_i64()?;
+        }
+        for v in &mut self.fp {
+            *v = r.take_f64()?;
+        }
+        for lanes in &mut self.vec {
+            for v in lanes {
+                *v = r.take_i64()?;
+            }
+        }
+        self.pc = Pc(r.take_u32()?);
+        let depth = r.take_usize()?;
+        self.call_stack.clear();
+        for _ in 0..depth {
+            self.call_stack.push(Pc(r.take_u32()?));
+        }
+        self.halted = r.take_bool()?;
+        self.retired = r.take_u64()?;
+        Ok(())
+    }
+
     /// Executes the instruction at the current PC and advances.
     ///
     /// Executing while halted is a no-op that returns the `halt` step again.

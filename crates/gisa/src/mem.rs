@@ -65,7 +65,9 @@ impl Memory {
         if offset + 8 <= PAGE_SIZE {
             return match self.pages.get(&(addr >> PAGE_SHIFT)) {
                 Some(page) => {
-                    u64::from_le_bytes(page[offset..offset + 8].try_into().expect("8 bytes"))
+                    let mut bytes = [0u8; 8];
+                    bytes.copy_from_slice(&page[offset..offset + 8]);
+                    u64::from_le_bytes(bytes)
                 }
                 None => 0,
             };
@@ -110,6 +112,41 @@ impl Memory {
         for (i, b) in bytes.iter().enumerate() {
             self.write_u8(base.wrapping_add(i as u64), *b);
         }
+    }
+
+    /// Serializes every resident page (sorted by page number, so the
+    /// encoding is deterministic regardless of hash-map iteration order).
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        let mut numbers: Vec<u64> = self.pages.keys().copied().collect();
+        numbers.sort_unstable();
+        w.put_usize(numbers.len());
+        for n in numbers {
+            w.put_u64(n);
+            w.put_raw(&self.pages[&n][..]);
+        }
+    }
+
+    /// Restores the memory image written by [`Memory::snapshot_to`],
+    /// replacing all resident pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated or malformed.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        let count = r.take_usize()?;
+        self.pages.clear();
+        for _ in 0..count {
+            let n = r.take_u64()?;
+            let bytes = r.take_raw(PAGE_SIZE)?;
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page.copy_from_slice(bytes);
+            self.pages.insert(n, page);
+        }
+        Ok(())
     }
 }
 

@@ -95,6 +95,19 @@ impl Program {
             mem.write_bytes(*base, bytes);
         }
     }
+
+    /// A deterministic 64-bit fingerprint of the program (name,
+    /// instructions, entry and data image). Checkpoints record it so a
+    /// resume against a different program is rejected instead of
+    /// silently diverging.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = format!(
+            "{}#{}#{:?}#{:?}",
+            self.name, self.entry.0, self.insts, self.data
+        );
+        powerchop_checkpoint::fnv1a64(canonical.as_bytes())
+    }
 }
 
 /// Assembler-style builder for [`Program`]s.

@@ -253,6 +253,53 @@ impl EnergyLedger {
         self.transitions += 1;
     }
 
+    /// Serializes the ledger's accumulated state (interval anchors, energy
+    /// breakdowns, transition counters). `PowerParams` are config-derived
+    /// and not written; floating-point values round-trip exactly via their
+    /// bit patterns.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        w.put_u64(self.last_cycles);
+        self.last_stats.snapshot_to(w);
+        w.put_f64(self.leak.vpu);
+        w.put_f64(self.leak.bpu);
+        w.put_f64(self.leak.mlc);
+        w.put_f64(self.leak.other);
+        w.put_f64(self.dynamic.pipeline);
+        w.put_f64(self.dynamic.bpu);
+        w.put_f64(self.dynamic.vpu);
+        w.put_f64(self.dynamic.mlc);
+        w.put_f64(self.dynamic.memory);
+        w.put_f64(self.overhead_j);
+        w.put_u64(self.transitions);
+    }
+
+    /// Restores state written by [`EnergyLedger::snapshot_to`] into a
+    /// ledger built with the same [`PowerParams`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        self.last_cycles = r.take_u64()?;
+        self.last_stats = CoreStats::restore_from(r)?;
+        self.leak.vpu = r.take_f64()?;
+        self.leak.bpu = r.take_f64()?;
+        self.leak.mlc = r.take_f64()?;
+        self.leak.other = r.take_f64()?;
+        self.dynamic.pipeline = r.take_f64()?;
+        self.dynamic.bpu = r.take_f64()?;
+        self.dynamic.vpu = r.take_f64()?;
+        self.dynamic.mlc = r.take_f64()?;
+        self.dynamic.memory = r.take_f64()?;
+        self.overhead_j = r.take_f64()?;
+        self.transitions = r.take_u64()?;
+        Ok(())
+    }
+
     /// Produces the energy/power report for everything accounted so far.
     #[must_use]
     pub fn report(&self) -> EnergyReport {

@@ -345,6 +345,104 @@ impl Cde {
         }
     }
 
+    /// Serializes the CDE's memory-backed phase store: per-phase records
+    /// and interrupted-attempt counts (both sorted by signature for a
+    /// deterministic encoding) plus statistics. Thresholds and profiling
+    /// parameters are config-derived and not written.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        let mut phases: Vec<(&PhaseSignature, &PhaseRecord)> = self.phases.iter().collect();
+        phases.sort_unstable_by_key(|(sig, _)| **sig);
+        w.put_usize(phases.len());
+        for (sig, record) in phases {
+            sig.snapshot_to(w);
+            match record {
+                PhaseRecord::Warming { left } => {
+                    w.put_u8(0);
+                    w.put_u32(*left);
+                }
+                PhaseRecord::ProfilingLarge => w.put_u8(1),
+                PhaseRecord::ProfilingSmall(p) => {
+                    w.put_u8(2);
+                    for v in [
+                        p.instructions,
+                        p.vec_ops,
+                        p.branches,
+                        p.mispredicts,
+                        p.mlc_accesses,
+                        p.mlc_hits,
+                    ] {
+                        w.put_u64(v);
+                    }
+                }
+                PhaseRecord::Decided(policy) => {
+                    w.put_u8(3);
+                    w.put_u8(policy.bits());
+                }
+            }
+        }
+        let mut attempts: Vec<(&PhaseSignature, &u32)> = self.attempts.iter().collect();
+        attempts.sort_unstable_by_key(|(sig, _)| **sig);
+        w.put_usize(attempts.len());
+        for (sig, count) in attempts {
+            sig.snapshot_to(w);
+            w.put_u32(*count);
+        }
+        w.put_u64(self.stats.new_phases);
+        w.put_u64(self.stats.decided);
+        w.put_u64(self.stats.reregistered);
+        w.put_u64(self.stats.profiles_discarded);
+    }
+
+    /// Restores state written by [`Cde::snapshot_to`] in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated or a phase record has an unknown tag.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        let phase_count = r.take_usize()?;
+        self.phases.clear();
+        for _ in 0..phase_count {
+            let sig = PhaseSignature::restore_from(r)?;
+            let record = match r.take_u8()? {
+                0 => PhaseRecord::Warming {
+                    left: r.take_u32()?,
+                },
+                1 => PhaseRecord::ProfilingLarge,
+                2 => PhaseRecord::ProfilingSmall(WindowProfile {
+                    instructions: r.take_u64()?,
+                    vec_ops: r.take_u64()?,
+                    branches: r.take_u64()?,
+                    mispredicts: r.take_u64()?,
+                    mlc_accesses: r.take_u64()?,
+                    mlc_hits: r.take_u64()?,
+                }),
+                3 => PhaseRecord::Decided(GatingPolicy::from_bits(r.take_u8()?)),
+                _ => {
+                    return Err(powerchop_checkpoint::CheckpointError::Malformed {
+                        what: "unknown CDE phase record tag",
+                    })
+                }
+            };
+            self.phases.insert(sig, record);
+        }
+        let attempt_count = r.take_usize()?;
+        self.attempts.clear();
+        for _ in 0..attempt_count {
+            let sig = PhaseSignature::restore_from(r)?;
+            let count = r.take_u32()?;
+            self.attempts.insert(sig, count);
+        }
+        self.stats.new_phases = r.take_u64()?;
+        self.stats.decided = r.take_u64()?;
+        self.stats.reregistered = r.take_u64()?;
+        self.stats.profiles_discarded = r.take_u64()?;
+        Ok(())
+    }
+
     /// Scores unit criticality and assigns the phase's gating policy
     /// (paper §IV-C2). `first` was measured with everything fully powered
     /// (large BPU); `second` with the small BPU active.

@@ -194,6 +194,87 @@ impl DegradationGuard {
         }
     }
 
+    /// Serializes the guard's per-phase bookkeeping (backoff, flip
+    /// history, pins — each sorted by signature for a deterministic
+    /// encoding) and statistics. The limits are config-derived.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        let mut backoff: Vec<(&PhaseSignature, &Backoff)> = self.backoff.iter().collect();
+        backoff.sort_unstable_by_key(|(sig, _)| **sig);
+        w.put_usize(backoff.len());
+        for (sig, b) in backoff {
+            sig.snapshot_to(w);
+            w.put_u32(b.attempts);
+            w.put_u64(b.defer_until);
+        }
+        let mut last: Vec<(&PhaseSignature, &(GatingPolicy, u32))> =
+            self.last_policy.iter().collect();
+        last.sort_unstable_by_key(|(sig, _)| **sig);
+        w.put_usize(last.len());
+        for (sig, (policy, flips)) in last {
+            sig.snapshot_to(w);
+            w.put_u8(policy.bits());
+            w.put_u32(*flips);
+        }
+        let mut pinned: Vec<(&PhaseSignature, &GatingPolicy)> = self.pinned.iter().collect();
+        pinned.sort_unstable_by_key(|(sig, _)| **sig);
+        w.put_usize(pinned.len());
+        for (sig, policy) in pinned {
+            sig.snapshot_to(w);
+            w.put_u8(policy.bits());
+        }
+        w.put_u64(self.stats.anomalies);
+        w.put_u64(self.stats.failsafe_transitions);
+        w.put_u64(self.stats.reprofiles_scheduled);
+        w.put_u64(self.stats.phases_pinned);
+    }
+
+    /// Restores state written by [`DegradationGuard::snapshot_to`] in
+    /// place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        let backoff_count = r.take_usize()?;
+        self.backoff.clear();
+        for _ in 0..backoff_count {
+            let sig = PhaseSignature::restore_from(r)?;
+            let attempts = r.take_u32()?;
+            let defer_until = r.take_u64()?;
+            self.backoff.insert(
+                sig,
+                Backoff {
+                    attempts,
+                    defer_until,
+                },
+            );
+        }
+        let last_count = r.take_usize()?;
+        self.last_policy.clear();
+        for _ in 0..last_count {
+            let sig = PhaseSignature::restore_from(r)?;
+            let policy = GatingPolicy::from_bits(r.take_u8()?);
+            let flips = r.take_u32()?;
+            self.last_policy.insert(sig, (policy, flips));
+        }
+        let pinned_count = r.take_usize()?;
+        self.pinned.clear();
+        for _ in 0..pinned_count {
+            let sig = PhaseSignature::restore_from(r)?;
+            let policy = GatingPolicy::from_bits(r.take_u8()?);
+            self.pinned.insert(sig, policy);
+        }
+        self.stats.anomalies = r.take_u64()?;
+        self.stats.failsafe_transitions = r.take_u64()?;
+        self.stats.reprofiles_scheduled = r.take_u64()?;
+        self.stats.phases_pinned = r.take_u64()?;
+        Ok(())
+    }
+
     /// Oscillation watchdog: records that `policy` was decided (or
     /// re-decided) for `signature`. Returns the pinned fail-safe policy
     /// if the phase has now changed decided policies too many times.

@@ -8,6 +8,7 @@
 //! `Display` message per variant, `source()` chaining where there is an
 //! underlying cause.
 
+use powerchop_checkpoint::CheckpointError;
 use powerchop_gisa::GisaError;
 
 /// Why a simulation run could not produce a report.
@@ -24,6 +25,10 @@ pub enum SimError {
         /// Why the value is unusable.
         reason: &'static str,
     },
+    /// A checkpoint snapshot could not be written or restored: corrupt,
+    /// truncated, version-skewed or captured under a different
+    /// configuration.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for SimError {
@@ -33,6 +38,7 @@ impl std::fmt::Display for SimError {
             SimError::InvalidConfig { field, reason } => {
                 write!(f, "invalid run configuration: {field} {reason}")
             }
+            SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -42,6 +48,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Guest(e) => Some(e),
             SimError::InvalidConfig { .. } => None,
+            SimError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -49,6 +56,12 @@ impl std::error::Error for SimError {
 impl From<GisaError> for SimError {
     fn from(e: GisaError) -> Self {
         SimError::Guest(e)
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(e)
     }
 }
 

@@ -220,6 +220,53 @@ impl GatingController {
         }
         self.current = policy;
     }
+
+    /// Serializes the mutable controller state: the policy in force, the
+    /// switch counts, the per-state cycle integrals and the accounting
+    /// watermark. Penalties and the semantic flag are config-derived and
+    /// not written.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        w.put_u8(self.current.bits());
+        w.put_u64(self.switches.vpu);
+        w.put_u64(self.switches.bpu);
+        w.put_u64(self.switches.mlc);
+        w.put_u64(self.gated.vpu_off);
+        w.put_u64(self.gated.bpu_off);
+        w.put_u64(self.gated.mlc_half);
+        w.put_u64(self.gated.mlc_quarter);
+        w.put_u64(self.gated.mlc_one);
+        w.put_u64(self.gated.total);
+        w.put_u64(self.last_cycles);
+    }
+
+    /// Restores state written by [`GatingController::snapshot_to`] in
+    /// place.
+    ///
+    /// The caller is responsible for restoring the core model itself;
+    /// this only restores the controller's bookkeeping (the core's unit
+    /// states are part of the core snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        self.current = GatingPolicy::from_bits(r.take_u8()?);
+        self.switches.vpu = r.take_u64()?;
+        self.switches.bpu = r.take_u64()?;
+        self.switches.mlc = r.take_u64()?;
+        self.gated.vpu_off = r.take_u64()?;
+        self.gated.bpu_off = r.take_u64()?;
+        self.gated.mlc_half = r.take_u64()?;
+        self.gated.mlc_quarter = r.take_u64()?;
+        self.gated.mlc_one = r.take_u64()?;
+        self.gated.total = r.take_u64()?;
+        self.last_cycles = r.take_u64()?;
+        Ok(())
+    }
 }
 
 fn core_mlc_ways(_core: &CoreModel) -> u32 {

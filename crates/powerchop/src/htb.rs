@@ -143,6 +143,51 @@ impl HotTranslationBuffer {
     pub fn storage_bytes(&self) -> u64 {
         (self.capacity * 8) as u64
     }
+
+    /// Serializes the window-in-progress counts (sorted by translation ID
+    /// for a deterministic encoding) and the cumulative overflow counter.
+    /// Capacity and signature length are config-derived and not written.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        let mut entries: Vec<(TranslationId, (u64, u64))> =
+            self.counts.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        w.put_usize(entries.len());
+        for (id, (execs, insts)) in entries {
+            w.put_u32(id.0);
+            w.put_u64(execs);
+            w.put_u64(insts);
+        }
+        w.put_u64(self.overflowed);
+    }
+
+    /// Restores state written by [`HotTranslationBuffer::snapshot_to`] in
+    /// place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated or holds more entries than this buffer's
+    /// configured capacity.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        let count = r.take_usize()?;
+        if count > self.capacity {
+            return Err(powerchop_checkpoint::CheckpointError::Malformed {
+                what: "HTB entry count exceeds capacity",
+            });
+        }
+        self.counts.clear();
+        for _ in 0..count {
+            let id = TranslationId(r.take_u32()?);
+            let execs = r.take_u64()?;
+            let insts = r.take_u64()?;
+            self.counts.insert(id, (execs, insts));
+        }
+        self.overflowed = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

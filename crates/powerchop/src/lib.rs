@@ -27,7 +27,9 @@
 //!   re-profiling, oscillation watchdog): fail safe to full power,
 //! - [`error`] — the typed [`SimError`] every run returns on failure,
 //! - [`system`] — [`system::run_program`], the integrated simulation loop,
-//!   including deterministic fault injection via [`powerchop_faults`].
+//!   including deterministic fault injection via [`powerchop_faults`],
+//!   plus [`Simulation`]: chunked stepping with crash-safe, checksummed
+//!   [`Simulation::snapshot`]/[`Simulation::restore`] checkpoints.
 //!
 //! # Quick start
 //!
@@ -78,4 +80,7 @@ pub use managers::{ChopConfig, DrowsyMlcManager, PowerChopManager, PowerManager}
 pub use phase::PhaseSignature;
 pub use policy::GatingPolicy;
 pub use pvt::PolicyVectorTable;
-pub use system::{run_program, ManagerKind, RunConfig, RunReport};
+pub use system::{
+    config_fingerprint, read_meta, run_program, ManagerKind, RunConfig, RunReport, Simulation,
+    SnapshotMeta,
+};

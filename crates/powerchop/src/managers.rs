@@ -11,6 +11,7 @@
 
 use powerchop_bt::nucleus::Nucleus;
 use powerchop_bt::TranslationId;
+use powerchop_checkpoint::{ByteReader, ByteWriter, CheckpointError};
 use powerchop_faults::FaultKind;
 use powerchop_power::EnergyLedger;
 use powerchop_uarch::core::{CoreModel, CoreStats};
@@ -83,6 +84,22 @@ pub trait PowerManager {
     /// Degradation-guard statistics, when the manager has a guard.
     fn degrade_stats(&self) -> Option<DegradeStats> {
         None
+    }
+
+    /// Serializes the manager's mutable state for a checkpoint. Stateless
+    /// managers write nothing.
+    fn snapshot_to(&self, _w: &mut ByteWriter) {}
+
+    /// Restores manager state written by [`PowerManager::snapshot_to`]
+    /// into a freshly-constructed manager of the same kind and
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when the payload is truncated or
+    /// inconsistent with this manager's configuration.
+    fn restore_from(&mut self, _r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        Ok(())
     }
 }
 
@@ -173,6 +190,17 @@ impl PowerManager for TimeoutVpuManager {
                 ctx.ledger,
             );
         }
+    }
+
+    fn snapshot_to(&self, w: &mut ByteWriter) {
+        w.put_u64(self.last_vec_ops);
+        w.put_u64(self.last_vec_cycle);
+    }
+
+    fn restore_from(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        self.last_vec_ops = r.take_u64()?;
+        self.last_vec_cycle = r.take_u64()?;
+        Ok(())
     }
 }
 
@@ -290,6 +318,17 @@ impl PowerManager for DrowsyMlcManager {
             self.last_drowse = now;
             self.drowse_events += 1;
         }
+    }
+
+    fn snapshot_to(&self, w: &mut ByteWriter) {
+        w.put_u64(self.last_drowse);
+        w.put_u64(self.drowse_events);
+    }
+
+    fn restore_from(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        self.last_drowse = r.take_u64()?;
+        self.drowse_events = r.take_u64()?;
+        Ok(())
     }
 }
 
@@ -667,6 +706,69 @@ impl PowerManager for PowerChopManager {
 
     fn degrade_stats(&self) -> Option<DegradeStats> {
         Some(self.guard.stats())
+    }
+
+    fn snapshot_to(&self, w: &mut ByteWriter) {
+        self.htb.snapshot_to(w);
+        self.pvt.snapshot_to(w);
+        self.cde.snapshot_to(w);
+        self.guard.snapshot_to(w);
+        w.put_u32(self.window_count);
+        w.put_u64(self.window_index);
+        self.window_start_stats.snapshot_to(w);
+        match self.armed {
+            Some((sig, resume)) => {
+                w.put_bool(true);
+                sig.snapshot_to(w);
+                w.put_u8(resume.bits());
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.records.len());
+        for rec in &self.records {
+            rec.signature.snapshot_to(w);
+            w.put_usize(rec.counts.len());
+            for (id, execs) in &rec.counts {
+                w.put_u32(id.0);
+                w.put_u64(*execs);
+            }
+            w.put_u8(rec.policy.bits());
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        self.htb.restore_from(r)?;
+        self.pvt.restore_from(r)?;
+        self.cde.restore_from(r)?;
+        self.guard.restore_from(r)?;
+        self.window_count = r.take_u32()?;
+        self.window_index = r.take_u64()?;
+        self.window_start_stats = CoreStats::restore_from(r)?;
+        self.armed = if r.take_bool()? {
+            let sig = PhaseSignature::restore_from(r)?;
+            let resume = GatingPolicy::from_bits(r.take_u8()?);
+            Some((sig, resume))
+        } else {
+            None
+        };
+        let record_count = r.take_usize()?;
+        self.records = Vec::with_capacity(record_count.min(1 << 16));
+        for _ in 0..record_count {
+            let signature = PhaseSignature::restore_from(r)?;
+            let count_len = r.take_usize()?;
+            let mut counts = Vec::with_capacity(count_len.min(1 << 16));
+            for _ in 0..count_len {
+                let id = TranslationId(r.take_u32()?);
+                counts.push((id, r.take_u64()?));
+            }
+            let policy = GatingPolicy::from_bits(r.take_u8()?);
+            self.records.push(WindowRecord {
+                signature,
+                counts,
+                policy,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -64,6 +64,33 @@ impl PhaseSignature {
     pub fn storage_bits() -> u32 {
         (SIGNATURE_LEN * 32) as u32
     }
+
+    /// Serializes the canonical 4-word form (sorted, `u32::MAX` padding),
+    /// so round-tripping reproduces the exact same signature.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        for id in self.ids {
+            w.put_u32(id);
+        }
+    }
+
+    /// Reads a signature written by [`PhaseSignature::snapshot_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated.
+    pub fn restore_from(
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<Self, powerchop_checkpoint::CheckpointError> {
+        let mut ids = [u32::MAX; SIGNATURE_LEN];
+        for slot in &mut ids {
+            *slot = r.take_u32()?;
+        }
+        // Re-canonicalize so corrupted-but-parseable inputs cannot smuggle
+        // a non-canonical signature into equality comparisons.
+        ids.sort_unstable();
+        Ok(PhaseSignature { ids })
+    }
 }
 
 impl std::fmt::Display for PhaseSignature {

@@ -225,6 +225,65 @@ impl PolicyVectorTable {
         bits / 8
     }
 
+    /// Serializes the full table state for checkpointing: entries in
+    /// residency order with their reference bits, the clock hand, and
+    /// statistics. (Unlike [`PolicyVectorTable::to_bit_image`], which
+    /// models the hardware's 264-byte array and drops replacement state,
+    /// this encoding is lossless.) Capacity is config-derived.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            e.signature.snapshot_to(w);
+            w.put_u8(e.policy.bits());
+            w.put_bool(e.referenced);
+        }
+        w.put_usize(self.clock_hand);
+        w.put_u64(self.stats.lookups);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.evictions);
+    }
+
+    /// Restores state written by [`PolicyVectorTable::snapshot_to`] in
+    /// place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated or inconsistent with this table's capacity.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        let count = r.take_usize()?;
+        if count > self.capacity {
+            return Err(powerchop_checkpoint::CheckpointError::Malformed {
+                what: "PVT entry count exceeds capacity",
+            });
+        }
+        self.entries.clear();
+        for _ in 0..count {
+            let signature = PhaseSignature::restore_from(r)?;
+            let policy = GatingPolicy::from_bits(r.take_u8()?);
+            let referenced = r.take_bool()?;
+            self.entries.push(Entry {
+                signature,
+                policy,
+                referenced,
+            });
+        }
+        let clock_hand = r.take_usize()?;
+        if clock_hand >= self.capacity {
+            return Err(powerchop_checkpoint::CheckpointError::Malformed {
+                what: "PVT clock hand outside capacity",
+            });
+        }
+        self.clock_hand = clock_hand;
+        self.stats.lookups = r.take_u64()?;
+        self.stats.hits = r.take_u64()?;
+        self.stats.evictions = r.take_u64()?;
+        Ok(())
+    }
+
     /// Serializes the table to its hardware bit image: per entry, four
     /// little-endian 32-bit translation PCs followed by the 4-bit policy
     /// (packed two entries' policies per byte at the end, matching the

@@ -1,10 +1,13 @@
 //! The integrated PowerChop system: guest program + BT layer + core
-//! model + power manager + energy ledger, with a single entry point
-//! ([`run_program`]) producing the [`RunReport`] that every experiment
-//! in the paper's evaluation is derived from.
+//! model + power manager + energy ledger. [`Simulation`] owns the full
+//! deterministic run state and supports chunked stepping with crash-safe
+//! [`Simulation::snapshot`]/[`Simulation::restore`]; [`run_program`] is
+//! the one-shot entry point producing the [`RunReport`] that every
+//! experiment in the paper's evaluation is derived from.
 
 use powerchop_bt::nucleus::{Nucleus, NucleusStats};
 use powerchop_bt::{BtConfig, BtStats, Machine, MachineEvent};
+use powerchop_checkpoint::{fnv1a64, CheckpointError, Snapshot, SnapshotWriter};
 use powerchop_faults::{FaultConfig, FaultKind, FaultSchedule, FaultStats};
 use powerchop_gisa::Program;
 use powerchop_power::{EnergyLedger, EnergyReport, PowerParams};
@@ -108,13 +111,33 @@ impl RunConfig {
     }
 }
 
+/// The built-in per-run instruction budget when `POWERCHOP_BUDGET` is
+/// unset.
+const BUILTIN_BUDGET: u64 = 12_000_000;
+
 /// The default per-run instruction budget, honouring `POWERCHOP_BUDGET`.
+/// An unset variable silently uses the built-in default; a set-but-
+/// unparseable value is a user mistake and gets a one-line warning on
+/// stderr instead of being silently swallowed.
 #[must_use]
 pub fn default_budget() -> u64 {
-    std::env::var("POWERCHOP_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(12_000_000)
+    match std::env::var("POWERCHOP_BUDGET") {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "warning: POWERCHOP_BUDGET={v:?} is not a valid instruction \
+                 count; using the default of {BUILTIN_BUDGET}"
+            );
+            BUILTIN_BUDGET
+        }),
+        Err(std::env::VarError::NotPresent) => BUILTIN_BUDGET,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!(
+                "warning: POWERCHOP_BUDGET is not valid unicode; using the \
+                 default of {BUILTIN_BUDGET}"
+            );
+            BUILTIN_BUDGET
+        }
+    }
 }
 
 /// The complete result of one run.
@@ -235,8 +258,429 @@ fn build_manager(kind: ManagerKind, cfg: &RunConfig) -> Box<dyn PowerManager> {
     }
 }
 
+/// Section tags of the [`Simulation`] snapshot container (see
+/// `DESIGN.md` for the format).
+pub mod sections {
+    /// Run metadata (benchmark name, scale, manager argument, fault
+    /// seed) — readable without knowing the configuration.
+    pub const META: u32 = 1;
+    /// Simulation progress flags.
+    pub const SIM: u32 = 2;
+    /// BT machine: guest CPU, guest memory, region cache, profiling heat.
+    pub const MACHINE: u32 = 3;
+    /// Core timing model: BPU, caches, VPU, stats.
+    pub const CORE: u32 = 4;
+    /// Energy ledger.
+    pub const LEDGER: u32 = 5;
+    /// Gating controller.
+    pub const CONTROLLER: u32 = 6;
+    /// BT nucleus.
+    pub const NUCLEUS: u32 = 7;
+    /// Power-manager state (HTB/PVT/CDE/guard for PowerChop).
+    pub const MANAGER: u32 = 8;
+    /// Fault-schedule RNG streams and due times.
+    pub const FAULTS: u32 = 9;
+}
+
+/// Self-describing run metadata embedded in every snapshot so a resuming
+/// process can reconstruct the [`RunConfig`] without out-of-band state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMeta {
+    /// Benchmark (or program) name.
+    pub benchmark: String,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Manager in its CLI-argument spelling (e.g. `"powerchop"`).
+    pub manager: String,
+    /// Instruction budget of the run.
+    pub budget: u64,
+    /// Fault-injection seed, when the run injects faults.
+    pub fault_seed: Option<u64>,
+    /// Whether the fault schedule uses the pathological storm rates.
+    pub storm: bool,
+}
+
+/// Reads the [`SnapshotMeta`] out of snapshot `bytes` without needing
+/// the run configuration (the config-hash check is deferred to
+/// [`Simulation::restore`]).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] when the container is corrupt,
+/// truncated, version-skewed or missing its metadata section.
+pub fn read_meta(bytes: &[u8]) -> Result<SnapshotMeta, CheckpointError> {
+    let snap = Snapshot::parse(bytes)?;
+    let mut r = snap.section(sections::META)?;
+    let benchmark = r.take_str()?;
+    let scale = r.take_f64()?;
+    let manager = r.take_str()?;
+    let budget = r.take_u64()?;
+    let fault_seed = if r.take_bool()? {
+        Some(r.take_u64()?)
+    } else {
+        None
+    };
+    let storm = r.take_bool()?;
+    r.expect_end("snapshot metadata")?;
+    Ok(SnapshotMeta {
+        benchmark,
+        scale,
+        manager,
+        budget,
+        fault_seed,
+        storm,
+    })
+}
+
+/// A deterministic fingerprint of everything that shapes a run's
+/// trajectory: the manager kind and the full [`RunConfig`]. Snapshots
+/// embed it so a resume under a different configuration is rejected
+/// instead of silently diverging.
+#[must_use]
+pub fn config_fingerprint(kind: ManagerKind, cfg: &RunConfig) -> u64 {
+    let canon = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+        kind,
+        cfg.core,
+        cfg.bt,
+        cfg.power,
+        cfg.chop,
+        cfg.max_instructions,
+        cfg.record_windows,
+        cfg.faults
+    );
+    fnv1a64(canon.as_bytes())
+}
+
+/// A live simulation: the complete deterministic state of one run.
+///
+/// Stepping is chunked at guest-dispatch boundaries
+/// ([`Simulation::step_chunk`]), which are exactly the boundaries the
+/// one-shot loop iterates at — so a run snapshotted between chunks and
+/// resumed from disk replays bit-identically to an uninterrupted run,
+/// fault schedules included.
+pub struct Simulation<'p> {
+    cfg: RunConfig,
+    name: String,
+    config_hash: u64,
+    core: CoreModel,
+    ledger: EnergyLedger,
+    controller: GatingController,
+    nucleus: Nucleus,
+    machine: Machine<'p>,
+    manager: Box<dyn PowerManager>,
+    schedule: Option<FaultSchedule>,
+    done: bool,
+}
+
+impl std::fmt::Debug for Simulation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("name", &self.name)
+            .field("manager", &self.manager.name())
+            .field("retired", &self.machine.retired())
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p> Simulation<'p> {
+    /// Creates a fresh simulation of `program` under the chosen manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for configurations the
+    /// simulation cannot run under.
+    pub fn new(program: &'p Program, kind: ManagerKind, cfg: &RunConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let mut core = CoreModel::new(&cfg.core);
+        let mut ledger = EnergyLedger::new(cfg.power.clone());
+        // The timeout baseline gates the power state only (vector ops
+        // wake the unit on demand), so its controller must not drive the
+        // core's unit models.
+        let semantic = !matches!(kind, ManagerKind::TimeoutVpu { .. });
+        let mut controller = GatingController::new(&cfg.core, semantic);
+        let mut nucleus = Nucleus::new();
+        let machine = Machine::new(program, cfg.bt);
+        let mut manager = build_manager(kind, cfg);
+        {
+            let mut ctx = ManagerCtx {
+                core: &mut core,
+                ledger: &mut ledger,
+                controller: &mut controller,
+                nucleus: &mut nucleus,
+            };
+            manager.init(&mut ctx);
+        }
+        let schedule = cfg.faults.map(FaultSchedule::new);
+        Ok(Simulation {
+            name: program.name().to_owned(),
+            config_hash: config_fingerprint(kind, cfg),
+            cfg: cfg.clone(),
+            core,
+            ledger,
+            controller,
+            nucleus,
+            machine,
+            manager,
+            schedule,
+            done: false,
+        })
+    }
+
+    /// Whether the run has reached its end (budget exhausted or guest
+    /// halted).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Guest instructions retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.machine.retired()
+    }
+
+    /// The configuration fingerprint embedded in this run's snapshots.
+    #[must_use]
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
+    }
+
+    /// One iteration of the dispatch loop: budget check, one machine
+    /// step, manager notification, due-fault drain — exactly the body of
+    /// the uninterrupted run loop.
+    fn step_once(&mut self) -> Result<(), SimError> {
+        if self.machine.retired() >= self.cfg.max_instructions {
+            self.done = true;
+            return Ok(());
+        }
+        match self.machine.step(&mut self.core)? {
+            MachineEvent::Halted => {
+                self.done = true;
+                return Ok(());
+            }
+            MachineEvent::Translation { id, instructions } => {
+                let mut ctx = ManagerCtx {
+                    core: &mut self.core,
+                    ledger: &mut self.ledger,
+                    controller: &mut self.controller,
+                    nucleus: &mut self.nucleus,
+                };
+                self.manager.on_translation(id, instructions, &mut ctx);
+            }
+            _ => {}
+        }
+        if let Some(sched) = self.schedule.as_mut() {
+            let fcfg = *sched.config();
+            while let Some(event) = sched.next_due(self.core.cycles()) {
+                match event.kind {
+                    FaultKind::AsyncInterrupt => {
+                        // A device interrupt runs its handler in the
+                        // nucleus, stealing cycles from the guest.
+                        let cycles = jittered(event.payload, fcfg.interrupt_handler_cycles);
+                        self.nucleus.raise(&mut self.core, cycles);
+                    }
+                    FaultKind::ContextSwitch => {
+                        // The OS scheduled another process: the machine's
+                        // per-process heat decays and the manager's
+                        // window state dies with it.
+                        self.machine.on_context_switch();
+                        self.core.add_stall(fcfg.context_switch_cycles.max(1));
+                        let mut ctx = ManagerCtx {
+                            core: &mut self.core,
+                            ledger: &mut self.ledger,
+                            controller: &mut self.controller,
+                            nucleus: &mut self.nucleus,
+                        };
+                        self.manager.on_fault(event.kind, event.payload, &mut ctx);
+                    }
+                    FaultKind::RegionCacheInvalidation => {
+                        self.machine
+                            .invalidate_regions(fcfg.region_invalidate_fraction, event.payload);
+                    }
+                    FaultKind::PvtCorruption | FaultKind::PvtEviction => {
+                        let mut ctx = ManagerCtx {
+                            core: &mut self.core,
+                            ledger: &mut self.ledger,
+                            controller: &mut self.controller,
+                            nucleus: &mut self.nucleus,
+                        };
+                        self.manager.on_fault(event.kind, event.payload, &mut ctx);
+                    }
+                    FaultKind::WorkloadPerturbation => {
+                        // A co-runner (or DVFS excursion) steals the core
+                        // for a while without touching any state.
+                        self.core
+                            .add_stall(jittered(event.payload, fcfg.perturb_stall_cycles));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs up to `iterations` dispatch-loop iterations, stopping early
+    /// when the run completes. Check [`Simulation::is_done`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Guest`] for guest-execution faults.
+    pub fn step_chunk(&mut self, iterations: u64) -> Result<(), SimError> {
+        for _ in 0..iterations {
+            if self.done {
+                return Ok(());
+            }
+            self.step_once()?;
+        }
+        Ok(())
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Guest`] for guest-execution faults.
+    pub fn run_to_completion(&mut self) -> Result<(), SimError> {
+        while !self.done {
+            self.step_once()?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes accounting and produces the run report. Valid at any
+    /// point (a mid-run report covers the work so far); the report of a
+    /// resumed run is bit-identical to that of an uninterrupted one.
+    #[must_use]
+    pub fn into_report(mut self) -> RunReport {
+        self.controller.sync(&self.core, &mut self.ledger);
+        RunReport {
+            name: self.name,
+            manager: self.manager.name(),
+            core_kind: self.cfg.core.kind,
+            instructions: self.machine.retired(),
+            cycles: self.core.cycles(),
+            stats: self.core.stats(),
+            bt: self.machine.stats(),
+            energy: self.ledger.report(),
+            gated: self.controller.gated_cycles(),
+            switches: self.controller.switches(),
+            nucleus: self.nucleus.stats(),
+            pvt: self.manager.pvt_stats(),
+            cde: self.manager.cde_stats(),
+            windows: self.manager.take_window_records(),
+            faults: self.schedule.as_ref().map(FaultSchedule::stats),
+            degrade: self.manager.degrade_stats(),
+        }
+    }
+
+    /// Serializes the complete run state into the versioned, checksummed
+    /// snapshot container, embedding `meta` so the snapshot is
+    /// self-describing.
+    #[must_use]
+    pub fn snapshot(&self, meta: &SnapshotMeta) -> Vec<u8> {
+        let mut sw = SnapshotWriter::new(self.config_hash);
+        sw.section(sections::META, |w| {
+            w.put_str(&meta.benchmark);
+            w.put_f64(meta.scale);
+            w.put_str(&meta.manager);
+            w.put_u64(meta.budget);
+            match meta.fault_seed {
+                Some(seed) => {
+                    w.put_bool(true);
+                    w.put_u64(seed);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_bool(meta.storm);
+        });
+        sw.section(sections::SIM, |w| w.put_bool(self.done));
+        sw.section(sections::MACHINE, |w| self.machine.snapshot_to(w));
+        sw.section(sections::CORE, |w| self.core.snapshot_to(w));
+        sw.section(sections::LEDGER, |w| self.ledger.snapshot_to(w));
+        sw.section(sections::CONTROLLER, |w| self.controller.snapshot_to(w));
+        sw.section(sections::NUCLEUS, |w| self.nucleus.snapshot_to(w));
+        sw.section(sections::MANAGER, |w| self.manager.snapshot_to(w));
+        if let Some(sched) = &self.schedule {
+            sw.section(sections::FAULTS, |w| sched.snapshot_to(w));
+        }
+        sw.finish()
+    }
+
+    /// Reconstructs a run from snapshot `bytes`. The caller supplies the
+    /// same program, manager kind and configuration the snapshot was
+    /// captured under; mismatches are rejected via the embedded config
+    /// fingerprint (and the machine section's program fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] when the snapshot is corrupt,
+    /// truncated, version-skewed or captured under a different
+    /// configuration, and [`SimError::InvalidConfig`] when `cfg` itself
+    /// is unusable.
+    pub fn restore(
+        program: &'p Program,
+        kind: ManagerKind,
+        cfg: &RunConfig,
+        bytes: &[u8],
+    ) -> Result<Self, SimError> {
+        let mut sim = Simulation::new(program, kind, cfg)?;
+        let snap = Snapshot::parse(bytes).map_err(SimError::from)?;
+        snap.require_config(sim.config_hash)
+            .map_err(SimError::from)?;
+        sim.restore_sections(&snap).map_err(SimError::from)?;
+        Ok(sim)
+    }
+
+    fn restore_sections(&mut self, snap: &Snapshot<'_>) -> Result<(), CheckpointError> {
+        let mut r = snap.section(sections::SIM)?;
+        self.done = r.take_bool()?;
+        r.expect_end("simulation flags")?;
+
+        let mut r = snap.section(sections::MACHINE)?;
+        self.machine.restore_from(&mut r)?;
+        r.expect_end("machine state")?;
+
+        let mut r = snap.section(sections::CORE)?;
+        self.core.restore_from(&mut r)?;
+        r.expect_end("core state")?;
+
+        let mut r = snap.section(sections::LEDGER)?;
+        self.ledger.restore_from(&mut r)?;
+        r.expect_end("energy ledger")?;
+
+        let mut r = snap.section(sections::CONTROLLER)?;
+        self.controller.restore_from(&mut r)?;
+        r.expect_end("gating controller")?;
+
+        let mut r = snap.section(sections::NUCLEUS)?;
+        self.nucleus.restore_from(&mut r)?;
+        r.expect_end("nucleus state")?;
+
+        let mut r = snap.section(sections::MANAGER)?;
+        self.manager.restore_from(&mut r)?;
+        r.expect_end("manager state")?;
+
+        match (&mut self.schedule, snap.has_section(sections::FAULTS)) {
+            (Some(sched), true) => {
+                let mut r = snap.section(sections::FAULTS)?;
+                sched.restore_from(&mut r)?;
+                r.expect_end("fault schedule")?;
+            }
+            (None, false) => {}
+            _ => {
+                return Err(CheckpointError::Malformed {
+                    what: "fault-schedule presence differs between snapshot and configuration",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Runs `program` under the chosen power manager, optionally under a
-/// deterministic fault schedule (`cfg.faults`).
+/// deterministic fault schedule (`cfg.faults`). A thin wrapper over
+/// [`Simulation`].
 ///
 /// # Errors
 ///
@@ -250,112 +694,9 @@ pub fn run_program(
     kind: ManagerKind,
     cfg: &RunConfig,
 ) -> Result<RunReport, SimError> {
-    cfg.validate()?;
-    let mut core = CoreModel::new(&cfg.core);
-    let mut ledger = EnergyLedger::new(cfg.power.clone());
-    // The timeout baseline gates the power state only (vector ops wake
-    // the unit on demand), so its controller must not drive the core's
-    // unit models.
-    let semantic = !matches!(kind, ManagerKind::TimeoutVpu { .. });
-    let mut controller = GatingController::new(&cfg.core, semantic);
-    let mut nucleus = Nucleus::new();
-    let mut machine = Machine::new(program, cfg.bt);
-    let mut manager = build_manager(kind, cfg);
-
-    {
-        let mut ctx = ManagerCtx {
-            core: &mut core,
-            ledger: &mut ledger,
-            controller: &mut controller,
-            nucleus: &mut nucleus,
-        };
-        manager.init(&mut ctx);
-    }
-
-    let mut schedule = cfg.faults.map(FaultSchedule::new);
-
-    loop {
-        if machine.retired() >= cfg.max_instructions {
-            break;
-        }
-        match machine.step(&mut core)? {
-            MachineEvent::Halted => break,
-            MachineEvent::Translation { id, instructions } => {
-                let mut ctx = ManagerCtx {
-                    core: &mut core,
-                    ledger: &mut ledger,
-                    controller: &mut controller,
-                    nucleus: &mut nucleus,
-                };
-                manager.on_translation(id, instructions, &mut ctx);
-            }
-            _ => {}
-        }
-        if let Some(sched) = schedule.as_mut() {
-            let fcfg = *sched.config();
-            while let Some(event) = sched.next_due(core.cycles()) {
-                match event.kind {
-                    FaultKind::AsyncInterrupt => {
-                        // A device interrupt runs its handler in the
-                        // nucleus, stealing cycles from the guest.
-                        let cycles = jittered(event.payload, fcfg.interrupt_handler_cycles);
-                        nucleus.raise(&mut core, cycles);
-                    }
-                    FaultKind::ContextSwitch => {
-                        // The OS scheduled another process: the machine's
-                        // per-process heat decays and the manager's
-                        // window state dies with it.
-                        machine.on_context_switch();
-                        core.add_stall(fcfg.context_switch_cycles.max(1));
-                        let mut ctx = ManagerCtx {
-                            core: &mut core,
-                            ledger: &mut ledger,
-                            controller: &mut controller,
-                            nucleus: &mut nucleus,
-                        };
-                        manager.on_fault(event.kind, event.payload, &mut ctx);
-                    }
-                    FaultKind::RegionCacheInvalidation => {
-                        machine.invalidate_regions(fcfg.region_invalidate_fraction, event.payload);
-                    }
-                    FaultKind::PvtCorruption | FaultKind::PvtEviction => {
-                        let mut ctx = ManagerCtx {
-                            core: &mut core,
-                            ledger: &mut ledger,
-                            controller: &mut controller,
-                            nucleus: &mut nucleus,
-                        };
-                        manager.on_fault(event.kind, event.payload, &mut ctx);
-                    }
-                    FaultKind::WorkloadPerturbation => {
-                        // A co-runner (or DVFS excursion) steals the core
-                        // for a while without touching any state.
-                        core.add_stall(jittered(event.payload, fcfg.perturb_stall_cycles));
-                    }
-                }
-            }
-        }
-    }
-    controller.sync(&core, &mut ledger);
-
-    Ok(RunReport {
-        name: program.name().to_owned(),
-        manager: manager.name(),
-        core_kind: cfg.core.kind,
-        instructions: machine.retired(),
-        cycles: core.cycles(),
-        stats: core.stats(),
-        bt: machine.stats(),
-        energy: ledger.report(),
-        gated: controller.gated_cycles(),
-        switches: controller.switches(),
-        nucleus: nucleus.stats(),
-        pvt: manager.pvt_stats(),
-        cde: manager.cde_stats(),
-        windows: manager.take_window_records(),
-        faults: schedule.as_ref().map(FaultSchedule::stats),
-        degrade: manager.degrade_stats(),
-    })
+    let mut sim = Simulation::new(program, kind, cfg)?;
+    sim.run_to_completion()?;
+    Ok(sim.into_report())
 }
 
 /// A payload-jittered fault magnitude in `[mean/2, mean)`, never zero.
@@ -527,6 +868,92 @@ mod tests {
         assert!(faulted.faults.expect("stats").total() > 0);
         let slowdown = faulted.slowdown_vs(&clean);
         assert!(slowdown < 0.10, "default fault rates cost {slowdown} IPC");
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let p = idle_units_program(400_000);
+        let mut c = cfg();
+        c.max_instructions = 800_000;
+        c.faults = Some(powerchop_faults::FaultConfig::default_rates(3));
+        let kind = ManagerKind::PowerChop;
+        let meta = SnapshotMeta {
+            benchmark: "idle-units".to_owned(),
+            scale: 1.0,
+            manager: "powerchop".to_owned(),
+            budget: 800_000,
+            fault_seed: Some(3),
+            storm: false,
+        };
+
+        let straight = run_program(&p, kind, &c).expect("uninterrupted run succeeds");
+
+        let mut sim = Simulation::new(&p, kind, &c).expect("config is valid");
+        sim.step_chunk(40_000).expect("first leg succeeds");
+        assert!(!sim.is_done(), "checkpoint must land mid-run");
+        let bytes = sim.snapshot(&meta);
+        drop(sim);
+
+        assert_eq!(read_meta(&bytes).expect("meta parses"), meta);
+        let mut resumed = Simulation::restore(&p, kind, &c, &bytes).expect("snapshot restores");
+        resumed.run_to_completion().expect("second leg succeeds");
+        let report = resumed.into_report();
+
+        assert_eq!(report.instructions, straight.instructions);
+        assert_eq!(report.cycles, straight.cycles);
+        assert_eq!(report.stats, straight.stats);
+        assert_eq!(report.bt, straight.bt);
+        assert_eq!(
+            report.energy.total_j.to_bits(),
+            straight.energy.total_j.to_bits(),
+            "energy must be bit-identical"
+        );
+        assert_eq!(report.gated, straight.gated);
+        assert_eq!(report.switches, straight.switches);
+        assert_eq!(report.faults, straight.faults);
+        assert_eq!(report.pvt, straight.pvt);
+        assert_eq!(report.cde, straight.cde);
+        assert_eq!(report.degrade, straight.degrade);
+    }
+
+    #[test]
+    fn restore_rejects_config_and_program_mismatches() {
+        let p = idle_units_program(100_000);
+        let c = cfg();
+        let kind = ManagerKind::PowerChop;
+        let meta = SnapshotMeta {
+            benchmark: "idle-units".to_owned(),
+            scale: 1.0,
+            manager: "powerchop".to_owned(),
+            budget: 2_000_000,
+            fault_seed: None,
+            storm: false,
+        };
+        let mut sim = Simulation::new(&p, kind, &c).expect("config is valid");
+        sim.step_chunk(10_000).expect("leg succeeds");
+        let bytes = sim.snapshot(&meta);
+
+        // Different manager => different config fingerprint.
+        let err = Simulation::restore(&p, ManagerKind::FullPower, &c, &bytes)
+            .expect_err("config mismatch");
+        assert!(matches!(
+            err,
+            SimError::Checkpoint(CheckpointError::ConfigMismatch { .. })
+        ));
+
+        // Same config, different guest program => machine fingerprint
+        // mismatch.
+        let other = idle_units_program(90_000);
+        let err = Simulation::restore(&other, kind, &c, &bytes).expect_err("program mismatch");
+        assert!(matches!(
+            err,
+            SimError::Checkpoint(CheckpointError::Malformed { .. })
+        ));
+
+        // Truncation is detected, never a panic.
+        let err = Simulation::restore(&p, kind, &c, &bytes[..bytes.len() / 2])
+            .expect_err("truncated snapshot");
+        assert!(matches!(err, SimError::Checkpoint(_)));
     }
 
     #[test]

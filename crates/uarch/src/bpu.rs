@@ -11,6 +11,19 @@
 //! back on.
 
 use crate::config::BpuConfig;
+use powerchop_checkpoint::{ByteReader, ByteWriter, CheckpointError};
+
+/// Serializes a saturating-counter table (length is config-derived, so
+/// only the contents travel).
+fn table_to(table: &[u8], w: &mut ByteWriter) {
+    w.put_raw(table);
+}
+
+fn table_from(table: &mut [u8], r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+    let bytes = r.take_raw(table.len())?;
+    table.copy_from_slice(bytes);
+    Ok(())
+}
 
 /// Saturating 2-bit counter operations on a `u8` in `0..=3`.
 fn bump(counter: &mut u8, up: bool) {
@@ -54,6 +67,30 @@ impl Btb {
 
     fn clear(&mut self) {
         self.entries.fill(None);
+    }
+
+    fn snapshot_to(&self, w: &mut ByteWriter) {
+        for entry in &self.entries {
+            match entry {
+                Some((pc, target)) => {
+                    w.put_bool(true);
+                    w.put_u32(*pc);
+                    w.put_u32(*target);
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        for entry in &mut self.entries {
+            *entry = if r.take_bool()? {
+                Some((r.take_u32()?, r.take_u32()?))
+            } else {
+                None
+            };
+        }
+        Ok(())
     }
 }
 
@@ -268,6 +305,43 @@ impl Bpu {
     #[must_use]
     pub fn stats(&self) -> BpuStats {
         self.stats
+    }
+
+    /// Serializes the full predictor state (tables, BTBs, history, gating
+    /// flag, statistics). Table sizes and index masks are config-derived
+    /// and are not written; restore must run on a BPU built from the same
+    /// [`BpuConfig`].
+    pub fn snapshot_to(&self, w: &mut ByteWriter) {
+        table_to(&self.small.table, w);
+        self.small.btb.snapshot_to(w);
+        table_to(&self.large.local, w);
+        table_to(&self.large.global, w);
+        table_to(&self.large.chooser, w);
+        w.put_u32(self.large.history);
+        self.large.btb.snapshot_to(w);
+        w.put_bool(self.large_active);
+        w.put_u64(self.stats.branches);
+        w.put_u64(self.stats.mispredicts);
+    }
+
+    /// Restores state written by [`Bpu::snapshot_to`] in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when the payload is truncated or does
+    /// not match this BPU's configured geometry.
+    pub fn restore_from(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        table_from(&mut self.small.table, r)?;
+        self.small.btb.restore_from(r)?;
+        table_from(&mut self.large.local, r)?;
+        table_from(&mut self.large.global, r)?;
+        table_from(&mut self.large.chooser, r)?;
+        self.large.history = r.take_u32()?;
+        self.large.btb.restore_from(r)?;
+        self.large_active = r.take_bool()?;
+        self.stats.branches = r.take_u64()?;
+        self.stats.mispredicts = r.take_u64()?;
+        Ok(())
     }
 }
 

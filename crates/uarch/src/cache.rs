@@ -8,6 +8,7 @@
 //! lines, rewarm").
 
 use crate::config::CacheConfig;
+use powerchop_checkpoint::{ByteReader, ByteWriter, CheckpointError};
 
 /// The MLC way-gating states (2-bit policy in the PVT, paper Fig. 6b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -336,6 +337,57 @@ impl Cache {
         }
         self.awake_valid = 0;
         count
+    }
+
+    /// Serializes all mutable cache state (line array, active-way count,
+    /// LRU tick, residency counters, statistics). Geometry (sets, ways,
+    /// line size) is config-derived and not written; restore must run on
+    /// a cache built from the same [`CacheConfig`].
+    pub fn snapshot_to(&self, w: &mut ByteWriter) {
+        for line in &self.lines {
+            w.put_u64(line.tag);
+            w.put_bool(line.valid);
+            w.put_bool(line.dirty);
+            w.put_bool(line.drowsy);
+            w.put_u64(line.lru);
+        }
+        w.put_usize(self.active_ways);
+        w.put_u64(self.tick);
+        w.put_usize(self.awake_valid);
+        w.put_usize(self.valid);
+        w.put_u64(self.stats.accesses);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.writebacks);
+    }
+
+    /// Restores state written by [`Cache::snapshot_to`] in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when the payload is truncated or the
+    /// restored active-way count is outside this cache's geometry.
+    pub fn restore_from(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        for line in &mut self.lines {
+            line.tag = r.take_u64()?;
+            line.valid = r.take_bool()?;
+            line.dirty = r.take_bool()?;
+            line.drowsy = r.take_bool()?;
+            line.lru = r.take_u64()?;
+        }
+        let active_ways = r.take_usize()?;
+        if active_ways < 1 || active_ways > self.ways {
+            return Err(CheckpointError::Malformed {
+                what: "cache active way count",
+            });
+        }
+        self.active_ways = active_ways;
+        self.tick = r.take_u64()?;
+        self.awake_valid = r.take_usize()?;
+        self.valid = r.take_usize()?;
+        self.stats.accesses = r.take_u64()?;
+        self.stats.hits = r.take_u64()?;
+        self.stats.writebacks = r.take_u64()?;
+        Ok(())
     }
 
     /// Fraction of the cache's *capacity* currently awake (valid,

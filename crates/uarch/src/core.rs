@@ -65,6 +65,61 @@ pub struct CoreStats {
     pub mlc_drowsy_wakes: u64,
 }
 
+impl CoreStats {
+    /// Serializes every counter (fixed field order, little-endian).
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        for v in [
+            self.instructions,
+            self.vec_ops,
+            self.simd_committed,
+            self.vec_emulated,
+            self.branches,
+            self.mispredicts,
+            self.loads,
+            self.stores,
+            self.l1_hits,
+            self.mlc_accesses,
+            self.mlc_hits,
+            self.llc_accesses,
+            self.llc_hits,
+            self.mem_accesses,
+            self.mlc_writebacks,
+            self.mlc_drowsy_wakes,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Reads counters written by [`CoreStats::snapshot_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated.
+    pub fn restore_from(
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<Self, powerchop_checkpoint::CheckpointError> {
+        Ok(CoreStats {
+            instructions: r.take_u64()?,
+            vec_ops: r.take_u64()?,
+            simd_committed: r.take_u64()?,
+            vec_emulated: r.take_u64()?,
+            branches: r.take_u64()?,
+            mispredicts: r.take_u64()?,
+            loads: r.take_u64()?,
+            stores: r.take_u64()?,
+            l1_hits: r.take_u64()?,
+            mlc_accesses: r.take_u64()?,
+            mlc_hits: r.take_u64()?,
+            llc_accesses: r.take_u64()?,
+            llc_hits: r.take_u64()?,
+            mem_accesses: r.take_u64()?,
+            mlc_writebacks: r.take_u64()?,
+            mlc_drowsy_wakes: r.take_u64()?,
+        })
+    }
+}
+
 /// The core model: units + cycle accounting.
 ///
 /// # Examples
@@ -267,6 +322,45 @@ impl CoreModel {
         for line in first..=last {
             self.access_hierarchy(line * self.line_bytes, is_store);
         }
+    }
+
+    /// Serializes all mutable core state: the BPU, every cache level, the
+    /// VPU, the MLC way-gating state, the issue-slot/stall accumulators,
+    /// and the event counters. Latencies and geometry are config-derived
+    /// and are not written.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        self.bpu.snapshot_to(w);
+        self.l1d.snapshot_to(w);
+        self.mlc.snapshot_to(w);
+        self.llc.snapshot_to(w);
+        self.vpu.snapshot_to(w);
+        w.put_u8(self.mlc_state.policy_bits());
+        w.put_u64(self.slots);
+        w.put_u64(self.stall_cycles);
+        self.stats.snapshot_to(w);
+    }
+
+    /// Restores state written by [`CoreModel::snapshot_to`] into a core
+    /// freshly built from the same [`CoreConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated or inconsistent with this core's geometry.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        self.bpu.restore_from(r)?;
+        self.l1d.restore_from(r)?;
+        self.mlc.restore_from(r)?;
+        self.llc.restore_from(r)?;
+        self.vpu.restore_from(r)?;
+        self.mlc_state = MlcWayState::from_policy_bits(r.take_u8()?);
+        self.slots = r.take_u64()?;
+        self.stall_cycles = r.take_u64()?;
+        self.stats = CoreStats::restore_from(r)?;
+        Ok(())
     }
 
     fn access_hierarchy(&mut self, addr: u64, is_store: bool) {

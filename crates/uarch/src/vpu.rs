@@ -101,6 +101,30 @@ impl Vpu {
     pub fn stats(&self) -> VpuStats {
         self.stats
     }
+
+    /// Serializes the mutable VPU state (power flag and counters); lane
+    /// width and emulation overhead are config-derived.
+    pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
+        w.put_bool(self.active);
+        w.put_u64(self.stats.native_ops);
+        w.put_u64(self.stats.emulated_ops);
+    }
+
+    /// Restores state written by [`Vpu::snapshot_to`] in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`powerchop_checkpoint::CheckpointError`] when the
+    /// payload is truncated or malformed.
+    pub fn restore_from(
+        &mut self,
+        r: &mut powerchop_checkpoint::ByteReader<'_>,
+    ) -> Result<(), powerchop_checkpoint::CheckpointError> {
+        self.active = r.take_bool()?;
+        self.stats.native_ops = r.take_u64()?;
+        self.stats.emulated_ops = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,23 @@ pub fn with_outer_loop(
     b.build()
 }
 
+/// [`with_outer_loop`] for the static benchmark emitters, whose kernels
+/// are compiled in: a builder error there is a kernel-emitter bug, not
+/// user input, so it surfaces as one well-labelled panic here instead of
+/// an `.expect` at every emitter.
+///
+/// # Panics
+///
+/// Panics when the builder rejects the emitted program, naming the
+/// benchmark.
+#[must_use]
+pub fn build_benchmark(name: &str, reps: i64, body: impl FnOnce(&mut ProgramBuilder)) -> Program {
+    match with_outer_loop(name, reps, body) {
+        Ok(p) => p,
+        Err(e) => panic!("benchmark `{name}` failed to build: {e} (kernel emitter bug)"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,7 +13,7 @@
 
 use powerchop_gisa::Program;
 
-use crate::compose::{with_outer_loop, RegionAlloc, Scale};
+use crate::compose::{build_benchmark, RegionAlloc, Scale};
 use crate::kernels;
 
 /// Page-sized working set: fits the mobile MLC (2 MiB), not L1 — one
@@ -29,13 +29,12 @@ pub fn msn(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let page = mem.reserve(WS_PAGE);
     let stream = mem.reserve(WS_STREAM);
-    with_outer_loop("msn", 4, |b| {
+    build_benchmark("msn", 4, |b| {
         kernels::browser_mix(b, s.apply(28_000), 4, &page);
         kernels::script_mix(b, s.apply(24_000), 0x3141_0001, &page);
         kernels::int_compute(b, s.apply(40_000), 3);
         kernels::browser_mix(b, s.apply(6_000), 1000, &stream);
     })
-    .expect("benchmark builds")
 }
 
 /// `amazon`: long gateable stretches — script-heavy random branches, tiny
@@ -45,13 +44,12 @@ pub fn amazon(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let tiny = mem.reserve(16 << 10);
     let stream = mem.reserve(WS_STREAM);
-    with_outer_loop("amazon", 4, |b| {
+    build_benchmark("amazon", 4, |b| {
         kernels::script_mix(b, s.apply(28_000), 0xa11a_0001, &tiny);
         kernels::random_branches(b, s.apply(40_000), 0xa11a_0002);
         kernels::int_compute(b, s.apply(48_000), 4);
         kernels::strided_loads(b, s.apply(6_000), &stream);
     })
-    .expect("benchmark builds")
 }
 
 /// `google`: search/results pages — patterned layout branches the big BPU
@@ -60,13 +58,12 @@ pub fn google(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let page = mem.reserve(WS_PAGE);
     let stream = mem.reserve(8 << 20);
-    with_outer_loop("google", 4, |b| {
+    build_benchmark("google", 4, |b| {
         kernels::browser_mix(b, s.apply(24_000), 4, &page);
         kernels::pattern_branches(b, s.apply(32_000), 4);
         kernels::script_mix(b, s.apply(20_000), 0x6006_0001, &page);
         kernels::strided_loads(b, s.apply(6_000), &stream);
     })
-    .expect("benchmark builds")
 }
 
 /// `bbc`: article pages — patterned layout over page-sized data plus long
@@ -74,12 +71,11 @@ pub fn google(s: Scale) -> Program {
 pub fn bbc(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let page = mem.reserve(WS_PAGE);
-    with_outer_loop("bbc", 4, |b| {
+    build_benchmark("bbc", 4, |b| {
         kernels::browser_mix(b, s.apply(26_000), 4, &page);
         kernels::int_compute(b, s.apply(52_000), 3);
         kernels::script_mix(b, s.apply(18_000), 0xbbc_0001, &page);
     })
-    .expect("benchmark builds")
 }
 
 /// `ebay`: listing pages — page-sized working set, script-heavy, with
@@ -87,11 +83,10 @@ pub fn bbc(s: Scale) -> Program {
 pub fn ebay(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let listing = mem.reserve(WS_PAGE);
-    with_outer_loop("ebay", 4, |b| {
+    build_benchmark("ebay", 4, |b| {
         kernels::browser_mix(b, s.apply(20_000), 4, &listing);
         kernels::script_mix(b, s.apply(24_000), 0xeba_0001, &listing);
         kernels::int_compute(b, s.apply(36_000), 5);
         kernels::sparse_vector(b, s.apply(24_000), 400);
     })
-    .expect("benchmark builds")
 }

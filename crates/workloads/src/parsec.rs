@@ -2,7 +2,7 @@
 
 use powerchop_gisa::Program;
 
-use crate::compose::{with_outer_loop, RegionAlloc, Scale};
+use crate::compose::{build_benchmark, RegionAlloc, Scale};
 use crate::kernels;
 
 const WS_MLC: u64 = 512 << 10;
@@ -13,12 +13,11 @@ const WS_STREAM: u64 = 32 << 20;
 pub fn blackscholes(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let options = mem.reserve(64 << 10);
-    with_outer_loop("blackscholes", 4, |b| {
+    build_benchmark("blackscholes", 4, |b| {
         kernels::fp_compute(b, s.apply(44_000), 10);
         kernels::vector_stream(b, s.apply(36_000), &options);
         kernels::sparse_vector(b, s.apply(30_000), 300);
     })
-    .expect("benchmark builds")
 }
 
 /// `canneal`: simulated annealing over a huge netlist — random pointer
@@ -26,11 +25,10 @@ pub fn blackscholes(s: Scale) -> Program {
 pub fn canneal(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let netlist = mem.reserve(WS_STREAM);
-    with_outer_loop("canneal", 4, |b| {
+    build_benchmark("canneal", 4, |b| {
         kernels::strided_loads(b, s.apply(24_000), &netlist);
         kernels::random_branches(b, s.apply(56_000), 0xca_0001);
     })
-    .expect("benchmark builds")
 }
 
 /// `dedup`: pipelined deduplication — integer hashing with no vector work
@@ -39,12 +37,11 @@ pub fn canneal(s: Scale) -> Program {
 pub fn dedup(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let index = mem.reserve(WS_MLC);
-    with_outer_loop("dedup", 4, |b| {
+    build_benchmark("dedup", 4, |b| {
         kernels::int_compute(b, s.apply(76_000), 7);
         kernels::strided_loads(b, s.apply(28_000), &index);
         kernels::random_branches(b, s.apply(32_000), 0xded_0001);
     })
-    .expect("benchmark builds")
 }
 
 /// `fluidanimate`: SPH fluid simulation — alternating dense-vector and
@@ -52,12 +49,11 @@ pub fn dedup(s: Scale) -> Program {
 pub fn fluidanimate(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let grid = mem.reserve(WS_MLC);
-    with_outer_loop("fluidanimate", 4, |b| {
+    build_benchmark("fluidanimate", 4, |b| {
         kernels::fp_compute(b, s.apply(48_000), 5);
         kernels::vector_stream(b, s.apply(32_000), &grid);
         kernels::strided_loads(b, s.apply(18_000), &grid);
     })
-    .expect("benchmark builds")
 }
 
 /// `streamcluster`: online clustering — long streaming distance
@@ -65,20 +61,18 @@ pub fn fluidanimate(s: Scale) -> Program {
 pub fn streamcluster(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let points = mem.reserve(WS_STREAM);
-    with_outer_loop("streamcluster", 4, |b| {
+    build_benchmark("streamcluster", 4, |b| {
         kernels::strided_loads(b, s.apply(20_000), &points);
         kernels::vector_stream(b, s.apply(26_000), &points);
     })
-    .expect("benchmark builds")
 }
 
 /// `swaptions`: Monte-Carlo pricing — predictable scalar FP over an
 /// L1-resident state; both the MLC and the large BPU are non-critical.
 pub fn swaptions(s: Scale) -> Program {
-    with_outer_loop("swaptions", 4, |b| {
+    build_benchmark("swaptions", 4, |b| {
         kernels::fp_compute(b, s.apply(100_000), 8);
         kernels::pattern_branches(b, s.apply(24_000), 8);
         kernels::int_compute(b, s.apply(20_000), 4);
     })
-    .expect("benchmark builds")
 }

@@ -2,7 +2,7 @@
 
 use powerchop_gisa::Program;
 
-use crate::compose::{with_outer_loop, RegionAlloc, Scale};
+use crate::compose::{build_benchmark, RegionAlloc, Scale};
 use crate::kernels;
 
 const WS_MLC: u64 = 512 << 10;
@@ -13,11 +13,10 @@ const WS_STREAM: u64 = 32 << 20;
 /// paper's headline timeout-vs-PowerChop case (Fig. 16): the VPU never
 /// idles long enough for a timeout, yet is never performance-critical.
 pub fn namd(s: Scale) -> Program {
-    with_outer_loop("namd", 4, |b| {
+    build_benchmark("namd", 4, |b| {
         kernels::sparse_vector(b, s.apply(140_000), 250);
         kernels::fp_compute(b, s.apply(70_000), 6);
     })
-    .expect("benchmark builds")
 }
 
 /// `soplex`: LP solver with genuine dense-vector phases (~20 % of cycles
@@ -25,12 +24,11 @@ pub fn namd(s: Scale) -> Program {
 pub fn soplex(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let basis = mem.reserve(WS_MLC);
-    with_outer_loop("soplex", 4, |b| {
+    build_benchmark("soplex", 4, |b| {
         kernels::fp_compute(b, s.apply(24_000), 5);
         kernels::vector_stream(b, s.apply(72_000), &basis);
         kernels::strided_loads(b, s.apply(16_000), &basis);
     })
-    .expect("benchmark builds")
 }
 
 /// `lbm`: lattice-Boltzmann streaming — predictable branches (BPU gated),
@@ -39,12 +37,11 @@ pub fn soplex(s: Scale) -> Program {
 pub fn lbm(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let lattice = mem.reserve(WS_STREAM);
-    with_outer_loop("lbm", 4, |b| {
+    build_benchmark("lbm", 4, |b| {
         kernels::strided_loads(b, s.apply(22_000), &lattice);
         kernels::fp_compute(b, s.apply(50_000), 8);
         kernels::sparse_vector(b, s.apply(24_000), 500);
     })
-    .expect("benchmark builds")
 }
 
 /// `milc`: lattice QCD — streaming sweeps with embedded vector arithmetic;
@@ -52,12 +49,11 @@ pub fn lbm(s: Scale) -> Program {
 pub fn milc(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let field = mem.reserve(WS_STREAM);
-    with_outer_loop("milc", 4, |b| {
+    build_benchmark("milc", 4, |b| {
         kernels::strided_loads(b, s.apply(14_000), &field);
         kernels::vector_stream(b, s.apply(40_000), &field);
         kernels::fp_compute(b, s.apply(16_000), 4);
     })
-    .expect("benchmark builds")
 }
 
 /// `gems` (GemsFDTD): working set varies across phases — fits L1, fits the
@@ -68,13 +64,12 @@ pub fn gems(s: Scale) -> Program {
     let small = mem.reserve(16 << 10);
     let medium = mem.reserve(WS_MLC);
     let large = mem.reserve(WS_STREAM);
-    with_outer_loop("gems", 4, |b| {
+    build_benchmark("gems", 4, |b| {
         kernels::strided_loads(b, s.apply(14_000), &small);
         kernels::strided_loads(b, s.apply(14_000), &medium);
         kernels::strided_loads(b, s.apply(14_000), &large);
         kernels::vector_stream(b, s.apply(24_000), &medium);
     })
-    .expect("benchmark builds")
 }
 
 /// `sphinx3`: speech recognition — FP scoring with ~20 % vector phases
@@ -82,13 +77,12 @@ pub fn gems(s: Scale) -> Program {
 pub fn sphinx3(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let model = mem.reserve(256 << 10);
-    with_outer_loop("sphinx3", 4, |b| {
+    build_benchmark("sphinx3", 4, |b| {
         kernels::fp_compute(b, s.apply(20_000), 5);
         kernels::pattern_branches(b, s.apply(24_000), 6);
         kernels::vector_stream(b, s.apply(56_000), &model);
         kernels::strided_loads(b, s.apply(12_000), &model);
     })
-    .expect("benchmark builds")
 }
 
 /// `povray`: ray tracing — scalar FP with patterned traversal branches and
@@ -96,13 +90,12 @@ pub fn sphinx3(s: Scale) -> Program {
 pub fn povray(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let scene = mem.reserve(16 << 10);
-    with_outer_loop("povray", 4, |b| {
+    build_benchmark("povray", 4, |b| {
         kernels::fp_compute(b, s.apply(40_000), 8);
         kernels::pattern_branches(b, s.apply(36_000), 4);
         kernels::vector_stream(b, s.apply(28_000), &scene);
         kernels::strided_loads(b, s.apply(6_000), &scene);
     })
-    .expect("benchmark builds")
 }
 
 /// `calculix`: FE solver — mixed FP, medium-lived vector phases and an
@@ -110,10 +103,9 @@ pub fn povray(s: Scale) -> Program {
 pub fn calculix(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let matrix = mem.reserve(WS_MLC);
-    with_outer_loop("calculix", 4, |b| {
+    build_benchmark("calculix", 4, |b| {
         kernels::fp_compute(b, s.apply(20_000), 6);
         kernels::vector_stream(b, s.apply(64_000), &matrix);
         kernels::strided_loads(b, s.apply(12_000), &matrix);
     })
-    .expect("benchmark builds")
 }

@@ -7,7 +7,7 @@
 
 use powerchop_gisa::Program;
 
-use crate::compose::{with_outer_loop, RegionAlloc, Scale};
+use crate::compose::{build_benchmark, RegionAlloc, Scale};
 use crate::kernels;
 
 /// KiB working set that fits L1 (32 KiB).
@@ -23,25 +23,23 @@ const WS_STREAM: u64 = 32 << 20;
 pub fn perlbench(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let ws = mem.reserve(WS_L1);
-    with_outer_loop("perlbench", 4, |b| {
+    build_benchmark("perlbench", 4, |b| {
         kernels::pattern_branches(b, s.apply(90_000), 6);
         kernels::int_compute(b, s.apply(60_000), 6);
         kernels::vector_stream(b, s.apply(6_000), &ws);
         kernels::pattern_branches(b, s.apply(60_000), 12);
     })
-    .expect("benchmark builds")
 }
 
 /// `bzip2`: integer compression loops over a medium working set.
 pub fn bzip2(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let ws = mem.reserve(256 << 10);
-    with_outer_loop("bzip2", 4, |b| {
+    build_benchmark("bzip2", 4, |b| {
         kernels::int_compute(b, s.apply(80_000), 8);
         kernels::strided_loads(b, s.apply(36_000), &ws);
         kernels::pattern_branches(b, s.apply(50_000), 8);
     })
-    .expect("benchmark builds")
 }
 
 /// `gcc`: phases alternating between streaming (MLC way-gateable, the
@@ -50,24 +48,22 @@ pub fn gcc(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let big = mem.reserve(WS_STREAM);
     let tiny = mem.reserve(WS_L1);
-    with_outer_loop("gcc", 4, |b| {
+    build_benchmark("gcc", 4, |b| {
         kernels::pattern_branches(b, s.apply(60_000), 6);
         kernels::strided_loads(b, s.apply(20_000), &big);
         kernels::int_compute(b, s.apply(50_000), 4);
         kernels::strided_loads(b, s.apply(12_000), &tiny);
     })
-    .expect("benchmark builds")
 }
 
 /// `mcf`: memory-bound streaming with data-dependent branches.
 pub fn mcf(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let big = mem.reserve(WS_STREAM);
-    with_outer_loop("mcf", 4, |b| {
+    build_benchmark("mcf", 4, |b| {
         kernels::strided_loads(b, s.apply(28_000), &big);
         kernels::random_branches(b, s.apply(40_000), 0x5eed_0001);
     })
-    .expect("benchmark builds")
 }
 
 /// `gobmk`: vector-operation intensity varies across execution (Fig. 1),
@@ -75,14 +71,13 @@ pub fn mcf(s: Scale) -> Program {
 pub fn gobmk(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let board = mem.reserve(128 << 10);
-    with_outer_loop("gobmk", 4, |b| {
+    build_benchmark("gobmk", 4, |b| {
         kernels::int_compute(b, s.apply(50_000), 5);
         kernels::vector_stream(b, s.apply(18_000), &board);
         kernels::random_branches(b, s.apply(36_000), 0x60b_0001);
         kernels::vector_stream(b, s.apply(8_000), &board);
         kernels::int_compute(b, s.apply(50_000), 5);
     })
-    .expect("benchmark builds")
 }
 
 /// `hmmer`: highly predictable inner loops — the large BPU adds nothing,
@@ -90,22 +85,20 @@ pub fn gobmk(s: Scale) -> Program {
 pub fn hmmer(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let ws = mem.reserve(64 << 10);
-    with_outer_loop("hmmer", 4, |b| {
+    build_benchmark("hmmer", 4, |b| {
         kernels::int_compute(b, s.apply(130_000), 10);
         kernels::strided_loads(b, s.apply(12_000), &ws);
     })
-    .expect("benchmark builds")
 }
 
 /// `sjeng`: chess search with history-correlated branches — BPU-critical
 /// pattern phases mixed with unpredictable-move phases.
 pub fn sjeng(s: Scale) -> Program {
-    with_outer_loop("sjeng", 4, |b| {
+    build_benchmark("sjeng", 4, |b| {
         kernels::pattern_branches(b, s.apply(80_000), 4);
         kernels::random_branches(b, s.apply(50_000), 0x57e_0001);
         kernels::int_compute(b, s.apply(24_000), 4);
     })
-    .expect("benchmark builds")
 }
 
 /// `libquantum`: long streaming sweeps — the MLC provides no benefit and
@@ -113,12 +106,11 @@ pub fn sjeng(s: Scale) -> Program {
 pub fn libquantum(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let big = mem.reserve(WS_STREAM);
-    with_outer_loop("libquantum", 4, |b| {
+    build_benchmark("libquantum", 4, |b| {
         kernels::strided_loads(b, s.apply(24_000), &big);
         kernels::strided_stores(b, s.apply(12_000), &big);
         kernels::int_compute(b, s.apply(24_000), 3);
     })
-    .expect("benchmark builds")
 }
 
 /// `h264ref`: motion-estimation vector bursts between scalar phases with
@@ -126,13 +118,12 @@ pub fn libquantum(s: Scale) -> Program {
 pub fn h264ref(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let frame = mem.reserve(256 << 10);
-    with_outer_loop("h264ref", 4, |b| {
+    build_benchmark("h264ref", 4, |b| {
         kernels::vector_stream(b, s.apply(28_000), &frame);
         kernels::int_compute(b, s.apply(56_000), 6);
         kernels::sparse_vector(b, s.apply(44_000), 150);
         kernels::pattern_branches(b, s.apply(32_000), 6);
     })
-    .expect("benchmark builds")
 }
 
 /// `astar`: path search over an MLC-resident map with mildly patterned
@@ -140,10 +131,9 @@ pub fn h264ref(s: Scale) -> Program {
 pub fn astar(s: Scale) -> Program {
     let mut mem = RegionAlloc::new();
     let map = mem.reserve(WS_MLC);
-    with_outer_loop("astar", 4, |b| {
+    build_benchmark("astar", 4, |b| {
         kernels::strided_loads(b, s.apply(36_000), &map);
         kernels::pattern_branches(b, s.apply(44_000), 10);
         kernels::int_compute(b, s.apply(24_000), 4);
     })
-    .expect("benchmark builds")
 }

@@ -1,0 +1,212 @@
+//! Checkpoint/restore crash-safety tests (tier 1).
+//!
+//! The contracts under test, end to end:
+//!
+//! 1. **Bit-identical resume** — checkpointing a run mid-flight and
+//!    resuming from the snapshot produces a `RunReport` identical (to the
+//!    bit, including energy) to an uninterrupted run, for clean and
+//!    fault-injected runs alike, regardless of where the checkpoint
+//!    lands.
+//! 2. **Self-description** — the snapshot's metadata section round-trips
+//!    everything needed to rebuild the run configuration.
+//! 3. **Corruption safety** — flipped or truncated snapshot bytes
+//!    surface as typed errors from `Simulation::restore`; no input ever
+//!    panics.
+
+use powerchop::{read_meta, ManagerKind, RunConfig, RunReport, Simulation, SnapshotMeta};
+use powerchop_faults::FaultConfig;
+use powerchop_uarch::config::CoreKind;
+use powerchop_workloads::Scale;
+
+const BUDGET: u64 = 200_000;
+const SCALE: Scale = Scale(0.05);
+const BENCHES: [&str; 3] = ["hmmer", "namd", "gobmk"];
+
+fn small_cfg(kind: CoreKind, faults: Option<FaultConfig>) -> RunConfig {
+    let mut cfg = RunConfig::for_kind(kind);
+    cfg.max_instructions = BUDGET;
+    cfg.faults = faults;
+    cfg
+}
+
+fn meta_for(bench: &str, faults: &Option<FaultConfig>) -> SnapshotMeta {
+    SnapshotMeta {
+        benchmark: bench.to_string(),
+        scale: SCALE.0,
+        manager: "powerchop".to_string(),
+        budget: BUDGET,
+        fault_seed: faults.as_ref().map(|f| f.seed),
+        storm: false,
+    }
+}
+
+fn assert_reports_identical(bench: &str, a: &RunReport, b: &RunReport) {
+    assert_eq!(a.instructions, b.instructions, "{bench}: instructions");
+    assert_eq!(a.cycles, b.cycles, "{bench}: cycles");
+    assert_eq!(a.stats, b.stats, "{bench}: core stats");
+    assert_eq!(a.bt, b.bt, "{bench}: BT stats");
+    assert_eq!(a.switches, b.switches, "{bench}: gating switches");
+    assert_eq!(a.gated, b.gated, "{bench}: gated cycles");
+    assert_eq!(a.faults, b.faults, "{bench}: fault stats");
+    assert_eq!(a.degrade, b.degrade, "{bench}: degradation stats");
+    assert_eq!(
+        a.energy.total_j.to_bits(),
+        b.energy.total_j.to_bits(),
+        "{bench}: total energy bits"
+    );
+    assert_eq!(
+        a.energy.leakage_j.to_bits(),
+        b.energy.leakage_j.to_bits(),
+        "{bench}: leakage energy bits"
+    );
+}
+
+/// Runs `bench` uninterrupted and checkpointed-then-resumed, placing the
+/// checkpoint at `num/den` of the run's actual instruction count.
+/// Returns both reports plus the snapshot bytes.
+fn run_both_ways(
+    bench: &str,
+    faults: Option<FaultConfig>,
+    num: u64,
+    den: u64,
+) -> (RunReport, RunReport, Vec<u8>) {
+    let b = powerchop_workloads::by_name(bench).expect("known benchmark");
+    let program = b.program(SCALE);
+    let cfg = small_cfg(b.core_kind(), faults);
+
+    let mut baseline =
+        Simulation::new(&program, ManagerKind::PowerChop, &cfg).expect("baseline starts");
+    baseline.run_to_completion().expect("baseline runs");
+    let uninterrupted = baseline.into_report();
+    let at = (uninterrupted.instructions * num / den).max(1);
+
+    let mut first =
+        Simulation::new(&program, ManagerKind::PowerChop, &cfg).expect("first half starts");
+    // Deliberately odd chunk size so the checkpoint lands mid-chunk
+    // relative to any internal window/region boundary.
+    while !first.is_done() && first.retired() < at {
+        first.step_chunk(997).expect("first half runs");
+    }
+    assert!(
+        !first.is_done(),
+        "{bench}: checkpoint point {at} must be mid-run"
+    );
+    let bytes = first.snapshot(&meta_for(bench, &faults));
+
+    let mut resumed = Simulation::restore(&program, ManagerKind::PowerChop, &cfg, &bytes)
+        .expect("restore succeeds");
+    assert_eq!(resumed.retired(), first.retired(), "{bench}: resume point");
+    resumed.run_to_completion().expect("resumed half runs");
+    (uninterrupted, resumed.into_report(), bytes)
+}
+
+#[test]
+fn clean_runs_resume_bit_identically() {
+    for bench in BENCHES {
+        let (uninterrupted, resumed, _) = run_both_ways(bench, None, 1, 2);
+        assert_reports_identical(bench, &uninterrupted, &resumed);
+    }
+}
+
+#[test]
+fn faulted_runs_resume_bit_identically() {
+    for bench in BENCHES {
+        let faults = FaultConfig::storm(0xDEAD_BEEF);
+        let (uninterrupted, resumed, _) = run_both_ways(bench, Some(faults), 1, 2);
+        assert!(
+            uninterrupted.faults.expect("fault stats").total() > 0,
+            "{bench}: storm must fire so the resume crosses fault state"
+        );
+        assert_reports_identical(bench, &uninterrupted, &resumed);
+    }
+}
+
+#[test]
+fn checkpoint_position_does_not_matter() {
+    // Early and late checkpoints both converge on the same report.
+    let (baseline, early, _) = run_both_ways("hmmer", None, 1, 10);
+    let (_, late, _) = run_both_ways("hmmer", None, 3, 4);
+    assert_reports_identical("hmmer(early)", &baseline, &early);
+    assert_reports_identical("hmmer(late)", &baseline, &late);
+}
+
+#[test]
+fn snapshot_metadata_round_trips() {
+    let faults = FaultConfig::storm(0xFEED_F00D);
+    let (_, _, bytes) = run_both_ways("namd", Some(faults), 1, 2);
+    let meta = read_meta(&bytes).expect("meta parses");
+    assert_eq!(meta.benchmark, "namd");
+    assert_eq!(meta.scale, SCALE.0);
+    assert_eq!(meta.manager, "powerchop");
+    assert_eq!(meta.budget, BUDGET);
+    assert_eq!(meta.fault_seed, Some(faults.seed));
+    assert!(!meta.storm);
+}
+
+#[test]
+fn restore_rejects_mismatched_configuration() {
+    let b = powerchop_workloads::by_name("hmmer").expect("known benchmark");
+    let program = b.program(SCALE);
+    let cfg = small_cfg(b.core_kind(), None);
+    let (_, _, bytes) = run_both_ways("hmmer", None, 1, 2);
+
+    // Different manager kind changes the config fingerprint.
+    let err = Simulation::restore(&program, ManagerKind::FullPower, &cfg, &bytes)
+        .expect_err("manager mismatch must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("config"),
+        "mismatch error names the configuration: {msg}"
+    );
+
+    // Different budget likewise.
+    let mut other = cfg.clone();
+    other.max_instructions = BUDGET * 2;
+    Simulation::restore(&program, ManagerKind::PowerChop, &other, &bytes)
+        .expect_err("budget mismatch must be rejected");
+
+    // A different program is caught even under the same configuration.
+    let other_prog = powerchop_workloads::by_name("gobmk")
+        .expect("known benchmark")
+        .program(SCALE);
+    Simulation::restore(&other_prog, ManagerKind::PowerChop, &cfg, &bytes)
+        .expect_err("program mismatch must be rejected");
+}
+
+#[test]
+fn byte_flips_and_truncations_error_and_never_panic() {
+    let b = powerchop_workloads::by_name("hmmer").expect("known benchmark");
+    let program = b.program(SCALE);
+    let faults = Some(FaultConfig::storm(0xBAD_C0DE));
+    let cfg = small_cfg(b.core_kind(), faults);
+    let (_, _, bytes) = run_both_ways("hmmer", faults, 1, 2);
+
+    // Every single-byte flip must surface as a typed error: the
+    // whole-file CRC trailer catches header and section-table damage,
+    // the per-section CRCs catch payload damage. Exhaustively flip the
+    // first 512 bytes (header plus early section activity), then sample
+    // the remainder so the test stays O(seconds) on large memory images.
+    let stride = (bytes.len() / 256).max(1);
+    let positions: Vec<usize> = (0..bytes.len().min(512))
+        .chain((512..bytes.len()).step_by(stride))
+        .chain(bytes.len().saturating_sub(64)..bytes.len())
+        .collect();
+    for pos in positions {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x01;
+        let result = Simulation::restore(&program, ManagerKind::PowerChop, &cfg, &corrupt);
+        assert!(
+            result.is_err(),
+            "flip at byte {pos}/{} must be detected",
+            bytes.len()
+        );
+    }
+
+    // Every truncation point (sampled) is likewise a typed error.
+    for cut in (0..bytes.len()).step_by(stride.max(4099)) {
+        let result = Simulation::restore(&program, ManagerKind::PowerChop, &cfg, &bytes[..cut]);
+        assert!(result.is_err(), "truncation at {cut} must be detected");
+    }
+    Simulation::restore(&program, ManagerKind::PowerChop, &cfg, &[])
+        .expect_err("empty snapshot must be rejected");
+}
