@@ -57,6 +57,30 @@ pub struct BtStats {
     pub invalidated_translations: u64,
 }
 
+impl powerchop_telemetry::MetricSource for BtStats {
+    fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        reg.counter_set(
+            "bt_interpreted_instructions_total",
+            self.interpreted_instructions,
+        );
+        reg.counter_set(
+            "bt_translated_instructions_total",
+            self.translated_instructions,
+        );
+        reg.counter_set("bt_translations_built_total", self.translations_built);
+        reg.counter_set(
+            "bt_translation_executions_total",
+            self.translation_executions,
+        );
+        reg.counter_set("bt_side_exits_total", self.side_exits);
+        reg.counter_set("bt_context_switches_total", self.context_switches);
+        reg.counter_set(
+            "bt_invalidated_translations_total",
+            self.invalidated_translations,
+        );
+    }
+}
+
 /// One scheduling unit of hybrid execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]

@@ -19,6 +19,13 @@ pub struct NucleusStats {
     pub handler_cycles: u64,
 }
 
+impl powerchop_telemetry::MetricSource for NucleusStats {
+    fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        reg.counter_set("bt_nucleus_interrupts_total", self.interrupts);
+        reg.counter_set("bt_nucleus_handler_cycles_total", self.handler_cycles);
+    }
+}
+
 /// The interrupt/exception handler of the BT layer.
 ///
 /// # Examples

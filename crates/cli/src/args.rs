@@ -70,7 +70,7 @@ impl ManagerArg {
 }
 
 /// Options shared by run-like commands.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOpts {
     /// Manager to use.
     pub manager: ManagerArg,
@@ -80,10 +80,22 @@ pub struct RunOpts {
     pub scale: f64,
     /// Emit machine-readable JSON instead of the human summary.
     pub json: bool,
-    /// Fault-schedule seed (`stress` only; `None` uses the default).
+    /// Fault-schedule seed (`None` uses the default when faults run).
     pub seed: Option<u64>,
-    /// Use the 10× pathological fault rates (`stress` only).
+    /// Use the 10× pathological fault rates.
     pub storm: bool,
+    /// Chrome trace-event JSON output path (enables the flight recorder).
+    pub trace: Option<String>,
+    /// Prometheus metrics output path (enables the flight recorder).
+    pub metrics: Option<String>,
+}
+
+impl RunOpts {
+    /// Whether any flag asked for the flight recorder.
+    #[must_use]
+    pub fn wants_telemetry(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
 }
 
 impl Default for RunOpts {
@@ -95,6 +107,8 @@ impl Default for RunOpts {
             json: false,
             seed: None,
             storm: false,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -144,6 +158,14 @@ pub enum Command {
         /// Benchmark name.
         bench: String,
         /// Run options (manager ignored).
+        opts: RunOpts,
+    },
+    /// `trace <bench>` — run with the flight recorder and render the
+    /// event-stream phase/gating timeline in the terminal.
+    Trace {
+        /// Benchmark name.
+        bench: String,
+        /// Run options.
         opts: RunOpts,
     },
     /// `stress [bench]` — run under deterministic fault injection and
@@ -228,6 +250,8 @@ COMMANDS:
     timeline <bench>       print the per-window phase/policy timeline
     asm <file.s>           assemble a guest-ISA text file and run it
     profile <bench>        architectural instruction-mix profile (no timing)
+    trace <bench>          run with the flight recorder on and print the
+                           phase/gating timeline from the event stream
     stress [bench]         run under deterministic fault injection (all benchmarks
                            when no operand) and report survival + degradation
     checkpoint <bench>     run until --at instructions, write a crash-safe snapshot
@@ -242,8 +266,12 @@ OPTIONS (run/compare/timeline/asm/stress/checkpoint/supervise):
     --budget <N>           instruction budget                    [default: 8000000]
     --scale <F>            workload scale factor                 [default: 1.0]
     --json                 (run/asm/stress/resume) print the report as JSON
-    --seed <N>             (stress/checkpoint/supervise) fault-schedule seed
-    --storm                (stress/checkpoint/supervise) 10x pathological rates
+    --seed <N>             (run/trace/stress/checkpoint/supervise) fault seed
+    --storm                (run/trace/stress/checkpoint/supervise) 10x fault rates
+    --trace <file>         (run/trace/stress/supervise) write a Chrome trace-event
+                           JSON file (stress/supervise write one per benchmark)
+    --metrics <file>       (run/trace/stress/supervise) write a Prometheus text
+                           metrics dump (stress/supervise write one per benchmark)
 
 OPTIONS (checkpoint):
     --at <N>               instructions before the snapshot      [default: budget/2]
@@ -292,6 +320,8 @@ fn parse_flags(
                 );
             }
             "--storm" => opts.storm = true,
+            "--trace" => opts.trace = Some(value()?),
+            "--metrics" => opts.metrics = Some(value()?),
             other => {
                 if !extra(other, &mut value)? {
                     return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}")));
@@ -349,6 +379,10 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             opts: parse_opts(&argv[2..])?,
         }),
         "profile" => Ok(Command::Profile {
+            bench: operand()?,
+            opts: parse_opts(&argv[2..])?,
+        }),
+        "trace" => Ok(Command::Trace {
             bench: operand()?,
             opts: parse_opts(&argv[2..])?,
         }),
@@ -590,6 +624,34 @@ mod tests {
         ] {
             assert_eq!(ManagerArg::parse(m.as_str()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse() {
+        match parse(&argv(
+            "run gobmk --trace out.json --metrics out.prom --seed 9",
+        ))
+        .unwrap()
+        {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.trace.as_deref(), Some("out.json"));
+                assert_eq!(opts.metrics.as_deref(), Some("out.prom"));
+                assert_eq!(opts.seed, Some(9));
+                assert!(opts.wants_telemetry());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("trace hmmer --storm --budget 5000")).unwrap() {
+            Command::Trace { bench, opts } => {
+                assert_eq!(bench, "hmmer");
+                assert!(opts.storm);
+                assert_eq!(opts.budget, 5000);
+                assert!(!opts.wants_telemetry());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("run gobmk --trace")).is_err());
     }
 
     #[test]

@@ -3,10 +3,12 @@
 use std::collections::HashMap;
 
 use powerchop::{
-    read_meta, run_program, ManagerKind, RunConfig, RunReport, Simulation, SnapshotMeta,
+    read_meta, run_program, run_program_traced, ManagerKind, RunConfig, RunReport, Simulation,
+    SnapshotMeta,
 };
 use powerchop_faults::FaultConfig;
 use powerchop_gisa::Program;
+use powerchop_telemetry::{export, timeline, TelemetryConfig, Tracer};
 use powerchop_uarch::cache::MlcWayState;
 use powerchop_uarch::config::{CoreConfig, CoreKind};
 use powerchop_workloads::{Benchmark, Scale, Suite};
@@ -31,12 +33,13 @@ pub fn dispatch(command: Command) -> Result<(), CliError> {
         }
         Command::Info => info(),
         Command::List { suite } => list(suite.as_deref()),
-        Command::Run { bench, opts } => run_one(&bench, opts),
-        Command::Compare { bench, opts } => compare(&bench, opts),
-        Command::Timeline { bench, opts } => timeline(&bench, opts),
-        Command::Asm { path, opts } => run_asm(&path, opts),
-        Command::Profile { bench, opts } => profile_bench(&bench, opts),
-        Command::Stress { bench, opts } => stress(bench.as_deref(), opts),
+        Command::Run { bench, opts } => run_one(&bench, &opts),
+        Command::Compare { bench, opts } => compare(&bench, &opts),
+        Command::Timeline { bench, opts } => timeline_cmd(&bench, &opts),
+        Command::Asm { path, opts } => run_asm(&path, &opts),
+        Command::Profile { bench, opts } => profile_bench(&bench, &opts),
+        Command::Trace { bench, opts } => trace_cmd(&bench, &opts),
+        Command::Stress { bench, opts } => stress(bench.as_deref(), &opts),
         Command::Checkpoint {
             bench,
             at,
@@ -70,10 +73,61 @@ fn benchmark(name: &str) -> Result<&'static Benchmark, CliError> {
     })
 }
 
-fn config(kind: CoreKind, opts: RunOpts) -> RunConfig {
+fn config(kind: CoreKind, opts: &RunOpts) -> RunConfig {
     let mut cfg = RunConfig::for_kind(kind);
     cfg.max_instructions = opts.budget;
     cfg
+}
+
+/// The tracer a command's options ask for: recording when `--trace` or
+/// `--metrics` was given, the no-op tracer otherwise.
+pub(crate) fn tracer_for(opts: &RunOpts) -> Tracer {
+    if opts.wants_telemetry() {
+        Tracer::enabled(TelemetryConfig::default())
+    } else {
+        Tracer::disabled()
+    }
+}
+
+/// Writes the requested telemetry artifacts from a finished tracer: the
+/// Chrome trace-event JSON to `trace` and the Prometheus text dump to
+/// `metrics` (each skipped when not requested or the tracer is inert).
+pub(crate) fn write_telemetry(
+    tracer: &Tracer,
+    trace: Option<&str>,
+    metrics: Option<&str>,
+) -> Result<(), CliError> {
+    let Some(rec) = tracer.recorder() else {
+        return Ok(());
+    };
+    if let Some(path) = trace {
+        std::fs::write(path, export::chrome_trace_json(&rec.events()))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = metrics {
+        std::fs::write(path, rec.metrics().to_prometheus_text())?;
+        eprintln!("wrote Prometheus metrics to {path}");
+    }
+    Ok(())
+}
+
+/// Derives the per-benchmark output path sweeps use: `out.json` becomes
+/// `out-<bench>.json` so one `--trace`/`--metrics` flag fans out without
+/// the runs overwriting each other.
+pub(crate) fn per_bench_path(path: &str, bench: &str) -> String {
+    let p = std::path::Path::new(path);
+    let stem = p
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("telemetry");
+    let ext = p
+        .extension()
+        .and_then(|s| s.to_str())
+        .map(|e| format!(".{e}"))
+        .unwrap_or_default();
+    p.with_file_name(format!("{stem}-{bench}{ext}"))
+        .to_string_lossy()
+        .into_owned()
 }
 
 fn list(suite: Option<&str>) -> Result<(), CliError> {
@@ -144,15 +198,45 @@ fn print_report(r: &RunReport) {
     }
 }
 
-fn run_one(bench: &str, opts: RunOpts) -> Result<(), CliError> {
+fn run_one(bench: &str, opts: &RunOpts) -> Result<(), CliError> {
     let b = benchmark(bench)?;
-    let cfg = config(b.core_kind(), opts);
+    let mut cfg = config(b.core_kind(), opts);
+    cfg.faults = fault_config(opts.seed, opts.storm);
     let program = b.program(Scale(opts.scale));
-    let report = run_program(&program, opts.manager.kind(), &cfg)?;
+    let (report, tracer) =
+        run_program_traced(&program, opts.manager.kind(), &cfg, tracer_for(opts))?;
+    write_telemetry(&tracer, opts.trace.as_deref(), opts.metrics.as_deref())?;
     if opts.json {
         println!("{}", report_to_json(&report));
     } else {
         print_report(&report);
+    }
+    Ok(())
+}
+
+/// The `trace` command: run with the flight recorder always on and
+/// render the phase/gating timeline from the recorded event stream
+/// (plus any `--trace`/`--metrics` files the flags asked for).
+fn trace_cmd(bench: &str, opts: &RunOpts) -> Result<(), CliError> {
+    let b = benchmark(bench)?;
+    let mut cfg = config(b.core_kind(), opts);
+    cfg.faults = fault_config(opts.seed, opts.storm);
+    let program = b.program(Scale(opts.scale));
+    let tracer = Tracer::enabled(TelemetryConfig::default());
+    let (report, tracer) = run_program_traced(&program, opts.manager.kind(), &cfg, tracer)?;
+    write_telemetry(&tracer, opts.trace.as_deref(), opts.metrics.as_deref())?;
+    if let Some(rec) = tracer.recorder() {
+        println!(
+            "{bench} ({}, {} manager): {} instructions, {} cycles",
+            report.core_kind, report.manager, report.instructions, report.cycles
+        );
+        print!("{}", timeline::render(&rec.events(), report.cycles, 96));
+        if rec.ring().dropped() > 0 {
+            println!(
+                "note: ring wrapped — {} oldest event(s) dropped; early history is missing",
+                rec.ring().dropped()
+            );
+        }
     }
     Ok(())
 }
@@ -207,7 +291,7 @@ pub fn report_to_json(r: &RunReport) -> String {
     out
 }
 
-fn compare(bench: &str, opts: RunOpts) -> Result<(), CliError> {
+fn compare(bench: &str, opts: &RunOpts) -> Result<(), CliError> {
     let b = benchmark(bench)?;
     let cfg = config(b.core_kind(), opts);
     let program = b.program(Scale(opts.scale));
@@ -235,7 +319,7 @@ fn compare(bench: &str, opts: RunOpts) -> Result<(), CliError> {
     Ok(())
 }
 
-fn timeline(bench: &str, opts: RunOpts) -> Result<(), CliError> {
+fn timeline_cmd(bench: &str, opts: &RunOpts) -> Result<(), CliError> {
     let b = benchmark(bench)?;
     let mut cfg = config(b.core_kind(), opts);
     cfg.record_windows = true;
@@ -284,7 +368,7 @@ fn print_timeline(report: &RunReport) {
     );
 }
 
-fn run_asm(path: &str, opts: RunOpts) -> Result<(), CliError> {
+fn run_asm(path: &str, opts: &RunOpts) -> Result<(), CliError> {
     let source = std::fs::read_to_string(path)?;
     let name = std::path::Path::new(path)
         .file_stem()
@@ -445,7 +529,7 @@ struct StressRow {
 fn stress_one(
     b: &'static Benchmark,
     fault_cfg: FaultConfig,
-    opts: RunOpts,
+    opts: &RunOpts,
 ) -> Result<StressRow, CliError> {
     let program = b.program(Scale(opts.scale));
     let clean_cfg = config(b.core_kind(), opts);
@@ -458,11 +542,27 @@ fn stress_one(
     let outcome =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<_, CliError> {
             let clean = run_program(&program, ManagerKind::FullPower, &clean_cfg)?;
-            let faulted = run_program(&program, opts.manager.kind(), &faulted_cfg)?;
-            Ok((clean, faulted))
+            let (faulted, tracer) = run_program_traced(
+                &program,
+                opts.manager.kind(),
+                &faulted_cfg,
+                tracer_for(opts),
+            )?;
+            Ok((clean, faulted, tracer))
         }));
     match outcome {
-        Ok(Ok((clean, faulted))) => {
+        Ok(Ok((clean, faulted, tracer))) => {
+            write_telemetry(
+                &tracer,
+                opts.trace
+                    .as_deref()
+                    .map(|p| per_bench_path(p, b.name()))
+                    .as_deref(),
+                opts.metrics
+                    .as_deref()
+                    .map(|p| per_bench_path(p, b.name()))
+                    .as_deref(),
+            )?;
             let degrade = faulted.degrade.unwrap_or_default();
             Ok(StressRow {
                 name: b.name(),
@@ -489,7 +589,7 @@ fn stress_one(
     }
 }
 
-fn stress(bench: Option<&str>, opts: RunOpts) -> Result<(), CliError> {
+fn stress(bench: Option<&str>, opts: &RunOpts) -> Result<(), CliError> {
     let seed = opts.seed.unwrap_or(DEFAULT_STRESS_SEED);
     let fault_cfg = if opts.storm {
         FaultConfig::storm(seed)
@@ -579,7 +679,7 @@ fn stress(bench: Option<&str>, opts: RunOpts) -> Result<(), CliError> {
     Ok(())
 }
 
-fn profile_bench(bench: &str, opts: RunOpts) -> Result<(), CliError> {
+fn profile_bench(bench: &str, opts: &RunOpts) -> Result<(), CliError> {
     use powerchop_gisa::InstClass;
     let b = benchmark(bench)?;
     let program = b.program(Scale(opts.scale));
@@ -641,9 +741,48 @@ mod tests {
             scale: 0.05,
             ..RunOpts::default()
         };
-        run_one("hmmer", opts).unwrap();
-        compare("hmmer", opts).unwrap();
-        timeline("hmmer", opts).unwrap();
+        run_one("hmmer", &opts).unwrap();
+        compare("hmmer", &opts).unwrap();
+        timeline_cmd("hmmer", &opts).unwrap();
+    }
+
+    #[test]
+    fn run_with_trace_writes_artifacts_and_trace_cmd_renders() {
+        let dir = std::env::temp_dir().join(format!("powerchop-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("out.json");
+        let metrics_path = dir.join("out.prom");
+        let opts = RunOpts {
+            budget: 300_000,
+            scale: 0.05,
+            seed: Some(7),
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+            metrics: Some(metrics_path.to_string_lossy().into_owned()),
+            ..RunOpts::default()
+        };
+        run_one("hmmer", &opts).unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        powerchop_telemetry::validate_json(&trace).expect("chrome trace is well-formed JSON");
+        assert!(trace.contains("\"cat\":\"phase\""));
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(prom.contains("sim_instructions_total"));
+        trace_cmd(
+            "hmmer",
+            &RunOpts {
+                trace: None,
+                metrics: None,
+                ..opts
+            },
+        )
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_bench_paths_keep_extension_and_directory() {
+        assert_eq!(per_bench_path("out.json", "hmmer"), "out-hmmer.json");
+        assert_eq!(per_bench_path("a/b/out.prom", "gcc"), "a/b/out-gcc.prom");
+        assert_eq!(per_bench_path("noext", "namd"), "noext-namd");
     }
 
     #[test]
@@ -654,7 +793,7 @@ mod tests {
             scale: 0.05,
             ..RunOpts::default()
         };
-        let cfg = config(b.core_kind(), opts);
+        let cfg = config(b.core_kind(), &opts);
         let program = b.program(Scale(opts.scale));
         let report = run_program(&program, opts.manager.kind(), &cfg).unwrap();
         let json = report_to_json(&report);
@@ -680,13 +819,13 @@ mod tests {
             seed: Some(1234),
             ..RunOpts::default()
         };
-        stress(Some("hmmer"), opts).unwrap();
+        stress(Some("hmmer"), &opts).unwrap();
         let storm = RunOpts {
             storm: true,
-            ..opts
+            ..opts.clone()
         };
-        stress(Some("hmmer"), storm).unwrap();
-        assert!(stress(Some("doom"), opts).is_err());
+        stress(Some("hmmer"), &storm).unwrap();
+        assert!(stress(Some("doom"), &opts).is_err());
     }
 
     #[test]
@@ -696,8 +835,8 @@ mod tests {
             scale: 0.05,
             ..RunOpts::default()
         };
-        profile_bench("namd", opts).unwrap();
-        assert!(profile_bench("doom", opts).is_err());
+        profile_bench("namd", &opts).unwrap();
+        assert!(profile_bench("doom", &opts).is_err());
     }
 
     #[test]
@@ -710,6 +849,6 @@ mod tests {
             "li r0, 0\nli r1, 50000\ntop:\naddi r0, r0, 1\nblt r0, r1, top\nhalt\n",
         )
         .unwrap();
-        run_asm(path.to_str().unwrap(), RunOpts::default()).unwrap();
+        run_asm(path.to_str().unwrap(), &RunOpts::default()).unwrap();
     }
 }

@@ -21,9 +21,12 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use powerchop::{RunReport, Simulation};
+use powerchop_telemetry::Tracer;
 
 use crate::args::{RunOpts, SuperviseOpts};
-use crate::commands::{prepare_run, write_atomic, PreparedRun, STEP_CHUNK};
+use crate::commands::{
+    per_bench_path, prepare_run, tracer_for, write_atomic, write_telemetry, PreparedRun, STEP_CHUNK,
+};
 use crate::CliError;
 
 /// The journal file name inside the supervisor state directory.
@@ -41,9 +44,11 @@ enum Terminal {
     Failed,
 }
 
-/// How one attempt of one benchmark ended.
+/// How one attempt of one benchmark ended. A completed attempt carries
+/// the tracer back so the supervisor can export the flight recording
+/// and fold a metric summary into the journal.
 enum AttemptOutcome {
-    Completed(Box<RunReport>),
+    Completed(Box<RunReport>, Box<Tracer>),
     DeadlineKilled,
     Panicked(String),
     Errored(String),
@@ -85,6 +90,22 @@ fn journal_append(path: &Path, line: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The compact per-run metric summary folded into the journal after a
+/// traced run completes (`None` when the run was untraced). Its verb,
+/// `metrics`, is not a terminal state, so the journal parser skips it.
+fn metric_summary(name: &str, tracer: &Tracer) -> Option<String> {
+    let m = tracer.recorder()?.metrics();
+    Some(format!(
+        "metrics {name} events {} dropped {} phase {} gating {} cde {} faults {}",
+        m.counter("telemetry_events_recorded_total"),
+        m.counter("telemetry_events_dropped_total"),
+        m.counter("events_phase_total"),
+        m.counter("events_gating_total"),
+        m.counter("events_cde_total"),
+        m.counter("events_faults_total"),
+    ))
+}
+
 /// Extracts a displayable message from a caught panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -102,6 +123,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// the outcome plus whether the attempt resumed from a checkpoint.
 fn run_attempt(
     pr: &PreparedRun,
+    opts: &RunOpts,
     ckpt_path: &Path,
     checkpoint_every: u64,
     cancel: &AtomicBool,
@@ -126,6 +148,11 @@ fn run_attempt(
             },
             Err(_) => Simulation::new(&pr.program, pr.kind, &pr.cfg)?,
         };
+        // Telemetry is not checkpointed: a resumed attempt's recording
+        // simply starts at the resume point.
+        if opts.wants_telemetry() {
+            sim.attach_tracer(tracer_for(opts));
+        }
         let mut last_checkpoint = sim.retired();
         while !sim.is_done() {
             if cancel.load(Ordering::Relaxed) {
@@ -140,7 +167,11 @@ fn run_attempt(
                 write_atomic(ckpt_path, &sim.snapshot(&pr.meta))?;
             }
         }
-        Ok(AttemptOutcome::Completed(Box::new(sim.into_report())))
+        let (report, tracer) = sim.into_report_with_telemetry();
+        Ok(AttemptOutcome::Completed(
+            Box::new(report),
+            Box::new(tracer),
+        ))
     }));
     let outcome = match result {
         Ok(Ok(outcome)) => outcome,
@@ -241,7 +272,9 @@ pub fn supervise(benches: &[String], opts: RunOpts, sup: &SuperviseOpts) -> Resu
 
             // Watchdog: trips the cancel flag once the deadline passes;
             // released early through the channel when the attempt ends.
-            let cancel = Arc::new(AtomicBool::new(false));
+            // A zero deadline is already expired, so it trips here
+            // rather than racing the watchdog thread's first schedule.
+            let cancel = Arc::new(AtomicBool::new(sup.deadline_ms == 0));
             let watchdog_flag = Arc::clone(&cancel);
             let (release, released) = mpsc::channel::<()>();
             let deadline = Duration::from_millis(sup.deadline_ms);
@@ -251,14 +284,15 @@ pub fn supervise(benches: &[String], opts: RunOpts, sup: &SuperviseOpts) -> Resu
                 }
             });
             let started = Instant::now();
-            let (outcome, resumed) = run_attempt(&pr, &ckpt_path, sup.checkpoint_every, &cancel);
+            let (outcome, resumed) =
+                run_attempt(&pr, &opts, &ckpt_path, sup.checkpoint_every, &cancel);
             let _ = release.send(());
             let _ = watchdog.join();
             row.resumed = row.resumed || resumed;
             let elapsed = started.elapsed();
 
             match outcome {
-                AttemptOutcome::Completed(report) => {
+                AttemptOutcome::Completed(report, tracer) => {
                     journal_append(
                         &journal,
                         &format!(
@@ -267,6 +301,20 @@ pub fn supervise(benches: &[String], opts: RunOpts, sup: &SuperviseOpts) -> Resu
                             report.cycles,
                             report.energy.total_j.to_bits()
                         ),
+                    )?;
+                    if let Some(line) = metric_summary(name, &tracer) {
+                        journal_append(&journal, &line)?;
+                    }
+                    write_telemetry(
+                        &tracer,
+                        opts.trace
+                            .as_deref()
+                            .map(|p| per_bench_path(p, name))
+                            .as_deref(),
+                        opts.metrics
+                            .as_deref()
+                            .map(|p| per_bench_path(p, name))
+                            .as_deref(),
                     )?;
                     let _ = std::fs::remove_file(&ckpt_path);
                     println!(
@@ -408,6 +456,38 @@ mod tests {
         supervise(&benches, small_opts(), &sup).expect("second sweep completes");
         let journal2 = std::fs::read_to_string(dir.join(JOURNAL_FILE)).expect("journal exists");
         assert_eq!(journal2, journal, "second invocation did zero work");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_sweep_folds_metric_summaries_into_journal() {
+        let dir = tmp_dir("telemetry");
+        let sup = SuperviseOpts {
+            dir: dir.to_string_lossy().into_owned(),
+            deadline_ms: 60_000,
+            max_attempts: 1,
+            backoff_ms: 1,
+            checkpoint_every: u64::MAX,
+        };
+        let metrics_path = dir.join("m.prom");
+        let opts = RunOpts {
+            metrics: Some(metrics_path.to_string_lossy().into_owned()),
+            ..small_opts()
+        };
+        supervise(&["hmmer".to_owned()], opts, &sup).expect("sweep completes");
+        let journal = std::fs::read_to_string(dir.join(JOURNAL_FILE)).expect("journal exists");
+        assert!(
+            journal.contains("metrics hmmer events "),
+            "journal folds metric summaries: {journal}"
+        );
+        // The metrics verb is not terminal: parsing still sees `done`.
+        assert_eq!(
+            read_journal(&dir.join(JOURNAL_FILE)).get("hmmer"),
+            Some(&Terminal::Done)
+        );
+        let prom = std::fs::read_to_string(dir.join("m-hmmer.prom"))
+            .expect("per-bench prometheus dump exists");
+        assert!(prom.contains("sim_instructions_total"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

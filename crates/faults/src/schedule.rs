@@ -62,6 +62,14 @@ impl FaultKind {
             FaultKind::WorkloadPerturbation => 5,
         }
     }
+
+    /// Stable numeric code (the [`FaultKind::ALL`] index), used as the
+    /// telemetry event payload so the flight recorder stays free of
+    /// cross-crate types.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self.index() as u8
+    }
 }
 
 impl std::fmt::Display for FaultKind {
@@ -231,6 +239,21 @@ impl FaultStats {
             FaultKind::PvtEviction => self.pvt_evictions += 1,
             FaultKind::WorkloadPerturbation => self.perturbations += 1,
         }
+    }
+}
+
+impl powerchop_telemetry::MetricSource for FaultStats {
+    fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        reg.counter_set("faults_interrupts_total", self.interrupts);
+        reg.counter_set("faults_context_switches_total", self.context_switches);
+        reg.counter_set(
+            "faults_region_invalidations_total",
+            self.region_invalidations,
+        );
+        reg.counter_set("faults_pvt_corruptions_total", self.pvt_corruptions);
+        reg.counter_set("faults_pvt_evictions_total", self.pvt_evictions);
+        reg.counter_set("faults_perturbations_total", self.perturbations);
+        reg.counter_set("faults_injected_total", self.total());
     }
 }
 

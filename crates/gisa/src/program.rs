@@ -182,9 +182,19 @@ impl ProgramBuilder {
 
     /// Creates a label bound to the current position.
     pub fn bind_label(&mut self) -> Label {
-        let l = self.label();
-        self.bind(l).expect("freshly created label cannot be bound");
-        l
+        self.labels.push(Some(Pc(self.insts.len() as u32)));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position; the first binding wins if
+    /// it was already bound. Emitters that create a forward label and
+    /// bind it exactly once use this total variant of
+    /// [`ProgramBuilder::bind`].
+    pub fn bind_here(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        if slot.is_none() {
+            *slot = Some(Pc(self.insts.len() as u32));
+        }
     }
 
     /// Emits a raw instruction.

@@ -30,6 +30,16 @@ macro_rules! register_newtype {
                 }
             }
 
+            /// Creates a register from an index the caller knows is in
+            /// range, wrapping out-of-range indices back into the file.
+            /// This makes compile-time-constant register choices total:
+            /// emitters that pick registers from fixed pools use this
+            /// instead of unwrapping [`Self::new`].
+            #[must_use]
+            pub const fn wrapping(index: u8) -> Self {
+                Self(index % $max)
+            }
+
             /// Returns the architectural index of this register.
             #[must_use]
             pub fn index(self) -> usize {

@@ -329,6 +329,27 @@ impl EnergyLedger {
     }
 }
 
+impl powerchop_telemetry::MetricSource for EnergyLedger {
+    fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        let report = self.report();
+        reg.counter_set("power_cycles_accounted_total", report.cycles);
+        reg.counter_set("power_transitions_total", report.transitions);
+        reg.gauge_set("power_leakage_joules", report.leakage_j);
+        reg.gauge_set("power_leakage_vpu_joules", report.leakage.vpu);
+        reg.gauge_set("power_leakage_bpu_joules", report.leakage.bpu);
+        reg.gauge_set("power_leakage_mlc_joules", report.leakage.mlc);
+        reg.gauge_set("power_leakage_other_joules", report.leakage.other);
+        reg.gauge_set("power_dynamic_joules", report.dynamic_j);
+        reg.gauge_set("power_dynamic_pipeline_joules", report.dynamic.pipeline);
+        reg.gauge_set("power_dynamic_bpu_joules", report.dynamic.bpu);
+        reg.gauge_set("power_dynamic_vpu_joules", report.dynamic.vpu);
+        reg.gauge_set("power_dynamic_mlc_joules", report.dynamic.mlc);
+        reg.gauge_set("power_dynamic_memory_joules", report.dynamic.memory);
+        reg.gauge_set("power_overhead_joules", report.overhead_j);
+        reg.gauge_set("power_total_joules", report.total_j);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

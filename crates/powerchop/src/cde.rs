@@ -145,6 +145,15 @@ pub struct CdeStats {
     pub profiles_discarded: u64,
 }
 
+impl powerchop_telemetry::MetricSource for CdeStats {
+    fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        reg.counter_set("cde_new_phases_total", self.new_phases);
+        reg.counter_set("cde_decided_total", self.decided);
+        reg.counter_set("cde_reregistered_total", self.reregistered);
+        reg.counter_set("cde_profiles_discarded_total", self.profiles_discarded);
+    }
+}
+
 /// The Criticality Decision Engine.
 #[derive(Debug, Clone)]
 pub struct Cde {

@@ -45,6 +45,21 @@ pub struct DegradeStats {
     pub phases_pinned: u64,
 }
 
+impl powerchop_telemetry::MetricSource for DegradeStats {
+    fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        reg.counter_set("degrade_anomalies_total", self.anomalies);
+        reg.counter_set(
+            "degrade_failsafe_transitions_total",
+            self.failsafe_transitions,
+        );
+        reg.counter_set(
+            "degrade_reprofiles_scheduled_total",
+            self.reprofiles_scheduled,
+        );
+        reg.counter_set("degrade_phases_pinned_total", self.phases_pinned);
+    }
+}
+
 /// What to do about a phase after an anomaly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailSafeAction {

@@ -13,6 +13,7 @@
 //! Figures 9, 10 and 16 report.
 
 use powerchop_power::{EnergyLedger, ManagedUnit, UnitStates};
+use powerchop_telemetry::{Tracer, Unit};
 use powerchop_uarch::cache::MlcWayState;
 use powerchop_uarch::config::{CoreConfig, GatingPenalties};
 use powerchop_uarch::core::CoreModel;
@@ -184,7 +185,17 @@ impl GatingController {
 
     /// Transitions to `policy`, charging all switch costs. A no-op when
     /// the policy already matches.
-    pub fn apply(&mut self, policy: GatingPolicy, core: &mut CoreModel, ledger: &mut EnergyLedger) {
+    ///
+    /// Each per-unit switch is reported to `trace` as a gate-on/off event
+    /// carrying the stall cycles charged for the transition; pass
+    /// [`Tracer::disabled`] when telemetry is off.
+    pub fn apply(
+        &mut self,
+        policy: GatingPolicy,
+        core: &mut CoreModel,
+        ledger: &mut EnergyLedger,
+        trace: &mut Tracer,
+    ) {
         if policy == self.current {
             return;
         }
@@ -200,6 +211,9 @@ impl GatingController {
             if self.semantic {
                 core.set_vpu_active(policy.vpu_on);
             }
+            let stall =
+                u64::from(self.penalties.vpu_switch) + u64::from(self.penalties.vpu_save_restore);
+            trace.with(|r| r.on_gate(core.cycles(), Unit::Vpu, !policy.vpu_on, stall));
         }
         if policy.bpu_on != self.current.bpu_on {
             self.switches.bpu += 1;
@@ -208,15 +222,30 @@ impl GatingController {
             if self.semantic {
                 core.set_bpu_large_active(policy.bpu_on);
             }
+            let stall = u64::from(self.penalties.bpu_switch);
+            trace.with(|r| r.on_gate(core.cycles(), Unit::Bpu, !policy.bpu_on, stall));
         }
         if policy.mlc != self.current.mlc {
             self.switches.mlc += 1;
             ledger.charge_transition(ManagedUnit::Mlc);
             core.add_stall(u64::from(self.penalties.mlc_switch));
+            let mut stall = u64::from(self.penalties.mlc_switch);
             if self.semantic {
                 let flushed = core.set_mlc_way_state(policy.mlc);
-                core.add_stall(flushed * u64::from(self.penalties.mlc_writeback_per_line));
+                let writeback = flushed * u64::from(self.penalties.mlc_writeback_per_line);
+                core.add_stall(writeback);
+                stall += writeback;
             }
+            // The MLC counts as "gated" in any non-full way state; the
+            // recorder drops non-edges (e.g. Half -> One stays gated).
+            trace.with(|r| {
+                r.on_gate(
+                    core.cycles(),
+                    Unit::Mlc,
+                    policy.mlc != MlcWayState::Full,
+                    stall,
+                )
+            });
         }
         self.current = policy;
     }
@@ -293,7 +322,12 @@ mod tests {
     #[test]
     fn applying_same_policy_is_free() {
         let (mut core, mut ledger, mut ctl) = setup();
-        ctl.apply(GatingPolicy::FULL, &mut core, &mut ledger);
+        ctl.apply(
+            GatingPolicy::FULL,
+            &mut core,
+            &mut ledger,
+            &mut Tracer::disabled(),
+        );
         assert_eq!(core.cycles(), 0);
         assert_eq!(ctl.switches().total(), 0);
     }
@@ -305,7 +339,7 @@ mod tests {
             vpu_on: false,
             ..GatingPolicy::FULL
         };
-        ctl.apply(policy, &mut core, &mut ledger);
+        ctl.apply(policy, &mut core, &mut ledger, &mut Tracer::disabled());
         assert_eq!(core.cycles(), 30 + 500);
         assert_eq!(ctl.switches().vpu, 1);
         assert!(!core.vpu_active(), "semantic controller drives the core");
@@ -319,14 +353,14 @@ mod tests {
             bpu_on: false,
             ..GatingPolicy::FULL
         };
-        ctl.apply(policy, &mut core, &mut ledger);
+        ctl.apply(policy, &mut core, &mut ledger, &mut Tracer::disabled());
         assert_eq!(core.cycles(), 20);
         let policy = GatingPolicy {
             bpu_on: false,
             mlc: MlcWayState::One,
             ..policy
         };
-        ctl.apply(policy, &mut core, &mut ledger);
+        ctl.apply(policy, &mut core, &mut ledger, &mut Tracer::disabled());
         assert_eq!(core.cycles(), 20 + 50); // empty MLC: no writebacks
         assert_eq!(
             ctl.switches(),
@@ -344,7 +378,12 @@ mod tests {
         let mut core = CoreModel::new(&cfg);
         let mut ledger = EnergyLedger::new(PowerParams::server());
         let mut ctl = GatingController::new(&cfg, false);
-        ctl.apply(GatingPolicy::MINIMAL, &mut core, &mut ledger);
+        ctl.apply(
+            GatingPolicy::MINIMAL,
+            &mut core,
+            &mut ledger,
+            &mut Tracer::disabled(),
+        );
         assert!(core.vpu_active());
         assert!(core.bpu_large_active());
         assert_eq!(core.mlc_way_state(), MlcWayState::Full);
@@ -363,6 +402,7 @@ mod tests {
             },
             &mut core,
             &mut ledger,
+            &mut Tracer::disabled(),
         );
         let start = core.cycles(); // transition stall cycles (530)
         core.add_stall(1000);
@@ -385,6 +425,7 @@ mod tests {
             },
             &mut core,
             &mut ledger,
+            &mut Tracer::disabled(),
         );
         core.add_stall(100);
         ctl.apply(
@@ -394,6 +435,7 @@ mod tests {
             },
             &mut core,
             &mut ledger,
+            &mut Tracer::disabled(),
         );
         core.add_stall(200);
         ctl.sync(&core, &mut ledger);

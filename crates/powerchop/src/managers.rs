@@ -14,6 +14,7 @@ use powerchop_bt::TranslationId;
 use powerchop_checkpoint::{ByteReader, ByteWriter, CheckpointError};
 use powerchop_faults::FaultKind;
 use powerchop_power::EnergyLedger;
+use powerchop_telemetry::{Event, MetricSource as _, MetricsRegistry, Tracer};
 use powerchop_uarch::core::{CoreModel, CoreStats};
 
 use crate::cde::{Cde, CdeStats, Thresholds, WindowProfile};
@@ -35,6 +36,8 @@ pub struct ManagerCtx<'a> {
     pub controller: &'a mut GatingController,
     /// The BT nucleus (for CDE-invocation interrupts).
     pub nucleus: &'a mut Nucleus,
+    /// The flight recorder ([`Tracer::disabled`] when telemetry is off).
+    pub trace: &'a mut Tracer,
 }
 
 /// One execution window's identification record (for the Fig. 8 phase
@@ -86,6 +89,11 @@ pub trait PowerManager {
         None
     }
 
+    /// Folds the manager's structure-level counters (PVT, CDE, guard,
+    /// HTB occupancy) into a telemetry registry. Stateless managers
+    /// contribute nothing.
+    fn sample_metrics(&self, _reg: &mut MetricsRegistry) {}
+
     /// Serializes the manager's mutable state for a checkpoint. Stateless
     /// managers write nothing.
     fn snapshot_to(&self, _w: &mut ByteWriter) {}
@@ -126,7 +134,7 @@ impl PowerManager for MinimalPowerManager {
 
     fn init(&mut self, ctx: &mut ManagerCtx<'_>) {
         ctx.controller
-            .apply(GatingPolicy::MINIMAL, ctx.core, ctx.ledger);
+            .apply(GatingPolicy::MINIMAL, ctx.core, ctx.ledger, ctx.trace);
     }
 
     fn on_translation(&mut self, _id: TranslationId, _n: u64, _ctx: &mut ManagerCtx<'_>) {}
@@ -178,7 +186,7 @@ impl PowerManager for TimeoutVpuManager {
             self.last_vec_cycle = now;
             if gated {
                 ctx.controller
-                    .apply(GatingPolicy::FULL, ctx.core, ctx.ledger);
+                    .apply(GatingPolicy::FULL, ctx.core, ctx.ledger, ctx.trace);
             }
         } else if !gated && now.saturating_sub(self.last_vec_cycle) >= self.timeout_cycles {
             ctx.controller.apply(
@@ -188,6 +196,7 @@ impl PowerManager for TimeoutVpuManager {
                 },
                 ctx.core,
                 ctx.ledger,
+                ctx.trace,
             );
         }
     }
@@ -456,10 +465,14 @@ impl PowerChopManager {
             if let Some((armed_sig, resume)) = self.armed.take() {
                 self.cde.discard_profile(armed_sig, resume);
             }
+            let sig = signature.key();
+            ctx.trace
+                .emit(ctx.core.cycles(), Event::DegradeFailSafe { sig });
             ctx.controller.apply(
                 self.cfg.managed.mask(GatingPolicy::FULL),
                 ctx.core,
                 ctx.ledger,
+                ctx.trace,
             );
         } else if !signature.is_empty() {
             self.process_window(signature, profile, ctx);
@@ -482,6 +495,9 @@ impl PowerChopManager {
         ctx: &mut ManagerCtx<'_>,
     ) {
         self.window_index += 1;
+        let sig = signature.key();
+        ctx.trace
+            .with(|r| r.on_phase_window(ctx.core.cycles(), sig));
 
         // A pinned phase bypasses Algorithm 1 entirely: the watchdog or
         // the backoff budget decided it cannot be trusted with gating.
@@ -490,7 +506,7 @@ impl PowerChopManager {
                 self.cde.discard_profile(armed_sig, resume);
             }
             ctx.controller
-                .apply(self.cfg.managed.mask(pin), ctx.core, ctx.ledger);
+                .apply(self.cfg.managed.mask(pin), ctx.core, ctx.ledger, ctx.trace);
             return;
         }
 
@@ -498,8 +514,11 @@ impl PowerChopManager {
         // miss interrupts into the CDE software handler (Algorithm 1).
         let lookup = self.pvt.lookup(signature);
         if lookup.is_none() {
+            ctx.trace.emit(ctx.core.cycles(), Event::PvtMiss { sig });
             ctx.nucleus
                 .raise(ctx.core, self.cfg.pvt_miss_handler_cycles);
+        } else {
+            ctx.trace.emit(ctx.core.cycles(), Event::PvtHit { sig });
         }
 
         // A profiling measurement was armed for the window that just
@@ -525,18 +544,41 @@ impl PowerChopManager {
                     // so it gets pinned to the fail-safe instead.
                     if let Some(pin) = self.guard.observe_decision(signature, policy) {
                         self.pvt.invalidate(signature);
-                        ctx.controller
-                            .apply(self.cfg.managed.mask(pin), ctx.core, ctx.ledger);
+                        ctx.trace.emit(
+                            ctx.core.cycles(),
+                            Event::DegradeRepin {
+                                sig,
+                                policy: pin.bits(),
+                            },
+                        );
+                        ctx.controller.apply(
+                            self.cfg.managed.mask(pin),
+                            ctx.core,
+                            ctx.ledger,
+                            ctx.trace,
+                        );
                         return;
                     }
+                    ctx.trace
+                        .with(|r| r.on_verdict(ctx.core.cycles(), sig, policy.bits()));
                     // Profiling complete: register and enact.
                     if let Some((evicted_sig, _)) = self.pvt.register(signature, policy) {
                         // Evicted entries live on in the CDE's store; it
                         // already holds every decided phase.
                         debug_assert!(self.cde.record(evicted_sig).is_some());
+                        ctx.trace.emit(
+                            ctx.core.cycles(),
+                            Event::PvtEvict {
+                                sig: evicted_sig.key(),
+                            },
+                        );
                     }
-                    ctx.controller
-                        .apply(self.cfg.managed.mask(policy), ctx.core, ctx.ledger);
+                    ctx.controller.apply(
+                        self.cfg.managed.mask(policy),
+                        ctx.core,
+                        ctx.ledger,
+                        ctx.trace,
+                    );
                 } else {
                     // More profiling. The MLC runs fully powered so hit
                     // counters are meaningful and the BPU is set per
@@ -549,6 +591,7 @@ impl PowerChopManager {
                         self.profiling_policy(signature, current, profile.vec_ops > 0),
                         ctx.core,
                         ctx.ledger,
+                        ctx.trace,
                     );
                 }
                 return;
@@ -566,10 +609,13 @@ impl PowerChopManager {
                 if expected != policy {
                     self.pvt.invalidate(signature);
                     self.guard.on_anomaly(signature, self.window_index);
+                    ctx.trace
+                        .emit(ctx.core.cycles(), Event::DegradeAnomaly { sig });
                     ctx.controller.apply(
                         self.cfg.managed.mask(GatingPolicy::FULL),
                         ctx.core,
                         ctx.ledger,
+                        ctx.trace,
                     );
                     return;
                 }
@@ -581,26 +627,36 @@ impl PowerChopManager {
                 self.pvt.invalidate(signature);
                 self.cde.forget(signature);
                 self.guard.on_anomaly(signature, self.window_index);
+                ctx.trace
+                    .emit(ctx.core.cycles(), Event::DegradeAnomaly { sig });
                 ctx.controller.apply(
                     self.cfg.managed.mask(GatingPolicy::FULL),
                     ctx.core,
                     ctx.ledger,
+                    ctx.trace,
                 );
                 return;
             }
             // PVT hit: hardware applies the stored policy directly.
-            ctx.controller
-                .apply(self.cfg.managed.mask(policy), ctx.core, ctx.ledger);
+            ctx.controller.apply(
+                self.cfg.managed.mask(policy),
+                ctx.core,
+                ctx.ledger,
+                ctx.trace,
+            );
             return;
         }
 
         // A phase inside its post-anomaly backoff runs fail-safe; it may
         // not re-enter profiling until the backoff expires.
         if self.guard.deferred(signature, self.window_index) {
+            ctx.trace
+                .emit(ctx.core.cycles(), Event::DegradeFailSafe { sig });
             ctx.controller.apply(
                 self.cfg.managed.mask(GatingPolicy::FULL),
                 ctx.core,
                 ctx.ledger,
+                ctx.trace,
             );
             return;
         }
@@ -611,17 +667,31 @@ impl PowerChopManager {
         let needs_warmup = profile.mlc_accesses > 0;
         if let Some(policy) = self.cde.on_pvt_miss(signature, needs_warmup) {
             // Capacity miss: re-register the stored policy.
-            self.pvt.register(signature, policy);
-            ctx.controller
-                .apply(self.cfg.managed.mask(policy), ctx.core, ctx.ledger);
+            if let Some((evicted_sig, _)) = self.pvt.register(signature, policy) {
+                ctx.trace.emit(
+                    ctx.core.cycles(),
+                    Event::PvtEvict {
+                        sig: evicted_sig.key(),
+                    },
+                );
+            }
+            ctx.controller.apply(
+                self.cfg.managed.mask(policy),
+                ctx.core,
+                ctx.ledger,
+                ctx.trace,
+            );
         } else {
             // Compulsory miss: profile the next window.
             let resume = ctx.controller.current();
             self.armed = Some((signature, resume));
+            ctx.trace
+                .with(|r| r.on_profile_start(ctx.core.cycles(), sig));
             ctx.controller.apply(
                 self.profiling_policy(signature, resume, profile.vec_ops > 0),
                 ctx.core,
                 ctx.ledger,
+                ctx.trace,
             );
         }
     }
@@ -690,8 +760,12 @@ impl PowerManager for PowerChopManager {
                 self.window_start_stats = ctx.core.stats();
                 if let Some((sig, resume)) = self.armed.take() {
                     self.cde.discard_profile(sig, resume);
-                    ctx.controller
-                        .apply(self.cfg.managed.mask(resume), ctx.core, ctx.ledger);
+                    ctx.controller.apply(
+                        self.cfg.managed.mask(resume),
+                        ctx.core,
+                        ctx.ledger,
+                        ctx.trace,
+                    );
                 }
             }
             FaultKind::PvtCorruption => {
@@ -706,6 +780,14 @@ impl PowerManager for PowerChopManager {
 
     fn degrade_stats(&self) -> Option<DegradeStats> {
         Some(self.guard.stats())
+    }
+
+    fn sample_metrics(&self, reg: &mut MetricsRegistry) {
+        self.pvt.stats().sample_metrics(reg);
+        self.cde.stats().sample_metrics(reg);
+        self.guard.stats().sample_metrics(reg);
+        reg.gauge_set("htb_occupancy", self.htb.len() as f64);
+        reg.counter_set("htb_overflowed_total", self.htb.overflowed());
     }
 
     fn snapshot_to(&self, w: &mut ByteWriter) {
@@ -797,6 +879,7 @@ mod tests {
         parts: &mut (CoreModel, EnergyLedger, GatingController, Nucleus),
     ) {
         let per_window = mgr.cfg.window_translations;
+        let mut trace = Tracer::disabled();
         for w in 0..windows {
             for i in 0..per_window {
                 // Advance time so windows are distinguishable.
@@ -809,6 +892,7 @@ mod tests {
                     ledger,
                     controller,
                     nucleus,
+                    trace: &mut trace,
                 };
                 mgr.on_translation(TranslationId(id), 10, &mut ctx);
             }
@@ -876,11 +960,13 @@ mod tests {
 
         // Idle long enough: gates off.
         core.add_stall(5_000);
+        let mut trace = Tracer::disabled();
         let mut ctx = ManagerCtx {
             core: &mut core,
             ledger: &mut ledger,
             controller: &mut controller,
             nucleus: &mut nucleus,
+            trace: &mut trace,
         };
         mgr.on_translation(TranslationId(1), 10, &mut ctx);
         assert!(!controller.current().vpu_on);
@@ -908,6 +994,7 @@ mod tests {
             ledger: &mut ledger,
             controller: &mut controller,
             nucleus: &mut nucleus,
+            trace: &mut trace,
         };
         mgr.on_translation(TranslationId(1), 10, &mut ctx);
         assert!(controller.current().vpu_on);
@@ -947,11 +1034,13 @@ mod tests {
         }
         assert!(core.mlc_awake_fraction() > 0.99);
         core.add_stall(2_000);
+        let mut trace = Tracer::disabled();
         let mut ctx = ManagerCtx {
             core: &mut core,
             ledger: &mut ledger,
             controller: &mut controller,
             nucleus: &mut nucleus,
+            trace: &mut trace,
         };
         mgr.on_translation(TranslationId(1), 10, &mut ctx);
         assert_eq!(mgr.drowse_events(), 1);
@@ -982,11 +1071,13 @@ mod tests {
         let mut parts = ctx_parts();
         let (core, ledger, controller, nucleus) =
             (&mut parts.0, &mut parts.1, &mut parts.2, &mut parts.3);
+        let mut trace = Tracer::disabled();
         let mut ctx = ManagerCtx {
             core,
             ledger,
             controller,
             nucleus,
+            trace: &mut trace,
         };
         MinimalPowerManager.init(&mut ctx);
         assert_eq!(parts.2.current(), GatingPolicy::MINIMAL);

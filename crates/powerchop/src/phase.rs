@@ -52,6 +52,16 @@ impl PhaseSignature {
         self.ids.iter().filter(|id| **id != u32::MAX).count()
     }
 
+    /// A stable 64-bit key for telemetry (FNV-1a fold over the sorted
+    /// IDs). Equal signatures always produce equal keys; collisions are
+    /// astronomically unlikely at trace scale and only affect labels.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.ids.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, id| {
+            (h ^ u64::from(*id)).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    }
+
     /// Whether the signature is empty (a window with no translations).
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -27,6 +27,15 @@ pub struct PvtStats {
     pub evictions: u64,
 }
 
+impl powerchop_telemetry::MetricSource for PvtStats {
+    fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        reg.counter_set("pvt_lookups_total", self.lookups);
+        reg.counter_set("pvt_hits_total", self.hits);
+        reg.counter_set("pvt_misses_total", self.misses());
+        reg.counter_set("pvt_evictions_total", self.evictions);
+    }
+}
+
 impl PvtStats {
     /// Lookups that missed.
     #[must_use]

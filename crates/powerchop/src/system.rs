@@ -11,6 +11,7 @@ use powerchop_checkpoint::{fnv1a64, CheckpointError, Snapshot, SnapshotWriter};
 use powerchop_faults::{FaultConfig, FaultKind, FaultSchedule, FaultStats};
 use powerchop_gisa::Program;
 use powerchop_power::{EnergyLedger, EnergyReport, PowerParams};
+use powerchop_telemetry::{Event, MetricSource as _, Tracer};
 use powerchop_uarch::config::{CoreConfig, CoreKind};
 use powerchop_uarch::core::{CoreModel, CoreStats};
 
@@ -370,6 +371,7 @@ pub struct Simulation<'p> {
     machine: Machine<'p>,
     manager: Box<dyn PowerManager>,
     schedule: Option<FaultSchedule>,
+    tracer: Tracer,
     done: bool,
 }
 
@@ -392,6 +394,23 @@ impl<'p> Simulation<'p> {
     /// Returns [`SimError::InvalidConfig`] for configurations the
     /// simulation cannot run under.
     pub fn new(program: &'p Program, kind: ManagerKind, cfg: &RunConfig) -> Result<Self, SimError> {
+        Simulation::new_traced(program, kind, cfg, Tracer::disabled())
+    }
+
+    /// Creates a fresh simulation with a flight recorder attached. The
+    /// recorder observes events and samples metrics but never influences
+    /// the run: a traced run is bit-identical to an untraced one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for configurations the
+    /// simulation cannot run under.
+    pub fn new_traced(
+        program: &'p Program,
+        kind: ManagerKind,
+        cfg: &RunConfig,
+        mut tracer: Tracer,
+    ) -> Result<Self, SimError> {
         cfg.validate()?;
         let mut core = CoreModel::new(&cfg.core);
         let mut ledger = EnergyLedger::new(cfg.power.clone());
@@ -409,6 +428,7 @@ impl<'p> Simulation<'p> {
                 ledger: &mut ledger,
                 controller: &mut controller,
                 nucleus: &mut nucleus,
+                trace: &mut tracer,
             };
             manager.init(&mut ctx);
         }
@@ -424,6 +444,7 @@ impl<'p> Simulation<'p> {
             machine,
             manager,
             schedule,
+            tracer,
             done: false,
         })
     }
@@ -466,14 +487,30 @@ impl<'p> Simulation<'p> {
                     ledger: &mut self.ledger,
                     controller: &mut self.controller,
                     nucleus: &mut self.nucleus,
+                    trace: &mut self.tracer,
                 };
                 self.manager.on_translation(id, instructions, &mut ctx);
+            }
+            MachineEvent::Installed { id, guest_len } => {
+                self.tracer.emit(
+                    self.core.cycles(),
+                    Event::TranslationInstalled {
+                        id: id.0,
+                        guest_len: u32::try_from(guest_len).unwrap_or(u32::MAX),
+                    },
+                );
             }
             _ => {}
         }
         if let Some(sched) = self.schedule.as_mut() {
             let fcfg = *sched.config();
             while let Some(event) = sched.next_due(self.core.cycles()) {
+                self.tracer.emit(
+                    self.core.cycles(),
+                    Event::FaultDelivered {
+                        kind: event.kind.code(),
+                    },
+                );
                 match event.kind {
                     FaultKind::AsyncInterrupt => {
                         // A device interrupt runs its handler in the
@@ -492,12 +529,20 @@ impl<'p> Simulation<'p> {
                             ledger: &mut self.ledger,
                             controller: &mut self.controller,
                             nucleus: &mut self.nucleus,
+                            trace: &mut self.tracer,
                         };
                         self.manager.on_fault(event.kind, event.payload, &mut ctx);
                     }
                     FaultKind::RegionCacheInvalidation => {
-                        self.machine
+                        let dropped = self
+                            .machine
                             .invalidate_regions(fcfg.region_invalidate_fraction, event.payload);
+                        self.tracer.emit(
+                            self.core.cycles(),
+                            Event::RegionInvalidated {
+                                dropped: dropped as u64,
+                            },
+                        );
                     }
                     FaultKind::PvtCorruption | FaultKind::PvtEviction => {
                         let mut ctx = ManagerCtx {
@@ -505,6 +550,7 @@ impl<'p> Simulation<'p> {
                             ledger: &mut self.ledger,
                             controller: &mut self.controller,
                             nucleus: &mut self.nucleus,
+                            trace: &mut self.tracer,
                         };
                         self.manager.on_fault(event.kind, event.payload, &mut ctx);
                     }
@@ -517,7 +563,49 @@ impl<'p> Simulation<'p> {
                 }
             }
         }
+        if self.tracer.is_enabled() {
+            let cycle = self.core.cycles();
+            let due = self
+                .tracer
+                .recorder_mut()
+                .is_some_and(|r| r.sample_due(cycle));
+            if due {
+                self.sample_metrics_now();
+            }
+        }
         Ok(())
+    }
+
+    /// Folds the current state of every subsystem into the recorder's
+    /// metrics registry, plus per-unit energy-delta histograms between
+    /// consecutive samples. Read-only with respect to the simulation.
+    fn sample_metrics_now(&mut self) {
+        let bt = self.machine.stats();
+        let nucleus_stats = self.nucleus.stats();
+        let fault_stats = self.schedule.as_ref().map(FaultSchedule::stats);
+        let retired = self.machine.retired();
+        let Some(rec) = self.tracer.recorder_mut() else {
+            return;
+        };
+        let reg = rec.metrics_mut();
+        let prev_energy = UNIT_ENERGY_HISTOGRAMS.map(|(_, leak, dynamic)| {
+            reg.gauge(leak).unwrap_or(0.0) + reg.gauge(dynamic).unwrap_or(0.0)
+        });
+        reg.counter_set("sim_instructions_total", retired);
+        reg.counter_set("sim_cycles_total", self.core.cycles());
+        self.core.sample_metrics(reg);
+        bt.sample_metrics(reg);
+        nucleus_stats.sample_metrics(reg);
+        self.ledger.sample_metrics(reg);
+        if let Some(fs) = fault_stats {
+            fs.sample_metrics(reg);
+        }
+        self.manager.sample_metrics(reg);
+        for ((hist, leak, dynamic), prev) in UNIT_ENERGY_HISTOGRAMS.into_iter().zip(prev_energy) {
+            let now = reg.gauge(leak).unwrap_or(0.0) + reg.gauge(dynamic).unwrap_or(0.0);
+            let delta_uj = ((now - prev).max(0.0) * 1e6) as u64;
+            reg.observe(hist, delta_uj);
+        }
     }
 
     /// Runs up to `iterations` dispatch-loop iterations, stopping early
@@ -552,9 +640,23 @@ impl<'p> Simulation<'p> {
     /// point (a mid-run report covers the work so far); the report of a
     /// resumed run is bit-identical to that of an uninterrupted one.
     #[must_use]
-    pub fn into_report(mut self) -> RunReport {
+    pub fn into_report(self) -> RunReport {
+        self.into_report_with_telemetry().0
+    }
+
+    /// Like [`Simulation::into_report`], but also takes a final metrics
+    /// sample, closes open trace spans and hands the tracer back so the
+    /// caller can export the flight recording.
+    #[must_use]
+    pub fn into_report_with_telemetry(mut self) -> (RunReport, Tracer) {
         self.controller.sync(&self.core, &mut self.ledger);
-        RunReport {
+        if self.tracer.is_enabled() {
+            self.sample_metrics_now();
+        }
+        let cycle = self.core.cycles();
+        self.tracer.with(|r| r.finish(cycle));
+        let tracer = std::mem::take(&mut self.tracer);
+        let report = RunReport {
             name: self.name,
             manager: self.manager.name(),
             core_kind: self.cfg.core.kind,
@@ -571,14 +673,25 @@ impl<'p> Simulation<'p> {
             windows: self.manager.take_window_records(),
             faults: self.schedule.as_ref().map(FaultSchedule::stats),
             degrade: self.manager.degrade_stats(),
-        }
+        };
+        (report, tracer)
     }
 
     /// Serializes the complete run state into the versioned, checksummed
     /// snapshot container, embedding `meta` so the snapshot is
     /// self-describing.
+    ///
+    /// Telemetry is deliberately *not* part of the snapshot: a resumed
+    /// trace starts at the resume point. The write is recorded as a
+    /// [`Event::CheckpointWritten`] trace event (hence `&mut self`).
     #[must_use]
-    pub fn snapshot(&self, meta: &SnapshotMeta) -> Vec<u8> {
+    pub fn snapshot(&mut self, meta: &SnapshotMeta) -> Vec<u8> {
+        self.tracer.emit(
+            self.core.cycles(),
+            Event::CheckpointWritten {
+                retired: self.machine.retired(),
+            },
+        );
         let mut sw = SnapshotWriter::new(self.config_hash);
         sw.section(sections::META, |w| {
             w.put_str(&meta.benchmark);
@@ -630,6 +743,13 @@ impl<'p> Simulation<'p> {
             .map_err(SimError::from)?;
         sim.restore_sections(&snap).map_err(SimError::from)?;
         Ok(sim)
+    }
+
+    /// Replaces the run's tracer. Telemetry is not checkpointed, so
+    /// this is how a run restored via [`Simulation::restore`] gets a
+    /// flight recorder: the recording starts at the attach point.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn restore_sections(&mut self, snap: &Snapshot<'_>) -> Result<(), CheckpointError> {
@@ -698,6 +818,47 @@ pub fn run_program(
     sim.run_to_completion()?;
     Ok(sim.into_report())
 }
+
+/// Runs `program` with a flight recorder attached, returning both the
+/// report and the tracer holding the recorded events and metrics. The
+/// report is bit-identical to the one [`run_program`] produces for the
+/// same inputs.
+///
+/// # Errors
+///
+/// Exactly as [`run_program`]: guest-execution faults and invalid
+/// configurations.
+pub fn run_program_traced(
+    program: &Program,
+    kind: ManagerKind,
+    cfg: &RunConfig,
+    tracer: Tracer,
+) -> Result<(RunReport, Tracer), SimError> {
+    let mut sim = Simulation::new_traced(program, kind, cfg, tracer)?;
+    sim.run_to_completion()?;
+    Ok(sim.into_report_with_telemetry())
+}
+
+/// Metric-name triples `(delta histogram, leakage gauge, dynamic gauge)`
+/// for the per-unit energy-delta histograms sampled on the telemetry
+/// interval.
+const UNIT_ENERGY_HISTOGRAMS: [(&str, &str, &str); 3] = [
+    (
+        "energy_delta_vpu_microjoules",
+        "power_leakage_vpu_joules",
+        "power_dynamic_vpu_joules",
+    ),
+    (
+        "energy_delta_bpu_microjoules",
+        "power_leakage_bpu_joules",
+        "power_dynamic_bpu_joules",
+    ),
+    (
+        "energy_delta_mlc_microjoules",
+        "power_leakage_mlc_joules",
+        "power_dynamic_mlc_joules",
+    ),
+];
 
 /// A payload-jittered fault magnitude in `[mean/2, mean)`, never zero.
 fn jittered(payload: u64, mean: u64) -> u64 {

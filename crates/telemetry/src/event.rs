@@ -1,0 +1,271 @@
+//! The flight-recorder event taxonomy.
+//!
+//! Events are small `Copy` values carrying only plain integers, so
+//! emitting one never formats or allocates. Cross-crate identifiers are
+//! pre-hashed (phase signatures become a 64-bit key via
+//! `PhaseSignature::key`) or encoded (gating policies as their 4-bit PVT
+//! nibble) before they reach this crate, which is what keeps
+//! `powerchop-telemetry` dependency-free and usable from every layer of
+//! the stack.
+
+/// A power-managed unit, as seen by the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// The vector processing unit.
+    Vpu,
+    /// The large branch prediction unit.
+    Bpu,
+    /// The mid-level cache (way-gated).
+    Mlc,
+}
+
+impl Unit {
+    /// All units, in the fixed index order used by dwell accounting.
+    pub const ALL: [Unit; 3] = [Unit::Vpu, Unit::Bpu, Unit::Mlc];
+
+    /// Stable dense index (`0..3`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Unit::Vpu => 0,
+            Unit::Bpu => 1,
+            Unit::Mlc => 2,
+        }
+    }
+
+    /// Lower-case label for exports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::Vpu => "vpu",
+            Unit::Bpu => "bpu",
+            Unit::Mlc => "mlc",
+        }
+    }
+}
+
+/// One flight-recorder event. Every variant is cycle-stamped by the ring
+/// buffer ([`crate::Stamped`]); no wall-clock time ever enters the
+/// stream, so traced runs replay bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Event {
+    /// Execution entered the phase with signature key `sig`.
+    PhaseEnter {
+        /// 64-bit phase-signature key.
+        sig: u64,
+    },
+    /// Execution left phase `sig` after `windows` execution windows.
+    PhaseExit {
+        /// 64-bit phase-signature key.
+        sig: u64,
+        /// Consecutive windows the phase was resident.
+        windows: u64,
+    },
+    /// A PVT lookup hit for phase `sig`.
+    PvtHit {
+        /// 64-bit phase-signature key.
+        sig: u64,
+    },
+    /// A PVT lookup missed for phase `sig` (interrupts into the CDE).
+    PvtMiss {
+        /// 64-bit phase-signature key.
+        sig: u64,
+    },
+    /// Phase `sig` was evicted from the PVT to make room.
+    PvtEvict {
+        /// 64-bit phase-signature key.
+        sig: u64,
+    },
+    /// The CDE armed a profiling measurement for phase `sig`.
+    CdeProfileStart {
+        /// 64-bit phase-signature key.
+        sig: u64,
+    },
+    /// The CDE decided a policy for phase `sig`.
+    CdeVerdict {
+        /// 64-bit phase-signature key.
+        sig: u64,
+        /// The decided policy's 4-bit PVT encoding (`V | B<<1 | M<<2`).
+        policy: u8,
+    },
+    /// Unit `unit` was gated on, paying `wake_stall` stall cycles.
+    GateOn {
+        /// The unit.
+        unit: Unit,
+        /// Stall cycles charged for the wake (switch + save/restore).
+        wake_stall: u64,
+    },
+    /// Unit `unit` was gated off (or way-gated down, for the MLC).
+    GateOff {
+        /// The unit.
+        unit: Unit,
+        /// Stall cycles charged for the transition.
+        stall: u64,
+    },
+    /// The degradation guard observed an anomaly on phase `sig`.
+    DegradeAnomaly {
+        /// 64-bit phase-signature key.
+        sig: u64,
+    },
+    /// The guard failed safe to full power for phase `sig`.
+    DegradeFailSafe {
+        /// 64-bit phase-signature key.
+        sig: u64,
+    },
+    /// The guard pinned phase `sig` to a fixed policy.
+    DegradeRepin {
+        /// 64-bit phase-signature key.
+        sig: u64,
+        /// The pinned policy's 4-bit PVT encoding.
+        policy: u8,
+    },
+    /// The fault layer delivered an injected fault.
+    FaultDelivered {
+        /// [`Event::fault_kind_label`]-decodable fault-kind code.
+        kind: u8,
+    },
+    /// A crash-safe snapshot was written.
+    CheckpointWritten {
+        /// Guest instructions retired at the snapshot point.
+        retired: u64,
+    },
+    /// The BT layer installed a new translation in the region cache.
+    TranslationInstalled {
+        /// Translation ID.
+        id: u32,
+        /// Guest instructions covered by the translation.
+        guest_len: u32,
+    },
+    /// A fault invalidated part of the region cache.
+    RegionInvalidated {
+        /// Translations dropped.
+        dropped: u64,
+    },
+}
+
+impl Event {
+    /// Short machine-readable event name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::PhaseEnter { .. } => "phase_enter",
+            Event::PhaseExit { .. } => "phase_exit",
+            Event::PvtHit { .. } => "pvt_hit",
+            Event::PvtMiss { .. } => "pvt_miss",
+            Event::PvtEvict { .. } => "pvt_evict",
+            Event::CdeProfileStart { .. } => "cde_profile_start",
+            Event::CdeVerdict { .. } => "cde_verdict",
+            Event::GateOn { .. } => "gate_on",
+            Event::GateOff { .. } => "gate_off",
+            Event::DegradeAnomaly { .. } => "degrade_anomaly",
+            Event::DegradeFailSafe { .. } => "degrade_failsafe",
+            Event::DegradeRepin { .. } => "degrade_repin",
+            Event::FaultDelivered { .. } => "fault_delivered",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::TranslationInstalled { .. } => "translation_installed",
+            Event::RegionInvalidated { .. } => "region_invalidated",
+        }
+    }
+
+    /// Event category (the Chrome trace `cat` field).
+    #[must_use]
+    pub fn category(&self) -> &'static str {
+        match self {
+            Event::PhaseEnter { .. } | Event::PhaseExit { .. } => "phase",
+            Event::PvtHit { .. } | Event::PvtMiss { .. } | Event::PvtEvict { .. } => "pvt",
+            Event::CdeProfileStart { .. } | Event::CdeVerdict { .. } => "cde",
+            Event::GateOn { .. } | Event::GateOff { .. } => "gating",
+            Event::DegradeAnomaly { .. }
+            | Event::DegradeFailSafe { .. }
+            | Event::DegradeRepin { .. } => "degrade",
+            Event::FaultDelivered { .. } => "faults",
+            Event::CheckpointWritten { .. } => "checkpoint",
+            Event::TranslationInstalled { .. } | Event::RegionInvalidated { .. } => "bt",
+        }
+    }
+
+    /// Decodes a [`Event::FaultDelivered`] kind code into its label.
+    /// Codes follow `FaultKind::ALL` order in `powerchop-faults`.
+    #[must_use]
+    pub fn fault_kind_label(kind: u8) -> &'static str {
+        match kind {
+            0 => "async_interrupt",
+            1 => "context_switch",
+            2 => "region_cache_invalidation",
+            3 => "pvt_corruption",
+            4 => "pvt_eviction",
+            5 => "workload_perturbation",
+            _ => "unknown",
+        }
+    }
+}
+
+/// A cycle-stamped event, as stored in the ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped {
+    /// Core cycle count at emission.
+    pub cycle: u64,
+    /// The event.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_cover_every_variant() {
+        let evs = [
+            Event::PhaseEnter { sig: 1 },
+            Event::PhaseExit { sig: 1, windows: 2 },
+            Event::PvtHit { sig: 1 },
+            Event::PvtMiss { sig: 1 },
+            Event::PvtEvict { sig: 1 },
+            Event::CdeProfileStart { sig: 1 },
+            Event::CdeVerdict {
+                sig: 1,
+                policy: 0xF,
+            },
+            Event::GateOn {
+                unit: Unit::Vpu,
+                wake_stall: 530,
+            },
+            Event::GateOff {
+                unit: Unit::Mlc,
+                stall: 50,
+            },
+            Event::DegradeAnomaly { sig: 1 },
+            Event::DegradeFailSafe { sig: 1 },
+            Event::DegradeRepin {
+                sig: 1,
+                policy: 0xF,
+            },
+            Event::FaultDelivered { kind: 0 },
+            Event::CheckpointWritten { retired: 10 },
+            Event::TranslationInstalled {
+                id: 3,
+                guest_len: 8,
+            },
+            Event::RegionInvalidated { dropped: 4 },
+        ];
+        for ev in evs {
+            assert!(!ev.name().is_empty());
+            assert!(!ev.category().is_empty());
+        }
+    }
+
+    #[test]
+    fn unit_indices_are_dense() {
+        for (i, u) in Unit::ALL.iter().enumerate() {
+            assert_eq!(u.index(), i);
+        }
+    }
+
+    #[test]
+    fn fault_labels_match_fixed_order() {
+        assert_eq!(Event::fault_kind_label(0), "async_interrupt");
+        assert_eq!(Event::fault_kind_label(5), "workload_perturbation");
+        assert_eq!(Event::fault_kind_label(99), "unknown");
+    }
+}

@@ -1,0 +1,482 @@
+//! Trace exporters: Chrome trace-event JSON, JSONL dumps, and a
+//! dependency-free JSON well-formedness checker used by the round-trip
+//! tests and CI validation.
+//!
+//! All exporters are deterministic: they serialize nothing but the
+//! cycle-stamped events handed to them, in order, with stable field
+//! ordering — identical runs produce byte-identical files.
+
+use crate::event::{Event, Stamped};
+
+/// Renders events as a Chrome trace-event JSON object
+/// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` and
+/// Perfetto. Cycle counts are used directly as the microsecond `ts`
+/// field — "1 µs" in the viewer is one core cycle.
+///
+/// Phase residency and gated-off intervals become duration (`B`/`E`)
+/// events on dedicated tracks; everything else is an instant event.
+#[must_use]
+pub fn chrome_trace_json(events: &[Stamped]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for s in events {
+        let (ph, tid) = match s.event {
+            Event::PhaseEnter { .. } => ("B", 1),
+            Event::PhaseExit { .. } => ("E", 1),
+            // A unit's gated-off interval is a span on its own track.
+            Event::GateOff { unit, .. } => ("B", 2 + unit.index() as u32),
+            Event::GateOn { unit, .. } => ("E", 2 + unit.index() as u32),
+            _ => ("i", 0),
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        out.push_str(span_name(&s.event));
+        out.push_str("\",\"cat\":\"");
+        out.push_str(s.event.category());
+        out.push_str("\",\"ph\":\"");
+        out.push_str(ph);
+        out.push_str("\",\"ts\":");
+        out.push_str(&s.cycle.to_string());
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&tid.to_string());
+        if ph == "i" {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":");
+        push_args(&mut out, &s.event);
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Renders events as one JSON object per line.
+#[must_use]
+pub fn jsonl(events: &[Stamped]) -> String {
+    let mut out = String::with_capacity(events.len() * 80);
+    for s in events {
+        out.push_str("{\"cycle\":");
+        out.push_str(&s.cycle.to_string());
+        out.push_str(",\"cat\":\"");
+        out.push_str(s.event.category());
+        out.push_str("\",\"name\":\"");
+        out.push_str(s.event.name());
+        out.push_str("\",\"args\":");
+        push_args(&mut out, &s.event);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// The Chrome `name` field: `B`/`E` pairs must share a name, so spans
+/// use their track's name rather than the enter/exit event name.
+fn span_name(ev: &Event) -> &'static str {
+    match ev {
+        Event::PhaseEnter { .. } | Event::PhaseExit { .. } => "phase",
+        Event::GateOff { unit, .. } | Event::GateOn { unit, .. } => match unit.index() {
+            0 => "vpu_off",
+            1 => "bpu_off",
+            _ => "mlc_gated",
+        },
+        _ => ev.name(),
+    }
+}
+
+/// Appends the event's payload as a JSON object. Only integers and
+/// fixed labels — nothing here can need escaping.
+fn push_args(out: &mut String, ev: &Event) {
+    use std::fmt::Write as _;
+    match ev {
+        Event::PhaseEnter { sig }
+        | Event::PvtHit { sig }
+        | Event::PvtMiss { sig }
+        | Event::PvtEvict { sig }
+        | Event::CdeProfileStart { sig }
+        | Event::DegradeAnomaly { sig }
+        | Event::DegradeFailSafe { sig } => {
+            let _ = write!(out, "{{\"sig\":\"{sig:016x}\"}}");
+        }
+        Event::PhaseExit { sig, windows } => {
+            let _ = write!(out, "{{\"sig\":\"{sig:016x}\",\"windows\":{windows}}}");
+        }
+        Event::CdeVerdict { sig, policy } | Event::DegradeRepin { sig, policy } => {
+            let _ = write!(
+                out,
+                "{{\"sig\":\"{sig:016x}\",\"policy\":{policy},\"vpu_on\":{},\"bpu_on\":{}}}",
+                policy & 1,
+                (policy >> 1) & 1
+            );
+        }
+        Event::GateOn { unit, wake_stall } => {
+            let _ = write!(
+                out,
+                "{{\"unit\":\"{}\",\"wake_stall\":{wake_stall}}}",
+                unit.label()
+            );
+        }
+        Event::GateOff { unit, stall } => {
+            let _ = write!(out, "{{\"unit\":\"{}\",\"stall\":{stall}}}", unit.label());
+        }
+        Event::FaultDelivered { kind } => {
+            let _ = write!(out, "{{\"kind\":\"{}\"}}", Event::fault_kind_label(*kind));
+        }
+        Event::CheckpointWritten { retired } => {
+            let _ = write!(out, "{{\"retired\":{retired}}}");
+        }
+        Event::TranslationInstalled { id, guest_len } => {
+            let _ = write!(out, "{{\"id\":{id},\"guest_len\":{guest_len}}}");
+        }
+        Event::RegionInvalidated { dropped } => {
+            let _ = write!(out, "{{\"dropped\":{dropped}}}");
+        }
+    }
+}
+
+/// A JSON syntax error from [`validate_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Checks that `text` is one well-formed JSON value (RFC 8259 syntax;
+/// no semantic validation). This is the "round-trips through a JSON
+/// parser" half of the exporter tests, kept dependency-free.
+///
+/// # Errors
+///
+/// Returns the first [`JsonError`] encountered.
+pub fn validate_json(text: &str) -> Result<(), JsonError> {
+    let b = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(JsonError {
+            offset: pos,
+            message: "trailing data after value",
+        });
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        _ => Err(JsonError {
+            offset: *pos,
+            message: "expected a JSON value",
+        }),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(JsonError {
+                offset: *pos,
+                message: "expected ':' in object",
+            });
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "expected ',' or '}' in object",
+                })
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "expected ',' or ']' in array",
+                })
+            }
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(JsonError {
+            offset: *pos,
+            message: "expected a string",
+        });
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(JsonError {
+                                    offset: *pos,
+                                    message: "bad \\u escape",
+                                });
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            offset: *pos,
+                            message: "bad escape",
+                        })
+                    }
+                }
+            }
+            0x00..=0x1F => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "unescaped control character",
+                })
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err(JsonError {
+        offset: *pos,
+        message: "unterminated string",
+    })
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // RFC 8259 integer part: "0", or a nonzero digit followed by more.
+    match b.get(*pos) {
+        Some(b'0') => {
+            *pos += 1;
+            if b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                return Err(JsonError {
+                    offset: start,
+                    message: "leading zero in number",
+                });
+            }
+        }
+        Some(c) if c.is_ascii_digit() => {
+            eat_digits(b, pos);
+        }
+        _ => {
+            return Err(JsonError {
+                offset: start,
+                message: "malformed number",
+            })
+        }
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if eat_digits(b, pos) == 0 {
+            return Err(JsonError {
+                offset: *pos,
+                message: "malformed fraction",
+            });
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if eat_digits(b, pos) == 0 {
+            return Err(JsonError {
+                offset: *pos,
+                message: "malformed exponent",
+            });
+        }
+    }
+    Ok(())
+}
+
+fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    *pos - start
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), JsonError> {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError {
+            offset: *pos,
+            message: "bad literal",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Unit;
+
+    fn sample_events() -> Vec<Stamped> {
+        vec![
+            Stamped {
+                cycle: 10,
+                event: Event::PhaseEnter { sig: 0xAB },
+            },
+            Stamped {
+                cycle: 20,
+                event: Event::GateOff {
+                    unit: Unit::Vpu,
+                    stall: 530,
+                },
+            },
+            Stamped {
+                cycle: 900,
+                event: Event::FaultDelivered { kind: 1 },
+            },
+            Stamped {
+                cycle: 1000,
+                event: Event::GateOn {
+                    unit: Unit::Vpu,
+                    wake_stall: 530,
+                },
+            },
+            Stamped {
+                cycle: 1500,
+                event: Event::PhaseExit {
+                    sig: 0xAB,
+                    windows: 3,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_pairs_and_categories() {
+        let json = chrome_trace_json(&sample_events());
+        validate_json(&json).expect("chrome trace must be well-formed");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"cat\":\"phase\""));
+        assert!(json.contains("\"cat\":\"gating\""));
+        assert!(json.contains("\"cat\":\"faults\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let text = jsonl(&sample_events());
+        assert_eq!(text.lines().count(), 5);
+        for line in text.lines() {
+            validate_json(line).expect("each JSONL line parses");
+        }
+    }
+
+    #[test]
+    fn empty_event_list_exports_cleanly() {
+        let json = chrome_trace_json(&[]);
+        validate_json(&json).expect("empty trace parses");
+        assert_eq!(jsonl(&[]), "");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "\"a\\u00e9\"",
+            "{\"a\":[1,2,{\"b\":false}]}",
+            "  [1, 2]  ",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "01",
+            "1 2",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "truth",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

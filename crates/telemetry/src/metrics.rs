@@ -1,0 +1,325 @@
+//! The metrics registry: named counters, gauges, and log-bucketed
+//! histograms.
+//!
+//! Keys are `&'static str`, so updating a metric never allocates; the
+//! backing maps are `BTreeMap`s, so every snapshot and exposition walks
+//! metrics in sorted-name order — byte-identical output for identical
+//! runs, which the determinism tests rely on.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds zero-valued samples,
+/// bucket `i >= 1` holds samples in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value falls into.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket sample counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets counter `name` to an absolute (cumulative) value — used when
+    /// sampling an existing monotone stats struct.
+    pub fn counter_set(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    /// Sets gauge `name`.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Reads counter `name` (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads gauge `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads histogram `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in sorted-name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Gauges in sorted-name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Histograms in sorted-name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Whether the registry holds no metrics at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4). Deterministic: metrics appear in sorted-name
+    /// order and floats use Rust's shortest round-trip formatting.
+    #[must_use]
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" counter\n");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" gauge\n");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&format_f64(*value));
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" histogram\n");
+            let mut cumulative = 0u64;
+            for (i, n) in h.buckets.iter().enumerate() {
+                cumulative += n;
+                // Only materialize buckets up to the highest non-empty
+                // one; the +Inf bucket always closes the series.
+                if *n == 0 && cumulative != h.count {
+                    continue;
+                }
+                out.push_str(name);
+                out.push_str("_bucket{le=\"");
+                if i >= 64 {
+                    out.push_str("+Inf");
+                } else {
+                    out.push_str(&Histogram::bucket_upper_bound(i).to_string());
+                }
+                out.push_str("\"} ");
+                out.push_str(&cumulative.to_string());
+                out.push('\n');
+                if cumulative == h.count {
+                    break;
+                }
+            }
+            out.push_str(name);
+            out.push_str("_bucket{le=\"+Inf\"} ");
+            out.push_str(&h.count.to_string());
+            out.push('\n');
+            out.push_str(name);
+            out.push_str("_sum ");
+            out.push_str(&h.sum.to_string());
+            out.push('\n');
+            out.push_str(name);
+            out.push_str("_count ");
+            out.push_str(&h.count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an `f64` for text exposition: finite values round-trip, and
+/// non-finite values use Prometheus spellings.
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// A source of registry samples. State-bearing crates implement this so
+/// the simulation loop can fold their cumulative stats into the registry
+/// at the configured sampling interval without `powerchop-telemetry`
+/// depending on them.
+pub trait MetricSource {
+    /// Writes this source's current values into `reg` (typically via
+    /// [`MetricsRegistry::counter_set`] / [`MetricsRegistry::gauge_set`]).
+    fn sample_metrics(&self, reg: &mut MetricsRegistry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(3), 7);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a_total", 2);
+        r.counter_add("a_total", 3);
+        r.counter_set("b_total", 7);
+        r.gauge_set("g", 1.5);
+        assert_eq!(r.counter("a_total"), 5);
+        assert_eq!(r.counter("b_total"), 7);
+        assert_eq!(r.gauge("g"), Some(1.5));
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_count_and_sum() {
+        let mut r = MetricsRegistry::new();
+        for v in [0u64, 1, 1, 8, 1000] {
+            r.observe("h", v);
+        }
+        let h = r.histogram("h").expect("histogram registered");
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[4], 1); // 8 in [8,16)
+        assert_eq!(h.buckets()[10], 1); // 1000 in [512,1024)
+    }
+
+    #[test]
+    fn prometheus_text_is_sorted_and_well_formed() {
+        let mut r = MetricsRegistry::new();
+        r.counter_set("z_total", 1);
+        r.counter_set("a_total", 2);
+        r.gauge_set("power_w", 0.25);
+        r.observe("lat", 3);
+        let text = r.to_prometheus_text();
+        let a = text.find("a_total").expect("a_total present");
+        let z = text.find("z_total").expect("z_total present");
+        assert!(a < z, "sorted order");
+        assert!(text.contains("# TYPE power_w gauge"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_sum 3"));
+        assert!(text.contains("lat_count 1"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ") || line.split(' ').count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_sequences_render_identically() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.counter_add("x_total", 3);
+            r.observe("h", 42);
+            r.gauge_set("g", 2.0_f64.sqrt());
+            r.to_prometheus_text()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,136 @@
+//! Fixed-capacity event ring buffer.
+//!
+//! The flight recorder must never grow without bound mid-run, so events
+//! land in a preallocated ring. When the ring is full, the **oldest**
+//! event is overwritten (flight-recorder semantics: the most recent
+//! history survives a crash) and the dropped-event counter increments —
+//! `recorded() == len() + dropped()` holds exactly at all times.
+
+use crate::event::{Event, Stamped};
+
+/// A fixed-capacity ring of cycle-stamped events.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Stamped>,
+    capacity: usize,
+    /// Index of the oldest event when the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    recorded: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full. Exact:
+    /// `recorded() == len() as u64 + dropped()`.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Pushes an event, overwriting the oldest when full.
+    pub fn push(&mut self, cycle: u64, event: Event) {
+        let stamped = Stamped { cycle, event };
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(stamped);
+        } else {
+            self.buf[self.head] = stamped;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Iterates retained events oldest-first (cycle stamps are
+    /// non-decreasing because pushes are).
+    pub fn iter(&self) -> impl Iterator<Item = &Stamped> {
+        let (wrapped, linear) = self.buf.split_at(self.head);
+        linear.iter().chain(wrapped.iter())
+    }
+
+    /// Copies retained events into a vector, oldest-first.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<Stamped> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(sig: u64) -> Event {
+        Event::PhaseEnter { sig }
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut r = EventRing::new(3);
+        for i in 0..5u64 {
+            r.push(i, ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 5);
+        let cycles: Vec<u64> = r.iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4], "most recent history survives");
+    }
+
+    #[test]
+    fn drop_accounting_is_exact_across_many_wraps() {
+        let mut r = EventRing::new(7);
+        for i in 0..1000u64 {
+            r.push(i, ev(i));
+            assert_eq!(r.recorded(), r.len() as u64 + r.dropped());
+        }
+        assert_eq!(r.dropped(), 1000 - 7);
+        let cycles: Vec<u64> = r.iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, (993..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(1, ev(1));
+        r.push(2, ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.iter().next().map(|s| s.cycle), Some(2));
+    }
+}

@@ -1,0 +1,261 @@
+//! Terminal rendering of a phase/gating timeline from the event stream.
+//!
+//! This is the **single** place phase boundaries are turned into a
+//! timeline: the CLI `trace` subcommand and `examples/phase_timeline.rs`
+//! both render through here, so a drawing can never disagree with what
+//! the detector actually emitted.
+
+use crate::event::{Event, Stamped, Unit};
+
+/// One contiguous interval of a timeline track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Span {
+    start: u64,
+    end: u64,
+    key: u64,
+}
+
+/// Extracts phase spans and per-unit gated-off spans from the stream.
+/// Spans left open at `total_cycles` are closed there; exits/gate-ons
+/// whose opening event was lost to ring wrap-around are dropped.
+fn spans(events: &[Stamped], total_cycles: u64) -> (Vec<Span>, [Vec<Span>; 3]) {
+    let mut phases = Vec::new();
+    let mut open_phase: Option<(u64, u64)> = None;
+    let mut off: [Vec<Span>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut open_off: [Option<u64>; 3] = [None; 3];
+    for s in events {
+        match s.event {
+            Event::PhaseEnter { sig } => {
+                if let Some((k, start)) = open_phase.take() {
+                    phases.push(Span {
+                        start,
+                        end: s.cycle,
+                        key: k,
+                    });
+                }
+                open_phase = Some((sig, s.cycle));
+            }
+            Event::PhaseExit { sig, .. } => {
+                if let Some((k, start)) = open_phase.take() {
+                    if k == sig {
+                        phases.push(Span {
+                            start,
+                            end: s.cycle,
+                            key: k,
+                        });
+                    }
+                }
+            }
+            Event::GateOff { unit, .. } => {
+                open_off[unit.index()].get_or_insert(s.cycle);
+            }
+            Event::GateOn { unit, .. } => {
+                if let Some(start) = open_off[unit.index()].take() {
+                    off[unit.index()].push(Span {
+                        start,
+                        end: s.cycle,
+                        key: 0,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((k, start)) = open_phase {
+        phases.push(Span {
+            start,
+            end: total_cycles,
+            key: k,
+        });
+    }
+    for (i, open) in open_off.iter().enumerate() {
+        if let Some(start) = open {
+            off[i].push(Span {
+                start: *start,
+                end: total_cycles,
+                key: 0,
+            });
+        }
+    }
+    (phases, off)
+}
+
+/// The letter assigned to the `n`-th distinct phase.
+fn letter(n: usize) -> char {
+    const ALPHA: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    ALPHA.get(n).map_or('?', |c| *c as char)
+}
+
+/// Renders an ASCII phase/gating timeline of `width` columns covering
+/// `[0, total_cycles)`. Each column shows the state at its midpoint
+/// cycle: the phase row uses one letter per distinct phase (in order of
+/// first appearance), unit rows show `#` while the unit is gated
+/// off/down and `.` while fully powered. A legend maps letters to
+/// signature keys.
+#[must_use]
+pub fn render(events: &[Stamped], total_cycles: u64, width: usize) -> String {
+    let width = width.clamp(10, 400);
+    let (phases, off) = spans(events, total_cycles);
+
+    // Letters in order of first appearance.
+    let mut order: Vec<u64> = Vec::new();
+    for p in &phases {
+        if !order.contains(&p.key) {
+            order.push(p.key);
+        }
+    }
+    let letter_of = |key: u64| letter(order.iter().position(|k| *k == key).unwrap_or(usize::MAX));
+
+    let col_cycle = |c: usize| {
+        if total_cycles == 0 {
+            0
+        } else {
+            // Column midpoint, computed in u128 to dodge overflow.
+            ((2 * c as u128 + 1) * total_cycles as u128 / (2 * width as u128)) as u64
+        }
+    };
+    let covering = |spans: &[Span], cycle: u64| {
+        spans
+            .iter()
+            .find(|s| s.start <= cycle && cycle < s.end.max(s.start + 1))
+            .copied()
+    };
+
+    let mut out = String::new();
+    out.push_str("phase ");
+    for c in 0..width {
+        let cy = col_cycle(c);
+        out.push(covering(&phases, cy).map_or('.', |s| letter_of(s.key)));
+    }
+    out.push('\n');
+    for unit in Unit::ALL {
+        out.push_str(&format!("{:<6}", unit.label()));
+        for c in 0..width {
+            let cy = col_cycle(c);
+            out.push(if covering(&off[unit.index()], cy).is_some() {
+                '#'
+            } else {
+                '.'
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:<6}0{:>w$}\n",
+        "cycle",
+        total_cycles,
+        w = width.saturating_sub(1)
+    ));
+
+    if !order.is_empty() {
+        out.push_str("legend");
+        for (i, key) in order.iter().enumerate() {
+            let windows: u64 = events
+                .iter()
+                .filter_map(|s| match s.event {
+                    Event::PhaseExit { sig, windows } if sig == *key => Some(windows),
+                    _ => None,
+                })
+                .sum();
+            out.push_str(&format!(" {}={key:012x}({windows}w)", letter(i)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "       # = unit gated off/down · {} phase span(s), {} event(s)\n",
+        phases.len(),
+        events.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> Vec<Stamped> {
+        vec![
+            Stamped {
+                cycle: 0,
+                event: Event::PhaseEnter { sig: 0xA },
+            },
+            Stamped {
+                cycle: 100,
+                event: Event::GateOff {
+                    unit: Unit::Vpu,
+                    stall: 530,
+                },
+            },
+            Stamped {
+                cycle: 500,
+                event: Event::PhaseExit {
+                    sig: 0xA,
+                    windows: 5,
+                },
+            },
+            Stamped {
+                cycle: 500,
+                event: Event::PhaseEnter { sig: 0xB },
+            },
+            Stamped {
+                cycle: 800,
+                event: Event::GateOn {
+                    unit: Unit::Vpu,
+                    wake_stall: 530,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_letters_and_gating_marks() {
+        let text = render(&stream(), 1_000, 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("phase "));
+        let phase_row = &lines[0][6..];
+        assert!(phase_row.starts_with('A'), "row: {phase_row}");
+        assert!(phase_row.ends_with('B'), "row: {phase_row}");
+        let vpu_row = &lines[1][6..];
+        assert!(vpu_row.contains('#'), "row: {vpu_row}");
+        assert!(vpu_row.starts_with('.'), "vpu on at cycle 0: {vpu_row}");
+        assert!(text.contains("legend A="));
+        assert!(text.contains("B="));
+    }
+
+    #[test]
+    fn open_spans_close_at_end_and_orphans_are_dropped() {
+        let events = vec![
+            // Orphan exit (its enter was lost to ring wrap): dropped.
+            Stamped {
+                cycle: 10,
+                event: Event::PhaseExit {
+                    sig: 0xDEAD,
+                    windows: 1,
+                },
+            },
+            Stamped {
+                cycle: 50,
+                event: Event::PhaseEnter { sig: 0xA },
+            },
+            Stamped {
+                cycle: 60,
+                event: Event::GateOff {
+                    unit: Unit::Mlc,
+                    stall: 50,
+                },
+            },
+        ];
+        let text = render(&events, 100, 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0][6..].ends_with('A'), "open phase runs to the end");
+        assert!(lines[3][6..].ends_with('#'), "open gate runs to the end");
+        assert!(!text.contains("00000000dead"), "orphan exit ignored");
+    }
+
+    #[test]
+    fn empty_stream_renders_blank_tracks() {
+        let text = render(&[], 1_000, 10);
+        assert!(text.lines().next().is_some_and(|l| l.ends_with(".")));
+        assert!(!text.contains("legend"));
+    }
+}

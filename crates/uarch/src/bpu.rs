@@ -307,6 +307,17 @@ impl Bpu {
         self.stats
     }
 
+    /// Folds predictor counters and the gating flag into a telemetry
+    /// registry (sampled on the flight-recorder interval).
+    pub fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        reg.counter_set("uarch_bpu_branches_total", self.stats.branches);
+        reg.counter_set("uarch_bpu_mispredicts_total", self.stats.mispredicts);
+        reg.gauge_set(
+            "uarch_bpu_large_active",
+            if self.large_active { 1.0 } else { 0.0 },
+        );
+    }
+
     /// Serializes the full predictor state (tables, BTBs, history, gating
     /// flag, statistics). Table sizes and index masks are config-derived
     /// and are not written; restore must run on a BPU built from the same

@@ -92,6 +92,21 @@ pub struct AccessOutcome {
     pub woke_drowsy: bool,
 }
 
+/// Static metric names for one cache instance, passed to
+/// [`Cache::sample_metrics_as`] so the L1D, MLC and LLC report under
+/// distinct keys.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheMetricNames {
+    /// Counter name for total accesses.
+    pub accesses: &'static str,
+    /// Counter name for hits.
+    pub hits: &'static str,
+    /// Counter name for dirty writebacks.
+    pub writebacks: &'static str,
+    /// Gauge name for the currently-powered way count.
+    pub active_ways: &'static str,
+}
+
 /// Cumulative cache event counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -199,6 +214,20 @@ impl Cache {
         self.stats
     }
 
+    /// Folds this cache's counters into a telemetry registry under the
+    /// given per-instance metric names (the same `Cache` type backs the
+    /// L1D, MLC and LLC, so names cannot live on the type).
+    pub fn sample_metrics_as(
+        &self,
+        names: &CacheMetricNames,
+        reg: &mut powerchop_telemetry::MetricsRegistry,
+    ) {
+        reg.counter_set(names.accesses, self.stats.accesses);
+        reg.counter_set(names.hits, self.stats.hits);
+        reg.counter_set(names.writebacks, self.stats.writebacks);
+        reg.gauge_set(names.active_ways, f64::from(self.active_ways()));
+    }
+
     fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
         let set = ((addr >> self.line_shift) as usize) & (self.num_sets - 1);
         let base = set * self.ways;
@@ -233,12 +262,14 @@ impl Cache {
         }
 
         // Miss: allocate into the LRU (or first invalid) active way.
+        // At least one way is always active (way-gating floors at one),
+        // so the fold finds a victim; the `range.start` fallback keeps
+        // this total without a panicking branch.
         let victim = self.lines[range.clone()]
             .iter()
             .enumerate()
             .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
-            .map(|(i, _)| range.start + i)
-            .expect("active ways cannot be empty");
+            .map_or(range.start, |(i, _)| range.start + i);
         let line = &mut self.lines[victim];
         let writeback = line.valid && line.dirty;
         if writeback {

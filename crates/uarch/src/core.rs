@@ -195,6 +195,13 @@ impl CoreModel {
         self.stall_cycles += cycles;
     }
 
+    /// Cycles spent in explicit stalls (mispredicts, memory, gating
+    /// transitions), as opposed to issue-limited cycles.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
     /// Whether the VPU is powered.
     #[must_use]
     pub fn vpu_active(&self) -> bool {
@@ -363,6 +370,26 @@ impl CoreModel {
         Ok(())
     }
 
+    /// Per-instance metric names for the three cache levels.
+    const L1D_METRICS: crate::cache::CacheMetricNames = crate::cache::CacheMetricNames {
+        accesses: "uarch_l1d_accesses_total",
+        hits: "uarch_l1d_hits_total",
+        writebacks: "uarch_l1d_writebacks_total",
+        active_ways: "uarch_l1d_active_ways",
+    };
+    const MLC_METRICS: crate::cache::CacheMetricNames = crate::cache::CacheMetricNames {
+        accesses: "uarch_mlc_accesses_total",
+        hits: "uarch_mlc_hits_total",
+        writebacks: "uarch_mlc_writebacks_total",
+        active_ways: "uarch_mlc_active_ways",
+    };
+    const LLC_METRICS: crate::cache::CacheMetricNames = crate::cache::CacheMetricNames {
+        accesses: "uarch_llc_accesses_total",
+        hits: "uarch_llc_hits_total",
+        writebacks: "uarch_llc_writebacks_total",
+        active_ways: "uarch_llc_active_ways",
+    };
+
     fn access_hierarchy(&mut self, addr: u64, is_store: bool) {
         if self.l1d.access(addr, is_store).hit {
             self.stats.l1_hits += 1;
@@ -392,6 +419,28 @@ impl CoreModel {
             self.stats.mem_accesses += 1;
             self.stall_cycles += self.llc_hit_latency + self.mem_latency;
         }
+    }
+}
+
+impl powerchop_telemetry::MetricSource for CoreModel {
+    fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        reg.counter_set("uarch_cycles_total", self.cycles());
+        reg.counter_set("uarch_stall_cycles_total", self.stall_cycles);
+        reg.counter_set("uarch_instructions_total", self.stats.instructions);
+        reg.counter_set("uarch_vec_ops_total", self.stats.vec_ops);
+        reg.counter_set("uarch_simd_committed_total", self.stats.simd_committed);
+        reg.counter_set("uarch_vec_emulated_total", self.stats.vec_emulated);
+        reg.counter_set("uarch_branches_total", self.stats.branches);
+        reg.counter_set("uarch_mispredicts_total", self.stats.mispredicts);
+        reg.counter_set("uarch_loads_total", self.stats.loads);
+        reg.counter_set("uarch_stores_total", self.stats.stores);
+        reg.counter_set("uarch_mem_accesses_total", self.stats.mem_accesses);
+        reg.counter_set("uarch_mlc_drowsy_wakes_total", self.stats.mlc_drowsy_wakes);
+        self.bpu.sample_metrics(reg);
+        self.vpu.sample_metrics(reg);
+        self.l1d.sample_metrics_as(&Self::L1D_METRICS, reg);
+        self.mlc.sample_metrics_as(&Self::MLC_METRICS, reg);
+        self.llc.sample_metrics_as(&Self::LLC_METRICS, reg);
     }
 }
 

@@ -102,6 +102,13 @@ impl Vpu {
         self.stats
     }
 
+    /// Folds VPU counters and the power flag into a telemetry registry.
+    pub fn sample_metrics(&self, reg: &mut powerchop_telemetry::MetricsRegistry) {
+        reg.counter_set("uarch_vpu_native_ops_total", self.stats.native_ops);
+        reg.counter_set("uarch_vpu_emulated_ops_total", self.stats.emulated_ops);
+        reg.gauge_set("uarch_vpu_active", if self.active { 1.0 } else { 0.0 });
+    }
+
     /// Serializes the mutable VPU state (power flag and counters); lane
     /// width and emulation overhead are config-derived.
     pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {

@@ -81,7 +81,7 @@ impl RegionAlloc {
         let size = bytes.next_power_of_two().max(4096);
         let base = self.next.next_multiple_of(size);
         self.next = base + size;
-        let offset_reg = Reg::new(OFFSET_REG_BASE + self.regions).expect("r18..r27 are valid");
+        let offset_reg = Reg::wrapping(OFFSET_REG_BASE + self.regions);
         self.regions += 1;
         MemRegion {
             base,

@@ -16,13 +16,13 @@ use powerchop_gisa::{FReg, ProgramBuilder, Reg, VReg};
 use crate::compose::MemRegion;
 
 fn r(i: u8) -> Reg {
-    Reg::new(i).expect("kernel registers are in range")
+    Reg::wrapping(i)
 }
 fn f(i: u8) -> FReg {
-    FReg::new(i).expect("kernel fp registers are in range")
+    FReg::wrapping(i)
 }
 fn v(i: u8) -> VReg {
-    VReg::new(i).expect("kernel vec registers are in range")
+    VReg::wrapping(i)
 }
 
 /// Integer compute loop with fully predictable control flow.
@@ -113,7 +113,7 @@ pub fn sparse_vector(b: &mut ProgramBuilder, iters: i64, period: i64) {
     b.rem(r(8), r(1), r(3));
     b.bne(r(8), r(9), skip);
     b.vadd(v(0), v(0), v(1));
-    b.bind(skip).expect("fresh label");
+    b.bind_here(skip);
     b.addi(r(1), r(1), 1);
     b.blt(r(1), r(2), top);
 }
@@ -187,9 +187,9 @@ pub fn pattern_branches(b: &mut ProgramBuilder, iters: i64, modulus: i64) {
     b.bge(r(5), r(4), not_taken);
     b.addi(r(6), r(6), 1);
     b.jmp(join);
-    b.bind(not_taken).expect("fresh label");
+    b.bind_here(not_taken);
     b.addi(r(7), r(7), 1);
-    b.bind(join).expect("fresh label");
+    b.bind_here(join);
     b.addi(r(1), r(1), 1);
     b.blt(r(1), r(2), top);
 }
@@ -215,9 +215,9 @@ pub fn random_branches(b: &mut ProgramBuilder, iters: i64, seed: i64) {
     b.beq(r(5), r(9), not_taken);
     b.addi(r(6), r(6), 1);
     b.jmp(join);
-    b.bind(not_taken).expect("fresh label");
+    b.bind_here(not_taken);
     b.addi(r(7), r(7), 1);
-    b.bind(join).expect("fresh label");
+    b.bind_here(join);
     b.addi(r(1), r(1), 1);
     b.blt(r(1), r(2), top);
 }
@@ -252,9 +252,9 @@ pub fn browser_mix(b: &mut ProgramBuilder, iters: i64, modulus: i64, region: &Me
     b.bge(r(7), r(4), other);
     b.addi(r(8), r(8), 1);
     b.jmp(join);
-    b.bind(other).expect("fresh label");
+    b.bind_here(other);
     b.xor(r(8), r(8), r(6));
-    b.bind(join).expect("fresh label");
+    b.bind_here(join);
     b.addi(r(1), r(1), 1);
     b.blt(r(1), r(2), top);
 }
@@ -292,9 +292,9 @@ pub fn script_mix(b: &mut ProgramBuilder, iters: i64, seed: i64, region: &MemReg
     b.beq(r(7), r(9), not_taken);
     b.addi(r(6), r(6), 1);
     b.jmp(join);
-    b.bind(not_taken).expect("fresh label");
+    b.bind_here(not_taken);
     b.xor(r(6), r(6), r(14));
-    b.bind(join).expect("fresh label");
+    b.bind_here(join);
     b.addi(r(1), r(1), 1);
     b.blt(r(1), r(2), top);
 }

@@ -1,13 +1,13 @@
-//! Phase timeline: watch PowerChop discover phases and enact policies,
-//! window by window — the runtime view of the paper's Figure 4.
+//! Phase timeline: watch PowerChop discover phases and enact policies —
+//! the runtime view of the paper's Figure 4, rendered straight from the
+//! flight-recorder event stream.
 //!
 //! ```sh
 //! cargo run --release --example phase_timeline [benchmark-name]
 //! ```
 
-use std::collections::HashMap;
-
-use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::powerchop::{run_program_traced, ManagerKind, RunConfig};
+use powerchop_suite::telemetry::{timeline, TelemetryConfig, Tracer};
 use powerchop_suite::workloads::{self, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,52 +16,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut cfg = RunConfig::for_kind(benchmark.core_kind());
     cfg.max_instructions = 3_000_000;
-    cfg.record_windows = true;
     let program = benchmark.program(Scale(0.5));
-    let report = run_program(&program, ManagerKind::PowerChop, &cfg)?;
+    let tracer = Tracer::enabled(TelemetryConfig::default());
+    let (report, tracer) = run_program_traced(&program, ManagerKind::PowerChop, &cfg, tracer)?;
 
-    // Assign each distinct signature a letter, in order of appearance.
-    let mut names: HashMap<_, char> = HashMap::new();
-    let mut next = b'A';
-    println!("phase timeline of {name} (one character per 1000-translation window):\n");
-    print!("phases:   ");
-    for w in &report.windows {
-        let c = *names.entry(w.signature).or_insert_with(|| {
-            let c = next as char;
-            next = (next + 1).min(b'z');
-            c
-        });
-        print!("{c}");
+    println!("phase timeline of {name}, from the flight-recorder event stream:\n");
+    if let Some(rec) = tracer.recorder() {
+        print!("{}", timeline::render(&rec.events(), report.cycles, 96));
     }
-    println!();
-    print!("VPU:      ");
-    for w in &report.windows {
-        print!("{}", if w.policy.vpu_on { '#' } else { '.' });
-    }
-    println!();
-    print!("BPU:      ");
-    for w in &report.windows {
-        print!("{}", if w.policy.bpu_on { '#' } else { '.' });
-    }
-    println!();
-    print!("MLC ways: ");
-    for w in &report.windows {
-        use powerchop_suite::uarch::cache::MlcWayState::*;
-        print!(
-            "{}",
-            match w.policy.mlc {
-                Full => '8',
-                Half => '4',
-                Quarter => '2',
-                One => '1',
-            }
-        );
-    }
-    println!("\n\nlegend: '#' powered, '.' gated; MLC digit = active ways");
     println!(
-        "{} distinct phases; {} windows; policies changed {} times",
-        names.len(),
-        report.windows.len(),
+        "\n{} instructions in {} cycles; policies changed {} times",
+        report.instructions,
+        report.cycles,
         report.switches.total()
     );
     Ok(())

@@ -1,0 +1,161 @@
+//! Micro-benchmark for the telemetry hot path.
+//!
+//! Measures simulation throughput (guest instructions per second) in three
+//! modes — no tracer plumbing (`run_program`), a disabled tracer threaded
+//! through every emit point, and a fully enabled flight recorder — and
+//! asserts the tentpole claim: a *disabled* tracer costs nothing beyond
+//! measurement noise, and an *enabled* one stays within a generous bound.
+//!
+//! Results land in `bench_results/BENCH_telemetry.json`. Run with:
+//!
+//! ```text
+//! cargo run --release --bin bench_telemetry
+//! ```
+
+use std::time::Instant;
+
+use powerchop_suite::powerchop::{run_program, run_program_traced, ManagerKind, RunConfig};
+use powerchop_suite::telemetry::{TelemetryConfig, Tracer};
+use powerchop_suite::workloads::{by_name, Scale};
+
+const BENCH: &str = "gobmk";
+const SCALE: Scale = Scale(0.2);
+const BUDGET: u64 = 2_000_000;
+const WARMUPS: usize = 2;
+const TRIALS: usize = 7;
+
+/// Disabled-tracer throughput must stay within this fraction of the
+/// baseline median. Generous on purpose: shared CI boxes jitter by tens
+/// of percent, and a real regression (a hot-path allocation, a formatting
+/// call) costs integer factors, not 30%.
+const DISABLED_FLOOR: f64 = 0.70;
+/// Enabled-recorder throughput floor relative to baseline.
+const ENABLED_FLOOR: f64 = 0.50;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Baseline,
+    Disabled,
+    Enabled,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Baseline => "baseline",
+            Mode::Disabled => "tracer_disabled",
+            Mode::Enabled => "tracer_enabled",
+        }
+    }
+}
+
+fn one_trial(mode: Mode) -> f64 {
+    let bench = by_name(BENCH).expect("known benchmark");
+    let program = bench.program(SCALE);
+    let mut cfg = RunConfig::for_kind(bench.core_kind());
+    cfg.max_instructions = BUDGET;
+    let start = Instant::now();
+    let instructions = match mode {
+        Mode::Baseline => {
+            let report =
+                run_program(&program, ManagerKind::PowerChop, &cfg).expect("run completes");
+            report.instructions
+        }
+        Mode::Disabled | Mode::Enabled => {
+            let tracer = if mode == Mode::Enabled {
+                Tracer::enabled(TelemetryConfig::default())
+            } else {
+                Tracer::disabled()
+            };
+            let (report, _) = run_program_traced(&program, ManagerKind::PowerChop, &cfg, tracer)
+                .expect("run completes");
+            report.instructions
+        }
+    };
+    instructions as f64 / start.elapsed().as_secs_f64()
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[sorted.len() / 2]
+}
+
+fn json_array(samples: &[f64]) -> String {
+    let items: Vec<String> = samples.iter().map(|s| format!("{s:.0}")).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn main() {
+    let modes = [Mode::Baseline, Mode::Disabled, Mode::Enabled];
+
+    for mode in modes {
+        for _ in 0..WARMUPS {
+            one_trial(mode);
+        }
+    }
+
+    // Interleave trials round-robin so slow drift (thermal throttling,
+    // background load) lands on every mode equally instead of biasing
+    // whichever ran last.
+    let mut samples = [const { Vec::new() }; 3];
+    for _ in 0..TRIALS {
+        for (i, mode) in modes.into_iter().enumerate() {
+            samples[i].push(one_trial(mode));
+        }
+    }
+
+    let medians: Vec<f64> = samples.iter().map(|s| median(s)).collect();
+    let (base, disabled, enabled) = (medians[0], medians[1], medians[2]);
+    for (mode, m) in modes.into_iter().zip(&medians) {
+        println!(
+            "{:<16} {:>12.0} instr/s (median of {TRIALS})",
+            mode.name(),
+            m
+        );
+    }
+    let disabled_ratio = disabled / base;
+    let enabled_ratio = enabled / base;
+    println!("disabled/baseline: {disabled_ratio:.3} (floor {DISABLED_FLOOR})");
+    println!("enabled/baseline:  {enabled_ratio:.3} (floor {ENABLED_FLOOR})");
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"telemetry_overhead\",\n");
+    out.push_str(&format!("  \"workload\": \"{BENCH}\",\n"));
+    out.push_str(&format!("  \"scale\": {},\n", SCALE.0));
+    out.push_str(&format!("  \"instruction_budget\": {BUDGET},\n"));
+    out.push_str(&format!("  \"warmups\": {WARMUPS},\n"));
+    out.push_str(&format!("  \"trials\": {TRIALS},\n"));
+    out.push_str("  \"instr_per_sec\": {\n");
+    for (i, mode) in modes.into_iter().enumerate() {
+        let comma = if i + 1 < modes.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {{ \"median\": {:.0}, \"samples\": {} }}{comma}\n",
+            mode.name(),
+            medians[i],
+            json_array(&samples[i]),
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"disabled_over_baseline\": {disabled_ratio:.4},\n"
+    ));
+    out.push_str(&format!(
+        "  \"enabled_over_baseline\": {enabled_ratio:.4}\n"
+    ));
+    out.push_str("}\n");
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    std::fs::write("bench_results/BENCH_telemetry.json", out)
+        .expect("write bench_results/BENCH_telemetry.json");
+    println!("wrote bench_results/BENCH_telemetry.json");
+
+    assert!(
+        disabled_ratio >= DISABLED_FLOOR,
+        "disabled tracer costs more than noise: {disabled_ratio:.3} < {DISABLED_FLOOR}"
+    );
+    assert!(
+        enabled_ratio >= ENABLED_FLOOR,
+        "enabled recorder overhead out of bounds: {enabled_ratio:.3} < {ENABLED_FLOOR}"
+    );
+    println!("telemetry overhead within bounds");
+}

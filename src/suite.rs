@@ -10,6 +10,7 @@
 //! - [`uarch`] — microarchitectural unit models
 //! - [`faults`] — deterministic fault injection
 //! - [`power`] — the power/energy model
+//! - [`telemetry`] — flight-recorder tracing, metrics and exporters
 //! - [`workloads`] — the synthetic benchmark suites
 
 pub use powerchop;
@@ -17,5 +18,6 @@ pub use powerchop_bt as bt;
 pub use powerchop_faults as faults;
 pub use powerchop_gisa as gisa;
 pub use powerchop_power as power;
+pub use powerchop_telemetry as telemetry;
 pub use powerchop_uarch as uarch;
 pub use powerchop_workloads as workloads;

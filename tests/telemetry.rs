@@ -1,0 +1,170 @@
+//! Tier-1 telemetry guarantees: tracing observes the simulation without
+//! perturbing it.
+//!
+//! - A traced run's `RunReport` is bit-identical to an untraced run's,
+//!   with and without fault storms, across benchmarks on both design
+//!   points (the flight recorder must be a pure observer).
+//! - The event ring wraps with flight-recorder semantics: newest events
+//!   win and the dropped count is exact.
+//! - Exporter output round-trips through a JSON parser (Chrome trace as
+//!   one document, JSONL line by line) and the Prometheus dump is
+//!   non-empty for a traced run.
+//! - The metrics registry snapshot is deterministic: equal seeds give
+//!   byte-identical Prometheus text, different seeds diverge.
+
+use powerchop_suite::faults::FaultConfig;
+use powerchop_suite::powerchop::{
+    run_program, run_program_traced, ManagerKind, RunConfig, RunReport,
+};
+use powerchop_suite::telemetry::{export, validate_json, TelemetryConfig, Tracer};
+use powerchop_suite::workloads::{self, Scale};
+
+const SCALE: Scale = Scale(0.05);
+const BUDGET: u64 = 400_000;
+
+fn cfg_for(bench: &workloads::Benchmark, faults: Option<FaultConfig>) -> RunConfig {
+    let mut cfg = RunConfig::for_kind(bench.core_kind());
+    cfg.max_instructions = BUDGET;
+    cfg.faults = faults;
+    cfg
+}
+
+fn assert_reports_identical(tag: &str, a: &RunReport, b: &RunReport) {
+    assert_eq!(a.instructions, b.instructions, "{tag}: instructions");
+    assert_eq!(a.cycles, b.cycles, "{tag}: cycles");
+    assert_eq!(a.stats, b.stats, "{tag}: core stats");
+    assert_eq!(a.bt, b.bt, "{tag}: BT stats");
+    assert_eq!(a.switches, b.switches, "{tag}: gating switches");
+    assert_eq!(a.gated, b.gated, "{tag}: gated cycles");
+    assert_eq!(a.pvt, b.pvt, "{tag}: PVT stats");
+    assert_eq!(a.cde, b.cde, "{tag}: CDE stats");
+    assert_eq!(a.nucleus, b.nucleus, "{tag}: nucleus stats");
+    assert_eq!(a.faults, b.faults, "{tag}: fault stats");
+    assert_eq!(a.degrade, b.degrade, "{tag}: degradation stats");
+    assert_eq!(
+        a.energy.total_j.to_bits(),
+        b.energy.total_j.to_bits(),
+        "{tag}: total energy bits"
+    );
+    assert_eq!(
+        a.energy.leakage_j.to_bits(),
+        b.energy.leakage_j.to_bits(),
+        "{tag}: leakage energy bits"
+    );
+}
+
+fn traced(bench: &workloads::Benchmark, faults: Option<FaultConfig>) -> (RunReport, Tracer) {
+    let program = bench.program(SCALE);
+    let cfg = cfg_for(bench, faults);
+    run_program_traced(
+        &program,
+        ManagerKind::PowerChop,
+        &cfg,
+        Tracer::enabled(TelemetryConfig::default()),
+    )
+    .expect("traced run completes")
+}
+
+#[test]
+fn traced_runs_are_bit_identical_to_untraced_runs() {
+    // One benchmark per suite flavour: server vector-heavy, server
+    // branchy, mobile — and each both clean and under a fault storm.
+    for name in ["gems", "gobmk", "msn"] {
+        let bench = workloads::by_name(name).expect("known benchmark");
+        for faults in [None, Some(FaultConfig::storm(0xFEED))] {
+            let tag = format!("{name}{}", if faults.is_some() { "+storm" } else { "" });
+            let program = bench.program(SCALE);
+            let untraced = run_program(&program, ManagerKind::PowerChop, &cfg_for(bench, faults))
+                .expect("untraced run completes");
+            let (report, tracer) = traced(bench, faults);
+            assert_reports_identical(&tag, &untraced, &report);
+            let rec = tracer.recorder().expect("tracer stays enabled");
+            assert!(
+                rec.ring().recorded() > 0,
+                "{tag}: the traced run actually recorded events"
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_wraps_with_exact_drop_counting() {
+    let bench = workloads::by_name("gems").expect("known benchmark");
+    let program = bench.program(SCALE);
+    // A tiny ring forces wrap-around on any real run.
+    let tracer = Tracer::enabled(TelemetryConfig {
+        ring_capacity: 32,
+        sample_every_cycles: 0,
+    });
+    let (_, tracer) = run_program_traced(
+        &program,
+        ManagerKind::PowerChop,
+        &cfg_for(bench, None),
+        tracer,
+    )
+    .expect("traced run completes");
+    let rec = tracer.recorder().expect("tracer stays enabled");
+    let ring = rec.ring();
+    assert!(ring.dropped() > 0, "a 32-event ring must wrap");
+    assert_eq!(ring.len(), 32, "the ring stays full once wrapped");
+    assert_eq!(
+        ring.recorded(),
+        ring.len() as u64 + ring.dropped(),
+        "every recorded event is either retained or counted as dropped"
+    );
+    let events = rec.events();
+    assert!(
+        events.windows(2).all(|w| w[0].cycle <= w[1].cycle),
+        "retained events stay in cycle order across the wrap point"
+    );
+    let m = rec.metrics();
+    assert_eq!(
+        m.counter("telemetry_events_recorded_total"),
+        ring.recorded()
+    );
+    assert_eq!(m.counter("telemetry_events_dropped_total"), ring.dropped());
+}
+
+#[test]
+fn exporters_round_trip_through_a_json_parser() {
+    let bench = workloads::by_name("gobmk").expect("known benchmark");
+    let (report, tracer) = traced(bench, Some(FaultConfig::storm(7)));
+    let rec = tracer.recorder().expect("tracer stays enabled");
+    let events = rec.events();
+    assert!(!events.is_empty());
+
+    let chrome = export::chrome_trace_json(&events);
+    validate_json(&chrome).expect("chrome trace is one well-formed JSON document");
+    for cat in ["phase", "gating", "cde", "faults"] {
+        assert!(
+            chrome.contains(&format!("\"cat\":\"{cat}\"")),
+            "chrome trace covers the {cat} category"
+        );
+    }
+
+    let lines = export::jsonl(&events);
+    assert_eq!(lines.lines().count(), events.len());
+    for line in lines.lines() {
+        validate_json(line).expect("every JSONL line is well-formed");
+    }
+
+    let prom = rec.metrics().to_prometheus_text();
+    assert!(!prom.is_empty(), "traced runs produce a metrics dump");
+    assert!(prom.contains("sim_instructions_total"));
+    assert!(prom.contains(&format!("sim_instructions_total {}", report.instructions)));
+}
+
+#[test]
+fn registry_snapshot_is_deterministic_per_seed() {
+    let bench = workloads::by_name("hmmer").expect("known benchmark");
+    let prom_for = |seed: u64| {
+        let (_, tracer) = traced(bench, Some(FaultConfig::default_rates(seed)));
+        let rec = tracer.recorder().expect("tracer stays enabled");
+        rec.metrics().to_prometheus_text()
+    };
+    let a = prom_for(11);
+    let b = prom_for(11);
+    assert_eq!(a, b, "equal seeds give byte-identical metric dumps");
+    let c = prom_for(12);
+    assert_ne!(a, c, "a different fault seed must perturb the metrics");
+}
