@@ -3,7 +3,7 @@
 //! 2.2 % of full power on average, while minimal power loses ~84 %.
 
 use powerchop::ManagerKind;
-use powerchop_bench::{banner, mean, run, write_csv};
+use powerchop_bench::{banner, mean, run, sweep, write_csv};
 
 fn main() {
     banner(
@@ -13,10 +13,16 @@ fn main() {
     println!("{:<14} {:>9} {:>10} {:>10} {:>10}", "bench", "full-IPC", "chop-IPC", "chop-slow%", "min-slow%");
     let mut rows = Vec::new();
     let (mut chop_slow, mut min_slow) = (Vec::new(), Vec::new());
-    for b in powerchop_workloads::all() {
-        let full = run(b, ManagerKind::FullPower);
-        let chop = run(b, ManagerKind::PowerChop);
-        let min = run(b, ManagerKind::MinimalPower);
+    let benches: Vec<&powerchop_workloads::Benchmark> = powerchop_workloads::all().iter().collect();
+    let reports = sweep(&benches, |b| {
+        let b = *b;
+        (
+            run(b, ManagerKind::FullPower),
+            run(b, ManagerKind::PowerChop),
+            run(b, ManagerKind::MinimalPower),
+        )
+    });
+    for (b, (full, chop, min)) in benches.iter().zip(reports) {
         let cs = 100.0 * chop.slowdown_vs(&full);
         let ms = 100.0 * min.slowdown_vs(&full);
         println!(

@@ -4,7 +4,7 @@
 //! up to 40 % per app; energy reductions average 9 % (up to 37 %).
 
 use powerchop::ManagerKind;
-use powerchop_bench::{banner, mean, run, suites, write_csv};
+use powerchop_bench::{banner, mean, run, suites, sweep, write_csv};
 
 fn main() {
     banner(
@@ -19,9 +19,13 @@ fn main() {
     let mut all_energy = Vec::new();
     for suite in suites() {
         let mut suite_power = Vec::new();
-        for b in powerchop_workloads::suite(suite) {
-            let full = run(b, ManagerKind::FullPower);
-            let chop = run(b, ManagerKind::PowerChop);
+        let benches: Vec<&powerchop_workloads::Benchmark> =
+            powerchop_workloads::suite(suite).collect();
+        let reports = sweep(&benches, |b| {
+            let b = *b;
+            (run(b, ManagerKind::FullPower), run(b, ManagerKind::PowerChop))
+        });
+        for (b, (full, chop)) in benches.iter().zip(reports) {
             let power = 100.0 * chop.power_reduction_vs(&full);
             let energy = 100.0 * chop.energy_reduction_vs(&full);
             println!("{:<14} {:>10} {:>9.1} {:>10.1}", b.name(), suite.to_string(), power, energy);

@@ -3,7 +3,7 @@
 //! (PARSEC) and 32 % (MobileBench), with per-app reductions up to 52 %.
 
 use powerchop::ManagerKind;
-use powerchop_bench::{banner, mean, run, suites, write_csv};
+use powerchop_bench::{banner, mean, run, suites, sweep, write_csv};
 
 fn main() {
     banner(
@@ -16,9 +16,13 @@ fn main() {
     let mut all = Vec::new();
     for suite in suites() {
         let mut vals = Vec::new();
-        for b in powerchop_workloads::suite(suite) {
-            let full = run(b, ManagerKind::FullPower);
-            let chop = run(b, ManagerKind::PowerChop);
+        let benches: Vec<&powerchop_workloads::Benchmark> =
+            powerchop_workloads::suite(suite).collect();
+        let reports = sweep(&benches, |b| {
+            let b = *b;
+            (run(b, ManagerKind::FullPower), run(b, ManagerKind::PowerChop))
+        });
+        for (b, (full, chop)) in benches.iter().zip(reports) {
             let leak = 100.0 * chop.leakage_reduction_vs(&full);
             println!("{:<14} {:>10} {:>9.1}", b.name(), suite.to_string(), leak);
             rows.push(format!("{},{suite},{leak:.2}", b.name()));

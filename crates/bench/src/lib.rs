@@ -70,6 +70,23 @@ pub fn run_with(
         .unwrap_or_else(|e| panic!("{} faulted: {e}", benchmark.name()))
 }
 
+/// Runs `f` over `items` on the `powerchop-exec` work-stealing pool
+/// (worker count from `POWERCHOP_JOBS`, defaulting to the CPU count),
+/// returning results in item order. Figure/ablation sweeps compute run
+/// reports through this and fold printing and CSV rows afterwards, so a
+/// parallel sweep's output is byte-identical to a sequential one.
+///
+/// # Panics
+///
+/// Propagates the first job panic (a guest fault is a workload bug, the
+/// same contract as [`run`]).
+pub fn sweep<I: Sync, T: Send>(items: &[I], f: impl Fn(&I) -> T + Sync) -> Vec<T> {
+    powerchop_exec::run_jobs(items, powerchop_exec::resolve_jobs(None), |_, item| f(item))
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("sweep job {} panicked: {}", p.index, p.message)))
+        .collect()
+}
+
 /// The directory experiment CSVs are written to (`bench_results/` at the
 /// workspace root, creatable from any crate's working directory).
 #[must_use]

@@ -1,5 +1,3 @@
-use std::collections::HashMap;
-
 use powerchop_gisa::{Cpu, GisaError, Memory, Program};
 use powerchop_uarch::core::{CoreModel, ExecMode};
 
@@ -122,12 +120,21 @@ pub struct Machine<'p> {
     cpu: Cpu,
     mem: Memory,
     region_cache: RegionCache,
-    hotness: HashMap<u32, u32>,
-    /// Per-branch (taken, total) counts collected by the interpreter.
-    branch_bias: HashMap<u32, (u32, u32)>,
+    /// Interpreter hotness counters, directly indexed by PC (guest PCs
+    /// are indices into the program, so a flat table replaces the hash
+    /// map the interpreter used to hit on every block head). Zero means
+    /// "not counted", matching the old map's absent entries.
+    hotness: Vec<u32>,
+    /// Per-branch (taken, total) counts collected by the interpreter,
+    /// directly indexed by PC like `hotness`.
+    branch_bias: Vec<(u32, u32)>,
+    /// One bit per PC: whether the region cache holds a translation with
+    /// that head. Lets the dispatch loop skip the region-cache hash
+    /// lookup for the (overwhelmingly common) cold PCs; kept in lock
+    /// step with every region-cache mutation.
+    translated: Vec<bool>,
     config: BtConfig,
     at_block_head: bool,
-    trace_buf: Vec<powerchop_gisa::Pc>,
     stats: BtStats,
 }
 
@@ -143,11 +150,11 @@ impl<'p> Machine<'p> {
             cpu: Cpu::new(program),
             mem,
             region_cache: RegionCache::new(config.region_cache_capacity),
-            hotness: HashMap::new(),
-            branch_bias: HashMap::new(),
+            hotness: vec![0; program.len()],
+            branch_bias: vec![(0, 0); program.len()],
+            translated: vec![false; program.len()],
             config,
             at_block_head: true,
-            trace_buf: Vec::new(),
             stats: BtStats::default(),
         }
     }
@@ -199,23 +206,33 @@ impl<'p> Machine<'p> {
             return Ok(MachineEvent::Halted);
         }
 
-        let head_id = TranslationId(self.cpu.pc().0);
-        if let Some(translation) = self.region_cache.get(head_id) {
-            // Copy the trace out so the region cache is not borrowed while
-            // the CPU mutates (translations are immutable; this is a small
-            // memcpy into a reused buffer).
-            self.trace_buf.clear();
-            self.trace_buf.extend_from_slice(translation.trace());
-            return self.execute_translation(head_id, core);
+        let pc = self.cpu.pc();
+        // The presence bitmap makes the translated/cold decision a flat
+        // load; only PCs that really head a translation pay the region
+        // cache's hash lookup.
+        if self.translated.get(pc.0 as usize).copied().unwrap_or(false) {
+            let head_id = TranslationId(pc.0);
+            if let Some(translation) = self.region_cache.get(head_id) {
+                // Translations are immutable and Arc-backed: dispatching
+                // is a refcount bump, not a trace copy.
+                let trace = translation.trace_arc();
+                let insts = translation.insts_arc();
+                return self.execute_translation(head_id, &trace, &insts, core);
+            }
         }
 
         // Slow path: interpret, counting hotness at block heads.
         if self.at_block_head {
-            let pc = self.cpu.pc();
-            let counter = self.hotness.entry(pc.0).or_insert(0);
-            *counter += 1;
-            if *counter >= self.config.hot_threshold {
-                self.hotness.remove(&pc.0);
+            let count = self
+                .hotness
+                .get_mut(pc.0 as usize)
+                .map(|counter| {
+                    *counter += 1;
+                    *counter
+                })
+                .unwrap_or(0);
+            if count >= self.config.hot_threshold && count > 0 {
+                self.hotness[pc.0 as usize] = 0;
                 let built = if self.config.superblocks {
                     let bias = &self.branch_bias;
                     translator::translate_with_bias(
@@ -223,7 +240,7 @@ impl<'p> Machine<'p> {
                         pc,
                         self.config.max_trace_len,
                         |branch_pc| {
-                            let (taken, total) = bias.get(&branch_pc.0)?;
+                            let (taken, total) = bias.get(branch_pc.0 as usize)?;
                             if *total < 8 {
                                 return None;
                             }
@@ -244,7 +261,7 @@ impl<'p> Machine<'p> {
                     let id = t.id();
                     let guest_len = t.len();
                     core.add_stall(self.config.translate_cycles_per_inst * guest_len as u64);
-                    self.region_cache.install(t);
+                    self.install_translation(t);
                     self.stats.translations_built += 1;
                     return Ok(MachineEvent::Installed { id, guest_len });
                 }
@@ -255,29 +272,52 @@ impl<'p> Machine<'p> {
         core.on_step(&info, ExecMode::Interpreted);
         self.stats.interpreted_instructions += 1;
         if let Some(branch) = info.branch {
-            let (taken, total) = self.branch_bias.entry(info.pc.0).or_insert((0, 0));
-            *taken += u32::from(branch.taken);
-            *total += 1;
+            if let Some((taken, total)) = self.branch_bias.get_mut(info.pc.0 as usize) {
+                *taken += u32::from(branch.taken);
+                *total += 1;
+            }
         }
         self.at_block_head = info.inst.ends_block();
         Ok(MachineEvent::Interpreted)
     }
 
-    /// Executes the trace already staged in `trace_buf` by [`Machine::step`].
+    /// Installs a translation and keeps the presence bitmap in lock step
+    /// with the region cache (including the eviction it may cause).
+    fn install_translation(&mut self, t: translator::Translation) {
+        let id = t.id();
+        if let Some(victim) = self.region_cache.install(t) {
+            if let Some(bit) = self.translated.get_mut(victim.0 as usize) {
+                *bit = false;
+            }
+        }
+        if let Some(bit) = self.translated.get_mut(id.0 as usize) {
+            *bit = true;
+        }
+    }
+
+    /// Executes a translation's trace. `insts` is the decoded-instruction
+    /// cache (trace-length when hydrated, empty right after a restore, in
+    /// which case each step falls back to fetching).
     fn execute_translation(
         &mut self,
         id: TranslationId,
+        trace: &[powerchop_gisa::Pc],
+        insts: &[powerchop_gisa::Inst],
         core: &mut CoreModel,
     ) -> Result<MachineEvent, GisaError> {
         let mut executed = 0u64;
         let mut side_exit = false;
-        for i in 0..self.trace_buf.len() {
-            let expected = self.trace_buf[i];
-            if self.cpu.pc() != expected {
+        let decoded = insts.len() == trace.len();
+        for (i, expected) in trace.iter().enumerate() {
+            if self.cpu.pc() != *expected {
                 side_exit = true;
                 break;
             }
-            let info = self.cpu.step(self.program, &mut self.mem)?;
+            let info = if decoded {
+                self.cpu.step_prefetched(insts[i], &mut self.mem)?
+            } else {
+                self.cpu.step(self.program, &mut self.mem)?
+            };
             core.on_step(&info, ExecMode::Translated);
             executed += 1;
             if self.cpu.halted() {
@@ -300,25 +340,38 @@ impl<'p> Machine<'p> {
 
     /// Serializes the complete machine state: guest CPU and memory, the
     /// region cache, interpreter profiling state (hotness counters and
-    /// branch-bias history, sorted by PC for deterministic encodings), and
+    /// branch-bias history, encoded as nonzero entries in PC order), and
     /// BT statistics. The program itself is not serialized — only its
-    /// fingerprint, which restore verifies. `trace_buf` is per-step
-    /// scratch and is not state.
+    /// fingerprint, which restore verifies. The decoded-instruction
+    /// caches and the head-presence bitmap are derived state and are
+    /// rebuilt on restore.
     pub fn snapshot_to(&self, w: &mut powerchop_checkpoint::ByteWriter) {
         w.put_u64(self.program.fingerprint());
         self.cpu.snapshot_to(w);
         self.mem.snapshot_to(w);
         self.region_cache.snapshot_to(w);
-        let mut hot: Vec<(u32, u32)> = self.hotness.iter().map(|(k, v)| (*k, *v)).collect();
-        hot.sort_unstable();
+        // Flat tables serialize as their nonzero entries in PC order —
+        // byte-identical to the sorted encoding of the hash maps they
+        // replaced (absent map entries are zero table entries).
+        let hot: Vec<(u32, u32)> = self
+            .hotness
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(pc, count)| (pc as u32, *count))
+            .collect();
         w.put_usize(hot.len());
         for (pc, count) in hot {
             w.put_u32(pc);
             w.put_u32(count);
         }
-        let mut bias: Vec<(u32, (u32, u32))> =
-            self.branch_bias.iter().map(|(k, v)| (*k, *v)).collect();
-        bias.sort_unstable();
+        let bias: Vec<(u32, (u32, u32))> = self
+            .branch_bias
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, total))| *total > 0)
+            .map(|(pc, counts)| (pc as u32, *counts))
+            .collect();
         w.put_usize(bias.len());
         for (pc, (taken, total)) in bias {
             w.put_u32(pc);
@@ -360,23 +413,37 @@ impl<'p> Machine<'p> {
         self.cpu.restore_from(r)?;
         self.mem.restore_from(r)?;
         self.region_cache.restore_from(r)?;
+        // Snapshots carry trace PCs but not decoded instructions; rebuild
+        // the decode cache and the head-presence bitmap from the restored
+        // region cache.
+        self.region_cache.rehydrate(self.program);
+        self.translated.fill(false);
+        let heads: Vec<u32> = self.region_cache.iter().map(|t| t.id().0).collect();
+        for head in heads {
+            if let Some(bit) = self.translated.get_mut(head as usize) {
+                *bit = true;
+            }
+        }
         let hot_count = r.take_usize()?;
-        self.hotness.clear();
+        self.hotness.fill(0);
         for _ in 0..hot_count {
             let pc = r.take_u32()?;
             let count = r.take_u32()?;
-            self.hotness.insert(pc, count);
+            if let Some(slot) = self.hotness.get_mut(pc as usize) {
+                *slot = count;
+            }
         }
         let bias_count = r.take_usize()?;
-        self.branch_bias.clear();
+        self.branch_bias.fill((0, 0));
         for _ in 0..bias_count {
             let pc = r.take_u32()?;
             let taken = r.take_u32()?;
             let total = r.take_u32()?;
-            self.branch_bias.insert(pc, (taken, total));
+            if let Some(slot) = self.branch_bias.get_mut(pc as usize) {
+                *slot = (taken, total);
+            }
         }
         self.at_block_head = r.take_bool()?;
-        self.trace_buf.clear();
         self.stats.interpreted_instructions = r.take_u64()?;
         self.stats.translated_instructions = r.take_u64()?;
         self.stats.translations_built = r.take_u64()?;
@@ -394,8 +461,8 @@ impl<'p> Machine<'p> {
     /// re-prove themselves. Installed translations survive (the region
     /// cache is per-process software state).
     pub fn on_context_switch(&mut self) {
-        self.hotness.clear();
-        self.branch_bias.clear();
+        self.hotness.fill(0);
+        self.branch_bias.fill((0, 0));
         self.at_block_head = true;
         self.stats.context_switches += 1;
     }
@@ -406,6 +473,11 @@ impl<'p> Machine<'p> {
     /// back to interpretation until the regions re-heat.
     pub fn invalidate_regions(&mut self, fraction: f64, selector: u64) -> usize {
         let dropped = self.region_cache.invalidate_fraction(fraction, selector);
+        for id in &dropped {
+            if let Some(bit) = self.translated.get_mut(id.0 as usize) {
+                *bit = false;
+            }
+        }
         self.stats.invalidated_translations += dropped.len() as u64;
         dropped.len()
     }

@@ -91,6 +91,15 @@ impl RegionCache {
         self.translations.values()
     }
 
+    /// Rebuilds every resident translation's decoded-instruction cache
+    /// from `program`. Called after a snapshot restore, which carries
+    /// trace PCs but not decoded instructions.
+    pub fn rehydrate(&mut self, program: &powerchop_gisa::Program) {
+        for t in self.translations.values_mut() {
+            t.rehydrate(program);
+        }
+    }
+
     /// Fault hook: drops roughly `fraction` of resident translations,
     /// selected deterministically from `selector` (models an
     /// invalidation storm — self-modifying code detection, a page

@@ -15,12 +15,32 @@ use powerchop_gisa::{Inst, Pc, Program};
 use crate::region_cache::TranslationId;
 
 /// An optimized host-ISA trace of a guest code region.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The trace (and its decoded-instruction cache) live behind `Arc` so the
+/// machine can dispatch a translation with a reference-count bump instead
+/// of copying the trace out of the region cache on every execution.
+#[derive(Debug, Clone)]
 pub struct Translation {
     id: TranslationId,
     head: Pc,
-    trace: Vec<Pc>,
+    trace: std::sync::Arc<[Pc]>,
+    /// Decoded instructions for each trace PC, so hot blocks skip the
+    /// per-step fetch. Derived from `trace` + the program: empty when not
+    /// yet hydrated (e.g. right after a snapshot restore), in which case
+    /// execution falls back to fetching. Never serialized.
+    insts: std::sync::Arc<[Inst]>,
     has_vector: bool,
+}
+
+/// `insts` is derived from `trace` and the program, so equality (used by
+/// tests comparing rebuilt translations) ignores it.
+impl PartialEq for Translation {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.head == other.head
+            && self.trace == other.trace
+            && self.has_vector == other.has_vector
+    }
 }
 
 impl Translation {
@@ -40,6 +60,33 @@ impl Translation {
     #[must_use]
     pub fn trace(&self) -> &[Pc] {
         &self.trace
+    }
+
+    /// A shared handle to the trace, for dispatch without copying.
+    #[must_use]
+    pub fn trace_arc(&self) -> std::sync::Arc<[Pc]> {
+        std::sync::Arc::clone(&self.trace)
+    }
+
+    /// A shared handle to the decoded-instruction cache. Empty (rather
+    /// than trace-length) when the translation has not been hydrated
+    /// against its program, e.g. straight after a snapshot restore.
+    #[must_use]
+    pub fn insts_arc(&self) -> std::sync::Arc<[Inst]> {
+        std::sync::Arc::clone(&self.insts)
+    }
+
+    /// Rebuilds the decoded-instruction cache from `program`. Leaves the
+    /// cache empty if any trace PC is out of range (a corrupt snapshot);
+    /// execution then falls back to the fetching path, which reports the
+    /// fault properly.
+    pub(crate) fn rehydrate(&mut self, program: &Program) {
+        let decoded: Option<Vec<Inst>> = self
+            .trace
+            .iter()
+            .map(|pc| program.inst(*pc).copied())
+            .collect();
+        self.insts = decoded.map_or_else(|| std::sync::Arc::from(Vec::new()), std::sync::Arc::from);
     }
 
     /// Number of guest instructions in the trace.
@@ -67,7 +114,8 @@ impl Translation {
         Translation {
             id,
             head: Pc(id.0),
-            trace: Vec::new(),
+            trace: std::sync::Arc::from(Vec::new()),
+            insts: std::sync::Arc::from(Vec::new()),
             has_vector: false,
         }
     }
@@ -79,7 +127,7 @@ impl Translation {
         w.put_u32(self.id.0);
         w.put_u32(self.head.0);
         w.put_usize(self.trace.len());
-        for pc in &self.trace {
+        for pc in self.trace.iter() {
             w.put_u32(pc.0);
         }
         w.put_bool(self.has_vector);
@@ -105,7 +153,10 @@ impl Translation {
         Ok(Translation {
             id,
             head,
-            trace,
+            trace: std::sync::Arc::from(trace),
+            // Hydrated by the machine after restore (the program is not
+            // in scope here).
+            insts: std::sync::Arc::from(Vec::new()),
             has_vector,
         })
     }
@@ -140,11 +191,13 @@ pub fn translate_with_bias(
 ) -> Option<Translation> {
     program.inst(head)?;
     let mut trace = Vec::new();
+    let mut insts = Vec::new();
     let mut has_vector = false;
     let mut pc = head;
     while trace.len() < max_len {
         let Some(inst) = program.inst(pc) else { break };
         trace.push(pc);
+        insts.push(*inst);
         has_vector |= inst.class().uses_vpu();
         match inst {
             // Follow unconditional direct jumps through, fusing blocks.
@@ -171,7 +224,8 @@ pub fn translate_with_bias(
     Some(Translation {
         id: TranslationId(head.0),
         head,
-        trace,
+        trace: std::sync::Arc::from(trace),
+        insts: std::sync::Arc::from(insts),
         has_vector,
     })
 }

@@ -88,6 +88,9 @@ pub struct RunOpts {
     pub trace: Option<String>,
     /// Prometheus metrics output path (enables the flight recorder).
     pub metrics: Option<String>,
+    /// Worker threads for fan-out commands (`None` resolves through
+    /// `POWERCHOP_JOBS` and then the machine's available parallelism).
+    pub jobs: Option<usize>,
 }
 
 impl RunOpts {
@@ -109,6 +112,7 @@ impl Default for RunOpts {
             storm: false,
             trace: None,
             metrics: None,
+            jobs: None,
         }
     }
 }
@@ -129,6 +133,12 @@ pub enum Command {
     Run {
         /// Benchmark name.
         bench: String,
+        /// Run options.
+        opts: RunOpts,
+    },
+    /// `run --all` — run every benchmark on the job pool and print each
+    /// report (in benchmark order, regardless of thread count).
+    RunAll {
         /// Run options.
         opts: RunOpts,
     },
@@ -245,7 +255,8 @@ USAGE:
 COMMANDS:
     list [suite]           list benchmarks (suites: spec-int spec-fp parsec mobile)
     info                   print the server/mobile design points (Table I)
-    run <bench>            run one benchmark and print the full report
+    run <bench>|--all      run one benchmark (or every benchmark) and print the
+                           full report(s)
     compare <bench>        run full-power and PowerChop, print the comparison
     timeline <bench>       print the per-window phase/policy timeline
     asm <file.s>           assemble a guest-ISA text file and run it
@@ -272,6 +283,9 @@ OPTIONS (run/compare/timeline/asm/stress/checkpoint/supervise):
                            JSON file (stress/supervise write one per benchmark)
     --metrics <file>       (run/trace/stress/supervise) write a Prometheus text
                            metrics dump (stress/supervise write one per benchmark)
+    --jobs <N>             (run --all/stress/supervise) worker threads for the
+                           sweep [default: $POWERCHOP_JOBS, then the number of
+                           CPUs]; output is identical at every thread count
 
 OPTIONS (checkpoint):
     --at <N>               instructions before the snapshot      [default: budget/2]
@@ -322,6 +336,15 @@ fn parse_flags(
             "--storm" => opts.storm = true,
             "--trace" => opts.trace = Some(value()?),
             "--metrics" => opts.metrics = Some(value()?),
+            "--jobs" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| CliError("--jobs must be an integer".into()))?;
+                if n == 0 {
+                    return Err(CliError("--jobs must be at least 1".into()));
+                }
+                opts.jobs = Some(n);
+            }
             other => {
                 if !extra(other, &mut value)? {
                     return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}")));
@@ -362,10 +385,17 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "list" => Ok(Command::List {
             suite: argv.get(1).cloned(),
         }),
-        "run" => Ok(Command::Run {
-            bench: operand()?,
-            opts: parse_opts(&argv[2..])?,
-        }),
+        "run" => {
+            if argv.get(1).map(String::as_str) == Some("--all") {
+                return Ok(Command::RunAll {
+                    opts: parse_opts(&argv[2..])?,
+                });
+            }
+            Ok(Command::Run {
+                bench: operand()?,
+                opts: parse_opts(&argv[2..])?,
+            })
+        }
         "compare" => Ok(Command::Compare {
             bench: operand()?,
             opts: parse_opts(&argv[2..])?,
@@ -652,6 +682,32 @@ mod tests {
         }
         assert!(parse(&argv("trace")).is_err());
         assert!(parse(&argv("run gobmk --trace")).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_and_run_all_parse() {
+        match parse(&argv("run --all --jobs 4 --budget 1000 --json")).unwrap() {
+            Command::RunAll { opts } => {
+                assert_eq!(opts.jobs, Some(4));
+                assert_eq!(opts.budget, 1000);
+                assert!(opts.json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("stress --jobs 2")).unwrap() {
+            Command::Stress { bench, opts } => {
+                assert_eq!(bench, None);
+                assert_eq!(opts.jobs, Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An unspecified `--jobs` resolves later (env, then CPU count).
+        match parse(&argv("run gobmk")).unwrap() {
+            Command::Run { opts, .. } => assert_eq!(opts.jobs, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run --all --jobs 0")).is_err());
+        assert!(parse(&argv("run --all --jobs nope")).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use powerchop::{
 };
 use powerchop_faults::FaultConfig;
 use powerchop_gisa::Program;
+use powerchop_telemetry::export::JsonWriter;
 use powerchop_telemetry::{export, timeline, TelemetryConfig, Tracer};
 use powerchop_uarch::cache::MlcWayState;
 use powerchop_uarch::config::{CoreConfig, CoreKind};
@@ -34,6 +35,7 @@ pub fn dispatch(command: Command) -> Result<(), CliError> {
         Command::Info => info(),
         Command::List { suite } => list(suite.as_deref()),
         Command::Run { bench, opts } => run_one(&bench, &opts),
+        Command::RunAll { opts } => run_all(&opts),
         Command::Compare { bench, opts } => compare(&bench, &opts),
         Command::Timeline { bench, opts } => timeline_cmd(&bench, &opts),
         Command::Asm { path, opts } => run_asm(&path, &opts),
@@ -241,54 +243,109 @@ fn trace_cmd(bench: &str, opts: &RunOpts) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Serializes a run report to a flat JSON object (hand-rolled so the core
-/// crates stay dependency-free).
+/// Serializes a run report to a flat JSON object via the shared
+/// escaping-safe writer (hand-rolled machinery in `powerchop-telemetry`,
+/// so the core crates stay dependency-free).
 #[must_use]
 pub fn report_to_json(r: &RunReport) -> String {
-    let mut out = String::from("{");
-    let mut field = |key: &str, value: String| {
-        if out.len() > 1 {
-            out.push(',');
-        }
-        out.push_str(&format!("\"{key}\":{value}"));
-    };
-    field("program", format!("\"{}\"", r.name));
-    field("manager", format!("\"{}\"", r.manager));
-    field("core", format!("\"{}\"", r.core_kind));
-    field("instructions", r.instructions.to_string());
-    field("cycles", r.cycles.to_string());
-    field("ipc", format!("{:.6}", r.ipc()));
-    field("avg_power_w", format!("{:.6}", r.energy.avg_power_w));
-    field(
-        "leakage_power_w",
-        format!("{:.6}", r.energy.leakage_power_w),
-    );
-    field(
-        "dynamic_power_w",
-        format!("{:.6}", r.energy.dynamic_power_w),
-    );
-    field("total_energy_j", format!("{:.9}", r.energy.total_j));
-    field("vpu_off_frac", format!("{:.6}", r.gated.vpu_off_frac()));
-    field("bpu_off_frac", format!("{:.6}", r.gated.bpu_off_frac()));
-    field("mlc_gated_frac", format!("{:.6}", r.gated.mlc_gated_frac()));
-    field("switches_vpu", r.switches.vpu.to_string());
-    field("switches_bpu", r.switches.bpu.to_string());
-    field("switches_mlc", r.switches.mlc.to_string());
-    field("branches", r.stats.branches.to_string());
-    field("mispredicts", r.stats.mispredicts.to_string());
-    field("mlc_accesses", r.stats.mlc_accesses.to_string());
-    field("mlc_hits", r.stats.mlc_hits.to_string());
-    field("vec_ops", r.stats.vec_ops.to_string());
-    field("vec_emulated", r.stats.vec_emulated.to_string());
+    let mut w = JsonWriter::object();
+    w.field_str("program", &r.name);
+    w.field_str("manager", r.manager);
+    w.field_str("core", &r.core_kind.to_string());
+    w.field_u64("instructions", r.instructions);
+    w.field_u64("cycles", r.cycles);
+    w.field_f64("ipc", r.ipc(), 6);
+    w.field_f64("avg_power_w", r.energy.avg_power_w, 6);
+    w.field_f64("leakage_power_w", r.energy.leakage_power_w, 6);
+    w.field_f64("dynamic_power_w", r.energy.dynamic_power_w, 6);
+    w.field_f64("total_energy_j", r.energy.total_j, 9);
+    w.field_f64("vpu_off_frac", r.gated.vpu_off_frac(), 6);
+    w.field_f64("bpu_off_frac", r.gated.bpu_off_frac(), 6);
+    w.field_f64("mlc_gated_frac", r.gated.mlc_gated_frac(), 6);
+    w.field_u64("switches_vpu", r.switches.vpu);
+    w.field_u64("switches_bpu", r.switches.bpu);
+    w.field_u64("switches_mlc", r.switches.mlc);
+    w.field_u64("branches", r.stats.branches);
+    w.field_u64("mispredicts", r.stats.mispredicts);
+    w.field_u64("mlc_accesses", r.stats.mlc_accesses);
+    w.field_u64("mlc_hits", r.stats.mlc_hits);
+    w.field_u64("vec_ops", r.stats.vec_ops);
+    w.field_u64("vec_emulated", r.stats.vec_emulated);
     if let Some(pvt) = r.pvt {
-        field("pvt_lookups", pvt.lookups.to_string());
-        field("pvt_misses", pvt.misses().to_string());
+        w.field_u64("pvt_lookups", pvt.lookups);
+        w.field_u64("pvt_misses", pvt.misses());
     }
     if let Some(cde) = r.cde {
-        field("phases_decided", cde.decided.to_string());
+        w.field_u64("phases_decided", cde.decided);
     }
-    out.push('}');
-    out
+    w.finish()
+}
+
+/// `run --all`: every benchmark, fanned out on the work-stealing pool.
+/// Jobs only compute; all printing happens after the pool drains, folding
+/// results in benchmark order, so stdout is byte-identical at any
+/// `--jobs` value.
+fn run_all(opts: &RunOpts) -> Result<(), CliError> {
+    let benches: Vec<&'static Benchmark> = powerchop_workloads::all().iter().collect();
+    let jobs = powerchop_exec::resolve_jobs(opts.jobs);
+    let results = powerchop_exec::run_jobs(&benches, jobs, |_, b| -> Result<RunReport, CliError> {
+        let mut cfg = config(b.core_kind(), opts);
+        cfg.faults = fault_config(opts.seed, opts.storm);
+        let program = b.program(Scale(opts.scale));
+        let (report, tracer) =
+            run_program_traced(&program, opts.manager.kind(), &cfg, tracer_for(opts))?;
+        // Telemetry paths are per-benchmark, so concurrent writes never
+        // collide; the "wrote ..." notes go to stderr, not the report.
+        write_telemetry(
+            &tracer,
+            opts.trace
+                .as_deref()
+                .map(|p| per_bench_path(p, b.name()))
+                .as_deref(),
+            opts.metrics
+                .as_deref()
+                .map(|p| per_bench_path(p, b.name()))
+                .as_deref(),
+        )?;
+        Ok(report)
+    });
+
+    let mut reports = Vec::with_capacity(benches.len());
+    let mut failures = Vec::new();
+    for (b, result) in benches.iter().zip(results) {
+        match result {
+            Ok(Ok(report)) => reports.push(report),
+            Ok(Err(e)) => failures.push(format!("{}: {e}", b.name())),
+            Err(p) => failures.push(format!("{}: panicked: {}", b.name(), p.message)),
+        }
+    }
+    if opts.json {
+        let mut w = JsonWriter::array();
+        for r in &reports {
+            w.push_raw(&report_to_json(r));
+        }
+        println!("{}", w.finish());
+    } else {
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print_report(r);
+        }
+        // Stderr, so stdout stays identical at every thread count.
+        eprintln!(
+            "ran {} benchmarks on {jobs} worker thread(s)",
+            reports.len()
+        );
+    }
+    if !failures.is_empty() {
+        return Err(CliError(format!(
+            "{} benchmark(s) failed: {}",
+            failures.len(),
+            failures.join("; ")
+        )));
+    }
+    Ok(())
 }
 
 fn compare(bench: &str, opts: &RunOpts) -> Result<(), CliError> {
@@ -601,35 +658,48 @@ fn stress(bench: Option<&str>, opts: &RunOpts) -> Result<(), CliError> {
         None => powerchop_workloads::all().iter().collect(),
     };
 
+    // Fan the per-benchmark runs out on the job pool; rows fold back in
+    // benchmark order, so the table and JSON below are byte-identical at
+    // any thread count. A job that panics outside `stress_one`'s own
+    // catch (e.g. while building the workload) becomes a failed row.
+    let jobs = powerchop_exec::resolve_jobs(opts.jobs);
+    let results = powerchop_exec::run_jobs(&benches, jobs, |_, b| stress_one(b, fault_cfg, opts));
     let mut rows = Vec::with_capacity(benches.len());
-    for b in benches {
-        rows.push(stress_one(b, fault_cfg, opts)?);
+    for (b, result) in benches.iter().zip(results) {
+        match result {
+            Ok(row) => rows.push(row?),
+            Err(_) => rows.push(StressRow {
+                name: b.name(),
+                survived: false,
+                instructions: 0,
+                slowdown: 0.0,
+                faults: 0,
+                anomalies: 0,
+                failsafes: 0,
+                pinned: 0,
+            }),
+        }
     }
 
     if opts.json {
-        let objects: Vec<String> = rows
-            .iter()
-            .map(|r| {
-                format!(
-                    "{{\"benchmark\":\"{}\",\"survived\":{},\"instructions\":{},\
-                     \"slowdown\":{:.6},\"faults\":{},\"anomalies\":{},\
-                     \"failsafe_transitions\":{},\"phases_pinned\":{}}}",
-                    r.name,
-                    r.survived,
-                    r.instructions,
-                    r.slowdown,
-                    r.faults,
-                    r.anomalies,
-                    r.failsafes,
-                    r.pinned
-                )
-            })
-            .collect();
-        println!(
-            "{{\"seed\":{seed},\"storm\":{},\"runs\":[{}]}}",
-            opts.storm,
-            objects.join(",")
-        );
+        let mut runs = JsonWriter::array();
+        for r in &rows {
+            let mut o = JsonWriter::object();
+            o.field_str("benchmark", r.name);
+            o.field_bool("survived", r.survived);
+            o.field_u64("instructions", r.instructions);
+            o.field_f64("slowdown", r.slowdown, 6);
+            o.field_u64("faults", r.faults);
+            o.field_u64("anomalies", r.anomalies);
+            o.field_u64("failsafe_transitions", r.failsafes);
+            o.field_u64("phases_pinned", r.pinned);
+            runs.push_raw(&o.finish());
+        }
+        let mut w = JsonWriter::object();
+        w.field_u64("seed", seed);
+        w.field_bool("storm", opts.storm);
+        w.field_raw("runs", &runs.finish());
+        println!("{}", w.finish());
     } else {
         println!(
             "fault injection: seed {seed}{} — slowdown is vs a clean full-power run",

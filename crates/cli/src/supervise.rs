@@ -10,14 +10,23 @@
 //! completed benchmarks are skipped outright and the in-flight one
 //! resumes from its last checkpoint instead of starting over.
 //!
+//! The sweep fans out over `--jobs` slots on the `powerchop-exec` pool.
+//! Each slot owns its benchmark end-to-end: its watchdog is spawned at
+//! that run's own start (a slot never inherits wall-clock time another
+//! slot has already burned), journal appends are mutex-serialized around
+//! the fsync, and console output is buffered per run so slots don't
+//! interleave lines. The final summary folds rows in benchmark order, so
+//! it is identical at every thread count.
+//!
 //! See `DESIGN.md` for the supervisor state machine.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use powerchop::{RunReport, Simulation};
@@ -88,6 +97,39 @@ fn journal_append(path: &Path, line: &str) -> Result<(), CliError> {
     writeln!(f, "{line}")?;
     f.sync_all()?;
     Ok(())
+}
+
+/// State shared by every parallel supervision slot.
+struct Shared<'a> {
+    /// Journal path.
+    journal: &'a Path,
+    /// Serializes journal appends (open + write + fsync as one unit).
+    journal_lock: Mutex<()>,
+    /// Serializes per-run console blocks so slots never interleave lines.
+    stdout_lock: Mutex<()>,
+}
+
+impl Shared<'_> {
+    /// Mutex-serialized [`journal_append`]. A poisoned lock (another slot
+    /// panicked mid-append) still appends: losing journal records would
+    /// repeat completed work on the next invocation.
+    fn append(&self, line: &str) -> Result<(), CliError> {
+        let _guard = self
+            .journal_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        journal_append(self.journal, line)
+    }
+
+    /// Prints one run's buffered console block atomically.
+    fn print_block(&self, block: &str) {
+        let _guard = self
+            .stdout_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        print!("{block}");
+        let _ = std::io::stdout().flush();
+    }
 }
 
 /// The compact per-run metric summary folded into the journal after a
@@ -190,6 +232,149 @@ struct Row {
     skipped: bool,
 }
 
+/// Supervises one benchmark in one pool slot: skip when already terminal,
+/// otherwise up to `max_attempts` watchdogged attempts with retries and
+/// backoff. The watchdog is spawned here, at each attempt's own start, so
+/// a slot's deadline covers only its own run — never wall-clock time
+/// other slots or earlier runs already burned. Console output is buffered
+/// and printed as one block per finished run.
+#[allow(clippy::too_many_arguments)]
+fn supervise_slot(
+    name: &str,
+    index: usize,
+    total: usize,
+    opts: &RunOpts,
+    sup: &SuperviseOpts,
+    dir: &Path,
+    shared: &Shared<'_>,
+    already: Option<Terminal>,
+) -> Result<Row, CliError> {
+    let ordinal = format!("[{}/{}]", index + 1, total);
+    let mut block = String::new();
+    if let Some(terminal) = already {
+        let _ = writeln!(
+            block,
+            "{ordinal} {name}: already {} — skipped",
+            verb(terminal)
+        );
+        shared.print_block(&block);
+        return Ok(Row {
+            name: name.to_owned(),
+            terminal,
+            attempts: 0,
+            resumed: false,
+            skipped: true,
+        });
+    }
+    let pr = prepare_run(
+        name,
+        opts.manager,
+        opts.budget,
+        opts.scale,
+        opts.seed,
+        opts.storm,
+    )?;
+    let ckpt_path = dir.join(format!("{name}.ckpt"));
+    let max_attempts = sup.max_attempts.max(1);
+    let mut row = Row {
+        name: name.to_owned(),
+        terminal: Terminal::Failed,
+        attempts: 0,
+        resumed: false,
+        skipped: false,
+    };
+    for attempt in 1..=max_attempts {
+        row.attempts = attempt;
+        shared.append(&format!("start {name} attempt {attempt}"))?;
+
+        // Watchdog: trips the cancel flag once the deadline passes;
+        // released early through the channel when the attempt ends.
+        // A zero deadline is already expired, so it trips here
+        // rather than racing the watchdog thread's first schedule.
+        let cancel = Arc::new(AtomicBool::new(sup.deadline_ms == 0));
+        let watchdog_flag = Arc::clone(&cancel);
+        let (release, released) = mpsc::channel::<()>();
+        let deadline = Duration::from_millis(sup.deadline_ms);
+        let watchdog = std::thread::spawn(move || {
+            if released.recv_timeout(deadline).is_err() {
+                watchdog_flag.store(true, Ordering::Relaxed);
+            }
+        });
+        let started = Instant::now();
+        let (outcome, resumed) = run_attempt(&pr, opts, &ckpt_path, sup.checkpoint_every, &cancel);
+        let _ = release.send(());
+        let _ = watchdog.join();
+        row.resumed = row.resumed || resumed;
+        let elapsed = started.elapsed();
+
+        match outcome {
+            AttemptOutcome::Completed(report, tracer) => {
+                shared.append(&format!(
+                    "done {name} attempts {attempt} instructions {} cycles {} energy_bits {}",
+                    report.instructions,
+                    report.cycles,
+                    report.energy.total_j.to_bits()
+                ))?;
+                if let Some(line) = metric_summary(name, &tracer) {
+                    shared.append(&line)?;
+                }
+                write_telemetry(
+                    &tracer,
+                    opts.trace
+                        .as_deref()
+                        .map(|p| per_bench_path(p, name))
+                        .as_deref(),
+                    opts.metrics
+                        .as_deref()
+                        .map(|p| per_bench_path(p, name))
+                        .as_deref(),
+                )?;
+                let _ = std::fs::remove_file(&ckpt_path);
+                let _ =
+                    writeln!(
+                    block,
+                    "{ordinal} {name}: completed in {:.1}s ({} instructions, attempt {attempt}{})",
+                    elapsed.as_secs_f64(),
+                    report.instructions,
+                    if resumed { ", resumed from checkpoint" } else { "" },
+                );
+                row.terminal = Terminal::Done;
+                break;
+            }
+            AttemptOutcome::DeadlineKilled => {
+                let _ = writeln!(
+                    block,
+                    "{ordinal} {name}: deadline exceeded after {:.1}s (attempt {attempt}/{max_attempts})",
+                    elapsed.as_secs_f64()
+                );
+                row.terminal = Terminal::DeadlineKilled;
+                if attempt == max_attempts {
+                    shared.append(&format!("deadline {name} attempts {attempt}"))?;
+                }
+            }
+            AttemptOutcome::Panicked(msg) | AttemptOutcome::Errored(msg) => {
+                let _ = writeln!(
+                    block,
+                    "{ordinal} {name}: attempt {attempt}/{max_attempts} failed: {msg}"
+                );
+                row.terminal = Terminal::Failed;
+                if attempt == max_attempts {
+                    shared.append(&format!("failed {name} attempts {attempt} {msg}"))?;
+                }
+            }
+        }
+        if row.terminal != Terminal::Done && attempt < max_attempts {
+            // Exponential backoff, capped so a misconfigured base
+            // cannot stall the sweep for minutes.
+            let factor = 1u64 << (attempt - 1).min(16);
+            let pause = sup.backoff_ms.saturating_mul(factor).min(30_000);
+            std::thread::sleep(Duration::from_millis(pause));
+        }
+    }
+    shared.print_block(&block);
+    Ok(row)
+}
+
 /// The `supervise` command: sweeps `benches` (all benchmarks when empty)
 /// under the supervisor.
 ///
@@ -224,138 +409,53 @@ pub fn supervise(benches: &[String], opts: RunOpts, sup: &SuperviseOpts) -> Resu
     std::fs::create_dir_all(&dir)?;
     let journal = dir.join(JOURNAL_FILE);
     let already = read_journal(&journal);
+    let jobs = powerchop_exec::resolve_jobs(opts.jobs);
 
     println!(
-        "supervising {} benchmarks (deadline {} ms, {} attempts, checkpoints every {} instructions, state in {})",
+        "supervising {} benchmarks (deadline {} ms, {} attempts, checkpoints every {} instructions, {} slot(s), state in {})",
         names.len(),
         sup.deadline_ms,
         sup.max_attempts,
         sup.checkpoint_every,
+        jobs,
         dir.display()
     );
 
-    let mut rows: Vec<Row> = Vec::with_capacity(names.len());
+    let shared = Shared {
+        journal: &journal,
+        journal_lock: Mutex::new(()),
+        stdout_lock: Mutex::new(()),
+    };
     let total = names.len();
-    for (index, name) in names.iter().enumerate() {
-        let ordinal = format!("[{}/{}]", index + 1, total);
-        if let Some(&terminal) = already.get(name.as_str()) {
-            println!("{ordinal} {name}: already {} — skipped", verb(terminal));
-            rows.push(Row {
-                name: name.clone(),
-                terminal,
-                attempts: 0,
-                resumed: false,
-                skipped: true,
-            });
-            continue;
-        }
-        let pr = prepare_run(
+    let results = powerchop_exec::run_jobs(&names, jobs, |index, name| {
+        supervise_slot(
             name,
-            opts.manager,
-            opts.budget,
-            opts.scale,
-            opts.seed,
-            opts.storm,
-        )?;
-        let ckpt_path = dir.join(format!("{name}.ckpt"));
-        let max_attempts = sup.max_attempts.max(1);
-        let mut row = Row {
-            name: name.clone(),
-            terminal: Terminal::Failed,
-            attempts: 0,
-            resumed: false,
-            skipped: false,
-        };
-        for attempt in 1..=max_attempts {
-            row.attempts = attempt;
-            journal_append(&journal, &format!("start {name} attempt {attempt}"))?;
-
-            // Watchdog: trips the cancel flag once the deadline passes;
-            // released early through the channel when the attempt ends.
-            // A zero deadline is already expired, so it trips here
-            // rather than racing the watchdog thread's first schedule.
-            let cancel = Arc::new(AtomicBool::new(sup.deadline_ms == 0));
-            let watchdog_flag = Arc::clone(&cancel);
-            let (release, released) = mpsc::channel::<()>();
-            let deadline = Duration::from_millis(sup.deadline_ms);
-            let watchdog = std::thread::spawn(move || {
-                if released.recv_timeout(deadline).is_err() {
-                    watchdog_flag.store(true, Ordering::Relaxed);
-                }
-            });
-            let started = Instant::now();
-            let (outcome, resumed) =
-                run_attempt(&pr, &opts, &ckpt_path, sup.checkpoint_every, &cancel);
-            let _ = release.send(());
-            let _ = watchdog.join();
-            row.resumed = row.resumed || resumed;
-            let elapsed = started.elapsed();
-
-            match outcome {
-                AttemptOutcome::Completed(report, tracer) => {
-                    journal_append(
-                        &journal,
-                        &format!(
-                            "done {name} attempts {attempt} instructions {} cycles {} energy_bits {}",
-                            report.instructions,
-                            report.cycles,
-                            report.energy.total_j.to_bits()
-                        ),
-                    )?;
-                    if let Some(line) = metric_summary(name, &tracer) {
-                        journal_append(&journal, &line)?;
-                    }
-                    write_telemetry(
-                        &tracer,
-                        opts.trace
-                            .as_deref()
-                            .map(|p| per_bench_path(p, name))
-                            .as_deref(),
-                        opts.metrics
-                            .as_deref()
-                            .map(|p| per_bench_path(p, name))
-                            .as_deref(),
-                    )?;
-                    let _ = std::fs::remove_file(&ckpt_path);
-                    println!(
-                        "{ordinal} {name}: completed in {:.1}s ({} instructions, attempt {attempt}{})",
-                        elapsed.as_secs_f64(),
-                        report.instructions,
-                        if resumed { ", resumed from checkpoint" } else { "" },
-                    );
-                    row.terminal = Terminal::Done;
-                    break;
-                }
-                AttemptOutcome::DeadlineKilled => {
-                    println!(
-                        "{ordinal} {name}: deadline exceeded after {:.1}s (attempt {attempt}/{max_attempts})",
-                        elapsed.as_secs_f64()
-                    );
-                    row.terminal = Terminal::DeadlineKilled;
-                    if attempt == max_attempts {
-                        journal_append(&journal, &format!("deadline {name} attempts {attempt}"))?;
-                    }
-                }
-                AttemptOutcome::Panicked(msg) | AttemptOutcome::Errored(msg) => {
-                    println!("{ordinal} {name}: attempt {attempt}/{max_attempts} failed: {msg}");
-                    row.terminal = Terminal::Failed;
-                    if attempt == max_attempts {
-                        journal_append(
-                            &journal,
-                            &format!("failed {name} attempts {attempt} {msg}"),
-                        )?;
-                    }
-                }
-            }
-            if row.terminal != Terminal::Done && attempt < max_attempts {
-                // Exponential backoff, capped so a misconfigured base
-                // cannot stall the sweep for minutes.
-                let factor = 1u64 << (attempt - 1).min(16);
-                let pause = sup.backoff_ms.saturating_mul(factor).min(30_000);
-                std::thread::sleep(Duration::from_millis(pause));
+            index,
+            total,
+            &opts,
+            sup,
+            &dir,
+            &shared,
+            already.get(name.as_str()).copied(),
+        )
+    });
+    let mut rows: Vec<Row> = Vec::with_capacity(names.len());
+    for (name, result) in names.iter().zip(results) {
+        match result {
+            Ok(row) => rows.push(row?),
+            Err(p) => {
+                // A panic that escaped the per-attempt catch (journal I/O,
+                // bookkeeping): record the failure rather than lose the slot.
+                eprintln!("{name}: supervisor slot panicked: {}", p.message);
+                rows.push(Row {
+                    name: name.clone(),
+                    terminal: Terminal::Failed,
+                    attempts: 0,
+                    resumed: false,
+                    skipped: false,
+                });
             }
         }
-        rows.push(row);
     }
 
     print_summary(&rows);
@@ -456,6 +556,43 @@ mod tests {
         supervise(&benches, small_opts(), &sup).expect("second sweep completes");
         let journal2 = std::fs::read_to_string(dir.join(JOURNAL_FILE)).expect("journal exists");
         assert_eq!(journal2, journal, "second invocation did zero work");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_slots_complete_with_independent_deadlines() {
+        let dir = tmp_dir("parallel");
+        let sup = SuperviseOpts {
+            dir: dir.to_string_lossy().into_owned(),
+            deadline_ms: 60_000,
+            max_attempts: 1,
+            backoff_ms: 1,
+            checkpoint_every: u64::MAX,
+        };
+        let opts = RunOpts {
+            jobs: Some(3),
+            ..small_opts()
+        };
+        let benches = vec!["hmmer".to_owned(), "namd".to_owned(), "msn".to_owned()];
+        supervise(&benches, opts, &sup).expect("parallel sweep completes");
+        let journal = std::fs::read_to_string(dir.join(JOURNAL_FILE)).expect("journal exists");
+        // Every slot journals its own terminal record exactly once, even
+        // though appends raced through the mutex.
+        for name in ["hmmer", "namd", "msn"] {
+            assert_eq!(
+                journal.matches(&format!("done {name}")).count(),
+                1,
+                "journal: {journal}"
+            );
+        }
+        // No torn lines: each journaled line starts with a known verb.
+        for line in journal.lines() {
+            let verb = line.split_whitespace().next().unwrap_or("");
+            assert!(
+                ["start", "done", "deadline", "failed", "metrics"].contains(&verb),
+                "torn or interleaved journal line: {line:?}"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -181,19 +181,46 @@ impl Cpu {
     pub fn step(&mut self, program: &Program, mem: &mut Memory) -> Result<StepInfo, GisaError> {
         let pc = self.pc;
         if self.halted {
-            return Ok(StepInfo {
-                pc,
-                inst: Inst::Halt,
-                class: InstClass::Other,
-                next_pc: pc,
-                mem: None,
-                branch: None,
-            });
+            return Ok(Self::halted_step(pc));
         }
         let inst = *program.inst(pc).ok_or(GisaError::PcOutOfRange {
             pc: u64::from(pc.0),
             len: program.len(),
         })?;
+        self.exec(inst, pc, mem)
+    }
+
+    /// Executes a pre-decoded instruction without re-fetching it from the
+    /// program. The caller guarantees `inst` is the instruction at the
+    /// current PC (the BT layer's translations cache decoded instructions
+    /// keyed by PC and verify the PC before each step); behaviour is then
+    /// identical to [`Cpu::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GisaError::ReturnWithoutCall`] for an unbalanced `ret`.
+    #[inline]
+    pub fn step_prefetched(&mut self, inst: Inst, mem: &mut Memory) -> Result<StepInfo, GisaError> {
+        let pc = self.pc;
+        if self.halted {
+            return Ok(Self::halted_step(pc));
+        }
+        self.exec(inst, pc, mem)
+    }
+
+    fn halted_step(pc: Pc) -> StepInfo {
+        StepInfo {
+            pc,
+            inst: Inst::Halt,
+            class: InstClass::Other,
+            next_pc: pc,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    #[inline]
+    fn exec(&mut self, inst: Inst, pc: Pc, mem: &mut Memory) -> Result<StepInfo, GisaError> {
         let class = inst.class();
         let mut next_pc = pc.next();
         let mut mem_access = None;

@@ -1,8 +1,39 @@
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A multiply-shift hasher for page numbers. Every guest load and store
+/// hits the page map, and the default SipHash dominates that path; page
+/// numbers are already well-distributed small integers, so a single
+/// Fibonacci multiply mixes plenty. Not DoS-resistant — irrelevant for a
+/// simulator hashing its own address space. Snapshot encoding stays
+/// deterministic because pages are serialized in sorted order, never in
+/// map order.
+#[derive(Debug, Default)]
+pub(crate) struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 page numbers are ever hashed, via write_u64.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // The high bits carry the mixing; HashMap keeps the low bits.
+        self.0.rotate_left(32)
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>;
 
 /// A sparse, paged, byte-addressable 64-bit memory.
 ///
@@ -23,7 +54,7 @@ const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
 }
 
 impl Memory {

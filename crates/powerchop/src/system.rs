@@ -503,8 +503,15 @@ impl<'p> Simulation<'p> {
             _ => {}
         }
         if let Some(sched) = self.schedule.as_mut() {
-            let fcfg = *sched.config();
-            while let Some(event) = sched.next_due(self.core.cycles()) {
+            // The config copy is hoisted behind the due check: the
+            // schedule answers "nothing due" from a cached next-due
+            // cycle, so the common per-step cost is one compare, not a
+            // config copy.
+            let mut pending = sched.next_due(self.core.cycles());
+            let fcfg = pending.map(|_| *sched.config());
+            while let Some(event) = pending.take() {
+                // `fcfg` is Some whenever an event was due.
+                let Some(fcfg) = fcfg else { break };
                 self.tracer.emit(
                     self.core.cycles(),
                     Event::FaultDelivered {
@@ -561,6 +568,7 @@ impl<'p> Simulation<'p> {
                             .add_stall(jittered(event.payload, fcfg.perturb_stall_cycles));
                     }
                 }
+                pending = sched.next_due(self.core.cycles());
             }
         }
         if self.tracer.is_enabled() {

@@ -136,6 +136,151 @@ fn push_args(out: &mut String, ev: &Event) {
     }
 }
 
+/// Appends `s` to `out` as a JSON string literal, quotes included,
+/// escaping everything RFC 8259 requires (quote, backslash, and control
+/// characters). Shared by every hand-built JSON emitter in the repo so a
+/// benchmark name or label with special characters can never produce an
+/// invalid document.
+pub fn push_json_str(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders `s` as a JSON string literal (quotes included, escaped).
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_json_str(&mut out, s);
+    out
+}
+
+/// An incremental, escaping-safe writer for one flat JSON object or
+/// array. Field order is insertion order, so output is deterministic;
+/// nested structure is composed by rendering the inner writer first and
+/// splicing it in with [`JsonWriter::field_raw`] / [`JsonWriter::push_raw`].
+#[derive(Debug)]
+pub struct JsonWriter {
+    buf: String,
+    first: bool,
+    close: char,
+}
+
+impl JsonWriter {
+    /// Starts a JSON object (`{...}`).
+    #[must_use]
+    pub fn object() -> Self {
+        JsonWriter {
+            buf: String::from("{"),
+            first: true,
+            close: '}',
+        }
+    }
+
+    /// Starts a JSON array (`[...]`).
+    #[must_use]
+    pub fn array() -> Self {
+        JsonWriter {
+            buf: String::from("["),
+            first: true,
+            close: ']',
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.buf.push(',');
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.sep();
+        push_json_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Appends a string field, escaping the value.
+    pub fn field_str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        push_json_str(&mut self.buf, value);
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) {
+        use std::fmt::Write as _;
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Appends a signed integer field.
+    pub fn field_i64(&mut self, key: &str, value: i64) {
+        use std::fmt::Write as _;
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Appends a float field with `precision` fractional digits.
+    /// Non-finite values render as `null` (JSON has no NaN/Inf).
+    pub fn field_f64(&mut self, key: &str, value: f64, precision: usize) {
+        use std::fmt::Write as _;
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:.precision$}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Appends a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Appends a field whose value is already-rendered JSON
+    /// (a nested [`JsonWriter::finish`] result, or a literal).
+    pub fn field_raw(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.buf.push_str(raw);
+    }
+
+    /// Appends an already-rendered JSON value to an array.
+    pub fn push_raw(&mut self, raw: &str) {
+        self.sep();
+        self.buf.push_str(raw);
+    }
+
+    /// Appends a string element to an array, escaping it.
+    pub fn push_str_elem(&mut self, value: &str) {
+        self.sep();
+        push_json_str(&mut self.buf, value);
+    }
+
+    /// Closes the container and returns the rendered JSON.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push(self.close);
+        self.buf
+    }
+}
+
 /// A JSON syntax error from [`validate_json`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -449,6 +594,30 @@ mod tests {
         let json = chrome_trace_json(&[]);
         validate_json(&json).expect("empty trace parses");
         assert_eq!(jsonl(&[]), "");
+    }
+
+    #[test]
+    fn json_writer_escapes_and_validates() {
+        let mut inner = JsonWriter::array();
+        inner.push_str_elem("plain");
+        inner.push_str_elem("quote\" slash\\ ctrl\u{01}\n");
+        inner.push_raw("42");
+        let mut w = JsonWriter::object();
+        w.field_str("name", "bench \"x\"\t");
+        w.field_u64("count", 7);
+        w.field_i64("delta", -3);
+        w.field_f64("ratio", 0.5, 3);
+        w.field_f64("bad", f64::NAN, 3);
+        w.field_bool("ok", true);
+        w.field_raw("items", &inner.finish());
+        let out = w.finish();
+        validate_json(&out).expect("writer output parses");
+        assert!(out.contains("\"name\":\"bench \\\"x\\\"\\t\""));
+        assert!(out.contains("\"bad\":null"));
+        assert!(out.contains("\\u0001"));
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(JsonWriter::object().finish(), "{}");
+        assert_eq!(JsonWriter::array().finish(), "[]");
     }
 
     #[test]

@@ -158,6 +158,9 @@ pub struct Cache {
     ways: usize,
     active_ways: usize,
     line_shift: u32,
+    /// Precomputed `num_sets - 1` (set count is a power of two), so set
+    /// selection on the access path is a single shift-and-mask.
+    set_mask: usize,
     tick: u64,
     awake_valid: usize,
     valid: usize,
@@ -189,6 +192,7 @@ impl Cache {
             ways,
             active_ways: ways,
             line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: num_sets - 1,
             tick: 0,
             awake_valid: 0,
             valid: 0,
@@ -228,8 +232,9 @@ impl Cache {
         reg.gauge_set(names.active_ways, f64::from(self.active_ways()));
     }
 
+    #[inline]
     fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
-        let set = ((addr >> self.line_shift) as usize) & (self.num_sets - 1);
+        let set = ((addr >> self.line_shift) as usize) & self.set_mask;
         let base = set * self.ways;
         base..base + self.active_ways
     }
@@ -459,6 +464,7 @@ mod tests {
                 ways: ways as usize,
                 active_ways: ways as usize,
                 line_shift: 6,
+                set_mask: 3,
                 tick: 0,
                 awake_valid: 0,
                 valid: 0,

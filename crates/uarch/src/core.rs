@@ -141,7 +141,10 @@ pub struct CoreModel {
     mlc_hit_latency: u64,
     llc_hit_latency: u64,
     mem_latency: u64,
-    line_bytes: u64,
+    /// log2 of the line size: line math is shifts/masks, not divisions
+    /// (line sizes are powers of two, as the cache's set indexing already
+    /// assumes).
+    line_shift: u32,
     bpu: Bpu,
     l1d: Cache,
     mlc: Cache,
@@ -164,7 +167,7 @@ impl CoreModel {
             mlc_hit_latency: u64::from(cfg.mlc.hit_latency),
             llc_hit_latency: u64::from(cfg.llc.hit_latency),
             mem_latency: u64::from(cfg.mem_latency),
-            line_bytes: u64::from(cfg.l1d.line_bytes),
+            line_shift: cfg.l1d.line_bytes.trailing_zeros(),
             bpu: Bpu::new(&cfg.bpu),
             l1d: Cache::new(&cfg.l1d),
             mlc: Cache::new(&cfg.mlc),
@@ -324,10 +327,11 @@ impl CoreModel {
 
     /// Accesses every cache line touched by `[addr, addr + size)`.
     fn access_lines(&mut self, addr: u64, size: u64, is_store: bool) {
-        let first = addr / self.line_bytes;
-        let last = (addr + size.max(1) - 1) / self.line_bytes;
+        let shift = self.line_shift;
+        let first = addr >> shift;
+        let last = (addr + size.max(1) - 1) >> shift;
         for line in first..=last {
-            self.access_hierarchy(line * self.line_bytes, is_store);
+            self.access_hierarchy(line << shift, is_store);
         }
     }
 

@@ -1,0 +1,132 @@
+//! Micro-benchmark for the simulator hot path.
+//!
+//! Measures raw simulation throughput (guest instructions per second)
+//! over a representative workload mix — integer control flow (`gobmk`),
+//! floating-point/vector (`lbm`), and a mobile-core browsing trace
+//! (`google`) — and compares the harmonic-mean throughput against the
+//! pre-optimization baseline recorded below. The interpret/translate
+//! loop, the cache hierarchy model, and the per-step accounting all sit
+//! on this path, so any regression there shows up here as a ratio drop.
+//!
+//! Results land in `bench_results/BENCH_hotpath.json`. Run with:
+//!
+//! ```text
+//! cargo run --release --bin bench_hotpath
+//! ```
+
+use std::time::Instant;
+
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::telemetry::export::JsonWriter;
+use powerchop_suite::workloads::{by_name, Scale};
+
+/// Workload mix: one integer-heavy, one vector-heavy, one mobile trace.
+const WORKLOADS: [&str; 3] = ["gobmk", "lbm", "google"];
+const SCALE: Scale = Scale(0.2);
+const BUDGET: u64 = 4_000_000;
+const WARMUPS: usize = 2;
+const TRIALS: usize = 7;
+
+/// Harmonic-mean guest-instructions/sec of the pre-optimization tree,
+/// measured on the reference box with the command above (median of five
+/// full runs, each the harmonic mean of per-workload medians of 7
+/// trials). The acceptance gate for the hot-path work is a >= 1.3x
+/// improvement over this figure; CI only asserts nonzero throughput
+/// because shared runners are not the reference box.
+const PRE_PR_BASELINE: f64 = 18_758_699.0;
+
+fn one_trial(name: &str) -> f64 {
+    let bench = by_name(name).expect("known benchmark");
+    let program = bench.program(SCALE);
+    let mut cfg = RunConfig::for_kind(bench.core_kind());
+    cfg.max_instructions = BUDGET;
+    let start = Instant::now();
+    let report = run_program(&program, ManagerKind::PowerChop, &cfg).expect("run completes");
+    report.instructions as f64 / start.elapsed().as_secs_f64()
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[sorted.len() / 2]
+}
+
+fn harmonic_mean(values: &[f64]) -> f64 {
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+fn main() {
+    for name in WORKLOADS {
+        for _ in 0..WARMUPS {
+            one_trial(name);
+        }
+    }
+
+    // Interleave trials round-robin so slow drift (thermal throttling,
+    // background load) lands on every workload equally.
+    let mut samples = [const { Vec::new() }; WORKLOADS.len()];
+    for _ in 0..TRIALS {
+        for (i, name) in WORKLOADS.into_iter().enumerate() {
+            samples[i].push(one_trial(name));
+        }
+    }
+
+    let medians: Vec<f64> = samples.iter().map(|s| median(s)).collect();
+    for (name, m) in WORKLOADS.into_iter().zip(&medians) {
+        println!("{name:<16} {m:>12.0} instr/s (median of {TRIALS})");
+    }
+    let hmean = harmonic_mean(&medians);
+    let speedup = hmean / PRE_PR_BASELINE;
+    println!("harmonic mean    {hmean:>12.0} instr/s");
+    println!("vs pre-PR baseline ({PRE_PR_BASELINE:.0}): {speedup:.3}x");
+
+    let mut w = JsonWriter::object();
+    w.field_str("benchmark", "hotpath_throughput");
+    w.field_raw(
+        "workloads",
+        &format!(
+            "[{}]",
+            WORKLOADS
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    );
+    w.field_f64("scale", SCALE.0, 2);
+    w.field_u64("instruction_budget", BUDGET);
+    w.field_u64("warmups", WARMUPS as u64);
+    w.field_u64("trials", TRIALS as u64);
+    {
+        let mut per = JsonWriter::object();
+        for (i, name) in WORKLOADS.into_iter().enumerate() {
+            let mut entry = JsonWriter::object();
+            entry.field_f64("median", medians[i], 0);
+            entry.field_raw(
+                "samples",
+                &format!(
+                    "[{}]",
+                    samples[i]
+                        .iter()
+                        .map(|s| format!("{s:.0}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            );
+            per.field_raw(name, &entry.finish());
+        }
+        w.field_raw("instr_per_sec", &per.finish());
+    }
+    w.field_f64("harmonic_mean_instr_per_sec", hmean, 0);
+    w.field_f64("pre_pr_baseline_instr_per_sec", PRE_PR_BASELINE, 0);
+    w.field_f64("speedup_vs_baseline", speedup, 4);
+    let out = w.finish();
+
+    powerchop_suite::telemetry::export::validate_json(&out).expect("bench JSON is well-formed");
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    std::fs::write("bench_results/BENCH_hotpath.json", format!("{out}\n"))
+        .expect("write bench_results/BENCH_hotpath.json");
+    println!("wrote bench_results/BENCH_hotpath.json");
+
+    assert!(hmean > 0.0, "throughput must be nonzero");
+}

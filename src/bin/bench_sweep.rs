@@ -1,0 +1,109 @@
+//! Wall-clock scaling curve for the parallel sweep engine.
+//!
+//! Runs the full 29-benchmark sweep (the same fan-out `run --all`,
+//! `stress` and `supervise` use) at several `--jobs` settings, timing
+//! each pass and checking that the JSON artifact — every report, in
+//! benchmark order — is byte-identical at every thread count. The
+//! determinism check is the point: the pool must buy wall-clock time
+//! without perturbing a single output byte.
+//!
+//! The recorded JSON carries the host's CPU count: on a multi-core box
+//! the curve shows the wall-clock win (2x+ at `--jobs 4` with four or
+//! more cores); on a single-core container the curve is flat and the
+//! byte-identity assertion is the meaningful half.
+//!
+//! Results land in `bench_results/BENCH_sweep.json`. Run with:
+//!
+//! ```text
+//! cargo run --release --bin bench_sweep
+//! ```
+
+use std::time::Instant;
+
+use powerchop_suite::cli::commands::report_to_json;
+use powerchop_suite::exec::run_jobs;
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::telemetry::export::JsonWriter;
+use powerchop_suite::workloads::{Benchmark, Scale};
+
+const SCALE: Scale = Scale(0.2);
+const BUDGET: u64 = 4_000_000;
+const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One full sweep: every benchmark through the pool at `jobs` workers,
+/// folded into the concatenated JSON-lines artifact in benchmark order.
+fn sweep(benches: &[&'static Benchmark], jobs: usize) -> String {
+    let results = run_jobs(benches, jobs, |_, b| {
+        let mut cfg = RunConfig::for_kind(b.core_kind());
+        cfg.max_instructions = BUDGET;
+        let program = b.program(SCALE);
+        let report = run_program(&program, ManagerKind::PowerChop, &cfg).expect("run completes");
+        report_to_json(&report)
+    });
+    let mut artifact = String::new();
+    for row in results {
+        artifact.push_str(&row.expect("no benchmark panics"));
+        artifact.push('\n');
+    }
+    artifact
+}
+
+fn main() {
+    let benches: Vec<&'static Benchmark> = powerchop_suite::workloads::all().iter().collect();
+    println!(
+        "sweeping {} benchmarks (budget {BUDGET}, scale {}) at jobs {JOB_COUNTS:?}",
+        benches.len(),
+        SCALE.0
+    );
+
+    // Warm up allocators, page tables and the frequency governor.
+    let reference = sweep(&benches, JOB_COUNTS[JOB_COUNTS.len() - 1]);
+
+    let mut secs = Vec::with_capacity(JOB_COUNTS.len());
+    for jobs in JOB_COUNTS {
+        let start = Instant::now();
+        let artifact = sweep(&benches, jobs);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(
+            artifact, reference,
+            "sweep artifact must be byte-identical at every thread count"
+        );
+        println!("jobs {jobs:>2}: {elapsed:>7.2}s (artifact identical)");
+        secs.push(elapsed);
+    }
+
+    let base = secs[0];
+    let mut w = JsonWriter::object();
+    w.field_str("benchmark", "parallel_sweep_scaling");
+    w.field_u64(
+        "available_cpus",
+        std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+    );
+    w.field_u64("benchmarks", benches.len() as u64);
+    w.field_u64("instruction_budget", BUDGET);
+    w.field_f64("scale", SCALE.0, 2);
+    w.field_bool("artifacts_byte_identical", true);
+    {
+        let mut points = JsonWriter::array();
+        for (jobs, s) in JOB_COUNTS.into_iter().zip(&secs) {
+            let mut p = JsonWriter::object();
+            p.field_u64("jobs", jobs as u64);
+            p.field_f64("seconds", *s, 3);
+            p.field_f64("speedup_vs_jobs1", base / s, 3);
+            points.push_raw(&p.finish());
+        }
+        w.field_raw("points", &points.finish());
+    }
+    let out = w.finish();
+
+    powerchop_suite::telemetry::export::validate_json(&out).expect("bench JSON is well-formed");
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    std::fs::write("bench_results/BENCH_sweep.json", format!("{out}\n"))
+        .expect("write bench_results/BENCH_sweep.json");
+    println!("wrote bench_results/BENCH_sweep.json");
+
+    for (jobs, s) in JOB_COUNTS.into_iter().zip(&secs) {
+        println!("speedup at jobs {jobs}: {:.2}x", base / s);
+    }
+    assert!(secs.iter().all(|s| *s > 0.0), "timings must be nonzero");
+}

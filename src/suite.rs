@@ -12,9 +12,13 @@
 //! - [`power`] — the power/energy model
 //! - [`telemetry`] — flight-recorder tracing, metrics and exporters
 //! - [`workloads`] — the synthetic benchmark suites
+//! - [`exec`] — the work-stealing job pool fan-out commands run on
+//! - [`cli`] — the command-line interface (argument parsing and commands)
 
 pub use powerchop;
 pub use powerchop_bt as bt;
+pub use powerchop_cli as cli;
+pub use powerchop_exec as exec;
 pub use powerchop_faults as faults;
 pub use powerchop_gisa as gisa;
 pub use powerchop_power as power;

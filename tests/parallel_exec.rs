@@ -1,0 +1,130 @@
+//! Tier-1 guarantees for the work-stealing sweep engine: the pool must
+//! change wall-clock time only — never a byte of output — and isolate
+//! panics to the job that raised them.
+
+use powerchop_suite::cli::commands::report_to_json;
+use powerchop_suite::exec::{run_jobs, JobPanic};
+use powerchop_suite::faults::FaultConfig;
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig, RunReport};
+use powerchop_suite::workloads::{Benchmark, Scale};
+
+const SCALE: Scale = Scale(0.05);
+const BUDGET: u64 = 200_000;
+
+/// A cross-section of the suites: integer, FP/vector, PARSEC and mobile.
+fn cross_section() -> Vec<&'static Benchmark> {
+    ["gobmk", "namd", "lbm", "dedup", "msn", "google"]
+        .iter()
+        .map(|n| powerchop_suite::workloads::by_name(n).expect("known benchmark"))
+        .collect()
+}
+
+fn run_bench(b: &Benchmark, faults: Option<FaultConfig>) -> RunReport {
+    let mut cfg = RunConfig::for_kind(b.core_kind());
+    cfg.max_instructions = BUDGET;
+    cfg.faults = faults;
+    let program = b.program(SCALE);
+    run_program(&program, ManagerKind::PowerChop, &cfg).expect("run completes")
+}
+
+/// The sweep artifact `run --all --json` is built from: one JSON report
+/// per benchmark, folded in submission order.
+fn json_artifact(jobs: usize, faults: impl Fn() -> Option<FaultConfig> + Sync) -> String {
+    let benches = cross_section();
+    let rows = run_jobs(&benches, jobs, |_, b| {
+        report_to_json(&run_bench(b, faults()))
+    });
+    rows.into_iter()
+        .map(|r| r.expect("no panics"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The CSV shape the bench-crate sweeps write, exercised through the pool.
+fn csv_artifact(jobs: usize) -> String {
+    let benches = cross_section();
+    let rows = run_jobs(&benches, jobs, |_, b| {
+        let r = run_bench(b, None);
+        format!(
+            "{},{},{},{:.6},{:.6}",
+            r.name,
+            r.instructions,
+            r.cycles,
+            r.ipc(),
+            r.energy.avg_power_w
+        )
+    });
+    let mut csv = String::from("bench,instructions,cycles,ipc,avg_power_w\n");
+    for row in rows {
+        csv.push_str(&row.expect("no panics"));
+        csv.push('\n');
+    }
+    csv
+}
+
+#[test]
+fn clean_sweep_reports_are_bit_identical_across_thread_counts() {
+    let sequential = json_artifact(1, || None);
+    for jobs in [2, 8] {
+        assert_eq!(
+            json_artifact(jobs, || None),
+            sequential,
+            "JSON artifact diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn storm_sweep_reports_are_bit_identical_across_thread_counts() {
+    let storm = || Some(FaultConfig::storm(0xCAFE_BABE));
+    let sequential = json_artifact(1, storm);
+    for jobs in [2, 8] {
+        assert_eq!(
+            json_artifact(jobs, storm),
+            sequential,
+            "storm JSON artifact diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn csv_bytes_are_bit_identical_across_thread_counts() {
+    let sequential = csv_artifact(1);
+    assert!(sequential.lines().count() == cross_section().len() + 1);
+    for jobs in [2, 8] {
+        assert_eq!(
+            csv_artifact(jobs),
+            sequential,
+            "CSV bytes diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn a_panicking_job_is_isolated_and_indexed() {
+    let items: Vec<u32> = (0..16).collect();
+    let results = run_jobs(&items, 4, |_, n| {
+        assert!(*n != 11, "job 11 blows up");
+        n * 2
+    });
+    assert_eq!(results.len(), 16);
+    for (i, r) in results.into_iter().enumerate() {
+        if i == 11 {
+            let JobPanic { index, message } = r.expect_err("job 11 panicked");
+            assert_eq!(index, 11);
+            assert!(message.contains("job 11 blows up"), "message: {message}");
+        } else {
+            assert_eq!(r.expect("other jobs survive"), i as u32 * 2);
+        }
+    }
+}
+
+#[test]
+fn empty_job_lists_and_oversized_pools_are_fine() {
+    let empty: Vec<u32> = Vec::new();
+    assert!(run_jobs(&empty, 8, |_, n| *n).is_empty());
+    // More workers than jobs: every job still runs exactly once, in order.
+    let results = run_jobs(&[10u32, 20], 64, |i, n| (i, *n));
+    let values: Vec<(usize, u32)> = results.into_iter().map(|r| r.expect("ok")).collect();
+    assert_eq!(values, vec![(0, 10), (1, 20)]);
+}
