@@ -155,6 +155,17 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Combines the two fingerprints that fully identify a simulation's
+/// input — the guest program's and the run configuration's — into one
+/// 128-bit key (program in the high half). Snapshots bind to the config
+/// fingerprint alone (the program can be re-derived from the embedded
+/// metadata); result caches key on both, because two different programs
+/// can legitimately share a configuration.
+#[must_use]
+pub fn run_key(program_fingerprint: u64, config_fingerprint: u64) -> u128 {
+    (u128::from(program_fingerprint) << 64) | u128::from(config_fingerprint)
+}
+
 /// Little-endian field writer backing every section payload.
 #[derive(Debug, Clone, Default)]
 pub struct ByteWriter {
@@ -500,6 +511,14 @@ mod tests {
     fn fnv_matches_known_vectors() {
         assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn run_keys_separate_program_and_config_halves() {
+        assert_eq!(run_key(1, 2), (1u128 << 64) | 2);
+        assert_ne!(run_key(1, 2), run_key(2, 1), "the halves are ordered");
+        assert_ne!(run_key(7, 0), run_key(0, 7));
+        assert_eq!(run_key(u64::MAX, u64::MAX), u128::MAX);
     }
 
     #[test]

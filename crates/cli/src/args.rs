@@ -216,6 +216,48 @@ pub enum Command {
         /// Supervisor tuning.
         sup: SuperviseOpts,
     },
+    /// `serve` — long-lived TCP daemon speaking newline-delimited JSON
+    /// requests, with a Prometheus `/metrics` endpoint.
+    Serve {
+        /// Daemon tuning.
+        opts: ServeOpts,
+    },
+}
+
+/// `serve` daemon tuning knobs (mirrors `powerchop_serve::ServerConfig`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOpts {
+    /// Address to listen on (`host:port`; port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Simulation worker threads (`None` resolves through
+    /// `POWERCHOP_JOBS` and then the machine's available parallelism).
+    pub jobs: Option<usize>,
+    /// Waiting jobs admitted before `submit` sheds load with a busy
+    /// reply.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables the cache).
+    pub cache_entries: usize,
+    /// Per-request wall-clock deadline in milliseconds (0 disables the
+    /// watchdog).
+    pub deadline_ms: u64,
+    /// Largest accepted request line in bytes.
+    pub max_request_bytes: usize,
+    /// Largest accepted per-run instruction budget.
+    pub max_budget: u64,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            addr: "127.0.0.1:7077".into(),
+            jobs: None,
+            queue_depth: 16,
+            cache_entries: 64,
+            deadline_ms: 120_000,
+            max_request_bytes: 1 << 20,
+            max_budget: 1_000_000_000,
+        }
+    }
 }
 
 /// Supervisor tuning knobs.
@@ -270,6 +312,9 @@ COMMANDS:
     supervise [bench...]   crash-safe supervised sweep (all benchmarks when no
                            operand): deadlines, retries, panic isolation, and a
                            journal that survives kill -9
+    serve                  long-lived TCP daemon: newline-delimited JSON requests
+                           (run/sweep/status/metrics/shutdown), result cache,
+                           bounded queue, and an HTTP GET /metrics endpoint
     help                   show this message
 
 OPTIONS (run/compare/timeline/asm/stress/checkpoint/supervise):
@@ -297,6 +342,16 @@ OPTIONS (supervise):
     --max-attempts <N>     attempts per benchmark         [default: 3]
     --backoff-ms <N>       base retry backoff (doubles)   [default: 100]
     --checkpoint-every <N> instructions between snapshots [default: 2000000]
+
+OPTIONS (serve):
+    --addr <host:port>     listen address (port 0 = ephemeral) [default: 127.0.0.1:7077]
+    --jobs <N>             simulation worker threads      [default: $POWERCHOP_JOBS,
+                           then the number of CPUs]
+    --queue-depth <N>      waiting jobs before busy replies    [default: 16]
+    --cache-entries <N>    LRU result-cache size (0 disables)  [default: 64]
+    --deadline-ms <N>      per-request deadline (0 disables)   [default: 120000]
+    --max-request-bytes <N> largest accepted request line      [default: 1048576]
+    --max-budget <N>       largest accepted instruction budget [default: 1000000000]
 ";
 
 /// Parses the shared run flags, handing unrecognized flags to `extra`
@@ -315,35 +370,24 @@ fn parse_flags(
         };
         match flag.as_str() {
             "--manager" => opts.manager = ManagerArg::parse(&value()?)?,
-            "--budget" => {
-                opts.budget = value()?
-                    .parse()
-                    .map_err(|_| CliError("--budget must be an integer".into()))?;
-            }
-            "--scale" => {
-                opts.scale = value()?
-                    .parse()
-                    .map_err(|_| CliError("--scale must be a number".into()))?;
-            }
+            "--budget" => opts.budget = parse_positive(flag, &value()?)?,
+            "--scale" => opts.scale = parse_scale(flag, &value()?)?,
             "--json" => opts.json = true,
-            "--seed" => {
-                opts.seed = Some(
-                    value()?
-                        .parse()
-                        .map_err(|_| CliError("--seed must be an integer".into()))?,
-                );
-            }
+            "--seed" => opts.seed = Some(parse_int(flag, &value()?)?),
             "--storm" => opts.storm = true,
             "--trace" => opts.trace = Some(value()?),
             "--metrics" => opts.metrics = Some(value()?),
             "--jobs" => {
-                let n: usize = value()?
-                    .parse()
-                    .map_err(|_| CliError("--jobs must be an integer".into()))?;
-                if n == 0 {
-                    return Err(CliError("--jobs must be at least 1".into()));
-                }
-                opts.jobs = Some(n);
+                let n: usize = parse_int(flag, &value()?)?;
+                opts.jobs = Some(if n == 0 {
+                    // An empty pool can run nothing; clamp rather than
+                    // error so scripted `--jobs $(nproc --ignore=...)`
+                    // invocations degrade gracefully.
+                    eprintln!("warning: --jobs 0 would make an empty pool; clamping to 1 worker");
+                    1
+                } else {
+                    n
+                });
             }
             other => {
                 if !extra(other, &mut value)? {
@@ -359,9 +403,82 @@ fn parse_opts(rest: &[String]) -> Result<RunOpts, CliError> {
     parse_flags(rest, |_, _| Ok(false))
 }
 
-fn parse_int<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, CliError> {
-    raw.parse()
-        .map_err(|_| CliError(format!("{flag} must be an integer")))
+/// An integer type a numeric flag can carry, with a printable range for
+/// error messages.
+trait NumFlag: std::str::FromStr + Copy {
+    /// The type's full value range, spelled for humans.
+    const RANGE: &'static str;
+    /// Whether the parsed value is zero (for the `>= 1` checks).
+    fn is_zero(self) -> bool;
+}
+
+impl NumFlag for u32 {
+    const RANGE: &'static str = "0..=4294967295";
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+}
+
+impl NumFlag for u64 {
+    const RANGE: &'static str = "0..=18446744073709551615";
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+}
+
+impl NumFlag for usize {
+    const RANGE: &'static str = "0..=18446744073709551615";
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+}
+
+/// Parses a numeric flag value. The error names the flag, quotes the
+/// offending raw value, carries the parser's own diagnosis (empty,
+/// non-digit, overflow, ...) and states the expected range — everything
+/// needed to fix the invocation without reading the source.
+fn parse_int<T: NumFlag>(flag: &str, raw: &str) -> Result<T, CliError>
+where
+    <T as std::str::FromStr>::Err: std::fmt::Display,
+{
+    raw.parse().map_err(|e| {
+        CliError(format!(
+            "{flag}: invalid value {raw:?}: {e} (expected an integer in {})",
+            T::RANGE
+        ))
+    })
+}
+
+/// Like [`parse_int`], additionally rejecting zero (for counts and
+/// budgets where an empty quantity is meaningless).
+fn parse_positive<T: NumFlag>(flag: &str, raw: &str) -> Result<T, CliError>
+where
+    <T as std::str::FromStr>::Err: std::fmt::Display,
+{
+    let n: T = parse_int(flag, raw)?;
+    if n.is_zero() {
+        return Err(CliError(format!(
+            "{flag}: invalid value {raw:?}: must be at least 1"
+        )));
+    }
+    Ok(n)
+}
+
+/// Parses a scale-factor flag: any finite number greater than zero.
+/// `f64::from_str` happily accepts `NaN` and `inf`, which would poison
+/// every downstream size computation, so they are rejected here.
+fn parse_scale(flag: &str, raw: &str) -> Result<f64, CliError> {
+    let v: f64 = raw.parse().map_err(|e| {
+        CliError(format!(
+            "{flag}: invalid value {raw:?}: {e} (expected a number)"
+        ))
+    })?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(CliError(format!(
+            "{flag}: invalid value {raw:?}: must be a finite number greater than 0"
+        )));
+    }
+    Ok(v)
 }
 
 /// Parses `argv` (without the program name) into a [`Command`].
@@ -484,7 +601,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     Ok(true)
                 }
                 "--max-attempts" => {
-                    sup.max_attempts = parse_int(flag, &value()?)?;
+                    sup.max_attempts = parse_positive(flag, &value()?)?;
                     Ok(true)
                 }
                 "--backoff-ms" => {
@@ -492,12 +609,46 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     Ok(true)
                 }
                 "--checkpoint-every" => {
-                    sup.checkpoint_every = parse_int(flag, &value()?)?;
+                    sup.checkpoint_every = parse_positive(flag, &value()?)?;
                     Ok(true)
                 }
                 _ => Ok(false),
             })?;
             Ok(Command::Supervise { benches, opts, sup })
+        }
+        "serve" => {
+            let mut opts = ServeOpts::default();
+            let mut it = argv[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{flag} requires a value")))
+                };
+                match flag.as_str() {
+                    "--addr" => opts.addr = value()?,
+                    "--jobs" => {
+                        let n: usize = parse_int(flag, &value()?)?;
+                        opts.jobs = Some(if n == 0 {
+                            eprintln!(
+                                "warning: --jobs 0 would make an empty pool; clamping to 1 worker"
+                            );
+                            1
+                        } else {
+                            n
+                        });
+                    }
+                    "--queue-depth" => opts.queue_depth = parse_positive(flag, &value()?)?,
+                    "--cache-entries" => opts.cache_entries = parse_int(flag, &value()?)?,
+                    "--deadline-ms" => opts.deadline_ms = parse_int(flag, &value()?)?,
+                    "--max-request-bytes" => {
+                        opts.max_request_bytes = parse_positive(flag, &value()?)?;
+                    }
+                    "--max-budget" => opts.max_budget = parse_positive(flag, &value()?)?,
+                    other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Serve { opts })
         }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -706,8 +857,80 @@ mod tests {
             Command::Run { opts, .. } => assert_eq!(opts.jobs, None),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(parse(&argv("run --all --jobs 0")).is_err());
+        // `--jobs 0` clamps to one worker (with a warning) instead of
+        // erroring out or building an empty pool.
+        match parse(&argv("run --all --jobs 0")).unwrap() {
+            Command::RunAll { opts } => assert_eq!(opts.jobs, Some(1)),
+            other => panic!("unexpected {other:?}"),
+        }
         assert!(parse(&argv("run --all --jobs nope")).is_err());
+    }
+
+    #[test]
+    fn numeric_flag_errors_name_flag_value_and_range() {
+        let err = parse(&argv("run gobmk --budget 12x")).unwrap_err().0;
+        assert!(err.contains("--budget"), "{err}");
+        assert!(err.contains("\"12x\""), "{err}");
+        assert!(err.contains("0..=18446744073709551615"), "{err}");
+        let err = parse(&argv("supervise --max-attempts -1")).unwrap_err().0;
+        assert!(err.contains("--max-attempts"), "{err}");
+        assert!(err.contains("\"-1\""), "{err}");
+        assert!(err.contains("0..=4294967295"), "{err}");
+    }
+
+    #[test]
+    fn numeric_flags_reject_out_of_range_values() {
+        // Zero budgets/counts are meaningless and refused up front.
+        assert!(parse(&argv("run gobmk --budget 0")).is_err());
+        assert!(parse(&argv("supervise --max-attempts 0")).is_err());
+        assert!(parse(&argv("supervise --checkpoint-every 0")).is_err());
+        // A scale must be a finite number greater than zero; the float
+        // parser itself would happily accept NaN/inf.
+        for bad in ["0", "-1", "nan", "NaN", "inf", "-inf", "1e999"] {
+            let err = parse(&[
+                "run".into(),
+                "gobmk".into(),
+                "--scale".into(),
+                (*bad).into(),
+            ])
+            .unwrap_err()
+            .0;
+            assert!(err.contains("--scale"), "{bad}: {err}");
+        }
+        // Zero remains meaningful where it has defined semantics.
+        assert!(parse(&argv("supervise --deadline-ms 0")).is_ok());
+        assert!(parse(&argv("checkpoint hmmer --at 0")).is_ok());
+    }
+
+    #[test]
+    fn serve_command_parses_with_defaults_and_overrides() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                opts: ServeOpts::default()
+            }
+        );
+        match parse(&argv(
+            "serve --addr 127.0.0.1:0 --jobs 2 --queue-depth 3 --cache-entries 5 \
+             --deadline-ms 9000 --max-request-bytes 4096 --max-budget 500000",
+        ))
+        .unwrap()
+        {
+            Command::Serve { opts } => {
+                assert_eq!(opts.addr, "127.0.0.1:0");
+                assert_eq!(opts.jobs, Some(2));
+                assert_eq!(opts.queue_depth, 3);
+                assert_eq!(opts.cache_entries, 5);
+                assert_eq!(opts.deadline_ms, 9000);
+                assert_eq!(opts.max_request_bytes, 4096);
+                assert_eq!(opts.max_budget, 500_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("serve --queue-depth 0")).is_err());
+        assert!(parse(&argv("serve --bogus")).is_err());
+        // Cache 0 (disabled) and deadline 0 (no watchdog) stay legal.
+        assert!(parse(&argv("serve --cache-entries 0 --deadline-ms 0")).is_ok());
     }
 
     #[test]

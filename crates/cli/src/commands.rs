@@ -52,7 +52,29 @@ pub fn dispatch(command: Command) -> Result<(), CliError> {
         Command::Supervise { benches, opts, sup } => {
             crate::supervise::supervise(&benches, opts, &sup)
         }
+        Command::Serve { opts } => serve_cmd(&opts),
     }
+}
+
+/// The `serve` command: bind the daemon, announce the resolved address
+/// on stdout (port 0 picks a free port, so callers need the real one),
+/// and block until an in-protocol shutdown drains it.
+fn serve_cmd(opts: &crate::args::ServeOpts) -> Result<(), CliError> {
+    let cfg = powerchop_serve::ServerConfig {
+        addr: opts.addr.clone(),
+        jobs: opts.jobs,
+        queue_depth: opts.queue_depth,
+        cache_entries: opts.cache_entries,
+        deadline_ms: opts.deadline_ms,
+        max_request_bytes: opts.max_request_bytes,
+        max_budget: opts.max_budget,
+    };
+    let server = powerchop_serve::Server::bind(&cfg)?;
+    println!("powerchop-serve listening on {}", server.local_addr());
+    std::io::Write::flush(&mut std::io::stdout())?;
+    server.run()?;
+    println!("powerchop-serve drained; exiting");
+    Ok(())
 }
 
 fn suite_by_name(name: &str) -> Result<Suite, CliError> {
@@ -243,43 +265,10 @@ fn trace_cmd(bench: &str, opts: &RunOpts) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Serializes a run report to a flat JSON object via the shared
-/// escaping-safe writer (hand-rolled machinery in `powerchop-telemetry`,
-/// so the core crates stay dependency-free).
-#[must_use]
-pub fn report_to_json(r: &RunReport) -> String {
-    let mut w = JsonWriter::object();
-    w.field_str("program", &r.name);
-    w.field_str("manager", r.manager);
-    w.field_str("core", &r.core_kind.to_string());
-    w.field_u64("instructions", r.instructions);
-    w.field_u64("cycles", r.cycles);
-    w.field_f64("ipc", r.ipc(), 6);
-    w.field_f64("avg_power_w", r.energy.avg_power_w, 6);
-    w.field_f64("leakage_power_w", r.energy.leakage_power_w, 6);
-    w.field_f64("dynamic_power_w", r.energy.dynamic_power_w, 6);
-    w.field_f64("total_energy_j", r.energy.total_j, 9);
-    w.field_f64("vpu_off_frac", r.gated.vpu_off_frac(), 6);
-    w.field_f64("bpu_off_frac", r.gated.bpu_off_frac(), 6);
-    w.field_f64("mlc_gated_frac", r.gated.mlc_gated_frac(), 6);
-    w.field_u64("switches_vpu", r.switches.vpu);
-    w.field_u64("switches_bpu", r.switches.bpu);
-    w.field_u64("switches_mlc", r.switches.mlc);
-    w.field_u64("branches", r.stats.branches);
-    w.field_u64("mispredicts", r.stats.mispredicts);
-    w.field_u64("mlc_accesses", r.stats.mlc_accesses);
-    w.field_u64("mlc_hits", r.stats.mlc_hits);
-    w.field_u64("vec_ops", r.stats.vec_ops);
-    w.field_u64("vec_emulated", r.stats.vec_emulated);
-    if let Some(pvt) = r.pvt {
-        w.field_u64("pvt_lookups", pvt.lookups);
-        w.field_u64("pvt_misses", pvt.misses());
-    }
-    if let Some(cde) = r.cde {
-        w.field_u64("phases_decided", cde.decided);
-    }
-    w.finish()
-}
+// The report serializer lives in `powerchop-serve` now (the daemon's
+// bit-identical-reply contract depends on it); re-exported here so
+// existing `cli::commands::report_to_json` callers keep working.
+pub use powerchop_serve::report_to_json;
 
 /// `run --all`: every benchmark, fanned out on the work-stealing pool.
 /// Jobs only compute; all printing happens after the pool drains, folding
@@ -442,21 +431,13 @@ fn run_asm(path: &str, opts: &RunOpts) -> Result<(), CliError> {
     Ok(())
 }
 
-/// The `stress` fault-schedule seed when `--seed` is not given.
-pub const DEFAULT_STRESS_SEED: u64 = 0xCAFE_BABE;
+/// The `stress` fault-schedule seed when `--seed` is not given (the
+/// daemon shares it, so `stress` and a seedless storm request agree).
+pub const DEFAULT_STRESS_SEED: u64 = powerchop_serve::DEFAULT_FAULT_SEED;
 
-/// The fault schedule implied by `--seed`/`--storm` (`None` runs clean).
-fn fault_config(seed: Option<u64>, storm: bool) -> Option<FaultConfig> {
-    if seed.is_none() && !storm {
-        return None;
-    }
-    let seed = seed.unwrap_or(DEFAULT_STRESS_SEED);
-    Some(if storm {
-        FaultConfig::storm(seed)
-    } else {
-        FaultConfig::default_rates(seed)
-    })
-}
+// The fault schedule implied by `--seed`/`--storm` (`None` runs clean)
+// is shared with the daemon so both derive identical schedules.
+use powerchop_serve::fault_config;
 
 /// Everything a checkpointable run needs, bundled so `checkpoint`,
 /// `resume` and `supervise` reconstruct runs identically.

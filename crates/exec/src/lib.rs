@@ -27,6 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::{JobHandle, SubmitError, WorkerPool};
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -47,7 +51,7 @@ impl std::fmt::Display for JobPanic {
 
 impl std::error::Error for JobPanic {}
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -62,18 +66,38 @@ pub const JOBS_ENV: &str = "POWERCHOP_JOBS";
 
 /// Resolves the worker count: an explicit request (e.g. `--jobs N`) wins,
 /// then the `POWERCHOP_JOBS` environment variable, then
-/// `std::thread::available_parallelism()`. The result is always >= 1; a
-/// malformed environment value is reported on stderr once per call and
-/// ignored, mirroring how `POWERCHOP_BUDGET` is handled.
+/// `std::thread::available_parallelism()`. The result is always >= 1.
 #[must_use]
 pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    resolve_jobs_from(explicit, std::env::var(JOBS_ENV).ok().as_deref())
+}
+
+/// The environment-independent core of [`resolve_jobs`]: `env` is the
+/// raw `POWERCHOP_JOBS` value, when the variable is set.
+///
+/// A zero worker count — whether explicit or from the environment —
+/// would mean an empty pool, so it clamps to one worker with a warning
+/// instead of being an error (or, worse, silently falling back to the
+/// CPU count the caller asked to override). A value that does not parse
+/// at all is reported on stderr and ignored, mirroring how
+/// `POWERCHOP_BUDGET` is handled.
+#[must_use]
+pub fn resolve_jobs_from(explicit: Option<usize>, env: Option<&str>) -> usize {
     if let Some(n) = explicit {
-        return n.max(1);
+        if n == 0 {
+            eprintln!("warning: a zero worker count would make an empty pool; clamping to 1");
+            return 1;
+        }
+        return n;
     }
-    if let Ok(raw) = std::env::var(JOBS_ENV) {
+    if let Some(raw) = env {
         match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => return n,
-            _ => {
+            Ok(0) => {
+                eprintln!("warning: {JOBS_ENV}=0 would make an empty pool; clamping to 1 worker");
+                return 1;
+            }
+            Ok(n) => return n,
+            Err(_) => {
                 eprintln!("warning: ignoring invalid {JOBS_ENV}={raw:?} (want a positive integer)")
             }
         }
@@ -235,9 +259,33 @@ mod tests {
     fn resolve_jobs_prefers_explicit_then_env() {
         assert_eq!(resolve_jobs(Some(6)), 6);
         assert_eq!(resolve_jobs(Some(0)), 1, "explicit zero clamps to one");
-        // Env handling is covered via the parser rather than by mutating
-        // process-global env (tests run concurrently).
+        // Env handling is covered through `resolve_jobs_from` rather than
+        // by mutating process-global env (tests run concurrently).
         assert!(resolve_jobs(None) >= 1);
+        assert_eq!(resolve_jobs_from(None, Some("3")), 3);
+        assert_eq!(resolve_jobs_from(Some(2), Some("7")), 2, "explicit wins");
+    }
+
+    #[test]
+    fn env_zero_and_garbage_clamp_or_fall_back() {
+        assert_eq!(
+            resolve_jobs_from(None, Some("0")),
+            1,
+            "POWERCHOP_JOBS=0 must clamp to one worker, not fall back to the CPU count"
+        );
+        assert_eq!(resolve_jobs_from(None, Some(" 0 ")), 1);
+        assert_eq!(
+            resolve_jobs_from(Some(0), Some("8")),
+            1,
+            "explicit zero still clamps"
+        );
+        for garbage in ["abc", "-3", "1.5", ""] {
+            let n = resolve_jobs_from(None, Some(garbage));
+            assert!(
+                n >= 1,
+                "garbage {garbage:?} must fall back to a usable count"
+            );
+        }
     }
 
     #[test]

@@ -81,6 +81,6 @@ pub use phase::PhaseSignature;
 pub use policy::GatingPolicy;
 pub use pvt::PolicyVectorTable;
 pub use system::{
-    config_fingerprint, read_meta, run_program, run_program_traced, ManagerKind, RunConfig,
-    RunReport, Simulation, SnapshotMeta,
+    config_fingerprint, manager_kind_by_name, read_meta, run_program, run_program_traced,
+    ManagerKind, RunConfig, RunReport, Simulation, SnapshotMeta,
 };

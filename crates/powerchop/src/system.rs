@@ -47,6 +47,25 @@ pub enum ManagerKind {
     },
 }
 
+/// Parses a manager name in its external spelling (the CLI's and the
+/// serve protocol's, aliases included) into the kind with its
+/// paper-default parameters. Returns `None` for unknown names.
+#[must_use]
+pub fn manager_kind_by_name(name: &str) -> Option<ManagerKind> {
+    Some(match name {
+        "powerchop" | "chop" => ManagerKind::PowerChop,
+        "full" | "full-power" => ManagerKind::FullPower,
+        "minimal" | "min" => ManagerKind::MinimalPower,
+        "timeout" => ManagerKind::TimeoutVpu {
+            timeout_cycles: crate::managers::TimeoutVpuManager::PAPER_TIMEOUT_CYCLES,
+        },
+        "drowsy" => ManagerKind::DrowsyMlc {
+            period_cycles: crate::managers::DrowsyMlcManager::DEFAULT_PERIOD_CYCLES,
+        },
+        _ => return None,
+    })
+}
+
 /// Everything needed to run one experiment.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -96,6 +115,33 @@ impl RunConfig {
             return Err(SimError::InvalidConfig {
                 field: "max_instructions",
                 reason: "must be greater than zero",
+            });
+        }
+        // The PVT, HTB and phase-signature machinery index modulo their
+        // configured sizes; a zero-sized table must be rejected here
+        // with a typed error, not deep inside a `%` expression.
+        if self.chop.pvt_entries == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "chop.pvt_entries",
+                reason: "the PVT must hold at least one policy entry",
+            });
+        }
+        if self.chop.htb_entries == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "chop.htb_entries",
+                reason: "the HTB must hold at least one history entry",
+            });
+        }
+        if self.chop.signature_len == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "chop.signature_len",
+                reason: "phase signatures need at least one window",
+            });
+        }
+        if self.chop.window_translations == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "chop.window_translations",
+                reason: "execution windows must span at least one translation",
             });
         }
         if let Some(f) = &self.faults {
@@ -1000,6 +1046,30 @@ mod tests {
         });
         let err = run_program(&p, ManagerKind::PowerChop, &c).expect_err("NaN fraction");
         assert!(matches!(err, crate::SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn zero_sized_chop_tables_are_rejected_with_typed_errors() {
+        let p = idle_units_program(1_000);
+        let expect_field = |mutate: &dyn Fn(&mut RunConfig), field: &'static str| {
+            let mut c = cfg();
+            mutate(&mut c);
+            let err = run_program(&p, ManagerKind::PowerChop, &c)
+                .expect_err("zero-sized table must be rejected");
+            match err {
+                crate::SimError::InvalidConfig { field: got, .. } => {
+                    assert_eq!(got, field);
+                }
+                other => panic!("expected InvalidConfig for {field}, got {other}"),
+            }
+        };
+        expect_field(&|c| c.chop.pvt_entries = 0, "chop.pvt_entries");
+        expect_field(&|c| c.chop.htb_entries = 0, "chop.htb_entries");
+        expect_field(&|c| c.chop.signature_len = 0, "chop.signature_len");
+        expect_field(
+            &|c| c.chop.window_translations = 0,
+            "chop.window_translations",
+        );
     }
 
     #[test]

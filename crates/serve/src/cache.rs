@@ -1,0 +1,116 @@
+//! The LRU result cache.
+//!
+//! Replies are cached by the 128-bit run key from
+//! [`powerchop_checkpoint::run_key`]: program fingerprint in the high
+//! half, manager + configuration fingerprint in the low half. Two
+//! requests collide only when they would produce bit-identical reports
+//! (same program bytes, same manager, same budget/scale/fault schedule),
+//! so a hit can be replayed verbatim.
+//!
+//! The store is a `VecDeque` in recency order (front = coldest). At the
+//! daemon's default capacity of 64 entries a linear scan is faster than
+//! any hashed structure's constant factors, and it keeps this crate
+//! allocation-predictable.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity least-recently-used map from run key to reply.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: VecDeque<(u128, String)>,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` replies. A capacity of
+    /// zero disables caching entirely: every `get` misses, every `put`
+    /// is a no-op.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u128) -> Option<String> {
+        let index = self.entries.iter().position(|(k, _)| *k == key)?;
+        // Move to the back (most recent) so hot entries survive eviction.
+        let entry = self.entries.remove(index)?;
+        let value = entry.1.clone();
+        self.entries.push_back(entry);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the coldest entry when at
+    /// capacity.
+    pub fn put(&mut self, key: u128, value: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(index) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(index);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((key, value));
+    }
+
+    /// Number of cached replies.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.put(1, "one".into());
+        c.put(2, "two".into());
+        // Touch 1 so 2 becomes the coldest entry.
+        assert_eq!(c.get(1).as_deref(), Some("one"));
+        c.put(3, "three".into());
+        assert_eq!(c.get(2), None, "coldest entry evicted");
+        assert_eq!(c.get(1).as_deref(), Some("one"));
+        assert_eq!(c.get(3).as_deref(), Some("three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_existing_keys_without_growth() {
+        let mut c = ResultCache::new(2);
+        c.put(1, "old".into());
+        c.put(2, "two".into());
+        c.put(1, "new".into());
+        assert_eq!(c.len(), 2);
+        c.put(3, "three".into());
+        assert_eq!(c.get(2), None, "refreshed key outlived the other");
+        assert_eq!(c.get(1).as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.put(1, "one".into());
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! `powerchop-serve`: a dependency-free TCP daemon for PowerChop runs.
+//!
+//! The daemon speaks newline-delimited JSON on a plain TCP socket —
+//! `nc` is a complete client — and serves five ops: `run`, `sweep`,
+//! `status`, `metrics` and `shutdown`. Simulations dispatch onto the
+//! bounded [`powerchop_exec::WorkerPool`]; a full queue sheds requests
+//! with an explicit 429-style reply instead of queueing unboundedly.
+//! Completed reports land in an LRU cache keyed by the checkpoint
+//! crate's program + configuration fingerprints, so repeated requests
+//! are answered from memory, bit-identically. Every run is watched by a
+//! wall-clock deadline mirroring the CLI `supervise` machinery, and a
+//! plain HTTP `GET /metrics` on the same port serves the Prometheus
+//! text exposition for `curl` and scrapers.
+//!
+//! Module map:
+//! - [`json`] — strict RFC 8259 request parsing (reader side).
+//! - [`protocol`] — request validation and reply rendering.
+//! - [`cache`] — the LRU result cache.
+//! - [`server`] — listener, connection threads, dispatch, drain.
+//! - `report` — the shared run-report serializer the CLI re-exports.
+//!
+//! See `DESIGN.md` §9 for the protocol and backpressure policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+mod report;
+pub mod server;
+
+pub use protocol::{
+    error_reply, fault_config, parse_request, ReqError, Request, RunSpec, DEFAULT_FAULT_SEED,
+};
+pub use report::report_to_json;
+pub use server::{Server, ServerConfig};

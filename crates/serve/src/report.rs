@@ -1,0 +1,47 @@
+//! Run-report serialization shared by the daemon and the CLI.
+//!
+//! This lives here (rather than in `powerchop-cli`) so the daemon can
+//! reply with the exact same bytes `powerchop-cli run --json` prints —
+//! bit-identical reports are the serve protocol's correctness contract,
+//! and the CLI re-exports this function instead of duplicating it.
+
+use powerchop::RunReport;
+use powerchop_telemetry::export::JsonWriter;
+
+/// Serializes a run report to a flat JSON object via the shared
+/// escaping-safe writer (hand-rolled machinery in `powerchop-telemetry`,
+/// so the core crates stay dependency-free).
+#[must_use]
+pub fn report_to_json(r: &RunReport) -> String {
+    let mut w = JsonWriter::object();
+    w.field_str("program", &r.name);
+    w.field_str("manager", r.manager);
+    w.field_str("core", &r.core_kind.to_string());
+    w.field_u64("instructions", r.instructions);
+    w.field_u64("cycles", r.cycles);
+    w.field_f64("ipc", r.ipc(), 6);
+    w.field_f64("avg_power_w", r.energy.avg_power_w, 6);
+    w.field_f64("leakage_power_w", r.energy.leakage_power_w, 6);
+    w.field_f64("dynamic_power_w", r.energy.dynamic_power_w, 6);
+    w.field_f64("total_energy_j", r.energy.total_j, 9);
+    w.field_f64("vpu_off_frac", r.gated.vpu_off_frac(), 6);
+    w.field_f64("bpu_off_frac", r.gated.bpu_off_frac(), 6);
+    w.field_f64("mlc_gated_frac", r.gated.mlc_gated_frac(), 6);
+    w.field_u64("switches_vpu", r.switches.vpu);
+    w.field_u64("switches_bpu", r.switches.bpu);
+    w.field_u64("switches_mlc", r.switches.mlc);
+    w.field_u64("branches", r.stats.branches);
+    w.field_u64("mispredicts", r.stats.mispredicts);
+    w.field_u64("mlc_accesses", r.stats.mlc_accesses);
+    w.field_u64("mlc_hits", r.stats.mlc_hits);
+    w.field_u64("vec_ops", r.stats.vec_ops);
+    w.field_u64("vec_emulated", r.stats.vec_emulated);
+    if let Some(pvt) = r.pvt {
+        w.field_u64("pvt_lookups", pvt.lookups);
+        w.field_u64("pvt_misses", pvt.misses());
+    }
+    if let Some(cde) = r.cde {
+        w.field_u64("phases_decided", cde.decided);
+    }
+    w.finish()
+}

@@ -1,0 +1,605 @@
+//! The TCP daemon: accept loop, connection handling, job dispatch.
+//!
+//! Each connection gets its own thread speaking the newline-delimited
+//! JSON protocol from [`crate::protocol`]. Simulations are dispatched
+//! onto a bounded [`WorkerPool`]; when the queue is full the request is
+//! shed immediately with a 429 reply instead of queueing unboundedly —
+//! explicit backpressure the client can see and retry against.
+//!
+//! Every run gets a wall-clock deadline watchdog mirroring the
+//! `supervise` machinery: a watchdog thread trips a cancel flag once the
+//! deadline passes and the run checks it between step chunks, so a
+//! runaway request yields a 408 reply instead of pinning a worker
+//! forever (the deadline covers compute time, not queue wait, exactly
+//! like a supervise slot).
+//!
+//! Completed reports are cached in an LRU keyed by
+//! [`powerchop_checkpoint::run_key`] over the program and configuration
+//! fingerprints, so a repeated request is served from memory —
+//! bit-identical, visible in the `serve_cache_hits_total` counter.
+//!
+//! A plain HTTP `GET /metrics` on the same port returns the Prometheus
+//! text exposition, so `curl` and a Prometheus scraper both work without
+//! speaking the JSON protocol.
+//!
+//! Shutdown is in-protocol (`{"op":"shutdown"}`) because the workspace
+//! is dependency-free and cannot install a SIGTERM handler: the daemon
+//! stops accepting connections, replies 503 to new work, waits for
+//! connected clients to finish, and drains the pool before exiting.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use powerchop::{config_fingerprint, ManagerKind, RunConfig, RunReport, Simulation};
+use powerchop_checkpoint::run_key;
+use powerchop_exec::{JobHandle, SubmitError, WorkerPool};
+use powerchop_gisa::Program;
+use powerchop_telemetry::export::JsonWriter;
+use powerchop_telemetry::MetricsRegistry;
+use powerchop_workloads::Scale;
+
+use crate::cache::ResultCache;
+use crate::protocol::{
+    error_reply, fault_config, parse_request, run_reply, sweep_reply, Limits, ReqError, Request,
+    RunSpec, SweepOutcome,
+};
+use crate::report::report_to_json;
+
+/// Dispatch-loop iterations per [`Simulation::step_chunk`] call — the
+/// same chunking the CLI's checkpoint/supervise paths use, so deadline
+/// checks land at identical boundaries.
+const STEP_CHUNK: u64 = 65_536;
+
+/// Everything that shapes a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker thread count (`None` = `POWERCHOP_JOBS` or CPU count).
+    pub jobs: Option<usize>,
+    /// Jobs that may wait in the queue before requests are shed with 429.
+    pub queue_depth: usize,
+    /// LRU result-cache capacity (0 disables caching).
+    pub cache_entries: usize,
+    /// Per-run wall-clock deadline cap in milliseconds.
+    pub deadline_ms: u64,
+    /// Largest accepted request line in bytes.
+    pub max_request_bytes: usize,
+    /// Largest accepted instruction budget per run.
+    pub max_budget: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7077".into(),
+            jobs: None,
+            queue_depth: 16,
+            cache_entries: 64,
+            deadline_ms: 120_000,
+            max_request_bytes: 1 << 20,
+            max_budget: 1_000_000_000,
+        }
+    }
+}
+
+/// Locks a mutex, riding through poisoning: a panicked holder cannot
+/// corrupt the cache or metrics invariants we rely on.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State shared by the accept loop and every connection thread.
+struct State {
+    pool: WorkerPool,
+    cache: Mutex<ResultCache>,
+    metrics: Mutex<MetricsRegistry>,
+    draining: AtomicBool,
+    limits: Limits,
+    max_request_bytes: usize,
+    addr: SocketAddr,
+}
+
+impl State {
+    fn count(&self, name: &'static str) {
+        lock(&self.metrics).counter_add(name, 1);
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot the live gauges and render the Prometheus text.
+    fn prometheus_text(&self) -> String {
+        let mut m = lock(&self.metrics);
+        m.gauge_set("serve_queue_depth", self.pool.queued() as f64);
+        m.gauge_set("serve_inflight", self.pool.inflight() as f64);
+        m.gauge_set("serve_cache_entries", lock(&self.cache).len() as f64);
+        m.gauge_set("serve_draining", if self.draining() { 1.0 } else { 0.0 });
+        m.to_prometheus_text()
+    }
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listener and spins up the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (`EADDRINUSE`, bad address, ...).
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let jobs = powerchop_exec::resolve_jobs(cfg.jobs);
+        let state = Arc::new(State {
+            pool: WorkerPool::new(jobs, cfg.queue_depth),
+            cache: Mutex::new(ResultCache::new(cfg.cache_entries)),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            draining: AtomicBool::new(false),
+            limits: Limits {
+                max_budget: cfg.max_budget,
+                deadline_ms: cfg.deadline_ms,
+            },
+            max_request_bytes: cfg.max_request_bytes,
+            addr,
+        });
+        Ok(Self { listener, state })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until a shutdown request drains the daemon.
+    ///
+    /// Blocks the calling thread. After a `{"op":"shutdown"}` request:
+    /// no new connections are accepted, open connections are joined
+    /// (clients still holding theirs get 503 for new work), and the
+    /// worker pool is drained before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures; per-connection errors only
+    /// terminate that connection.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut conns = Vec::new();
+        loop {
+            if self.state.draining() {
+                break;
+            }
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) => {
+                    if self.state.draining() {
+                        break;
+                    }
+                    return Err(e);
+                }
+            };
+            // The shutdown handler wakes this blocking accept with a
+            // throwaway self-connection; drop it and start draining.
+            if self.state.draining() {
+                break;
+            }
+            let state = Arc::clone(&self.state);
+            conns.push(std::thread::spawn(move || handle_conn(&state, stream)));
+        }
+        for conn in conns {
+            let _ = conn.join();
+        }
+        self.state.pool.drain();
+        Ok(())
+    }
+}
+
+fn handle_conn(state: &Arc<State>, stream: TcpStream) {
+    state.count("serve_connections_total");
+    if let Err(e) = serve_conn(state, stream) {
+        // A broken pipe or reset only loses that client's connection;
+        // the daemon itself never goes down with it.
+        eprintln!("powerchop-serve: connection error: {e}");
+    }
+}
+
+fn serve_conn(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let limit = state.max_request_bytes as u64;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // `take` bounds the read so a newline-less flood cannot grow the
+        // buffer past the limit; one extra byte distinguishes "exactly
+        // at the limit" from "over it".
+        let n = (&mut reader).take(limit + 1).read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(()); // client closed
+        }
+        state.count("serve_requests_total");
+        if buf.last() != Some(&b'\n') && n as u64 > limit {
+            state.count("serve_errors_total");
+            let e = ReqError::bad_request(format!(
+                "request line exceeds {} bytes",
+                state.max_request_bytes
+            ));
+            writeln!(writer, "{}", error_reply(&e))?;
+            // With no newline inside the limit there is no way to find
+            // the next request boundary; drop the connection.
+            return Ok(());
+        }
+        // An HTTP GET on the JSON port serves /metrics, so curl and
+        // Prometheus scrapers work without speaking the protocol.
+        if buf.starts_with(b"GET ") {
+            state.count("serve_http_requests_total");
+            return serve_http(state, &mut reader, &mut writer, &buf);
+        }
+        let Ok(text) = std::str::from_utf8(&buf) else {
+            state.count("serve_errors_total");
+            let e = ReqError::bad_request("request line is not valid UTF-8");
+            writeln!(writer, "{}", error_reply(&e))?;
+            continue; // the line boundary was still found; resync is safe
+        };
+        let line = text.trim();
+        if line.is_empty() {
+            state.count("serve_errors_total");
+            let e = ReqError::bad_request("empty request line");
+            writeln!(writer, "{}", error_reply(&e))?;
+            continue;
+        }
+        let reply = dispatch_line(state, line);
+        writeln!(writer, "{reply}")?;
+        writer.flush()?;
+    }
+}
+
+/// Routes one request line to its handler and renders the reply.
+fn dispatch_line(state: &Arc<State>, line: &str) -> String {
+    match parse_request(line, &state.limits) {
+        Err(e) => refuse(state, &e),
+        Ok(Request::Status) => status_reply(state),
+        Ok(Request::Metrics) => metrics_reply(state),
+        Ok(Request::Shutdown) => shutdown_reply(state),
+        Ok(Request::Run(spec)) => match execute_run(state, &spec) {
+            Ok((cached, report)) => run_reply(cached, &report),
+            Err(e) => refuse(state, &e),
+        },
+        Ok(Request::Sweep(specs)) => sweep(state, specs),
+    }
+}
+
+/// Counts a refusal under the right metric and renders the error reply.
+fn refuse(state: &Arc<State>, e: &ReqError) -> String {
+    state.count(match e.code {
+        429 => "serve_busy_total",
+        408 => "serve_deadline_expired_total",
+        _ => "serve_errors_total",
+    });
+    error_reply(e)
+}
+
+/// How one dispatched run can fail.
+enum RunFail {
+    /// The deadline watchdog tripped.
+    Deadline,
+    /// The simulator returned a typed error.
+    Sim(String),
+}
+
+/// Runs one simulation under a deadline watchdog, mirroring the CLI
+/// `supervise` machinery: the watchdog trips a cancel flag once the
+/// deadline passes and is released early through the channel when the
+/// run ends; the run polls the flag between step chunks. A zero
+/// deadline is already expired, so it trips here rather than racing the
+/// watchdog thread's first schedule.
+fn run_with_deadline(
+    program: &Program,
+    kind: ManagerKind,
+    cfg: &RunConfig,
+    deadline_ms: u64,
+) -> Result<RunReport, RunFail> {
+    let cancel = Arc::new(AtomicBool::new(deadline_ms == 0));
+    let watchdog_flag = Arc::clone(&cancel);
+    let (release, released) = mpsc::channel::<()>();
+    let deadline = Duration::from_millis(deadline_ms);
+    let watchdog = std::thread::spawn(move || {
+        if released.recv_timeout(deadline).is_err() {
+            watchdog_flag.store(true, Ordering::Relaxed);
+        }
+    });
+    let result = (|| {
+        let mut sim =
+            Simulation::new(program, kind, cfg).map_err(|e| RunFail::Sim(e.to_string()))?;
+        while !sim.is_done() {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(RunFail::Deadline);
+            }
+            sim.step_chunk(STEP_CHUNK)
+                .map_err(|e| RunFail::Sim(e.to_string()))?;
+        }
+        Ok(sim.into_report())
+    })();
+    let _ = release.send(());
+    let _ = watchdog.join();
+    result
+}
+
+/// The program + configuration a validated spec describes, and the
+/// cache key that identifies the pair.
+fn prepare(spec: &RunSpec) -> Result<(Program, RunConfig, u128), ReqError> {
+    // The spec was validated at parse time; a vanished benchmark here
+    // would be a roster bug, reported as 500 rather than a panic.
+    let b = powerchop_workloads::by_name(&spec.bench)
+        .ok_or_else(|| ReqError::internal(format!("benchmark {:?} vanished", spec.bench)))?;
+    let mut cfg = RunConfig::for_kind(b.core_kind());
+    cfg.max_instructions = spec.budget;
+    cfg.faults = fault_config(spec.seed, spec.storm);
+    let program = b.program(Scale(spec.scale));
+    let key = run_key(
+        program.fingerprint(),
+        config_fingerprint(spec.manager, &cfg),
+    );
+    Ok((program, cfg, key))
+}
+
+/// Waits out a dispatched run and folds the outcome into the cache and
+/// counters. The returned report string is exactly what the cache will
+/// replay for the next identical request.
+fn settle(
+    state: &Arc<State>,
+    key: u128,
+    deadline_ms: u64,
+    handle: JobHandle<Result<RunReport, RunFail>>,
+) -> Result<String, ReqError> {
+    match handle.wait() {
+        Err(panic) => {
+            state.count("serve_panics_total");
+            Err(ReqError::internal(format!(
+                "run panicked: {}",
+                panic.message
+            )))
+        }
+        Ok(Err(RunFail::Deadline)) => Err(ReqError::deadline(deadline_ms)),
+        Ok(Err(RunFail::Sim(message))) => Err(ReqError::internal(message)),
+        Ok(Ok(report)) => {
+            let json = report_to_json(&report);
+            lock(&state.cache).put(key, json.clone());
+            state.count("serve_runs_total");
+            Ok(json)
+        }
+    }
+}
+
+/// The `run` op: cache lookup, bounded submission, deadline-watched
+/// execution. Returns `(cached, report_json)`.
+fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), ReqError> {
+    if state.draining() {
+        return Err(ReqError::draining());
+    }
+    let (program, cfg, key) = prepare(spec)?;
+    if let Some(hit) = lock(&state.cache).get(key) {
+        state.count("serve_cache_hits_total");
+        return Ok((true, hit));
+    }
+    state.count("serve_cache_misses_total");
+    let kind = spec.manager;
+    let deadline_ms = spec.deadline_ms;
+    let handle = state
+        .pool
+        .submit(move || run_with_deadline(&program, kind, &cfg, deadline_ms))
+        .map_err(|e| match e {
+            SubmitError::Busy { queue_depth } => ReqError::busy(queue_depth),
+            SubmitError::Closed => ReqError::draining(),
+        })?;
+    settle(state, key, deadline_ms, handle).map(|json| (false, json))
+}
+
+/// The `sweep` op: submit every benchmark up front (filling workers and
+/// queue), then await them in roster order. The sweep's own submissions
+/// ride through Busy with a short retry nap — it is one logical request
+/// and must not shed itself — while concurrent `run` requests observe
+/// the full queue and get 429s: exactly the backpressure story.
+fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
+    if state.draining() {
+        return refuse(state, &ReqError::draining());
+    }
+    enum Pending {
+        Cached(String),
+        Dispatched(u128, u64, JobHandle<Result<RunReport, RunFail>>),
+        Refused(ReqError),
+    }
+    let mut pending = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let outcome = match prepare(spec) {
+            Err(e) => Pending::Refused(e),
+            Ok((program, cfg, key)) => {
+                if let Some(hit) = lock(&state.cache).get(key) {
+                    state.count("serve_cache_hits_total");
+                    Pending::Cached(hit)
+                } else {
+                    state.count("serve_cache_misses_total");
+                    let kind = spec.manager;
+                    let deadline_ms = spec.deadline_ms;
+                    let shared = Arc::new((program, cfg));
+                    loop {
+                        let ctx = Arc::clone(&shared);
+                        match state
+                            .pool
+                            .submit(move || run_with_deadline(&ctx.0, kind, &ctx.1, deadline_ms))
+                        {
+                            Ok(handle) => break Pending::Dispatched(key, deadline_ms, handle),
+                            Err(SubmitError::Busy { .. }) => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(SubmitError::Closed) => {
+                                break Pending::Refused(ReqError::draining())
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        pending.push(outcome);
+    }
+    let rows: Vec<(String, SweepOutcome)> = specs
+        .into_iter()
+        .zip(pending)
+        .map(|(spec, p)| {
+            let outcome = match p {
+                Pending::Cached(report) => SweepOutcome::Done {
+                    cached: true,
+                    report,
+                },
+                Pending::Refused(e) => {
+                    state.count("serve_errors_total");
+                    SweepOutcome::Failed(e)
+                }
+                Pending::Dispatched(key, deadline_ms, handle) => {
+                    match settle(state, key, deadline_ms, handle) {
+                        Ok(report) => SweepOutcome::Done {
+                            cached: false,
+                            report,
+                        },
+                        Err(e) => {
+                            state.count(match e.code {
+                                408 => "serve_deadline_expired_total",
+                                _ => "serve_errors_total",
+                            });
+                            SweepOutcome::Failed(e)
+                        }
+                    }
+                }
+            };
+            (spec.bench, outcome)
+        })
+        .collect();
+    sweep_reply(&rows)
+}
+
+fn status_reply(state: &Arc<State>) -> String {
+    let mut w = JsonWriter::object();
+    w.field_bool("ok", true);
+    w.field_str("op", "status");
+    w.field_bool("draining", state.draining());
+    w.field_u64("workers", state.pool.workers() as u64);
+    w.field_u64("queue_depth", state.pool.queue_depth() as u64);
+    w.field_u64("queued", state.pool.queued() as u64);
+    w.field_u64("inflight", state.pool.inflight() as u64);
+    w.field_u64("cache_entries", lock(&state.cache).len() as u64);
+    w.field_u64("cache_capacity", lock(&state.cache).capacity() as u64);
+    w.finish()
+}
+
+fn metrics_reply(state: &Arc<State>) -> String {
+    let mut w = JsonWriter::object();
+    w.field_bool("ok", true);
+    w.field_str("op", "metrics");
+    w.field_str("text", &state.prometheus_text());
+    w.finish()
+}
+
+fn shutdown_reply(state: &Arc<State>) -> String {
+    state.draining.store(true, Ordering::SeqCst);
+    // Wake the blocking accept loop so the drain actually proceeds; the
+    // throwaway connection is dropped by the accept loop's drain check.
+    let _ = TcpStream::connect(state.addr);
+    let mut w = JsonWriter::object();
+    w.field_bool("ok", true);
+    w.field_str("op", "shutdown");
+    w.field_bool("draining", true);
+    w.finish()
+}
+
+/// Answers one HTTP request (then closes, as `Connection: close`
+/// promises). Only `GET /metrics` exists; anything else is a 404.
+fn serve_http(
+    state: &Arc<State>,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_line: &[u8],
+) -> std::io::Result<()> {
+    // Drain the request headers (bounded) so the client's send buffer
+    // is consumed before we respond and close.
+    let mut header = Vec::new();
+    for _ in 0..64 {
+        header.clear();
+        let n = (&mut *reader)
+            .take(8 * 1024)
+            .read_until(b'\n', &mut header)?;
+        if n == 0 || header == b"\r\n" || header == b"\n" {
+            break;
+        }
+    }
+    let path = request_line
+        .split(|&c| c == b' ')
+        .nth(1)
+        .and_then(|p| std::str::from_utf8(p).ok())
+        .unwrap_or("");
+    let (status, content_type, body) = if path == "/metrics" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            state.prometheus_text(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "only GET /metrics is served here\n".to_owned(),
+        )
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ServerConfig::default();
+        assert_eq!(cfg.addr, "127.0.0.1:7077");
+        assert!(cfg.queue_depth >= 1);
+        assert!(cfg.cache_entries >= 1);
+        assert!(cfg.max_budget >= 1_000_000);
+    }
+
+    #[test]
+    fn bind_resolves_port_zero() {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            jobs: Some(1),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(&cfg).expect("bind succeeds");
+        assert_ne!(server.local_addr().port(), 0);
+    }
+
+    #[test]
+    fn deadline_zero_expires_immediately_and_runs_complete_otherwise() {
+        let b = powerchop_workloads::by_name("hmmer").expect("hmmer exists");
+        let mut cfg = RunConfig::for_kind(b.core_kind());
+        cfg.max_instructions = 50_000;
+        let program = b.program(Scale(0.05));
+        match run_with_deadline(&program, ManagerKind::PowerChop, &cfg, 0) {
+            Err(RunFail::Deadline) => {}
+            _ => panic!("zero deadline must trip before any work"),
+        }
+        let report = run_with_deadline(&program, ManagerKind::PowerChop, &cfg, 60_000);
+        assert!(matches!(report, Ok(r) if r.instructions > 0));
+    }
+}

@@ -267,6 +267,20 @@ impl JsonWriter {
         self.buf.push_str(raw);
     }
 
+    /// Appends a float element to an array with `precision` fractional
+    /// digits. Non-finite values render as `null`, exactly like
+    /// [`JsonWriter::field_f64`] — `NaN`/`inf` must never leak into a
+    /// document (RFC 8259 has no spelling for them).
+    pub fn push_f64_elem(&mut self, value: f64, precision: usize) {
+        use std::fmt::Write as _;
+        self.sep();
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:.precision$}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
     /// Appends a string element to an array, escaping it.
     pub fn push_str_elem(&mut self, value: &str) {
         self.sep();
@@ -335,6 +349,14 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
         Some(b'f') => parse_lit(b, pos, b"false"),
         Some(b'n') => parse_lit(b, pos, b"null"),
         Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        // Name the usual float-formatter leaks specifically: `NaN`,
+        // `Infinity`, `inf` and friends are how broken emitters spell
+        // non-finite doubles, and "expected a JSON value" would bury
+        // the actual bug.
+        Some(b'N' | b'I' | b'i') => Err(JsonError {
+            offset: *pos,
+            message: "non-finite number token (NaN/Infinity) is not valid JSON",
+        }),
         _ => Err(JsonError {
             offset: *pos,
             message: "expected a JSON value",
@@ -463,6 +485,12 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
+        if matches!(b.get(*pos), Some(b'N' | b'n' | b'I' | b'i')) {
+            return Err(JsonError {
+                offset: start,
+                message: "non-finite number token (NaN/Infinity) is not valid JSON",
+            });
+        }
     }
     // RFC 8259 integer part: "0", or a nonzero digit followed by more.
     match b.get(*pos) {
@@ -618,6 +646,48 @@ mod tests {
         assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
         assert_eq!(JsonWriter::object().finish(), "{}");
         assert_eq!(JsonWriter::array().finish(), "[]");
+    }
+
+    #[test]
+    fn non_finite_floats_never_leak_into_json() {
+        // Writer side: NaN/±inf must render as `null` in both field and
+        // array-element position.
+        let mut arr = JsonWriter::array();
+        arr.push_f64_elem(1.5, 3);
+        arr.push_f64_elem(f64::NAN, 3);
+        arr.push_f64_elem(f64::INFINITY, 3);
+        arr.push_f64_elem(f64::NEG_INFINITY, 3);
+        let rendered = arr.finish();
+        assert_eq!(rendered, "[1.500,null,null,null]");
+        validate_json(&rendered).expect("array with nulled non-finites parses");
+        let mut obj = JsonWriter::object();
+        obj.field_f64("inf", f64::INFINITY, 6);
+        obj.field_f64("neg_inf", f64::NEG_INFINITY, 6);
+        obj.field_f64("nan", f64::NAN, 6);
+        let rendered = obj.finish();
+        assert_eq!(rendered, "{\"inf\":null,\"neg_inf\":null,\"nan\":null}");
+        validate_json(&rendered).expect("object with nulled non-finites parses");
+
+        // Validator side: the common non-finite spellings (what `{}`
+        // formatting of a raw f64 would have produced) are rejected with
+        // an error naming the actual bug, at any nesting depth.
+        for bad in [
+            "NaN",
+            "-NaN",
+            "Infinity",
+            "-Infinity",
+            "inf",
+            "-inf",
+            "[1,NaN]",
+            "{\"x\":Infinity}",
+            "{\"x\":[0.5,-inf]}",
+        ] {
+            let err = validate_json(bad).expect_err(bad);
+            assert!(
+                err.message.contains("non-finite"),
+                "{bad}: wrong diagnosis: {err}"
+            );
+        }
     }
 
     #[test]

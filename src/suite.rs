@@ -13,6 +13,7 @@
 //! - [`telemetry`] — flight-recorder tracing, metrics and exporters
 //! - [`workloads`] — the synthetic benchmark suites
 //! - [`exec`] — the work-stealing job pool fan-out commands run on
+//! - [`serve`] — the TCP daemon (NDJSON protocol, result cache, backpressure)
 //! - [`cli`] — the command-line interface (argument parsing and commands)
 
 pub use powerchop;
@@ -22,6 +23,7 @@ pub use powerchop_exec as exec;
 pub use powerchop_faults as faults;
 pub use powerchop_gisa as gisa;
 pub use powerchop_power as power;
+pub use powerchop_serve as serve;
 pub use powerchop_telemetry as telemetry;
 pub use powerchop_uarch as uarch;
 pub use powerchop_workloads as workloads;

@@ -3,7 +3,7 @@
 //! panics to the job that raised them.
 
 use powerchop_suite::cli::commands::report_to_json;
-use powerchop_suite::exec::{run_jobs, JobPanic};
+use powerchop_suite::exec::{resolve_jobs_from, run_jobs, JobPanic};
 use powerchop_suite::faults::FaultConfig;
 use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig, RunReport};
 use powerchop_suite::workloads::{Benchmark, Scale};
@@ -117,6 +117,35 @@ fn a_panicking_job_is_isolated_and_indexed() {
             assert_eq!(r.expect("other jobs survive"), i as u32 * 2);
         }
     }
+}
+
+/// Regression: a zero worker count — explicit `--jobs 0` or
+/// `POWERCHOP_JOBS=0` — used to fall through unchecked (the env path
+/// silently used the CPU count; the flag was a hard parse error). Both
+/// must clamp to one worker, and garbage in the env var must fall back
+/// to autodetection rather than abort a sweep.
+#[test]
+fn zero_and_garbage_worker_counts_clamp_instead_of_misbehaving() {
+    assert_eq!(resolve_jobs_from(Some(0), None), 1, "--jobs 0 clamps to 1");
+    assert_eq!(
+        resolve_jobs_from(Some(0), Some("8")),
+        1,
+        "explicit zero clamps even when the env var is set"
+    );
+    assert_eq!(
+        resolve_jobs_from(None, Some("0")),
+        1,
+        "POWERCHOP_JOBS=0 clamps to 1"
+    );
+    assert_eq!(resolve_jobs_from(None, Some("  0  ")), 1);
+    for garbage in ["abc", "-4", "1.5", ""] {
+        assert!(
+            resolve_jobs_from(None, Some(garbage)) >= 1,
+            "POWERCHOP_JOBS={garbage:?} falls back to autodetection"
+        );
+    }
+    assert_eq!(resolve_jobs_from(Some(3), Some("0")), 3);
+    assert_eq!(resolve_jobs_from(None, Some("5")), 5);
 }
 
 #[test]
