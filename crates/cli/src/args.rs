@@ -222,6 +222,13 @@ pub enum Command {
         /// Daemon tuning.
         opts: ServeOpts,
     },
+    /// `soak` — boot an in-process daemon and drive a seeded storm of
+    /// hostile and honest clients against it, then report whether it
+    /// stayed correct and drained cleanly.
+    Soak {
+        /// Storm tuning.
+        opts: SoakOpts,
+    },
 }
 
 /// `serve` daemon tuning knobs (mirrors `powerchop_serve::ServerConfig`).
@@ -244,6 +251,15 @@ pub struct ServeOpts {
     pub max_request_bytes: usize,
     /// Largest accepted per-run instruction budget.
     pub max_budget: u64,
+    /// Concurrent connections admitted before the listener sheds new
+    /// sockets with an `overloaded` reply.
+    pub max_connections: usize,
+    /// Per-socket read timeout in milliseconds (0 disables it).
+    pub read_timeout_ms: u64,
+    /// Per-socket write timeout in milliseconds (0 disables it).
+    pub write_timeout_ms: u64,
+    /// Allow fault-injection ops (`"chaos"` on run requests).
+    pub chaos_ops: bool,
 }
 
 impl Default for ServeOpts {
@@ -256,6 +272,50 @@ impl Default for ServeOpts {
             deadline_ms: 120_000,
             max_request_bytes: 1 << 20,
             max_budget: 1_000_000_000,
+            max_connections: 64,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            chaos_ops: false,
+        }
+    }
+}
+
+/// `soak` storm tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakOpts {
+    /// Master seed: every client's chaos schedule and request mix forks
+    /// deterministically from it.
+    pub seed: u64,
+    /// Hostile clients (chaos-wrapped sockets).
+    pub hostile: usize,
+    /// Honest clients (well-formed requests, replies must be
+    /// bit-identical to a local run).
+    pub honest: usize,
+    /// Requests each client sends.
+    pub requests: usize,
+    /// Injected worker kills (chaos `run` ops that panic mid-run).
+    pub kill_workers: usize,
+    /// Instruction budget per soak run (kept small: the storm exercises
+    /// the transport, not the simulator).
+    pub budget: u64,
+    /// Workload scale factor for soak runs.
+    pub scale: f64,
+    /// Daemon worker threads (`None` resolves through `POWERCHOP_JOBS`
+    /// and then the machine's available parallelism).
+    pub jobs: Option<usize>,
+}
+
+impl Default for SoakOpts {
+    fn default() -> Self {
+        SoakOpts {
+            seed: powerchop_serve::DEFAULT_FAULT_SEED,
+            hostile: 4,
+            honest: 2,
+            requests: 8,
+            kill_workers: 1,
+            budget: 200_000,
+            scale: 0.05,
+            jobs: Some(2),
         }
     }
 }
@@ -313,8 +373,12 @@ COMMANDS:
                            operand): deadlines, retries, panic isolation, and a
                            journal that survives kill -9
     serve                  long-lived TCP daemon: newline-delimited JSON requests
-                           (run/sweep/status/metrics/shutdown), result cache,
-                           bounded queue, and an HTTP GET /metrics endpoint
+                           (run/sweep/status/health/metrics/shutdown), result
+                           cache, bounded queue, connection hardening, and an
+                           HTTP GET /metrics endpoint
+    soak                   chaos soak: boot an in-process daemon, drive a seeded
+                           storm of hostile + honest clients, verify honest
+                           replies stayed bit-identical and the drain was clean
     help                   show this message
 
 OPTIONS (run/compare/timeline/asm/stress/checkpoint/supervise):
@@ -352,6 +416,22 @@ OPTIONS (serve):
     --deadline-ms <N>      per-request deadline (0 disables)   [default: 120000]
     --max-request-bytes <N> largest accepted request line      [default: 1048576]
     --max-budget <N>       largest accepted instruction budget [default: 1000000000]
+    --max-connections <N>  concurrent connections before typed 503 shedding
+                           [default: 64]
+    --read-timeout-ms <N>  per-socket read timeout, 0 disables  [default: 30000]
+    --write-timeout-ms <N> per-socket write timeout, 0 disables [default: 10000]
+    --chaos-ops            allow fault-injection ops (worker-kill runs); for
+                           test harnesses only
+
+OPTIONS (soak):
+    --seed <N>             master storm seed (forks per client) [default: 3405691582]
+    --hostile <N>          hostile (chaos-wrapped) clients      [default: 4]
+    --honest <N>           honest clients                       [default: 2]
+    --requests <N>         requests per client                  [default: 8]
+    --kill-workers <N>     injected mid-run worker kills        [default: 1]
+    --budget <N>           instruction budget per soak run      [default: 200000]
+    --scale <F>            workload scale factor                [default: 0.05]
+    --jobs <N>             daemon worker threads                [default: 2]
 ";
 
 /// Parses the shared run flags, handing unrecognized flags to `extra`
@@ -645,10 +725,37 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         opts.max_request_bytes = parse_positive(flag, &value()?)?;
                     }
                     "--max-budget" => opts.max_budget = parse_positive(flag, &value()?)?,
+                    "--max-connections" => opts.max_connections = parse_positive(flag, &value()?)?,
+                    "--read-timeout-ms" => opts.read_timeout_ms = parse_int(flag, &value()?)?,
+                    "--write-timeout-ms" => opts.write_timeout_ms = parse_int(flag, &value()?)?,
+                    "--chaos-ops" => opts.chaos_ops = true,
                     other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
                 }
             }
             Ok(Command::Serve { opts })
+        }
+        "soak" => {
+            let mut opts = SoakOpts::default();
+            let mut it = argv[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{flag} requires a value")))
+                };
+                match flag.as_str() {
+                    "--seed" => opts.seed = parse_int(flag, &value()?)?,
+                    "--hostile" => opts.hostile = parse_int(flag, &value()?)?,
+                    "--honest" => opts.honest = parse_int(flag, &value()?)?,
+                    "--requests" => opts.requests = parse_positive(flag, &value()?)?,
+                    "--kill-workers" => opts.kill_workers = parse_int(flag, &value()?)?,
+                    "--budget" => opts.budget = parse_positive(flag, &value()?)?,
+                    "--scale" => opts.scale = parse_scale(flag, &value()?)?,
+                    "--jobs" => opts.jobs = Some(parse_positive(flag, &value()?)?),
+                    other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Soak { opts })
         }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -912,7 +1019,8 @@ mod tests {
         );
         match parse(&argv(
             "serve --addr 127.0.0.1:0 --jobs 2 --queue-depth 3 --cache-entries 5 \
-             --deadline-ms 9000 --max-request-bytes 4096 --max-budget 500000",
+             --deadline-ms 9000 --max-request-bytes 4096 --max-budget 500000 \
+             --max-connections 7 --read-timeout-ms 1500 --write-timeout-ms 900 --chaos-ops",
         ))
         .unwrap()
         {
@@ -924,13 +1032,56 @@ mod tests {
                 assert_eq!(opts.deadline_ms, 9000);
                 assert_eq!(opts.max_request_bytes, 4096);
                 assert_eq!(opts.max_budget, 500_000);
+                assert_eq!(opts.max_connections, 7);
+                assert_eq!(opts.read_timeout_ms, 1500);
+                assert_eq!(opts.write_timeout_ms, 900);
+                assert!(opts.chaos_ops);
             }
             other => panic!("unexpected {other:?}"),
         }
+        assert!(!ServeOpts::default().chaos_ops, "chaos ops are opt-in");
         assert!(parse(&argv("serve --queue-depth 0")).is_err());
+        assert!(parse(&argv("serve --max-connections 0")).is_err());
         assert!(parse(&argv("serve --bogus")).is_err());
-        // Cache 0 (disabled) and deadline 0 (no watchdog) stay legal.
-        assert!(parse(&argv("serve --cache-entries 0 --deadline-ms 0")).is_ok());
+        // Cache 0 (disabled), deadline 0 (no watchdog) and socket
+        // timeouts 0 (blocking sockets) stay legal.
+        assert!(parse(&argv(
+            "serve --cache-entries 0 --deadline-ms 0 --read-timeout-ms 0 --write-timeout-ms 0"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn soak_command_parses_with_defaults_and_overrides() {
+        assert_eq!(
+            parse(&argv("soak")).unwrap(),
+            Command::Soak {
+                opts: SoakOpts::default()
+            }
+        );
+        match parse(&argv(
+            "soak --seed 9 --hostile 6 --honest 3 --requests 4 --kill-workers 2 \
+             --budget 100000 --scale 0.1 --jobs 1",
+        ))
+        .unwrap()
+        {
+            Command::Soak { opts } => {
+                assert_eq!(opts.seed, 9);
+                assert_eq!(opts.hostile, 6);
+                assert_eq!(opts.honest, 3);
+                assert_eq!(opts.requests, 4);
+                assert_eq!(opts.kill_workers, 2);
+                assert_eq!(opts.budget, 100_000);
+                assert!((opts.scale - 0.1).abs() < 1e-12);
+                assert_eq!(opts.jobs, Some(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A storm with no clients at all is legal (it only checks boot +
+        // drain), but zero requests per client is meaningless.
+        assert!(parse(&argv("soak --hostile 0 --honest 0")).is_ok());
+        assert!(parse(&argv("soak --requests 0")).is_err());
+        assert!(parse(&argv("soak --bogus")).is_err());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub fn dispatch(command: Command) -> Result<(), CliError> {
             crate::supervise::supervise(&benches, opts, &sup)
         }
         Command::Serve { opts } => serve_cmd(&opts),
+        Command::Soak { opts } => crate::soak::soak_cmd(&opts),
     }
 }
 
@@ -68,6 +69,10 @@ fn serve_cmd(opts: &crate::args::ServeOpts) -> Result<(), CliError> {
         deadline_ms: opts.deadline_ms,
         max_request_bytes: opts.max_request_bytes,
         max_budget: opts.max_budget,
+        max_connections: opts.max_connections,
+        read_timeout_ms: opts.read_timeout_ms,
+        write_timeout_ms: opts.write_timeout_ms,
+        chaos_ops: opts.chaos_ops,
     };
     let server = powerchop_serve::Server::bind(&cfg)?;
     println!("powerchop-serve listening on {}", server.local_addr());

@@ -8,6 +8,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod soak;
 pub mod supervise;
 
 use std::fmt;

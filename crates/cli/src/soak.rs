@@ -1,0 +1,641 @@
+//! The chaos-soak harness: boots an in-process `powerchop-serve` daemon
+//! and drives a seeded storm of hostile and honest clients against it.
+//!
+//! Hostile clients wrap their sockets in
+//! [`powerchop_resilience::chaos::ChaosStream`], so every frame they
+//! send may be delayed, split mid-write, byte-corrupted, truncated or
+//! reset — all drawn from one SplitMix64 seed, so a storm replays
+//! bit-for-bit. Honest clients send well-formed `run` requests and
+//! demand replies bit-identical to a local in-process run. A kill
+//! client (when `--kill-workers` is nonzero) sends chaos `run` ops that
+//! panic a pool worker mid-run, exercising the supervisor's respawn
+//! path on demand.
+//!
+//! The storm passes only when every reply line received by any client
+//! is valid RFC 8259 JSON, every honest reply embedded the exact
+//! expected report bytes, every requested worker kill was confirmed
+//! (and visible as a respawn in the `health` op), the pool never gave
+//! up, and the daemon drained cleanly through an in-protocol shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_faults::SimRng;
+use powerchop_resilience::chaos::{ChaosConfig, ChaosSchedule, ChaosStream};
+use powerchop_resilience::retry::stream_label;
+use powerchop_serve::{report_to_json, Server, ServerConfig};
+use powerchop_telemetry::validate_json;
+use powerchop_workloads::Scale;
+
+use crate::args::SoakOpts;
+use crate::CliError;
+
+/// Benchmarks the storm cycles through. Kept small so the local
+/// expected-report precomputation stays fast.
+const ROSTER: [&str; 3] = ["hmmer", "namd", "gobmk"];
+
+/// Hard numbers out of one soak storm.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Reply lines received (and validated) across all clients.
+    pub replies: u64,
+    /// Reply lines that failed RFC 8259 validation (must be 0).
+    pub malformed: u64,
+    /// Honest requests answered with the exact expected report bytes.
+    pub honest_ok: u64,
+    /// Honest requests that got a wrong or missing reply (must be 0).
+    pub honest_mismatches: u64,
+    /// Hostile connections dropped by chaos (truncate/reset) or I/O.
+    pub hostile_drops: u64,
+    /// Worker kills the storm was asked to inject.
+    pub kills_requested: u64,
+    /// Worker kills confirmed by a typed 500 reply.
+    pub kills_confirmed: u64,
+    /// Worker respawns the daemon's `health` op reported afterwards.
+    pub worker_respawns: u64,
+    /// Circuit-breaker trips the `health` op reported afterwards.
+    pub breaker_trips: u64,
+    /// Whether the pool latched its restart-storm give-up (must not).
+    pub pool_gave_up: bool,
+    /// Whether the in-protocol shutdown drained within the time limit.
+    pub clean_drain: bool,
+    /// First few diagnostics behind any failed invariant.
+    pub notes: Vec<String>,
+}
+
+impl SoakReport {
+    /// Whether every soak invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.malformed == 0
+            && self.honest_mismatches == 0
+            && self.kills_confirmed == self.kills_requested
+            && self.worker_respawns >= self.kills_confirmed
+            && !self.pool_gave_up
+            && self.clean_drain
+    }
+}
+
+/// Counters shared by every client thread in the storm.
+#[derive(Default)]
+struct Counters {
+    replies: AtomicU64,
+    malformed: AtomicU64,
+    honest_ok: AtomicU64,
+    honest_mismatches: AtomicU64,
+    hostile_drops: AtomicU64,
+    kills_confirmed: AtomicU64,
+    notes: Mutex<Vec<String>>,
+}
+
+impl Counters {
+    /// Records one diagnostic, keeping only the first few (a storm that
+    /// goes wrong goes wrong thousands of times the same way).
+    fn note(&self, msg: String) {
+        let mut notes = self.notes.lock().unwrap_or_else(PoisonError::into_inner);
+        if notes.len() < 16 {
+            notes.push(msg);
+        }
+    }
+
+    /// Counts one received reply line and validates it as JSON — the
+    /// storm-wide "no malformed replies" invariant lives here.
+    fn saw_reply(&self, line: &str) {
+        self.replies.fetch_add(1, Ordering::SeqCst);
+        if validate_json(line).is_err() {
+            self.malformed.fetch_add(1, Ordering::SeqCst);
+            self.note(format!("malformed reply: {line:?}"));
+        }
+    }
+}
+
+/// One benchmark's request line and the only two replies the daemon is
+/// allowed to give for it.
+struct Expected {
+    bench: &'static str,
+    request: String,
+    fresh: String,
+    cached: String,
+}
+
+/// Precomputes, locally and in-process, the exact report bytes the
+/// daemon must embed for each roster benchmark at the storm's knobs.
+fn expected_replies(opts: &SoakOpts) -> Result<Vec<Expected>, CliError> {
+    ROSTER
+        .iter()
+        .map(|&bench| {
+            let b = powerchop_workloads::by_name(bench)
+                .ok_or_else(|| CliError(format!("soak roster benchmark {bench:?} is missing")))?;
+            let mut cfg = RunConfig::for_kind(b.core_kind());
+            cfg.max_instructions = opts.budget;
+            let program = b.program(Scale(opts.scale));
+            let report = run_program(&program, ManagerKind::PowerChop, &cfg)?;
+            let json = report_to_json(&report);
+            Ok(Expected {
+                bench,
+                request: format!(
+                    r#"{{"op":"run","bench":"{bench}","budget":{},"scale":{}}}"#,
+                    opts.budget, opts.scale
+                ),
+                fresh: format!(r#"{{"ok":true,"op":"run","cached":false,"report":{json}}}"#),
+                cached: format!(r#"{{"ok":true,"op":"run","cached":true,"report":{json}}}"#),
+            })
+        })
+        .collect()
+}
+
+/// One request over one fresh connection: connect, send the line, read
+/// exactly one newline-terminated reply.
+fn request_once(addr: SocketAddr, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    if !reply.ends_with('\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "reply was not newline-terminated",
+        ));
+    }
+    Ok(reply.trim_end().to_owned())
+}
+
+/// Whether a typed error reply is transient backpressure worth retrying
+/// (queue full, draining-adjacent 503s like breaker-open).
+fn is_retryable(reply: &str) -> bool {
+    reply.contains("\"code\":429") || reply.contains("\"code\":503")
+}
+
+/// One honest request with bounded retries through transient
+/// backpressure; the final reply must be byte-identical to one of the
+/// two allowed forms.
+fn honest_once(addr: SocketAddr, exp: &Expected, c: &Counters) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match request_once(addr, &exp.request) {
+            Ok(reply) => {
+                c.saw_reply(&reply);
+                if reply == exp.fresh || reply == exp.cached {
+                    c.honest_ok.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                if is_retryable(&reply) && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(25));
+                    continue;
+                }
+                c.honest_mismatches.fetch_add(1, Ordering::SeqCst);
+                c.note(format!("honest {}: wrong reply: {reply}", exp.bench));
+                return;
+            }
+            Err(e) => {
+                if Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(25));
+                    continue;
+                }
+                c.honest_mismatches.fetch_add(1, Ordering::SeqCst);
+                c.note(format!("honest {}: i/o error: {e}", exp.bench));
+                return;
+            }
+        }
+    }
+}
+
+/// An honest client: `requests` well-formed runs, cycling the roster.
+fn honest_client(
+    addr: SocketAddr,
+    id: usize,
+    requests: usize,
+    expected: &[Expected],
+    c: &Counters,
+) {
+    for j in 0..requests {
+        honest_once(addr, &expected[(id + j) % expected.len()], c);
+    }
+}
+
+/// The kill client: chaos `run` ops that panic a worker mid-run. Each
+/// uses a distinct budget so the result cache can never answer instead
+/// of the pool. Expects the typed 500 the supervisor turns the panic
+/// into; service for everyone else must continue (the honest clients
+/// are asserting exactly that, concurrently).
+fn kill_client(addr: SocketAddr, opts: &SoakOpts, c: &Counters) {
+    for k in 0..opts.kill_workers {
+        let budget = opts.budget + 7919 + k as u64;
+        let line = format!(
+            r#"{{"op":"run","bench":"hmmer","budget":{budget},"scale":{},"chaos":"panic"}}"#,
+            opts.scale
+        );
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match request_once(addr, &line) {
+                Ok(reply) => {
+                    c.saw_reply(&reply);
+                    if reply.contains("\"code\":500") && reply.contains("killed") {
+                        c.kills_confirmed.fetch_add(1, Ordering::SeqCst);
+                        break;
+                    }
+                    if is_retryable(&reply) && Instant::now() < deadline {
+                        std::thread::sleep(Duration::from_millis(25));
+                        continue;
+                    }
+                    c.note(format!("worker-kill {k}: unexpected reply: {reply}"));
+                    break;
+                }
+                Err(e) => {
+                    if Instant::now() < deadline {
+                        std::thread::sleep(Duration::from_millis(25));
+                        continue;
+                    }
+                    c.note(format!("worker-kill {k}: i/o error: {e}"));
+                    break;
+                }
+            }
+        }
+        // Space the kills out so they read as crashes under load, not a
+        // restart storm (storms are the give-up path, tested separately).
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// A hostile client's live connection: the chaos-wrapped writer, a raw
+/// reader clone, and any partial reply carried across read timeouts so
+/// a slow reply is never mistaken for a torn one.
+struct HostileConn {
+    chaos: ChaosStream<TcpStream>,
+    reader: BufReader<TcpStream>,
+    partial: Vec<u8>,
+}
+
+/// Opens one hostile connection with a fresh chaos schedule drawn from
+/// the client's deterministic stream.
+fn hostile_connect(addr: SocketAddr, rng: &mut SimRng, c: &Counters) -> Option<HostileConn> {
+    // The seed is drawn before the fallible I/O so the schedule stream
+    // stays aligned no matter how the connect attempt goes.
+    let conn_seed = rng.next_u64();
+    let connected = TcpStream::connect(addr).and_then(|stream| {
+        stream.set_read_timeout(Some(Duration::from_millis(150)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok((stream, reader))
+    });
+    match connected {
+        Ok((stream, reader)) => Some(HostileConn {
+            chaos: ChaosStream::new(
+                stream,
+                ChaosSchedule::new(ChaosConfig::hostile(), conn_seed),
+            ),
+            reader,
+            partial: Vec::new(),
+        }),
+        Err(e) => {
+            c.note(format!("hostile connect failed: {e}"));
+            None
+        }
+    }
+}
+
+/// Drains whatever complete reply lines are available within
+/// `quiet_ms`, validating each. A timeout mid-line keeps the partial in
+/// the connection for the next drain; a clean EOF with bytes still
+/// pending is a torn reply and counts as malformed.
+fn drain_replies(conn: &mut HostileConn, c: &Counters, quiet_ms: u64) {
+    let deadline = Instant::now() + Duration::from_millis(quiet_ms.max(1));
+    loop {
+        match conn.reader.read_until(b'\n', &mut conn.partial) {
+            Ok(0) => {
+                if !conn.partial.is_empty() {
+                    c.malformed.fetch_add(1, Ordering::SeqCst);
+                    c.note(format!(
+                        "torn reply at EOF: {:?}",
+                        String::from_utf8_lossy(&conn.partial)
+                    ));
+                    conn.partial.clear();
+                }
+                return;
+            }
+            Ok(_) if conn.partial.last() == Some(&b'\n') => {
+                let line = String::from_utf8_lossy(&conn.partial).trim_end().to_owned();
+                c.saw_reply(&line);
+                conn.partial.clear();
+            }
+            // read_until only returns Ok without a trailing newline at
+            // EOF, which the arm above consumed; anything else is a
+            // timeout-style error and the partial stays buffered.
+            Ok(_) | Err(_) => {}
+        }
+        if Instant::now() >= deadline {
+            return;
+        }
+    }
+}
+
+/// Deterministically picks the next hostile frame: a mix of valid ops,
+/// valid runs, typed-error bait and raw garbage.
+fn hostile_frame(rng: &mut SimRng, expected: &[Expected]) -> Vec<u8> {
+    match rng.gen_range(6) {
+        0 => b"{\"op\":\"status\"}\n".to_vec(),
+        1 => b"{\"op\":\"health\"}\n".to_vec(),
+        2 => {
+            let pick = rng.gen_range(expected.len() as u64) as usize;
+            let mut frame = expected[pick].request.clone().into_bytes();
+            frame.push(b'\n');
+            frame
+        }
+        3 => b"{\"op\":\"run\",\"bench\":\"no-such-bench\"}\n".to_vec(),
+        // An unterminated fragment: glues onto the next frame, or ages
+        // into the server's slow-client 408 if the connection idles.
+        4 => b"{\"op\":\"run\",\"bench\":".to_vec(),
+        _ => {
+            // Raw garbage, newline-terminated; often invalid UTF-8.
+            let mut frame: Vec<u8> = (0..16).map(|_| (rng.gen_range(255) + 1) as u8).collect();
+            frame.retain(|&b| b != b'\n');
+            frame.push(b'\n');
+            frame
+        }
+    }
+}
+
+/// A hostile client: `requests` chaos-mangled frames, reconnecting
+/// whenever chaos (or the daemon) drops the connection, validating
+/// every reply line it manages to read.
+fn hostile_client(
+    addr: SocketAddr,
+    master_seed: u64,
+    id: usize,
+    requests: usize,
+    expected: &[Expected],
+    c: &Counters,
+) {
+    let mut rng = SimRng::new(master_seed)
+        .fork(stream_label("soak-hostile"))
+        .fork(id as u64);
+    let mut conn = hostile_connect(addr, &mut rng, c);
+    for _ in 0..requests {
+        let frame = hostile_frame(&mut rng, expected);
+        if conn.is_none() {
+            c.hostile_drops.fetch_add(1, Ordering::SeqCst);
+            conn = hostile_connect(addr, &mut rng, c);
+        }
+        let Some(live) = conn.as_mut() else {
+            return; // could not connect at all; already noted
+        };
+        match live.chaos.send_frame(&frame) {
+            Ok(_) if live.chaos.alive() => drain_replies(live, c, 50),
+            // Chaos truncated/reset the connection, or the daemon shed
+            // us (slow-client disconnect, connection gate): reconnect
+            // on the next frame.
+            _ => conn = None,
+        }
+    }
+    if let Some(live) = conn.as_mut() {
+        drain_replies(live, c, 300);
+    }
+}
+
+/// Extracts `"name":<u64>` from a one-line JSON reply (the soak only
+/// reads numeric health fields, so a full parser is not needed).
+fn json_u64_field(text: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let at = text.find(&key)? + key.len();
+    let digits: String = text[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Reads the daemon's post-storm `health` report, waiting briefly for
+/// any in-flight worker respawn to land. Returns
+/// `(worker_respawns, breaker_trips, pool_gave_up)`.
+fn final_health(addr: SocketAddr, expect_respawns: u64, c: &Counters) -> (u64, u64, bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut respawns = 0;
+    let mut trips = 0;
+    let mut gave_up = false;
+    loop {
+        if let Ok(reply) = request_once(addr, r#"{"op":"health"}"#) {
+            c.saw_reply(&reply);
+            respawns = json_u64_field(&reply, "worker_respawns").unwrap_or(0);
+            trips = json_u64_field(&reply, "breaker_trips").unwrap_or(0);
+            gave_up = reply.contains("\"pool_gave_up\":true");
+            if respawns >= expect_respawns {
+                break;
+            }
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    (respawns, trips, gave_up)
+}
+
+/// Sends the in-protocol shutdown and waits for the server thread to
+/// finish draining. `true` only for a clean, in-time exit.
+fn drain(addr: SocketAddr, done_rx: &mpsc::Receiver<std::io::Result<()>>, c: &Counters) -> bool {
+    match request_once(addr, r#"{"op":"shutdown"}"#) {
+        Ok(reply) => {
+            c.saw_reply(&reply);
+            if !reply.contains("\"draining\":true") {
+                c.note(format!("shutdown not acknowledged: {reply}"));
+                return false;
+            }
+        }
+        Err(e) => {
+            c.note(format!("shutdown request failed: {e}"));
+            return false;
+        }
+    }
+    match done_rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(Ok(())) => true,
+        Ok(Err(e)) => {
+            c.note(format!("server exited with an error: {e}"));
+            false
+        }
+        Err(_) => {
+            c.note("server failed to drain within 60s of shutdown".into());
+            false
+        }
+    }
+}
+
+/// Runs one full soak storm: boot, storm, verify, drain.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] only for setup failures (unknown roster
+/// benchmark, bind failure). Invariant violations are reported in the
+/// returned [`SoakReport`], not as errors, so callers can print the
+/// full picture.
+pub fn run_soak(opts: &SoakOpts) -> Result<SoakReport, CliError> {
+    let expected = expected_replies(opts)?;
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: opts.jobs,
+        queue_depth: 32,
+        max_connections: opts.hostile + opts.honest + 8,
+        // Short enough that truncated hostile frames age into typed
+        // slow-client 408s while the storm is still running.
+        read_timeout_ms: 2_000,
+        write_timeout_ms: 5_000,
+        chaos_ops: opts.kill_workers > 0,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&cfg)?;
+    let addr = server.local_addr();
+    let (done_tx, done_rx) = mpsc::channel();
+    let server_thread = std::thread::spawn(move || {
+        let _ = done_tx.send(server.run());
+    });
+
+    let counters = Counters::default();
+    std::thread::scope(|scope| {
+        let c = &counters;
+        let e = &expected;
+        for i in 0..opts.hostile {
+            scope.spawn(move || hostile_client(addr, opts.seed, i, opts.requests, e, c));
+        }
+        for i in 0..opts.honest {
+            scope.spawn(move || honest_client(addr, i, opts.requests, e, c));
+        }
+        if opts.kill_workers > 0 {
+            scope.spawn(move || kill_client(addr, opts, c));
+        }
+    });
+
+    // Post-storm sweep: the daemon must still serve every roster bench
+    // bit-identically — the "continued service" guarantee.
+    for exp in &expected {
+        honest_once(addr, exp, &counters);
+    }
+    let kills_confirmed = counters.kills_confirmed.load(Ordering::SeqCst);
+    let (worker_respawns, breaker_trips, pool_gave_up) =
+        final_health(addr, kills_confirmed, &counters);
+    let clean_drain = drain(addr, &done_rx, &counters);
+    let _ = server_thread.join();
+
+    let notes = counters
+        .notes
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    Ok(SoakReport {
+        replies: counters.replies.load(Ordering::SeqCst),
+        malformed: counters.malformed.load(Ordering::SeqCst),
+        honest_ok: counters.honest_ok.load(Ordering::SeqCst),
+        honest_mismatches: counters.honest_mismatches.load(Ordering::SeqCst),
+        hostile_drops: counters.hostile_drops.load(Ordering::SeqCst),
+        kills_requested: opts.kill_workers as u64,
+        kills_confirmed,
+        worker_respawns,
+        breaker_trips,
+        pool_gave_up,
+        clean_drain,
+        notes,
+    })
+}
+
+/// The `soak` command: run the storm, print the verdict, fail loudly.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for setup failures or any violated storm
+/// invariant.
+pub fn soak_cmd(opts: &SoakOpts) -> Result<(), CliError> {
+    println!(
+        "chaos soak: seed {}, {} hostile + {} honest clients x {} requests, {} worker kill(s)",
+        opts.seed, opts.hostile, opts.honest, opts.requests, opts.kill_workers
+    );
+    let report = run_soak(opts)?;
+    println!(
+        "replies {} ({} malformed), honest {} ok / {} mismatched, hostile drops {}",
+        report.replies,
+        report.malformed,
+        report.honest_ok,
+        report.honest_mismatches,
+        report.hostile_drops
+    );
+    println!(
+        "worker kills {}/{} confirmed, respawns {}, breaker trips {}, pool gave up: {}, clean drain: {}",
+        report.kills_confirmed,
+        report.kills_requested,
+        report.worker_respawns,
+        report.breaker_trips,
+        if report.pool_gave_up { "yes" } else { "no" },
+        if report.clean_drain { "yes" } else { "no" }
+    );
+    if report.passed() {
+        println!("soak PASSED");
+        Ok(())
+    } else {
+        for note in &report.notes {
+            eprintln!("soak: {note}");
+        }
+        Err(CliError("chaos soak failed (see notes above)".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_u64_field_extracts_numeric_fields() {
+        let line = r#"{"ok":true,"worker_respawns":3,"breaker_trips":0,"s":"x"}"#;
+        assert_eq!(json_u64_field(line, "worker_respawns"), Some(3));
+        assert_eq!(json_u64_field(line, "breaker_trips"), Some(0));
+        assert_eq!(json_u64_field(line, "missing"), None);
+        assert_eq!(json_u64_field(line, "s"), None);
+    }
+
+    #[test]
+    fn hostile_frames_are_reproducible_per_seed() {
+        let expected: Vec<Expected> = ROSTER
+            .iter()
+            .map(|&bench| Expected {
+                bench,
+                request: format!(r#"{{"op":"run","bench":"{bench}"}}"#),
+                fresh: String::new(),
+                cached: String::new(),
+            })
+            .collect();
+        let frames = |seed: u64| -> Vec<Vec<u8>> {
+            let mut rng = SimRng::new(seed).fork(stream_label("soak-hostile")).fork(0);
+            (0..64)
+                .map(|_| hostile_frame(&mut rng, &expected))
+                .collect()
+        };
+        assert_eq!(frames(7), frames(7), "same seed, same storm");
+        assert_ne!(frames(7), frames(8), "different seeds diverge");
+        // Every frame class shows up across a modest draw count.
+        let all = frames(7);
+        assert!(all.iter().any(|f| f.starts_with(b"{\"op\":\"status\"}")));
+        assert!(
+            all.iter().any(|f| f.last() != Some(&b'\n')),
+            "fragment bait"
+        );
+        assert!(
+            all.iter().any(|f| std::str::from_utf8(f).is_err()),
+            "raw garbage"
+        );
+    }
+
+    #[test]
+    fn is_retryable_matches_backpressure_codes_only() {
+        assert!(is_retryable(r#"{"ok":false,"code":429,"error":"busy"}"#));
+        assert!(is_retryable(
+            r#"{"ok":false,"code":503,"error":"breaker-open"}"#
+        ));
+        assert!(!is_retryable(
+            r#"{"ok":false,"code":400,"error":"bad-request"}"#
+        ));
+        assert!(!is_retryable(r#"{"ok":true,"op":"run","cached":false}"#));
+    }
+}

@@ -364,15 +364,27 @@ fn supervise_slot(
             }
         }
         if row.terminal != Terminal::Done && attempt < max_attempts {
-            // Exponential backoff, capped so a misconfigured base
-            // cannot stall the sweep for minutes.
-            let factor = 1u64 << (attempt - 1).min(16);
-            let pause = sup.backoff_ms.saturating_mul(factor).min(30_000);
+            let pause = backoff_delay_ms(sup.backoff_ms, opts.seed, name, attempt);
             std::thread::sleep(Duration::from_millis(pause));
         }
     }
     shared.print_block(&block);
     Ok(row)
+}
+
+/// Retry backoff for one benchmark attempt: exponential doubling from
+/// `base_ms` with deterministic seeded jitter, capped so a misconfigured
+/// base cannot stall the sweep for minutes.
+///
+/// The jitter draw depends only on the run seed, the benchmark name and
+/// the attempt number — never on thread scheduling — so a given
+/// `(seed, bench, attempt)` always pauses for the same duration while
+/// distinct seeds decorrelate their retry storms.
+fn backoff_delay_ms(base_ms: u64, seed: Option<u64>, bench: &str, attempt: u32) -> u64 {
+    let policy = powerchop_resilience::RetryPolicy::new(base_ms, 30_000);
+    let seed = seed.unwrap_or(powerchop_serve::DEFAULT_FAULT_SEED);
+    let stream = powerchop_resilience::retry::stream_label(bench);
+    policy.delay_ms(seed, stream, attempt)
 }
 
 /// The `supervise` command: sweeps `benches` (all benchmarks when empty)
@@ -533,6 +545,50 @@ mod tests {
             scale: 0.05,
             ..RunOpts::default()
         }
+    }
+
+    #[test]
+    fn backoff_delays_are_reproducible_per_seed_and_distinct_across_seeds() {
+        // Same (seed, bench, attempt) → identical pause, every time.
+        for attempt in 1..=5 {
+            assert_eq!(
+                backoff_delay_ms(100, Some(7), "hmmer", attempt),
+                backoff_delay_ms(100, Some(7), "hmmer", attempt),
+                "attempt {attempt} must be deterministic"
+            );
+        }
+        // Jittered delays stay in the equal-jitter envelope [raw/2, raw].
+        for attempt in 1..=5 {
+            let raw = (100u64 << (attempt - 1)).min(30_000);
+            let d = backoff_delay_ms(100, Some(7), "hmmer", attempt);
+            assert!(
+                d >= raw / 2 && d <= raw,
+                "attempt {attempt}: {d} not in [{}, {raw}]",
+                raw / 2
+            );
+        }
+        // Different seeds (and different benches) decorrelate: at least one
+        // attempt in the schedule must differ.
+        let schedule = |seed, bench: &str| -> Vec<u64> {
+            (1..=8)
+                .map(|a| backoff_delay_ms(100, Some(seed), bench, a))
+                .collect()
+        };
+        assert_ne!(
+            schedule(7, "hmmer"),
+            schedule(8, "hmmer"),
+            "seeds decorrelate"
+        );
+        assert_ne!(
+            schedule(7, "hmmer"),
+            schedule(7, "namd"),
+            "benches decorrelate"
+        );
+        // No seed falls back to the daemon's default fault seed.
+        assert_eq!(
+            backoff_delay_ms(100, None, "hmmer", 3),
+            backoff_delay_ms(100, Some(powerchop_serve::DEFAULT_FAULT_SEED), "hmmer", 3),
+        );
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //!   [`JobHandle`]; [`JobHandle::wait`] blocks only on that job.
 //! - **Panic isolation.** Jobs run under `catch_unwind`; a panicking job
 //!   resolves its own handle to [`JobPanic`] and the worker lives on.
+//! - **Worker supervision.** A worker thread that dies anyway (the
+//!   [`KillWorker`](crate::KillWorker) sentinel, or a panic in the
+//!   pool's own bookkeeping) is detected by a drop guard on the dying
+//!   thread, which repairs the in-flight accounting and spawns a
+//!   replacement. Restarts are rate-limited by a
+//!   [`RestartTracker`](powerchop_resilience::RestartTracker): past the
+//!   storm threshold the pool latches [`WorkerPool::gave_up`] and sheds
+//!   new submissions with [`SubmitError::Unavailable`] — but keeps
+//!   respawning, so handles for already-queued jobs still resolve.
 //! - **Graceful drain.** Dropping (or [`WorkerPool::close`]-ing) the
 //!   pool stops admission, runs everything already queued, and joins
 //!   the workers; [`WorkerPool::drain`] waits for idleness without
@@ -24,6 +33,9 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use powerchop_resilience::{RestartPolicy, RestartTracker};
 
 use crate::JobPanic;
 
@@ -40,6 +52,9 @@ pub enum SubmitError {
     },
     /// The pool is draining and accepts no new work.
     Closed,
+    /// Workers are crash-looping past the restart-storm threshold; the
+    /// pool sheds new work (HTTP 503 style) instead of feeding the loop.
+    Unavailable,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -49,6 +64,9 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "job queue is full ({queue_depth} waiting)")
             }
             SubmitError::Closed => f.write_str("pool is draining and accepts no new jobs"),
+            SubmitError::Unavailable => {
+                f.write_str("workers are restarting faster than the storm threshold allows")
+            }
         }
     }
 }
@@ -73,6 +91,14 @@ struct PoolState {
     active: usize,
     /// Submission sequence number, used as the [`JobPanic`] index.
     submitted: u64,
+    /// Worker threads currently running their loop.
+    live_workers: usize,
+    /// Worker threads respawned after a death (lifetime count).
+    respawns: u64,
+    /// Latched once the restart tracker declares a storm.
+    gave_up: bool,
+    /// Join handles for respawned workers, joined at shutdown.
+    replacements: Vec<std::thread::JoinHandle<()>>,
 }
 
 struct PoolShared {
@@ -81,6 +107,10 @@ struct PoolShared {
     work_ready: Condvar,
     /// Signalled when a worker finishes a job (for [`WorkerPool::drain`]).
     job_done: Condvar,
+    /// Zero point of the supervision clock (restart-window accounting).
+    epoch: Instant,
+    /// Restart-rate accounting for the supervisor.
+    restarts: Mutex<RestartTracker>,
 }
 
 /// A fixed set of worker threads consuming a bounded job queue.
@@ -101,11 +131,19 @@ impl std::fmt::Debug for WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads behind a queue holding at most
-    /// `queue_depth` waiting jobs. Both are clamped to at least 1 — a
+    /// `queue_depth` waiting jobs, supervised under the default
+    /// [`RestartPolicy`]. Both sizes are clamped to at least 1 — a
     /// zero-worker pool would deadlock every submission and a
     /// zero-depth queue could accept nothing.
     #[must_use]
     pub fn new(workers: usize, queue_depth: usize) -> Self {
+        WorkerPool::with_restart_policy(workers, queue_depth, RestartPolicy::default())
+    }
+
+    /// [`WorkerPool::new`] with an explicit restart-rate policy for the
+    /// worker supervisor.
+    #[must_use]
+    pub fn with_restart_policy(workers: usize, queue_depth: usize, policy: RestartPolicy) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
@@ -113,9 +151,15 @@ impl WorkerPool {
                 open: true,
                 active: 0,
                 submitted: 0,
+                live_workers: workers,
+                respawns: 0,
+                gave_up: false,
+                replacements: Vec::new(),
             }),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
+            epoch: Instant::now(),
+            restarts: Mutex::new(RestartTracker::new(policy)),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -145,6 +189,9 @@ impl WorkerPool {
         if !st.open {
             return Err(SubmitError::Closed);
         }
+        if st.gave_up {
+            return Err(SubmitError::Unavailable);
+        }
         if st.queue.len() >= self.queue_depth {
             return Err(SubmitError::Busy {
                 queue_depth: self.queue_depth,
@@ -158,12 +205,28 @@ impl WorkerPool {
         });
         let out = Arc::clone(&slot);
         st.queue.push_back(Box::new(move || {
-            let result = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobPanic {
-                index,
-                message: crate::panic_message(payload.as_ref()),
-            });
-            *lock(&out.cell) = Some(result);
-            out.done.notify_all();
+            match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(value) => {
+                    *lock(&out.cell) = Some(Ok(value));
+                    out.done.notify_all();
+                }
+                Err(payload) => {
+                    // Resolve the handle first so the affected caller
+                    // gets its typed error no matter what happens to
+                    // the worker thread next.
+                    *lock(&out.cell) = Some(Err(JobPanic {
+                        index,
+                        message: crate::panic_message(payload.as_ref()),
+                    }));
+                    out.done.notify_all();
+                    if payload.is::<crate::KillWorker>() {
+                        // The sentinel asks for the worker itself to
+                        // die; the supervisor guard in `worker_loop`
+                        // repairs the accounting and respawns.
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
         }));
         drop(st);
         self.shared.work_ready.notify_one();
@@ -182,10 +245,30 @@ impl WorkerPool {
         lock(&self.shared.state).active
     }
 
-    /// The number of worker threads.
+    /// The number of worker threads the pool was sized for.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Worker threads currently running their loop. Transiently below
+    /// [`WorkerPool::workers`] between a worker death and its respawn.
+    #[must_use]
+    pub fn alive(&self) -> usize {
+        lock(&self.shared.state).live_workers
+    }
+
+    /// Worker threads respawned after a death, over the pool's lifetime.
+    #[must_use]
+    pub fn respawns(&self) -> u64 {
+        lock(&self.shared.state).respawns
+    }
+
+    /// Whether the supervisor has latched the restart-storm verdict and
+    /// new submissions are being shed with [`SubmitError::Unavailable`].
+    #[must_use]
+    pub fn gave_up(&self) -> bool {
+        lock(&self.shared.state).gave_up
     }
 
     /// The queue capacity submissions are bounded by.
@@ -219,6 +302,18 @@ impl WorkerPool {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // Respawned workers register their handles in shared state; a
+        // replacement can itself die and spawn another while we join,
+        // so pop until the list is observed empty.
+        loop {
+            let handle = lock(&self.shared.state).replacements.pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
     }
 }
 
@@ -228,7 +323,11 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &Arc<PoolShared>) {
+    let mut sentinel = Sentinel {
+        shared: Arc::clone(shared),
+        armed: true,
+    };
     loop {
         let job = {
             let mut st = lock(&shared.state);
@@ -238,6 +337,8 @@ fn worker_loop(shared: &PoolShared) {
                     break job;
                 }
                 if !st.open {
+                    st.live_workers = st.live_workers.saturating_sub(1);
+                    sentinel.armed = false;
                     return;
                 }
                 st = wait_on(&shared.work_ready, st);
@@ -246,6 +347,63 @@ fn worker_loop(shared: &PoolShared) {
         job();
         lock(&shared.state).active -= 1;
         shared.job_done.notify_all();
+    }
+}
+
+/// A supervisor guard living on each worker thread. On a clean exit the
+/// loop disarms it; if the worker dies any other way (the only panic
+/// path is `resume_unwind` of a [`crate::KillWorker`] payload, but the
+/// guard also covers a hypothetical panic in pool bookkeeping) its
+/// `Drop` runs *on the dying thread* during unwind: it repairs the
+/// `active` count the aborted job left behind, records the restart, and
+/// spawns a replacement so pool capacity recovers.
+struct Sentinel {
+    shared: Arc<PoolShared>,
+    armed: bool,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let now_ms = u64::try_from(self.shared.epoch.elapsed().as_millis()).unwrap_or(u64::MAX);
+        // Past the storm threshold the pool sheds *new* work, but keeps
+        // respawning: handles for jobs already queued must still
+        // resolve, and a worker has to exist to run them.
+        let stormy = {
+            let mut tracker = lock(&self.shared.restarts);
+            tracker.record(now_ms) == powerchop_resilience::RestartVerdict::Storm
+        };
+        let mut st = lock(&self.shared.state);
+        // The worker only unwinds from inside `job()`, after `active`
+        // was incremented and before it was decremented.
+        st.active = st.active.saturating_sub(1);
+        st.live_workers = st.live_workers.saturating_sub(1);
+        st.gave_up = st.gave_up || stormy;
+        if st.open || !st.queue.is_empty() {
+            let shared = Arc::clone(&self.shared);
+            match std::thread::Builder::new()
+                .name(String::from("powerchop-worker"))
+                .spawn(move || worker_loop(&shared))
+            {
+                Ok(handle) => {
+                    st.respawns += 1;
+                    st.live_workers += 1;
+                    st.replacements.push(handle);
+                }
+                Err(err) => {
+                    // Out of threads: latch the storm verdict so the
+                    // serve layer sheds load instead of queueing into a
+                    // pool that may have no workers left.
+                    st.gave_up = true;
+                    eprintln!("powerchop-exec: failed to respawn worker: {err}");
+                }
+            }
+        }
+        drop(st);
+        self.shared.job_done.notify_all();
+        self.shared.work_ready.notify_all();
     }
 }
 
@@ -383,6 +541,56 @@ mod tests {
             assert!(h.is_done());
             assert_eq!(h.wait().unwrap(), i);
         }
+    }
+
+    #[test]
+    fn kill_worker_respawns_and_service_continues() {
+        let pool = WorkerPool::new(1, 4);
+        let dead = pool
+            .submit(|| -> u32 { std::panic::panic_any(crate::KillWorker) })
+            .unwrap();
+        // The affected request still gets its typed error...
+        let err = dead.wait().unwrap_err();
+        assert!(err.message.contains("killed"), "{}", err.message);
+        // ...and the pool's only worker died with it, so this next job
+        // can only complete if the supervisor respawned one.
+        assert_eq!(pool.submit(|| 7).unwrap().wait().unwrap(), 7);
+        assert_eq!(pool.respawns(), 1);
+        assert_eq!(pool.alive(), 1);
+        assert!(!pool.gave_up());
+    }
+
+    #[test]
+    fn restart_storm_latches_and_sheds_new_work() {
+        let pool = WorkerPool::with_restart_policy(1, 8, RestartPolicy::new(60_000, 2));
+        // Two restarts fit the policy; the third latches the storm.
+        for _ in 0..3 {
+            let h = pool
+                .submit(|| std::panic::panic_any(crate::KillWorker))
+                .unwrap();
+            let _ = h.wait();
+        }
+        while !pool.gave_up() {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.submit(|| 1).unwrap_err(), SubmitError::Unavailable);
+        // Storm mode keeps respawning (queued handles must resolve), it
+        // only sheds admissions.
+        assert_eq!(pool.respawns(), 3);
+        assert_eq!(pool.alive(), 1);
+    }
+
+    #[test]
+    fn a_killed_worker_does_not_leak_inflight_accounting() {
+        let pool = WorkerPool::new(2, 8);
+        let h = pool
+            .submit(|| std::panic::panic_any(crate::KillWorker))
+            .unwrap();
+        let _ = h.wait();
+        // Without the sentinel repairing `active`, this drain would
+        // hang on the phantom in-flight job.
+        pool.drain();
+        assert_eq!(pool.inflight(), 0);
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! A three-state circuit breaker driven by an explicit clock.
+//!
+//! The breaker protects a downstream resource (here: the worker pool)
+//! from being hammered while it is failing. It is a classic closed /
+//! open / half-open state machine, with two deliberate departures from
+//! textbook implementations: time is passed in by the caller as a
+//! millisecond logical clock (so tests never sleep and soak runs are
+//! replayable), and every transition is counted (so the `/metrics`
+//! endpoint and the `health` op can report trips and probes).
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures in the closed state that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing probes, in ms.
+    pub cooldown_ms: u64,
+    /// Consecutive probe successes in half-open required to close.
+    pub probe_quota: u32,
+}
+
+impl BreakerConfig {
+    /// Conservative defaults: trip after 5 consecutive failures, cool
+    /// down for a second, close again after 2 clean probes.
+    #[must_use]
+    pub fn new(failure_threshold: u32, cooldown_ms: u64, probe_quota: u32) -> Self {
+        BreakerConfig {
+            failure_threshold: failure_threshold.max(1),
+            cooldown_ms,
+            probe_quota: probe_quota.max(1),
+        }
+    }
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig::new(5, 1_000, 2)
+    }
+}
+
+/// The externally visible breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are being counted.
+    Closed,
+    /// Requests are rejected until the cooldown elapses.
+    Open,
+    /// A limited number of probe requests are being let through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for telemetry and the `health` op.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// The admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed normally (breaker closed).
+    Allow,
+    /// Proceed, but this request is a half-open probe.
+    Probe,
+    /// Reject: the breaker is open for another `retry_after_ms`.
+    Reject {
+        /// Milliseconds until the cooldown elapses and probes resume.
+        retry_after_ms: u64,
+    },
+}
+
+impl Admission {
+    /// Whether the request should be executed at all.
+    #[must_use]
+    pub fn admitted(&self) -> bool {
+        !matches!(self, Admission::Reject { .. })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Inner {
+    Closed {
+        consecutive_failures: u32,
+    },
+    Open {
+        until_ms: u64,
+    },
+    HalfOpen {
+        probe_successes: u32,
+        in_flight: u32,
+    },
+}
+
+/// The breaker state machine. All methods take `now_ms`, a monotonic
+/// millisecond clock supplied by the caller; the breaker itself never
+/// reads time, which is what makes its transitions deterministic.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Inner,
+    trips: u64,
+    probes: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given configuration.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Inner::Closed {
+                consecutive_failures: 0,
+            },
+            trips: 0,
+            probes: 0,
+        }
+    }
+
+    /// The current state, advancing open → half-open if the cooldown
+    /// has elapsed at `now_ms`.
+    pub fn state(&mut self, now_ms: u64) -> BreakerState {
+        self.advance(now_ms);
+        match self.inner {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { .. } => BreakerState::Open,
+            Inner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Times the breaker has tripped (closed/half-open → open).
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Probe requests admitted while half-open.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Decides whether a request arriving at `now_ms` may proceed.
+    ///
+    /// While half-open, only one probe is admitted at a time: admitting
+    /// a thundering herd of probes against a still-sick downstream
+    /// defeats the point of the cooldown.
+    pub fn admit(&mut self, now_ms: u64) -> Admission {
+        self.advance(now_ms);
+        match &mut self.inner {
+            Inner::Closed { .. } => Admission::Allow,
+            Inner::Open { until_ms } => Admission::Reject {
+                retry_after_ms: until_ms.saturating_sub(now_ms),
+            },
+            Inner::HalfOpen { in_flight, .. } => {
+                if *in_flight > 0 {
+                    Admission::Reject { retry_after_ms: 0 }
+                } else {
+                    *in_flight += 1;
+                    self.probes += 1;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Records a successful request outcome at `now_ms`.
+    pub fn record_success(&mut self, now_ms: u64) {
+        self.advance(now_ms);
+        match &mut self.inner {
+            Inner::Closed {
+                consecutive_failures,
+            } => *consecutive_failures = 0,
+            // A success while open can only be a straggler admitted
+            // before the trip; it carries no fresh information.
+            Inner::Open { .. } => {}
+            Inner::HalfOpen {
+                probe_successes,
+                in_flight,
+            } => {
+                *in_flight = in_flight.saturating_sub(1);
+                *probe_successes += 1;
+                if *probe_successes >= self.config.probe_quota {
+                    self.inner = Inner::Closed {
+                        consecutive_failures: 0,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Records a failed request outcome at `now_ms`.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        self.advance(now_ms);
+        match &mut self.inner {
+            Inner::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now_ms);
+                }
+            }
+            Inner::Open { .. } => {}
+            // One failed probe re-opens immediately: half-open exists to
+            // test the water, not to absorb another failure streak.
+            Inner::HalfOpen { .. } => self.trip(now_ms),
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.trips += 1;
+        self.inner = Inner::Open {
+            until_ms: now_ms.saturating_add(self.config.cooldown_ms),
+        };
+    }
+
+    fn advance(&mut self, now_ms: u64) {
+        if let Inner::Open { until_ms } = self.inner {
+            if now_ms >= until_ms {
+                self.inner = Inner::HalfOpen {
+                    probe_successes: 0,
+                    in_flight: 0,
+                };
+            }
+        }
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig::new(3, 100, 2))
+    }
+
+    #[test]
+    fn stays_closed_under_scattered_failures() {
+        let mut b = breaker();
+        for t in 0..10 {
+            b.record_failure(t);
+            b.record_failure(t);
+            b.record_success(t); // success resets the streak
+        }
+        assert_eq!(b.state(100), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn trips_after_threshold_and_rejects_with_retry_after() {
+        let mut b = breaker();
+        for t in 0..3 {
+            assert!(b.admit(t).admitted());
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(3), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        match b.admit(50) {
+            Admission::Reject { retry_after_ms } => assert_eq!(retry_after_ms, 52),
+            other => panic!("expected Reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cooldown_elapses_into_half_open_single_probe() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        // Cooldown started at t=2, so the breaker reopens at t=102.
+        assert_eq!(b.state(101), BreakerState::Open);
+        assert_eq!(b.state(102), BreakerState::HalfOpen);
+        assert_eq!(b.admit(102), Admission::Probe);
+        // Second concurrent request is shed while the probe is in flight.
+        assert_eq!(b.admit(102), Admission::Reject { retry_after_ms: 0 });
+        assert_eq!(b.probes(), 1);
+    }
+
+    #[test]
+    fn probe_quota_closes_the_breaker() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        for t in [200, 210] {
+            assert_eq!(b.admit(t), Admission::Probe);
+            b.record_success(t);
+        }
+        assert_eq!(b.state(210), BreakerState::Closed);
+        assert!(b.admit(210).admitted());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.admit(200), Admission::Probe);
+        b.record_failure(200);
+        assert_eq!(b.state(250), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // And it stays open for a full fresh cooldown.
+        assert_eq!(b.state(299), BreakerState::Open);
+        assert_eq!(b.state(300), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(BreakerState::Closed.label(), "closed");
+        assert_eq!(BreakerState::Open.label(), "open");
+        assert_eq!(BreakerState::HalfOpen.label(), "half-open");
+    }
+}

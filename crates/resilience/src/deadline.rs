@@ -1,0 +1,97 @@
+//! A single deadline budget shared across queue wait, execution and
+//! retries.
+//!
+//! The failure this prevents: a request with a 2 s deadline waits 1.9 s
+//! in the queue, then gets a full 2 s execution watchdog, then fails and
+//! is retried with *another* full budget — the client gave up long ago
+//! but the server is still burning a worker on its behalf. A
+//! [`DeadlineBudget`] is created once per request and *charged* for
+//! every phase; whatever remains is all any later phase may spend.
+
+/// A monotonically decreasing millisecond budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineBudget {
+    total_ms: u64,
+    spent_ms: u64,
+}
+
+impl DeadlineBudget {
+    /// A fresh budget of `total_ms` milliseconds.
+    #[must_use]
+    pub fn new(total_ms: u64) -> Self {
+        DeadlineBudget {
+            total_ms,
+            spent_ms: 0,
+        }
+    }
+
+    /// The original budget.
+    #[must_use]
+    pub fn total_ms(&self) -> u64 {
+        self.total_ms
+    }
+
+    /// Milliseconds charged so far (may exceed the total; `remaining_ms`
+    /// saturates at zero rather than underflowing).
+    #[must_use]
+    pub fn spent_ms(&self) -> u64 {
+        self.spent_ms
+    }
+
+    /// Charges `elapsed_ms` against the budget and returns what remains.
+    pub fn charge(&mut self, elapsed_ms: u64) -> u64 {
+        self.spent_ms = self.spent_ms.saturating_add(elapsed_ms);
+        self.remaining_ms()
+    }
+
+    /// Milliseconds still available.
+    #[must_use]
+    pub fn remaining_ms(&self) -> u64 {
+        self.total_ms.saturating_sub(self.spent_ms)
+    }
+
+    /// Whether the budget is exhausted.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.spent_ms >= self.total_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_across_phases() {
+        let mut b = DeadlineBudget::new(1_000);
+        assert_eq!(b.charge(300), 700); // queue wait
+        assert_eq!(b.charge(400), 300); // first attempt
+        assert_eq!(b.charge(100), 200); // backoff
+        assert!(!b.expired());
+        assert_eq!(b.total_ms(), 1_000);
+        assert_eq!(b.spent_ms(), 800);
+    }
+
+    #[test]
+    fn overspend_saturates_and_expires() {
+        let mut b = DeadlineBudget::new(500);
+        assert_eq!(b.charge(600), 0);
+        assert!(b.expired());
+        assert_eq!(b.charge(u64::MAX), 0, "no underflow / overflow");
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn zero_budget_is_born_expired() {
+        let b = DeadlineBudget::new(0);
+        assert!(b.expired());
+        assert_eq!(b.remaining_ms(), 0);
+    }
+
+    #[test]
+    fn exact_spend_expires() {
+        let mut b = DeadlineBudget::new(100);
+        b.charge(100);
+        assert!(b.expired());
+    }
+}

@@ -1,0 +1,128 @@
+//! Capped exponential backoff with deterministic seeded jitter.
+//!
+//! Plain exponential backoff has a failure mode in batch systems: every
+//! run that failed at the same moment retries at the same moment, so the
+//! burst that caused the failures recurs on every attempt. The usual fix
+//! is random jitter, but this workspace's contract is that a single
+//! `u64` seed reproduces everything — so the jitter here is drawn from
+//! the same SplitMix64 generator the fault schedules use, forked per
+//! retry stream. Two streams (two benchmarks, two requests) get distinct
+//! delays; the same seed always gets the same delays.
+
+use powerchop_faults::SimRng;
+
+/// A backoff policy: `base * 2^(attempt-1)` capped at `cap`, with the
+/// upper half of each delay jittered by a seeded draw ("equal jitter").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-attempt delay in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling every delay is clamped to, jitter included.
+    pub cap_ms: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with the given base and cap (the cap also bounds a
+    /// misconfigured base, mirroring the supervise backoff clamp).
+    #[must_use]
+    pub fn new(base_ms: u64, cap_ms: u64) -> Self {
+        RetryPolicy { base_ms, cap_ms }
+    }
+
+    /// The un-jittered exponential delay for `attempt` (1-based).
+    #[must_use]
+    pub fn raw_delay_ms(&self, attempt: u32) -> u64 {
+        let factor = 1u64 << attempt.saturating_sub(1).min(16);
+        self.base_ms.saturating_mul(factor).min(self.cap_ms)
+    }
+
+    /// The jittered delay for `attempt` (1-based) on retry stream
+    /// `stream` of `seed`.
+    ///
+    /// Equal-jitter: half the exponential delay is kept, the other half
+    /// is drawn uniformly, so delays stay within `[raw/2, raw]` — spread
+    /// out, but never so short that backoff stops backing off. The draw
+    /// depends only on `(seed, stream, attempt)`, never on call order,
+    /// so concurrent retry loops cannot perturb each other's schedules.
+    #[must_use]
+    pub fn delay_ms(&self, seed: u64, stream: u64, attempt: u32) -> u64 {
+        let raw = self.raw_delay_ms(attempt);
+        if raw <= 1 {
+            return raw;
+        }
+        let mut rng = SimRng::new(seed).fork(stream).fork(u64::from(attempt));
+        let half = raw / 2;
+        (half + rng.gen_range(raw - half + 1)).min(self.cap_ms)
+    }
+}
+
+/// A stable stream label for named retry loops (FNV-1a over the name),
+/// so e.g. each benchmark in a supervised sweep jitters independently.
+#[must_use]
+pub fn stream_label(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_delays_double_and_cap() {
+        let p = RetryPolicy::new(100, 3_000);
+        assert_eq!(p.raw_delay_ms(1), 100);
+        assert_eq!(p.raw_delay_ms(2), 200);
+        assert_eq!(p.raw_delay_ms(3), 400);
+        assert_eq!(p.raw_delay_ms(6), 3_000, "capped");
+        assert_eq!(p.raw_delay_ms(40), 3_000, "shift is clamped, no overflow");
+    }
+
+    #[test]
+    fn jittered_delays_stay_in_the_upper_half() {
+        let p = RetryPolicy::new(100, 30_000);
+        for attempt in 1..=8 {
+            let raw = p.raw_delay_ms(attempt);
+            for seed in 0..50 {
+                let d = p.delay_ms(seed, 7, attempt);
+                assert!(
+                    d >= raw / 2 && d <= raw,
+                    "attempt {attempt} seed {seed}: {d} outside [{}, {raw}]",
+                    raw / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_and_different_seeds_diverge() {
+        let p = RetryPolicy::new(100, 30_000);
+        let series = |seed: u64| -> Vec<u64> { (1..=6).map(|a| p.delay_ms(seed, 3, a)).collect() };
+        assert_eq!(series(42), series(42), "reproducible per seed");
+        assert_ne!(series(1), series(2), "distinct seeds jitter differently");
+    }
+
+    #[test]
+    fn streams_jitter_independently() {
+        let p = RetryPolicy::new(1_000, 30_000);
+        let a: Vec<u64> = (1..=4)
+            .map(|n| p.delay_ms(9, stream_label("hmmer"), n))
+            .collect();
+        let b: Vec<u64> = (1..=4)
+            .map(|n| p.delay_ms(9, stream_label("namd"), n))
+            .collect();
+        assert_ne!(a, b, "two benchmarks never retry in lockstep");
+    }
+
+    #[test]
+    fn tiny_delays_pass_through() {
+        let p = RetryPolicy::new(0, 100);
+        assert_eq!(p.delay_ms(1, 1, 1), 0);
+        let p = RetryPolicy::new(1, 100);
+        assert_eq!(p.delay_ms(1, 1, 1), 1);
+    }
+}

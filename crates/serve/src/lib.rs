@@ -1,10 +1,14 @@
 //! `powerchop-serve`: a dependency-free TCP daemon for PowerChop runs.
 //!
 //! The daemon speaks newline-delimited JSON on a plain TCP socket —
-//! `nc` is a complete client — and serves five ops: `run`, `sweep`,
-//! `status`, `metrics` and `shutdown`. Simulations dispatch onto the
-//! bounded [`powerchop_exec::WorkerPool`]; a full queue sheds requests
-//! with an explicit 429-style reply instead of queueing unboundedly.
+//! `nc` is a complete client — and serves six ops: `run`, `sweep`,
+//! `status`, `health`, `metrics` and `shutdown`. Simulations dispatch
+//! onto the bounded [`powerchop_exec::WorkerPool`]; a full queue sheds
+//! requests with an explicit 429-style reply instead of queueing
+//! unboundedly, a max-connections gate and per-socket timeouts shed
+//! slow or excess clients with typed replies, and a circuit breaker
+//! plus worker supervision keep the daemon serving through repeated
+//! failures (see `powerchop-resilience`).
 //! Completed reports land in an LRU cache keyed by the checkpoint
 //! crate's program + configuration fingerprints, so repeated requests
 //! are answered from memory, bit-identically. Every run is watched by a

@@ -5,17 +5,24 @@
 //!
 //! | op         | extra fields                                              |
 //! |------------|-----------------------------------------------------------|
-//! | `run`      | `bench` (required), `manager`, `budget`, `scale`, `seed`, `storm`, `deadline_ms` |
+//! | `run`      | `bench` (required), `manager`, `budget`, `scale`, `seed`, `storm`, `deadline_ms`, `chaos` (gated) |
 //! | `sweep`    | `benches` (array) or `suite`, plus the `run` knobs        |
 //! | `status`   | —                                                         |
+//! | `health`   | —                                                         |
 //! | `metrics`  | —                                                         |
 //! | `shutdown` | —                                                         |
 //!
 //! Error replies are `{"ok":false,"code":N,"error":"<slug>","message":...}`
 //! with HTTP-flavored codes: 400 bad request, 404 unknown benchmark,
-//! 408 deadline expired, 429 queue full, 500 internal, 503 draining.
+//! 408 deadline expired or slow client, 429 queue full, 500 internal,
+//! 503 draining / overloaded / breaker-open / unavailable.
 //! Validation here mirrors the CLI flag parsers in `powerchop-cli`
 //! exactly — a request the daemon accepts is a run the CLI would accept.
+//!
+//! The `chaos` field (`"chaos":"panic"`) asks the daemon to kill the
+//! worker thread mid-run, exercising the supervision path. It is only
+//! honored when the daemon was started with chaos ops enabled
+//! (`--chaos-ops`); otherwise it is refused with a 400.
 
 use powerchop::ManagerKind;
 use powerchop_faults::FaultConfig;
@@ -53,6 +60,9 @@ pub struct Limits {
     /// Per-request wall-clock deadline cap in milliseconds; a request
     /// may shrink its own deadline but never extend past this.
     pub deadline_ms: u64,
+    /// Whether `"chaos"` ops (deliberate worker kills) are honored.
+    /// Off by default; enabled by `--chaos-ops` for soak testing.
+    pub allow_chaos: bool,
 }
 
 /// A typed request failure, carried to the client as an error reply.
@@ -126,6 +136,48 @@ impl ReqError {
             message: "daemon is draining; no new work accepted".into(),
         }
     }
+
+    /// 503: the max-connections gate is full — the connection is shed.
+    #[must_use]
+    pub fn overloaded(max_connections: usize) -> Self {
+        Self {
+            code: 503,
+            slug: "overloaded",
+            message: format!("connection limit reached ({max_connections}); retry later"),
+        }
+    }
+
+    /// 503: the circuit breaker is open after repeated run failures.
+    #[must_use]
+    pub fn breaker_open(retry_after_ms: u64) -> Self {
+        Self {
+            code: 503,
+            slug: "breaker-open",
+            message: format!(
+                "circuit breaker is open after repeated failures; retry in {retry_after_ms} ms"
+            ),
+        }
+    }
+
+    /// 503: workers are crash-looping past the restart-storm threshold.
+    #[must_use]
+    pub fn unavailable() -> Self {
+        Self {
+            code: 503,
+            slug: "unavailable",
+            message: "workers are restarting faster than the storm threshold allows".into(),
+        }
+    }
+
+    /// 408: the client was too slow to send (or receive) a full line.
+    #[must_use]
+    pub fn slow_client(timeout_ms: u64) -> Self {
+        Self {
+            code: 408,
+            slug: "slow-client",
+            message: format!("no complete request line within {timeout_ms} ms; closing"),
+        }
+    }
 }
 
 impl std::fmt::Display for ReqError {
@@ -154,6 +206,9 @@ pub struct RunSpec {
     /// Effective wall-clock deadline for this run, already clamped to
     /// the server cap. Zero is an immediately-expired deadline.
     pub deadline_ms: u64,
+    /// Kill the worker thread mid-run (`"chaos":"panic"`). Only parses
+    /// when [`Limits::allow_chaos`] is set.
+    pub chaos_panic: bool,
 }
 
 /// A parsed request line.
@@ -165,6 +220,9 @@ pub enum Request {
     Sweep(Vec<RunSpec>),
     /// Report queue/cache/drain state.
     Status,
+    /// Report liveness/readiness: breaker state, worker liveness,
+    /// queue depth, restart counts.
+    Health,
     /// Return the Prometheus metrics text.
     Metrics,
     /// Begin a graceful drain.
@@ -251,6 +309,20 @@ fn run_spec(v: &Json, limits: &Limits, bench: Option<&str>) -> Result<RunSpec, R
     let deadline_ms = want_u64(v, "deadline_ms")?
         .unwrap_or(limits.deadline_ms)
         .min(limits.deadline_ms);
+    let chaos_panic = match want_str(v, "chaos")? {
+        None => false,
+        Some(_) if !limits.allow_chaos => {
+            return Err(ReqError::bad_request(
+                "chaos ops are disabled; start the daemon with --chaos-ops to enable them",
+            ))
+        }
+        Some("panic") => true,
+        Some(other) => {
+            return Err(ReqError::bad_request(format!(
+                "unknown chaos op {other:?} (expected \"panic\")"
+            )))
+        }
+    };
     Ok(RunSpec {
         bench,
         manager,
@@ -259,6 +331,7 @@ fn run_spec(v: &Json, limits: &Limits, bench: Option<&str>) -> Result<RunSpec, R
         seed,
         storm,
         deadline_ms,
+        chaos_panic,
     })
 }
 
@@ -331,10 +404,11 @@ pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, ReqError> {
             Ok(Request::Sweep(specs))
         }
         "status" => Ok(Request::Status),
+        "health" => Ok(Request::Health),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ReqError::bad_request(format!(
-            "unknown op {other:?} (expected run|sweep|status|metrics|shutdown)"
+            "unknown op {other:?} (expected run|sweep|status|health|metrics|shutdown)"
         ))),
     }
 }
@@ -419,6 +493,14 @@ mod tests {
         Limits {
             max_budget: 1_000_000_000,
             deadline_ms: 120_000,
+            allow_chaos: false,
+        }
+    }
+
+    fn chaos_limits() -> Limits {
+        Limits {
+            allow_chaos: true,
+            ..limits()
         }
     }
 
@@ -545,10 +627,35 @@ mod tests {
     }
 
     #[test]
+    fn chaos_ops_are_gated_behind_the_limit_flag() {
+        let line = r#"{"op":"run","bench":"hmmer","chaos":"panic"}"#;
+        let e = bad(line);
+        assert_eq!(e.code, 400);
+        assert!(e.message.contains("--chaos-ops"), "{e}");
+
+        let r = parse_request(line, &chaos_limits()).unwrap();
+        let Request::Run(spec) = r else {
+            panic!("expected run")
+        };
+        assert!(spec.chaos_panic);
+
+        let e = parse_request(
+            r#"{"op":"run","bench":"hmmer","chaos":"meteor"}"#,
+            &chaos_limits(),
+        )
+        .expect_err("unknown chaos op");
+        assert!(e.message.contains("unknown chaos op"), "{e}");
+    }
+
+    #[test]
     fn control_ops_parse() {
         assert_eq!(
             parse_request(r#"{"op":"status"}"#, &limits()).unwrap(),
             Request::Status
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#, &limits()).unwrap(),
+            Request::Health
         );
         assert_eq!(
             parse_request(r#"{"op":"metrics"}"#, &limits()).unwrap(),

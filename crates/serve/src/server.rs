@@ -10,8 +10,17 @@
 //! `supervise` machinery: a watchdog thread trips a cancel flag once the
 //! deadline passes and the run checks it between step chunks, so a
 //! runaway request yields a 408 reply instead of pinning a worker
-//! forever (the deadline covers compute time, not queue wait, exactly
-//! like a supervise slot).
+//! forever. The deadline is a single [`DeadlineBudget`] charged across
+//! queue wait *and* compute, so time spent waiting for a worker can
+//! never buy extra execution time past the client's deadline.
+//!
+//! Connections are hardened end to end: per-socket read/write timeouts
+//! disconnect slow-loris clients with a typed 408, a max-connections
+//! gate sheds excess connections with a typed 503 before they get a
+//! thread, a circuit breaker over the run path sheds work with a typed
+//! 503 while the simulator is failing repeatedly, and dead workers are
+//! respawned by the pool supervisor (visible in
+//! `serve_worker_respawns_total` and the `health` op).
 //!
 //! Completed reports are cached in an LRU keyed by
 //! [`powerchop_checkpoint::run_key`] over the program and configuration
@@ -29,14 +38,15 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use powerchop::{config_fingerprint, ManagerKind, RunConfig, RunReport, Simulation};
 use powerchop_checkpoint::run_key;
-use powerchop_exec::{JobHandle, SubmitError, WorkerPool};
+use powerchop_exec::{JobHandle, KillWorker, SubmitError, WorkerPool};
 use powerchop_gisa::Program;
+use powerchop_resilience::{Admission, CircuitBreaker, DeadlineBudget, RetryPolicy};
 use powerchop_telemetry::export::JsonWriter;
 use powerchop_telemetry::MetricsRegistry;
 use powerchop_workloads::Scale;
@@ -70,6 +80,19 @@ pub struct ServerConfig {
     pub max_request_bytes: usize,
     /// Largest accepted instruction budget per run.
     pub max_budget: u64,
+    /// Concurrent connections admitted before new ones are shed with a
+    /// typed 503 (`overloaded`).
+    pub max_connections: usize,
+    /// Per-socket read timeout in milliseconds (0 disables): a client
+    /// that cannot produce a full request line within it gets a typed
+    /// 408 (`slow-client`) and is disconnected.
+    pub read_timeout_ms: u64,
+    /// Per-socket write timeout in milliseconds (0 disables): a client
+    /// that cannot absorb its reply within it is disconnected.
+    pub write_timeout_ms: u64,
+    /// Honor `"chaos"` request fields (deliberate worker kills). Off by
+    /// default; only soak/chaos tests should enable it.
+    pub chaos_ops: bool,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +105,10 @@ impl Default for ServerConfig {
             deadline_ms: 120_000,
             max_request_bytes: 1 << 20,
             max_budget: 1_000_000_000,
+            max_connections: 64,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            chaos_ops: false,
         }
     }
 }
@@ -101,6 +128,17 @@ struct State {
     limits: Limits,
     max_request_bytes: usize,
     addr: SocketAddr,
+    /// Connections currently being served (max-connections gate).
+    connections: AtomicUsize,
+    max_connections: usize,
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
+    /// Circuit breaker over run execution: repeated internal failures
+    /// trip it and new runs are shed with a typed 503 until a probe
+    /// succeeds.
+    breaker: Mutex<CircuitBreaker>,
+    /// Zero point of the breaker's logical millisecond clock.
+    epoch: Instant,
 }
 
 impl State {
@@ -112,6 +150,38 @@ impl State {
         self.draining.load(Ordering::SeqCst)
     }
 
+    /// Milliseconds since the daemon booted (the breaker clock).
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Asks the breaker whether a run may proceed right now.
+    fn breaker_admit(&self) -> Result<(), ReqError> {
+        match lock(&self.breaker).admit(self.now_ms()) {
+            Admission::Allow | Admission::Probe => Ok(()),
+            Admission::Reject { retry_after_ms } => {
+                Err(ReqError::breaker_open(retry_after_ms.max(1)))
+            }
+        }
+    }
+
+    /// Feeds a run outcome back to the breaker. Only *infrastructure*
+    /// failures (simulator errors, worker panics) count against it;
+    /// deadline expiries and shed requests say nothing about the
+    /// health of the run path.
+    fn breaker_observe(&self, ok: bool) {
+        let mut breaker = lock(&self.breaker);
+        let now = self.now_ms();
+        if ok {
+            breaker.record_success(now);
+        } else {
+            breaker.record_failure(now);
+        }
+        let trips = breaker.trips();
+        drop(breaker);
+        lock(&self.metrics).counter_set("serve_breaker_trips_total", trips);
+    }
+
     /// Snapshot the live gauges and render the Prometheus text.
     fn prometheus_text(&self) -> String {
         let mut m = lock(&self.metrics);
@@ -119,7 +189,24 @@ impl State {
         m.gauge_set("serve_inflight", self.pool.inflight() as f64);
         m.gauge_set("serve_cache_entries", lock(&self.cache).len() as f64);
         m.gauge_set("serve_draining", if self.draining() { 1.0 } else { 0.0 });
+        m.gauge_set(
+            "serve_connections",
+            self.connections.load(Ordering::SeqCst) as f64,
+        );
+        m.gauge_set("serve_workers_alive", self.pool.alive() as f64);
+        m.counter_set("serve_worker_respawns_total", self.pool.respawns());
+        m.counter_set("serve_breaker_trips_total", lock(&self.breaker).trips());
         m.to_prometheus_text()
+    }
+}
+
+/// Decrements the connection gauge when a connection thread finishes,
+/// however it finishes.
+struct ConnGuard<'a>(&'a State);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -139,17 +226,36 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let jobs = powerchop_exec::resolve_jobs(cfg.jobs);
+        let mut metrics = MetricsRegistry::new();
+        // Seed the resilience counters at zero so a metrics scrape sees
+        // them before the first trip/retry/respawn/shed ever happens.
+        for name in [
+            "serve_breaker_trips_total",
+            "serve_retries_total",
+            "serve_worker_respawns_total",
+            "serve_slow_client_disconnects_total",
+            "serve_conn_rejected_total",
+        ] {
+            metrics.counter_add(name, 0);
+        }
         let state = Arc::new(State {
             pool: WorkerPool::new(jobs, cfg.queue_depth),
             cache: Mutex::new(ResultCache::new(cfg.cache_entries)),
-            metrics: Mutex::new(MetricsRegistry::new()),
+            metrics: Mutex::new(metrics),
             draining: AtomicBool::new(false),
             limits: Limits {
                 max_budget: cfg.max_budget,
                 deadline_ms: cfg.deadline_ms,
+                allow_chaos: cfg.chaos_ops,
             },
             max_request_bytes: cfg.max_request_bytes,
             addr,
+            connections: AtomicUsize::new(0),
+            max_connections: cfg.max_connections.max(1),
+            read_timeout_ms: cfg.read_timeout_ms,
+            write_timeout_ms: cfg.write_timeout_ms,
+            breaker: Mutex::new(CircuitBreaker::default()),
+            epoch: Instant::now(),
         });
         Ok(Self { listener, state })
     }
@@ -191,8 +297,35 @@ impl Server {
             if self.state.draining() {
                 break;
             }
+            // Socket hardening before the connection thread exists: a
+            // slow-loris client must not be able to pin anything, not
+            // even briefly. Failures only lose this connection.
+            let timeouts_ok = set_socket_timeouts(
+                &stream,
+                self.state.read_timeout_ms,
+                self.state.write_timeout_ms,
+            );
+            if timeouts_ok.is_err() {
+                continue;
+            }
+            // Max-connections gate: past the cap the client gets one
+            // typed 503 line and an immediate close, never a thread.
+            let admitted =
+                self.state.connections.fetch_add(1, Ordering::SeqCst) < self.state.max_connections;
+            if !admitted {
+                self.state.connections.fetch_sub(1, Ordering::SeqCst);
+                self.state.count("serve_conn_rejected_total");
+                let mut stream = stream;
+                let e = ReqError::overloaded(self.state.max_connections);
+                let _ = writeln!(stream, "{}", error_reply(&e));
+                continue;
+            }
             let state = Arc::clone(&self.state);
-            conns.push(std::thread::spawn(move || handle_conn(&state, stream)));
+            conns.push(std::thread::spawn(move || {
+                let guard = ConnGuard(&state);
+                handle_conn(&state, stream);
+                drop(guard);
+            }));
         }
         for conn in conns {
             let _ = conn.join();
@@ -200,6 +333,24 @@ impl Server {
         self.state.pool.drain();
         Ok(())
     }
+}
+
+/// Applies the configured read/write timeouts to an accepted socket.
+/// Zero disables that timeout (blocking forever, the pre-hardening
+/// behaviour).
+fn set_socket_timeouts(stream: &TcpStream, read_ms: u64, write_ms: u64) -> std::io::Result<()> {
+    let dur = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+    stream.set_read_timeout(dur(read_ms))?;
+    stream.set_write_timeout(dur(write_ms))
+}
+
+/// Whether an I/O error is a socket-timeout expiry (reported as
+/// `WouldBlock` on Unix and `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 fn handle_conn(state: &Arc<State>, stream: TcpStream) {
@@ -221,7 +372,19 @@ fn serve_conn(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
         // `take` bounds the read so a newline-less flood cannot grow the
         // buffer past the limit; one extra byte distinguishes "exactly
         // at the limit" from "over it".
-        let n = (&mut reader).take(limit + 1).read_until(b'\n', &mut buf)?;
+        let n = match (&mut reader).take(limit + 1).read_until(b'\n', &mut buf) {
+            Ok(n) => n,
+            // A read timeout is the slow-loris case: the client held
+            // the socket without completing a line. Send one typed 408
+            // (best effort — the client may be gone) and disconnect.
+            Err(e) if is_timeout(&e) => {
+                state.count("serve_slow_client_disconnects_total");
+                let err = ReqError::slow_client(state.read_timeout_ms);
+                let _ = writeln!(writer, "{}", error_reply(&err));
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             return Ok(()); // client closed
         }
@@ -257,8 +420,15 @@ fn serve_conn(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
             continue;
         }
         let reply = dispatch_line(state, line);
-        writeln!(writer, "{reply}")?;
-        writer.flush()?;
+        if let Err(e) = writeln!(writer, "{reply}").and_then(|()| writer.flush()) {
+            // A client too slow to *absorb* its reply is shed the same
+            // way as one too slow to send: count it, drop it.
+            if is_timeout(&e) {
+                state.count("serve_slow_client_disconnects_total");
+                return Ok(());
+            }
+            return Err(e);
+        }
     }
 }
 
@@ -267,6 +437,7 @@ fn dispatch_line(state: &Arc<State>, line: &str) -> String {
     match parse_request(line, &state.limits) {
         Err(e) => refuse(state, &e),
         Ok(Request::Status) => status_reply(state),
+        Ok(Request::Health) => health_reply(state),
         Ok(Request::Metrics) => metrics_reply(state),
         Ok(Request::Shutdown) => shutdown_reply(state),
         Ok(Request::Run(spec)) => match execute_run(state, &spec) {
@@ -363,14 +534,21 @@ fn settle(
     match handle.wait() {
         Err(panic) => {
             state.count("serve_panics_total");
+            state.breaker_observe(false);
             Err(ReqError::internal(format!(
                 "run panicked: {}",
                 panic.message
             )))
         }
+        // A deadline expiry is the *client's* budget running out, not
+        // evidence the run path is sick; it does not feed the breaker.
         Ok(Err(RunFail::Deadline)) => Err(ReqError::deadline(deadline_ms)),
-        Ok(Err(RunFail::Sim(message))) => Err(ReqError::internal(message)),
+        Ok(Err(RunFail::Sim(message))) => {
+            state.breaker_observe(false);
+            Err(ReqError::internal(message))
+        }
         Ok(Ok(report)) => {
+            state.breaker_observe(true);
             let json = report_to_json(&report);
             lock(&state.cache).put(key, json.clone());
             state.count("serve_runs_total");
@@ -379,8 +557,47 @@ fn settle(
     }
 }
 
-/// The `run` op: cache lookup, bounded submission, deadline-watched
-/// execution. Returns `(cached, report_json)`.
+/// Maps a pool refusal onto its typed reply.
+fn submit_error(e: SubmitError) -> ReqError {
+    match e {
+        SubmitError::Busy { queue_depth } => ReqError::busy(queue_depth),
+        SubmitError::Closed => ReqError::draining(),
+        SubmitError::Unavailable => ReqError::unavailable(),
+    }
+}
+
+/// Builds the pool job for one run: charge the queue wait against the
+/// request's [`DeadlineBudget`] (so waiting cannot buy extra compute
+/// time), then run under a watchdog for whatever remains. A
+/// `chaos_panic` spec steps one chunk and then kills its worker with
+/// the [`KillWorker`] sentinel — the supervision path, on demand.
+fn run_job(
+    program: Program,
+    kind: ManagerKind,
+    cfg: RunConfig,
+    deadline_ms: u64,
+    chaos_panic: bool,
+) -> impl FnOnce() -> Result<RunReport, RunFail> + Send + 'static {
+    let admitted = Instant::now();
+    move || {
+        if chaos_panic {
+            if let Ok(mut sim) = Simulation::new(&program, kind, &cfg) {
+                let _ = sim.step_chunk(STEP_CHUNK);
+            }
+            std::panic::panic_any(KillWorker);
+        }
+        let mut budget = DeadlineBudget::new(deadline_ms);
+        let waited = u64::try_from(admitted.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let remaining = budget.charge(waited);
+        if budget.expired() {
+            return Err(RunFail::Deadline);
+        }
+        run_with_deadline(&program, kind, &cfg, remaining)
+    }
+}
+
+/// The `run` op: breaker admission, cache lookup, bounded submission,
+/// deadline-watched execution. Returns `(cached, report_json)`.
 fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), ReqError> {
     if state.draining() {
         return Err(ReqError::draining());
@@ -390,24 +607,29 @@ fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), Req
         state.count("serve_cache_hits_total");
         return Ok((true, hit));
     }
+    state.breaker_admit()?;
     state.count("serve_cache_misses_total");
-    let kind = spec.manager;
     let deadline_ms = spec.deadline_ms;
     let handle = state
         .pool
-        .submit(move || run_with_deadline(&program, kind, &cfg, deadline_ms))
-        .map_err(|e| match e {
-            SubmitError::Busy { queue_depth } => ReqError::busy(queue_depth),
-            SubmitError::Closed => ReqError::draining(),
-        })?;
+        .submit(run_job(
+            program,
+            spec.manager,
+            cfg,
+            deadline_ms,
+            spec.chaos_panic,
+        ))
+        .map_err(submit_error)?;
     settle(state, key, deadline_ms, handle).map(|json| (false, json))
 }
 
 /// The `sweep` op: submit every benchmark up front (filling workers and
 /// queue), then await them in roster order. The sweep's own submissions
-/// ride through Busy with a short retry nap — it is one logical request
-/// and must not shed itself — while concurrent `run` requests observe
-/// the full queue and get 429s: exactly the backpressure story.
+/// ride through Busy with seeded-jitter backoff — it is one logical
+/// request and must not shed itself, but a burst of sweeps must not
+/// hammer the queue in lockstep either — while concurrent `run`
+/// requests observe the full queue and get 429s: exactly the
+/// backpressure story.
 fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
     if state.draining() {
         return refuse(state, &ReqError::draining());
@@ -430,19 +652,34 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
                     let kind = spec.manager;
                     let deadline_ms = spec.deadline_ms;
                     let shared = Arc::new((program, cfg));
+                    // Seeded-jitter backoff: reproducible for a given
+                    // request seed, de-synchronized across benchmarks.
+                    let policy = RetryPolicy::new(1, 50);
+                    let retry_seed = spec.seed.unwrap_or(crate::protocol::DEFAULT_FAULT_SEED);
+                    let stream = powerchop_resilience::retry::stream_label(&spec.bench);
+                    let mut attempt = 0u32;
                     loop {
                         let ctx = Arc::clone(&shared);
-                        match state
-                            .pool
-                            .submit(move || run_with_deadline(&ctx.0, kind, &ctx.1, deadline_ms))
-                        {
+                        let admitted = Instant::now();
+                        match state.pool.submit(move || {
+                            let mut budget = DeadlineBudget::new(deadline_ms);
+                            let waited =
+                                u64::try_from(admitted.elapsed().as_millis()).unwrap_or(u64::MAX);
+                            let remaining = budget.charge(waited);
+                            if budget.expired() {
+                                return Err(RunFail::Deadline);
+                            }
+                            run_with_deadline(&ctx.0, kind, &ctx.1, remaining)
+                        }) {
                             Ok(handle) => break Pending::Dispatched(key, deadline_ms, handle),
                             Err(SubmitError::Busy { .. }) => {
-                                std::thread::sleep(Duration::from_millis(1));
+                                attempt = attempt.saturating_add(1);
+                                state.count("serve_retries_total");
+                                std::thread::sleep(Duration::from_millis(
+                                    policy.delay_ms(retry_seed, stream, attempt),
+                                ));
                             }
-                            Err(SubmitError::Closed) => {
-                                break Pending::Refused(ReqError::draining())
-                            }
+                            Err(e) => break Pending::Refused(submit_error(e)),
                         }
                     }
                 }
@@ -496,6 +733,36 @@ fn status_reply(state: &Arc<State>) -> String {
     w.field_u64("inflight", state.pool.inflight() as u64);
     w.field_u64("cache_entries", lock(&state.cache).len() as u64);
     w.field_u64("cache_capacity", lock(&state.cache).capacity() as u64);
+    w.finish()
+}
+
+/// The `health` op: liveness/readiness in one line. `healthy` is the
+/// single bit an orchestrator needs — the daemon is accepting work and
+/// nothing has latched a degraded mode; the rest explains why not.
+fn health_reply(state: &Arc<State>) -> String {
+    let breaker_state = lock(&state.breaker).state(state.now_ms());
+    let breaker_trips = lock(&state.breaker).trips();
+    let gave_up = state.pool.gave_up();
+    let healthy =
+        !state.draining() && !gave_up && breaker_state != powerchop_resilience::BreakerState::Open;
+    let mut w = JsonWriter::object();
+    w.field_bool("ok", true);
+    w.field_str("op", "health");
+    w.field_bool("healthy", healthy);
+    w.field_bool("draining", state.draining());
+    w.field_str("breaker", breaker_state.label());
+    w.field_u64("breaker_trips", breaker_trips);
+    w.field_u64("workers", state.pool.workers() as u64);
+    w.field_u64("workers_alive", state.pool.alive() as u64);
+    w.field_u64("worker_respawns", state.pool.respawns());
+    w.field_bool("pool_gave_up", gave_up);
+    w.field_u64("queued", state.pool.queued() as u64);
+    w.field_u64("inflight", state.pool.inflight() as u64);
+    w.field_u64(
+        "connections",
+        state.connections.load(Ordering::SeqCst) as u64,
+    );
+    w.field_u64("max_connections", state.max_connections as u64);
     w.finish()
 }
 

@@ -13,6 +13,7 @@
 //! - [`telemetry`] — flight-recorder tracing, metrics and exporters
 //! - [`workloads`] — the synthetic benchmark suites
 //! - [`exec`] — the work-stealing job pool fan-out commands run on
+//! - [`resilience`] — retry, circuit-breaker, deadline-budget and chaos primitives
 //! - [`serve`] — the TCP daemon (NDJSON protocol, result cache, backpressure)
 //! - [`cli`] — the command-line interface (argument parsing and commands)
 
@@ -23,6 +24,7 @@ pub use powerchop_exec as exec;
 pub use powerchop_faults as faults;
 pub use powerchop_gisa as gisa;
 pub use powerchop_power as power;
+pub use powerchop_resilience as resilience;
 pub use powerchop_serve as serve;
 pub use powerchop_telemetry as telemetry;
 pub use powerchop_uarch as uarch;
