@@ -137,10 +137,31 @@ const CRC_TABLE: [u32; 256] = {
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
 #[must_use]
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
+    crc32_finish(crc32_update(crc32_begin(), bytes))
+}
+
+/// Starts a streaming CRC-32 computation (the pre-inversion seed).
+/// Feed chunks through [`crc32_update`] and close with [`crc32_finish`];
+/// the result equals [`crc32`] over the concatenated chunks, with no
+/// intermediate buffer. The write-ahead journal uses this to checksum a
+/// frame header and payload without gluing them together first.
+#[must_use]
+pub fn crc32_begin() -> u32 {
+    !0u32
+}
+
+/// Folds `bytes` into a streaming CRC-32 state from [`crc32_begin`].
+#[must_use]
+pub fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
+    crc
+}
+
+/// Closes a streaming CRC-32 state into the final checksum.
+#[must_use]
+pub fn crc32_finish(crc: u32) -> u32 {
     !crc
 }
 
@@ -505,6 +526,18 @@ mod tests {
     fn crc32_matches_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn streaming_crc32_equals_one_shot_at_every_split() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let whole = crc32(data);
+        for split in 0..=data.len() {
+            let mut crc = crc32_begin();
+            crc = crc32_update(crc, &data[..split]);
+            crc = crc32_update(crc, &data[split..]);
+            assert_eq!(crc32_finish(crc), whole, "split at {split}");
+        }
     }
 
     #[test]

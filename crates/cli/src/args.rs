@@ -260,6 +260,23 @@ pub struct ServeOpts {
     pub write_timeout_ms: u64,
     /// Allow fault-injection ops (`"chaos"` on run requests).
     pub chaos_ops: bool,
+    /// Write-ahead journal + checkpoint-spill directory (`None`
+    /// disables crash consistency).
+    pub journal_dir: Option<String>,
+    /// Persistent result-cache directory (`None` keeps the cache
+    /// memory-only).
+    pub cache_dir: Option<String>,
+    /// Instructions between checkpoint spills of in-flight runs.
+    pub spill_every: u64,
+    /// Run under the self-healing supervisor: the daemon is respawned
+    /// after crashes at a bounded rate (requires `--journal-dir` to be
+    /// useful, but works without it).
+    pub supervised: bool,
+    /// Supervisor give-up threshold: crashes tolerated inside the
+    /// restart window before the supervisor latches a storm verdict.
+    pub max_restarts: u32,
+    /// Supervisor restart-rate window in milliseconds.
+    pub restart_window_ms: u64,
 }
 
 impl Default for ServeOpts {
@@ -276,6 +293,12 @@ impl Default for ServeOpts {
             read_timeout_ms: 30_000,
             write_timeout_ms: 10_000,
             chaos_ops: false,
+            journal_dir: None,
+            cache_dir: None,
+            spill_every: 2_000_000,
+            supervised: false,
+            max_restarts: 10,
+            restart_window_ms: 10_000,
         }
     }
 }
@@ -303,6 +326,11 @@ pub struct SoakOpts {
     /// Daemon worker threads (`None` resolves through `POWERCHOP_JOBS`
     /// and then the machine's available parallelism).
     pub jobs: Option<usize>,
+    /// Crash-recovery drill cycles: each cycle SIGKILLs a real child
+    /// daemon mid-sweep and restarts it, then the final boot must
+    /// finish the sweep from its spill checkpoints with zero re-done
+    /// chunks and bit-identical reports. Zero skips the drill.
+    pub crash_cycles: usize,
 }
 
 impl Default for SoakOpts {
@@ -316,6 +344,7 @@ impl Default for SoakOpts {
             budget: 200_000,
             scale: 0.05,
             jobs: Some(2),
+            crash_cycles: 0,
         }
     }
 }
@@ -422,6 +451,18 @@ OPTIONS (serve):
     --write-timeout-ms <N> per-socket write timeout, 0 disables [default: 10000]
     --chaos-ops            allow fault-injection ops (worker-kill runs); for
                            test harnesses only
+    --journal-dir <path>   fsync'd write-ahead intent journal + checkpoint
+                           spills: accepted requests survive kill -9 and are
+                           resumed on the next boot (omit to disable)
+    --cache-dir <path>     persistent result-cache log: cache hits survive a
+                           restart bit-identically (omit to keep memory-only)
+    --spill-every <N>      instructions between checkpoint spills of in-flight
+                           runs                                [default: 2000000]
+    --supervised           self-healing mode: respawn the daemon after crashes
+                           at a bounded rate, give up on a crash storm
+    --max-restarts <N>     crashes tolerated per window before giving up
+                           [default: 10]
+    --restart-window-ms <N> restart-rate window                [default: 10000]
 
 OPTIONS (soak):
     --seed <N>             master storm seed (forks per client) [default: 3405691582]
@@ -432,6 +473,10 @@ OPTIONS (soak):
     --budget <N>           instruction budget per soak run      [default: 200000]
     --scale <F>            workload scale factor                [default: 0.05]
     --jobs <N>             daemon worker threads                [default: 2]
+    --crash-cycles <N>     crash-recovery drill: SIGKILL a real child daemon
+                           mid-sweep N times, restart it, then verify the sweep
+                           finishes from its spills with zero re-done chunks
+                           and bit-identical reports            [default: 0 (off)]
 ";
 
 /// Parses the shared run flags, handing unrecognized flags to `extra`
@@ -729,6 +774,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--read-timeout-ms" => opts.read_timeout_ms = parse_int(flag, &value()?)?,
                     "--write-timeout-ms" => opts.write_timeout_ms = parse_int(flag, &value()?)?,
                     "--chaos-ops" => opts.chaos_ops = true,
+                    "--journal-dir" => opts.journal_dir = Some(value()?),
+                    "--cache-dir" => opts.cache_dir = Some(value()?),
+                    "--spill-every" => opts.spill_every = parse_positive(flag, &value()?)?,
+                    "--supervised" => opts.supervised = true,
+                    "--max-restarts" => opts.max_restarts = parse_positive(flag, &value()?)?,
+                    "--restart-window-ms" => {
+                        opts.restart_window_ms = parse_positive(flag, &value()?)?;
+                    }
                     other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
                 }
             }
@@ -752,6 +805,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--budget" => opts.budget = parse_positive(flag, &value()?)?,
                     "--scale" => opts.scale = parse_scale(flag, &value()?)?,
                     "--jobs" => opts.jobs = Some(parse_positive(flag, &value()?)?),
+                    "--crash-cycles" => opts.crash_cycles = parse_int(flag, &value()?)?,
                     other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
                 }
             }
@@ -1043,6 +1097,36 @@ mod tests {
         assert!(parse(&argv("serve --queue-depth 0")).is_err());
         assert!(parse(&argv("serve --max-connections 0")).is_err());
         assert!(parse(&argv("serve --bogus")).is_err());
+        // Durability and supervision are opt-in and parse together.
+        match parse(&argv(
+            "serve --journal-dir wal --cache-dir cache --spill-every 50000 \
+             --supervised --max-restarts 3 --restart-window-ms 5000",
+        ))
+        .unwrap()
+        {
+            Command::Serve { opts } => {
+                assert_eq!(opts.journal_dir.as_deref(), Some("wal"));
+                assert_eq!(opts.cache_dir.as_deref(), Some("cache"));
+                assert_eq!(opts.spill_every, 50_000);
+                assert!(opts.supervised);
+                assert_eq!(opts.max_restarts, 3);
+                assert_eq!(opts.restart_window_ms, 5_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let d = ServeOpts::default();
+        assert_eq!(d.journal_dir, None, "durability is opt-in");
+        assert_eq!(d.cache_dir, None);
+        assert!(!d.supervised);
+        // A zero spill interval would spill every chunk forever; a zero
+        // restart budget could never respawn.
+        assert!(parse(&argv("serve --spill-every 0")).is_err());
+        assert!(parse(&argv("serve --max-restarts 0")).is_err());
+        assert!(parse(&argv("serve --restart-window-ms 0")).is_err());
+        assert!(
+            parse(&argv("serve --journal-dir")).is_err(),
+            "needs a value"
+        );
         // Cache 0 (disabled), deadline 0 (no watchdog) and socket
         // timeouts 0 (blocking sockets) stay legal.
         assert!(parse(&argv(
@@ -1082,6 +1166,13 @@ mod tests {
         assert!(parse(&argv("soak --hostile 0 --honest 0")).is_ok());
         assert!(parse(&argv("soak --requests 0")).is_err());
         assert!(parse(&argv("soak --bogus")).is_err());
+        // The crash-recovery drill is off by default and opt-in by count.
+        assert_eq!(SoakOpts::default().crash_cycles, 0);
+        match parse(&argv("soak --crash-cycles 3")).unwrap() {
+            Command::Soak { opts } => assert_eq!(opts.crash_cycles, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("soak --crash-cycles x")).is_err());
     }
 
     #[test]

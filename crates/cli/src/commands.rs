@@ -57,10 +57,43 @@ pub fn dispatch(command: Command) -> Result<(), CliError> {
     }
 }
 
+/// Validates a directory flag up front: the path must be creatable and
+/// writable *now*, so a typo'd `--journal-dir` fails at startup with
+/// the flag name and raw value (the parse-error convention) instead of
+/// surfacing as a confusing bind error — or worse, a daemon that only
+/// discovers its journal is read-only at the first crash.
+fn validate_writable_dir(flag: &str, raw: &str) -> Result<(), CliError> {
+    let check = || -> std::io::Result<()> {
+        std::fs::create_dir_all(raw)?;
+        let probe = std::path::Path::new(raw).join(".powerchop-writable");
+        std::fs::write(&probe, b"probe")?;
+        std::fs::remove_file(&probe)
+    };
+    check().map_err(|e| {
+        CliError(format!(
+            "{flag}: invalid value {raw:?}: {e} (expected a writable directory path)"
+        ))
+    })
+}
+
 /// The `serve` command: bind the daemon, announce the resolved address
 /// on stdout (port 0 picks a free port, so callers need the real one),
-/// and block until an in-protocol shutdown drains it.
+/// and block until an in-protocol shutdown drains it. With
+/// `--supervised` this process instead becomes the self-healing parent
+/// and the daemon runs as a respawnable child.
 fn serve_cmd(opts: &crate::args::ServeOpts) -> Result<(), CliError> {
+    // Both modes validate the durability directories up front; the
+    // supervisor additionally needs them validated *before* the first
+    // child is forked, not on its own crash path.
+    if let Some(dir) = &opts.journal_dir {
+        validate_writable_dir("--journal-dir", dir)?;
+    }
+    if let Some(dir) = &opts.cache_dir {
+        validate_writable_dir("--cache-dir", dir)?;
+    }
+    if opts.supervised {
+        return crate::supervisor::serve_supervised(opts);
+    }
     let cfg = powerchop_serve::ServerConfig {
         addr: opts.addr.clone(),
         jobs: opts.jobs,
@@ -73,6 +106,9 @@ fn serve_cmd(opts: &crate::args::ServeOpts) -> Result<(), CliError> {
         read_timeout_ms: opts.read_timeout_ms,
         write_timeout_ms: opts.write_timeout_ms,
         chaos_ops: opts.chaos_ops,
+        journal_dir: opts.journal_dir.clone(),
+        cache_dir: opts.cache_dir.clone(),
+        spill_every: opts.spill_every,
     };
     let server = powerchop_serve::Server::bind(&cfg)?;
     println!("powerchop-serve listening on {}", server.local_addr());
@@ -768,6 +804,26 @@ fn profile_bench(bench: &str, opts: &RunOpts) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_writable_dir_names_the_flag_and_raw_value() {
+        let dir = std::env::temp_dir().join(format!("powerchop-cli-wdir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ok = dir.join("journal");
+        validate_writable_dir("--journal-dir", &ok.to_string_lossy()).unwrap();
+        // A regular file is not a writable directory.
+        let file = dir.join("not-a-dir");
+        std::fs::write(&file, b"x").unwrap();
+        let raw = file.to_string_lossy().into_owned();
+        let err = validate_writable_dir("--cache-dir", &raw).unwrap_err();
+        assert!(err.0.starts_with("--cache-dir: invalid value"), "{err}");
+        assert!(err.0.contains(&format!("{raw:?}")), "{err}");
+        assert!(
+            err.0.contains("expected a writable directory path"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
     #[test]
     fn suite_names_parse() {

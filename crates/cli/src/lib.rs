@@ -10,6 +10,7 @@ pub mod args;
 pub mod commands;
 pub mod soak;
 pub mod supervise;
+pub mod supervisor;
 
 use std::fmt;
 

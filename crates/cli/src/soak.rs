@@ -17,7 +17,7 @@
 //! (and visible as a respawn in the `health` op), the pool never gave
 //! up, and the daemon drained cleanly through an in-protocol shutdown.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex, PoisonError};
@@ -542,6 +542,434 @@ pub fn run_soak(opts: &SoakOpts) -> Result<SoakReport, CliError> {
     })
 }
 
+/// Minimum per-benchmark instruction budget for the crash drill: high
+/// enough that no roster program is ever budget-truncated — run length
+/// is governed by [`DRILL_MIN_SCALE`], and the reports must describe
+/// complete programs so the baseline comparison is meaningful.
+const DRILL_MIN_BUDGET: u64 = 60_000_000;
+
+/// Minimum workload scale for the crash drill. Scale, not budget, sets
+/// how many instructions a roster program actually retires (roughly 8M
+/// per benchmark per unit of scale); at 2.0 a full sweep takes the
+/// simulator long enough that several kill cycles all land mid-sweep
+/// with an order-of-magnitude margin over the poll latency.
+const DRILL_MIN_SCALE: f64 = 2.0;
+
+/// Instructions between checkpoint spills in the crash drill: frequent
+/// enough that every cycle observes fresh spill progress within
+/// milliseconds, coarse enough that fsync traffic stays reasonable.
+const DRILL_SPILL_EVERY: u64 = 250_000;
+
+/// Hard numbers out of one crash-recovery drill.
+#[derive(Debug, Clone)]
+pub struct CrashDrillReport {
+    /// Mid-sweep SIGKILLs delivered (must equal `--crash-cycles`).
+    pub kills: u64,
+    /// Journal records the final boot replayed (must be nonzero).
+    pub journal_replayed: u64,
+    /// Instructions the final boot resumed from spill checkpoints
+    /// instead of re-executing (must be nonzero).
+    pub resumed_instructions: u64,
+    /// Checkpointed instructions the final boot re-executed (must be
+    /// zero: recovery never re-does work a spill promised was durable).
+    pub redone_instructions: u64,
+    /// Whether the final boot reported `clean_boot:false`.
+    pub recovered_boot: bool,
+    /// Whether re-requesting the sweep after recovery returned every
+    /// row from cache, byte-identical to an uninterrupted local run.
+    pub final_sweep_identical: bool,
+    /// Whether the recovery counters showed up in a `/metrics` scrape.
+    pub counters_scraped: bool,
+    /// Whether the final daemon drained cleanly through `shutdown`.
+    pub clean_drain: bool,
+    /// First few diagnostics behind any failed invariant.
+    pub notes: Vec<String>,
+}
+
+impl CrashDrillReport {
+    /// Whether every crash-drill invariant held.
+    #[must_use]
+    pub fn passed(&self, cycles: usize) -> bool {
+        self.kills == cycles as u64
+            && self.journal_replayed > 0
+            && self.resumed_instructions > 0
+            && self.redone_instructions == 0
+            && self.recovered_boot
+            && self.final_sweep_identical
+            && self.counters_scraped
+            && self.clean_drain
+    }
+}
+
+/// One real (out-of-process) daemon generation in the crash drill: the
+/// child, its parsed listen address, and the stdout pipe held open so
+/// the child's own prints never hit a closed pipe.
+struct DrillChild {
+    child: std::process::Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: SocketAddr,
+}
+
+impl DrillChild {
+    /// Spawns `powerchop-cli serve` (this very executable, re-invoked)
+    /// with durability on, and waits for its listen banner.
+    fn spawn(journal_dir: &str, cache_dir: &str, budget_cap: u64) -> Result<Self, CliError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| CliError(format!("crash drill: cannot locate own executable: {e}")))?;
+        let mut child = std::process::Command::new(exe)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--jobs",
+                "1",
+                "--journal-dir",
+                journal_dir,
+                "--cache-dir",
+                cache_dir,
+                "--spill-every",
+                &DRILL_SPILL_EVERY.to_string(),
+                "--max-budget",
+                &budget_cap.to_string(),
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| CliError(format!("crash drill: cannot spawn daemon: {e}")))?;
+        let out = child
+            .stdout
+            .take()
+            .ok_or_else(|| CliError("crash drill: child stdout was not piped".into()))?;
+        let mut stdout = BufReader::new(out);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = stdout
+                .read_line(&mut line)
+                .map_err(|e| CliError(format!("crash drill: reading child banner: {e}")))?;
+            if n == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(CliError(
+                    "crash drill: daemon exited before announcing its address".into(),
+                ));
+            }
+            if let Some(rest) = line
+                .trim_end()
+                .strip_prefix("powerchop-serve listening on ")
+            {
+                let addr = rest.parse().map_err(|e| {
+                    CliError(format!("crash drill: bad listen address {rest:?}: {e}"))
+                })?;
+                return Ok(DrillChild {
+                    child,
+                    stdout,
+                    addr,
+                });
+            }
+        }
+    }
+
+    /// SIGKILLs the daemon — no drain, no flush, exactly the crash the
+    /// journal exists for — and reaps it.
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Requests an in-protocol shutdown and waits for a clean exit.
+    fn drain(mut self, c: &Counters) -> bool {
+        match request_once(self.addr, r#"{"op":"shutdown"}"#) {
+            Ok(reply) => c.saw_reply(&reply),
+            Err(e) => {
+                c.note(format!("drill shutdown request failed: {e}"));
+                let _ = self.child.kill();
+                let _ = self.child.wait();
+                return false;
+            }
+        }
+        // Drain the remaining stdout so the child never blocks on a
+        // full pipe, then require a zero exit status.
+        let mut rest = String::new();
+        let _ = self.stdout.read_to_string(&mut rest);
+        match self.child.wait() {
+            Ok(status) if status.success() => true,
+            Ok(status) => {
+                c.note(format!("drill daemon exited uncleanly: {status}"));
+                false
+            }
+            Err(e) => {
+                c.note(format!("drill daemon wait failed: {e}"));
+                false
+            }
+        }
+    }
+}
+
+/// What one cycle's journal poll concluded.
+enum SpillWatch {
+    /// New spill progress landed; the daemon is mid-sweep right now.
+    Progressed(u64),
+    /// The pending intent disappeared: the sweep finished before the
+    /// kill could land (the drill budget is sized to prevent this).
+    Completed,
+    /// No movement within the timeout.
+    Stalled,
+}
+
+/// Sums the per-benchmark spill checkpoints the journal currently
+/// promises for pending intents.
+fn spilled_sum(replay: &powerchop_durable::JournalReplay) -> u64 {
+    replay.pending.iter().flat_map(|p| p.spilled.values()).sum()
+}
+
+/// Polls the journal until a spill checkpoint beyond `prev` is durably
+/// promised (the moment a kill is guaranteed to be mid-sweep), the
+/// pending intent completes, or the timeout expires. Torn tails from
+/// racing the daemon's appends are expected and simply re-polled.
+fn await_spill_progress(jpath: &std::path::Path, prev: u64, saw_pending: bool) -> SpillWatch {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut pending_seen = saw_pending;
+    loop {
+        if let Ok(replay) = powerchop_durable::replay(jpath) {
+            if !replay.pending.is_empty() {
+                pending_seen = true;
+            }
+            let sum = spilled_sum(&replay);
+            if sum > prev {
+                return SpillWatch::Progressed(sum);
+            }
+            if pending_seen && replay.pending.is_empty() {
+                return SpillWatch::Completed;
+            }
+        }
+        if Instant::now() >= deadline {
+            return SpillWatch::Stalled;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Scrapes the daemon's HTTP `GET /metrics` endpoint and extracts one
+/// counter's value.
+fn scrape_counter(addr: SocketAddr, name: &str) -> Option<u64> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: drill\r\nConnection: close\r\n\r\n")
+        .ok()?;
+    let mut body = String::new();
+    BufReader::new(stream).read_to_string(&mut body).ok()?;
+    body.lines().find_map(|line| {
+        line.strip_prefix(name)
+            .and_then(|rest| rest.trim().parse().ok())
+    })
+}
+
+/// Polls the daemon's `health` op until boot-time recovery finishes,
+/// returning the final health reply line.
+fn await_recovery(addr: SocketAddr, c: &Counters) -> Option<String> {
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        if let Ok(reply) = request_once(addr, r#"{"op":"health"}"#) {
+            c.saw_reply(&reply);
+            if reply.contains("\"recovery_active\":false") {
+                return Some(reply);
+            }
+        }
+        if Instant::now() >= deadline {
+            c.note("recovery did not finish within 180s".into());
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Runs the crash-recovery drill: repeatedly SIGKILL a real child
+/// daemon mid-sweep, then prove the final boot resumes from its spill
+/// checkpoints with zero re-done instructions and finishes the sweep
+/// bit-identical to an uninterrupted local run.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] only for setup failures (spawn failure,
+/// missing roster benchmark). Invariant violations land in the returned
+/// [`CrashDrillReport`].
+pub fn run_crash_drill(opts: &SoakOpts) -> Result<CrashDrillReport, CliError> {
+    let budget = opts.budget.max(DRILL_MIN_BUDGET);
+    let drill_opts = SoakOpts {
+        budget,
+        scale: opts.scale.max(DRILL_MIN_SCALE),
+        ..opts.clone()
+    };
+    let expected = expected_replies(&drill_opts)?;
+    let benches: Vec<String> = expected
+        .iter()
+        .map(|e| format!("\"{}\"", e.bench))
+        .collect();
+    let sweep_request = format!(
+        r#"{{"op":"sweep","benches":[{}],"budget":{budget},"scale":{}}}"#,
+        benches.join(","),
+        drill_opts.scale
+    );
+    // The only reply recovery is allowed to leave behind: every row a
+    // cache hit, every report byte-identical to the local baseline.
+    let mut rows = Vec::with_capacity(expected.len());
+    for exp in &expected {
+        rows.push(format!(
+            r#"{{"bench":"{}","ok":true,"cached":true,"report":{}}}"#,
+            exp.bench,
+            exp.fresh
+                .strip_prefix(r#"{"ok":true,"op":"run","cached":false,"report":"#)
+                .and_then(|r| r.strip_suffix('}'))
+                .ok_or_else(|| CliError("crash drill: unexpected baseline reply shape".into()))?
+        ));
+    }
+    let expected_sweep = format!(
+        r#"{{"ok":true,"op":"sweep","count":{n},"completed":{n},"results":[{rows}]}}"#,
+        n = rows.len(),
+        rows = rows.join(",")
+    );
+
+    let root = std::env::temp_dir().join(format!("powerchop-crash-drill-{}", std::process::id()));
+    let journal_dir = root.join("journal");
+    let cache_dir = root.join("cache");
+    std::fs::create_dir_all(&journal_dir)?;
+    std::fs::create_dir_all(&cache_dir)?;
+    let jdir = journal_dir.to_string_lossy().into_owned();
+    let cdir = cache_dir.to_string_lossy().into_owned();
+    let jpath = powerchop_durable::journal_path(&journal_dir);
+
+    let c = Counters::default();
+    let mut kills = 0u64;
+    let mut spill_mark = 0u64;
+    for cycle in 0..opts.crash_cycles {
+        let daemon = DrillChild::spawn(&jdir, &cdir, budget)?;
+        // The first cycle seeds the sweep over the wire; every later
+        // boot resumes it from the journal without any client at all.
+        let seed_conn = if cycle == 0 {
+            match TcpStream::connect(daemon.addr) {
+                Ok(mut stream) => {
+                    stream.write_all(sweep_request.as_bytes())?;
+                    stream.write_all(b"\n")?;
+                    stream.flush()?;
+                    Some(stream)
+                }
+                Err(e) => {
+                    c.note(format!("drill cycle {cycle}: sweep connect failed: {e}"));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        match await_spill_progress(&jpath, spill_mark, cycle > 0) {
+            SpillWatch::Progressed(sum) => {
+                spill_mark = sum;
+                daemon.kill();
+                kills += 1;
+            }
+            SpillWatch::Completed => {
+                c.note(format!(
+                    "drill cycle {cycle}: sweep completed before the kill landed"
+                ));
+                daemon.kill();
+            }
+            SpillWatch::Stalled => {
+                c.note(format!(
+                    "drill cycle {cycle}: no spill progress within 120s"
+                ));
+                daemon.kill();
+            }
+        }
+        drop(seed_conn);
+    }
+
+    // Final generation: boot, let recovery finish the sweep, then prove
+    // the recovered state byte for byte.
+    let daemon = DrillChild::spawn(&jdir, &cdir, budget)?;
+    let health = await_recovery(daemon.addr, &c).unwrap_or_default();
+    let journal_replayed = json_u64_field(&health, "journal_replayed").unwrap_or(0);
+    let resumed_instructions = json_u64_field(&health, "resumed_instructions").unwrap_or(0);
+    let redone_instructions = json_u64_field(&health, "redone_instructions").unwrap_or(u64::MAX);
+    let recovered_boot = health.contains("\"clean_boot\":false");
+    let final_sweep_identical = match request_once(daemon.addr, &sweep_request) {
+        Ok(reply) => {
+            c.saw_reply(&reply);
+            if reply == expected_sweep {
+                true
+            } else {
+                c.note(format!("post-recovery sweep diverged: {reply}"));
+                false
+            }
+        }
+        Err(e) => {
+            c.note(format!("post-recovery sweep failed: {e}"));
+            false
+        }
+    };
+    let counters_scraped = ["serve_recoveries_total", "serve_journal_replayed_total"]
+        .iter()
+        .all(|name| match scrape_counter(daemon.addr, name) {
+            Some(v) if v > 0 => true,
+            got => {
+                c.note(format!("metrics counter {name}: expected > 0, got {got:?}"));
+                false
+            }
+        });
+    let clean_drain = daemon.drain(&c);
+    let _ = std::fs::remove_dir_all(&root);
+
+    let notes = c
+        .notes
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    Ok(CrashDrillReport {
+        kills,
+        journal_replayed,
+        resumed_instructions,
+        redone_instructions,
+        recovered_boot,
+        final_sweep_identical,
+        counters_scraped,
+        clean_drain,
+        notes,
+    })
+}
+
+/// Prints and verdicts one crash-drill report.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when any drill invariant failed.
+fn crash_drill_verdict(opts: &SoakOpts, report: &CrashDrillReport) -> Result<(), CliError> {
+    println!(
+        "crash drill: {} mid-sweep kill(s), journal replayed {}, resumed {} instr, re-done {} instr",
+        report.kills, report.journal_replayed, report.resumed_instructions,
+        report.redone_instructions
+    );
+    println!(
+        "crash drill: recovered boot: {}, sweep bit-identical: {}, counters scraped: {}, clean drain: {}",
+        if report.recovered_boot { "yes" } else { "no" },
+        if report.final_sweep_identical { "yes" } else { "no" },
+        if report.counters_scraped { "yes" } else { "no" },
+        if report.clean_drain { "yes" } else { "no" }
+    );
+    if report.passed(opts.crash_cycles) {
+        println!("crash drill PASSED");
+        Ok(())
+    } else {
+        for note in &report.notes {
+            eprintln!("crash drill: {note}");
+        }
+        Err(CliError(
+            "crash-recovery drill failed (see notes above)".into(),
+        ))
+    }
+}
+
 /// The `soak` command: run the storm, print the verdict, fail loudly.
 ///
 /// # Errors
@@ -571,15 +999,22 @@ pub fn soak_cmd(opts: &SoakOpts) -> Result<(), CliError> {
         if report.pool_gave_up { "yes" } else { "no" },
         if report.clean_drain { "yes" } else { "no" }
     );
-    if report.passed() {
-        println!("soak PASSED");
-        Ok(())
-    } else {
+    if !report.passed() {
         for note in &report.notes {
             eprintln!("soak: {note}");
         }
-        Err(CliError("chaos soak failed (see notes above)".into()))
+        return Err(CliError("chaos soak failed (see notes above)".into()));
     }
+    println!("soak PASSED");
+    if opts.crash_cycles > 0 {
+        println!(
+            "crash drill: {} cycle(s) of mid-sweep SIGKILL + restart",
+            opts.crash_cycles
+        );
+        let drill = run_crash_drill(opts)?;
+        crash_drill_verdict(opts, &drill)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

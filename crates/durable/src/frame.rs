@@ -1,0 +1,267 @@
+//! CRC32-framed append-only log files.
+//!
+//! One frame on disk:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "PWAL" (0x4C415750 little-endian)
+//! 4       4     payload length N (LE u32)
+//! 8       4     CRC-32 over (length bytes || payload)
+//! 12      N     payload
+//! ```
+//!
+//! The CRC covers the length prefix as well as the payload, so a
+//! bit-flip in the length field — which would otherwise make the reader
+//! frame the rest of the file wrong — is caught exactly like a payload
+//! flip. Appends are fsync'd before they return: once
+//! [`FrameSink::append`] comes back `Ok`, the frame survives `kill -9`.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use powerchop_checkpoint::{crc32_begin, crc32_finish, crc32_update};
+
+/// Frame magic: `b"PWAL"` read as a little-endian u32.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"PWAL");
+
+/// Largest accepted frame payload (16 MiB): a corrupted length field
+/// must not make the reader attempt a absurd allocation.
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// An open log file that appends CRC-framed, fsync'd records.
+#[derive(Debug)]
+pub struct FrameSink {
+    file: File,
+}
+
+impl FrameSink {
+    /// Opens (creating if absent) `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { file })
+    }
+
+    /// Appends one frame and syncs it to disk. When this returns `Ok`,
+    /// the record is durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync failures; a payload over
+    /// [`MAX_FRAME_BYTES`] is rejected as `InvalidInput`.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&n| n <= MAX_FRAME_BYTES)
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("frame payload of {} bytes exceeds the cap", payload.len()),
+                )
+            })?;
+        let len_bytes = len.to_le_bytes();
+        let crc = crc32_finish(crc32_update(
+            crc32_update(crc32_begin(), &len_bytes),
+            payload,
+        ));
+        // One buffered write per frame so a crash tears at most the
+        // frame being appended, never interleaves two frames.
+        let mut buf = Vec::with_capacity(12 + payload.len());
+        buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&len_bytes);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.file.write_all(&buf)?;
+        self.file.sync_data()
+    }
+}
+
+/// How a frame scan ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailVerdict {
+    /// Every byte framed and checked out.
+    Clean,
+    /// The file ends mid-frame: the write in flight when the process
+    /// died. The torn bytes after `valid_bytes` are discarded.
+    Torn {
+        /// Bytes of intact leading frames.
+        valid_bytes: usize,
+    },
+    /// A complete frame failed its magic or CRC check: in-place
+    /// corruption. Everything from `valid_bytes` on is discarded —
+    /// framing downstream of a corrupt frame cannot be trusted.
+    Corrupt {
+        /// Bytes of intact leading frames.
+        valid_bytes: usize,
+    },
+}
+
+impl TailVerdict {
+    /// Whether the scan discarded anything.
+    #[must_use]
+    pub fn discarded(&self) -> bool {
+        !matches!(self, TailVerdict::Clean)
+    }
+}
+
+/// The result of scanning a log file's bytes.
+#[derive(Debug)]
+pub struct FrameScan<'a> {
+    /// Intact frame payloads, in append order.
+    pub frames: Vec<&'a [u8]>,
+    /// How the scan ended.
+    pub tail: TailVerdict,
+}
+
+/// Walks `bytes` frame by frame, stopping at the first torn or corrupt
+/// frame. Never panics: any byte sequence yields a scan.
+#[must_use]
+pub fn read_frames(bytes: &[u8]) -> FrameScan<'_> {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let rest = &bytes[at..];
+        if rest.is_empty() {
+            return FrameScan {
+                frames,
+                tail: TailVerdict::Clean,
+            };
+        }
+        if rest.len() < 12 {
+            return FrameScan {
+                frames,
+                tail: TailVerdict::Torn { valid_bytes: at },
+            };
+        }
+        let magic = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let len_bytes = [rest[4], rest[5], rest[6], rest[7]];
+        let len = u32::from_le_bytes(len_bytes);
+        let crc = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
+        if magic != FRAME_MAGIC || len > MAX_FRAME_BYTES {
+            return FrameScan {
+                frames,
+                tail: TailVerdict::Corrupt { valid_bytes: at },
+            };
+        }
+        let need = len as usize;
+        let Some(payload) = rest.get(12..12 + need) else {
+            // The header is intact but the payload is short: the torn
+            // tail of an interrupted append.
+            return FrameScan {
+                frames,
+                tail: TailVerdict::Torn { valid_bytes: at },
+            };
+        };
+        let got = crc32_finish(crc32_update(
+            crc32_update(crc32_begin(), &len_bytes),
+            payload,
+        ));
+        if got != crc {
+            return FrameScan {
+                frames,
+                tail: TailVerdict::Corrupt { valid_bytes: at },
+            };
+        }
+        frames.push(payload);
+        at += 12 + need;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink_bytes(name: &str, payloads: &[&[u8]]) -> Vec<u8> {
+        let dir = std::env::temp_dir().join(format!("pwc-frame-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("t.wal");
+        let mut sink = FrameSink::open(&path).expect("open");
+        for p in payloads {
+            sink.append(p).expect("append");
+        }
+        let bytes = std::fs::read(&path).expect("read back");
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    }
+
+    #[test]
+    fn roundtrip_preserves_payloads_in_order() {
+        let bytes = sink_bytes("roundtrip", &[b"alpha", b"", b"gamma-longer-payload"]);
+        let scan = read_frames(&bytes);
+        assert_eq!(scan.tail, TailVerdict::Clean);
+        let got: Vec<&[u8]> = scan.frames;
+        assert_eq!(
+            got,
+            vec![&b"alpha"[..], &b""[..], &b"gamma-longer-payload"[..]]
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_length_lands_on_the_last_intact_frame() {
+        let bytes = sink_bytes("trunc", &[b"one", b"two", b"three"]);
+        // Frame boundaries: each frame is 12 + payload bytes.
+        let bounds = [0, 15, 30, 47];
+        for cut in 0..bytes.len() {
+            let scan = read_frames(&bytes[..cut]);
+            let intact = bounds.iter().filter(|&&b| b <= cut && b > 0).count();
+            assert_eq!(scan.frames.len(), intact, "cut at {cut}");
+            if cut == *bounds.last().expect("bounds") || bounds.contains(&cut) {
+                assert_eq!(scan.tail, TailVerdict::Clean, "cut at {cut}");
+            } else {
+                assert_eq!(
+                    scan.tail,
+                    TailVerdict::Torn {
+                        valid_bytes: bounds[intact]
+                    },
+                    "cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let bytes = sink_bytes("bitflip", &[b"payload-one", b"payload-two"]);
+        let clean = read_frames(&bytes).frames.len();
+        assert_eq!(clean, 2);
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut evil = bytes.clone();
+                evil[i] ^= 1 << bit;
+                let scan = read_frames(&evil);
+                // The flip lands in frame 0 or frame 1; everything
+                // before the flipped frame must survive, the flipped
+                // frame and everything after must be discarded.
+                let hit_first = i < 23; // frame 0 occupies [0, 23)
+                let expect = usize::from(!hit_first);
+                assert_eq!(scan.frames.len(), expect, "flip at byte {i} bit {bit}");
+                assert!(scan.tail.discarded(), "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_length_fields_are_corrupt_not_allocated() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0; 4]);
+        let scan = read_frames(&bytes);
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.tail, TailVerdict::Corrupt { valid_bytes: 0 });
+    }
+
+    #[test]
+    fn oversized_appends_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("pwc-frame-big-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let mut sink = FrameSink::open(&dir.join("big.wal")).expect("open");
+        let big = vec![0u8; (MAX_FRAME_BYTES as usize) + 1];
+        assert!(sink.append(&big).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,511 @@
+//! The write-ahead intent journal: typed records over [`crate::frame`].
+//!
+//! Record lifecycle for one accepted request (a `run` is a one-spec
+//! sweep as far as durability is concerned):
+//!
+//! ```text
+//! Intent { id, specs }      appended before dispatch (fsync'd)
+//! Spill  { id, bench, n }   appended after each checkpoint spill lands
+//! Done   { id }             appended once every spec has settled
+//! ```
+//!
+//! [`replay`] folds a journal back into the set of *pending* intents —
+//! those with no `Done` record — together with the most recent spill
+//! marker per benchmark, which is exactly what the daemon needs to
+//! resume each interrupted run from its last chunk checkpoint.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use powerchop_checkpoint::{ByteReader, ByteWriter, CheckpointError};
+
+use crate::frame::{read_frames, FrameSink, TailVerdict};
+
+/// Journal record format version; bumped on any encoding change so a
+/// newer daemon refuses to misread an older journal silently.
+const RECORD_VERSION: u8 = 1;
+
+/// One simulation request as journaled: everything needed to rebuild
+/// the exact `RunSpec` after a crash. `scale` is carried as f64 bits so
+/// the rebuilt spec fingerprints identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecRecord {
+    /// Benchmark name.
+    pub bench: String,
+    /// Manager discriminant: 0 PowerChop, 1 FullPower, 2 MinimalPower,
+    /// 3 TimeoutVpu, 4 DrowsyMlc.
+    pub manager_tag: u8,
+    /// Manager parameter (timeout/drowse cycles; 0 for the rest).
+    pub manager_param: u64,
+    /// Instruction budget.
+    pub budget: u64,
+    /// Workload scale factor, as IEEE-754 bits.
+    pub scale_bits: u64,
+    /// Fault-injection seed, if any.
+    pub seed: Option<u64>,
+    /// Whether the 10x fault storm was requested.
+    pub storm: bool,
+}
+
+impl SpecRecord {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(&self.bench);
+        w.put_u8(self.manager_tag);
+        w.put_u64(self.manager_param);
+        w.put_u64(self.budget);
+        w.put_u64(self.scale_bits);
+        match self.seed {
+            Some(s) => {
+                w.put_bool(true);
+                w.put_u64(s);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_bool(self.storm);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+        let bench = r.take_str()?;
+        let manager_tag = r.take_u8()?;
+        let manager_param = r.take_u64()?;
+        let budget = r.take_u64()?;
+        let scale_bits = r.take_u64()?;
+        let seed = if r.take_bool()? {
+            Some(r.take_u64()?)
+        } else {
+            None
+        };
+        let storm = r.take_bool()?;
+        Ok(SpecRecord {
+            bench,
+            manager_tag,
+            manager_param,
+            budget,
+            scale_bits,
+            seed,
+            storm,
+        })
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// An accepted request, journaled before dispatch.
+    Intent {
+        /// Monotonic intent id, unique within the journal.
+        id: u64,
+        /// The runs the request asked for.
+        specs: Vec<SpecRecord>,
+    },
+    /// A checkpoint spill for one of an intent's runs landed on disk.
+    Spill {
+        /// The intent the spill belongs to.
+        id: u64,
+        /// Which of the intent's runs was spilled.
+        bench: String,
+        /// Instructions retired at the spill point.
+        retired: u64,
+    },
+    /// Every run of the intent settled (cached, failed, or refused).
+    Done {
+        /// The retired intent.
+        id: u64,
+    },
+}
+
+impl Record {
+    /// Serializes the record into a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(RECORD_VERSION);
+        match self {
+            Record::Intent { id, specs } => {
+                w.put_u8(0);
+                w.put_u64(*id);
+                w.put_usize(specs.len());
+                for spec in specs {
+                    spec.encode(&mut w);
+                }
+            }
+            Record::Spill { id, bench, retired } => {
+                w.put_u8(1);
+                w.put_u64(*id);
+                w.put_str(bench);
+                w.put_u64(*retired);
+            }
+            Record::Done { id } => {
+                w.put_u8(2);
+                w.put_u64(*id);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a frame payload back into a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CheckpointError`] for truncated payloads,
+    /// version skew, or an unknown record kind.
+    pub fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(payload);
+        let version = r.take_u8()?;
+        if version != RECORD_VERSION {
+            return Err(CheckpointError::VersionSkew {
+                found: u32::from(version),
+                expected: u32::from(RECORD_VERSION),
+            });
+        }
+        let record = match r.take_u8()? {
+            0 => {
+                let id = r.take_u64()?;
+                let n = r.take_usize()?;
+                // Bounded: a corrupt count must not drive a huge
+                // reservation. Decode reads stop at payload end anyway.
+                let mut specs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    specs.push(SpecRecord::decode(&mut r)?);
+                }
+                Record::Intent { id, specs }
+            }
+            1 => Record::Spill {
+                id: r.take_u64()?,
+                bench: r.take_str()?,
+                retired: r.take_u64()?,
+            },
+            2 => Record::Done { id: r.take_u64()? },
+            _ => {
+                return Err(CheckpointError::Malformed {
+                    what: "journal record kind",
+                })
+            }
+        };
+        r.expect_end("journal record")?;
+        Ok(record)
+    }
+}
+
+/// An append handle over the intent journal.
+#[derive(Debug)]
+pub struct Journal {
+    sink: FrameSink,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            sink: FrameSink::open(path)?,
+        })
+    }
+
+    /// Appends one record, fsync'd — durable once this returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync failures.
+    pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
+        self.sink.append(&record.encode())
+    }
+}
+
+/// One journaled request that has no `Done` record: work the daemon
+/// owes its (possibly long-gone) client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingIntent {
+    /// The intent id (names its spill files).
+    pub id: u64,
+    /// The runs the request asked for.
+    pub specs: Vec<SpecRecord>,
+    /// Last journaled spill per benchmark: instructions retired at the
+    /// checkpoint the resume is expected to start from.
+    pub spilled: BTreeMap<String, u64>,
+}
+
+/// What a journal replay found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalReplay {
+    /// Intents with no `Done` record, in journal order.
+    pub pending: Vec<PendingIntent>,
+    /// Valid records read (intents, spills and dones).
+    pub records_replayed: u64,
+    /// Whether a torn tail (interrupted append) was discarded.
+    pub torn_tail: bool,
+    /// Whether a corrupt frame (failed CRC/magic on a complete frame)
+    /// ended the scan.
+    pub corrupt_frame: bool,
+    /// CRC-valid frames whose payload failed typed decoding (version
+    /// skew, unknown kind). Ends the scan like corruption does.
+    pub malformed_records: u64,
+    /// The next unused intent id (max seen + 1).
+    pub next_id: u64,
+}
+
+impl JournalReplay {
+    /// Whether the replay discarded anything (torn, corrupt, malformed).
+    #[must_use]
+    pub fn discarded(&self) -> bool {
+        self.torn_tail || self.corrupt_frame || self.malformed_records > 0
+    }
+}
+
+/// Replays the journal at `path`. A missing file is an empty journal;
+/// torn tails and corrupt frames end the scan at the last valid record.
+/// Never panics on any file contents.
+///
+/// # Errors
+///
+/// Propagates only real I/O failures (permissions, hardware); every
+/// possible *content* is handled.
+pub fn replay(path: &Path) -> std::io::Result<JournalReplay> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let scan = read_frames(&bytes);
+    let mut out = JournalReplay {
+        torn_tail: matches!(scan.tail, TailVerdict::Torn { .. }),
+        corrupt_frame: matches!(scan.tail, TailVerdict::Corrupt { .. }),
+        ..JournalReplay::default()
+    };
+    let mut pending: Vec<PendingIntent> = Vec::new();
+    for payload in scan.frames {
+        let record = match Record::decode(payload) {
+            Ok(r) => r,
+            Err(_) => {
+                // A CRC-valid frame that fails typed decoding is
+                // version skew or a writer bug; the frames after it are
+                // individually framed and checked, but trusting them
+                // would mean trusting a journal we provably misread.
+                out.malformed_records += 1;
+                break;
+            }
+        };
+        out.records_replayed += 1;
+        match record {
+            Record::Intent { id, specs } => {
+                out.next_id = out.next_id.max(id + 1);
+                pending.push(PendingIntent {
+                    id,
+                    specs,
+                    spilled: BTreeMap::new(),
+                });
+            }
+            Record::Spill { id, bench, retired } => {
+                if let Some(p) = pending.iter_mut().find(|p| p.id == id) {
+                    p.spilled.insert(bench, retired);
+                }
+            }
+            Record::Done { id } => pending.retain(|p| p.id != id),
+        }
+    }
+    out.pending = pending;
+    Ok(out)
+}
+
+/// Rewrites the journal atomically so it holds exactly `pending` (their
+/// intents and latest spill markers) — boot-time compaction that drops
+/// retired intents and any discarded tail for good.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn compact(path: &Path, pending: &[PendingIntent]) -> std::io::Result<()> {
+    let tmp = path.with_extension("compact");
+    {
+        let _ = std::fs::remove_file(&tmp);
+        let mut sink = FrameSink::open(&tmp)?;
+        for p in pending {
+            sink.append(
+                &Record::Intent {
+                    id: p.id,
+                    specs: p.specs.clone(),
+                }
+                .encode(),
+            )?;
+            for (bench, retired) in &p.spilled {
+                sink.append(
+                    &Record::Spill {
+                        id: p.id,
+                        bench: bench.clone(),
+                        retired: *retired,
+                    }
+                    .encode(),
+                )?;
+            }
+        }
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(bench: &str) -> SpecRecord {
+        SpecRecord {
+            bench: bench.to_owned(),
+            manager_tag: 0,
+            manager_param: 0,
+            budget: 400_000,
+            scale_bits: 0.05f64.to_bits(),
+            seed: Some(7),
+            storm: true,
+        }
+    }
+
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pwc-journal-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join("intents.wal")
+    }
+
+    #[test]
+    fn records_roundtrip_through_encode_decode() {
+        let records = [
+            Record::Intent {
+                id: 3,
+                specs: vec![spec("hmmer"), spec("namd")],
+            },
+            Record::Intent {
+                id: 4,
+                specs: vec![SpecRecord {
+                    manager_tag: 3,
+                    manager_param: 1024,
+                    seed: None,
+                    storm: false,
+                    ..spec("gobmk")
+                }],
+            },
+            Record::Spill {
+                id: 3,
+                bench: "hmmer".into(),
+                retired: 123_456,
+            },
+            Record::Done { id: 3 },
+        ];
+        for r in &records {
+            assert_eq!(&Record::decode(&r.encode()).expect("decode"), r);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_version_skew_and_truncation() {
+        let mut bytes = Record::Done { id: 1 }.encode();
+        bytes[0] = RECORD_VERSION + 1;
+        assert!(matches!(
+            Record::decode(&bytes),
+            Err(CheckpointError::VersionSkew { .. })
+        ));
+        let bytes = Record::Done { id: 1 }.encode();
+        for cut in 0..bytes.len() {
+            assert!(Record::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn replay_folds_pending_spills_and_dones() {
+        let path = temp_journal("fold");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path).expect("open");
+        j.append(&Record::Intent {
+            id: 1,
+            specs: vec![spec("hmmer")],
+        })
+        .expect("append");
+        j.append(&Record::Intent {
+            id: 2,
+            specs: vec![spec("namd"), spec("gobmk")],
+        })
+        .expect("append");
+        j.append(&Record::Spill {
+            id: 2,
+            bench: "namd".into(),
+            retired: 100_000,
+        })
+        .expect("append");
+        j.append(&Record::Spill {
+            id: 2,
+            bench: "namd".into(),
+            retired: 200_000,
+        })
+        .expect("append");
+        j.append(&Record::Done { id: 1 }).expect("append");
+        let r = replay(&path).expect("replay");
+        assert_eq!(r.records_replayed, 5);
+        assert!(!r.discarded());
+        assert_eq!(r.next_id, 3);
+        assert_eq!(r.pending.len(), 1);
+        assert_eq!(r.pending[0].id, 2);
+        assert_eq!(r.pending[0].spilled.get("namd"), Some(&200_000));
+        assert_eq!(r.pending[0].spilled.get("gobmk"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_empty() {
+        let r = replay(Path::new("/nonexistent/dir/intents.wal")).expect("replay");
+        assert_eq!(r, JournalReplay::default());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_reported() {
+        let path = temp_journal("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path).expect("open");
+        j.append(&Record::Intent {
+            id: 1,
+            specs: vec![spec("hmmer")],
+        })
+        .expect("append");
+        // Simulate a crash mid-append: half a frame of garbage.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(&crate::frame::FRAME_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&[9, 9]);
+        std::fs::write(&path, &bytes).expect("write");
+        let r = replay(&path).expect("replay");
+        assert_eq!(r.records_replayed, 1);
+        assert!(r.torn_tail);
+        assert_eq!(r.pending.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_drops_retired_intents_and_keeps_spills() {
+        let path = temp_journal("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path).expect("open");
+        j.append(&Record::Intent {
+            id: 1,
+            specs: vec![spec("hmmer")],
+        })
+        .expect("append");
+        j.append(&Record::Intent {
+            id: 2,
+            specs: vec![spec("namd")],
+        })
+        .expect("append");
+        j.append(&Record::Spill {
+            id: 2,
+            bench: "namd".into(),
+            retired: 50_000,
+        })
+        .expect("append");
+        j.append(&Record::Done { id: 1 }).expect("append");
+        drop(j);
+        let before = replay(&path).expect("replay");
+        compact(&path, &before.pending).expect("compact");
+        let after = replay(&path).expect("replay");
+        assert_eq!(after.pending, before.pending);
+        assert_eq!(after.records_replayed, 2, "one intent + one spill");
+        assert!(!after.discarded());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,187 @@
+//! Persistent result-cache log: write-through `(run_key, reply)` pairs.
+//!
+//! Every reply the daemon caches is also appended here (same CRC frame
+//! format as the journal), so a restart reloads the cache and serves
+//! the same hits bit-identically. Later appends for the same key simply
+//! win on replay — the log is an append-only history, recency included.
+//! On boot the daemon replays the log and rewrites it compacted, so the
+//! file stays proportional to the live cache rather than to its
+//! history.
+
+use std::path::Path;
+
+use powerchop_checkpoint::{ByteReader, ByteWriter, CheckpointError};
+
+use crate::frame::{read_frames, FrameSink, TailVerdict};
+
+/// An append handle over the result-cache log.
+#[derive(Debug)]
+pub struct CacheLog {
+    sink: FrameSink,
+}
+
+/// Encodes one cache entry as a frame payload.
+fn encode_entry(key: u128, reply: &str) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64((key >> 64) as u64);
+    w.put_u64(key as u64);
+    w.put_str(reply);
+    w.into_bytes()
+}
+
+/// Decodes one cache-entry frame payload.
+fn decode_entry(payload: &[u8]) -> Result<(u128, String), CheckpointError> {
+    let mut r = ByteReader::new(payload);
+    let high = r.take_u64()?;
+    let low = r.take_u64()?;
+    let reply = r.take_str()?;
+    r.expect_end("cache entry")?;
+    Ok(((u128::from(high) << 64) | u128::from(low), reply))
+}
+
+impl CacheLog {
+    /// Opens (creating if absent) the log at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            sink: FrameSink::open(path)?,
+        })
+    }
+
+    /// Appends one cached reply, fsync'd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync failures.
+    pub fn append(&mut self, key: u128, reply: &str) -> std::io::Result<()> {
+        self.sink.append(&encode_entry(key, reply))
+    }
+}
+
+/// What a cache-log replay found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheReplay {
+    /// Entries in append order (later entries for a key supersede
+    /// earlier ones when folded into an LRU).
+    pub entries: Vec<(u128, String)>,
+    /// Whether a torn tail or corrupt frame ended the scan early.
+    pub discarded: bool,
+}
+
+/// Replays the cache log at `path`. A missing file is an empty log;
+/// torn/corrupt/undecodable frames end the scan at the last valid
+/// entry. Never panics on any file contents.
+///
+/// # Errors
+///
+/// Propagates only real I/O failures.
+pub fn replay_results(path: &Path) -> std::io::Result<CacheReplay> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let scan = read_frames(&bytes);
+    let mut out = CacheReplay {
+        discarded: !matches!(scan.tail, TailVerdict::Clean),
+        ..CacheReplay::default()
+    };
+    for payload in scan.frames {
+        match decode_entry(payload) {
+            Ok(entry) => out.entries.push(entry),
+            Err(_) => {
+                out.discarded = true;
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Rewrites the log atomically with exactly `entries` — boot-time
+/// compaction after the replayed history is folded into the live cache.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn compact_results(path: &Path, entries: &[(u128, String)]) -> std::io::Result<()> {
+    let tmp = path.with_extension("compact");
+    {
+        let _ = std::fs::remove_file(&tmp);
+        let mut sink = FrameSink::open(&tmp)?;
+        for (key, reply) in entries {
+            sink.append(&encode_entry(*key, reply))?;
+        }
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pwc-results-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join("results.wal")
+    }
+
+    #[test]
+    fn entries_roundtrip_in_order() {
+        let path = temp_log("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut log = CacheLog::open(&path).expect("open");
+        let key = (u128::from(u64::MAX) << 64) | 7;
+        log.append(key, r#"{"ok":true,"report":{}}"#)
+            .expect("append");
+        log.append(3, "second").expect("append");
+        log.append(key, "newer").expect("append");
+        let r = replay_results(&path).expect("replay");
+        assert!(!r.discarded);
+        assert_eq!(
+            r.entries,
+            vec![
+                (key, r#"{"ok":true,"report":{}}"#.to_owned()),
+                (3, "second".to_owned()),
+                (key, "newer".to_owned()),
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_valid_prefix() {
+        let path = temp_log("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut log = CacheLog::open(&path).expect("open");
+        log.append(1, "one").expect("append");
+        drop(log);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let cut = bytes.len();
+        let mut log = CacheLog::open(&path).expect("reopen");
+        log.append(2, "two").expect("append");
+        drop(log);
+        bytes = std::fs::read(&path).expect("read");
+        bytes.truncate(cut + 5); // tear the second frame mid-header
+        std::fs::write(&path, &bytes).expect("write");
+        let r = replay_results(&path).expect("replay");
+        assert!(r.discarded);
+        assert_eq!(r.entries, vec![(1, "one".to_owned())]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_rewrites_exactly_the_given_entries() {
+        let path = temp_log("compact");
+        let _ = std::fs::remove_file(&path);
+        let entries = vec![(9, "nine".to_owned()), (10, "ten".to_owned())];
+        compact_results(&path, &entries).expect("compact");
+        let r = replay_results(&path).expect("replay");
+        assert!(!r.discarded);
+        assert_eq!(r.entries, entries);
+        let _ = std::fs::remove_file(&path);
+    }
+}

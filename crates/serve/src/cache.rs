@@ -74,6 +74,13 @@ impl ResultCache {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// The live entries in recency order (coldest first). Replaying
+    /// these through [`ResultCache::put`] in order reproduces the cache
+    /// exactly — the persistence layer compacts its log from this.
+    pub fn entries(&self) -> impl Iterator<Item = (u128, &str)> {
+        self.entries.iter().map(|(k, v)| (*k, v.as_str()))
+    }
 }
 
 #[cfg(test)]

@@ -16,19 +16,30 @@
 //! plain HTTP `GET /metrics` on the same port serves the Prometheus
 //! text exposition for `curl` and scrapers.
 //!
+//! With `--journal-dir` set the daemon is crash-consistent: accepted
+//! requests are journaled to an fsync'd write-ahead log before
+//! dispatch, in-flight runs spill periodic checkpoints, and cached
+//! replies persist to a write-through log, so a `kill -9` loses no
+//! accepted work — the restarted daemon replays the journal, resumes
+//! interrupted sweeps from their last durable chunk and reports the
+//! recovery in its `health` op (see `powerchop-durable`).
+//!
 //! Module map:
 //! - [`json`] — strict RFC 8259 request parsing (reader side).
 //! - [`protocol`] — request validation and reply rendering.
 //! - [`cache`] — the LRU result cache.
+//! - `durability` — journal/spill/cache-log glue over `powerchop-durable`.
 //! - [`server`] — listener, connection threads, dispatch, drain.
 //! - `report` — the shared run-report serializer the CLI re-exports.
 //!
-//! See `DESIGN.md` §9 for the protocol and backpressure policy.
+//! See `DESIGN.md` §9 for the protocol and backpressure policy and §11
+//! for the durability model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+mod durability;
 pub mod json;
 pub mod protocol;
 mod report;

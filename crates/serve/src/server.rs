@@ -52,6 +52,7 @@ use powerchop_telemetry::MetricsRegistry;
 use powerchop_workloads::Scale;
 
 use crate::cache::ResultCache;
+use crate::durability::{self, Durability, SpillPlan};
 use crate::protocol::{
     error_reply, fault_config, parse_request, run_reply, sweep_reply, Limits, ReqError, Request,
     RunSpec, SweepOutcome,
@@ -93,6 +94,15 @@ pub struct ServerConfig {
     /// Honor `"chaos"` request fields (deliberate worker kills). Off by
     /// default; only soak/chaos tests should enable it.
     pub chaos_ops: bool,
+    /// Directory for the write-ahead intent journal and checkpoint
+    /// spills. `None` disables crash consistency entirely.
+    pub journal_dir: Option<String>,
+    /// Directory for the persistent result-cache log. `None` keeps the
+    /// cache memory-only.
+    pub cache_dir: Option<String>,
+    /// Retired-instruction interval between checkpoint spills of
+    /// in-flight runs (only meaningful with `journal_dir` set).
+    pub spill_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +119,9 @@ impl Default for ServerConfig {
             read_timeout_ms: 30_000,
             write_timeout_ms: 10_000,
             chaos_ops: false,
+            journal_dir: None,
+            cache_dir: None,
+            spill_every: 2_000_000,
         }
     }
 }
@@ -139,6 +152,9 @@ struct State {
     breaker: Mutex<CircuitBreaker>,
     /// Zero point of the breaker's logical millisecond clock.
     epoch: Instant,
+    /// Crash-consistency machinery (`None` when `--journal-dir` is
+    /// unset: the daemon runs memory-only, exactly as before).
+    durable: Option<Arc<Durability>>,
 }
 
 impl State {
@@ -214,6 +230,9 @@ impl Drop for ConnGuard<'_> {
 pub struct Server {
     listener: TcpListener,
     state: Arc<State>,
+    /// Journaled intents with no completion record, found at boot.
+    /// [`Server::run`] resumes them on a background thread.
+    pending: Vec<powerchop_durable::PendingIntent>,
 }
 
 impl Server {
@@ -227,20 +246,46 @@ impl Server {
         let addr = listener.local_addr()?;
         let jobs = powerchop_exec::resolve_jobs(cfg.jobs);
         let mut metrics = MetricsRegistry::new();
-        // Seed the resilience counters at zero so a metrics scrape sees
-        // them before the first trip/retry/respawn/shed ever happens.
+        // Seed the resilience and recovery counters at zero so a
+        // metrics scrape sees them before the first
+        // trip/retry/respawn/shed/recovery ever happens.
         for name in [
             "serve_breaker_trips_total",
             "serve_retries_total",
             "serve_worker_respawns_total",
             "serve_slow_client_disconnects_total",
             "serve_conn_rejected_total",
+            "serve_recoveries_total",
+            "serve_journal_replayed_total",
+            "serve_torn_tail_discards_total",
+            "serve_cache_reloads_total",
         ] {
             metrics.counter_add(name, 0);
         }
+        // Boot-time recovery: replay the journal and reload the
+        // persistent cache before the listener serves anything, so the
+        // first request already sees the recovered world.
+        let mut cache = ResultCache::new(cfg.cache_entries);
+        let mut durable = None;
+        let mut pending = Vec::new();
+        if let Some(dir) = &cfg.journal_dir {
+            let boot = durability::boot(
+                std::path::Path::new(dir),
+                cfg.cache_dir.as_deref().map(std::path::Path::new),
+                cfg.spill_every,
+                &mut cache,
+            )?;
+            let r = &boot.durability.recovery;
+            metrics.counter_add("serve_recoveries_total", u64::from(!r.clean_boot));
+            metrics.counter_add("serve_journal_replayed_total", r.journal_replayed);
+            metrics.counter_add("serve_torn_tail_discards_total", r.torn_discards);
+            metrics.counter_add("serve_cache_reloads_total", r.cache_reloaded);
+            durable = Some(boot.durability);
+            pending = boot.pending;
+        }
         let state = Arc::new(State {
             pool: WorkerPool::new(jobs, cfg.queue_depth),
-            cache: Mutex::new(ResultCache::new(cfg.cache_entries)),
+            cache: Mutex::new(cache),
             metrics: Mutex::new(metrics),
             draining: AtomicBool::new(false),
             limits: Limits {
@@ -256,8 +301,13 @@ impl Server {
             write_timeout_ms: cfg.write_timeout_ms,
             breaker: Mutex::new(CircuitBreaker::default()),
             epoch: Instant::now(),
+            durable,
         });
-        Ok(Self { listener, state })
+        Ok(Self {
+            listener,
+            state,
+            pending,
+        })
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -277,7 +327,17 @@ impl Server {
     ///
     /// Propagates accept-loop I/O failures; per-connection errors only
     /// terminate that connection.
-    pub fn run(self) -> std::io::Result<()> {
+    pub fn run(mut self) -> std::io::Result<()> {
+        // Resume journaled work on a background thread so the listener
+        // serves new clients immediately; `health` reports
+        // `recovery_active` until the backlog drains.
+        let resumer = if self.pending.is_empty() {
+            None
+        } else {
+            let state = Arc::clone(&self.state);
+            let pending = std::mem::take(&mut self.pending);
+            Some(std::thread::spawn(move || resume_pending(&state, pending)))
+        };
         let mut conns = Vec::new();
         loop {
             if self.state.draining() {
@@ -329,6 +389,12 @@ impl Server {
         }
         for conn in conns {
             let _ = conn.join();
+        }
+        // The resumer abandons un-dispatched intents once draining is
+        // observed (they stay journaled for the next boot) and finishes
+        // any run already on the pool, which drain() then waits out.
+        if let Some(resumer) = resumer {
+            let _ = resumer.join();
         }
         self.state.pool.drain();
         Ok(())
@@ -472,11 +538,18 @@ enum RunFail {
 /// run ends; the run polls the flag between step chunks. A zero
 /// deadline is already expired, so it trips here rather than racing the
 /// watchdog thread's first schedule.
-fn run_with_deadline(
+///
+/// The optional [`SpillPlan`] adds the durability hooks: it restores
+/// the simulation from its spill checkpoint (resume path) and spills a
+/// fresh snapshot every `spill_every` retired instructions, journaling
+/// each spill *after* its file is durably in place — the journal never
+/// promises a checkpoint that is not on disk.
+fn run_with_deadline_plan(
     program: &Program,
     kind: ManagerKind,
     cfg: &RunConfig,
     deadline_ms: u64,
+    plan: Option<&SpillPlan>,
 ) -> Result<RunReport, RunFail> {
     let cancel = Arc::new(AtomicBool::new(deadline_ms == 0));
     let watchdog_flag = Arc::clone(&cancel);
@@ -488,20 +561,78 @@ fn run_with_deadline(
         }
     });
     let result = (|| {
-        let mut sim =
-            Simulation::new(program, kind, cfg).map_err(|e| RunFail::Sim(e.to_string()))?;
+        let mut sim = restore_or_new(program, kind, cfg, plan)?;
+        let mut last_spill = sim.retired();
         while !sim.is_done() {
             if cancel.load(Ordering::Relaxed) {
                 return Err(RunFail::Deadline);
             }
             sim.step_chunk(STEP_CHUNK)
                 .map_err(|e| RunFail::Sim(e.to_string()))?;
+            if let Some(plan) = plan {
+                if sim.retired().saturating_sub(last_spill) >= plan.durability.spill_every {
+                    spill_now(&mut sim, plan);
+                    last_spill = sim.retired();
+                }
+            }
         }
         Ok(sim.into_report())
     })();
     let _ = release.send(());
     let _ = watchdog.join();
     result
+}
+
+/// Builds the simulation for a planned run: from its spill checkpoint
+/// when resuming (tracking the recovered-vs-redone instruction ledger),
+/// fresh otherwise. A lost or unreadable spill degrades to a fresh run
+/// — with the re-done instructions honestly counted — never a panic.
+fn restore_or_new<'p>(
+    program: &'p Program,
+    kind: ManagerKind,
+    cfg: &RunConfig,
+    plan: Option<&SpillPlan>,
+) -> Result<Simulation<'p>, RunFail> {
+    if let Some(plan) = plan {
+        if plan.recovery {
+            let promised = plan.resume_from.unwrap_or(0);
+            let restored = std::fs::read(plan.path())
+                .ok()
+                .and_then(|bytes| Simulation::restore(program, kind, cfg, &bytes).ok());
+            let ledger = &plan.durability.recovery;
+            return match restored {
+                Some(sim) => {
+                    ledger
+                        .resumed_instructions
+                        .fetch_add(sim.retired(), Ordering::SeqCst);
+                    ledger
+                        .redone_instructions
+                        .fetch_add(promised.saturating_sub(sim.retired()), Ordering::SeqCst);
+                    Ok(sim)
+                }
+                None => {
+                    ledger
+                        .redone_instructions
+                        .fetch_add(promised, Ordering::SeqCst);
+                    Simulation::new(program, kind, cfg).map_err(|e| RunFail::Sim(e.to_string()))
+                }
+            };
+        }
+    }
+    Simulation::new(program, kind, cfg).map_err(|e| RunFail::Sim(e.to_string()))
+}
+
+/// Spills one checkpoint: atomic file write first, journal marker
+/// second. A failed write skips the marker — better to re-do a chunk on
+/// the next boot than to journal a checkpoint that does not exist.
+fn spill_now(sim: &mut Simulation<'_>, plan: &SpillPlan) {
+    let bytes = sim.snapshot(&plan.meta());
+    match powerchop_durable::write_atomic(&plan.path(), &bytes) {
+        Ok(()) => plan
+            .durability
+            .journal_spill(plan.id, &plan.spec.bench, sim.retired()),
+        Err(e) => eprintln!("powerchop-serve: checkpoint spill failed: {e}"),
+    }
 }
 
 /// The program + configuration a validated spec describes, and the
@@ -550,7 +681,19 @@ fn settle(
         Ok(Ok(report)) => {
             state.breaker_observe(true);
             let json = report_to_json(&report);
-            lock(&state.cache).put(key, json.clone());
+            let cacheable = {
+                let mut cache = lock(&state.cache);
+                let cacheable = cache.capacity() > 0;
+                cache.put(key, json.clone());
+                cacheable
+            };
+            // Write-through persistence: the reply a restarted daemon
+            // replays is byte-for-byte the reply cached here.
+            if cacheable {
+                if let Some(d) = &state.durable {
+                    d.record_cache_put(key, &json);
+                }
+            }
             state.count("serve_runs_total");
             Ok(json)
         }
@@ -577,6 +720,7 @@ fn run_job(
     cfg: RunConfig,
     deadline_ms: u64,
     chaos_panic: bool,
+    plan: Option<SpillPlan>,
 ) -> impl FnOnce() -> Result<RunReport, RunFail> + Send + 'static {
     let admitted = Instant::now();
     move || {
@@ -592,7 +736,7 @@ fn run_job(
         if budget.expired() {
             return Err(RunFail::Deadline);
         }
-        run_with_deadline(&program, kind, &cfg, remaining)
+        run_with_deadline_plan(&program, kind, &cfg, remaining, plan.as_ref())
     }
 }
 
@@ -610,7 +754,25 @@ fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), Req
     state.breaker_admit()?;
     state.count("serve_cache_misses_total");
     let deadline_ms = spec.deadline_ms;
-    let handle = state
+    // Journal the accepted intent before dispatch. Chaos runs are never
+    // journaled: a deliberately-killed worker is a drill, not work the
+    // daemon owes anyone after a restart.
+    let plan = match &state.durable {
+        Some(d) if !spec.chaos_panic => {
+            let id = d.next_intent_id();
+            d.journal_intent(id, std::slice::from_ref(spec));
+            Some(SpillPlan {
+                durability: Arc::clone(d),
+                id,
+                spec: spec.clone(),
+                resume_from: None,
+                recovery: false,
+            })
+        }
+        _ => None,
+    };
+    let intent = plan.as_ref().map(|p| p.id);
+    let outcome = state
         .pool
         .submit(run_job(
             program,
@@ -618,9 +780,17 @@ fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), Req
             cfg,
             deadline_ms,
             spec.chaos_panic,
+            plan,
         ))
-        .map_err(submit_error)?;
-    settle(state, key, deadline_ms, handle).map(|json| (false, json))
+        .map_err(submit_error)
+        .and_then(|handle| settle(state, key, deadline_ms, handle));
+    // Retire the intent however the run ended: the client has its reply
+    // (success or typed error), so the daemon owes nothing after this.
+    if let (Some(d), Some(id)) = (&state.durable, intent) {
+        d.journal_done(id);
+        d.remove_spills(id, [spec.bench.as_str()]);
+    }
+    outcome.map(|json| (false, json))
 }
 
 /// The `sweep` op: submit every benchmark up front (filling workers and
@@ -639,6 +809,14 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
         Dispatched(u128, u64, JobHandle<Result<RunReport, RunFail>>),
         Refused(ReqError),
     }
+    // One intent covers the whole sweep: it is one logical request, and
+    // a restart resumes exactly the rows that were still owed (cached
+    // rows are hits again, spilled rows restart from their checkpoint).
+    let intent = state.durable.as_ref().map(|d| {
+        let id = d.next_intent_id();
+        d.journal_intent(id, &specs);
+        id
+    });
     let mut pending = Vec::with_capacity(specs.len());
     for spec in &specs {
         let outcome = match prepare(spec) {
@@ -652,6 +830,16 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
                     let kind = spec.manager;
                     let deadline_ms = spec.deadline_ms;
                     let shared = Arc::new((program, cfg));
+                    let plan = match (&state.durable, intent) {
+                        (Some(d), Some(id)) => Some(SpillPlan {
+                            durability: Arc::clone(d),
+                            id,
+                            spec: spec.clone(),
+                            resume_from: None,
+                            recovery: false,
+                        }),
+                        _ => None,
+                    };
                     // Seeded-jitter backoff: reproducible for a given
                     // request seed, de-synchronized across benchmarks.
                     let policy = RetryPolicy::new(1, 50);
@@ -660,6 +848,7 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
                     let mut attempt = 0u32;
                     loop {
                         let ctx = Arc::clone(&shared);
+                        let job_plan = plan.clone();
                         let admitted = Instant::now();
                         match state.pool.submit(move || {
                             let mut budget = DeadlineBudget::new(deadline_ms);
@@ -669,7 +858,13 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
                             if budget.expired() {
                                 return Err(RunFail::Deadline);
                             }
-                            run_with_deadline(&ctx.0, kind, &ctx.1, remaining)
+                            run_with_deadline_plan(
+                                &ctx.0,
+                                kind,
+                                &ctx.1,
+                                remaining,
+                                job_plan.as_ref(),
+                            )
                         }) {
                             Ok(handle) => break Pending::Dispatched(key, deadline_ms, handle),
                             Err(SubmitError::Busy { .. }) => {
@@ -719,7 +914,129 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
             (spec.bench, outcome)
         })
         .collect();
+    // Every row has settled and the reply is about to reach the client:
+    // retire the intent and garbage-collect its spills.
+    if let (Some(d), Some(id)) = (&state.durable, intent) {
+        d.journal_done(id);
+        d.remove_spills(id, rows.iter().map(|(bench, _)| bench.as_str()));
+    }
     sweep_reply(&rows)
+}
+
+/// Boot-time resume driver: re-dispatches every journaled intent that
+/// never got its `Done` record. Cached rows (reloaded from the cache
+/// log) are skipped outright; the rest restore from their spill
+/// checkpoints and run to completion, landing in the cache so the
+/// original requester's retry is a bit-identical hit. Observing a drain
+/// abandons the remaining intents — still journaled, they simply wait
+/// for the next boot.
+fn resume_pending(state: &Arc<State>, pending: Vec<powerchop_durable::PendingIntent>) {
+    let Some(d) = state.durable.clone() else {
+        return;
+    };
+    'intents: for intent in pending {
+        if state.draining() {
+            break;
+        }
+        let specs: Vec<RunSpec> = intent
+            .specs
+            .iter()
+            .filter_map(|rec| durability::record_to_spec(rec, state.limits.deadline_ms))
+            .collect();
+        let ledger = &d.recovery;
+        let mut resumed_rows = 0u64;
+        for spec in &specs {
+            if state.draining() {
+                break 'intents;
+            }
+            let resume_from = intent.spilled.get(&spec.bench).copied();
+            match resume_one(state, &d, intent.id, spec, resume_from) {
+                ResumeOutcome::Cached => {}
+                ResumeOutcome::Resumed => resumed_rows += 1,
+                ResumeOutcome::Abandoned => break 'intents,
+            }
+        }
+        ledger
+            .runs_resumed
+            .fetch_add(resumed_rows, Ordering::SeqCst);
+        if resumed_rows > 0 && specs.len() > 1 {
+            ledger.sweeps_resumed.fetch_add(1, Ordering::SeqCst);
+        }
+        d.journal_done(intent.id);
+        d.remove_spills(intent.id, specs.iter().map(|s| s.bench.as_str()));
+    }
+    d.recovery.active.store(false, Ordering::SeqCst);
+}
+
+/// How one resumed run ended, as far as the resume driver cares.
+enum ResumeOutcome {
+    /// The reply was already in the (reloaded) cache — nothing owed.
+    Cached,
+    /// The run was re-dispatched (from its spill when one existed) and
+    /// settled into the cache.
+    Resumed,
+    /// The daemon is draining or the pool is gone; stop resuming.
+    Abandoned,
+}
+
+/// Resumes one run of a pending intent. Rides through `Busy` with the
+/// same seeded-jitter backoff a sweep uses — recovery is owed work and
+/// must not shed itself — but yields to live traffic by checking the
+/// drain flag between attempts.
+fn resume_one(
+    state: &Arc<State>,
+    d: &Arc<Durability>,
+    id: u64,
+    spec: &RunSpec,
+    resume_from: Option<u64>,
+) -> ResumeOutcome {
+    let Ok((program, cfg, key)) = prepare(spec) else {
+        // The benchmark roster changed under the journal; there is
+        // nothing runnable to owe.
+        return ResumeOutcome::Cached;
+    };
+    if lock(&state.cache).get(key).is_some() {
+        return ResumeOutcome::Cached;
+    }
+    let deadline_ms = state.limits.deadline_ms;
+    let plan = SpillPlan {
+        durability: Arc::clone(d),
+        id,
+        spec: spec.clone(),
+        resume_from,
+        recovery: true,
+    };
+    let shared = Arc::new((program, cfg));
+    let kind = spec.manager;
+    let policy = RetryPolicy::new(1, 50);
+    let retry_seed = spec.seed.unwrap_or(crate::protocol::DEFAULT_FAULT_SEED);
+    let stream = powerchop_resilience::retry::stream_label(&spec.bench);
+    let mut attempt = 0u32;
+    let handle = loop {
+        if state.draining() {
+            return ResumeOutcome::Abandoned;
+        }
+        let job_plan = Some(plan.clone());
+        let ctx = Arc::clone(&shared);
+        match state.pool.submit(move || {
+            run_with_deadline_plan(&ctx.0, kind, &ctx.1, deadline_ms, job_plan.as_ref())
+        }) {
+            Ok(handle) => break handle,
+            Err(SubmitError::Busy { .. }) => {
+                attempt = attempt.saturating_add(1);
+                state.count("serve_retries_total");
+                std::thread::sleep(Duration::from_millis(
+                    policy.delay_ms(retry_seed, stream, attempt),
+                ));
+            }
+            Err(_) => return ResumeOutcome::Abandoned,
+        }
+    };
+    // A failed resume (sim error, deadline under the server cap) is
+    // logged by settle's counters; the intent still retires — the run
+    // was re-attempted, which is all the journal promises.
+    let _ = settle(state, key, deadline_ms, handle);
+    ResumeOutcome::Resumed
 }
 
 fn status_reply(state: &Arc<State>) -> String {
@@ -763,6 +1080,43 @@ fn health_reply(state: &Arc<State>) -> String {
         state.connections.load(Ordering::SeqCst) as u64,
     );
     w.field_u64("max_connections", state.max_connections as u64);
+    // Recovery block: stable shape whether or not durability is on, so
+    // orchestrators can always distinguish a clean boot (`clean_boot`
+    // true, all counters zero) from a recovered one.
+    w.field_bool("durable", state.durable.is_some());
+    match &state.durable {
+        Some(d) => {
+            let r = &d.recovery;
+            w.field_bool("clean_boot", r.clean_boot);
+            w.field_bool("recovery_active", r.active.load(Ordering::SeqCst));
+            w.field_u64("journal_replayed", r.journal_replayed);
+            w.field_u64("torn_tails_discarded", r.torn_discards);
+            w.field_u64("pending_intents", r.pending_intents);
+            w.field_u64("sweeps_resumed", r.sweeps_resumed.load(Ordering::SeqCst));
+            w.field_u64("runs_resumed", r.runs_resumed.load(Ordering::SeqCst));
+            w.field_u64(
+                "resumed_instructions",
+                r.resumed_instructions.load(Ordering::SeqCst),
+            );
+            w.field_u64(
+                "redone_instructions",
+                r.redone_instructions.load(Ordering::SeqCst),
+            );
+            w.field_u64("cache_reloaded", r.cache_reloaded);
+        }
+        None => {
+            w.field_bool("clean_boot", true);
+            w.field_bool("recovery_active", false);
+            w.field_u64("journal_replayed", 0);
+            w.field_u64("torn_tails_discarded", 0);
+            w.field_u64("pending_intents", 0);
+            w.field_u64("sweeps_resumed", 0);
+            w.field_u64("runs_resumed", 0);
+            w.field_u64("resumed_instructions", 0);
+            w.field_u64("redone_instructions", 0);
+            w.field_u64("cache_reloaded", 0);
+        }
+    }
     w.finish()
 }
 
@@ -862,11 +1216,11 @@ mod tests {
         let mut cfg = RunConfig::for_kind(b.core_kind());
         cfg.max_instructions = 50_000;
         let program = b.program(Scale(0.05));
-        match run_with_deadline(&program, ManagerKind::PowerChop, &cfg, 0) {
+        match run_with_deadline_plan(&program, ManagerKind::PowerChop, &cfg, 0, None) {
             Err(RunFail::Deadline) => {}
             _ => panic!("zero deadline must trip before any work"),
         }
-        let report = run_with_deadline(&program, ManagerKind::PowerChop, &cfg, 60_000);
+        let report = run_with_deadline_plan(&program, ManagerKind::PowerChop, &cfg, 60_000, None);
         assert!(matches!(report, Ok(r) if r.instructions > 0));
     }
 }

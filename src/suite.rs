@@ -14,12 +14,14 @@
 //! - [`workloads`] — the synthetic benchmark suites
 //! - [`exec`] — the work-stealing job pool fan-out commands run on
 //! - [`resilience`] — retry, circuit-breaker, deadline-budget and chaos primitives
+//! - [`durable`] — the write-ahead intent journal and persistent result cache
 //! - [`serve`] — the TCP daemon (NDJSON protocol, result cache, backpressure)
 //! - [`cli`] — the command-line interface (argument parsing and commands)
 
 pub use powerchop;
 pub use powerchop_bt as bt;
 pub use powerchop_cli as cli;
+pub use powerchop_durable as durable;
 pub use powerchop_exec as exec;
 pub use powerchop_faults as faults;
 pub use powerchop_gisa as gisa;
