@@ -229,6 +229,36 @@ pub enum Command {
         /// Storm tuning.
         opts: SoakOpts,
     },
+    /// `top` — live terminal dashboard over a running daemon: polls
+    /// `/metrics` and the `health` op and renders qps, in-flight,
+    /// latency quantiles, breaker/respawn/recovery state and a
+    /// sparkline history.
+    Top {
+        /// Dashboard tuning.
+        opts: TopOpts,
+    },
+}
+
+/// `top` dashboard tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopOpts {
+    /// Daemon address to poll.
+    pub addr: String,
+    /// Milliseconds between polls.
+    pub interval_ms: u64,
+    /// Frames to render before exiting (0 runs until the daemon goes
+    /// away or the terminal is closed).
+    pub frames: u64,
+}
+
+impl Default for TopOpts {
+    fn default() -> Self {
+        TopOpts {
+            addr: "127.0.0.1:7077".into(),
+            interval_ms: 1_000,
+            frames: 0,
+        }
+    }
 }
 
 /// `serve` daemon tuning knobs (mirrors `powerchop_serve::ServerConfig`).
@@ -277,6 +307,14 @@ pub struct ServeOpts {
     pub max_restarts: u32,
     /// Supervisor restart-rate window in milliseconds.
     pub restart_window_ms: u64,
+    /// Structured JSONL access-log path (`None` disables the log).
+    pub access_log: Option<String>,
+    /// End-to-end latency threshold promoting a request to a detailed
+    /// access-log record (`None` never promotes).
+    pub slow_ms: Option<u64>,
+    /// Trace-id seed (`None` uses per-process OS entropy; fixing it
+    /// makes the trace-id sequence deterministic).
+    pub seed: Option<u64>,
 }
 
 impl Default for ServeOpts {
@@ -299,6 +337,9 @@ impl Default for ServeOpts {
             supervised: false,
             max_restarts: 10,
             restart_window_ms: 10_000,
+            access_log: None,
+            slow_ms: None,
+            seed: None,
         }
     }
 }
@@ -408,6 +449,9 @@ COMMANDS:
     soak                   chaos soak: boot an in-process daemon, drive a seeded
                            storm of hostile + honest clients, verify honest
                            replies stayed bit-identical and the drain was clean
+    top                    live terminal dashboard over a running daemon: qps,
+                           in-flight, latency quantiles, breaker/recovery state
+                           and a sparkline history from /metrics + health
     help                   show this message
 
 OPTIONS (run/compare/timeline/asm/stress/checkpoint/supervise):
@@ -463,6 +507,19 @@ OPTIONS (serve):
     --max-restarts <N>     crashes tolerated per window before giving up
                            [default: 10]
     --restart-window-ms <N> restart-rate window                [default: 10000]
+    --access-log <path>    structured JSONL access log: one RFC 8259 record per
+                           request with its trace id, op, status and full span
+                           breakdown (omit to disable)
+    --slow-ms <N>          promote requests slower than N ms end to end to a
+                           detailed access-log record (omit to never promote)
+    --seed <N>             trace-id seed; fixing it makes the trace-id sequence
+                           deterministic [default: per-process OS entropy]
+
+OPTIONS (top):
+    --addr <host:port>     daemon address to poll     [default: 127.0.0.1:7077]
+    --interval-ms <N>      milliseconds between polls [default: 1000]
+    --frames <N>           frames to render before exiting (0 = run until the
+                           daemon goes away)          [default: 0]
 
 OPTIONS (soak):
     --seed <N>             master storm seed (forks per client) [default: 3405691582]
@@ -782,10 +839,31 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--restart-window-ms" => {
                         opts.restart_window_ms = parse_positive(flag, &value()?)?;
                     }
+                    "--access-log" => opts.access_log = Some(value()?),
+                    "--slow-ms" => opts.slow_ms = Some(parse_int(flag, &value()?)?),
+                    "--seed" => opts.seed = Some(parse_int(flag, &value()?)?),
                     other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
                 }
             }
             Ok(Command::Serve { opts })
+        }
+        "top" => {
+            let mut opts = TopOpts::default();
+            let mut it = argv[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{flag} requires a value")))
+                };
+                match flag.as_str() {
+                    "--addr" => opts.addr = value()?,
+                    "--interval-ms" => opts.interval_ms = parse_positive(flag, &value()?)?,
+                    "--frames" => opts.frames = parse_int(flag, &value()?)?,
+                    other => return Err(CliError(format!("unknown option `{other}`\n\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Top { opts })
         }
         "soak" => {
             let mut opts = SoakOpts::default();
@@ -1133,6 +1211,51 @@ mod tests {
             "serve --cache-entries 0 --deadline-ms 0 --read-timeout-ms 0 --write-timeout-ms 0"
         ))
         .is_ok());
+    }
+
+    #[test]
+    fn serve_observability_flags_parse() {
+        match parse(&argv(
+            "serve --access-log access.jsonl --slow-ms 250 --seed 42",
+        ))
+        .unwrap()
+        {
+            Command::Serve { opts } => {
+                assert_eq!(opts.access_log.as_deref(), Some("access.jsonl"));
+                assert_eq!(opts.slow_ms, Some(250));
+                assert_eq!(opts.seed, Some(42));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let d = ServeOpts::default();
+        assert_eq!(d.access_log, None, "the access log is opt-in");
+        assert_eq!(d.slow_ms, None);
+        assert_eq!(d.seed, None, "trace ids default to entropy");
+        // `--slow-ms 0` promotes everything — legal, for harnesses.
+        assert!(parse(&argv("serve --slow-ms 0")).is_ok());
+        assert!(parse(&argv("serve --access-log")).is_err(), "needs a value");
+        assert!(parse(&argv("serve --seed nope")).is_err());
+    }
+
+    #[test]
+    fn top_command_parses_with_defaults_and_overrides() {
+        assert_eq!(
+            parse(&argv("top")).unwrap(),
+            Command::Top {
+                opts: TopOpts::default()
+            }
+        );
+        match parse(&argv("top --addr 127.0.0.1:9 --interval-ms 100 --frames 3")).unwrap() {
+            Command::Top { opts } => {
+                assert_eq!(opts.addr, "127.0.0.1:9");
+                assert_eq!(opts.interval_ms, 100);
+                assert_eq!(opts.frames, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A zero poll interval would spin on the daemon.
+        assert!(parse(&argv("top --interval-ms 0")).is_err());
+        assert!(parse(&argv("top --bogus")).is_err());
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub fn dispatch(command: Command) -> Result<(), CliError> {
         }
         Command::Serve { opts } => serve_cmd(&opts),
         Command::Soak { opts } => crate::soak::soak_cmd(&opts),
+        Command::Top { opts } => crate::top::top_cmd(&opts),
     }
 }
 
@@ -109,6 +110,9 @@ fn serve_cmd(opts: &crate::args::ServeOpts) -> Result<(), CliError> {
         journal_dir: opts.journal_dir.clone(),
         cache_dir: opts.cache_dir.clone(),
         spill_every: opts.spill_every,
+        access_log: opts.access_log.clone(),
+        slow_ms: opts.slow_ms,
+        seed: opts.seed,
     };
     let server = powerchop_serve::Server::bind(&cfg)?;
     println!("powerchop-serve listening on {}", server.local_addr());

@@ -11,6 +11,7 @@ pub mod commands;
 pub mod soak;
 pub mod supervise;
 pub mod supervisor;
+pub mod top;
 
 use std::fmt;
 

@@ -183,7 +183,10 @@ fn honest_once(addr: SocketAddr, exp: &Expected, c: &Counters) {
         match request_once(addr, &exp.request) {
             Ok(reply) => {
                 c.saw_reply(&reply);
-                if reply == exp.fresh || reply == exp.cached {
+                // Trace ids are per-request by design; everything else
+                // must still be byte-identical to a local run.
+                let reply_untraced = powerchop_serve::strip_trace_id(&reply);
+                if reply_untraced == exp.fresh || reply_untraced == exp.cached {
                     c.honest_ok.fetch_add(1, Ordering::SeqCst);
                     return;
                 }
@@ -897,7 +900,7 @@ pub fn run_crash_drill(opts: &SoakOpts) -> Result<CrashDrillReport, CliError> {
     let final_sweep_identical = match request_once(daemon.addr, &sweep_request) {
         Ok(reply) => {
             c.saw_reply(&reply);
-            if reply == expected_sweep {
+            if powerchop_serve::strip_trace_id(&reply) == expected_sweep {
                 true
             } else {
                 c.note(format!("post-recovery sweep diverged: {reply}"));

@@ -137,6 +137,18 @@ pub fn child_argv(opts: &ServeOpts) -> Vec<String> {
     if opts.chaos_ops {
         argv.push("--chaos-ops".to_owned());
     }
+    if let Some(path) = &opts.access_log {
+        argv.push("--access-log".to_owned());
+        argv.push(path.clone());
+    }
+    if let Some(ms) = opts.slow_ms {
+        argv.push("--slow-ms".to_owned());
+        argv.push(ms.to_string());
+    }
+    if let Some(seed) = opts.seed {
+        argv.push("--seed".to_owned());
+        argv.push(seed.to_string());
+    }
     argv
 }
 

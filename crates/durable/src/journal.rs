@@ -22,8 +22,13 @@ use powerchop_checkpoint::{ByteReader, ByteWriter, CheckpointError};
 use crate::frame::{read_frames, FrameSink, TailVerdict};
 
 /// Journal record format version; bumped on any encoding change so a
-/// newer daemon refuses to misread an older journal silently.
-const RECORD_VERSION: u8 = 1;
+/// newer daemon refuses to misread an older journal silently. Version
+/// 2 added the trace id to `Intent` records; version-1 journals are
+/// still decoded (their intents replay with a zero trace id).
+const RECORD_VERSION: u8 = 2;
+
+/// Oldest record version this daemon still decodes.
+const MIN_RECORD_VERSION: u8 = 1;
 
 /// One simulation request as journaled: everything needed to rebuild
 /// the exact `RunSpec` after a crash. `scale` is carried as f64 bits so
@@ -95,6 +100,10 @@ pub enum Record {
     Intent {
         /// Monotonic intent id, unique within the journal.
         id: u64,
+        /// The request's trace id, so crash-recovery resumes stay
+        /// attributable to the request that asked for the work (zero
+        /// for version-1 journals and untraced requests).
+        trace: u64,
         /// The runs the request asked for.
         specs: Vec<SpecRecord>,
     },
@@ -121,9 +130,10 @@ impl Record {
         let mut w = ByteWriter::new();
         w.put_u8(RECORD_VERSION);
         match self {
-            Record::Intent { id, specs } => {
+            Record::Intent { id, trace, specs } => {
                 w.put_u8(0);
                 w.put_u64(*id);
+                w.put_u64(*trace);
                 w.put_usize(specs.len());
                 for spec in specs {
                     spec.encode(&mut w);
@@ -152,7 +162,7 @@ impl Record {
     pub fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
         let mut r = ByteReader::new(payload);
         let version = r.take_u8()?;
-        if version != RECORD_VERSION {
+        if !(MIN_RECORD_VERSION..=RECORD_VERSION).contains(&version) {
             return Err(CheckpointError::VersionSkew {
                 found: u32::from(version),
                 expected: u32::from(RECORD_VERSION),
@@ -161,6 +171,9 @@ impl Record {
         let record = match r.take_u8()? {
             0 => {
                 let id = r.take_u64()?;
+                // Version 1 predates trace ids; its intents replay
+                // with the zero (untraced) id.
+                let trace = if version >= 2 { r.take_u64()? } else { 0 };
                 let n = r.take_usize()?;
                 // Bounded: a corrupt count must not drive a huge
                 // reservation. Decode reads stop at payload end anyway.
@@ -168,7 +181,7 @@ impl Record {
                 for _ in 0..n {
                     specs.push(SpecRecord::decode(&mut r)?);
                 }
-                Record::Intent { id, specs }
+                Record::Intent { id, trace, specs }
             }
             1 => Record::Spill {
                 id: r.take_u64()?,
@@ -221,6 +234,9 @@ impl Journal {
 pub struct PendingIntent {
     /// The intent id (names its spill files).
     pub id: u64,
+    /// The trace id of the request that journaled the intent (zero
+    /// when unknown), so resumed work stays attributable.
+    pub trace: u64,
     /// The runs the request asked for.
     pub specs: Vec<SpecRecord>,
     /// Last journaled spill per benchmark: instructions retired at the
@@ -290,10 +306,11 @@ pub fn replay(path: &Path) -> std::io::Result<JournalReplay> {
         };
         out.records_replayed += 1;
         match record {
-            Record::Intent { id, specs } => {
+            Record::Intent { id, trace, specs } => {
                 out.next_id = out.next_id.max(id + 1);
                 pending.push(PendingIntent {
                     id,
+                    trace,
                     specs,
                     spilled: BTreeMap::new(),
                 });
@@ -326,6 +343,7 @@ pub fn compact(path: &Path, pending: &[PendingIntent]) -> std::io::Result<()> {
             sink.append(
                 &Record::Intent {
                     id: p.id,
+                    trace: p.trace,
                     specs: p.specs.clone(),
                 }
                 .encode(),
@@ -372,10 +390,12 @@ mod tests {
         let records = [
             Record::Intent {
                 id: 3,
+                trace: 0xABCD_EF01_2345_6789,
                 specs: vec![spec("hmmer"), spec("namd")],
             },
             Record::Intent {
                 id: 4,
+                trace: 0,
                 specs: vec![SpecRecord {
                     manager_tag: 3,
                     manager_param: 1024,
@@ -394,6 +414,27 @@ mod tests {
         for r in &records {
             assert_eq!(&Record::decode(&r.encode()).expect("decode"), r);
         }
+    }
+
+    #[test]
+    fn version_one_intents_still_decode_with_zero_trace() {
+        // A version-1 Intent exactly as an older daemon wrote it:
+        // version byte 1, no trace field between the id and the specs.
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u8(0);
+        w.put_u64(9);
+        w.put_usize(1);
+        spec("hmmer").encode(&mut w);
+        let rec = Record::decode(&w.into_bytes()).expect("v1 decode");
+        assert_eq!(
+            rec,
+            Record::Intent {
+                id: 9,
+                trace: 0,
+                specs: vec![spec("hmmer")],
+            }
+        );
     }
 
     #[test]
@@ -417,11 +458,13 @@ mod tests {
         let mut j = Journal::open(&path).expect("open");
         j.append(&Record::Intent {
             id: 1,
+            trace: 0x1111,
             specs: vec![spec("hmmer")],
         })
         .expect("append");
         j.append(&Record::Intent {
             id: 2,
+            trace: 0x2222,
             specs: vec![spec("namd"), spec("gobmk")],
         })
         .expect("append");
@@ -462,6 +505,7 @@ mod tests {
         let mut j = Journal::open(&path).expect("open");
         j.append(&Record::Intent {
             id: 1,
+            trace: 7,
             specs: vec![spec("hmmer")],
         })
         .expect("append");
@@ -484,11 +528,13 @@ mod tests {
         let mut j = Journal::open(&path).expect("open");
         j.append(&Record::Intent {
             id: 1,
+            trace: 0xAA,
             specs: vec![spec("hmmer")],
         })
         .expect("append");
         j.append(&Record::Intent {
             id: 2,
+            trace: 0xBB,
             specs: vec![spec("namd")],
         })
         .expect("append");

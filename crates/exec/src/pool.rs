@@ -32,6 +32,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -202,9 +203,16 @@ impl WorkerPool {
         let slot = Arc::new(Slot {
             cell: Mutex::new(None),
             done: Condvar::new(),
+            queue_wait_ns: AtomicU64::new(0),
         });
         let out = Arc::clone(&slot);
+        let enqueued = Instant::now();
         st.queue.push_back(Box::new(move || {
+            // Stamp the queue wait the instant a worker picks the job
+            // up, so callers can attribute latency to queueing vs
+            // compute (the serve layer's span ledger reads this).
+            let waited = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            out.queue_wait_ns.store(waited, Ordering::Relaxed);
             match catch_unwind(AssertUnwindSafe(job)) {
                 Ok(value) => {
                     *lock(&out.cell) = Some(Ok(value));
@@ -410,6 +418,9 @@ impl Drop for Sentinel {
 struct Slot<T> {
     cell: Mutex<Option<Result<T, JobPanic>>>,
     done: Condvar,
+    /// Nanoseconds the job spent queued before a worker picked it up;
+    /// zero until pickup.
+    queue_wait_ns: AtomicU64,
 }
 
 /// An awaitable handle to one submitted job. The handle outlives the
@@ -444,6 +455,15 @@ impl<T> JobHandle<T> {
     #[must_use]
     pub fn is_done(&self) -> bool {
         lock(&self.slot.cell).is_some()
+    }
+
+    /// Nanoseconds this job spent waiting in the queue before a worker
+    /// picked it up. Zero until pickup; stable once the job is running,
+    /// so reading it after [`JobHandle::is_done`] (or before
+    /// [`JobHandle::wait`] on a done handle) gives the final value.
+    #[must_use]
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.slot.queue_wait_ns.load(Ordering::Relaxed)
     }
 }
 
@@ -591,6 +611,28 @@ mod tests {
         // hang on the phantom in-flight job.
         pool.drain();
         assert_eq!(pool.inflight(), 0);
+    }
+
+    #[test]
+    fn queue_wait_is_attributed_to_queued_jobs() {
+        let pool = WorkerPool::new(1, 4);
+        let (release, gate) = mpsc::channel::<()>();
+        let running = pool.submit(move || gate.recv().is_ok()).unwrap();
+        let queued = pool.submit(|| 7u32).unwrap();
+        // The queued job cannot start until the gate opens, so its
+        // queue wait is at least this sleep.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        release.send(()).unwrap();
+        while !queued.is_done() {
+            std::thread::yield_now();
+        }
+        assert!(
+            queued.queue_wait_ns() >= 2_000_000,
+            "queued job waited {}ns",
+            queued.queue_wait_ns()
+        );
+        assert!(running.wait().unwrap());
+        assert_eq!(queued.wait().unwrap(), 7);
     }
 
     #[test]

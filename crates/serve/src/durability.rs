@@ -102,10 +102,13 @@ impl Durability {
         }
     }
 
-    /// Journals an accepted request before dispatch.
-    pub fn journal_intent(&self, id: u64, specs: &[RunSpec]) {
+    /// Journals an accepted request before dispatch. `trace` is the
+    /// request's trace id, so a crash-recovery resume of this intent
+    /// stays attributable to the request that asked for it.
+    pub fn journal_intent(&self, id: u64, trace: u64, specs: &[RunSpec]) {
         self.append(&Record::Intent {
             id,
+            trace,
             specs: specs.iter().map(spec_to_record).collect(),
         });
     }
@@ -415,11 +418,11 @@ mod tests {
             let b = boot(&dir, Some(&dir), 1_000, &mut cache).expect("first boot");
             let id = b.durability.next_intent_id();
             b.durability
-                .journal_intent(id, &[spec("hmmer", ManagerKind::PowerChop)]);
+                .journal_intent(id, 0xF00D, &[spec("hmmer", ManagerKind::PowerChop)]);
             b.durability.journal_spill(id, "hmmer", 64_000);
             let done = b.durability.next_intent_id();
             b.durability
-                .journal_intent(done, &[spec("namd", ManagerKind::FullPower)]);
+                .journal_intent(done, 0, &[spec("namd", ManagerKind::FullPower)]);
             b.durability.journal_done(done);
             b.durability.record_cache_put(42, r#"{"ok":true}"#);
         }
@@ -431,6 +434,7 @@ mod tests {
         assert_eq!(b.pending.len(), 1);
         assert_eq!(b.pending[0].specs[0].bench, "hmmer");
         assert_eq!(b.pending[0].spilled.get("hmmer"), Some(&64_000));
+        assert_eq!(b.pending[0].trace, 0xF00D, "trace id survives the crash");
         assert_eq!(r.cache_reloaded, 1);
         assert_eq!(cache.get(42).as_deref(), Some(r#"{"ok":true}"#));
         assert!(r.active.load(Ordering::SeqCst));
@@ -446,9 +450,9 @@ mod tests {
         {
             let b = boot(&dir, None, 1_000, &mut cache).expect("first boot");
             b.durability
-                .journal_intent(0, &[spec("hmmer", ManagerKind::PowerChop)]);
+                .journal_intent(0, 0, &[spec("hmmer", ManagerKind::PowerChop)]);
             b.durability
-                .journal_intent(1, &[spec("namd", ManagerKind::PowerChop)]);
+                .journal_intent(1, 0, &[spec("namd", ManagerKind::PowerChop)]);
         }
         let jpath = journal_path(&dir);
         let mut bytes = std::fs::read(&jpath).expect("read journal");

@@ -46,7 +46,8 @@ mod report;
 pub mod server;
 
 pub use protocol::{
-    error_reply, fault_config, parse_request, ReqError, Request, RunSpec, DEFAULT_FAULT_SEED,
+    error_reply, fault_config, parse_request, strip_trace_id, ReqError, Request, RunSpec,
+    DEFAULT_FAULT_SEED,
 };
 pub use report::report_to_json;
 pub use server::{Server, ServerConfig};

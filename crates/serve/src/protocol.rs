@@ -413,28 +413,56 @@ pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, ReqError> {
     }
 }
 
-/// Renders an error reply line.
+/// Renders an error reply line. `trace` is the request's trace id,
+/// echoed back so even shed requests (408/429/503) stay attributable;
+/// zero means "no trace assigned" (e.g. the connection was rejected
+/// before a request existed) and omits the field.
 #[must_use]
-pub fn error_reply(e: &ReqError) -> String {
+pub fn error_reply(e: &ReqError, trace: u64) -> String {
     let mut w = JsonWriter::object();
     w.field_bool("ok", false);
     w.field_u64("code", u64::from(e.code));
     w.field_str("error", e.slug);
     w.field_str("message", &e.message);
+    if trace != 0 {
+        w.field_str("trace_id", &powerchop_telemetry::format_trace_id(trace));
+    }
     w.finish()
 }
 
 /// Renders a successful `run` reply. `report_json` is spliced in raw,
 /// so the embedded report is byte-identical to `powerchop-cli run
-/// --json` output for the same request.
+/// --json` output for the same request; the `trace_id` field is the
+/// one request-unique part of the envelope.
 #[must_use]
-pub fn run_reply(cached: bool, report_json: &str) -> String {
+pub fn run_reply(trace: u64, cached: bool, report_json: &str) -> String {
     let mut w = JsonWriter::object();
     w.field_bool("ok", true);
     w.field_str("op", "run");
     w.field_bool("cached", cached);
+    w.field_str("trace_id", &powerchop_telemetry::format_trace_id(trace));
     w.field_raw("report", report_json);
     w.finish()
+}
+
+/// Removes the `,"trace_id":"..."` field from a reply line. Replies
+/// are deterministic except for the per-request trace id, so clients
+/// (and the bit-identity tests) compare `strip_trace_id(reply)`
+/// against a baseline byte-for-byte.
+#[must_use]
+pub fn strip_trace_id(reply: &str) -> String {
+    const NEEDLE: &str = ",\"trace_id\":\"";
+    let Some(start) = reply.find(NEEDLE) else {
+        return reply.to_owned();
+    };
+    let rest = &reply[start + NEEDLE.len()..];
+    let Some(endq) = rest.find('"') else {
+        return reply.to_owned();
+    };
+    let mut out = String::with_capacity(reply.len());
+    out.push_str(&reply[..start]);
+    out.push_str(&rest[endq + 1..]);
+    out
 }
 
 /// One benchmark's outcome inside a sweep reply.
@@ -453,8 +481,9 @@ pub enum SweepOutcome {
 
 /// Renders a `sweep` reply. The envelope is `ok:true` whenever the
 /// sweep itself was dispatched; per-benchmark failures are typed rows.
+/// The trace id sits on the envelope only — rows stay deterministic.
 #[must_use]
-pub fn sweep_reply(rows: &[(String, SweepOutcome)]) -> String {
+pub fn sweep_reply(trace: u64, rows: &[(String, SweepOutcome)]) -> String {
     let mut items = JsonWriter::array();
     let mut completed = 0u64;
     for (bench, outcome) in rows {
@@ -479,6 +508,7 @@ pub fn sweep_reply(rows: &[(String, SweepOutcome)]) -> String {
     let mut w = JsonWriter::object();
     w.field_bool("ok", true);
     w.field_str("op", "sweep");
+    w.field_str("trace_id", &powerchop_telemetry::format_trace_id(trace));
     w.field_u64("count", rows.len() as u64);
     w.field_u64("completed", completed);
     w.field_raw("results", &items.finish());
@@ -669,27 +699,52 @@ mod tests {
 
     #[test]
     fn replies_are_well_formed_json() {
-        let err = error_reply(&ReqError::busy(4));
+        let err = error_reply(&ReqError::busy(4), 0xBEEF);
         powerchop_telemetry::validate_json(&err).expect("error reply is valid JSON");
         assert!(err.contains("\"code\":429"));
+        assert!(err.contains("\"trace_id\":\"000000000000beef\""));
+        assert!(
+            !error_reply(&ReqError::busy(4), 0).contains("trace_id"),
+            "a zero trace id is omitted"
+        );
 
-        let run = run_reply(true, r#"{"program":"x"}"#);
+        let run = run_reply(0xBEEF, true, r#"{"program":"x"}"#);
         powerchop_telemetry::validate_json(&run).expect("run reply is valid JSON");
         assert!(run.contains("\"cached\":true"));
+        assert!(run.contains("\"trace_id\":\"000000000000beef\""));
 
-        let sweep = sweep_reply(&[
-            (
-                "hmmer".into(),
-                SweepOutcome::Done {
-                    cached: false,
-                    report: r#"{"program":"hmmer"}"#.into(),
-                },
-            ),
-            ("namd".into(), SweepOutcome::Failed(ReqError::deadline(5))),
-        ]);
+        let sweep = sweep_reply(
+            0xBEEF,
+            &[
+                (
+                    "hmmer".into(),
+                    SweepOutcome::Done {
+                        cached: false,
+                        report: r#"{"program":"hmmer"}"#.into(),
+                    },
+                ),
+                ("namd".into(), SweepOutcome::Failed(ReqError::deadline(5))),
+            ],
+        );
         powerchop_telemetry::validate_json(&sweep).expect("sweep reply is valid JSON");
         assert!(sweep.contains("\"completed\":1"));
         assert!(sweep.contains("\"code\":408"));
+        assert!(sweep.contains("\"trace_id\":\"000000000000beef\""));
+    }
+
+    #[test]
+    fn strip_trace_id_recovers_the_untraced_envelope() {
+        let traced = run_reply(0xBEEF, false, r#"{"program":"x"}"#);
+        assert_eq!(
+            strip_trace_id(&traced),
+            r#"{"ok":true,"op":"run","cached":false,"report":{"program":"x"}}"#
+        );
+        let untraced = r#"{"ok":true,"op":"status"}"#;
+        assert_eq!(
+            strip_trace_id(untraced),
+            untraced,
+            "no-op without the field"
+        );
     }
 
     #[test]

@@ -36,9 +36,9 @@
 //! stops accepting connections, replies 503 to new work, waits for
 //! connected clients to finish, and drains the pool before exiting.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -48,7 +48,9 @@ use powerchop_exec::{JobHandle, KillWorker, SubmitError, WorkerPool};
 use powerchop_gisa::Program;
 use powerchop_resilience::{Admission, CircuitBreaker, DeadlineBudget, RetryPolicy};
 use powerchop_telemetry::export::JsonWriter;
-use powerchop_telemetry::MetricsRegistry;
+use powerchop_telemetry::{
+    format_trace_id, trace_id, MetricsRegistry, Phase, SpanLedger, TelemetryConfig, Tracer,
+};
 use powerchop_workloads::Scale;
 
 use crate::cache::ResultCache;
@@ -103,6 +105,17 @@ pub struct ServerConfig {
     /// Retired-instruction interval between checkpoint spills of
     /// in-flight runs (only meaningful with `journal_dir` set).
     pub spill_every: u64,
+    /// Structured JSONL access-log path (`None` disables the log).
+    /// One RFC 8259 record per request, carrying the trace id, op,
+    /// status, cache outcome and the full span breakdown.
+    pub access_log: Option<String>,
+    /// Requests slower than this many milliseconds end to end are
+    /// promoted to a detailed access-log record (`None` never
+    /// promotes; `Some(0)` promotes everything).
+    pub slow_ms: Option<u64>,
+    /// Trace-id seed. `None` derives a random per-process seed; fixing
+    /// it makes the trace-id sequence fully deterministic.
+    pub seed: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +135,117 @@ impl Default for ServerConfig {
             journal_dir: None,
             cache_dir: None,
             spill_every: 2_000_000,
+            access_log: None,
+            slow_ms: None,
+            seed: None,
+        }
+    }
+}
+
+/// Per-op latency histogram keys. Labels live inside the metric key;
+/// the exporter splits them back out into Prometheus label syntax.
+fn op_duration_metric(op: &str) -> &'static str {
+    match op {
+        "run" => r#"serve_request_duration_ms{op="run"}"#,
+        "sweep" => r#"serve_request_duration_ms{op="sweep"}"#,
+        "status" => r#"serve_request_duration_ms{op="status"}"#,
+        "health" => r#"serve_request_duration_ms{op="health"}"#,
+        "metrics" => r#"serve_request_duration_ms{op="metrics"}"#,
+        "shutdown" => r#"serve_request_duration_ms{op="shutdown"}"#,
+        _ => r#"serve_request_duration_ms{op="malformed"}"#,
+    }
+}
+
+/// Quantile gauges derived from the latency histograms on every
+/// exposition: (histogram key, gauge key, q). Only the two ops with
+/// real compute behind them get quantile gauges; scrapers can derive
+/// any quantile for the rest from the `_bucket` series.
+const QUANTILE_GAUGES: [(&str, &str, f64); 8] = [
+    (
+        r#"serve_request_duration_ms{op="run"}"#,
+        r#"serve_request_duration_ms_p50{op="run"}"#,
+        0.50,
+    ),
+    (
+        r#"serve_request_duration_ms{op="run"}"#,
+        r#"serve_request_duration_ms_p90{op="run"}"#,
+        0.90,
+    ),
+    (
+        r#"serve_request_duration_ms{op="run"}"#,
+        r#"serve_request_duration_ms_p99{op="run"}"#,
+        0.99,
+    ),
+    (
+        r#"serve_request_duration_ms{op="run"}"#,
+        r#"serve_request_duration_ms_p999{op="run"}"#,
+        0.999,
+    ),
+    (
+        r#"serve_request_duration_ms{op="sweep"}"#,
+        r#"serve_request_duration_ms_p50{op="sweep"}"#,
+        0.50,
+    ),
+    (
+        r#"serve_request_duration_ms{op="sweep"}"#,
+        r#"serve_request_duration_ms_p90{op="sweep"}"#,
+        0.90,
+    ),
+    (
+        r#"serve_request_duration_ms{op="sweep"}"#,
+        r#"serve_request_duration_ms_p99{op="sweep"}"#,
+        0.99,
+    ),
+    (
+        r#"serve_request_duration_ms{op="sweep"}"#,
+        r#"serve_request_duration_ms_p999{op="sweep"}"#,
+        0.999,
+    ),
+];
+
+/// Nanoseconds elapsed since `t`, saturating instead of wrapping.
+fn ns_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A random-enough per-process trace seed without any new dependency:
+/// `RandomState` is seeded from OS entropy once per process.
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
+}
+
+/// Everything one request accumulates on its way through the daemon:
+/// the trace id minted at accept, the span ledger every phase records
+/// into, and the classification the access log and histograms need.
+struct RequestCtx {
+    trace: u64,
+    ledger: SpanLedger,
+    op: &'static str,
+    status: u16,
+    cached: bool,
+    bench: Option<String>,
+    /// Simulated cycles attributed to the compute phase (from the
+    /// run report; sweeps accumulate across rows).
+    compute_cycles: u64,
+    /// Flight-recorder events captured by the per-run tracer (only
+    /// when the access log is enabled; surfaced on slow records).
+    trace_events: u64,
+}
+
+impl RequestCtx {
+    fn new(trace: u64) -> Self {
+        Self {
+            trace,
+            ledger: SpanLedger::default(),
+            op: "malformed",
+            status: 200,
+            cached: false,
+            bench: None,
+            compute_cycles: 0,
+            trace_events: 0,
         }
     }
 }
@@ -155,6 +279,20 @@ struct State {
     /// Crash-consistency machinery (`None` when `--journal-dir` is
     /// unset: the daemon runs memory-only, exactly as before).
     durable: Option<Arc<Durability>>,
+    /// Seed of the SplitMix64 trace-id sequence (fixed by `--seed`,
+    /// OS entropy otherwise).
+    trace_seed: u64,
+    /// Requests traced so far; the counter value is the sequence
+    /// index fed to [`trace_id`].
+    trace_counter: AtomicU64,
+    /// Requests currently inside dispatch (the
+    /// `serve_inflight_requests` gauge).
+    inflight_requests: AtomicUsize,
+    /// The JSONL access log, append-opened at bind (`None` when
+    /// `--access-log` is unset).
+    access: Option<Mutex<BufWriter<std::fs::File>>>,
+    /// Slow-request promotion threshold (see [`ServerConfig::slow_ms`]).
+    slow_ms: Option<u64>,
 }
 
 impl State {
@@ -169,6 +307,72 @@ impl State {
     /// Milliseconds since the daemon booted (the breaker clock).
     fn now_ms(&self) -> u64 {
         u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Mints the next trace id: a SplitMix64 stream over the seed, so
+    /// a fixed `--seed` reproduces the exact id sequence.
+    fn next_trace(&self) -> u64 {
+        trace_id(
+            self.trace_seed,
+            self.trace_counter.fetch_add(1, Ordering::SeqCst),
+        )
+    }
+
+    /// Whether runs should carry an attached flight recorder (only
+    /// when someone can see the result: the access log is on).
+    fn traced(&self) -> bool {
+        self.access.is_some()
+    }
+
+    /// Folds one finished request into the per-op latency histogram
+    /// and the access log, and releases the in-flight gauge.
+    fn observe_request(&self, ctx: &RequestCtx) {
+        self.inflight_requests.fetch_sub(1, Ordering::SeqCst);
+        let total_ns = ctx.ledger.total_wall_ns();
+        lock(&self.metrics).observe(op_duration_metric(ctx.op), total_ns / 1_000_000);
+        if self.access.is_some() {
+            self.log_access(&self.access_record(ctx, total_ns));
+        }
+    }
+
+    /// Appends one raw JSONL line to the access log (best effort: a
+    /// full disk must never take the serving path down with it).
+    fn log_access(&self, record: &str) {
+        if let Some(log) = &self.access {
+            let mut w = lock(log);
+            let _ = writeln!(w, "{record}");
+            let _ = w.flush();
+        }
+    }
+
+    /// Renders one access-log record. Every record carries all seven
+    /// span phases; crossing the `--slow-ms` threshold promotes it
+    /// with compute-attribution detail.
+    fn access_record(&self, ctx: &RequestCtx, total_ns: u64) -> String {
+        let total_us = total_ns / 1_000;
+        let slow = self.slow_ms.is_some_and(|ms| total_us / 1_000 >= ms);
+        let mut spans = JsonWriter::object();
+        for phase in Phase::ALL {
+            let key = format!("{}_us", phase.label());
+            spans.field_u64(&key, ctx.ledger.wall_ns(phase) / 1_000);
+        }
+        let mut w = JsonWriter::object();
+        w.field_u64("ts_ms", self.now_ms());
+        w.field_str("trace_id", &format_trace_id(ctx.trace));
+        w.field_str("op", ctx.op);
+        w.field_u64("status", u64::from(ctx.status));
+        w.field_bool("cached", ctx.cached);
+        if let Some(bench) = &ctx.bench {
+            w.field_str("bench", bench);
+        }
+        w.field_u64("duration_us", total_us);
+        w.field_raw("spans", &spans.finish());
+        w.field_bool("slow", slow);
+        if slow {
+            w.field_u64("compute_cycles", ctx.compute_cycles);
+            w.field_u64("trace_events", ctx.trace_events);
+        }
+        w.finish()
     }
 
     /// Asks the breaker whether a run may proceed right now.
@@ -210,8 +414,20 @@ impl State {
             self.connections.load(Ordering::SeqCst) as f64,
         );
         m.gauge_set("serve_workers_alive", self.pool.alive() as f64);
+        m.gauge_set(
+            "serve_inflight_requests",
+            self.inflight_requests.load(Ordering::SeqCst) as f64,
+        );
         m.counter_set("serve_worker_respawns_total", self.pool.respawns());
         m.counter_set("serve_breaker_trips_total", lock(&self.breaker).trips());
+        // Refresh the quantile gauges from the log2 histograms so every
+        // scrape carries current p50/p90/p99/p999 estimates alongside
+        // the raw buckets.
+        for (hist, gauge, q) in QUANTILE_GAUGES {
+            if let Some(estimate) = m.histogram(hist).map(|h| h.quantile(q)) {
+                m.gauge_set(gauge, estimate);
+            }
+        }
         m.to_prometheus_text()
     }
 }
@@ -262,6 +478,55 @@ impl Server {
         ] {
             metrics.counter_add(name, 0);
         }
+        // Pre-seed the per-op latency histograms and the in-flight
+        // gauge too: a scrape right after boot sees every series at
+        // zero, shape-complete, before the first request ever lands.
+        for op in [
+            "run",
+            "sweep",
+            "status",
+            "health",
+            "metrics",
+            "shutdown",
+            "malformed",
+        ] {
+            metrics.histogram_seed(op_duration_metric(op));
+        }
+        metrics.gauge_set("serve_inflight_requests", 0.0);
+        metrics.set_help(
+            "serve_request_duration_ms",
+            "End-to-end request latency in milliseconds, by op.",
+        );
+        metrics.set_help(
+            "serve_inflight_requests",
+            "Requests currently inside dispatch.",
+        );
+        metrics.set_help("serve_requests_total", "Request lines received.");
+        metrics.set_help("serve_runs_total", "Simulations completed successfully.");
+        metrics.set_help(
+            "serve_cache_hits_total",
+            "Run requests answered bit-identically from the result cache.",
+        );
+        metrics.set_help(
+            "serve_breaker_trips_total",
+            "Circuit-breaker transitions to open.",
+        );
+        metrics.set_help(
+            "serve_worker_respawns_total",
+            "Dead pool workers replaced by the supervisor.",
+        );
+        // The access log is append-opened before the listener exists:
+        // if the path is bad the daemon fails to boot loudly instead of
+        // silently dropping every record.
+        let access = match &cfg.access_log {
+            Some(path) => Some(Mutex::new(BufWriter::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ))),
+            None => None,
+        };
         // Boot-time recovery: replay the journal and reload the
         // persistent cache before the listener serves anything, so the
         // first request already sees the recovered world.
@@ -302,6 +567,11 @@ impl Server {
             breaker: Mutex::new(CircuitBreaker::default()),
             epoch: Instant::now(),
             durable,
+            trace_seed: cfg.seed.unwrap_or_else(entropy_seed),
+            trace_counter: AtomicU64::new(0),
+            inflight_requests: AtomicUsize::new(0),
+            access,
+            slow_ms: cfg.slow_ms,
         });
         Ok(Self {
             listener,
@@ -377,7 +647,9 @@ impl Server {
                 self.state.count("serve_conn_rejected_total");
                 let mut stream = stream;
                 let e = ReqError::overloaded(self.state.max_connections);
-                let _ = writeln!(stream, "{}", error_reply(&e));
+                // Even a shed connection gets a trace id: the 503 line
+                // is the only artifact the client has to report.
+                let _ = writeln!(stream, "{}", error_reply(&e, self.state.next_trace()));
                 continue;
             }
             let state = Arc::clone(&self.state);
@@ -435,6 +707,9 @@ fn serve_conn(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
     let mut buf = Vec::new();
     loop {
         buf.clear();
+        // The accept span starts when the daemon begins waiting for
+        // this request line and ends when a full line is in hand.
+        let accept_started = Instant::now();
         // `take` bounds the read so a newline-less flood cannot grow the
         // buffer past the limit; one extra byte distinguishes "exactly
         // at the limit" from "over it".
@@ -446,7 +721,7 @@ fn serve_conn(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
             Err(e) if is_timeout(&e) => {
                 state.count("serve_slow_client_disconnects_total");
                 let err = ReqError::slow_client(state.read_timeout_ms);
-                let _ = writeln!(writer, "{}", error_reply(&err));
+                let _ = writeln!(writer, "{}", error_reply(&err, state.next_trace()));
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -455,73 +730,138 @@ fn serve_conn(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
             return Ok(()); // client closed
         }
         state.count("serve_requests_total");
+        // An HTTP GET on the JSON port serves /metrics, so curl and
+        // Prometheus scrapers work without speaking the protocol.
+        // HTTP requests are not protocol requests: no trace, no record.
+        if buf.starts_with(b"GET ") {
+            state.count("serve_http_requests_total");
+            return serve_http(state, &mut reader, &mut writer, &buf);
+        }
+        // The request exists from here on: mint its trace id, start
+        // its span ledger, and claim the in-flight gauge. Every exit
+        // below flows through `respond`, which settles all three.
+        let mut ctx = RequestCtx::new(state.next_trace());
+        state.inflight_requests.fetch_add(1, Ordering::SeqCst);
+        ctx.ledger.record(Phase::Accept, ns_since(accept_started));
         if buf.last() != Some(&b'\n') && n as u64 > limit {
             state.count("serve_errors_total");
             let e = ReqError::bad_request(format!(
                 "request line exceeds {} bytes",
                 state.max_request_bytes
             ));
-            writeln!(writer, "{}", error_reply(&e))?;
+            ctx.status = e.code;
+            let reply = error_reply(&e, ctx.trace);
+            respond(state, &mut writer, &mut ctx, &reply)?;
             // With no newline inside the limit there is no way to find
             // the next request boundary; drop the connection.
             return Ok(());
         }
-        // An HTTP GET on the JSON port serves /metrics, so curl and
-        // Prometheus scrapers work without speaking the protocol.
-        if buf.starts_with(b"GET ") {
-            state.count("serve_http_requests_total");
-            return serve_http(state, &mut reader, &mut writer, &buf);
-        }
+        let parse_started = Instant::now();
         let Ok(text) = std::str::from_utf8(&buf) else {
+            ctx.ledger.record(Phase::Parse, ns_since(parse_started));
             state.count("serve_errors_total");
             let e = ReqError::bad_request("request line is not valid UTF-8");
-            writeln!(writer, "{}", error_reply(&e))?;
+            ctx.status = e.code;
+            let reply = error_reply(&e, ctx.trace);
+            respond(state, &mut writer, &mut ctx, &reply)?;
             continue; // the line boundary was still found; resync is safe
         };
         let line = text.trim();
+        ctx.ledger.record(Phase::Parse, ns_since(parse_started));
         if line.is_empty() {
             state.count("serve_errors_total");
             let e = ReqError::bad_request("empty request line");
-            writeln!(writer, "{}", error_reply(&e))?;
+            ctx.status = e.code;
+            let reply = error_reply(&e, ctx.trace);
+            respond(state, &mut writer, &mut ctx, &reply)?;
             continue;
         }
-        let reply = dispatch_line(state, line);
-        if let Err(e) = writeln!(writer, "{reply}").and_then(|()| writer.flush()) {
-            // A client too slow to *absorb* its reply is shed the same
-            // way as one too slow to send: count it, drop it.
-            if is_timeout(&e) {
-                state.count("serve_slow_client_disconnects_total");
-                return Ok(());
-            }
-            return Err(e);
+        let reply = dispatch_line(state, line, &mut ctx);
+        if !respond(state, &mut writer, &mut ctx, &reply)? {
+            return Ok(());
         }
     }
 }
 
-/// Routes one request line to its handler and renders the reply.
-fn dispatch_line(state: &Arc<State>, line: &str) -> String {
-    match parse_request(line, &state.limits) {
-        Err(e) => refuse(state, &e),
-        Ok(Request::Status) => status_reply(state),
-        Ok(Request::Health) => health_reply(state),
-        Ok(Request::Metrics) => metrics_reply(state),
-        Ok(Request::Shutdown) => shutdown_reply(state),
-        Ok(Request::Run(spec)) => match execute_run(state, &spec) {
-            Ok((cached, report)) => run_reply(cached, &report),
-            Err(e) => refuse(state, &e),
-        },
-        Ok(Request::Sweep(specs)) => sweep(state, specs),
+/// Writes one reply line, timing the respond span, then settles the
+/// request into the histograms and access log. Returns `Ok(false)`
+/// when a slow client was shed (connection over, daemon fine).
+fn respond(
+    state: &Arc<State>,
+    writer: &mut TcpStream,
+    ctx: &mut RequestCtx,
+    reply: &str,
+) -> std::io::Result<bool> {
+    let respond_started = Instant::now();
+    let written = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+    ctx.ledger.record(Phase::Respond, ns_since(respond_started));
+    let keep = match written {
+        Ok(()) => Ok(true),
+        // A client too slow to *absorb* its reply is shed the same
+        // way as one too slow to send: count it, drop it.
+        Err(e) if is_timeout(&e) => {
+            state.count("serve_slow_client_disconnects_total");
+            Ok(false)
+        }
+        Err(e) => Err(e),
+    };
+    state.observe_request(ctx);
+    keep
+}
+
+/// Routes one request line to its handler and renders the reply,
+/// recording the parse span and classifying the request for the
+/// access log as it goes.
+fn dispatch_line(state: &Arc<State>, line: &str, ctx: &mut RequestCtx) -> String {
+    let parse_started = Instant::now();
+    let parsed = parse_request(line, &state.limits);
+    ctx.ledger.record(Phase::Parse, ns_since(parse_started));
+    match parsed {
+        Err(e) => refuse(state, &e, ctx),
+        Ok(Request::Status) => {
+            ctx.op = "status";
+            status_reply(state, ctx.trace)
+        }
+        Ok(Request::Health) => {
+            ctx.op = "health";
+            health_reply(state, ctx.trace)
+        }
+        Ok(Request::Metrics) => {
+            ctx.op = "metrics";
+            metrics_reply(state, ctx.trace)
+        }
+        Ok(Request::Shutdown) => {
+            ctx.op = "shutdown";
+            shutdown_reply(state, ctx.trace)
+        }
+        Ok(Request::Run(spec)) => {
+            ctx.op = "run";
+            ctx.bench = Some(spec.bench.clone());
+            match execute_run(state, &spec, ctx) {
+                Ok((cached, report)) => {
+                    ctx.cached = cached;
+                    run_reply(ctx.trace, cached, &report)
+                }
+                Err(e) => refuse(state, &e, ctx),
+            }
+        }
+        Ok(Request::Sweep(specs)) => {
+            ctx.op = "sweep";
+            sweep(state, specs, ctx)
+        }
     }
 }
 
-/// Counts a refusal under the right metric and renders the error reply.
-fn refuse(state: &Arc<State>, e: &ReqError) -> String {
+/// Counts a refusal under the right metric and renders the error reply
+/// (the trace id rides along so even a 408/429/503 is attributable).
+fn refuse(state: &Arc<State>, e: &ReqError, ctx: &mut RequestCtx) -> String {
+    ctx.status = e.code;
     state.count(match e.code {
         429 => "serve_busy_total",
         408 => "serve_deadline_expired_total",
         _ => "serve_errors_total",
     });
-    error_reply(e)
+    error_reply(e, ctx.trace)
 }
 
 /// How one dispatched run can fail.
@@ -530,6 +870,16 @@ enum RunFail {
     Deadline,
     /// The simulator returned a typed error.
     Sim(String),
+}
+
+/// A completed run plus its span attribution: how long it sat in the
+/// queue, how long it computed, and how many flight-recorder events
+/// its tracer captured (zero when untraced).
+struct RunDone {
+    report: RunReport,
+    queue_ns: u64,
+    compute_ns: u64,
+    trace_events: u64,
 }
 
 /// Runs one simulation under a deadline watchdog, mirroring the CLI
@@ -544,13 +894,18 @@ enum RunFail {
 /// fresh snapshot every `spill_every` retired instructions, journaling
 /// each spill *after* its file is durably in place — the journal never
 /// promises a checkpoint that is not on disk.
+/// With `traced` set an enabled [`Tracer`] is attached to the run via
+/// [`Simulation::attach_tracer`], so the flight recorder captures the
+/// run's phase spans; tracing never changes simulated state, so traced
+/// and untraced runs produce bit-identical reports.
 fn run_with_deadline_plan(
     program: &Program,
     kind: ManagerKind,
     cfg: &RunConfig,
     deadline_ms: u64,
     plan: Option<&SpillPlan>,
-) -> Result<RunReport, RunFail> {
+    traced: bool,
+) -> Result<(RunReport, u64), RunFail> {
     let cancel = Arc::new(AtomicBool::new(deadline_ms == 0));
     let watchdog_flag = Arc::clone(&cancel);
     let (release, released) = mpsc::channel::<()>();
@@ -562,6 +917,12 @@ fn run_with_deadline_plan(
     });
     let result = (|| {
         let mut sim = restore_or_new(program, kind, cfg, plan)?;
+        if traced {
+            sim.attach_tracer(Tracer::enabled(TelemetryConfig {
+                ring_capacity: 256,
+                sample_every_cycles: 0,
+            }));
+        }
         let mut last_spill = sim.retired();
         while !sim.is_done() {
             if cancel.load(Ordering::Relaxed) {
@@ -576,7 +937,12 @@ fn run_with_deadline_plan(
                 }
             }
         }
-        Ok(sim.into_report())
+        let (report, tracer) = sim.into_report_with_telemetry();
+        let events = tracer
+            .recorder()
+            .map(|r| r.events().len() as u64)
+            .unwrap_or(0);
+        Ok((report, events))
     })();
     let _ = release.send(());
     let _ = watchdog.join();
@@ -660,7 +1026,8 @@ fn settle(
     state: &Arc<State>,
     key: u128,
     deadline_ms: u64,
-    handle: JobHandle<Result<RunReport, RunFail>>,
+    handle: JobHandle<Result<RunDone, RunFail>>,
+    mut ctx: Option<&mut RequestCtx>,
 ) -> Result<String, ReqError> {
     match handle.wait() {
         Err(panic) => {
@@ -678,9 +1045,21 @@ fn settle(
             state.breaker_observe(false);
             Err(ReqError::internal(message))
         }
-        Ok(Ok(report)) => {
+        Ok(Ok(done)) => {
             state.breaker_observe(true);
+            // Attribute the worker-side spans back to the request: time
+            // queued, time computing (plus the simulated cycles behind
+            // it), and whatever the attached tracer captured.
+            if let Some(ctx) = ctx.as_deref_mut() {
+                ctx.ledger.record(Phase::Queue, done.queue_ns);
+                ctx.ledger.record(Phase::Compute, done.compute_ns);
+                ctx.ledger.record_cycles(Phase::Compute, done.report.cycles);
+                ctx.compute_cycles = ctx.compute_cycles.saturating_add(done.report.cycles);
+                ctx.trace_events = ctx.trace_events.saturating_add(done.trace_events);
+            }
+            let report = done.report;
             let json = report_to_json(&report);
+            let cache_started = Instant::now();
             let cacheable = {
                 let mut cache = lock(&state.cache);
                 let cacheable = cache.capacity() > 0;
@@ -693,6 +1072,9 @@ fn settle(
                 if let Some(d) = &state.durable {
                     d.record_cache_put(key, &json);
                 }
+            }
+            if let Some(ctx) = ctx {
+                ctx.ledger.record(Phase::Cache, ns_since(cache_started));
             }
             state.count("serve_runs_total");
             Ok(json)
@@ -721,9 +1103,13 @@ fn run_job(
     deadline_ms: u64,
     chaos_panic: bool,
     plan: Option<SpillPlan>,
-) -> impl FnOnce() -> Result<RunReport, RunFail> + Send + 'static {
+    traced: bool,
+) -> impl FnOnce() -> Result<RunDone, RunFail> + Send + 'static {
     let admitted = Instant::now();
     move || {
+        // The wait between submission and this closure running *is*
+        // the queue span — the same wait the deadline budget charges.
+        let queue_ns = ns_since(admitted);
         if chaos_panic {
             if let Ok(mut sim) = Simulation::new(&program, kind, &cfg) {
                 let _ = sim.step_chunk(STEP_CHUNK);
@@ -731,23 +1117,37 @@ fn run_job(
             std::panic::panic_any(KillWorker);
         }
         let mut budget = DeadlineBudget::new(deadline_ms);
-        let waited = u64::try_from(admitted.elapsed().as_millis()).unwrap_or(u64::MAX);
-        let remaining = budget.charge(waited);
+        let remaining = budget.charge(queue_ns / 1_000_000);
         if budget.expired() {
             return Err(RunFail::Deadline);
         }
-        run_with_deadline_plan(&program, kind, &cfg, remaining, plan.as_ref())
+        let compute_started = Instant::now();
+        run_with_deadline_plan(&program, kind, &cfg, remaining, plan.as_ref(), traced).map(
+            |(report, trace_events)| RunDone {
+                report,
+                queue_ns,
+                compute_ns: ns_since(compute_started),
+                trace_events,
+            },
+        )
     }
 }
 
 /// The `run` op: breaker admission, cache lookup, bounded submission,
 /// deadline-watched execution. Returns `(cached, report_json)`.
-fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), ReqError> {
+fn execute_run(
+    state: &Arc<State>,
+    spec: &RunSpec,
+    ctx: &mut RequestCtx,
+) -> Result<(bool, String), ReqError> {
     if state.draining() {
         return Err(ReqError::draining());
     }
     let (program, cfg, key) = prepare(spec)?;
-    if let Some(hit) = lock(&state.cache).get(key) {
+    let cache_started = Instant::now();
+    let hit = lock(&state.cache).get(key);
+    ctx.ledger.record(Phase::Cache, ns_since(cache_started));
+    if let Some(hit) = hit {
         state.count("serve_cache_hits_total");
         return Ok((true, hit));
     }
@@ -756,11 +1156,14 @@ fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), Req
     let deadline_ms = spec.deadline_ms;
     // Journal the accepted intent before dispatch. Chaos runs are never
     // journaled: a deliberately-killed worker is a drill, not work the
-    // daemon owes anyone after a restart.
+    // daemon owes anyone after a restart. The intent carries the trace
+    // id, so a crash-recovery resume stays attributable to the request
+    // that created the obligation.
+    let journal_started = Instant::now();
     let plan = match &state.durable {
         Some(d) if !spec.chaos_panic => {
             let id = d.next_intent_id();
-            d.journal_intent(id, std::slice::from_ref(spec));
+            d.journal_intent(id, ctx.trace, std::slice::from_ref(spec));
             Some(SpillPlan {
                 durability: Arc::clone(d),
                 id,
@@ -771,6 +1174,7 @@ fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), Req
         }
         _ => None,
     };
+    ctx.ledger.record(Phase::Journal, ns_since(journal_started));
     let intent = plan.as_ref().map(|p| p.id);
     let outcome = state
         .pool
@@ -781,14 +1185,17 @@ fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), Req
             deadline_ms,
             spec.chaos_panic,
             plan,
+            state.traced(),
         ))
         .map_err(submit_error)
-        .and_then(|handle| settle(state, key, deadline_ms, handle));
+        .and_then(|handle| settle(state, key, deadline_ms, handle, Some(&mut *ctx)));
     // Retire the intent however the run ended: the client has its reply
     // (success or typed error), so the daemon owes nothing after this.
+    let journal_started = Instant::now();
     if let (Some(d), Some(id)) = (&state.durable, intent) {
         d.journal_done(id);
         d.remove_spills(id, [spec.bench.as_str()]);
+        ctx.ledger.record(Phase::Journal, ns_since(journal_started));
     }
     outcome.map(|json| (false, json))
 }
@@ -800,29 +1207,36 @@ fn execute_run(state: &Arc<State>, spec: &RunSpec) -> Result<(bool, String), Req
 /// hammer the queue in lockstep either — while concurrent `run`
 /// requests observe the full queue and get 429s: exactly the
 /// backpressure story.
-fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
+fn sweep(state: &Arc<State>, specs: Vec<RunSpec>, ctx: &mut RequestCtx) -> String {
     if state.draining() {
-        return refuse(state, &ReqError::draining());
+        return refuse(state, &ReqError::draining(), ctx);
     }
     enum Pending {
         Cached(String),
-        Dispatched(u128, u64, JobHandle<Result<RunReport, RunFail>>),
+        Dispatched(u128, u64, JobHandle<Result<RunDone, RunFail>>),
         Refused(ReqError),
     }
     // One intent covers the whole sweep: it is one logical request, and
     // a restart resumes exactly the rows that were still owed (cached
     // rows are hits again, spilled rows restart from their checkpoint).
+    // The sweep's single trace id rides in the intent.
+    let journal_started = Instant::now();
     let intent = state.durable.as_ref().map(|d| {
         let id = d.next_intent_id();
-        d.journal_intent(id, &specs);
+        d.journal_intent(id, ctx.trace, &specs);
         id
     });
+    ctx.ledger.record(Phase::Journal, ns_since(journal_started));
+    let traced = state.traced();
     let mut pending = Vec::with_capacity(specs.len());
     for spec in &specs {
         let outcome = match prepare(spec) {
             Err(e) => Pending::Refused(e),
             Ok((program, cfg, key)) => {
-                if let Some(hit) = lock(&state.cache).get(key) {
+                let cache_started = Instant::now();
+                let hit = lock(&state.cache).get(key);
+                ctx.ledger.record(Phase::Cache, ns_since(cache_started));
+                if let Some(hit) = hit {
                     state.count("serve_cache_hits_total");
                     Pending::Cached(hit)
                 } else {
@@ -847,24 +1261,31 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
                     let stream = powerchop_resilience::retry::stream_label(&spec.bench);
                     let mut attempt = 0u32;
                     loop {
-                        let ctx = Arc::clone(&shared);
+                        let shared_job = Arc::clone(&shared);
                         let job_plan = plan.clone();
                         let admitted = Instant::now();
                         match state.pool.submit(move || {
+                            let queue_ns = ns_since(admitted);
                             let mut budget = DeadlineBudget::new(deadline_ms);
-                            let waited =
-                                u64::try_from(admitted.elapsed().as_millis()).unwrap_or(u64::MAX);
-                            let remaining = budget.charge(waited);
+                            let remaining = budget.charge(queue_ns / 1_000_000);
                             if budget.expired() {
                                 return Err(RunFail::Deadline);
                             }
+                            let compute_started = Instant::now();
                             run_with_deadline_plan(
-                                &ctx.0,
+                                &shared_job.0,
                                 kind,
-                                &ctx.1,
+                                &shared_job.1,
                                 remaining,
                                 job_plan.as_ref(),
+                                traced,
                             )
+                            .map(|(report, trace_events)| RunDone {
+                                report,
+                                queue_ns,
+                                compute_ns: ns_since(compute_started),
+                                trace_events,
+                            })
                         }) {
                             Ok(handle) => break Pending::Dispatched(key, deadline_ms, handle),
                             Err(SubmitError::Busy { .. }) => {
@@ -896,7 +1317,7 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
                     SweepOutcome::Failed(e)
                 }
                 Pending::Dispatched(key, deadline_ms, handle) => {
-                    match settle(state, key, deadline_ms, handle) {
+                    match settle(state, key, deadline_ms, handle, Some(&mut *ctx)) {
                         Ok(report) => SweepOutcome::Done {
                             cached: false,
                             report,
@@ -916,11 +1337,13 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>) -> String {
         .collect();
     // Every row has settled and the reply is about to reach the client:
     // retire the intent and garbage-collect its spills.
+    let journal_started = Instant::now();
     if let (Some(d), Some(id)) = (&state.durable, intent) {
         d.journal_done(id);
         d.remove_spills(id, rows.iter().map(|(bench, _)| bench.as_str()));
+        ctx.ledger.record(Phase::Journal, ns_since(journal_started));
     }
-    sweep_reply(&rows)
+    sweep_reply(ctx.trace, &rows)
 }
 
 /// Boot-time resume driver: re-dispatches every journaled intent that
@@ -964,6 +1387,18 @@ fn resume_pending(state: &Arc<State>, pending: Vec<powerchop_durable::PendingInt
         }
         d.journal_done(intent.id);
         d.remove_spills(intent.id, specs.iter().map(|s| s.bench.as_str()));
+        // Crash recovery is attributable: the resumed intent still
+        // carries the trace id of the request that created it, and the
+        // access log records the resume under that same id.
+        if state.access.is_some() {
+            let mut w = JsonWriter::object();
+            w.field_u64("ts_ms", state.now_ms());
+            w.field_str("trace_id", &format_trace_id(intent.trace));
+            w.field_str("op", "resume");
+            w.field_u64("status", 200);
+            w.field_u64("runs_resumed", resumed_rows);
+            state.log_access(&w.finish());
+        }
     }
     d.recovery.active.store(false, Ordering::SeqCst);
 }
@@ -1017,9 +1452,25 @@ fn resume_one(
             return ResumeOutcome::Abandoned;
         }
         let job_plan = Some(plan.clone());
-        let ctx = Arc::clone(&shared);
+        let shared_job = Arc::clone(&shared);
+        let admitted = Instant::now();
         match state.pool.submit(move || {
-            run_with_deadline_plan(&ctx.0, kind, &ctx.1, deadline_ms, job_plan.as_ref())
+            let queue_ns = ns_since(admitted);
+            let compute_started = Instant::now();
+            run_with_deadline_plan(
+                &shared_job.0,
+                kind,
+                &shared_job.1,
+                deadline_ms,
+                job_plan.as_ref(),
+                false,
+            )
+            .map(|(report, trace_events)| RunDone {
+                report,
+                queue_ns,
+                compute_ns: ns_since(compute_started),
+                trace_events,
+            })
         }) {
             Ok(handle) => break handle,
             Err(SubmitError::Busy { .. }) => {
@@ -1035,19 +1486,25 @@ fn resume_one(
     // A failed resume (sim error, deadline under the server cap) is
     // logged by settle's counters; the intent still retires — the run
     // was re-attempted, which is all the journal promises.
-    let _ = settle(state, key, deadline_ms, handle);
+    let _ = settle(state, key, deadline_ms, handle, None);
     ResumeOutcome::Resumed
 }
 
-fn status_reply(state: &Arc<State>) -> String {
+fn status_reply(state: &Arc<State>, trace: u64) -> String {
     let mut w = JsonWriter::object();
     w.field_bool("ok", true);
     w.field_str("op", "status");
+    w.field_str("trace_id", &format_trace_id(trace));
     w.field_bool("draining", state.draining());
+    w.field_u64("uptime_ms", state.now_ms());
     w.field_u64("workers", state.pool.workers() as u64);
     w.field_u64("queue_depth", state.pool.queue_depth() as u64);
     w.field_u64("queued", state.pool.queued() as u64);
     w.field_u64("inflight", state.pool.inflight() as u64);
+    w.field_u64(
+        "inflight_requests",
+        state.inflight_requests.load(Ordering::SeqCst) as u64,
+    );
     w.field_u64("cache_entries", lock(&state.cache).len() as u64);
     w.field_u64("cache_capacity", lock(&state.cache).capacity() as u64);
     w.finish()
@@ -1056,7 +1513,7 @@ fn status_reply(state: &Arc<State>) -> String {
 /// The `health` op: liveness/readiness in one line. `healthy` is the
 /// single bit an orchestrator needs — the daemon is accepting work and
 /// nothing has latched a degraded mode; the rest explains why not.
-fn health_reply(state: &Arc<State>) -> String {
+fn health_reply(state: &Arc<State>, trace: u64) -> String {
     let breaker_state = lock(&state.breaker).state(state.now_ms());
     let breaker_trips = lock(&state.breaker).trips();
     let gave_up = state.pool.gave_up();
@@ -1065,6 +1522,7 @@ fn health_reply(state: &Arc<State>) -> String {
     let mut w = JsonWriter::object();
     w.field_bool("ok", true);
     w.field_str("op", "health");
+    w.field_str("trace_id", &format_trace_id(trace));
     w.field_bool("healthy", healthy);
     w.field_bool("draining", state.draining());
     w.field_str("breaker", breaker_state.label());
@@ -1120,15 +1578,16 @@ fn health_reply(state: &Arc<State>) -> String {
     w.finish()
 }
 
-fn metrics_reply(state: &Arc<State>) -> String {
+fn metrics_reply(state: &Arc<State>, trace: u64) -> String {
     let mut w = JsonWriter::object();
     w.field_bool("ok", true);
     w.field_str("op", "metrics");
+    w.field_str("trace_id", &format_trace_id(trace));
     w.field_str("text", &state.prometheus_text());
     w.finish()
 }
 
-fn shutdown_reply(state: &Arc<State>) -> String {
+fn shutdown_reply(state: &Arc<State>, trace: u64) -> String {
     state.draining.store(true, Ordering::SeqCst);
     // Wake the blocking accept loop so the drain actually proceeds; the
     // throwaway connection is dropped by the accept loop's drain check.
@@ -1136,6 +1595,7 @@ fn shutdown_reply(state: &Arc<State>) -> String {
     let mut w = JsonWriter::object();
     w.field_bool("ok", true);
     w.field_str("op", "shutdown");
+    w.field_str("trace_id", &format_trace_id(trace));
     w.field_bool("draining", true);
     w.finish()
 }
@@ -1216,11 +1676,42 @@ mod tests {
         let mut cfg = RunConfig::for_kind(b.core_kind());
         cfg.max_instructions = 50_000;
         let program = b.program(Scale(0.05));
-        match run_with_deadline_plan(&program, ManagerKind::PowerChop, &cfg, 0, None) {
+        match run_with_deadline_plan(&program, ManagerKind::PowerChop, &cfg, 0, None, false) {
             Err(RunFail::Deadline) => {}
             _ => panic!("zero deadline must trip before any work"),
         }
-        let report = run_with_deadline_plan(&program, ManagerKind::PowerChop, &cfg, 60_000, None);
-        assert!(matches!(report, Ok(r) if r.instructions > 0));
+        let report =
+            run_with_deadline_plan(&program, ManagerKind::PowerChop, &cfg, 60_000, None, false);
+        assert!(matches!(report, Ok((r, _)) if r.instructions > 0));
+    }
+
+    #[test]
+    fn traced_runs_are_bit_identical_to_untraced_runs() {
+        let b = powerchop_workloads::by_name("hmmer").expect("hmmer exists");
+        let mut cfg = RunConfig::for_kind(b.core_kind());
+        cfg.max_instructions = 50_000;
+        let program = b.program(Scale(0.05));
+        let plain =
+            run_with_deadline_plan(&program, ManagerKind::PowerChop, &cfg, 60_000, None, false)
+                .map(|(r, _)| report_to_json(&r))
+                .ok();
+        let traced =
+            run_with_deadline_plan(&program, ManagerKind::PowerChop, &cfg, 60_000, None, true)
+                .map(|(r, _)| report_to_json(&r))
+                .ok();
+        assert!(plain.is_some(), "untraced run completes");
+        assert_eq!(
+            plain, traced,
+            "the attached tracer must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn op_duration_metric_covers_every_dispatchable_op() {
+        for op in ["run", "sweep", "status", "health", "metrics", "shutdown"] {
+            let key = op_duration_metric(op);
+            assert!(key.contains(&format!("op=\"{op}\"")), "{key} labels {op}");
+        }
+        assert!(op_duration_metric("nonsense").contains("malformed"));
     }
 }

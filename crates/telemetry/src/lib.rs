@@ -36,6 +36,7 @@ pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod ring;
+pub mod span;
 pub mod timeline;
 
 use std::collections::HashMap;
@@ -44,6 +45,7 @@ pub use event::{Event, Stamped, Unit};
 pub use export::{validate_json, JsonError};
 pub use metrics::{Histogram, MetricSource, MetricsRegistry};
 pub use ring::EventRing;
+pub use span::{format_trace_id, trace_id, Phase, SpanLedger, SpanRecorder, PHASE_COUNT};
 
 /// Flight-recorder sizing and sampling configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

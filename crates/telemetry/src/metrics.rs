@@ -5,8 +5,14 @@
 //! backing maps are `BTreeMap`s, so every snapshot and exposition walks
 //! metrics in sorted-name order — byte-identical output for identical
 //! runs, which the determinism tests rely on.
+//!
+//! Metric names may carry a Prometheus label set inline:
+//! `serve_request_duration_ms{op="run"}` is one registry key whose
+//! exposition renders the base name with merged labels
+//! (`serve_request_duration_ms_bucket{op="run",le="..."}`), with the
+//! `# TYPE`/`# HELP` metadata emitted once per base name.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Number of histogram buckets: bucket 0 holds zero-valued samples,
 /// bucket `i >= 1` holds samples in `[2^(i-1), 2^i)`.
@@ -77,6 +83,55 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
         &self.buckets
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by locating the
+    /// bucket holding the rank-`⌈q·count⌉` sample and interpolating
+    /// linearly inside it. The estimate always lands inside the bucket
+    /// that contains the true quantile, so its error is bounded by the
+    /// bucket width (a factor of two). Returns 0.0 for an empty
+    /// histogram.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let before = cumulative as f64;
+            cumulative += n;
+            if cumulative as f64 >= rank {
+                let lo = match i {
+                    0 => 0.0,
+                    _ => (1u64 << (i - 1)) as f64,
+                };
+                let hi = match i {
+                    0 => 0.0,
+                    64 => u64::MAX as f64,
+                    _ => (1u64 << i) as f64,
+                };
+                let frac = (rank - before) / (*n as f64);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        u64::MAX as f64
+    }
+}
+
+/// Splits a registry key into its base metric name and the inline
+/// label set, if any: `a{op="run"}` becomes `("a", Some("op=\"run\""))`.
+fn split_labels(name: &'static str) -> (&'static str, Option<&'static str>) {
+    match name.find('{') {
+        Some(i) => (
+            &name[..i],
+            name[i + 1..].strip_suffix('}').filter(|l| !l.is_empty()),
+        ),
+        None => (name, None),
+    }
 }
 
 /// A registry of named counters, gauges and histograms.
@@ -85,6 +140,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    help: BTreeMap<&'static str, &'static str>,
 }
 
 impl MetricsRegistry {
@@ -113,6 +169,20 @@ impl MetricsRegistry {
     /// Records `value` into histogram `name`.
     pub fn observe(&mut self, name: &'static str, value: u64) {
         self.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Registers histogram `name` with zero samples if absent, so it
+    /// appears in the exposition before its first observation (the
+    /// pre-seeded-metric convention scrapers rely on).
+    pub fn histogram_seed(&mut self, name: &'static str) {
+        self.histograms.entry(name).or_default();
+    }
+
+    /// Registers a `# HELP` line for base metric name `name` (the key
+    /// without any inline label set). The text must be a single line;
+    /// it is emitted verbatim.
+    pub fn set_help(&mut self, name: &'static str, help: &'static str) {
+        self.help.insert(name, help);
     }
 
     /// Reads counter `name` (0 when absent).
@@ -157,31 +227,50 @@ impl MetricsRegistry {
     /// Renders the registry in the Prometheus text exposition format
     /// (version 0.0.4). Deterministic: metrics appear in sorted-name
     /// order and floats use Rust's shortest round-trip formatting.
+    /// `# HELP`/`# TYPE` metadata is emitted once per base metric name
+    /// (keys with inline labels share their base's metadata block).
     #[must_use]
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
+        let mut described: BTreeSet<&str> = BTreeSet::new();
         for (name, value) in &self.counters {
-            out.push_str("# TYPE ");
-            out.push_str(name);
-            out.push_str(" counter\n");
+            let (base, _) = split_labels(name);
+            self.describe(&mut out, &mut described, base, "counter");
             out.push_str(name);
             out.push(' ');
             out.push_str(&value.to_string());
             out.push('\n');
         }
         for (name, value) in &self.gauges {
-            out.push_str("# TYPE ");
-            out.push_str(name);
-            out.push_str(" gauge\n");
+            let (base, _) = split_labels(name);
+            self.describe(&mut out, &mut described, base, "gauge");
             out.push_str(name);
             out.push(' ');
             out.push_str(&format_f64(*value));
             out.push('\n');
         }
         for (name, h) in &self.histograms {
-            out.push_str("# TYPE ");
-            out.push_str(name);
-            out.push_str(" histogram\n");
+            let (base, labels) = split_labels(name);
+            self.describe(&mut out, &mut described, base, "histogram");
+            let bucket_open = |out: &mut String| {
+                out.push_str(base);
+                out.push_str("_bucket{");
+                if let Some(l) = labels {
+                    out.push_str(l);
+                    out.push(',');
+                }
+                out.push_str("le=\"");
+            };
+            let suffixed = |out: &mut String, suffix: &str| {
+                out.push_str(base);
+                out.push_str(suffix);
+                if let Some(l) = labels {
+                    out.push('{');
+                    out.push_str(l);
+                    out.push('}');
+                }
+                out.push(' ');
+            };
             let mut cumulative = 0u64;
             for (i, n) in h.buckets.iter().enumerate() {
                 cumulative += n;
@@ -190,8 +279,7 @@ impl MetricsRegistry {
                 if *n == 0 && cumulative != h.count {
                     continue;
                 }
-                out.push_str(name);
-                out.push_str("_bucket{le=\"");
+                bucket_open(&mut out);
                 if i >= 64 {
                     out.push_str("+Inf");
                 } else {
@@ -204,20 +292,44 @@ impl MetricsRegistry {
                     break;
                 }
             }
-            out.push_str(name);
-            out.push_str("_bucket{le=\"+Inf\"} ");
+            bucket_open(&mut out);
+            out.push_str("+Inf\"} ");
             out.push_str(&h.count.to_string());
             out.push('\n');
-            out.push_str(name);
-            out.push_str("_sum ");
+            suffixed(&mut out, "_sum");
             out.push_str(&h.sum.to_string());
             out.push('\n');
-            out.push_str(name);
-            out.push_str("_count ");
+            suffixed(&mut out, "_count");
             out.push_str(&h.count.to_string());
             out.push('\n');
         }
         out
+    }
+
+    /// Emits the `# HELP`/`# TYPE` block for `base` the first time it
+    /// is seen in this exposition.
+    fn describe<'a>(
+        &self,
+        out: &mut String,
+        described: &mut BTreeSet<&'a str>,
+        base: &'a str,
+        kind: &str,
+    ) {
+        if !described.insert(base) {
+            return;
+        }
+        if let Some(help) = self.help.get(base) {
+            out.push_str("# HELP ");
+            out.push_str(base);
+            out.push(' ');
+            out.push_str(help);
+            out.push('\n');
+        }
+        out.push_str("# TYPE ");
+        out.push_str(base);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
     }
 }
 
@@ -295,18 +407,89 @@ mod tests {
         r.counter_set("a_total", 2);
         r.gauge_set("power_w", 0.25);
         r.observe("lat", 3);
+        r.set_help("lat", "request latency in milliseconds");
         let text = r.to_prometheus_text();
         let a = text.find("a_total").expect("a_total present");
         let z = text.find("z_total").expect("z_total present");
         assert!(a < z, "sorted order");
         assert!(text.contains("# TYPE power_w gauge"));
+        assert!(text.contains("# HELP lat request latency in milliseconds"));
+        assert!(text.contains("# TYPE lat histogram"));
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("lat_sum 3"));
         assert!(text.contains("lat_count 1"));
         for line in text.lines() {
             assert!(
-                line.starts_with("# TYPE ") || line.split(' ').count() == 2,
+                line.starts_with("# TYPE ")
+                    || line.starts_with("# HELP ")
+                    || line.split(' ').count() == 2,
                 "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn labeled_histograms_merge_labels_and_share_metadata() {
+        let mut r = MetricsRegistry::new();
+        r.observe("lat{op=\"run\"}", 3);
+        r.observe("lat{op=\"sweep\"}", 9);
+        r.set_help("lat", "latency");
+        let text = r.to_prometheus_text();
+        assert_eq!(
+            text.matches("# TYPE lat histogram").count(),
+            1,
+            "one TYPE line per base name:\n{text}"
+        );
+        assert_eq!(text.matches("# HELP lat latency").count(), 1);
+        assert!(text.contains("lat_bucket{op=\"run\",le=\"3\"} 1"));
+        assert!(text.contains("lat_bucket{op=\"run\",le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_sum{op=\"run\"} 3"));
+        assert!(text.contains("lat_count{op=\"sweep\"} 1"));
+        assert!(
+            !text.contains("lat{op="),
+            "no raw keyed series lines leak into histogram output:\n{text}"
+        );
+    }
+
+    #[test]
+    fn seeded_histogram_renders_empty_series() {
+        let mut r = MetricsRegistry::new();
+        r.histogram_seed("lat{op=\"run\"}");
+        let text = r.to_prometheus_text();
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{op=\"run\",le=\"+Inf\"} 0"));
+        assert!(text.contains("lat_sum{op=\"run\"} 0"));
+        assert!(text.contains("lat_count{op=\"run\"} 0"));
+    }
+
+    #[test]
+    fn quantile_lands_in_the_true_quantile_bucket() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        let mut samples: Vec<u64> = (0..500u64).map(|i| (i * i * 7 + 3) % 10_000).collect();
+        for s in &samples {
+            h.observe(*s);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            #[allow(
+                clippy::cast_precision_loss,
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss
+            )]
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+            let truth = samples[rank - 1];
+            let est = h.quantile(q);
+            let i = Histogram::bucket_index(truth);
+            let lo = if i == 0 {
+                0.0
+            } else {
+                (1u64 << (i - 1)) as f64
+            };
+            let hi = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+            assert!(
+                est >= lo && est <= hi,
+                "q={q}: estimate {est} outside true bucket [{lo},{hi}] (truth {truth})"
             );
         }
     }

@@ -169,6 +169,40 @@ pub fn render(events: &[Stamped], total_cycles: u64, width: usize) -> String {
     out
 }
 
+/// The height glyph for a value in `0..=1` of full scale.
+fn spark_glyph(fraction: f64) -> char {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let idx = (fraction * 7.0).round().clamp(0.0, 7.0);
+    // The index was just clamped to 0..=7, well inside u8/usize.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    BARS[idx as usize]
+}
+
+/// Renders a one-line sparkline of `values` scaled against their own
+/// maximum, newest value last. Missing history (fewer values than
+/// `width`) pads with spaces on the left so the line never jumps; the
+/// trailing `width` values are shown when there are more. An all-zero
+/// (or empty) history renders as baseline bars, never a panic.
+#[must_use]
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let width = width.clamp(1, 400);
+    let shown = &values[values.len().saturating_sub(width)..];
+    let max = shown.iter().copied().fold(0.0_f64, f64::max);
+    let mut out = String::new();
+    for _ in 0..width.saturating_sub(shown.len()) {
+        out.push(' ');
+    }
+    for v in shown {
+        let fraction = if max > 0.0 {
+            (v / max).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        out.push(spark_glyph(fraction));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,5 +291,23 @@ mod tests {
         let text = render(&[], 1_000, 10);
         assert!(text.lines().next().is_some_and(|l| l.ends_with(".")));
         assert!(!text.contains("legend"));
+    }
+
+    #[test]
+    fn sparkline_scales_pads_and_survives_degenerate_input() {
+        // Max maps to the full bar, zero to the baseline bar.
+        let line = sparkline(&[0.0, 4.0], 8);
+        assert_eq!(line.chars().count(), 8, "fixed width");
+        assert!(line.starts_with("      "), "short history pads left");
+        assert!(line.ends_with('█'), "the max is a full bar");
+        assert!(line.contains('▁'), "zero is the baseline bar");
+        // Longer histories keep only the trailing window.
+        let long: Vec<f64> = (0..20).map(f64::from).collect();
+        let tail = sparkline(&long, 5);
+        assert_eq!(tail.chars().count(), 5);
+        assert!(tail.ends_with('█'), "newest (largest) value is last");
+        // All-zero and empty histories render, never panic.
+        assert_eq!(sparkline(&[0.0; 3], 3), "▁▁▁");
+        assert_eq!(sparkline(&[], 4), "    ");
     }
 }

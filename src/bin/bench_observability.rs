@@ -1,0 +1,136 @@
+//! Micro-benchmark for the request-observability hot path.
+//!
+//! The serve daemon's tentpole observability claim is that the
+//! per-request span ledger is effectively free: the full ritual a
+//! traced request performs — mint a trace id, stamp all seven span
+//! phases, fold the latency into the per-op histogram, render the hex
+//! id for the reply — must cost under 2% of a representative request's
+//! compute time. This bench measures both sides and asserts the ratio.
+//!
+//! Results land in `bench_results/BENCH_observability.json`. Run with:
+//!
+//! ```text
+//! cargo run --release --bin bench_observability
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::telemetry::{format_trace_id, trace_id, MetricsRegistry, Phase, SpanLedger};
+use powerchop_suite::workloads::{by_name, Scale};
+
+const BENCH: &str = "hmmer";
+const SCALE: Scale = Scale(0.05);
+const BUDGET: u64 = 200_000;
+const WARMUPS: usize = 2;
+const TRIALS: usize = 7;
+/// Ledger rituals per timing trial — enough to swamp timer resolution.
+const RITUALS_PER_TRIAL: u64 = 100_000;
+/// The tentpole bound: span-ledger bookkeeping per request must stay
+/// under this percentage of the request's own compute time.
+const OVERHEAD_CEILING_PCT: f64 = 2.0;
+
+/// Nanoseconds one representative serve request spends computing: a
+/// direct run of the daemon's default-knob workload.
+fn request_trial() -> f64 {
+    let bench = by_name(BENCH).expect("known benchmark");
+    let program = bench.program(SCALE);
+    let mut cfg = RunConfig::for_kind(bench.core_kind());
+    cfg.max_instructions = BUDGET;
+    let start = Instant::now();
+    let report = run_program(&program, ManagerKind::PowerChop, &cfg).expect("run completes");
+    black_box(report.cycles);
+    start.elapsed().as_nanos() as f64
+}
+
+/// Nanoseconds per full per-request observability ritual: everything
+/// `serve` adds to a traced request outside the compute itself.
+fn ledger_trial(registry: &mut MetricsRegistry) -> f64 {
+    let start = Instant::now();
+    for n in 0..RITUALS_PER_TRIAL {
+        let trace = trace_id(0xBEEF, n);
+        let mut ledger = SpanLedger::new();
+        for (i, phase) in Phase::ALL.into_iter().enumerate() {
+            ledger.record(phase, black_box(100 + i as u64));
+        }
+        ledger.record_cycles(Phase::Compute, black_box(50_000));
+        let total_ns = ledger.total_wall_ns();
+        registry.observe(
+            "serve_request_duration_ms{op=\"run\"}",
+            total_ns / 1_000_000,
+        );
+        black_box(format_trace_id(trace));
+        black_box(ledger.wall_ns(Phase::Queue));
+    }
+    start.elapsed().as_nanos() as f64 / RITUALS_PER_TRIAL as f64
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[sorted.len() / 2]
+}
+
+fn json_array(samples: &[f64]) -> String {
+    let items: Vec<String> = samples.iter().map(|s| format!("{s:.1}")).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn main() {
+    let mut registry = MetricsRegistry::new();
+    for _ in 0..WARMUPS {
+        request_trial();
+        ledger_trial(&mut registry);
+    }
+
+    // Interleave trials round-robin so slow drift (thermal throttling,
+    // background load) lands on both sides equally.
+    let mut request_ns = Vec::new();
+    let mut ledger_ns = Vec::new();
+    for _ in 0..TRIALS {
+        request_ns.push(request_trial());
+        ledger_ns.push(ledger_trial(&mut registry));
+    }
+
+    let request_median = median(&request_ns);
+    let ledger_median = median(&ledger_ns);
+    let overhead_pct = ledger_median / request_median * 100.0;
+    println!("request compute: {request_median:>14.0} ns (median of {TRIALS})");
+    println!("ledger ritual:   {ledger_median:>14.1} ns (median of {TRIALS})");
+    println!("overhead:        {overhead_pct:>14.4} % (ceiling {OVERHEAD_CEILING_PCT}%)");
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"observability_overhead\",\n");
+    out.push_str(&format!("  \"workload\": \"{BENCH}\",\n"));
+    out.push_str(&format!("  \"scale\": {},\n", SCALE.0));
+    out.push_str(&format!("  \"instruction_budget\": {BUDGET},\n"));
+    out.push_str(&format!("  \"warmups\": {WARMUPS},\n"));
+    out.push_str(&format!("  \"trials\": {TRIALS},\n"));
+    out.push_str(&format!("  \"rituals_per_trial\": {RITUALS_PER_TRIAL},\n"));
+    out.push_str(&format!(
+        "  \"request_ns\": {{ \"median\": {:.0}, \"samples\": {} }},\n",
+        request_median,
+        json_array(&request_ns),
+    ));
+    out.push_str(&format!(
+        "  \"ledger_ns_per_request\": {{ \"median\": {:.1}, \"samples\": {} }},\n",
+        ledger_median,
+        json_array(&ledger_ns),
+    ));
+    out.push_str(&format!("  \"overhead_pct\": {overhead_pct:.4},\n"));
+    out.push_str(&format!(
+        "  \"overhead_ceiling_pct\": {OVERHEAD_CEILING_PCT}\n"
+    ));
+    out.push_str("}\n");
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    std::fs::write("bench_results/BENCH_observability.json", out)
+        .expect("write bench_results/BENCH_observability.json");
+    println!("wrote bench_results/BENCH_observability.json");
+
+    assert!(
+        overhead_pct < OVERHEAD_CEILING_PCT,
+        "span-ledger ritual costs {overhead_pct:.3}% of a request (ceiling {OVERHEAD_CEILING_PCT}%)"
+    );
+    println!("observability overhead within bounds");
+}

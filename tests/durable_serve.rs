@@ -25,7 +25,7 @@ use powerchop_suite::durable::{
     journal_path, replay, spill_path, write_atomic, Journal, Record, SpecRecord,
 };
 use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig, Simulation, SnapshotMeta};
-use powerchop_suite::serve::{Server, ServerConfig};
+use powerchop_suite::serve::{strip_trace_id, Server, ServerConfig};
 use powerchop_suite::workloads::Scale;
 
 /// Knobs for the resume-identity test: scale sets the run length (long
@@ -182,7 +182,11 @@ fn interrupted_sweep_resumes_from_its_checkpoint_with_zero_redone_work() {
     let jpath = journal_path(&journal_dir);
     let mut journal = Journal::open(&jpath).expect("journal opens");
     journal
-        .append(&Record::Intent { id: 0, specs })
+        .append(&Record::Intent {
+            id: 0,
+            trace: 0,
+            specs,
+        })
         .expect("intent journals");
     let bench = powerchop_suite::workloads::by_name("hmmer").expect("known benchmark");
     let mut cfg = RunConfig::for_kind(bench.core_kind());
@@ -246,7 +250,11 @@ fn interrupted_sweep_resumes_from_its_checkpoint_with_zero_redone_work() {
             r#"{{"ok":true,"op":"run","cached":true,"report":{}}}"#,
             direct_report(bench, SWEEP_BUDGET, SWEEP_SCALE)
         );
-        assert_eq!(reply, expected, "recovered {bench} diverged");
+        assert_eq!(
+            strip_trace_id(&reply),
+            expected,
+            "recovered {bench} diverged"
+        );
     }
 
     // The recovery counters are wired into the Prometheus scrape.
@@ -288,6 +296,7 @@ fn journal_byte_flips_and_truncations_land_on_the_last_valid_record() {
     let records = [
         Record::Intent {
             id: 0,
+            trace: 0xFACE,
             specs: vec![spec_record("hmmer", QUICK_BUDGET, QUICK_SCALE)],
         },
         Record::Spill {
@@ -297,6 +306,7 @@ fn journal_byte_flips_and_truncations_land_on_the_last_valid_record() {
         },
         Record::Intent {
             id: 1,
+            trace: 0,
             specs: vec![spec_record("namd", QUICK_BUDGET, QUICK_SCALE)],
         },
         Record::Done { id: 0 },
@@ -368,6 +378,7 @@ fn a_daemon_booted_over_a_corrupt_journal_serves_and_reports_the_discard() {
     journal
         .append(&Record::Intent {
             id: 0,
+            trace: 0,
             specs: vec![spec_record("hmmer", QUICK_BUDGET, QUICK_SCALE)],
         })
         .expect("intent journals");
@@ -397,7 +408,7 @@ fn a_daemon_booted_over_a_corrupt_journal_serves_and_reports_the_discard() {
         r#"{{"ok":true,"op":"run","cached":true,"report":{}}}"#,
         direct_report("hmmer", QUICK_BUDGET, QUICK_SCALE)
     );
-    assert_eq!(reply, expected);
+    assert_eq!(strip_trace_id(&reply), expected);
     assert!(daemon.counter("serve_torn_tail_discards_total") >= 1);
     daemon.shutdown();
 
@@ -416,7 +427,7 @@ fn the_result_cache_survives_a_restart_bit_identically() {
     let first = start(&durable_config(&journal_dir, &cache_dir));
     let fresh = first.request(&line);
     assert_eq!(
-        fresh,
+        strip_trace_id(&fresh),
         format!(r#"{{"ok":true,"op":"run","cached":false,"report":{report}}}"#)
     );
     first.shutdown();
@@ -430,7 +441,7 @@ fn the_result_cache_survives_a_restart_bit_identically() {
     );
     let cached = second.request(&line);
     assert_eq!(
-        cached,
+        strip_trace_id(&cached),
         format!(r#"{{"ok":true,"op":"run","cached":true,"report":{report}}}"#),
         "the reloaded cache must serve the exact pre-restart bytes"
     );

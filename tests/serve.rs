@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use powerchop_suite::cli::commands::report_to_json;
 use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
-use powerchop_suite::serve::{Server, ServerConfig};
+use powerchop_suite::serve::{strip_trace_id, Server, ServerConfig};
 use powerchop_suite::telemetry::validate_json;
 use powerchop_suite::workloads::Scale;
 
@@ -139,17 +139,25 @@ fn replies_are_bit_identical_to_direct_runs_and_repeats_hit_the_cache() {
     let expected = direct_report("hmmer");
     let first = conn.request(&run_line("hmmer"));
     validate_json(&first).expect("reply is valid JSON");
+    assert!(
+        first.contains("\"trace_id\":\""),
+        "every run reply carries a trace id: {first}"
+    );
     assert_eq!(
-        first,
+        strip_trace_id(&first),
         format!(r#"{{"ok":true,"op":"run","cached":false,"report":{expected}}}"#),
         "first run is computed and embeds the exact direct-run bytes"
     );
 
     let second = conn.request(&run_line("hmmer"));
     assert_eq!(
-        second,
+        strip_trace_id(&second),
         format!(r#"{{"ok":true,"op":"run","cached":true,"report":{expected}}}"#),
         "identical request replays the cached bytes"
+    );
+    assert_ne!(
+        first, second,
+        "trace ids are per-request, never replayed from the cache"
     );
 
     // A different budget is a different run key: computed, not replayed.
@@ -192,7 +200,7 @@ fn concurrent_connections_get_correct_independent_replies() {
     for (bench, reply) in replies {
         let expected = direct_report(&bench);
         assert_eq!(
-            reply,
+            strip_trace_id(&reply),
             format!(r#"{{"ok":true,"op":"run","cached":false,"report":{expected}}}"#),
             "{bench}: concurrent replies must not cross wires"
         );
@@ -429,12 +437,62 @@ fn http_get_serves_prometheus_metrics_on_the_same_port() {
     assert!(body.contains("# TYPE serve_requests_total counter"));
     assert!(body.contains("serve_runs_total 1"));
     assert!(body.contains("serve_connections_total"));
-    // Every exposition line is `# ...` or `name value`.
+    // The per-op latency histogram is a real Prometheus histogram:
+    // typed, with bucket/sum/count series carrying the op label.
+    assert!(
+        body.contains("# TYPE serve_request_duration_ms histogram"),
+        "body: {body}"
+    );
+    assert!(
+        body.contains("# HELP serve_request_duration_ms"),
+        "body: {body}"
+    );
+    assert!(
+        body.contains(r#"serve_request_duration_ms_bucket{op="run",le="+Inf"} 1"#),
+        "body: {body}"
+    );
+    assert!(
+        body.contains(r#"serve_request_duration_ms_count{op="run"} 1"#),
+        "body: {body}"
+    );
+    assert!(
+        body.contains(r#"serve_request_duration_ms_sum{op="run"}"#),
+        "body: {body}"
+    );
+    // Series the daemon has never observed are pre-seeded at zero so
+    // dashboards see every op from boot, and the in-flight gauge exists.
+    assert!(
+        body.contains(r#"serve_request_duration_ms_count{op="sweep"} 0"#),
+        "body: {body}"
+    );
+    assert!(body.contains("serve_inflight_requests 0"), "body: {body}");
+    // Every exposition line is `# ...` or `name value` (labels never
+    // contain spaces), and every bucket series is monotone in `le`.
     for line in body.lines() {
         assert!(
             line.starts_with('#') || line.split_whitespace().count() == 2,
             "malformed exposition line: {line:?}"
         );
+    }
+    let mut last: Option<(String, u64)> = None;
+    for line in body.lines() {
+        let Some((key, value)) = line.split_once(' ') else {
+            continue;
+        };
+        let Some((series, _le)) = key.split_once("le=\"") else {
+            last = None;
+            continue;
+        };
+        let count: u64 = value.parse().expect("bucket counts are integers");
+        if let Some((prev_series, prev_count)) = &last {
+            if *prev_series == series {
+                assert!(
+                    *prev_count <= count,
+                    "bucket counts must be cumulative: {line:?}"
+                );
+            }
+        }
+        last = Some((series.to_owned(), count));
     }
 
     // Anything but /metrics is a 404, and the daemon shrugs it off.
