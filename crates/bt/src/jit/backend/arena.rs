@@ -1,0 +1,175 @@
+//! The executable code arena: mmap'd chunks with a strict W^X lifecycle.
+//!
+//! Chunks are mapped `PROT_READ|PROT_WRITE`, filled, then flipped to
+//! `PROT_READ|PROT_EXEC`; appending to a partially-used chunk flips the
+//! whole chunk back to RW for the copy and to RX afterwards. A page is
+//! never writable and executable at the same time. Flipping the whole
+//! chunk is safe because compilation happens between machine steps on one
+//! thread — no native code is executing while code is installed.
+//!
+//! The workspace is dependency-free, so the three syscalls needed
+//! (`mmap`, `mprotect`, `munmap`) are issued directly via inline asm.
+#![allow(unsafe_code)]
+
+use std::sync::Arc;
+
+const SYS_MMAP: usize = 9;
+const SYS_MPROTECT: usize = 10;
+const SYS_MUNMAP: usize = 11;
+
+const PROT_READ: usize = 0x1;
+const PROT_WRITE: usize = 0x2;
+const PROT_EXEC: usize = 0x4;
+const MAP_PRIVATE: usize = 0x02;
+const MAP_ANONYMOUS: usize = 0x20;
+
+const PAGE: usize = 4096;
+/// Default chunk size; most traces are well under 2 KiB of code, so one
+/// chunk holds hundreds of translations.
+const CHUNK: usize = 256 * 1024;
+
+/// `mmap(NULL, len, prot, MAP_PRIVATE|MAP_ANONYMOUS, -1, 0)`.
+unsafe fn sys_mmap(len: usize, prot: usize) -> isize {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP as isize => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") prot,
+            in("r10") MAP_PRIVATE | MAP_ANONYMOUS,
+            in("r8") -1isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+unsafe fn sys_mprotect(addr: *mut u8, len: usize, prot: usize) -> isize {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MPROTECT as isize => ret,
+            in("rdi") addr,
+            in("rsi") len,
+            in("rdx") prot,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+unsafe fn sys_munmap(addr: *mut u8, len: usize) {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MUNMAP as isize => ret,
+            in("rdi") addr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    debug_assert_eq!(ret, 0, "munmap of an arena chunk failed");
+}
+
+/// One mmap'd region of executable code. Owned jointly by the arena (for
+/// appending) and every compiled trace inside it (for lifetime): the
+/// mapping is released when the last owner drops.
+pub(crate) struct Chunk {
+    base: *mut u8,
+    cap: usize,
+}
+
+// The chunk is an exclusively-owned anonymous mapping; the raw pointer is
+// not aliased mutably outside `Arena::install`, which holds `&mut` on the
+// engine that owns every handle.
+unsafe impl Send for Chunk {}
+unsafe impl Sync for Chunk {}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        unsafe { sys_munmap(self.base, self.cap) };
+    }
+}
+
+/// Bump allocator over [`Chunk`]s. Full chunks are released to their
+/// traces' ownership; the arena only retains the chunk it is filling.
+pub(crate) struct Arena {
+    current: Option<Arc<Chunk>>,
+    used: usize,
+}
+
+impl Arena {
+    pub(crate) fn new() -> Self {
+        Arena {
+            current: None,
+            used: 0,
+        }
+    }
+
+    /// Copies `code` into executable memory and returns its entry point
+    /// plus a keep-alive handle on the backing chunk. Returns `None` if
+    /// the kernel refuses the mapping (the caller falls back to the
+    /// interpreter — the JIT must never be able to abort a run).
+    pub(crate) fn install(
+        &mut self,
+        code: &[u8],
+    ) -> Option<(
+        unsafe extern "C" fn(*mut super::runtime::JitCtx),
+        Arc<Chunk>,
+    )> {
+        // Align each entry point for the decoder's benefit.
+        let len = code.len().checked_add(15)? & !15;
+        let need_new = match &self.current {
+            Some(chunk) => self.used + len > chunk.cap,
+            None => true,
+        };
+        if need_new {
+            let cap = CHUNK.max((len + PAGE - 1) & !(PAGE - 1));
+            let base = unsafe { sys_mmap(cap, PROT_READ | PROT_WRITE) };
+            // mmap reports failure as a small negative errno.
+            if !(1..isize::MAX as usize).contains(&(base as usize))
+                || !(base as usize).is_multiple_of(PAGE)
+            {
+                return None;
+            }
+            self.current = Some(Arc::new(Chunk {
+                base: base as *mut u8,
+                cap,
+            }));
+            self.used = 0;
+        }
+        let chunk = Arc::clone(self.current.as_ref()?);
+        // W^X: writable (not executable) for the copy…
+        if self.used > 0 {
+            let rc = unsafe { sys_mprotect(chunk.base, chunk.cap, PROT_READ | PROT_WRITE) };
+            if rc != 0 {
+                return None;
+            }
+        }
+        let entry_ptr = unsafe { chunk.base.add(self.used) };
+        unsafe { std::ptr::copy_nonoverlapping(code.as_ptr(), entry_ptr, code.len()) };
+        // …then executable (not writable) for good.
+        let rc = unsafe { sys_mprotect(chunk.base, chunk.cap, PROT_READ | PROT_EXEC) };
+        if rc != 0 {
+            return None;
+        }
+        self.used += len;
+        let entry = unsafe {
+            std::mem::transmute::<*mut u8, unsafe extern "C" fn(*mut super::runtime::JitCtx)>(
+                entry_ptr,
+            )
+        };
+        Some((entry, chunk))
+    }
+}

@@ -1,0 +1,187 @@
+//! The trampoline runtime: the POD context native code executes over, the
+//! slow-step helper it calls for non-template instructions, and the Rust
+//! wrapper that applies the batched accounting afterwards.
+//!
+//! Determinism argument, in full:
+//!
+//! - **Native instructions** mutate only guest int/fp registers, through
+//!   the same `Cpu` storage the interpreter uses, with bit-exact
+//!   semantics (wrapping `imul`; hardware-masked `shl`/`sar`; guarded
+//!   `idiv` reproducing `wrapping_rem`-with-zero-divisor; hardware FMA
+//!   only when available, matching `f64::mul_add`). Their retirement and
+//!   issue-slot accounting is summed at compile time and applied in one
+//!   batch after the trampoline returns; nothing reads those counters
+//!   mid-trace (faults and telemetry drain only between machine steps),
+//!   so the batched sums are indistinguishable from per-step updates.
+//! - **Helper instructions** run [`Cpu::step_prefetched`] +
+//!   [`CoreModel::on_step`] — literally the interpreter's code path — so
+//!   caches, predictors, the VPU and memory see the identical access
+//!   stream in the identical order.
+//! - **The PC** is only ever written with values the interpreter would
+//!   have produced: the helper sets `pc = trace[i]` before stepping
+//!   (native predecessors cannot diverge — their successors are
+//!   statically the next trace element), and a native trace tail records
+//!   its statically-known successor.
+//! - **Exits** mirror the interpreter loop exactly: error ⇒ propagate
+//!   after applying pending accounting (`BtStats` untouched, matching the
+//!   `?` in `execute_translation`); halt ⇒ stop; PC divergence from the
+//!   recorded path ⇒ side exit; end of trace ⇒ normal exit.
+#![allow(unsafe_code)]
+
+use std::sync::Arc;
+
+use powerchop_gisa::{Cpu, GisaError, Inst, Memory, Pc};
+use powerchop_uarch::core::{CoreModel, ExecMode};
+
+use super::super::JitRunOutcome;
+
+/// The POD context shared with generated code. Only the leading fields
+/// (whose offsets are exported below) are touched by native code; the
+/// rest serve the helper on the Rust side.
+#[repr(C)]
+pub(crate) struct JitCtx {
+    /// Base of the guest integer register file (fp file at `fp_delta`).
+    int_base: *mut i64,
+    /// The slow-step helper; called indirectly because the code arena
+    /// may sit anywhere relative to the host text segment.
+    helper: unsafe extern "C" fn(*mut JitCtx, u32) -> u32,
+    /// Natively-executed guest instructions (flushed in batches).
+    native_insts: u64,
+    /// Their summed issue slots.
+    native_slots: u64,
+    /// PC to install when `pc_valid` — set by native trace tails.
+    final_pc: u32,
+    pc_valid: u8,
+    /// Set by the helper when control flow left the recorded path.
+    side_exit: u8,
+    // ---- host-side fields (never read by generated code) ----
+    cpu: *mut Cpu,
+    mem: *mut Memory,
+    core: *mut CoreModel,
+    trace: *const Pc,
+    insts: *const Inst,
+    len: u32,
+    helper_steps: u64,
+    error: Option<GisaError>,
+}
+
+pub(super) const OFF_INT_BASE: i32 = std::mem::offset_of!(JitCtx, int_base) as i32;
+pub(super) const OFF_HELPER: i32 = std::mem::offset_of!(JitCtx, helper) as i32;
+pub(super) const OFF_NATIVE_INSTS: i32 = std::mem::offset_of!(JitCtx, native_insts) as i32;
+pub(super) const OFF_NATIVE_SLOTS: i32 = std::mem::offset_of!(JitCtx, native_slots) as i32;
+pub(super) const OFF_FINAL_PC: i32 = std::mem::offset_of!(JitCtx, final_pc) as i32;
+pub(super) const OFF_PC_VALID: i32 = std::mem::offset_of!(JitCtx, pc_valid) as i32;
+
+/// A trace compiled into the arena. Holds the backing chunk alive and the
+/// trace/decoded-instruction Arcs the helper reads.
+pub(super) struct CompiledTrace {
+    entry: unsafe extern "C" fn(*mut JitCtx),
+    _chunk: Arc<super::arena::Chunk>,
+    code_len: usize,
+    trace: Arc<[Pc]>,
+    insts: Arc<[Inst]>,
+}
+
+impl CompiledTrace {
+    pub(super) fn new(
+        entry: unsafe extern "C" fn(*mut JitCtx),
+        chunk: Arc<super::arena::Chunk>,
+        code_len: usize,
+        trace: Arc<[Pc]>,
+        insts: Arc<[Inst]>,
+    ) -> Self {
+        CompiledTrace {
+            entry,
+            _chunk: chunk,
+            code_len,
+            trace,
+            insts,
+        }
+    }
+
+    pub(super) fn code_len(&self) -> usize {
+        self.code_len
+    }
+}
+
+/// Executes one instruction the templates don't cover, via the exact
+/// interpreter step. Returns 0 to continue the trace, nonzero to exit.
+unsafe extern "C" fn slow_step(ctx: *mut JitCtx, idx: u32) -> u32 {
+    let ctx = unsafe { &mut *ctx };
+    let cpu = unsafe { &mut *ctx.cpu };
+    let mem = unsafe { &mut *ctx.mem };
+    let core = unsafe { &mut *ctx.core };
+    let i = idx as usize;
+    debug_assert!(i < ctx.len as usize);
+    // Native predecessors don't materialize the PC; architecturally it is
+    // exactly this trace element (their successors are statically the
+    // next element, and every helper verifies its own successor).
+    let expected = unsafe { *ctx.trace.add(i) };
+    cpu.jit_set_pc(expected);
+    let inst = unsafe { *ctx.insts.add(i) };
+    match cpu.step_prefetched(inst, mem) {
+        Ok(info) => {
+            core.on_step(&info, ExecMode::Translated);
+            ctx.helper_steps += 1;
+            if cpu.halted() {
+                return 1;
+            }
+            let next = i + 1;
+            if next == ctx.len as usize {
+                return 1;
+            }
+            if cpu.pc() != unsafe { *ctx.trace.add(next) } {
+                ctx.side_exit = 1;
+                return 1;
+            }
+            0
+        }
+        Err(e) => {
+            ctx.error = Some(e);
+            1
+        }
+    }
+}
+
+/// Runs a compiled trace and settles its accounting, mirroring the
+/// interpreter loop's observable effects exactly (see module docs).
+pub(super) fn run_compiled(
+    ct: &CompiledTrace,
+    cpu: &mut Cpu,
+    mem: &mut Memory,
+    core: &mut CoreModel,
+) -> Result<JitRunOutcome, GisaError> {
+    let (int_base, fp_delta) = cpu.jit_reg_layout();
+    debug_assert_eq!(fp_delta, Cpu::jit_fp_delta());
+    let mut ctx = JitCtx {
+        int_base,
+        helper: slow_step,
+        native_insts: 0,
+        native_slots: 0,
+        final_pc: 0,
+        pc_valid: 0,
+        side_exit: 0,
+        cpu,
+        mem,
+        core: core as *mut CoreModel,
+        trace: ct.trace.as_ptr(),
+        insts: ct.insts.as_ptr(),
+        len: ct.trace.len() as u32,
+        helper_steps: 0,
+        error: None,
+    };
+    unsafe { (ct.entry)(&mut ctx) };
+    let native = ctx.native_insts;
+    cpu.jit_add_retired(native);
+    core.on_translated_block(native, ctx.native_slots);
+    if let Some(e) = ctx.error.take() {
+        return Err(e);
+    }
+    if ctx.pc_valid != 0 {
+        cpu.jit_set_pc(Pc(ctx.final_pc));
+    }
+    Ok(JitRunOutcome {
+        executed: native + ctx.helper_steps,
+        side_exit: ctx.side_exit != 0,
+    })
+}

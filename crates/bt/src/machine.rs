@@ -1,6 +1,7 @@
 use powerchop_gisa::{Cpu, GisaError, Memory, Program};
 use powerchop_uarch::core::{CoreModel, ExecMode};
 
+use crate::jit::{JitEngine, JitMode, JitReport, JitStats};
 use crate::region_cache::{RegionCache, TranslationId};
 use crate::translator;
 
@@ -136,6 +137,13 @@ pub struct Machine<'p> {
     config: BtConfig,
     at_block_head: bool,
     stats: BtStats,
+    /// The native trace JIT. Compiled code is derived state: cloning
+    /// yields a cold engine, snapshots never carry code bytes, and
+    /// restore/invalidate drop it for recompile-on-demand.
+    jit: JitEngine,
+    /// Scratch buffer for invalidation storms, so the fault path does
+    /// not allocate per event.
+    invalidate_scratch: Vec<TranslationId>,
 }
 
 impl<'p> Machine<'p> {
@@ -156,7 +164,39 @@ impl<'p> Machine<'p> {
             config,
             at_block_head: true,
             stats: BtStats::default(),
+            jit: JitEngine::new(JitMode::Off),
+            invalidate_scratch: Vec::new(),
         }
+    }
+
+    /// Replaces the JIT engine with a fresh one in `mode`. Resident
+    /// translations compile on demand at their next dispatch.
+    pub fn set_jit_mode(&mut self, mode: JitMode) {
+        self.jit = JitEngine::new(mode);
+    }
+
+    /// The configured JIT mode.
+    #[must_use]
+    pub fn jit_mode(&self) -> JitMode {
+        self.jit.mode()
+    }
+
+    /// Cumulative JIT counters.
+    #[must_use]
+    pub fn jit_stats(&self) -> JitStats {
+        self.jit.stats()
+    }
+
+    /// The JIT report for run artifacts' sidecar (`None` when off).
+    #[must_use]
+    pub fn jit_report(&self) -> Option<JitReport> {
+        self.jit.report()
+    }
+
+    /// Native code size compiled for translation `id`, if any.
+    #[must_use]
+    pub fn jit_code_len(&self, id: TranslationId) -> Option<usize> {
+        self.jit.code_len(id)
     }
 
     /// The guest CPU state (for inspecting results).
@@ -217,6 +257,24 @@ impl<'p> Machine<'p> {
                 // is a refcount bump, not a trace copy.
                 let trace = translation.trace_arc();
                 let insts = translation.insts_arc();
+                if let Some(outcome) =
+                    self.jit
+                        .execute(head_id, &trace, &insts, &mut self.cpu, &mut self.mem, core)
+                {
+                    // Propagate guest faults before touching stats — the
+                    // interpreter loop's `?` has the same ordering.
+                    let outcome = outcome?;
+                    self.stats.translation_executions += 1;
+                    self.stats.translated_instructions += outcome.executed;
+                    if outcome.side_exit {
+                        self.stats.side_exits += 1;
+                    }
+                    self.at_block_head = true;
+                    return Ok(MachineEvent::Translation {
+                        id: head_id,
+                        instructions: outcome.executed,
+                    });
+                }
                 return self.execute_translation(head_id, &trace, &insts, core);
             }
         }
@@ -285,10 +343,12 @@ impl<'p> Machine<'p> {
     /// with the region cache (including the eviction it may cause).
     fn install_translation(&mut self, t: translator::Translation) {
         let id = t.id();
+        self.jit.on_install(&t);
         if let Some(victim) = self.region_cache.install(t) {
             if let Some(bit) = self.translated.get_mut(victim.0 as usize) {
                 *bit = false;
             }
+            self.jit.remove(victim);
         }
         if let Some(bit) = self.translated.get_mut(id.0 as usize) {
             *bit = true;
@@ -417,6 +477,9 @@ impl<'p> Machine<'p> {
         // the decode cache and the head-presence bitmap from the restored
         // region cache.
         self.region_cache.rehydrate(self.program);
+        // Native code is never snapshotted; drop any compiled traces and
+        // let the restored translations recompile on demand.
+        self.jit.clear();
         self.translated.fill(false);
         let heads: Vec<u32> = self.region_cache.iter().map(|t| t.id().0).collect();
         for head in heads {
@@ -472,14 +535,21 @@ impl<'p> Machine<'p> {
     /// from `selector`). Returns how many were dropped; execution falls
     /// back to interpretation until the regions re-heat.
     pub fn invalidate_regions(&mut self, fraction: f64, selector: u64) -> usize {
-        let dropped = self.region_cache.invalidate_fraction(fraction, selector);
+        // Reuse a scratch buffer: invalidation storms fire repeatedly on
+        // the fault path and must not allocate per event.
+        let mut dropped = std::mem::take(&mut self.invalidate_scratch);
+        self.region_cache
+            .invalidate_fraction_into(fraction, selector, &mut dropped);
         for id in &dropped {
             if let Some(bit) = self.translated.get_mut(id.0 as usize) {
                 *bit = false;
             }
+            self.jit.remove(*id);
         }
         self.stats.invalidated_translations += dropped.len() as u64;
-        dropped.len()
+        let count = dropped.len();
+        self.invalidate_scratch = dropped;
+        count
     }
 
     /// Runs until the guest halts or `max_instructions` have retired,

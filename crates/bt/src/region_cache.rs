@@ -106,9 +106,23 @@ impl RegionCache {
     /// remapping, or a guest TLB shootdown wiping translated regions).
     /// Returns the IDs dropped so callers can discount dependent state.
     pub fn invalidate_fraction(&mut self, fraction: f64, selector: u64) -> Vec<TranslationId> {
+        let mut dropped = Vec::new();
+        self.invalidate_fraction_into(fraction, selector, &mut dropped);
+        dropped
+    }
+
+    /// Allocation-free form of [`RegionCache::invalidate_fraction`] for
+    /// the fault-storm hot path: clears `dropped` and fills it with the
+    /// invalidated IDs, reusing its capacity across events.
+    pub fn invalidate_fraction_into(
+        &mut self,
+        fraction: f64,
+        selector: u64,
+        dropped: &mut Vec<TranslationId>,
+    ) {
+        dropped.clear();
         let fraction = fraction.clamp(0.0, 1.0);
         let threshold = (fraction * 2f64.powi(32)) as u64;
-        let mut dropped = Vec::new();
         self.install_order.retain(|id| {
             // splitmix-style avalanche of (id, selector): a per-id coin
             // flip that is reproducible for a given selector.
@@ -122,10 +136,9 @@ impl RegionCache {
                 true
             }
         });
-        for id in &dropped {
+        for id in dropped.iter() {
             self.translations.remove(id);
         }
-        dropped
     }
 
     /// Drops every resident translation.

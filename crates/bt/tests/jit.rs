@@ -1,0 +1,196 @@
+//! Machine-level differential tests: JIT-on and JIT-off execution must be
+//! bit-identical in every observable — architectural CPU state, retired
+//! counts, BT statistics, and the core timing model's cycle/event totals.
+
+use powerchop_bt::{BtConfig, JitMode, Machine, MachineEvent};
+use powerchop_gisa::{FReg, Program, ProgramBuilder, Reg};
+use powerchop_uarch::config::CoreConfig;
+use powerchop_uarch::core::CoreModel;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i).expect("register index in range")
+}
+
+fn f(i: u8) -> FReg {
+    FReg::new(i).expect("fp register index in range")
+}
+
+/// A hot loop exercising every native template — including the `rem`
+/// corner cases (zero divisor, `MIN % -1`), shift counts above 63, large
+/// immediates, `slt`, fp arithmetic, fmadd and int→fp conversion — plus
+/// helper-path instructions (loads, stores, branches, calls) so traces
+/// interleave native segments with slow steps.
+fn torture_program() -> Program {
+    let mut b = ProgramBuilder::new("jit-torture");
+    let (acc, i, n, tmp, div, big) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    b.li(acc, 0).li(i, 0).li(n, 5_000);
+    b.li(big, i64::MAX - 12345);
+    b.li(div, 0); // first iterations divide by zero
+    let helper_fn = b.label();
+    let after = b.label();
+    b.jmp(after);
+    b.bind(helper_fn).expect("bind helper");
+    b.add(acc, acc, i).ret();
+    b.bind(after).expect("bind after");
+    let top = b.bind_label();
+    // Native-heavy body.
+    b.addi(i, i, 1);
+    b.add(tmp, acc, i);
+    b.sub(tmp, tmp, acc);
+    b.mul(tmp, tmp, big); // wrapping multiply
+    b.xor(tmp, tmp, acc);
+    b.and(tmp, tmp, big);
+    b.or(acc, acc, tmp);
+    b.shl(tmp, acc, i); // shift counts grow past 63
+    b.shr(tmp, tmp, i);
+    b.slt(tmp, tmp, acc);
+    b.rem(tmp, big, div); // div is 0 early, then varies
+    b.rem(tmp, big, i);
+    b.li(tmp, i64::MIN);
+    b.li(div, -1);
+    b.rem(tmp, tmp, div); // MIN % -1 must not fault
+    b.addi(div, i, -2_500); // crosses zero mid-run
+                            // FP segment.
+    b.fcvt(f(0), i);
+    b.fli(f(1), 1.000_000_1);
+    b.fmul(f(2), f(0), f(1));
+    b.fadd(f(3), f(2), f(0));
+    b.fmadd(f(3), f(2), f(1), f(3));
+    // Helper segment: memory traffic and a call.
+    b.store(acc, n, 64);
+    b.load(tmp, n, 64);
+    b.add(acc, acc, tmp);
+    b.call(helper_fn);
+    b.blt(i, n, top);
+    b.halt();
+    b.build().expect("torture program is well-formed")
+}
+
+fn run_to_halt(mode: JitMode, config: BtConfig, program: &Program) -> (Machine<'_>, CoreModel) {
+    let mut core = CoreModel::new(&CoreConfig::server());
+    let mut machine = Machine::new(program, config);
+    machine.set_jit_mode(mode);
+    while !matches!(
+        machine.step(&mut core).expect("no guest faults"),
+        MachineEvent::Halted
+    ) {}
+    (machine, core)
+}
+
+fn assert_identical(a: &(Machine<'_>, CoreModel), b: &(Machine<'_>, CoreModel)) {
+    assert_eq!(a.0.cpu(), b.0.cpu(), "architectural CPU state diverged");
+    assert_eq!(a.0.retired(), b.0.retired(), "retired counts diverged");
+    assert_eq!(a.0.stats(), b.0.stats(), "BT statistics diverged");
+    assert_eq!(a.1.cycles(), b.1.cycles(), "core cycles diverged");
+    assert_eq!(a.1.stats(), b.1.stats(), "core event counters diverged");
+}
+
+#[test]
+fn jit_and_interpreter_are_bit_identical() {
+    let program = torture_program();
+    let interp = run_to_halt(JitMode::Off, BtConfig::default(), &program);
+    let jit = run_to_halt(JitMode::On, BtConfig::default(), &program);
+    assert_identical(&interp, &jit);
+    if cfg!(all(
+        target_arch = "x86_64",
+        target_os = "linux",
+        not(powerchop_force_interp)
+    )) {
+        let stats = jit.0.jit_stats();
+        assert!(stats.translations_compiled > 0, "nothing was compiled");
+        assert!(stats.exec_hits > 0, "compiled code never ran");
+        assert!(stats.code_bytes > 0);
+        assert!(jit.0.jit_report().is_some());
+    }
+    assert!(
+        interp.0.jit_report().is_none(),
+        "JIT-off runs carry no report"
+    );
+}
+
+#[test]
+fn superblock_traces_stay_identical() {
+    let program = torture_program();
+    let config = BtConfig {
+        superblocks: true,
+        ..BtConfig::default()
+    };
+    let interp = run_to_halt(JitMode::Off, config, &program);
+    let jit = run_to_halt(JitMode::On, config, &program);
+    assert_identical(&interp, &jit);
+}
+
+#[test]
+fn invalidation_drops_code_and_recompiles_identically() {
+    let program = torture_program();
+    let run = |mode: JitMode| {
+        let mut core = CoreModel::new(&CoreConfig::server());
+        let mut machine = Machine::new(&program, BtConfig::default());
+        machine.set_jit_mode(mode);
+        let mut steps = 0u64;
+        while !machine.halted() {
+            machine.step(&mut core).expect("no guest faults");
+            steps += 1;
+            if steps.is_multiple_of(2_000) {
+                machine.invalidate_regions(0.5, steps);
+            }
+            if steps.is_multiple_of(3_000) {
+                machine.on_context_switch();
+            }
+        }
+        (machine, core)
+    };
+    let interp = run(JitMode::Off);
+    let jit = run(JitMode::On);
+    assert_identical(&interp, &jit);
+}
+
+#[test]
+fn checkpoints_cross_between_jit_and_interpreter() {
+    let program = torture_program();
+    // Run halfway under one mode, snapshot, restore under the other,
+    // finish — in both directions — and compare against straight runs.
+    let straight = run_to_halt(JitMode::Off, BtConfig::default(), &program);
+    for (first, second) in [(JitMode::On, JitMode::Off), (JitMode::Off, JitMode::On)] {
+        let mut core = CoreModel::new(&CoreConfig::server());
+        let mut machine = Machine::new(&program, BtConfig::default());
+        machine.set_jit_mode(first);
+        for _ in 0..10_000 {
+            if machine.halted() {
+                break;
+            }
+            machine.step(&mut core).expect("no guest faults");
+        }
+        let mut w = powerchop_checkpoint::ByteWriter::new();
+        machine.snapshot_to(&mut w);
+        let mut core_w = powerchop_checkpoint::ByteWriter::new();
+        core.snapshot_to(&mut core_w);
+        let (bytes, core_bytes) = (w.into_bytes(), core_w.into_bytes());
+
+        let mut resumed = Machine::new(&program, BtConfig::default());
+        resumed.set_jit_mode(second);
+        let mut r = powerchop_checkpoint::ByteReader::new(&bytes);
+        resumed.restore_from(&mut r).expect("restore machine");
+        let mut resumed_core = CoreModel::new(&CoreConfig::server());
+        let mut core_r = powerchop_checkpoint::ByteReader::new(&core_bytes);
+        resumed_core
+            .restore_from(&mut core_r)
+            .expect("restore core");
+        while !matches!(
+            resumed.step(&mut resumed_core).expect("no guest faults"),
+            MachineEvent::Halted
+        ) {}
+        assert_identical(&straight, &(resumed, resumed_core));
+    }
+}
+
+#[test]
+fn jit_mode_parsing() {
+    assert_eq!(JitMode::parse("on"), Some(JitMode::On));
+    assert_eq!(JitMode::parse("OFF"), Some(JitMode::Off));
+    assert_eq!(JitMode::parse("auto"), Some(JitMode::Auto));
+    assert_eq!(JitMode::parse("1"), Some(JitMode::On));
+    assert_eq!(JitMode::parse("0"), Some(JitMode::Off));
+    assert_eq!(JitMode::parse("warp-speed"), None);
+    assert_eq!(JitMode::On.to_string(), "on");
+}

@@ -91,6 +91,10 @@ pub struct RunOpts {
     /// Worker threads for fan-out commands (`None` resolves through
     /// `POWERCHOP_JOBS` and then the machine's available parallelism).
     pub jobs: Option<usize>,
+    /// Native-JIT mode override (`None` honours `POWERCHOP_JIT`, then
+    /// auto). JIT-on and JIT-off runs produce bit-identical reports; this
+    /// only selects how guest code executes.
+    pub jit: Option<powerchop::JitMode>,
 }
 
 impl RunOpts {
@@ -113,6 +117,7 @@ impl Default for RunOpts {
             trace: None,
             metrics: None,
             jobs: None,
+            jit: None,
         }
     }
 }
@@ -468,6 +473,9 @@ OPTIONS (run/compare/timeline/asm/stress/checkpoint/supervise):
     --jobs <N>             (run --all/stress/supervise) worker threads for the
                            sweep [default: $POWERCHOP_JOBS, then the number of
                            CPUs]; output is identical at every thread count
+    --jit <m>              on|off|auto: native trace JIT for guest execution
+                           [default: $POWERCHOP_JIT, then auto]. Reports are
+                           bit-identical in every mode; only wall-clock changes
 
 OPTIONS (checkpoint):
     --at <N>               instructions before the snapshot      [default: budget/2]
@@ -559,6 +567,13 @@ fn parse_flags(
             "--storm" => opts.storm = true,
             "--trace" => opts.trace = Some(value()?),
             "--metrics" => opts.metrics = Some(value()?),
+            "--jit" => {
+                let v = value()?;
+                opts.jit =
+                    Some(powerchop::JitMode::parse(&v).ok_or_else(|| {
+                        CliError(format!("--jit expects on|off|auto, got `{v}`"))
+                    })?);
+            }
             "--jobs" => {
                 let n: usize = parse_int(flag, &value()?)?;
                 opts.jobs = Some(if n == 0 {

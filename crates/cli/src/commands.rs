@@ -145,6 +145,9 @@ fn benchmark(name: &str) -> Result<&'static Benchmark, CliError> {
 fn config(kind: CoreKind, opts: &RunOpts) -> RunConfig {
     let mut cfg = RunConfig::for_kind(kind);
     cfg.max_instructions = opts.budget;
+    if let Some(jit) = opts.jit {
+        cfg.jit = jit;
+    }
     cfg
 }
 

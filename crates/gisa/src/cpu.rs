@@ -169,6 +169,50 @@ impl Cpu {
         Ok(())
     }
 
+    /// BT-backend hook: the base pointer of the integer register file and
+    /// the byte offset from it to the floating-point register file. The
+    /// offset is a property of this struct's layout, so native code
+    /// compiled against one `Cpu` instance addresses any instance's
+    /// registers given that instance's integer base pointer.
+    ///
+    /// The pointers are only valid while this `Cpu` is not moved; the BT
+    /// layer re-derives them on every translated-trace execution.
+    /// BT-backend hook: the byte offset from the integer register file to
+    /// the floating-point register file, as a pure layout constant usable
+    /// without a `Cpu` instance (the JIT compiler bakes it into generated
+    /// code before any guest state exists).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn jit_fp_delta() -> isize {
+        (std::mem::offset_of!(Cpu, fp) as isize) - (std::mem::offset_of!(Cpu, int) as isize)
+    }
+
+    #[doc(hidden)]
+    #[must_use]
+    pub fn jit_reg_layout(&mut self) -> (*mut i64, isize) {
+        let int_base = self.int.as_mut_ptr();
+        let fp_base = self.fp.as_mut_ptr();
+        (int_base, (fp_base as isize) - (int_base as isize))
+    }
+
+    /// BT-backend hook: sets the program counter. Native trace code only
+    /// executes instructions whose successor is statically known, so the
+    /// value written is always the PC the interpreter would have reached.
+    #[doc(hidden)]
+    pub fn jit_set_pc(&mut self, pc: Pc) {
+        self.pc = pc;
+    }
+
+    /// BT-backend hook: credits `n` retired instructions in one batch.
+    /// Used for natively-executed instructions, whose per-instruction
+    /// retirement the interpreter would have counted one at a time;
+    /// nothing observes the counter mid-trace, so the batched sum is
+    /// indistinguishable.
+    #[doc(hidden)]
+    pub fn jit_add_retired(&mut self, n: u64) {
+        self.retired += n;
+    }
+
     /// Executes the instruction at the current PC and advances.
     ///
     /// Executing while halted is a no-op that returns the `halt` step again.

@@ -84,3 +84,6 @@ pub use system::{
     config_fingerprint, manager_kind_by_name, read_meta, run_program, run_program_traced,
     ManagerKind, RunConfig, RunReport, Simulation, SnapshotMeta,
 };
+// Execution-strategy knobs surfaced through [`RunConfig`], re-exported so
+// front ends need not depend on the BT crate directly.
+pub use powerchop_bt::{JitMode, JitReport};

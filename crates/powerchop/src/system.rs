@@ -6,7 +6,7 @@
 //! experiment in the paper's evaluation is derived from.
 
 use powerchop_bt::nucleus::{Nucleus, NucleusStats};
-use powerchop_bt::{BtConfig, BtStats, Machine, MachineEvent};
+use powerchop_bt::{BtConfig, BtStats, JitMode, JitReport, Machine, MachineEvent};
 use powerchop_checkpoint::{fnv1a64, CheckpointError, Snapshot, SnapshotWriter};
 use powerchop_faults::{FaultConfig, FaultKind, FaultSchedule, FaultStats};
 use powerchop_gisa::Program;
@@ -85,6 +85,12 @@ pub struct RunConfig {
     pub record_windows: bool,
     /// Deterministic fault injection (stress testing). `None` runs clean.
     pub faults: Option<FaultConfig>,
+    /// Native trace JIT mode (defaults to the `POWERCHOP_JIT` environment
+    /// variable, else auto). An execution strategy, not simulated state:
+    /// JIT-on and JIT-off runs produce bit-identical artifacts, so this
+    /// field is deliberately excluded from [`config_fingerprint`] and
+    /// checkpoints cross freely between modes.
+    pub jit: JitMode,
 }
 
 impl RunConfig {
@@ -101,6 +107,7 @@ impl RunConfig {
             max_instructions: default_budget(),
             record_windows: false,
             faults: None,
+            jit: JitMode::default_from_env(),
         }
     }
 
@@ -222,6 +229,10 @@ pub struct RunReport {
     pub faults: Option<FaultStats>,
     /// Graceful-degradation activity (managers with a guard only).
     pub degrade: Option<DegradeStats>,
+    /// Native-JIT counters (JIT-enabled runs only). Execution telemetry,
+    /// not simulation output: deliberately excluded from run artifacts so
+    /// JIT-on and JIT-off artifacts stay byte-identical.
+    pub jit: Option<JitReport>,
 }
 
 impl RunReport {
@@ -383,6 +394,10 @@ pub fn read_meta(bytes: &[u8]) -> Result<SnapshotMeta, CheckpointError> {
 /// trajectory: the manager kind and the full [`RunConfig`]. Snapshots
 /// embed it so a resume under a different configuration is rejected
 /// instead of silently diverging.
+///
+/// [`RunConfig::jit`] is deliberately *not* fingerprinted: JIT-on and
+/// JIT-off execution is bit-identical, so a snapshot taken under either
+/// mode must restore under the other.
 #[must_use]
 pub fn config_fingerprint(kind: ManagerKind, cfg: &RunConfig) -> u64 {
     let canon = format!(
@@ -466,7 +481,8 @@ impl<'p> Simulation<'p> {
         let semantic = !matches!(kind, ManagerKind::TimeoutVpu { .. });
         let mut controller = GatingController::new(&cfg.core, semantic);
         let mut nucleus = Nucleus::new();
-        let machine = Machine::new(program, cfg.bt);
+        let mut machine = Machine::new(program, cfg.bt);
+        machine.set_jit_mode(cfg.jit);
         let mut manager = build_manager(kind, cfg);
         {
             let mut ctx = ManagerCtx {
@@ -545,6 +561,17 @@ impl<'p> Simulation<'p> {
                         guest_len: u32::try_from(guest_len).unwrap_or(u32::MAX),
                     },
                 );
+                // The JIT compiles eagerly at install time, so native code
+                // for this translation (if it was eligible) exists now.
+                if let Some(code_bytes) = self.machine.jit_code_len(id) {
+                    self.tracer.emit(
+                        self.core.cycles(),
+                        Event::JitCompiled {
+                            id: id.0,
+                            code_bytes: u32::try_from(code_bytes).unwrap_or(u32::MAX),
+                        },
+                    );
+                }
             }
             _ => {}
         }
@@ -655,6 +682,9 @@ impl<'p> Simulation<'p> {
             fs.sample_metrics(reg);
         }
         self.manager.sample_metrics(reg);
+        if let Some(jit) = self.machine.jit_report() {
+            jit.sample_metrics(reg);
+        }
         for ((hist, leak, dynamic), prev) in UNIT_ENERGY_HISTOGRAMS.into_iter().zip(prev_energy) {
             let now = reg.gauge(leak).unwrap_or(0.0) + reg.gauge(dynamic).unwrap_or(0.0);
             let delta_uj = ((now - prev).max(0.0) * 1e6) as u64;
@@ -727,6 +757,7 @@ impl<'p> Simulation<'p> {
             windows: self.manager.take_window_records(),
             faults: self.schedule.as_ref().map(FaultSchedule::stats),
             degrade: self.manager.degrade_stats(),
+            jit: self.machine.jit_report(),
         };
         (report, tracer)
     }

@@ -475,6 +475,13 @@ impl Server {
             "serve_journal_replayed_total",
             "serve_torn_tail_discards_total",
             "serve_cache_reloads_total",
+            // JIT counters aggregate across every completed run; seeded so
+            // a scrape on a JIT-off (or freshly booted) daemon still shows
+            // the full series shape.
+            "jit_translations_compiled",
+            "jit_exec_hits",
+            "jit_fallbacks",
+            "jit_code_bytes",
         ] {
             metrics.counter_add(name, 0);
         }
@@ -1058,6 +1065,16 @@ fn settle(
                 ctx.trace_events = ctx.trace_events.saturating_add(done.trace_events);
             }
             let report = done.report;
+            // Fold this run's JIT activity into the daemon-wide counters.
+            // Deliberately *not* part of the reply JSON: replies stay
+            // byte-identical whether the JIT ran or not.
+            if let Some(jit) = &report.jit {
+                let mut m = lock(&state.metrics);
+                m.counter_add("jit_translations_compiled", jit.stats.translations_compiled);
+                m.counter_add("jit_exec_hits", jit.stats.exec_hits);
+                m.counter_add("jit_fallbacks", jit.stats.fallbacks);
+                m.counter_add("jit_code_bytes", jit.stats.code_bytes);
+            }
             let json = report_to_json(&report);
             let cache_started = Instant::now();
             let cacheable = {

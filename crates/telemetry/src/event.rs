@@ -142,6 +142,13 @@ pub enum Event {
         /// Translations dropped.
         dropped: u64,
     },
+    /// The JIT compiled a translation to native code.
+    JitCompiled {
+        /// Translation ID.
+        id: u32,
+        /// Bytes of native code emitted.
+        code_bytes: u32,
+    },
 }
 
 impl Event {
@@ -165,6 +172,7 @@ impl Event {
             Event::CheckpointWritten { .. } => "checkpoint_written",
             Event::TranslationInstalled { .. } => "translation_installed",
             Event::RegionInvalidated { .. } => "region_invalidated",
+            Event::JitCompiled { .. } => "jit_compiled",
         }
     }
 
@@ -181,7 +189,9 @@ impl Event {
             | Event::DegradeRepin { .. } => "degrade",
             Event::FaultDelivered { .. } => "faults",
             Event::CheckpointWritten { .. } => "checkpoint",
-            Event::TranslationInstalled { .. } | Event::RegionInvalidated { .. } => "bt",
+            Event::TranslationInstalled { .. }
+            | Event::RegionInvalidated { .. }
+            | Event::JitCompiled { .. } => "bt",
         }
     }
 
@@ -248,6 +258,10 @@ mod tests {
                 guest_len: 8,
             },
             Event::RegionInvalidated { dropped: 4 },
+            Event::JitCompiled {
+                id: 3,
+                code_bytes: 256,
+            },
         ];
         for ev in evs {
             assert!(!ev.name().is_empty());

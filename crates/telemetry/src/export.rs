@@ -133,6 +133,9 @@ fn push_args(out: &mut String, ev: &Event) {
         Event::RegionInvalidated { dropped } => {
             let _ = write!(out, "{{\"dropped\":{dropped}}}");
         }
+        Event::JitCompiled { id, code_bytes } => {
+            let _ = write!(out, "{{\"id\":{id},\"code_bytes\":{code_bytes}}}");
+        }
     }
 }
 

@@ -306,6 +306,21 @@ impl CoreModel {
         }
     }
 
+    /// Feeds a batch of natively-executed translated instructions into the
+    /// timing model in one call.
+    ///
+    /// The BT layer's native backend compiles only instruction classes
+    /// whose [`CoreModel::on_step`] accounting reduces to `instructions +=
+    /// 1; slots += k` (integer/float ALU, multiplies, fused jumps, nops):
+    /// no cache, predictor, or VPU state is touched, so summing the issue
+    /// slots at compile time and applying them here is arithmetically
+    /// identical to `n` individual [`CoreModel::on_step`] calls in
+    /// [`ExecMode::Translated`].
+    pub fn on_translated_block(&mut self, instructions: u64, slots: u64) {
+        self.stats.instructions += instructions;
+        self.slots += slots;
+    }
+
     fn charge_vector_op(&mut self) {
         let slots = u64::from(self.vpu.issue_slots_for_vector_op(0));
         // The base issue slot was already charged.

@@ -1,0 +1,27 @@
+//! Shared helpers for the `bench_*` binaries.
+
+use powerchop_telemetry::export::JsonWriter;
+
+/// CPUs visible to this process (affinity- and cgroup-aware where the
+/// platform reports it), clamped to 1 when the query fails.
+#[must_use]
+pub fn available_cpus() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
+}
+
+/// Appends the host-topology block benchmark artifacts carry — CPU
+/// count, architecture, OS — plus a `"warning":"single_cpu_host"` field
+/// when the process can only see one CPU: parallel speedups and
+/// wall-clock comparisons measured there say nothing about multi-core
+/// hosts, and downstream tooling should treat the numbers as suspect.
+pub fn record_host_topology(w: &mut JsonWriter) {
+    let cpus = available_cpus();
+    let mut host = JsonWriter::object();
+    host.field_u64("available_cpus", cpus);
+    host.field_str("arch", std::env::consts::ARCH);
+    host.field_str("os", std::env::consts::OS);
+    w.field_raw("host", &host.finish());
+    if cpus == 1 {
+        w.field_str("warning", "single_cpu_host");
+    }
+}

@@ -82,6 +82,7 @@ fn main() {
 
     let mut w = JsonWriter::object();
     w.field_str("benchmark", "hotpath_throughput");
+    powerchop_suite::bench_support::record_host_topology(&mut w);
     w.field_raw(
         "workloads",
         &format!(

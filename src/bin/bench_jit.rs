@@ -1,0 +1,291 @@
+//! JIT comparison mode: native-trace JIT vs pure interpreter.
+//!
+//! Two measurements in one artifact:
+//!
+//! 1. **Hot-loop throughput** — purpose-built single-trace loops whose
+//!    bodies are native-template material (integer ALU, multiplies,
+//!    floating point, a mixed body). Each runs to completion under
+//!    `--jit off` and `--jit on` at the `Machine` seam; the figure of
+//!    merit is the per-workload median instr/s ratio. The JIT's
+//!    acceptance gate is a >= 5x speedup on at least three of these.
+//! 2. **Artifact identity** — every benchmark in the suite runs once per
+//!    JIT mode through the full simulation stack and the serve-layer
+//!    JSON report bytes are compared. The JIT is an execution strategy,
+//!    not simulated state, so the sweep must come back byte-identical.
+//!
+//! Results land in `bench_results/BENCH_jit.json`. Run with:
+//!
+//! ```text
+//! cargo run --release --bin bench_jit
+//! ```
+
+use std::time::Instant;
+
+use powerchop_suite::bt::{BtConfig, JitMode, Machine, MachineEvent};
+use powerchop_suite::gisa::{FReg, Program, ProgramBuilder, Reg};
+use powerchop_suite::powerchop::{run_program, ManagerKind, RunConfig};
+use powerchop_suite::serve::report_to_json;
+use powerchop_suite::telemetry::export::JsonWriter;
+use powerchop_suite::uarch::{config::CoreConfig, core::CoreModel};
+use powerchop_suite::workloads::Scale;
+
+const TRIALS: usize = 5;
+/// Iterations per hot loop; with ~50-instruction bodies each workload
+/// retires a few hundred million guest instructions per trial set.
+const ITERS: i64 = 300_000;
+/// Instruction budget for the per-benchmark identity sweep.
+const SWEEP_BUDGET: u64 = 400_000;
+const SWEEP_SCALE: Scale = Scale(0.2);
+
+fn r(i: u8) -> Reg {
+    Reg::new(i).expect("register index in range")
+}
+
+fn f(i: u8) -> FReg {
+    FReg::new(i).expect("fp register index in range")
+}
+
+/// A loop of pure integer ALU traffic: the template fast path.
+fn int_alu_loop() -> Program {
+    let mut b = ProgramBuilder::new("jit_int_alu");
+    let (a, c, d, i, n) = (r(1), r(2), r(3), r(4), r(5));
+    b.li(a, 1).li(c, 0x5DEE_CE66).li(d, 7).li(i, 0).li(n, ITERS);
+    let top = b.bind_label();
+    b.addi(i, i, 1);
+    for _ in 0..8 {
+        b.add(a, a, c);
+        b.xor(c, c, a);
+        b.sub(d, a, c);
+        b.or(a, a, d);
+        b.and(c, c, a);
+        b.addi(a, a, 13);
+    }
+    b.blt(i, n, top);
+    b.halt();
+    b.build().expect("well-formed")
+}
+
+/// Multiplies, shifts and compares over four independent accumulator
+/// chains (keeping instruction-level parallelism available, as real
+/// translated traces do).
+fn int_mul_loop() -> Program {
+    let mut b = ProgramBuilder::new("jit_int_mul");
+    let (i, n, k) = (r(1), r(2), r(3));
+    let accs = [r(4), r(5), r(6), r(7)];
+    b.li(i, 0).li(n, ITERS).li(k, 0x9E37_79B9);
+    for (j, a) in accs.into_iter().enumerate() {
+        b.li(a, 3 + j as i64);
+    }
+    let top = b.bind_label();
+    b.addi(i, i, 1);
+    for _ in 0..4 {
+        for a in accs {
+            b.mul(a, a, k);
+        }
+        for a in accs {
+            b.shr(a, a, i);
+        }
+        for a in accs {
+            b.addi(a, a, 0x55);
+        }
+    }
+    b.slt(k, accs[0], accs[1]);
+    b.addi(k, k, 0x9E37_79B9);
+    b.blt(i, n, top);
+    b.halt();
+    b.build().expect("well-formed")
+}
+
+/// Floating-point kernel: converts, multiplies, adds and fused madds
+/// over six independent accumulator chains.
+fn fp_loop() -> Program {
+    let mut b = ProgramBuilder::new("jit_fp");
+    let (i, n) = (r(1), r(2));
+    b.li(i, 0).li(n, ITERS);
+    b.fli(f(0), 1.000_000_3).fli(f(1), 0.999_999_1);
+    let accs = [f(2), f(3), f(4), f(5), f(6), f(7)];
+    for a in accs {
+        b.fli(a, 1.5);
+    }
+    let top = b.bind_label();
+    b.addi(i, i, 1);
+    b.fcvt(f(8), i);
+    for _ in 0..3 {
+        for a in accs {
+            b.fmul(a, a, f(0));
+        }
+        for a in accs {
+            b.fadd(a, a, f(1));
+        }
+        for a in accs {
+            b.fmadd(a, a, f(1), f(8));
+        }
+    }
+    b.blt(i, n, top);
+    b.halt();
+    b.build().expect("well-formed")
+}
+
+/// A mixed int/fp body closer to real translated traces.
+fn mixed_loop() -> Program {
+    let mut b = ProgramBuilder::new("jit_mixed");
+    let (a, c, i, n) = (r(1), r(2), r(3), r(4));
+    b.li(a, 1).li(c, 0x0BAD_F00D).li(i, 0).li(n, ITERS);
+    b.fli(f(1), 1.000_001);
+    let top = b.bind_label();
+    b.addi(i, i, 1);
+    for _ in 0..5 {
+        b.add(a, a, c);
+        b.mul(c, c, a);
+        b.shr(a, a, i);
+        b.xor(a, a, c);
+        b.fcvt(f(0), a);
+        b.fmul(f(2), f(0), f(1));
+        b.fmadd(f(3), f(2), f(1), f(0));
+        b.fadd(f(1), f(3), f(1));
+        b.slt(c, c, a);
+        b.addi(c, c, 17);
+    }
+    b.blt(i, n, top);
+    b.halt();
+    b.build().expect("well-formed")
+}
+
+/// Runs `program` to completion at the `Machine` seam and returns
+/// (instr/s, retired).
+fn one_trial(program: &Program, mode: JitMode) -> (f64, u64) {
+    let mut core = CoreModel::new(&CoreConfig::server());
+    let mut machine = Machine::new(program, BtConfig::default());
+    machine.set_jit_mode(mode);
+    let start = Instant::now();
+    while !matches!(
+        machine.step(&mut core).expect("no guest faults"),
+        MachineEvent::Halted
+    ) {}
+    let secs = start.elapsed().as_secs_f64();
+    (machine.retired() as f64 / secs, machine.retired())
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[sorted.len() / 2]
+}
+
+struct HotResult {
+    name: &'static str,
+    interp: f64,
+    jit: f64,
+    retired: u64,
+}
+
+fn measure_hot(name: &'static str, program: &Program) -> HotResult {
+    // One warmup per mode, then interleaved trials so drift lands on
+    // both modes equally.
+    one_trial(program, JitMode::Off);
+    one_trial(program, JitMode::On);
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    let mut retired = 0;
+    for _ in 0..TRIALS {
+        off.push(one_trial(program, JitMode::Off).0);
+        let (rate, n) = one_trial(program, JitMode::On);
+        on.push(rate);
+        retired = n;
+    }
+    HotResult {
+        name,
+        interp: median(&off),
+        jit: median(&on),
+        retired,
+    }
+}
+
+/// Runs every suite benchmark once per JIT mode through the full stack
+/// and compares the serve-layer report bytes. Returns (workloads, all
+/// identical).
+fn identity_sweep() -> (u64, bool) {
+    let mut identical = true;
+    let mut count = 0u64;
+    for bench in powerchop_suite::workloads::all() {
+        let program = bench.program(SWEEP_SCALE);
+        let run = |mode: JitMode| {
+            let mut cfg = RunConfig::for_kind(bench.core_kind());
+            cfg.max_instructions = SWEEP_BUDGET;
+            cfg.jit = mode;
+            let report =
+                run_program(&program, ManagerKind::PowerChop, &cfg).expect("run completes");
+            report_to_json(&report)
+        };
+        let off = run(JitMode::Off);
+        let on = run(JitMode::On);
+        if off != on {
+            identical = false;
+            eprintln!("ARTIFACT DIVERGENCE: {}", bench.name());
+        }
+        count += 1;
+    }
+    (count, identical)
+}
+
+fn main() {
+    let hot_programs = [
+        ("int_alu", int_alu_loop()),
+        ("int_mul", int_mul_loop()),
+        ("fp", fp_loop()),
+        ("mixed", mixed_loop()),
+    ];
+    let mut hot = Vec::new();
+    for (name, program) in &hot_programs {
+        let res = measure_hot(name, program);
+        println!(
+            "{:<10} interp {:>12.0} instr/s   jit {:>12.0} instr/s   {:.2}x  ({} retired)",
+            res.name,
+            res.interp,
+            res.jit,
+            res.jit / res.interp,
+            res.retired
+        );
+        hot.push(res);
+    }
+
+    println!("sweeping the suite for artifact identity (budget {SWEEP_BUDGET}) ...");
+    let sweep_start = Instant::now();
+    let (workloads, identical) = identity_sweep();
+    println!(
+        "{workloads} workloads, artifacts identical: {identical} ({:.1}s)",
+        sweep_start.elapsed().as_secs_f64()
+    );
+
+    let at_least_5x = hot.iter().filter(|h| h.jit / h.interp >= 5.0).count();
+
+    let mut w = JsonWriter::object();
+    w.field_str("benchmark", "jit_vs_interpreter");
+    powerchop_suite::bench_support::record_host_topology(&mut w);
+    w.field_u64("trials", TRIALS as u64);
+    {
+        let mut loops = JsonWriter::array();
+        for h in &hot {
+            let mut entry = JsonWriter::object();
+            entry.field_str("workload", h.name);
+            entry.field_u64("retired", h.retired);
+            entry.field_f64("interp_instr_per_sec", h.interp, 0);
+            entry.field_f64("jit_instr_per_sec", h.jit, 0);
+            entry.field_f64("speedup", h.jit / h.interp, 3);
+            loops.push_raw(&entry.finish());
+        }
+        w.field_raw("hot_loops", &loops.finish());
+    }
+    w.field_u64("workloads_at_5x_or_better", at_least_5x as u64);
+    w.field_u64("sweep_workloads", workloads);
+    w.field_u64("sweep_instruction_budget", SWEEP_BUDGET);
+    w.field_bool("artifacts_byte_identical", identical);
+    let out = w.finish();
+
+    powerchop_suite::telemetry::export::validate_json(&out).expect("bench JSON is well-formed");
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    std::fs::write("bench_results/BENCH_jit.json", format!("{out}\n"))
+        .expect("write bench_results/BENCH_jit.json");
+    println!("wrote bench_results/BENCH_jit.json");
+
+    assert!(identical, "JIT-on and JIT-off artifacts must be identical");
+}

@@ -77,8 +77,9 @@ fn main() {
     w.field_str("benchmark", "parallel_sweep_scaling");
     w.field_u64(
         "available_cpus",
-        std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        powerchop_suite::bench_support::available_cpus(),
     );
+    powerchop_suite::bench_support::record_host_topology(&mut w);
     w.field_u64("benchmarks", benches.len() as u64);
     w.field_u64("instruction_budget", BUDGET);
     w.field_f64("scale", SCALE.0, 2);

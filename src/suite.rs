@@ -18,6 +18,8 @@
 //! - [`serve`] — the TCP daemon (NDJSON protocol, result cache, backpressure)
 //! - [`cli`] — the command-line interface (argument parsing and commands)
 
+pub mod bench_support;
+
 pub use powerchop;
 pub use powerchop_bt as bt;
 pub use powerchop_cli as cli;

@@ -1,0 +1,109 @@
+//! JIT differential suite (tier 1): `--jit on` and `--jit off` must be
+//! indistinguishable in every artifact.
+//!
+//! The native trace JIT is an execution strategy, not simulated state, so
+//! for every workload in the suite — clean and under a fault storm — the
+//! serve-layer JSON report (the bytes clients, caches and journals see)
+//! must be byte-identical between modes. Checkpoints must also cross the
+//! mode boundary in both directions: snapshot under one mode, restore
+//! under the other, and still converge on the uninterrupted run's report.
+
+use powerchop::{JitMode, ManagerKind, RunConfig, Simulation, SnapshotMeta};
+use powerchop_faults::FaultConfig;
+use powerchop_serve::report_to_json;
+use powerchop_workloads::Scale;
+
+const BUDGET: u64 = 100_000;
+const SCALE: Scale = Scale(0.05);
+
+fn cfg_for(bench: &powerchop_workloads::Benchmark, jit: JitMode, storm: bool) -> RunConfig {
+    let mut cfg = RunConfig::for_kind(bench.core_kind());
+    cfg.max_instructions = BUDGET;
+    cfg.jit = jit;
+    if storm {
+        cfg.faults = Some(FaultConfig::storm(0xC0FF_EE00));
+    }
+    cfg
+}
+
+fn run_json(bench: &powerchop_workloads::Benchmark, jit: JitMode, storm: bool) -> String {
+    let program = bench.program(SCALE);
+    let cfg = cfg_for(bench, jit, storm);
+    let mut sim = Simulation::new(&program, ManagerKind::PowerChop, &cfg).expect("sim starts");
+    sim.run_to_completion().expect("run completes");
+    report_to_json(&sim.into_report())
+}
+
+fn sweep(storm: bool) {
+    let label = if storm { "storm" } else { "clean" };
+    for bench in powerchop_workloads::all() {
+        let off = run_json(bench, JitMode::Off, storm);
+        let on = run_json(bench, JitMode::On, storm);
+        assert_eq!(
+            off,
+            on,
+            "{} ({label}): JIT-on report must be byte-identical to JIT-off",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn every_workload_is_byte_identical_clean() {
+    sweep(false);
+}
+
+#[test]
+fn every_workload_is_byte_identical_under_fault_storm() {
+    sweep(true);
+}
+
+/// Snapshot under `first`, restore under `second`, finish, and compare
+/// against an uninterrupted JIT-off run of the same workload.
+fn cross_modes(bench_name: &str, first: JitMode, second: JitMode) {
+    let bench = powerchop_workloads::by_name(bench_name).expect("known benchmark");
+    let program = bench.program(SCALE);
+
+    let baseline_cfg = cfg_for(bench, JitMode::Off, false);
+    let mut baseline =
+        Simulation::new(&program, ManagerKind::PowerChop, &baseline_cfg).expect("baseline starts");
+    baseline.run_to_completion().expect("baseline runs");
+    let baseline_json = report_to_json(&baseline.into_report());
+
+    let first_cfg = cfg_for(bench, first, false);
+    let mut half =
+        Simulation::new(&program, ManagerKind::PowerChop, &first_cfg).expect("first half starts");
+    while !half.is_done() && half.retired() < BUDGET / 2 {
+        half.step_chunk(997).expect("first half runs");
+    }
+    assert!(!half.is_done(), "{bench_name}: snapshot must land mid-run");
+    let meta = SnapshotMeta {
+        benchmark: bench_name.to_string(),
+        scale: SCALE.0,
+        manager: "powerchop".to_string(),
+        budget: BUDGET,
+        fault_seed: None,
+        storm: false,
+    };
+    let bytes = half.snapshot(&meta);
+
+    // The JIT mode is not part of the config fingerprint, so a snapshot
+    // taken under one mode restores cleanly under the other.
+    let second_cfg = cfg_for(bench, second, false);
+    let mut resumed = Simulation::restore(&program, ManagerKind::PowerChop, &second_cfg, &bytes)
+        .expect("restore crosses the JIT mode boundary");
+    resumed.run_to_completion().expect("resumed half runs");
+    assert_eq!(
+        baseline_json,
+        report_to_json(&resumed.into_report()),
+        "{bench_name}: {first}->{second} resume must match the uninterrupted report"
+    );
+}
+
+#[test]
+fn checkpoints_cross_jit_modes_in_both_directions() {
+    for bench in ["hmmer", "lbm"] {
+        cross_modes(bench, JitMode::On, JitMode::Off);
+        cross_modes(bench, JitMode::Off, JitMode::On);
+    }
+}
