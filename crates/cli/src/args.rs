@@ -293,6 +293,9 @@ pub struct ServeOpts {
     pub read_timeout_ms: u64,
     /// Per-socket write timeout in milliseconds (0 disables it).
     pub write_timeout_ms: u64,
+    /// Per-connection cap on unflushed reply bytes before a slow
+    /// consumer is disconnected with a typed 408.
+    pub max_outbox_bytes: usize,
     /// Allow fault-injection ops (`"chaos"` on run requests).
     pub chaos_ops: bool,
     /// Write-ahead journal + checkpoint-spill directory (`None`
@@ -335,6 +338,7 @@ impl Default for ServeOpts {
             max_connections: 64,
             read_timeout_ms: 30_000,
             write_timeout_ms: 10_000,
+            max_outbox_bytes: 1 << 20,
             chaos_ops: false,
             journal_dir: None,
             cache_dir: None,
@@ -501,6 +505,9 @@ OPTIONS (serve):
                            [default: 64]
     --read-timeout-ms <N>  per-socket read timeout, 0 disables  [default: 30000]
     --write-timeout-ms <N> per-socket write timeout, 0 disables [default: 10000]
+    --max-outbox-bytes <N> unflushed reply bytes one connection may queue before
+                           the slow consumer is shed with a typed 408
+                           [default: 1048576]
     --chaos-ops            allow fault-injection ops (worker-kill runs); for
                            test harnesses only
     --journal-dir <path>   fsync'd write-ahead intent journal + checkpoint
@@ -845,6 +852,9 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--max-connections" => opts.max_connections = parse_positive(flag, &value()?)?,
                     "--read-timeout-ms" => opts.read_timeout_ms = parse_int(flag, &value()?)?,
                     "--write-timeout-ms" => opts.write_timeout_ms = parse_int(flag, &value()?)?,
+                    "--max-outbox-bytes" => {
+                        opts.max_outbox_bytes = parse_positive(flag, &value()?)?;
+                    }
                     "--chaos-ops" => opts.chaos_ops = true,
                     "--journal-dir" => opts.journal_dir = Some(value()?),
                     "--cache-dir" => opts.cache_dir = Some(value()?),
@@ -1167,7 +1177,8 @@ mod tests {
         match parse(&argv(
             "serve --addr 127.0.0.1:0 --jobs 2 --queue-depth 3 --cache-entries 5 \
              --deadline-ms 9000 --max-request-bytes 4096 --max-budget 500000 \
-             --max-connections 7 --read-timeout-ms 1500 --write-timeout-ms 900 --chaos-ops",
+             --max-connections 7 --read-timeout-ms 1500 --write-timeout-ms 900 \
+             --max-outbox-bytes 65536 --chaos-ops",
         ))
         .unwrap()
         {
@@ -1182,13 +1193,17 @@ mod tests {
                 assert_eq!(opts.max_connections, 7);
                 assert_eq!(opts.read_timeout_ms, 1500);
                 assert_eq!(opts.write_timeout_ms, 900);
+                assert_eq!(opts.max_outbox_bytes, 65_536);
                 assert!(opts.chaos_ops);
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(!ServeOpts::default().chaos_ops, "chaos ops are opt-in");
+        assert_eq!(ServeOpts::default().max_outbox_bytes, 1 << 20);
         assert!(parse(&argv("serve --queue-depth 0")).is_err());
         assert!(parse(&argv("serve --max-connections 0")).is_err());
+        // A zero outbox cap would shed every pipelined client instantly.
+        assert!(parse(&argv("serve --max-outbox-bytes 0")).is_err());
         assert!(parse(&argv("serve --bogus")).is_err());
         // Durability and supervision are opt-in and parse together.
         match parse(&argv(

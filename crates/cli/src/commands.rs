@@ -106,6 +106,7 @@ fn serve_cmd(opts: &crate::args::ServeOpts) -> Result<(), CliError> {
         max_connections: opts.max_connections,
         read_timeout_ms: opts.read_timeout_ms,
         write_timeout_ms: opts.write_timeout_ms,
+        max_outbox_bytes: opts.max_outbox_bytes,
         chaos_ops: opts.chaos_ops,
         journal_dir: opts.journal_dir.clone(),
         cache_dir: opts.cache_dir.clone(),

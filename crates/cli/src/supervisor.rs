@@ -119,6 +119,8 @@ pub fn child_argv(opts: &ServeOpts) -> Vec<String> {
         opts.read_timeout_ms.to_string(),
         "--write-timeout-ms".to_owned(),
         opts.write_timeout_ms.to_string(),
+        "--max-outbox-bytes".to_owned(),
+        opts.max_outbox_bytes.to_string(),
         "--spill-every".to_owned(),
         opts.spill_every.to_string(),
     ];
@@ -314,6 +316,7 @@ mod tests {
             ("--spill-every", "50000"),
             ("--jobs", "2"),
             ("--addr", "127.0.0.1:0"),
+            ("--max-outbox-bytes", "1048576"),
         ] {
             let i = argv
                 .iter()

@@ -11,8 +11,15 @@
 //! daemon's default capacity of 64 entries a linear scan is faster than
 //! any hashed structure's constant factors, and it keeps this crate
 //! allocation-predictable.
+//!
+//! The daemon wraps it in a [`ShardedCache`]: one independently-locked
+//! [`ResultCache`] per worker, selected by a hash of the run key, so
+//! concurrent settler threads never contend on a single global cache
+//! lock. Hit/miss accounting stays aggregated in the server's metrics
+//! registry, so sharding is invisible in `/metrics`.
 
 use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// A fixed-capacity least-recently-used map from run key to reply.
 #[derive(Debug)]
@@ -83,6 +90,104 @@ impl ResultCache {
     }
 }
 
+/// Locks a shard, riding through poisoning (a panicked holder cannot
+/// corrupt the recency list in a way readers care about).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mixes a 128-bit run key down to a shard index. SplitMix64's finisher
+/// over the xor-folded halves: the run key is already a fingerprint, but
+/// folding alone would let structured low bits skew the shards.
+fn shard_of(key: u128, shards: usize) -> usize {
+    let mut x = (key as u64) ^ ((key >> 64) as u64);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// A result cache split into independently-locked LRU shards.
+///
+/// The total capacity is divided evenly across shards (rounded up, so
+/// the configured capacity is a floor, not a ceiling). A key always
+/// hashes to the same shard, so recency and eviction are per-shard —
+/// the standard sharded-LRU tradeoff for killing lock contention.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<ResultCache>>,
+    capacity: usize,
+}
+
+impl ShardedCache {
+    /// A cache of `shards` shards holding `capacity` replies in total
+    /// (0 disables caching). At least one shard always exists.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ResultCache::new(per_shard)))
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Looks up `key` in its shard, refreshing recency on a hit.
+    pub fn get(&self, key: u128) -> Option<String> {
+        lock(&self.shards[shard_of(key, self.shards.len())]).get(key)
+    }
+
+    /// Inserts (or refreshes) `key` in its shard. Returns whether the
+    /// cache is enabled at all — callers use this to skip write-through
+    /// persistence when caching is off.
+    pub fn put(&self, key: u128, value: String) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        lock(&self.shards[shard_of(key, self.shards.len())]).put(key, value);
+        true
+    }
+
+    /// Cached replies across every shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured total capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many shards back the cache.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Absorbs a flat cache (the boot-time reload path): entries are
+    /// redistributed to their shards in the flat cache's recency order,
+    /// so per-shard recency reproduces the persisted order.
+    pub fn absorb(&self, flat: ResultCache) {
+        for (key, value) in flat.entries() {
+            self.put(key, value.to_owned());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +224,51 @@ mod tests {
         c.put(1, "one".into());
         assert!(c.is_empty());
         assert_eq!(c.get(1), None);
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_across_shards() {
+        let c = ShardedCache::new(64, 4);
+        assert_eq!(c.shard_count(), 4);
+        for k in 0..32u128 {
+            assert!(c.put(k, format!("r{k}")));
+        }
+        for k in 0..32u128 {
+            assert_eq!(c.get(k).as_deref(), Some(format!("r{k}").as_str()));
+        }
+        assert_eq!(c.len(), 32);
+        assert_eq!(c.capacity(), 64);
+    }
+
+    #[test]
+    fn sharded_keys_are_stable_and_capacity_is_a_floor() {
+        // The same key must land in the same shard every time, and the
+        // per-shard split must never shrink the total below the
+        // configured capacity.
+        let c = ShardedCache::new(10, 3);
+        for k in 0..10u128 {
+            c.put(k, "x".into());
+        }
+        assert!(c.len() >= 10.min(c.capacity()) - 3, "skew tolerated");
+        for k in 0..10u128 {
+            let first = c.get(k).is_some();
+            assert_eq!(c.get(k).is_some(), first, "stable placement for {k}");
+        }
+    }
+
+    #[test]
+    fn sharded_zero_capacity_disables_and_absorb_restores_recency() {
+        let off = ShardedCache::new(0, 4);
+        assert!(!off.put(1, "one".into()));
+        assert_eq!(off.get(1), None);
+
+        let mut flat = ResultCache::new(8);
+        flat.put(1, "one".into());
+        flat.put(2, "two".into());
+        let c = ShardedCache::new(8, 2);
+        c.absorb(flat);
+        assert_eq!(c.get(1).as_deref(), Some("one"));
+        assert_eq!(c.get(2).as_deref(), Some("two"));
+        assert_eq!(c.len(), 2);
     }
 }

@@ -27,23 +27,30 @@
 //! Module map:
 //! - [`json`] — strict RFC 8259 request parsing (reader side).
 //! - [`protocol`] — request validation and reply rendering.
-//! - [`cache`] — the LRU result cache.
+//! - [`cache`] — the sharded LRU result cache.
 //! - `durability` — journal/spill/cache-log glue over `powerchop-durable`.
-//! - [`server`] — listener, connection threads, dispatch, drain.
+//! - [`net`] — raw epoll/eventfd syscall wrappers (the only unsafe code).
+//! - [`wheel`] — the timing wheel behind read/write deadlines.
+//! - [`server`] — the epoll event loop, dispatch, drain.
 //! - `report` — the shared run-report serializer the CLI re-exports.
 //!
-//! See `DESIGN.md` §9 for the protocol and backpressure policy and §11
-//! for the durability model.
+//! See `DESIGN.md` §9 for the protocol and backpressure policy, §11
+//! for the durability model and §14 for the event-loop state machine.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `net` module issues the epoll
+// syscalls via inline asm (the workspace is dependency-free) and opts
+// in explicitly; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 mod durability;
 pub mod json;
+pub mod net;
 pub mod protocol;
 mod report;
 pub mod server;
+pub mod wheel;
 
 pub use protocol::{
     error_reply, fault_config, parse_request, strip_trace_id, ReqError, Request, RunSpec,

@@ -178,6 +178,22 @@ impl ReqError {
             message: format!("no complete request line within {timeout_ms} ms; closing"),
         }
     }
+
+    /// 408: the client stopped absorbing replies and its per-connection
+    /// outbox overflowed — the slow-consumer twin of [`slow_client`]
+    /// (same typed 408 disconnect, write side instead of read side).
+    ///
+    /// [`slow_client`]: ReqError::slow_client
+    #[must_use]
+    pub fn backpressure(max_outbox_bytes: usize) -> Self {
+        Self {
+            code: 408,
+            slug: "slow-client",
+            message: format!(
+                "unread replies exceeded the {max_outbox_bytes}-byte outbox; closing slow consumer"
+            ),
+        }
+    }
 }
 
 impl std::fmt::Display for ReqError {

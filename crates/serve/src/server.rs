@@ -1,10 +1,19 @@
-//! The TCP daemon: accept loop, connection handling, job dispatch.
+//! The TCP daemon: epoll event loop, connection handling, job dispatch.
 //!
-//! Each connection gets its own thread speaking the newline-delimited
-//! JSON protocol from [`crate::protocol`]. Simulations are dispatched
-//! onto a bounded [`WorkerPool`]; when the queue is full the request is
-//! shed immediately with a 429 reply instead of queueing unboundedly —
-//! explicit backpressure the client can see and retry against.
+//! One thread drives every connection through a raw epoll event loop
+//! (see [`crate::net`]): non-blocking accepts, per-connection state
+//! machines with incremental line framing, and EPOLLOUT-driven partial
+//! writes. A connection is never owned by a thread; slow clients cost
+//! one `Conn` struct, not a stack.
+//!
+//! Simulations still dispatch onto the bounded [`WorkerPool`]; when the
+//! queue is full the request is shed immediately with a 429 reply
+//! instead of queueing unboundedly — explicit backpressure the client
+//! can see and retry against. A dispatched run parks its connection in
+//! an in-flight state (its socket stops being polled for input, so a
+//! pipelined flood backs up into the kernel buffer) and a small settler
+//! thread waits the run out, then hands the reply back to the loop over
+//! an eventfd wakeup.
 //!
 //! Every run gets a wall-clock deadline watchdog mirroring the
 //! `supervise` machinery: a watchdog thread trips a cancel flag once the
@@ -14,15 +23,22 @@
 //! queue wait *and* compute, so time spent waiting for a worker can
 //! never buy extra execution time past the client's deadline.
 //!
-//! Connections are hardened end to end: per-socket read/write timeouts
-//! disconnect slow-loris clients with a typed 408, a max-connections
-//! gate sheds excess connections with a typed 503 before they get a
-//! thread, a circuit breaker over the run path sheds work with a typed
-//! 503 while the simulator is failing repeatedly, and dead workers are
-//! respawned by the pool supervisor (visible in
+//! Connections are hardened end to end: a timing wheel (see
+//! [`crate::wheel`]) replaces per-socket kernel timeouts — a client
+//! that cannot produce a request line within the read timeout, or
+//! absorb its reply within the write timeout, gets a typed 408 and is
+//! disconnected. `WouldBlock` is never treated as a timeout: on a
+//! non-blocking socket it only means "no data yet", and timeouts are
+//! classified exclusively by wheel expiry. A bounded per-connection
+//! outbox caps what a non-reading client can queue; past the cap the
+//! connection is closed with a typed 408 — replies are never truncated
+//! mid-line. A max-connections gate sheds excess connections with a
+//! typed 503, a circuit breaker over the run path sheds work with a
+//! typed 503 while the simulator is failing repeatedly, and dead
+//! workers are respawned by the pool supervisor (visible in
 //! `serve_worker_respawns_total` and the `health` op).
 //!
-//! Completed reports are cached in an LRU keyed by
+//! Completed reports are cached in a sharded LRU keyed by
 //! [`powerchop_checkpoint::run_key`] over the program and configuration
 //! fingerprints, so a repeated request is served from memory —
 //! bit-identical, visible in the `serve_cache_hits_total` counter.
@@ -35,9 +51,12 @@
 //! is dependency-free and cannot install a SIGTERM handler: the daemon
 //! stops accepting connections, replies 503 to new work, waits for
 //! connected clients to finish, and drains the pool before exiting.
+//! See `DESIGN.md` §14 for the event-loop state machine.
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufWriter, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -53,13 +72,15 @@ use powerchop_telemetry::{
 };
 use powerchop_workloads::Scale;
 
-use crate::cache::ResultCache;
+use crate::cache::{ResultCache, ShardedCache};
 use crate::durability::{self, Durability, SpillPlan};
+use crate::net::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::protocol::{
     error_reply, fault_config, parse_request, run_reply, sweep_reply, Limits, ReqError, Request,
     RunSpec, SweepOutcome,
 };
 use crate::report::report_to_json;
+use crate::wheel::TimerWheel;
 
 /// Dispatch-loop iterations per [`Simulation::step_chunk`] call — the
 /// same chunking the CLI's checkpoint/supervise paths use, so deadline
@@ -72,6 +93,7 @@ pub struct ServerConfig {
     /// Address to bind (`host:port`; port 0 picks a free port).
     pub addr: String,
     /// Worker thread count (`None` = `POWERCHOP_JOBS` or CPU count).
+    /// Also the result-cache shard count.
     pub jobs: Option<usize>,
     /// Jobs that may wait in the queue before requests are shed with 429.
     pub queue_depth: usize,
@@ -86,13 +108,19 @@ pub struct ServerConfig {
     /// Concurrent connections admitted before new ones are shed with a
     /// typed 503 (`overloaded`).
     pub max_connections: usize,
-    /// Per-socket read timeout in milliseconds (0 disables): a client
-    /// that cannot produce a full request line within it gets a typed
-    /// 408 (`slow-client`) and is disconnected.
+    /// Read deadline in milliseconds (0 disables): a client that cannot
+    /// produce a full request line within it gets a typed 408
+    /// (`slow-client`) and is disconnected. Enforced by the timing
+    /// wheel, never by `WouldBlock` classification.
     pub read_timeout_ms: u64,
-    /// Per-socket write timeout in milliseconds (0 disables): a client
-    /// that cannot absorb its reply within it is disconnected.
+    /// Write deadline in milliseconds (0 disables): a client whose
+    /// socket makes no flush progress within it is disconnected.
     pub write_timeout_ms: u64,
+    /// Bytes of unflushed replies one connection may queue before it is
+    /// declared a slow consumer and closed with a typed 408. A single
+    /// reply into an empty outbox is always allowed, so the per-
+    /// connection memory bound is `max(cap, largest single reply)`.
+    pub max_outbox_bytes: usize,
     /// Honor `"chaos"` request fields (deliberate worker kills). Off by
     /// default; only soak/chaos tests should enable it.
     pub chaos_ops: bool,
@@ -131,6 +159,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             read_timeout_ms: 30_000,
             write_timeout_ms: 10_000,
+            max_outbox_bytes: 1 << 20,
             chaos_ops: false,
             journal_dir: None,
             cache_dir: None,
@@ -251,15 +280,15 @@ impl RequestCtx {
 }
 
 /// Locks a mutex, riding through poisoning: a panicked holder cannot
-/// corrupt the cache or metrics invariants we rely on.
+/// corrupt the metrics or breaker invariants we rely on.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// State shared by the accept loop and every connection thread.
+/// State shared by the event loop, the settler threads and the resumer.
 struct State {
     pool: WorkerPool,
-    cache: Mutex<ResultCache>,
+    cache: ShardedCache,
     metrics: Mutex<MetricsRegistry>,
     draining: AtomicBool,
     limits: Limits,
@@ -270,6 +299,12 @@ struct State {
     max_connections: usize,
     read_timeout_ms: u64,
     write_timeout_ms: u64,
+    /// Per-connection cap on unflushed reply bytes (see
+    /// [`ServerConfig::max_outbox_bytes`]).
+    max_outbox_bytes: usize,
+    /// Unflushed reply bytes across every connection (the
+    /// `serve_outbox_bytes` gauge).
+    outbox_bytes: AtomicU64,
     /// Circuit breaker over run execution: repeated internal failures
     /// trip it and new runs are shed with a typed 503 until a probe
     /// succeeds.
@@ -304,7 +339,8 @@ impl State {
         self.draining.load(Ordering::SeqCst)
     }
 
-    /// Milliseconds since the daemon booted (the breaker clock).
+    /// Milliseconds since the daemon booted (the breaker and wheel
+    /// clock).
     fn now_ms(&self) -> u64 {
         u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
@@ -407,7 +443,7 @@ impl State {
         let mut m = lock(&self.metrics);
         m.gauge_set("serve_queue_depth", self.pool.queued() as f64);
         m.gauge_set("serve_inflight", self.pool.inflight() as f64);
-        m.gauge_set("serve_cache_entries", lock(&self.cache).len() as f64);
+        m.gauge_set("serve_cache_entries", self.cache.len() as f64);
         m.gauge_set("serve_draining", if self.draining() { 1.0 } else { 0.0 });
         m.gauge_set(
             "serve_connections",
@@ -417,6 +453,10 @@ impl State {
         m.gauge_set(
             "serve_inflight_requests",
             self.inflight_requests.load(Ordering::SeqCst) as f64,
+        );
+        m.gauge_set(
+            "serve_outbox_bytes",
+            self.outbox_bytes.load(Ordering::SeqCst) as f64,
         );
         m.counter_set("serve_worker_respawns_total", self.pool.respawns());
         m.counter_set("serve_breaker_trips_total", lock(&self.breaker).trips());
@@ -429,16 +469,6 @@ impl State {
             }
         }
         m.to_prometheus_text()
-    }
-}
-
-/// Decrements the connection gauge when a connection thread finishes,
-/// however it finishes.
-struct ConnGuard<'a>(&'a State);
-
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        self.0.connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -471,6 +501,8 @@ impl Server {
             "serve_worker_respawns_total",
             "serve_slow_client_disconnects_total",
             "serve_conn_rejected_total",
+            "serve_epoll_wakeups_total",
+            "serve_backpressure_disconnects_total",
             "serve_recoveries_total",
             "serve_journal_replayed_total",
             "serve_torn_tail_discards_total",
@@ -500,6 +532,7 @@ impl Server {
             metrics.histogram_seed(op_duration_metric(op));
         }
         metrics.gauge_set("serve_inflight_requests", 0.0);
+        metrics.gauge_set("serve_outbox_bytes", 0.0);
         metrics.set_help(
             "serve_request_duration_ms",
             "End-to-end request latency in milliseconds, by op.",
@@ -522,6 +555,18 @@ impl Server {
             "serve_worker_respawns_total",
             "Dead pool workers replaced by the supervisor.",
         );
+        metrics.set_help(
+            "serve_epoll_wakeups_total",
+            "Event-loop wakeups that delivered at least one ready event.",
+        );
+        metrics.set_help(
+            "serve_outbox_bytes",
+            "Reply bytes queued for slow clients across all connections.",
+        );
+        metrics.set_help(
+            "serve_backpressure_disconnects_total",
+            "Slow consumers disconnected for exceeding the per-connection outbox cap.",
+        );
         // The access log is append-opened before the listener exists:
         // if the path is bad the daemon fails to boot loudly instead of
         // silently dropping every record.
@@ -536,8 +581,10 @@ impl Server {
         };
         // Boot-time recovery: replay the journal and reload the
         // persistent cache before the listener serves anything, so the
-        // first request already sees the recovered world.
-        let mut cache = ResultCache::new(cfg.cache_entries);
+        // first request already sees the recovered world. The reload
+        // path fills a flat cache which is then redistributed across
+        // the shards in recency order.
+        let mut reloaded = ResultCache::new(cfg.cache_entries);
         let mut durable = None;
         let mut pending = Vec::new();
         if let Some(dir) = &cfg.journal_dir {
@@ -545,7 +592,7 @@ impl Server {
                 std::path::Path::new(dir),
                 cfg.cache_dir.as_deref().map(std::path::Path::new),
                 cfg.spill_every,
-                &mut cache,
+                &mut reloaded,
             )?;
             let r = &boot.durability.recovery;
             metrics.counter_add("serve_recoveries_total", u64::from(!r.clean_boot));
@@ -555,9 +602,11 @@ impl Server {
             durable = Some(boot.durability);
             pending = boot.pending;
         }
+        let cache = ShardedCache::new(cfg.cache_entries, jobs);
+        cache.absorb(reloaded);
         let state = Arc::new(State {
             pool: WorkerPool::new(jobs, cfg.queue_depth),
-            cache: Mutex::new(cache),
+            cache,
             metrics: Mutex::new(metrics),
             draining: AtomicBool::new(false),
             limits: Limits {
@@ -571,6 +620,8 @@ impl Server {
             max_connections: cfg.max_connections.max(1),
             read_timeout_ms: cfg.read_timeout_ms,
             write_timeout_ms: cfg.write_timeout_ms,
+            max_outbox_bytes: cfg.max_outbox_bytes.max(1),
+            outbox_bytes: AtomicU64::new(0),
             breaker: Mutex::new(CircuitBreaker::default()),
             epoch: Instant::now(),
             durable,
@@ -596,14 +647,14 @@ impl Server {
     /// Serves until a shutdown request drains the daemon.
     ///
     /// Blocks the calling thread. After a `{"op":"shutdown"}` request:
-    /// no new connections are accepted, open connections are joined
-    /// (clients still holding theirs get 503 for new work), and the
-    /// worker pool is drained before returning.
+    /// no new connections are accepted, open connections are served
+    /// until they close (clients still holding theirs get 503 for new
+    /// work), and the worker pool is drained before returning.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop I/O failures; per-connection errors only
-    /// terminate that connection.
+    /// Propagates event-loop I/O failures (epoll itself breaking);
+    /// per-connection errors only terminate that connection.
     pub fn run(mut self) -> std::io::Result<()> {
         // Resume journaled work on a background thread so the listener
         // serves new clients immediately; `health` reports
@@ -615,60 +666,7 @@ impl Server {
             let pending = std::mem::take(&mut self.pending);
             Some(std::thread::spawn(move || resume_pending(&state, pending)))
         };
-        let mut conns = Vec::new();
-        loop {
-            if self.state.draining() {
-                break;
-            }
-            let stream = match self.listener.accept() {
-                Ok((stream, _)) => stream,
-                Err(e) => {
-                    if self.state.draining() {
-                        break;
-                    }
-                    return Err(e);
-                }
-            };
-            // The shutdown handler wakes this blocking accept with a
-            // throwaway self-connection; drop it and start draining.
-            if self.state.draining() {
-                break;
-            }
-            // Socket hardening before the connection thread exists: a
-            // slow-loris client must not be able to pin anything, not
-            // even briefly. Failures only lose this connection.
-            let timeouts_ok = set_socket_timeouts(
-                &stream,
-                self.state.read_timeout_ms,
-                self.state.write_timeout_ms,
-            );
-            if timeouts_ok.is_err() {
-                continue;
-            }
-            // Max-connections gate: past the cap the client gets one
-            // typed 503 line and an immediate close, never a thread.
-            let admitted =
-                self.state.connections.fetch_add(1, Ordering::SeqCst) < self.state.max_connections;
-            if !admitted {
-                self.state.connections.fetch_sub(1, Ordering::SeqCst);
-                self.state.count("serve_conn_rejected_total");
-                let mut stream = stream;
-                let e = ReqError::overloaded(self.state.max_connections);
-                // Even a shed connection gets a trace id: the 503 line
-                // is the only artifact the client has to report.
-                let _ = writeln!(stream, "{}", error_reply(&e, self.state.next_trace()));
-                continue;
-            }
-            let state = Arc::clone(&self.state);
-            conns.push(std::thread::spawn(move || {
-                let guard = ConnGuard(&state);
-                handle_conn(&state, stream);
-                drop(guard);
-            }));
-        }
-        for conn in conns {
-            let _ = conn.join();
-        }
+        let outcome = run_event_loop(&self.listener, &self.state);
         // The resumer abandons un-dispatched intents once draining is
         // observed (they stay journaled for the next boot) and finishes
         // any run already on the pool, which drain() then waits out.
@@ -676,185 +674,905 @@ impl Server {
             let _ = resumer.join();
         }
         self.state.pool.drain();
-        Ok(())
+        outcome
     }
 }
 
-/// Applies the configured read/write timeouts to an accepted socket.
-/// Zero disables that timeout (blocking forever, the pre-hardening
-/// behaviour).
-fn set_socket_timeouts(stream: &TcpStream, read_ms: u64, write_ms: u64) -> std::io::Result<()> {
-    let dur = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
-    stream.set_read_timeout(dur(read_ms))?;
-    stream.set_write_timeout(dur(write_ms))
+/// Listener token in the epoll interest set.
+const TOK_LISTENER: u64 = 0;
+/// Wakeup-eventfd token.
+const TOK_WAKE: u64 = 1;
+/// First connection token; tokens grow monotonically and are never
+/// reused, so a stale timer or completion can never hit a new client.
+const TOK_FIRST_CONN: u64 = 2;
+/// Bytes read per `read` call on a ready socket.
+const READ_CHUNK: usize = 16 * 1024;
+/// Timing-wheel tick width.
+const WHEEL_GRANULARITY_MS: u64 = 8;
+/// Timing-wheel slot count (horizon: slots × granularity per turn).
+const WHEEL_SLOTS: usize = 512;
+/// Ready events drained per `epoll_wait`.
+const EVENTS_PER_WAIT: usize = 256;
+/// Longest HTTP header line accepted before it is consumed as-is.
+const HTTP_HEADER_LINE_MAX: usize = 8 * 1024;
+/// Most HTTP header lines drained before the response is sent anyway.
+const HTTP_HEADER_LINES_MAX: usize = 64;
+
+/// What the loop should do with a connection after an event.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Keep,
+    Close,
 }
 
-/// Whether an I/O error is a socket-timeout expiry (reported as
-/// `WouldBlock` on Unix and `TimedOut` on Windows).
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-    )
+#[derive(Clone, Copy)]
+enum TimerKind {
+    Read,
+    Write,
 }
 
-fn handle_conn(state: &Arc<State>, stream: TcpStream) {
-    state.count("serve_connections_total");
-    if let Err(e) = serve_conn(state, stream) {
-        // A broken pipe or reset only loses that client's connection;
-        // the daemon itself never goes down with it.
-        eprintln!("powerchop-serve: connection error: {e}");
-    }
+/// A wheel entry: which connection, which deadline. Cancellation is
+/// lazy — the connection's own deadline field is the truth, a fired
+/// entry for a disarmed or refreshed deadline is a no-op or a re-arm.
+#[derive(Clone, Copy)]
+struct Timer {
+    token: u64,
+    kind: TimerKind,
 }
 
-fn serve_conn(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let limit = state.max_request_bytes as u64;
-    let mut buf = Vec::new();
-    loop {
-        buf.clear();
-        // The accept span starts when the daemon begins waiting for
-        // this request line and ends when a full line is in hand.
-        let accept_started = Instant::now();
-        // `take` bounds the read so a newline-less flood cannot grow the
-        // buffer past the limit; one extra byte distinguishes "exactly
-        // at the limit" from "over it".
-        let n = match (&mut reader).take(limit + 1).read_until(b'\n', &mut buf) {
-            Ok(n) => n,
-            // A read timeout is the slow-loris case: the client held
-            // the socket without completing a line. Send one typed 408
-            // (best effort — the client may be gone) and disconnect.
-            Err(e) if is_timeout(&e) => {
-                state.count("serve_slow_client_disconnects_total");
-                let err = ReqError::slow_client(state.read_timeout_ms);
-                let _ = writeln!(writer, "{}", error_reply(&err, state.next_trace()));
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        if n == 0 {
-            return Ok(()); // client closed
+/// Where a connection is in its request/reply cycle.
+enum ConnPhase {
+    /// Framing request lines out of `inbuf`.
+    Reading,
+    /// A run or sweep is on the pool; input polling is suspended so a
+    /// pipelined flood backs up into the kernel socket buffer.
+    InFlight,
+    /// Draining HTTP headers after a `GET` line; replies and closes at
+    /// the blank line.
+    Http { path: String, lines: usize },
+}
+
+/// One enqueued reply awaiting its flush: when `total_flushed` crosses
+/// `flush_at` the request is settled into the histograms and access
+/// log, with the respond span covering enqueue-to-flush.
+struct SettleMark {
+    flush_at: u64,
+    ctx: RequestCtx,
+    respond_started: Instant,
+}
+
+/// Per-connection state machine. No thread, no kernel timeouts — just
+/// buffers, deadlines, and a phase.
+struct Conn {
+    stream: TcpStream,
+    fd: i32,
+    /// Bytes received but not yet framed into lines.
+    inbuf: Vec<u8>,
+    /// Rendered replies not yet (fully) written; `out_sent` is the
+    /// flush cursor into it.
+    outbox: Vec<u8>,
+    out_sent: usize,
+    /// Lifetime byte counters; `SettleMark::flush_at` indexes into
+    /// this stream, so partial flushes settle the right requests.
+    total_enqueued: u64,
+    total_flushed: u64,
+    settling: VecDeque<SettleMark>,
+    phase: ConnPhase,
+    /// When the daemon started waiting for the current request line.
+    accept_started: Instant,
+    /// Absolute ms deadline for the next complete request line
+    /// (`None` = disarmed, e.g. while a run is in flight).
+    read_deadline: Option<u64>,
+    /// Absolute ms deadline for flush progress (`None` while the
+    /// outbox is empty).
+    write_deadline: Option<u64>,
+    /// Whether a wheel entry for this deadline kind is live (at most
+    /// one each; refreshes only move the deadline field).
+    read_entry_live: bool,
+    write_entry_live: bool,
+    /// Close as soon as the outbox drains (oversize line, HTTP reply,
+    /// slow-client 408, backpressure trip).
+    close_after_flush: bool,
+    /// The peer half-closed its send side; pending replies still
+    /// flush, then the connection closes.
+    eof: bool,
+    /// The epoll interest mask currently registered.
+    interest: u32,
+    /// This connection's contribution to the `serve_outbox_bytes`
+    /// gauge (diff-updated).
+    gauge_reported: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, fd: i32) -> Self {
+        Self {
+            stream,
+            fd,
+            inbuf: Vec::new(),
+            outbox: Vec::new(),
+            out_sent: 0,
+            total_enqueued: 0,
+            total_flushed: 0,
+            settling: VecDeque::new(),
+            phase: ConnPhase::Reading,
+            accept_started: Instant::now(),
+            read_deadline: None,
+            write_deadline: None,
+            read_entry_live: false,
+            write_entry_live: false,
+            close_after_flush: false,
+            eof: false,
+            interest: EPOLLIN,
+            gauge_reported: 0,
         }
-        state.count("serve_requests_total");
+    }
+
+    fn out_pending(&self) -> usize {
+        self.outbox.len() - self.out_sent
+    }
+
+    /// Nothing owed in either direction: safe to close on EOF.
+    fn idle(&self) -> bool {
+        !matches!(self.phase, ConnPhase::InFlight)
+            && self.out_pending() == 0
+            && self.settling.is_empty()
+            && self.inbuf.is_empty()
+    }
+}
+
+/// A run or sweep reply coming back from a settler thread.
+struct Completion {
+    token: u64,
+    ctx: RequestCtx,
+    reply: String,
+}
+
+/// A run accepted onto the pool, awaiting settlement off-loop.
+struct DispatchedRun {
+    key: u128,
+    deadline_ms: u64,
+    handle: JobHandle<Result<RunDone, RunFail>>,
+    intent: Option<u64>,
+    bench: String,
+}
+
+/// Where one request line goes after parsing.
+enum Dispatch {
+    /// Answered inline on the loop thread (quick ops, errors, hits).
+    Reply(String),
+    /// A run is on the pool; a settler thread will complete it.
+    Run(Box<DispatchedRun>),
+    /// A sweep drives the pool from its own thread.
+    Sweep(Vec<RunSpec>),
+}
+
+/// The epoll event loop: all connection state lives here, on one
+/// thread. Compute never runs on it.
+struct EventLoop<'a> {
+    state: &'a Arc<State>,
+    epoll: Epoll,
+    wake: Arc<WakeFd>,
+    tx: mpsc::Sender<Completion>,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel<Timer>,
+    next_token: u64,
+    /// Runs and sweeps handed to settler threads whose completions
+    /// have not come back yet; the drain waits for zero.
+    inflight_dispatches: usize,
+    /// Scratch buffer for wheel expiry.
+    fired: Vec<Timer>,
+}
+
+fn run_event_loop(listener: &TcpListener, state: &Arc<State>) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let wake = Arc::new(WakeFd::new()?);
+    epoll.add(listener.as_raw_fd(), EPOLLIN, TOK_LISTENER)?;
+    epoll.add(wake.raw(), EPOLLIN, TOK_WAKE)?;
+    let (tx, rx) = mpsc::channel::<Completion>();
+    let mut el = EventLoop {
+        state,
+        epoll,
+        wake,
+        tx,
+        conns: HashMap::new(),
+        wheel: TimerWheel::new(WHEEL_GRANULARITY_MS, WHEEL_SLOTS),
+        next_token: TOK_FIRST_CONN,
+        inflight_dispatches: 0,
+        fired: Vec::new(),
+    };
+    let mut events = vec![EpollEvent::default(); EVENTS_PER_WAIT];
+    let mut listening = true;
+    loop {
+        if el.state.draining() {
+            if listening {
+                el.epoll.del(listener.as_raw_fd());
+                listening = false;
+            }
+            if el.conns.is_empty() && el.inflight_dispatches == 0 {
+                break;
+            }
+        }
+        let now = el.state.now_ms();
+        let timeout = match el.wheel.next_timeout_ms(now) {
+            Some(ms) => i32::try_from(ms.min(3_600_000)).unwrap_or(3_600_000),
+            // Nothing armed: sleep until an event. While draining, tick
+            // periodically as cheap insurance against a missed wakeup.
+            None if el.state.draining() => 100,
+            None => -1,
+        };
+        let n = el.epoll.wait(&mut events, timeout)?;
+        if n > 0 {
+            lock(&el.state.metrics).counter_add("serve_epoll_wakeups_total", 1);
+        }
+        for ev in &events[..n] {
+            let token = ev.data;
+            let mask = ev.events;
+            match token {
+                TOK_LISTENER => {
+                    if listening {
+                        el.accept_ready(listener);
+                    }
+                }
+                TOK_WAKE => el.wake.drain(),
+                _ => el.on_conn_event(token, mask),
+            }
+        }
+        while let Ok(done) = rx.try_recv() {
+            el.on_completion(done);
+        }
+        el.on_timers();
+    }
+    Ok(())
+}
+
+impl EventLoop<'_> {
+    /// Accepts until the backlog is dry. Transient accept failures
+    /// (aborted handshakes, fd pressure) lose at most that connection.
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("powerchop-serve: accept error: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Admits one accepted socket through the max-connections gate and
+    /// into the interest set, or sheds it with one typed 503 line.
+    fn admit(&mut self, stream: TcpStream) {
+        if self.state.draining() {
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let admitted =
+            self.state.connections.fetch_add(1, Ordering::SeqCst) < self.state.max_connections;
+        if !admitted {
+            self.state.connections.fetch_sub(1, Ordering::SeqCst);
+            self.state.count("serve_conn_rejected_total");
+            let mut stream = stream;
+            let e = ReqError::overloaded(self.state.max_connections);
+            // Even a shed connection gets a trace id: the 503 line is
+            // the only artifact the client has to report. Best effort —
+            // the freshly-accepted socket's send buffer is empty, so
+            // one line fits without blocking.
+            let _ = writeln!(stream, "{}", error_reply(&e, self.state.next_trace()));
+            return;
+        }
+        let fd = stream.as_raw_fd();
+        let token = self.next_token;
+        self.next_token += 1;
+        if self.epoll.add(fd, EPOLLIN, token).is_err() {
+            self.state.connections.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.state.count("serve_connections_total");
+        let mut conn = Conn::new(stream, fd);
+        self.arm_read(token, &mut conn);
+        self.conns.insert(token, conn);
+    }
+
+    /// One readiness report for a connection: flush first (freeing
+    /// outbox space), then read, then run the state machine.
+    fn on_conn_event(&mut self, token: u64, mask: u32) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let mut fate = Fate::Keep;
+        if mask & EPOLLERR != 0 {
+            fate = Fate::Close;
+        }
+        if fate == Fate::Keep && mask & EPOLLOUT != 0 {
+            fate = self.try_flush(token, &mut conn);
+        }
+        if fate == Fate::Keep && mask & (EPOLLIN | EPOLLHUP) != 0 {
+            fate = self.fill_inbuf(&mut conn);
+        }
+        self.finish(token, conn, fate);
+    }
+
+    /// Reads everything currently available. `WouldBlock` here means
+    /// exactly "no more data yet" — never a timeout; timeouts are the
+    /// wheel's verdict alone.
+    fn fill_inbuf(&mut self, conn: &mut Conn) -> Fate {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            // Bounded: once a full oversized line could be framed, stop
+            // reading and let the framer reject it.
+            if conn.inbuf.len() > self.state.max_request_bytes + READ_CHUNK {
+                return Fate::Keep;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    return Fate::Keep;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&chunk[..n]);
+                    // Progress refreshes the read deadline in place; the
+                    // wheel entry re-arms itself lazily on expiry.
+                    if conn.read_deadline.is_some() && self.state.read_timeout_ms > 0 {
+                        conn.read_deadline = Some(
+                            self.state
+                                .now_ms()
+                                .saturating_add(self.state.read_timeout_ms),
+                        );
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Fate::Keep,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // A reset only loses that client's connection; the
+                    // daemon itself never goes down with it.
+                    eprintln!("powerchop-serve: connection error: {e}");
+                    return Fate::Close;
+                }
+            }
+        }
+    }
+
+    /// Runs the state machine after any event: frame and process lines,
+    /// flush output, then close or re-register interest.
+    fn finish(&mut self, token: u64, mut conn: Conn, fate: Fate) {
+        let fate = if fate == Fate::Close {
+            Fate::Close
+        } else {
+            self.drain_lines(token, &mut conn);
+            self.try_flush(token, &mut conn)
+        };
+        if fate == Fate::Close || (conn.eof && conn.idle()) {
+            self.close_conn(conn);
+            return;
+        }
+        self.sync_interest(token, &mut conn);
+        self.conns.insert(token, conn);
+    }
+
+    /// Frames complete lines out of `inbuf` and processes each, until
+    /// input is exhausted or the connection leaves the reading phase.
+    fn drain_lines(&mut self, token: u64, conn: &mut Conn) {
+        loop {
+            if conn.close_after_flush || matches!(conn.phase, ConnPhase::InFlight) {
+                return;
+            }
+            if matches!(conn.phase, ConnPhase::Http { .. }) {
+                if !self.drain_http_line(conn) {
+                    return;
+                }
+                continue;
+            }
+            match conn.inbuf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    let line: Vec<u8> = conn.inbuf.drain(..=i).collect();
+                    let content = &line[..line.len() - 1];
+                    if content.len() > self.state.max_request_bytes {
+                        self.reject_oversize(conn);
+                    } else {
+                        self.process_request_line(token, conn, content);
+                    }
+                }
+                None => {
+                    if conn.inbuf.len() > self.state.max_request_bytes {
+                        self.reject_oversize(conn);
+                        continue;
+                    }
+                    // The peer finished sending with an unterminated
+                    // final line: process it as the last request.
+                    if conn.eof && !conn.inbuf.is_empty() {
+                        let line = std::mem::take(&mut conn.inbuf);
+                        self.process_request_line(token, conn, &line);
+                        continue;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes one buffered HTTP header line; on the blank terminator
+    /// (or the header bounds) enqueues the response and flags the
+    /// close. Returns whether the drain loop should keep going.
+    fn drain_http_line(&mut self, conn: &mut Conn) -> bool {
+        let newline = conn.inbuf.iter().position(|&b| b == b'\n');
+        let ConnPhase::Http { lines, .. } = &mut conn.phase else {
+            return false;
+        };
+        let done = match newline {
+            Some(i) => {
+                let blank = i == 0 || (i == 1 && conn.inbuf[0] == b'\r');
+                conn.inbuf.drain(..=i);
+                *lines += 1;
+                blank || *lines >= HTTP_HEADER_LINES_MAX
+            }
+            // A header line past the bound is consumed as one line,
+            // mirroring the old bounded reader.
+            None if conn.inbuf.len() >= HTTP_HEADER_LINE_MAX => {
+                conn.inbuf.clear();
+                *lines += 1;
+                *lines >= HTTP_HEADER_LINES_MAX
+            }
+            // Peer finished sending without a blank line: answer what
+            // we have.
+            None if conn.eof => true,
+            None => return false,
+        };
+        if !done {
+            return true;
+        }
+        let phase = std::mem::replace(&mut conn.phase, ConnPhase::Reading);
+        let ConnPhase::Http { path, .. } = phase else {
+            return false;
+        };
+        let response = http_response(self.state, &path);
+        conn.inbuf.clear();
+        conn.read_deadline = None;
+        conn.close_after_flush = true;
+        self.enqueue_bytes(conn, response.as_bytes(), None);
+        false
+    }
+
+    /// One framed request line: count it, classify it (HTTP vs JSON),
+    /// mint the request context, and dispatch.
+    fn process_request_line(&mut self, token: u64, conn: &mut Conn, content: &[u8]) {
+        self.state.count("serve_requests_total");
         // An HTTP GET on the JSON port serves /metrics, so curl and
         // Prometheus scrapers work without speaking the protocol.
         // HTTP requests are not protocol requests: no trace, no record.
-        if buf.starts_with(b"GET ") {
-            state.count("serve_http_requests_total");
-            return serve_http(state, &mut reader, &mut writer, &buf);
+        if content.starts_with(b"GET ") {
+            self.state.count("serve_http_requests_total");
+            let path = content
+                .split(|&c| c == b' ')
+                .nth(1)
+                .and_then(|p| std::str::from_utf8(p).ok())
+                .unwrap_or("")
+                .to_owned();
+            conn.phase = ConnPhase::Http { path, lines: 0 };
+            return;
         }
         // The request exists from here on: mint its trace id, start
         // its span ledger, and claim the in-flight gauge. Every exit
-        // below flows through `respond`, which settles all three.
-        let mut ctx = RequestCtx::new(state.next_trace());
-        state.inflight_requests.fetch_add(1, Ordering::SeqCst);
-        ctx.ledger.record(Phase::Accept, ns_since(accept_started));
-        if buf.last() != Some(&b'\n') && n as u64 > limit {
-            state.count("serve_errors_total");
-            let e = ReqError::bad_request(format!(
-                "request line exceeds {} bytes",
-                state.max_request_bytes
-            ));
-            ctx.status = e.code;
-            let reply = error_reply(&e, ctx.trace);
-            respond(state, &mut writer, &mut ctx, &reply)?;
-            // With no newline inside the limit there is no way to find
-            // the next request boundary; drop the connection.
-            return Ok(());
-        }
+        // settles all three when its reply flushes (or the conn dies).
+        let mut ctx = RequestCtx::new(self.state.next_trace());
+        self.state.inflight_requests.fetch_add(1, Ordering::SeqCst);
+        ctx.ledger
+            .record(Phase::Accept, ns_since(conn.accept_started));
+        conn.accept_started = Instant::now();
         let parse_started = Instant::now();
-        let Ok(text) = std::str::from_utf8(&buf) else {
+        let Ok(text) = std::str::from_utf8(content) else {
             ctx.ledger.record(Phase::Parse, ns_since(parse_started));
-            state.count("serve_errors_total");
+            self.state.count("serve_errors_total");
             let e = ReqError::bad_request("request line is not valid UTF-8");
             ctx.status = e.code;
             let reply = error_reply(&e, ctx.trace);
-            respond(state, &mut writer, &mut ctx, &reply)?;
-            continue; // the line boundary was still found; resync is safe
+            self.enqueue_line(conn, &reply, Some(ctx));
+            return; // the line boundary was still found; resync is safe
         };
         let line = text.trim();
         ctx.ledger.record(Phase::Parse, ns_since(parse_started));
         if line.is_empty() {
-            state.count("serve_errors_total");
+            self.state.count("serve_errors_total");
             let e = ReqError::bad_request("empty request line");
             ctx.status = e.code;
             let reply = error_reply(&e, ctx.trace);
-            respond(state, &mut writer, &mut ctx, &reply)?;
-            continue;
+            self.enqueue_line(conn, &reply, Some(ctx));
+            return;
         }
-        let reply = dispatch_line(state, line, &mut ctx);
-        if !respond(state, &mut writer, &mut ctx, &reply)? {
-            return Ok(());
+        match dispatch_line(self.state, line, &mut ctx) {
+            Dispatch::Reply(reply) => self.enqueue_line(conn, &reply, Some(ctx)),
+            Dispatch::Run(run) => {
+                conn.phase = ConnPhase::InFlight;
+                conn.read_deadline = None;
+                self.inflight_dispatches += 1;
+                spawn_run_settler(
+                    self.state,
+                    run,
+                    ctx,
+                    token,
+                    self.tx.clone(),
+                    Arc::clone(&self.wake),
+                );
+            }
+            Dispatch::Sweep(specs) => {
+                conn.phase = ConnPhase::InFlight;
+                conn.read_deadline = None;
+                self.inflight_dispatches += 1;
+                spawn_sweep_driver(
+                    self.state,
+                    specs,
+                    ctx,
+                    token,
+                    self.tx.clone(),
+                    Arc::clone(&self.wake),
+                );
+            }
         }
+    }
+
+    /// A request line (or line fragment) over the size limit: one typed
+    /// 400, then close — with no newline inside the limit there is no
+    /// way to find the next request boundary.
+    fn reject_oversize(&mut self, conn: &mut Conn) {
+        self.state.count("serve_requests_total");
+        let mut ctx = RequestCtx::new(self.state.next_trace());
+        self.state.inflight_requests.fetch_add(1, Ordering::SeqCst);
+        ctx.ledger
+            .record(Phase::Accept, ns_since(conn.accept_started));
+        conn.accept_started = Instant::now();
+        self.state.count("serve_errors_total");
+        let e = ReqError::bad_request(format!(
+            "request line exceeds {} bytes",
+            self.state.max_request_bytes
+        ));
+        ctx.status = e.code;
+        let reply = error_reply(&e, ctx.trace);
+        conn.inbuf.clear();
+        conn.read_deadline = None;
+        conn.close_after_flush = true;
+        self.enqueue_line(conn, &reply, Some(ctx));
+    }
+
+    /// Appends one newline-terminated reply to the outbox.
+    fn enqueue_line(&mut self, conn: &mut Conn, reply: &str, ctx: Option<RequestCtx>) {
+        let mut bytes = Vec::with_capacity(reply.len() + 1);
+        bytes.extend_from_slice(reply.as_bytes());
+        bytes.push(b'\n');
+        self.enqueue_bytes(conn, &bytes, ctx);
+    }
+
+    /// Appends raw bytes to the outbox, enforcing the backpressure cap.
+    /// A reply into an empty outbox always fits (the memory bound is
+    /// `max(cap, one reply)`); growing an already-backlogged outbox
+    /// past the cap trips the slow-consumer policy instead: the reply
+    /// is replaced by a short typed 408 and the connection closes once
+    /// the backlog drains. Queued lines are never truncated.
+    fn enqueue_bytes(&mut self, conn: &mut Conn, bytes: &[u8], ctx: Option<RequestCtx>) {
+        let pending = conn.out_pending();
+        if pending > 0 && pending + bytes.len() > self.state.max_outbox_bytes {
+            self.state.count("serve_backpressure_disconnects_total");
+            conn.read_deadline = None;
+            conn.close_after_flush = true;
+            if let Some(mut ctx) = ctx {
+                ctx.status = 408;
+                let err = error_reply(
+                    &ReqError::backpressure(self.state.max_outbox_bytes),
+                    ctx.trace,
+                );
+                conn.outbox.extend_from_slice(err.as_bytes());
+                conn.outbox.push(b'\n');
+                conn.total_enqueued += (err.len() + 1) as u64;
+                conn.settling.push_back(SettleMark {
+                    flush_at: conn.total_enqueued,
+                    ctx,
+                    respond_started: Instant::now(),
+                });
+            }
+            self.report_outbox(conn);
+            return;
+        }
+        conn.outbox.extend_from_slice(bytes);
+        conn.total_enqueued += bytes.len() as u64;
+        if let Some(ctx) = ctx {
+            conn.settling.push_back(SettleMark {
+                flush_at: conn.total_enqueued,
+                ctx,
+                respond_started: Instant::now(),
+            });
+        }
+        self.report_outbox(conn);
+    }
+
+    /// Writes as much of the outbox as the socket accepts. Partial
+    /// writes keep their cursor — a reply line is never truncated and
+    /// two replies can never interleave, because all output flows
+    /// through this single per-connection buffer in enqueue order.
+    fn try_flush(&mut self, token: u64, conn: &mut Conn) -> Fate {
+        while conn.out_sent < conn.outbox.len() {
+            match conn.stream.write(&conn.outbox[conn.out_sent..]) {
+                Ok(0) => return Fate::Close,
+                Ok(n) => {
+                    conn.out_sent += n;
+                    conn.total_flushed += n as u64;
+                    // Flush progress refreshes the write deadline.
+                    if conn.write_deadline.is_some() && self.state.write_timeout_ms > 0 {
+                        conn.write_deadline = Some(
+                            self.state
+                                .now_ms()
+                                .saturating_add(self.state.write_timeout_ms),
+                        );
+                    }
+                    self.pop_settled(conn);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    // The kernel buffer is full: hand the rest to
+                    // EPOLLOUT and arm the write-stall deadline.
+                    self.arm_write(token, conn);
+                    self.report_outbox(conn);
+                    return Fate::Keep;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Fate::Close,
+            }
+        }
+        conn.outbox.clear();
+        conn.out_sent = 0;
+        conn.write_deadline = None;
+        self.pop_settled(conn);
+        self.report_outbox(conn);
+        if conn.close_after_flush {
+            return Fate::Close;
+        }
+        Fate::Keep
+    }
+
+    /// Settles every request whose reply has fully flushed: records the
+    /// respond span and folds the request into histograms + access log.
+    fn pop_settled(&mut self, conn: &mut Conn) {
+        while conn
+            .settling
+            .front()
+            .is_some_and(|m| m.flush_at <= conn.total_flushed)
+        {
+            if let Some(mut mark) = conn.settling.pop_front() {
+                mark.ctx
+                    .ledger
+                    .record(Phase::Respond, ns_since(mark.respond_started));
+                self.state.observe_request(&mark.ctx);
+            }
+        }
+    }
+
+    /// Arms (or re-arms) the read deadline for the next request line.
+    fn arm_read(&mut self, token: u64, conn: &mut Conn) {
+        let ms = self.state.read_timeout_ms;
+        if ms == 0 {
+            conn.read_deadline = None;
+            return;
+        }
+        let now = self.state.now_ms();
+        conn.read_deadline = Some(now.saturating_add(ms));
+        if !conn.read_entry_live {
+            conn.read_entry_live = true;
+            self.wheel.insert(
+                now,
+                ms,
+                Timer {
+                    token,
+                    kind: TimerKind::Read,
+                },
+            );
+        }
+    }
+
+    /// Arms the write-stall deadline while output is pending.
+    fn arm_write(&mut self, token: u64, conn: &mut Conn) {
+        let ms = self.state.write_timeout_ms;
+        if ms == 0 {
+            conn.write_deadline = None;
+            return;
+        }
+        let now = self.state.now_ms();
+        if conn.write_deadline.is_none() {
+            conn.write_deadline = Some(now.saturating_add(ms));
+        }
+        if !conn.write_entry_live {
+            conn.write_entry_live = true;
+            self.wheel.insert(
+                now,
+                ms,
+                Timer {
+                    token,
+                    kind: TimerKind::Write,
+                },
+            );
+        }
+    }
+
+    /// Expires due wheel entries. Refreshed deadlines re-arm for the
+    /// remainder; disarmed ones are no-ops; genuinely expired ones are
+    /// the *only* source of timeout verdicts in the daemon.
+    fn on_timers(&mut self) {
+        let now = self.state.now_ms();
+        let mut fired = std::mem::take(&mut self.fired);
+        self.wheel.expire(now, &mut fired);
+        for timer in fired.drain(..) {
+            let Some(mut conn) = self.conns.remove(&timer.token) else {
+                continue;
+            };
+            let fate = match timer.kind {
+                TimerKind::Read => {
+                    conn.read_entry_live = false;
+                    match conn.read_deadline {
+                        None => Fate::Keep,
+                        Some(d) if now < d => {
+                            // Bytes arrived since arming: re-arm for
+                            // the refreshed remainder.
+                            conn.read_entry_live = true;
+                            self.wheel.insert(now, d - now, timer);
+                            Fate::Keep
+                        }
+                        Some(_) => {
+                            // The slow-loris case: no complete request
+                            // line within the deadline. One typed 408
+                            // (best effort), then close.
+                            self.state.count("serve_slow_client_disconnects_total");
+                            let err = ReqError::slow_client(self.state.read_timeout_ms);
+                            let reply = error_reply(&err, self.state.next_trace());
+                            conn.read_deadline = None;
+                            conn.close_after_flush = true;
+                            self.enqueue_line(&mut conn, &reply, None);
+                            self.try_flush(timer.token, &mut conn)
+                        }
+                    }
+                }
+                TimerKind::Write => {
+                    conn.write_entry_live = false;
+                    match conn.write_deadline {
+                        None => Fate::Keep,
+                        Some(d) if now < d => {
+                            conn.write_entry_live = true;
+                            self.wheel.insert(now, d - now, timer);
+                            Fate::Keep
+                        }
+                        Some(_) => {
+                            if conn.out_pending() > 0 {
+                                // No flush progress within the write
+                                // deadline: the client cannot absorb
+                                // its reply. Shed it.
+                                self.state.count("serve_slow_client_disconnects_total");
+                                Fate::Close
+                            } else {
+                                conn.write_deadline = None;
+                                Fate::Keep
+                            }
+                        }
+                    }
+                }
+            };
+            self.finish(timer.token, conn, fate);
+        }
+        self.fired = fired;
+    }
+
+    /// A settler finished: hand its reply to the connection (or settle
+    /// the request anyway if the client vanished mid-run — the work
+    /// still landed in the cache and journal).
+    fn on_completion(&mut self, done: Completion) {
+        self.inflight_dispatches -= 1;
+        let Some(mut conn) = self.conns.remove(&done.token) else {
+            self.state.observe_request(&done.ctx);
+            return;
+        };
+        conn.phase = ConnPhase::Reading;
+        conn.accept_started = Instant::now();
+        self.arm_read(done.token, &mut conn);
+        self.enqueue_line(&mut conn, &done.reply, Some(done.ctx));
+        self.finish(done.token, conn, Fate::Keep);
+    }
+
+    /// Registers the interest mask the connection's state implies:
+    /// input only while framing, output only while the outbox has
+    /// unflushed bytes.
+    fn sync_interest(&mut self, token: u64, conn: &mut Conn) {
+        let mut want = 0u32;
+        let reading = !matches!(conn.phase, ConnPhase::InFlight)
+            && !conn.close_after_flush
+            && !conn.eof
+            && conn.inbuf.len() <= self.state.max_request_bytes + READ_CHUNK;
+        if reading {
+            want |= EPOLLIN;
+        }
+        if conn.out_pending() > 0 {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest && self.epoll.modify(conn.fd, want, token).is_ok() {
+            conn.interest = want;
+        }
+    }
+
+    /// Tears a connection down: settles every still-queued request,
+    /// returns its gauge contribution, and releases the gate slot.
+    fn close_conn(&mut self, mut conn: Conn) {
+        while let Some(mut mark) = conn.settling.pop_front() {
+            mark.ctx
+                .ledger
+                .record(Phase::Respond, ns_since(mark.respond_started));
+            self.state.observe_request(&mark.ctx);
+        }
+        if conn.gauge_reported > 0 {
+            self.state
+                .outbox_bytes
+                .fetch_sub(conn.gauge_reported, Ordering::SeqCst);
+            conn.gauge_reported = 0;
+        }
+        self.epoll.del(conn.fd);
+        self.state.connections.fetch_sub(1, Ordering::SeqCst);
+        // Dropping the stream closes the fd (and with it any stale
+        // epoll registration).
+    }
+
+    /// Diff-updates this connection's share of `serve_outbox_bytes`.
+    fn report_outbox(&self, conn: &mut Conn) {
+        let pending = conn.out_pending() as u64;
+        if pending > conn.gauge_reported {
+            self.state
+                .outbox_bytes
+                .fetch_add(pending - conn.gauge_reported, Ordering::SeqCst);
+        } else {
+            self.state
+                .outbox_bytes
+                .fetch_sub(conn.gauge_reported - pending, Ordering::SeqCst);
+        }
+        conn.gauge_reported = pending;
     }
 }
 
-/// Writes one reply line, timing the respond span, then settles the
-/// request into the histograms and access log. Returns `Ok(false)`
-/// when a slow client was shed (connection over, daemon fine).
-fn respond(
-    state: &Arc<State>,
-    writer: &mut TcpStream,
-    ctx: &mut RequestCtx,
-    reply: &str,
-) -> std::io::Result<bool> {
-    let respond_started = Instant::now();
-    let written = writeln!(writer, "{reply}").and_then(|()| writer.flush());
-    ctx.ledger.record(Phase::Respond, ns_since(respond_started));
-    let keep = match written {
-        Ok(()) => Ok(true),
-        // A client too slow to *absorb* its reply is shed the same
-        // way as one too slow to send: count it, drop it.
-        Err(e) if is_timeout(&e) => {
-            state.count("serve_slow_client_disconnects_total");
-            Ok(false)
-        }
-        Err(e) => Err(e),
-    };
-    state.observe_request(ctx);
-    keep
-}
-
-/// Routes one request line to its handler and renders the reply,
-/// recording the parse span and classifying the request for the
-/// access log as it goes.
-fn dispatch_line(state: &Arc<State>, line: &str, ctx: &mut RequestCtx) -> String {
+/// Routes one request line to its handler, recording the parse span
+/// and classifying the request for the access log as it goes. Quick
+/// ops answer inline; runs and sweeps dispatch off-loop.
+fn dispatch_line(state: &Arc<State>, line: &str, ctx: &mut RequestCtx) -> Dispatch {
     let parse_started = Instant::now();
     let parsed = parse_request(line, &state.limits);
     ctx.ledger.record(Phase::Parse, ns_since(parse_started));
     match parsed {
-        Err(e) => refuse(state, &e, ctx),
+        Err(e) => Dispatch::Reply(refuse(state, &e, ctx)),
         Ok(Request::Status) => {
             ctx.op = "status";
-            status_reply(state, ctx.trace)
+            Dispatch::Reply(status_reply(state, ctx.trace))
         }
         Ok(Request::Health) => {
             ctx.op = "health";
-            health_reply(state, ctx.trace)
+            Dispatch::Reply(health_reply(state, ctx.trace))
         }
         Ok(Request::Metrics) => {
             ctx.op = "metrics";
-            metrics_reply(state, ctx.trace)
+            Dispatch::Reply(metrics_reply(state, ctx.trace))
         }
         Ok(Request::Shutdown) => {
             ctx.op = "shutdown";
-            shutdown_reply(state, ctx.trace)
+            Dispatch::Reply(shutdown_reply(state, ctx.trace))
         }
         Ok(Request::Run(spec)) => {
             ctx.op = "run";
             ctx.bench = Some(spec.bench.clone());
-            match execute_run(state, &spec, ctx) {
-                Ok((cached, report)) => {
-                    ctx.cached = cached;
-                    run_reply(ctx.trace, cached, &report)
+            match start_run(state, &spec, ctx) {
+                Ok(RunStart::Cached(report)) => {
+                    ctx.cached = true;
+                    Dispatch::Reply(run_reply(ctx.trace, true, &report))
                 }
-                Err(e) => refuse(state, &e, ctx),
+                Ok(RunStart::Dispatched(run)) => Dispatch::Run(run),
+                Err(e) => Dispatch::Reply(refuse(state, &e, ctx)),
             }
         }
         Ok(Request::Sweep(specs)) => {
             ctx.op = "sweep";
-            sweep(state, specs, ctx)
+            Dispatch::Sweep(specs)
         }
     }
 }
@@ -869,6 +1587,149 @@ fn refuse(state: &Arc<State>, e: &ReqError, ctx: &mut RequestCtx) -> String {
         _ => "serve_errors_total",
     });
     error_reply(e, ctx.trace)
+}
+
+/// How the front half of a `run` dispatch ended.
+enum RunStart {
+    /// Served bit-identically from the cache; no pool involved.
+    Cached(String),
+    /// Accepted onto the pool; a settler thread owns it now.
+    Dispatched(Box<DispatchedRun>),
+}
+
+/// The `run` op's front half, on the loop thread: draining check,
+/// cache lookup, breaker admission, intent journaling, bounded
+/// submission. Refusals (429/503) are immediate; an accepted run
+/// comes back as [`RunStart::Dispatched`] for off-loop settlement.
+fn start_run(
+    state: &Arc<State>,
+    spec: &RunSpec,
+    ctx: &mut RequestCtx,
+) -> Result<RunStart, ReqError> {
+    if state.draining() {
+        return Err(ReqError::draining());
+    }
+    let (program, cfg, key) = prepare(spec)?;
+    let cache_started = Instant::now();
+    let hit = state.cache.get(key);
+    ctx.ledger.record(Phase::Cache, ns_since(cache_started));
+    if let Some(hit) = hit {
+        state.count("serve_cache_hits_total");
+        return Ok(RunStart::Cached(hit));
+    }
+    state.breaker_admit()?;
+    state.count("serve_cache_misses_total");
+    let deadline_ms = spec.deadline_ms;
+    // Journal the accepted intent before dispatch. Chaos runs are never
+    // journaled: a deliberately-killed worker is a drill, not work the
+    // daemon owes anyone after a restart. The intent carries the trace
+    // id, so a crash-recovery resume stays attributable to the request
+    // that created the obligation.
+    let journal_started = Instant::now();
+    let plan = match &state.durable {
+        Some(d) if !spec.chaos_panic => {
+            let id = d.next_intent_id();
+            d.journal_intent(id, ctx.trace, std::slice::from_ref(spec));
+            Some(SpillPlan {
+                durability: Arc::clone(d),
+                id,
+                spec: spec.clone(),
+                resume_from: None,
+                recovery: false,
+            })
+        }
+        _ => None,
+    };
+    ctx.ledger.record(Phase::Journal, ns_since(journal_started));
+    let intent = plan.as_ref().map(|p| p.id);
+    match state.pool.submit(run_job(
+        program,
+        spec.manager,
+        cfg,
+        deadline_ms,
+        spec.chaos_panic,
+        plan,
+        state.traced(),
+    )) {
+        Ok(handle) => Ok(RunStart::Dispatched(Box::new(DispatchedRun {
+            key,
+            deadline_ms,
+            handle,
+            intent,
+            bench: spec.bench.clone(),
+        }))),
+        Err(e) => {
+            // Shed before dispatch: retire the intent now — the client
+            // gets its typed refusal and the daemon owes nothing.
+            let journal_started = Instant::now();
+            if let (Some(d), Some(id)) = (&state.durable, intent) {
+                d.journal_done(id);
+                d.remove_spills(id, [spec.bench.as_str()]);
+                ctx.ledger.record(Phase::Journal, ns_since(journal_started));
+            }
+            Err(submit_error(e))
+        }
+    }
+}
+
+/// Waits a dispatched run out on its own small thread, retires its
+/// journal intent, and hands the rendered reply back to the event loop
+/// over the completion channel + eventfd wakeup.
+fn spawn_run_settler(
+    state: &Arc<State>,
+    run: Box<DispatchedRun>,
+    mut ctx: RequestCtx,
+    token: u64,
+    tx: mpsc::Sender<Completion>,
+    wake: Arc<WakeFd>,
+) {
+    let state = Arc::clone(state);
+    std::thread::spawn(move || {
+        let DispatchedRun {
+            key,
+            deadline_ms,
+            handle,
+            intent,
+            bench,
+        } = *run;
+        let outcome = settle(&state, key, deadline_ms, handle, Some(&mut ctx));
+        // Retire the intent however the run ended: the client gets its
+        // reply (success or typed error), so the daemon owes nothing
+        // after this.
+        let journal_started = Instant::now();
+        if let (Some(d), Some(id)) = (&state.durable, intent) {
+            d.journal_done(id);
+            d.remove_spills(id, [bench.as_str()]);
+            ctx.ledger.record(Phase::Journal, ns_since(journal_started));
+        }
+        let reply = match outcome {
+            Ok(json) => run_reply(ctx.trace, false, &json),
+            Err(e) => refuse(&state, &e, &mut ctx),
+        };
+        // Send-then-ring: the message is in the channel before the
+        // eventfd wakes the loop, so the drain always finds it.
+        let _ = tx.send(Completion { token, ctx, reply });
+        wake.ring();
+    });
+}
+
+/// Drives a whole sweep from its own thread (the sweep path blocks on
+/// seeded-jitter Busy retries and roster-order settlement, neither of
+/// which may run on the event loop).
+fn spawn_sweep_driver(
+    state: &Arc<State>,
+    specs: Vec<RunSpec>,
+    mut ctx: RequestCtx,
+    token: u64,
+    tx: mpsc::Sender<Completion>,
+    wake: Arc<WakeFd>,
+) {
+    let state = Arc::clone(state);
+    std::thread::spawn(move || {
+        let reply = sweep(&state, specs, &mut ctx);
+        let _ = tx.send(Completion { token, ctx, reply });
+        wake.ring();
+    });
 }
 
 /// How one dispatched run can fail.
@@ -1077,12 +1938,7 @@ fn settle(
             }
             let json = report_to_json(&report);
             let cache_started = Instant::now();
-            let cacheable = {
-                let mut cache = lock(&state.cache);
-                let cacheable = cache.capacity() > 0;
-                cache.put(key, json.clone());
-                cacheable
-            };
+            let cacheable = state.cache.put(key, json.clone());
             // Write-through persistence: the reply a restarted daemon
             // replays is byte-for-byte the reply cached here.
             if cacheable {
@@ -1150,73 +2006,6 @@ fn run_job(
     }
 }
 
-/// The `run` op: breaker admission, cache lookup, bounded submission,
-/// deadline-watched execution. Returns `(cached, report_json)`.
-fn execute_run(
-    state: &Arc<State>,
-    spec: &RunSpec,
-    ctx: &mut RequestCtx,
-) -> Result<(bool, String), ReqError> {
-    if state.draining() {
-        return Err(ReqError::draining());
-    }
-    let (program, cfg, key) = prepare(spec)?;
-    let cache_started = Instant::now();
-    let hit = lock(&state.cache).get(key);
-    ctx.ledger.record(Phase::Cache, ns_since(cache_started));
-    if let Some(hit) = hit {
-        state.count("serve_cache_hits_total");
-        return Ok((true, hit));
-    }
-    state.breaker_admit()?;
-    state.count("serve_cache_misses_total");
-    let deadline_ms = spec.deadline_ms;
-    // Journal the accepted intent before dispatch. Chaos runs are never
-    // journaled: a deliberately-killed worker is a drill, not work the
-    // daemon owes anyone after a restart. The intent carries the trace
-    // id, so a crash-recovery resume stays attributable to the request
-    // that created the obligation.
-    let journal_started = Instant::now();
-    let plan = match &state.durable {
-        Some(d) if !spec.chaos_panic => {
-            let id = d.next_intent_id();
-            d.journal_intent(id, ctx.trace, std::slice::from_ref(spec));
-            Some(SpillPlan {
-                durability: Arc::clone(d),
-                id,
-                spec: spec.clone(),
-                resume_from: None,
-                recovery: false,
-            })
-        }
-        _ => None,
-    };
-    ctx.ledger.record(Phase::Journal, ns_since(journal_started));
-    let intent = plan.as_ref().map(|p| p.id);
-    let outcome = state
-        .pool
-        .submit(run_job(
-            program,
-            spec.manager,
-            cfg,
-            deadline_ms,
-            spec.chaos_panic,
-            plan,
-            state.traced(),
-        ))
-        .map_err(submit_error)
-        .and_then(|handle| settle(state, key, deadline_ms, handle, Some(&mut *ctx)));
-    // Retire the intent however the run ended: the client has its reply
-    // (success or typed error), so the daemon owes nothing after this.
-    let journal_started = Instant::now();
-    if let (Some(d), Some(id)) = (&state.durable, intent) {
-        d.journal_done(id);
-        d.remove_spills(id, [spec.bench.as_str()]);
-        ctx.ledger.record(Phase::Journal, ns_since(journal_started));
-    }
-    outcome.map(|json| (false, json))
-}
-
 /// The `sweep` op: submit every benchmark up front (filling workers and
 /// queue), then await them in roster order. The sweep's own submissions
 /// ride through Busy with seeded-jitter backoff — it is one logical
@@ -1251,7 +2040,7 @@ fn sweep(state: &Arc<State>, specs: Vec<RunSpec>, ctx: &mut RequestCtx) -> Strin
             Err(e) => Pending::Refused(e),
             Ok((program, cfg, key)) => {
                 let cache_started = Instant::now();
-                let hit = lock(&state.cache).get(key);
+                let hit = state.cache.get(key);
                 ctx.ledger.record(Phase::Cache, ns_since(cache_started));
                 if let Some(hit) = hit {
                     state.count("serve_cache_hits_total");
@@ -1447,7 +2236,7 @@ fn resume_one(
         // nothing runnable to owe.
         return ResumeOutcome::Cached;
     };
-    if lock(&state.cache).get(key).is_some() {
+    if state.cache.get(key).is_some() {
         return ResumeOutcome::Cached;
     }
     let deadline_ms = state.limits.deadline_ms;
@@ -1522,8 +2311,8 @@ fn status_reply(state: &Arc<State>, trace: u64) -> String {
         "inflight_requests",
         state.inflight_requests.load(Ordering::SeqCst) as u64,
     );
-    w.field_u64("cache_entries", lock(&state.cache).len() as u64);
-    w.field_u64("cache_capacity", lock(&state.cache).capacity() as u64);
+    w.field_u64("cache_entries", state.cache.len() as u64);
+    w.field_u64("cache_capacity", state.cache.capacity() as u64);
     w.finish()
 }
 
@@ -1605,10 +2394,10 @@ fn metrics_reply(state: &Arc<State>, trace: u64) -> String {
 }
 
 fn shutdown_reply(state: &Arc<State>, trace: u64) -> String {
+    // Setting the flag is enough: the shutdown line arrived through the
+    // event loop, which re-checks the drain state every iteration — no
+    // self-connection wakeup needed anymore.
     state.draining.store(true, Ordering::SeqCst);
-    // Wake the blocking accept loop so the drain actually proceeds; the
-    // throwaway connection is dropped by the accept loop's drain check.
-    let _ = TcpStream::connect(state.addr);
     let mut w = JsonWriter::object();
     w.field_bool("ok", true);
     w.field_str("op", "shutdown");
@@ -1617,31 +2406,11 @@ fn shutdown_reply(state: &Arc<State>, trace: u64) -> String {
     w.finish()
 }
 
-/// Answers one HTTP request (then closes, as `Connection: close`
-/// promises). Only `GET /metrics` exists; anything else is a 404.
-fn serve_http(
-    state: &Arc<State>,
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut TcpStream,
-    request_line: &[u8],
-) -> std::io::Result<()> {
-    // Drain the request headers (bounded) so the client's send buffer
-    // is consumed before we respond and close.
-    let mut header = Vec::new();
-    for _ in 0..64 {
-        header.clear();
-        let n = (&mut *reader)
-            .take(8 * 1024)
-            .read_until(b'\n', &mut header)?;
-        if n == 0 || header == b"\r\n" || header == b"\n" {
-            break;
-        }
-    }
-    let path = request_line
-        .split(|&c| c == b' ')
-        .nth(1)
-        .and_then(|p| std::str::from_utf8(p).ok())
-        .unwrap_or("");
+/// Renders one full HTTP response (status line through body). Only
+/// `GET /metrics` exists; anything else is a 404. `Connection: close`
+/// is honored by the caller flagging the connection to close after the
+/// response flushes.
+fn http_response(state: &Arc<State>, path: &str) -> String {
     let (status, content_type, body) = if path == "/metrics" {
         (
             "200 OK",
@@ -1655,12 +2424,10 @@ fn serve_http(
             "only GET /metrics is served here\n".to_owned(),
         )
     };
-    write!(
-        writer,
+    format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    )?;
-    writer.flush()
+    )
 }
 
 #[cfg(test)]
@@ -1674,6 +2441,7 @@ mod tests {
         assert!(cfg.queue_depth >= 1);
         assert!(cfg.cache_entries >= 1);
         assert!(cfg.max_budget >= 1_000_000);
+        assert!(cfg.max_outbox_bytes >= 1 << 16);
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! A hashed timing wheel for connection deadlines.
+//!
+//! The event loop replaces per-socket `SO_RCVTIMEO`/`SO_SNDTIMEO` with
+//! wheel-driven deadlines: every armed timeout lands in a slot keyed by
+//! its expiry tick, and the loop expires whole slots as its clock
+//! advances — O(1) insert, O(slots touched) expiry, no per-socket
+//! kernel state. Deadlines further out than one wheel revolution simply
+//! stay in their slot until a revolution on which they are due
+//! (entries carry their absolute expiry tick, so a slot visit never
+//! fires them early).
+//!
+//! Cancellation is lazy: the payload the caller gets back identifies a
+//! connection and the caller checks whether that deadline is still
+//! armed. A stale entry fires into a no-op, which keeps arming and
+//! disarming allocation-free on the hot path.
+
+/// A wheel of timers carrying `T` payloads.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    slots: Vec<Vec<Entry<T>>>,
+    granularity_ms: u64,
+    /// The next tick `expire` will process.
+    cursor: u64,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    expires: u64,
+    payload: T,
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel with `slots` buckets, each `granularity_ms` wide. The
+    /// horizon of one revolution is `slots * granularity_ms`; longer
+    /// deadlines cost extra no-op slot visits, nothing more.
+    #[must_use]
+    pub fn new(granularity_ms: u64, slots: usize) -> Self {
+        Self {
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            granularity_ms: granularity_ms.max(1),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick(&self, at_ms: u64) -> u64 {
+        at_ms / self.granularity_ms
+    }
+
+    /// Arms a timer due `delay_ms` after `now_ms`. Rounded *up* to the
+    /// next tick so a timer never fires before its deadline.
+    pub fn insert(&mut self, now_ms: u64, delay_ms: u64, payload: T) {
+        let due = now_ms.saturating_add(delay_ms);
+        let expires = due
+            .saturating_add(self.granularity_ms - 1)
+            .checked_div(self.granularity_ms)
+            .unwrap_or(u64::MAX)
+            .max(self.cursor);
+        let slot = (expires % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { expires, payload });
+        self.len += 1;
+    }
+
+    /// Drains every timer due at or before `now_ms` into `fired`,
+    /// advancing the wheel's cursor.
+    pub fn expire(&mut self, now_ms: u64, fired: &mut Vec<T>) {
+        let now_tick = self.tick(now_ms);
+        if now_tick < self.cursor {
+            return;
+        }
+        let n = self.slots.len() as u64;
+        // A long sleep may leap several revolutions; each slot only
+        // needs one visit regardless.
+        let steps = (now_tick - self.cursor + 1).min(n);
+        for i in 0..steps {
+            let slot = ((self.cursor + i) % n) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut kept = 0;
+            for j in 0..bucket.len() {
+                if bucket[j].expires <= now_tick {
+                    continue;
+                }
+                bucket.swap(kept, j);
+                kept += 1;
+            }
+            for entry in bucket.drain(kept..) {
+                fired.push(entry.payload);
+                self.len -= 1;
+            }
+        }
+        self.cursor = now_tick + 1;
+    }
+
+    /// Milliseconds until the earliest armed timer is due (`None` when
+    /// the wheel is empty; zero when something is already overdue).
+    #[must_use]
+    pub fn next_timeout_ms(&self, now_ms: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let earliest = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|e| e.expires)
+            .min()
+            .unwrap_or(u64::MAX);
+        Some((earliest.saturating_mul(self.granularity_ms)).saturating_sub(now_ms))
+    }
+
+    /// Armed (including lazily-cancelled) timers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are armed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_fire_at_or_after_their_deadline_in_order_of_expiry() {
+        let mut w = TimerWheel::new(8, 16);
+        w.insert(0, 100, "b");
+        w.insert(0, 20, "a");
+        let mut fired = Vec::new();
+        w.expire(19, &mut fired);
+        assert!(fired.is_empty(), "nothing due before its deadline");
+        w.expire(40, &mut fired);
+        assert_eq!(fired, ["a"]);
+        fired.clear();
+        w.expire(200, &mut fired);
+        assert_eq!(fired, ["b"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deadlines_beyond_one_revolution_wait_their_turn() {
+        // Horizon is 4 * 8 = 32 ms; a 100 ms timer shares a slot with
+        // earlier ticks but must not fire on the first pass.
+        let mut w = TimerWheel::new(8, 4);
+        w.insert(0, 100, "far");
+        w.insert(0, 10, "near");
+        let mut fired = Vec::new();
+        w.expire(16, &mut fired);
+        assert_eq!(fired, ["near"]);
+        fired.clear();
+        w.expire(64, &mut fired);
+        assert!(fired.is_empty(), "one revolution in, still not due");
+        w.expire(104, &mut fired);
+        assert_eq!(fired, ["far"]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_the_earliest_timer() {
+        let mut w = TimerWheel::new(10, 8);
+        assert_eq!(w.next_timeout_ms(0), None);
+        w.insert(0, 95, ());
+        let t = w.next_timeout_ms(0).expect("armed");
+        assert!((95..=100).contains(&t), "rounded up to a tick: {t}");
+        assert_eq!(w.next_timeout_ms(500), Some(0), "overdue clamps to 0");
+        let mut fired = Vec::new();
+        w.expire(500, &mut fired);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(w.next_timeout_ms(500), None);
+    }
+
+    #[test]
+    fn a_huge_clock_leap_visits_every_slot_once() {
+        let mut w = TimerWheel::new(1, 8);
+        for i in 0..32 {
+            w.insert(0, i, i);
+        }
+        let mut fired = Vec::new();
+        w.expire(u64::MAX / 2, &mut fired);
+        assert_eq!(fired.len(), 32, "all due timers fire across the leap");
+        assert!(w.is_empty());
+    }
+}

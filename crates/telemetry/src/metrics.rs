@@ -463,6 +463,26 @@ mod tests {
     }
 
     #[test]
+    fn quantile_on_empty_histogram_is_zero_never_nan() {
+        // A freshly-seeded histogram is scraped before its first sample;
+        // the quantile must read as a finite 0.0, never NaN or a
+        // division artifact, for every q including the degenerate ones.
+        let h = Histogram::default();
+        for q in [-1.0, 0.0, 0.5, 0.9, 0.999, 1.0, 2.0, f64::NAN] {
+            let est = h.quantile(q);
+            assert!(est.is_finite(), "quantile({q}) = {est} is not finite");
+            assert_eq!(est, 0.0, "quantile({q}) on empty histogram");
+        }
+        // One sample at zero exercises the zero-width first bucket: the
+        // interpolation must still produce a finite value.
+        let mut h = Histogram::default();
+        h.observe(0);
+        for q in [0.0, 0.5, 1.0] {
+            assert!(h.quantile(q).is_finite());
+        }
+    }
+
+    #[test]
     fn quantile_lands_in_the_true_quantile_bucket() {
         let mut h = Histogram::default();
         assert_eq!(h.quantile(0.5), 0.0, "empty histogram");

@@ -80,6 +80,10 @@ fn seeded_storms_hold_every_invariant_across_seeds() {
             report.passed(),
             "seed {seed}: storm violated an invariant: {report:?}"
         );
+        // Every line any client received went through the RFC 8259
+        // validator (`Counters::saw_reply`); zero may escape it and
+        // zero may fail it.
+        assert!(report.replies > 0, "seed {seed}: storm produced replies");
         assert_eq!(report.malformed, 0, "seed {seed}: malformed replies");
         assert_eq!(
             report.honest_mismatches, 0,
@@ -356,6 +360,55 @@ fn excess_connections_are_shed_with_a_typed_503() {
         std::thread::sleep(Duration::from_millis(20));
     };
     assert!(admitted, "the gate must reopen once the slot frees");
+    daemon.shutdown();
+}
+
+#[test]
+fn pipelined_replies_never_tear_or_interleave() {
+    // One connection, a burst of pipelined requests written before any
+    // reply is read: the event loop's partial-write path must deliver
+    // one complete, valid JSON line per request, in request order.
+    // Alternating large (metrics) and small (status) replies makes a
+    // short write mid-line likely; a torn or interleaved reply would
+    // fail the validator or arrive out of order.
+    let daemon = start(test_config());
+    let stream = TcpStream::connect(daemon.addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout sets");
+    let mut writer = stream.try_clone().expect("stream clones");
+
+    const BURST: usize = 64;
+    let mut burst = String::new();
+    for i in 0..BURST {
+        burst.push_str(if i % 2 == 0 {
+            "{\"op\":\"metrics\"}\n"
+        } else {
+            "{\"op\":\"status\"}\n"
+        });
+    }
+    writer.write_all(burst.as_bytes()).expect("burst writes");
+    writer.flush().expect("burst flushes");
+
+    let mut reader = BufReader::new(stream);
+    for i in 0..BURST {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("pipelined reply reads");
+        assert!(line.ends_with('\n'), "reply {i} newline-terminated");
+        let line = line.trim_end();
+        validate_json(line).unwrap_or_else(|e| panic!("reply {i} invalid JSON ({e}): {line}"));
+        let want = if i % 2 == 0 {
+            "\"op\":\"metrics\""
+        } else {
+            "\"op\":\"status\""
+        };
+        assert!(
+            line.contains(want),
+            "reply {i} out of order (want {want}): {line}"
+        );
+    }
+    drop(reader);
+    drop(writer);
     daemon.shutdown();
 }
 
